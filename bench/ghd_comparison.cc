@@ -1,0 +1,68 @@
+// §5.2 GHD paragraph: "the results reported for BalancedGo show that the
+// best method there solves only 1730 instances optimally without timeout; in
+// contrast log-k-decomp manages to solve 2491 ... in none of the cases where
+// BalancedGo finds the optimal ghw is it lower than the optimal hw."
+//
+// We reproduce both halves with the BalancedGo stand-in (baselines/
+// balsep_ghd.*): (a) the GHD search solves fewer instances than the HD
+// hybrid under the same budget, and (b) the first width at which a GHD is
+// found is never below the proven hw — the extra generality of GHDs buys
+// nothing on HyperBench-like inputs, while costing more search.
+#include <cstdlib>
+
+#include "baselines/balsep_ghd.h"
+#include "bench_common.h"
+
+namespace htd::bench {
+namespace {
+
+SolverFactory GhdFactory() {
+  return [](const SolveOptions& options) -> std::unique_ptr<HdSolver> {
+    return std::make_unique<BalSepGhd>(options);
+  };
+}
+
+int Main() {
+  RunConfig config = RunConfig::FromEnv();
+  CorpusConfig corpus_config;
+  corpus_config.scale = CorpusScaleFromEnv();
+  std::vector<Instance> corpus = BuildHyperBenchLikeCorpus(corpus_config);
+  PrintPreamble("GHD vs HD comparison (§5.2 paragraph, BalancedGo stand-in)",
+                config, corpus.size());
+
+  Campaign hd = RunCampaign("log-k Hybrid (HD)", HybridFactory(), corpus, config);
+  Campaign ghd = RunCampaign("balsep-ghd (GHD)", GhdFactory(), corpus, config);
+
+  TextTable table;
+  table.AddRow({"method", "solved", "avg ms", "max ms"});
+  for (const Campaign* campaign : {&hd, &ghd}) {
+    util::RunningStats stats;
+    for (const RunRecord& record : campaign->records) {
+      if (record.solved) stats.Add(record.seconds * 1000.0);
+    }
+    table.AddRow({campaign->method, std::to_string(campaign->SolvedCount()),
+                  Fmt1(stats.Mean()), Fmt1(stats.Max())});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  // Width comparison on instances both methods solved. (The GHD stand-in is
+  // exhaustive within its χ = ⋃λ search space, so "its optimum" means the
+  // first width at which it finds a GHD — exactly BalancedGo's protocol.)
+  int both = 0, ghw_below_hw = 0, ghw_equal_hw = 0;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    if (!hd.records[i].solved || !ghd.records[i].solved) continue;
+    ++both;
+    if (ghd.records[i].width < hd.records[i].width) ++ghw_below_hw;
+    if (ghd.records[i].width == hd.records[i].width) ++ghw_equal_hw;
+  }
+  std::printf(
+      "\nboth solved: %d; ghw(found) < hw: %d; ghw(found) = hw: %d\n"
+      "(paper: the < count is zero — GHD generality buys no width here)\n",
+      both, ghw_below_hw, ghw_equal_hw);
+  return 0;
+}
+
+}  // namespace
+}  // namespace htd::bench
+
+int main() { return htd::bench::Main(); }

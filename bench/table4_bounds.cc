@@ -1,0 +1,65 @@
+// Table 4: for how many instances can each method *decide* hw(H) <= w —
+// i.e. either find a width-w HD or refute its existence within the timeout.
+// (Unlike Tables 1/3 this does not require proving optimality.)
+//
+// Expected shape (paper): the hybrid tracks the Virtual Best closely for
+// w <= 5; plain log-k trails the hybrid; det-k falls off from w = 4.
+#include <cstdlib>
+
+#include "bench_common.h"
+
+namespace htd::bench {
+namespace {
+
+int Main() {
+  RunConfig config = RunConfig::FromEnv();
+  CorpusConfig corpus_config;
+  corpus_config.scale = CorpusScaleFromEnv();
+  std::vector<Instance> corpus = BuildHyperBenchLikeCorpus(corpus_config);
+  PrintPreamble("Table 4: instances for which 'hw <= w' is decided", config,
+                corpus.size());
+
+  struct MethodSpec {
+    const char* name;
+    SolverFactory factory;
+    bool sequential;
+  };
+  const std::vector<MethodSpec> methods = {
+      {"log-k (Hybrid)", HybridFactory(), false},
+      {"NewDetKDecomp", DetKFactory(), true},
+      {"log-k", LogKFactory(), false},
+  };
+
+  TextTable table;
+  table.AddRow({"problem", "Virtual Best", "log-k (Hybrid)", "NewDetKDecomp",
+                "log-k"});
+  const int max_w = std::min(config.max_width, 6);
+  for (int w = 1; w <= max_w; ++w) {
+    std::vector<int> decided(methods.size(), 0);
+    int virtual_best = 0;
+    for (const Instance& instance : corpus) {
+      bool any = false;
+      for (size_t m = 0; m < methods.size(); ++m) {
+        RunConfig run_config = config;
+        if (methods[m].sequential) run_config.num_threads = 1;
+        Outcome outcome = RunDecisionWithTimeout(methods[m].factory,
+                                                 instance.graph, w, run_config);
+        if (outcome == Outcome::kYes || outcome == Outcome::kNo) {
+          ++decided[m];
+          any = true;
+        }
+      }
+      virtual_best += any ? 1 : 0;
+    }
+    table.AddRow({"hw <= " + std::to_string(w), std::to_string(virtual_best),
+                  std::to_string(decided[0]), std::to_string(decided[1]),
+                  std::to_string(decided[2])});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace htd::bench
+
+int main() { return htd::bench::Main(); }

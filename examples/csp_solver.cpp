@@ -1,0 +1,94 @@
+// csp_solver: structural CSP solving via hypertree decompositions (the
+// paper's second motivating application). A graph-colouring CSP is encoded
+// as constraint relations; the constraint hypergraph is decomposed and the
+// CSP solved by HD-guided join evaluation.
+//
+//   $ ./build/examples/csp_solver
+#include <cstdio>
+#include <string>
+
+#include "core/hybrid.h"
+#include "cq/database.h"
+#include "cq/query.h"
+#include "cq/yannakakis.h"
+
+namespace {
+
+// Builds the "neq" relation over a colour domain: all (a, b) with a != b.
+htd::cq::Relation NotEqualRelation(const std::string& name, int colours) {
+  htd::cq::Relation relation;
+  relation.name = name;
+  relation.arity = 2;
+  for (int a = 0; a < colours; ++a) {
+    for (int b = 0; b < colours; ++b) {
+      if (a != b) relation.tuples.push_back({a, b});
+    }
+  }
+  return relation;
+}
+
+}  // namespace
+
+int main() {
+  // CSP: properly 3-colour a wheel-like graph — a cycle x0..x7 plus two hub
+  // vertices each adjacent to half the cycle. Every edge is a "neq"
+  // constraint between adjacent vertices.
+  const int kColours = 3;
+  std::string csp;
+  for (int i = 0; i < 8; ++i) {
+    if (!csp.empty()) csp += ", ";
+    csp += "neq(X" + std::to_string(i) + ",X" + std::to_string((i + 1) % 8) + ")";
+  }
+  for (int i = 0; i < 4; ++i) {
+    csp += ", neq(H0,X" + std::to_string(i) + ")";
+    csp += ", neq(H1,X" + std::to_string(i + 4) + ")";
+  }
+  csp += ", neq(H0,H1).";
+
+  auto query = htd::cq::ParseQuery(csp);
+  if (!query.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", query.status().message().c_str());
+    return 1;
+  }
+  std::printf("CSP: %zu binary neq-constraints over 10 variables, %d colours\n",
+              query->atoms.size(), kColours);
+
+  htd::cq::Database db;
+  db.AddRelation(NotEqualRelation("neq", kColours));
+
+  // Decompose the constraint hypergraph with the hybrid solver.
+  htd::Hypergraph graph = htd::cq::QueryHypergraph(*query);
+  std::unique_ptr<htd::HdSolver> solver = htd::MakeDefaultHybrid();
+  htd::OptimalRun run = htd::FindOptimalWidth(*solver, graph, 10);
+  if (run.outcome != htd::Outcome::kYes) {
+    std::fprintf(stderr, "decomposition failed\n");
+    return 1;
+  }
+  std::printf("constraint hypergraph: |V| = %d, |E| = %d, hypertree width = %d\n",
+              graph.num_vertices(), graph.num_edges(), run.width);
+
+  auto result = htd::cq::EvaluateWithDecomposition(*query, db, *run.decomposition);
+  if (!result.ok()) {
+    std::fprintf(stderr, "evaluation error: %s\n", result.status().message().c_str());
+    return 1;
+  }
+  if (!result->satisfiable) {
+    std::printf("CSP is unsatisfiable with %d colours\n", kColours);
+    return 0;
+  }
+  std::printf("solution found:\n");
+  for (const auto& [variable, value] : result->witness) {
+    std::printf("  %s = colour %lld\n", variable.c_str(),
+                static_cast<long long>(value));
+  }
+  // Sanity: verify every constraint.
+  for (const htd::cq::Atom& atom : query->atoms) {
+    if (result->witness.at(atom.variables[0]) ==
+        result->witness.at(atom.variables[1])) {
+      std::fprintf(stderr, "constraint violated!\n");
+      return 1;
+    }
+  }
+  std::printf("all %zu constraints verified\n", query->atoms.size());
+  return 0;
+}

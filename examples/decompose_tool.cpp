@@ -1,0 +1,195 @@
+// decompose_tool: command-line hypertree decomposition, mirroring the
+// original log-k-decomp release's CLI.
+//
+//   decompose_tool [FILE] [-k WIDTH] [-a logk|detk|hybrid|basic|ghd|opt]
+//                  [-t THREADS] [--timeout SECONDS] [-o text|gml|json]
+//                  [--prep] [--cache] [--normalize]
+//
+// FILE may be in HyperBench ("R(x,y),...") or PACE ("p htd n m") format;
+// without arguments a built-in demo instance is decomposed. With -a opt the
+// width parameter is ignored and the optimal width is computed. --prep
+// applies the width-preserving reductions before solving, --cache enables
+// the negative subproblem cache, --normalize post-processes the HD into the
+// paper's minimal-χ normal form (Theorem 3.6).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "baselines/balsep_ghd.h"
+#include "decomp/decomp_writer.h"
+#include "baselines/det_k_decomp.h"
+#include "baselines/opt_solver.h"
+#include "core/hybrid.h"
+#include "core/log_k_decomp.h"
+#include "core/log_k_decomp_basic.h"
+#include "decomp/normal_form.h"
+#include "decomp/validation.h"
+#include "hypergraph/parser.h"
+#include "prep/prep_solver.h"
+#include "util/cancel.h"
+
+namespace {
+
+constexpr const char* kDemo =
+    "% demo: 2x4 grid\n"
+    "h1(a,b), h2(b,c), h3(c,d), h4(e,f), h5(f,g), h6(g,h),"
+    "v1(a,e), v2(b,f), v3(c,g), v4(d,h).";
+
+void Usage() {
+  std::printf(
+      "usage: decompose_tool [FILE] [-k WIDTH] [-a logk|detk|hybrid|basic|ghd|opt]\n"
+      "                      [-t THREADS] [--timeout SECONDS] [-o text|gml|json]\n"
+      "                      [--prep] [--cache] [--normalize]\n"
+      "Without FILE, a built-in demo instance is used.\n\n");
+}
+
+std::string Render(const std::string& format, const htd::Hypergraph& graph,
+                   const htd::Decomposition& decomp) {
+  if (format == "gml") return htd::WriteDecompositionGml(graph, decomp);
+  if (format == "json") return htd::WriteDecompositionJson(graph, decomp) + "\n";
+  return decomp.ToString(graph);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  std::string algo = "logk";
+  std::string output_format = "text";
+  int k = 2;
+  int threads = 1;
+  double timeout = 0;
+  bool use_prep = false;
+  bool use_cache = false;
+  bool normalize = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-k") {
+      k = std::atoi(next());
+    } else if (arg == "-a") {
+      algo = next();
+    } else if (arg == "-t") {
+      threads = std::atoi(next());
+    } else if (arg == "-o") {
+      output_format = next();
+    } else if (arg == "--timeout") {
+      timeout = std::atof(next());
+    } else if (arg == "--prep") {
+      use_prep = true;
+    } else if (arg == "--cache") {
+      use_cache = true;
+    } else if (arg == "--normalize") {
+      normalize = true;
+    } else if (arg == "-h" || arg == "--help") {
+      Usage();
+      return 0;
+    } else {
+      file = arg;
+    }
+  }
+  if (k < 1 || threads < 1) {
+    std::fprintf(stderr, "invalid -k or -t value\n");
+    return 2;
+  }
+
+  auto parsed = file.empty() ? htd::ParseAuto(kDemo) : htd::ParseFile(file);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().message().c_str());
+    return 1;
+  }
+  const htd::Hypergraph& graph = *parsed;
+  if (file.empty()) {
+    Usage();
+    std::printf("decomposing built-in demo (2x4 grid, 10 edges):\n");
+  }
+  std::printf("instance: |V| = %d, |E| = %d\n", graph.num_vertices(),
+              graph.num_edges());
+
+  htd::util::CancelToken cancel;
+  if (timeout > 0) cancel.SetTimeout(std::chrono::duration<double>(timeout));
+  htd::SolveOptions options;
+  options.num_threads = threads;
+  options.cancel = timeout > 0 ? &cancel : nullptr;
+  options.enable_cache = use_cache;
+
+  if (algo == "opt") {
+    htd::OptimalSolver solver(options);
+    htd::OptimalRun run = solver.FindOptimal(graph);
+    if (run.outcome != htd::Outcome::kYes) {
+      std::printf("result: %s\n",
+                  run.outcome == htd::Outcome::kCancelled ? "timeout" : "width > 64");
+      return 1;
+    }
+    std::printf("optimal hypertree width: %d (%.3fs)\n%s", run.width, run.seconds,
+                Render(output_format, graph, *run.decomposition).c_str());
+    return 0;
+  }
+
+  std::unique_ptr<htd::HdSolver> solver;
+  if (algo == "logk") {
+    solver = std::make_unique<htd::LogKDecomp>(options);
+  } else if (algo == "detk") {
+    solver = std::make_unique<htd::DetKDecomp>(options);
+  } else if (algo == "hybrid") {
+    solver = htd::MakeDefaultHybrid(options);
+  } else if (algo == "basic") {
+    solver = std::make_unique<htd::LogKDecompBasic>(options);
+  } else if (algo == "ghd") {
+    solver = std::make_unique<htd::BalSepGhd>(options);
+  } else {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", algo.c_str());
+    return 2;
+  }
+  if (use_prep) solver = htd::MakePreprocessingSolver(std::move(solver));
+
+  std::printf("algorithm: %s, k = %d, threads = %d\n", solver->name().c_str(), k,
+              threads);
+  htd::SolveResult result = solver->Solve(graph, k);
+  if (normalize && result.outcome == htd::Outcome::kYes &&
+      result.decomposition.has_value() && algo != "ghd") {
+    auto normal = htd::NormalizeHd(graph, *result.decomposition);
+    if (normal.ok()) {
+      result.decomposition = std::move(normal).value();
+      std::printf("(normalized into minimal-chi normal form, Def. 3.5)\n");
+    } else {
+      std::fprintf(stderr, "normalization failed: %s\n",
+                   normal.status().message().c_str());
+    }
+  }
+  switch (result.outcome) {
+    case htd::Outcome::kYes: {
+      std::printf("result: width <= %d HOLDS (%.3fs, %ld separators tried)\n", k,
+                  result.stats.seconds, result.stats.separators_tried);
+      if (result.decomposition.has_value()) {
+        std::printf("%s", Render(output_format, graph, *result.decomposition).c_str());
+        htd::Validation validation =
+            algo == "ghd" ? htd::ValidateGhd(graph, *result.decomposition)
+                          : htd::ValidateHdWithWidth(graph, *result.decomposition, k);
+        std::printf("validation: %s\n",
+                    validation.ok ? "OK" : validation.error.c_str());
+        return validation.ok ? 0 : 1;
+      }
+      return 0;
+    }
+    case htd::Outcome::kNo:
+      std::printf("result: no decomposition of width <= %d exists%s\n", k,
+                  algo == "ghd" ? " in the balanced search space" : "");
+      return 0;
+    case htd::Outcome::kCancelled:
+      std::printf("result: timeout\n");
+      return 1;
+    default:
+      std::printf("result: internal error\n");
+      return 1;
+  }
+}

@@ -1,0 +1,81 @@
+// query_planner: the paper's §1 motivation end to end — evaluate a cyclic
+// conjunctive query by (1) computing a hypertree decomposition of its
+// hypergraph, (2) reducing to an acyclic instance along the decomposition,
+// (3) running Yannakakis' algorithm; compared against brute-force join.
+//
+//   $ ./build/examples/query_planner
+#include <cstdio>
+
+#include "core/log_k_decomp.h"
+#include "cq/database.h"
+#include "cq/query.h"
+#include "cq/yannakakis.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+int main() {
+  // A 6-cycle join query: the classic worst case for join-order optimisers.
+  // The atoms are deliberately listed in a hostile order (R1, R3, R5 share no
+  // variables): a syntax-order backtracking join starts with a cartesian
+  // product, while decomposition-guided evaluation is immune to atom order.
+  auto query = htd::cq::ParseQuery(
+      "R1(A,B), R3(C,D), R5(E,F), R2(B,C), R4(D,E), R6(F,A).");
+  if (!query.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", query.status().message().c_str());
+    return 1;
+  }
+  std::printf("query: 6-cycle join over relations R1..R6 (hostile atom order)\n");
+
+  // Step 1: decompose the query hypergraph (done once, reused per database).
+  htd::Hypergraph graph = htd::cq::QueryHypergraph(*query);
+  htd::LogKDecomp solver;
+  htd::OptimalRun run = htd::FindOptimalWidth(solver, graph, 10);
+  if (run.outcome != htd::Outcome::kYes) {
+    std::fprintf(stderr, "decomposition failed\n");
+    return 1;
+  }
+  std::printf("hypertree width: %d, decomposition with %d nodes\n\n", run.width,
+              run.decomposition->num_nodes());
+
+  // Two random databases; with the hostile atom order the backtracking join
+  // pays a near-cartesian prefix either way, while Yannakakis' cost depends
+  // only on the decomposition.
+  for (bool planted : {true, false}) {
+    htd::util::Rng rng(planted ? 2022 : 2023);
+    htd::cq::Database db = htd::cq::RandomDatabase(
+        rng, *query, /*domain_size=*/60, /*tuples_per_relation=*/150,
+        /*satisfiable_bias=*/planted ? 1.0 : 0.0);
+    std::printf("database %s (150 tuples/relation, domain 60):\n",
+                planted ? "with planted answer" : "fully random");
+
+    htd::util::WallTimer fast_timer;
+    auto fast = htd::cq::EvaluateWithDecomposition(*query, db, *run.decomposition);
+    double fast_seconds = fast_timer.ElapsedSeconds();
+    if (!fast.ok()) {
+      std::fprintf(stderr, "evaluation error: %s\n",
+                   fast.status().message().c_str());
+      return 1;
+    }
+    htd::util::WallTimer slow_timer;
+    auto slow = htd::cq::EvaluateBruteForce(*query, db);
+    double slow_seconds = slow_timer.ElapsedSeconds();
+
+    std::printf("  HD-guided Yannakakis: %s in %.4fs\n",
+                fast->satisfiable ? "satisfiable" : "unsatisfiable", fast_seconds);
+    std::printf("  brute-force join:     %s in %.4fs\n",
+                slow->satisfiable ? "satisfiable" : "unsatisfiable", slow_seconds);
+    if (fast->satisfiable != slow->satisfiable) {
+      std::fprintf(stderr, "MISMATCH between evaluators!\n");
+      return 1;
+    }
+    if (fast->satisfiable) {
+      std::printf("  witness:");
+      for (const char* var : {"A", "B", "C", "D", "E", "F"}) {
+        std::printf(" %s=%lld", var, static_cast<long long>(fast->witness.at(var)));
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,165 @@
+#include "baselines/balsep_ghd.h"
+
+#include <vector>
+
+#include "decomp/components.h"
+#include "decomp/fragment.h"
+#include "decomp/special_edges.h"
+#include "decomp/validation.h"
+#include "util/combinations.h"
+#include "util/timer.h"
+
+namespace htd {
+namespace {
+
+enum class GhdStatus { kFound, kNotFound, kStopped };
+
+class GhdEngine {
+ public:
+  GhdEngine(const Hypergraph& graph, int k, const SolveOptions& options,
+            StatsCounters& stats)
+      : graph_(graph),
+        registry_(graph.num_vertices()),
+        k_(k),
+        options_(options),
+        stats_(stats) {}
+
+  GhdStatus Decompose(const ExtendedSubhypergraph& comp,
+                      const util::DynamicBitset& conn, int depth,
+                      Fragment& fragment, int parent_node) {
+    stats_.recursive_calls.fetch_add(1, std::memory_order_relaxed);
+    stats_.UpdateMaxDepth(depth);
+    if (ShouldStop()) return GhdStatus::kStopped;
+
+    const util::DynamicBitset vertices = VerticesOf(graph_, registry_, comp);
+    // Base case: the whole component fits under one node.
+    if (comp.edge_count <= k_) {
+      int node = fragment.AddNode(comp.edges.ToVector(), vertices);
+      if (parent_node >= 0) {
+        fragment.AddChild(parent_node, node);
+      } else {
+        fragment.SetRoot(node);
+      }
+      return GhdStatus::kFound;
+    }
+
+    const int total = comp.size();
+    // Candidate λ-edges with the component's own edges first: the fallback
+    // pass needs the "at least one component edge" restriction for
+    // termination (see below), which the first-element bound provides.
+    std::vector<int> candidates;
+    comp.edges.ForEach([&](int e) { candidates.push_back(e); });
+    const int num_own = static_cast<int>(candidates.size());
+    for (int e = 0; e < graph_.num_edges(); ++e) {
+      if (!comp.edges.Test(e) && graph_.edge_vertices(e).Intersects(vertices)) {
+        candidates.push_back(e);
+      }
+    }
+    const int n = static_cast<int>(candidates.size());
+
+    // Pass 1 (the defining BalancedGo move): balanced separators only —
+    // every component at most half, guaranteeing logarithmic recursion.
+    // Pass 2 (fallback, replacing BalancedGo's special-edge machinery):
+    // any separator covering Conn; λ must contain a component edge, so the
+    // covered edge shrinks every subproblem and the recursion terminates.
+    for (bool require_balanced : {true, false}) {
+      const int first_limit = require_balanced ? n : num_own;
+      std::vector<int> lambda;
+      for (const util::SubsetChunk& chunk :
+           util::MakeSubsetChunks(n, k_, first_limit)) {
+        util::FixedFirstEnumerator enumerator(n, chunk.size, chunk.first);
+        while (enumerator.Next()) {
+          if (ShouldStop()) return GhdStatus::kStopped;
+          stats_.separators_tried.fetch_add(1, std::memory_order_relaxed);
+          lambda.clear();
+          for (int idx : enumerator.indices()) lambda.push_back(candidates[idx]);
+          util::DynamicBitset lambda_union = graph_.UnionOfEdges(lambda);
+          if (!conn.IsSubsetOf(lambda_union)) continue;
+
+          ComponentSplit split =
+              SplitComponents(graph_, registry_, comp, lambda_union);
+          if (require_balanced && split.MaxComponentSize() * 2 > total) continue;
+
+          util::DynamicBitset chi = lambda_union & vertices;
+          // Tentatively build this node and its subtree; roll back on failure.
+          const int checkpoint = fragment.num_nodes();
+          int node = fragment.AddNode(lambda, chi);
+          bool ok = true;
+          for (size_t i = 0; i < split.components.size() && ok; ++i) {
+            util::DynamicBitset child_conn = split.component_vertices[i] & chi;
+            GhdStatus sub = Decompose(split.components[i], child_conn, depth + 1,
+                                      fragment, node);
+            if (sub == GhdStatus::kStopped) return sub;
+            if (sub == GhdStatus::kNotFound) ok = false;
+          }
+          if (!ok) {
+            fragment.TruncateTo(checkpoint);
+            continue;
+          }
+          if (parent_node >= 0) {
+            fragment.AddChild(parent_node, node);
+          } else {
+            fragment.SetRoot(node);
+          }
+          return GhdStatus::kFound;
+        }
+      }
+    }
+    return GhdStatus::kNotFound;
+  }
+
+ private:
+  bool ShouldStop() const {
+    return options_.cancel != nullptr && options_.cancel->ShouldStop();
+  }
+
+  const Hypergraph& graph_;
+  SpecialEdgeRegistry registry_;
+  const int k_;
+  const SolveOptions& options_;
+  StatsCounters& stats_;
+};
+
+}  // namespace
+
+SolveResult BalSepGhd::Solve(const Hypergraph& graph, int k) {
+  util::WallTimer timer;
+  SolveResult result;
+  if (graph.num_edges() == 0) {
+    result.outcome = Outcome::kYes;
+    result.decomposition = Decomposition();
+    result.stats.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+  StatsCounters counters;
+  GhdEngine engine(graph, k, options_, counters);
+  Fragment fragment;
+  ExtendedSubhypergraph full = ExtendedSubhypergraph::FullGraph(graph);
+  util::DynamicBitset empty_conn(graph.num_vertices());
+  GhdStatus status = engine.Decompose(full, empty_conn, 0, fragment, -1);
+  result.stats = counters.Snapshot();
+  result.stats.seconds = timer.ElapsedSeconds();
+  switch (status) {
+    case GhdStatus::kStopped:
+      result.outcome = Outcome::kCancelled;
+      break;
+    case GhdStatus::kNotFound:
+      result.outcome = Outcome::kNo;  // for this incomplete search space
+      break;
+    case GhdStatus::kFound: {
+      result.outcome = Outcome::kYes;
+      result.decomposition = fragment.ToDecomposition();
+      if (options_.validate_result) {
+        Validation validation = ValidateGhd(graph, *result.decomposition);
+        if (!validation.ok || result.decomposition->Width() > k) {
+          result.outcome = Outcome::kError;
+          result.decomposition.reset();
+        }
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace htd

@@ -1,0 +1,167 @@
+#include "baselines/det_k_decomp.h"
+
+#include <algorithm>
+
+#include "core/search_steps.h"
+#include "decomp/validation.h"
+#include "util/combinations.h"
+#include "util/timer.h"
+
+namespace htd {
+
+DetKEngine::DetKEngine(const Hypergraph& graph, SpecialEdgeRegistry& registry, int k,
+                       const SolveOptions& options, StatsCounters& stats)
+    : graph_(graph), registry_(registry), k_(k), options_(options), stats_(stats) {
+  HTD_CHECK_GE(k, 1);
+}
+
+SearchOutcome DetKEngine::Decompose(const ExtendedSubhypergraph& comp,
+                                    const util::DynamicBitset& conn,
+                                    const util::DynamicBitset& allowed, int depth) {
+  stats_.recursive_calls.fetch_add(1, std::memory_order_relaxed);
+  stats_.UpdateMaxDepth(depth);
+  if (ShouldStop()) return SearchOutcome::Stopped();
+
+  const util::DynamicBitset vertices = VerticesOf(graph_, registry_, comp);
+
+  // Base case: few enough edges, no special edges -> one node covers all.
+  if (comp.edge_count <= k_ && comp.specials.empty()) {
+    Fragment fragment;
+    std::vector<int> lambda = comp.edges.ToVector();
+    if (lambda.empty()) {
+      // Empty subproblem (only possible for an empty input hypergraph).
+      return SearchOutcome::Found(Fragment());
+    }
+    int root = fragment.AddNode(std::move(lambda), vertices);
+    fragment.SetRoot(root);
+    return SearchOutcome::Found(std::move(fragment));
+  }
+  // Base case: a single special edge becomes a leaf.
+  if (comp.edge_count == 0 && comp.specials.size() == 1) {
+    Fragment fragment;
+    int special = comp.specials[0];
+    int root = fragment.AddSpecialLeaf(special, registry_.vertices(special));
+    fragment.SetRoot(root);
+    return SearchOutcome::Found(std::move(fragment));
+  }
+  // Negative base case (App. C): no edges left means no λ-label can make
+  // progress, so two or more special edges cannot be separated.
+  if (comp.edge_count == 0) return SearchOutcome::NotFound();
+
+  CacheKey key{comp.edges, comp.specials, conn, allowed};
+  if (CacheLookup(key)) {
+    stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    return SearchOutcome::NotFound();
+  }
+
+  // Candidate λ-edges: allowed edges touching the component, with the
+  // component's own edges first. Ordered-first-element enumeration then
+  // enforces "at least one new edge in λ" for free.
+  std::vector<int> candidates;
+  allowed.ForEach([&](int e) {
+    if (comp.edges.Test(e)) candidates.push_back(e);
+  });
+  const int num_new = static_cast<int>(candidates.size());
+  allowed.ForEach([&](int e) {
+    if (!comp.edges.Test(e) && graph_.edge_vertices(e).Intersects(vertices)) {
+      candidates.push_back(e);
+    }
+  });
+  const int n = static_cast<int>(candidates.size());
+
+  std::vector<int> lambda;
+  for (const util::SubsetChunk& chunk : util::MakeSubsetChunks(n, k_, num_new)) {
+    util::FixedFirstEnumerator enumerator(n, chunk.size, chunk.first);
+    while (enumerator.Next()) {
+      if (ShouldStop()) return SearchOutcome::Stopped();
+      stats_.separators_tried.fetch_add(1, std::memory_order_relaxed);
+      AddSearchStep();
+      lambda.clear();
+      for (int idx : enumerator.indices()) lambda.push_back(candidates[idx]);
+
+      util::DynamicBitset lambda_union = graph_.UnionOfEdges(lambda);
+      if (!conn.IsSubsetOf(lambda_union)) continue;
+      // Minimal χ (normal-form condition 3): vertices of λ inside the
+      // component. Progress is guaranteed: λ contains a component edge e, and
+      // e ⊆ ⋃λ ∩ V(comp) = χ.
+      util::DynamicBitset chi = lambda_union & vertices;
+
+      ComponentSplit split = SplitComponents(graph_, registry_, comp, chi);
+      std::vector<Fragment> child_fragments;
+      child_fragments.reserve(split.components.size());
+      bool failed = false;
+      for (size_t i = 0; i < split.components.size(); ++i) {
+        util::DynamicBitset child_conn = split.component_vertices[i] & chi;
+        SearchOutcome child =
+            Decompose(split.components[i], child_conn, allowed, depth + 1);
+        if (child.status == SearchStatus::kStopped) return child;
+        if (child.status == SearchStatus::kNotFound) {
+          failed = true;
+          break;
+        }
+        child_fragments.push_back(std::move(child.fragment));
+      }
+      if (failed) continue;
+
+      Fragment fragment;
+      int root = fragment.AddNode(lambda, chi);
+      fragment.SetRoot(root);
+      for (int s : split.covered.specials) {
+        int leaf = fragment.AddSpecialLeaf(s, registry_.vertices(s));
+        fragment.AddChild(root, leaf);
+      }
+      for (const Fragment& child : child_fragments) {
+        fragment.Graft(child, root);
+      }
+      return SearchOutcome::Found(std::move(fragment));
+    }
+  }
+
+  CacheInsert(std::move(key));
+  return SearchOutcome::NotFound();
+}
+
+SolveResult DetKDecomp::Solve(const Hypergraph& graph, int k) {
+  util::WallTimer timer;
+  SolveResult result;
+  if (graph.num_edges() == 0) {
+    // The empty hypergraph has the empty HD (width 0).
+    result.outcome = Outcome::kYes;
+    result.decomposition = Decomposition();
+    result.stats.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+  StatsCounters counters;
+  SpecialEdgeRegistry registry(graph.num_vertices());
+  DetKEngine engine(graph, registry, k, options_, counters);
+
+  ExtendedSubhypergraph full = ExtendedSubhypergraph::FullGraph(graph);
+  util::DynamicBitset empty_conn(graph.num_vertices());
+  SearchOutcome outcome = engine.Decompose(full, empty_conn, graph.AllEdges(), 0);
+
+  result.stats = counters.Snapshot();
+  result.stats.seconds = timer.ElapsedSeconds();
+  switch (outcome.status) {
+    case SearchStatus::kStopped:
+      result.outcome = Outcome::kCancelled;
+      break;
+    case SearchStatus::kNotFound:
+      result.outcome = Outcome::kNo;
+      break;
+    case SearchStatus::kFound: {
+      result.outcome = Outcome::kYes;
+      result.decomposition = outcome.fragment.ToDecomposition();
+      if (options_.validate_result) {
+        Validation validation = ValidateHdWithWidth(graph, *result.decomposition, k);
+        if (!validation.ok) {
+          result.outcome = Outcome::kError;
+          result.decomposition.reset();
+        }
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace htd

@@ -1,0 +1,197 @@
+#include "benchlib/corpus.h"
+
+#include "hypergraph/generators.h"
+#include "util/rng.h"
+
+namespace htd::bench {
+
+std::string OriginName(Origin origin) {
+  return origin == Origin::kApplication ? "Application" : "Synthetic";
+}
+
+std::string SizeBinName(SizeBin bin) {
+  switch (bin) {
+    case SizeBin::kUpTo10:
+      return "|E| <= 10";
+    case SizeBin::k10To50:
+      return "10 < |E| <= 50";
+    case SizeBin::k50To75:
+      return "50 < |E| <= 75";
+    case SizeBin::k75To100:
+      return "75 < |E| <= 100";
+    case SizeBin::kOver100:
+      return "|E| > 100";
+  }
+  return "?";
+}
+
+SizeBin BinForEdgeCount(int num_edges) {
+  if (num_edges <= 10) return SizeBin::kUpTo10;
+  if (num_edges <= 50) return SizeBin::k10To50;
+  if (num_edges <= 75) return SizeBin::k50To75;
+  if (num_edges <= 100) return SizeBin::k75To100;
+  return SizeBin::kOver100;
+}
+
+namespace {
+
+void Add(std::vector<Instance>& corpus, std::string name, Origin origin,
+         Hypergraph graph, std::optional<int> known_width = std::nullopt) {
+  corpus.push_back(Instance{std::move(name), origin, std::move(graph), known_width});
+}
+
+}  // namespace
+
+std::vector<Instance> BuildHyperBenchLikeCorpus(const CorpusConfig& config) {
+  std::vector<Instance> corpus;
+  util::Rng rng(config.seed);
+
+  for (int rep = 0; rep < config.scale; ++rep) {
+    const std::string tag = config.scale > 1 ? "-r" + std::to_string(rep) : "";
+
+    // ---- Application instances: CQ-shaped, mostly small and low width. ----
+    // |E| <= 10: tiny queries — acyclic chains/stars and small cycles.
+    for (int n : {3, 4, 5, 6, 8, 9}) {
+      Add(corpus, "app-path-" + std::to_string(n) + tag, Origin::kApplication,
+          MakePath(n + 1), 1);
+      Add(corpus, "app-cycle-" + std::to_string(n) + tag, Origin::kApplication,
+          MakeCycle(n), 2);
+    }
+    for (int n : {4, 6, 8, 10}) {
+      Add(corpus, "app-star-" + std::to_string(n) + tag, Origin::kApplication,
+          MakeStar(n), 1);
+    }
+    for (int atoms : {4, 6, 8, 10}) {
+      util::Rng child = rng.Fork();
+      Add(corpus, "app-acq-" + std::to_string(atoms) + tag, Origin::kApplication,
+          MakeAcyclicQuery(child, atoms, 4), 1);
+    }
+    // 10 < |E| <= 50: mid-size CQs with mild cyclicity.
+    for (int atoms : {12, 18, 24, 30, 40, 48}) {
+      util::Rng child = rng.Fork();
+      Add(corpus, "app-cq-" + std::to_string(atoms) + tag, Origin::kApplication,
+          MakeRandomCq(child, atoms, 4, 0.25));
+    }
+    for (int n : {12, 20, 32, 44}) {
+      Add(corpus, "app-bigcycle-" + std::to_string(n) + tag, Origin::kApplication,
+          MakeCycle(n), 2);
+    }
+    // 50 < |E| <= 75: large workloads, still query-like. The cq instances
+    // here are solvable by every method but separate them on runtime; the
+    // chorded acyclic queries sit at det-k's cliff edge.
+    for (int atoms : {56, 62, 70}) {
+      util::Rng child = rng.Fork();
+      Add(corpus, "app-bigcq-" + std::to_string(atoms) + tag, Origin::kApplication,
+          MakeRandomCq(child, atoms, 3, 0.10));
+    }
+    for (int atoms : {58, 66}) {
+      util::Rng child = rng.Fork();
+      Add(corpus, "app-chordacq-" + std::to_string(atoms) + tag,
+          Origin::kApplication,
+          AddRandomChords(MakeAcyclicQuery(child, atoms, 4), child, 3));
+    }
+    Add(corpus, "app-bundle-8" + tag, Origin::kApplication, MakeCycleBundle(8, 9),
+        2);
+    // 75 < |E| <= 100: the largest application bin — where the hybrid pulls
+    // ahead of both reference methods.
+    for (int atoms : {80, 88, 95}) {
+      util::Rng child = rng.Fork();
+      Add(corpus, "app-hugecq-" + std::to_string(atoms) + tag, Origin::kApplication,
+          MakeRandomCq(child, atoms, 3, 0.08));
+    }
+    for (int atoms : {82, 90}) {
+      util::Rng child = rng.Fork();
+      Add(corpus, "app-chordacq-" + std::to_string(atoms) + tag,
+          Origin::kApplication,
+          AddRandomChords(MakeAcyclicQuery(child, atoms, 4), child, 4));
+    }
+    Add(corpus, "app-hugebundle-10" + tag, Origin::kApplication,
+        MakeCycleBundle(10, 9), 2);
+
+    // ---- Synthetic instances: CSP-shaped, denser, includes hard cases. ----
+    // |E| <= 10: small CSPs and cliques.
+    for (int c : {6, 8, 10}) {
+      util::Rng child = rng.Fork();
+      Add(corpus, "syn-csp-s" + std::to_string(c) + tag, Origin::kSynthetic,
+          MakeRandomCsp(child, 3 * c, c, 2, 4));
+    }
+    Add(corpus, "syn-k4" + tag, Origin::kSynthetic, MakeClique(4), 2);
+    // 10 < |E| <= 50: grids, hypercycles, mid CSPs.
+    for (int d : {3, 4}) {
+      Add(corpus, "syn-grid-" + std::to_string(d) + tag, Origin::kSynthetic,
+          MakeGrid(d, d + 1));
+    }
+    for (int len : {8, 12, 16}) {
+      Add(corpus, "syn-hcycle-" + std::to_string(len) + tag, Origin::kSynthetic,
+          MakeHyperCycle(len, 4, 2));
+    }
+    for (int c : {16, 24, 36}) {
+      util::Rng child = rng.Fork();
+      Add(corpus, "syn-csp-m" + std::to_string(c) + tag, Origin::kSynthetic,
+          MakeRandomCsp(child, 2 * c, c, 2, 5));
+    }
+    Add(corpus, "syn-hcycle40" + tag, Origin::kSynthetic, MakeHyperCycle(40, 3, 1),
+        2);
+    Add(corpus, "syn-k7" + tag, Origin::kSynthetic, MakeClique(7));
+    // 50 < |E| <= 75: chorded cycles (det-k slow, hybrid instant), sparse
+    // CSPs, long hypercycles.
+    for (int n : {60, 68}) {
+      util::Rng child = rng.Fork();
+      Add(corpus, "syn-chordcycle-" + std::to_string(n) + tag, Origin::kSynthetic,
+          AddRandomChords(MakeCycle(n), child, 6));
+    }
+    {
+      util::Rng child = rng.Fork();
+      Add(corpus, "syn-csp-l56" + tag, Origin::kSynthetic,
+          MakeRandomCsp(child, 140, 56, 2, 3));
+    }
+    Add(corpus, "syn-hcycle-l60" + tag, Origin::kSynthetic, MakeHyperCycle(60, 4, 2),
+        2);
+    Add(corpus, "syn-hcycle-l66" + tag, Origin::kSynthetic, MakeHyperCycle(66, 3, 1),
+        2);
+    // 75 < |E| <= 100: the paper's sweet spot for log-k — grids and sparse
+    // CSPs where det-k (and often plain log-k) time out but the hybrid wins.
+    Add(corpus, "syn-grid-4x12" + tag, Origin::kSynthetic, MakeGrid(4, 12));
+    Add(corpus, "syn-grid-4x14" + tag, Origin::kSynthetic, MakeGrid(4, 14));
+    {
+      util::Rng child = rng.Fork();
+      Add(corpus, "syn-csp-xl80" + tag, Origin::kSynthetic,
+          MakeRandomCsp(child, 160, 80, 2, 3));
+    }
+    {
+      util::Rng child = rng.Fork();
+      Add(corpus, "syn-csp-xl90" + tag, Origin::kSynthetic,
+          MakeRandomCsp(child, 240, 90, 2, 4));
+    }
+    Add(corpus, "syn-k13" + tag, Origin::kSynthetic, MakeClique(13));
+    // |E| > 100 (synthetic only, like HyperBench).
+    Add(corpus, "syn-bigbundle" + tag, Origin::kSynthetic, MakeCycleBundle(13, 9), 2);
+    Add(corpus, "syn-grid-4x18" + tag, Origin::kSynthetic, MakeGrid(4, 18));
+    Add(corpus, "syn-grid-5x16" + tag, Origin::kSynthetic, MakeGrid(5, 16));
+    {
+      util::Rng child = rng.Fork();
+      Add(corpus, "syn-csp-xxl" + tag, Origin::kSynthetic,
+          MakeRandomCsp(child, 300, 110, 2, 3));
+    }
+    {
+      util::Rng child = rng.Fork();
+      Add(corpus, "syn-csp-xxl-hard" + tag, Origin::kSynthetic,
+          MakeRandomCsp(child, 150, 105, 2, 4));
+    }
+    Add(corpus, "syn-hugecycle" + tag, Origin::kSynthetic, MakeCycle(110), 2);
+  }
+  return corpus;
+}
+
+std::vector<int> SelectLargeSubset(const std::vector<Instance>& corpus,
+                                   const std::vector<int>& widths) {
+  std::vector<int> selected;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    if (corpus[i].graph.num_edges() <= 50) continue;
+    int width = widths[i];
+    if (width >= 1 && width <= 6) selected.push_back(static_cast<int>(i));
+  }
+  return selected;
+}
+
+}  // namespace htd::bench

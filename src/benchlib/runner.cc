@@ -1,0 +1,93 @@
+#include "benchlib/runner.h"
+
+#include <cstdlib>
+
+#include "baselines/opt_solver.h"
+#include "util/cancel.h"
+#include "util/timer.h"
+
+namespace htd::bench {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  return end != value && parsed > 0 ? parsed : fallback;
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+}  // namespace
+
+RunConfig RunConfig::FromEnv() {
+  RunConfig config;
+  config.timeout_seconds = EnvDouble("HTD_BENCH_TIMEOUT", config.timeout_seconds);
+  config.max_width = EnvInt("HTD_BENCH_MAX_WIDTH", config.max_width);
+  config.num_threads = EnvInt("HTD_BENCH_THREADS", config.num_threads);
+  return config;
+}
+
+int CorpusScaleFromEnv() { return EnvInt("HTD_BENCH_SCALE", 1); }
+
+RunRecord RunOptimalWithTimeout(const SolverFactory& factory, const Hypergraph& graph,
+                                const RunConfig& config) {
+  util::CancelToken cancel;
+  cancel.SetTimeout(std::chrono::duration<double>(config.timeout_seconds));
+  SolveOptions options;
+  options.cancel = &cancel;
+  options.num_threads = config.num_threads;
+  std::unique_ptr<HdSolver> solver = factory(options);
+
+  util::WallTimer timer;
+  OptimalRun run = FindOptimalWidth(*solver, graph, config.max_width);
+  RunRecord record;
+  record.seconds = timer.ElapsedSeconds();
+  if (run.outcome == Outcome::kYes) {
+    record.solved = true;
+    record.width = run.width;
+  } else if (run.outcome == Outcome::kNo) {
+    record.decided_no = true;
+  }
+  return record;
+}
+
+Outcome RunDecisionWithTimeout(const SolverFactory& factory, const Hypergraph& graph,
+                               int k, const RunConfig& config) {
+  util::CancelToken cancel;
+  cancel.SetTimeout(std::chrono::duration<double>(config.timeout_seconds));
+  SolveOptions options;
+  options.cancel = &cancel;
+  options.num_threads = config.num_threads;
+  std::unique_ptr<HdSolver> solver = factory(options);
+  return solver->Solve(graph, k).outcome;
+}
+
+RunRecord RunExactWithTimeout(const Hypergraph& graph, const RunConfig& config) {
+  util::CancelToken cancel;
+  cancel.SetTimeout(std::chrono::duration<double>(config.timeout_seconds));
+  SolveOptions options;
+  options.cancel = &cancel;
+  OptimalSolver solver(options);
+
+  util::WallTimer timer;
+  OptimalRun run = solver.FindOptimal(graph, config.max_width);
+  RunRecord record;
+  record.seconds = timer.ElapsedSeconds();
+  if (run.outcome == Outcome::kYes) {
+    record.solved = true;
+    record.width = run.width;
+  } else if (run.outcome == Outcome::kNo) {
+    record.decided_no = true;
+  }
+  return record;
+}
+
+}  // namespace htd::bench

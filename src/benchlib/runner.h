@@ -1,0 +1,59 @@
+// Benchmark runner: per-instance timeouts and the paper's two metrics.
+//
+// The paper's experiments ran under HTCondor with a 1-hour timeout and
+// report (a) the number of instances solved *optimally* and (b) runtime
+// statistics over solved instances only. The runner reproduces that protocol
+// in-process: each run gets a CancelToken armed with a deadline; solvers
+// poll it cooperatively. Timeout and corpus scale come from the environment
+// (HTD_BENCH_TIMEOUT seconds, HTD_BENCH_SCALE) so the same binaries scale
+// from smoke test to full study.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchlib/corpus.h"
+#include "core/solver.h"
+
+namespace htd::bench {
+
+struct RunConfig {
+  double timeout_seconds = 2.0;
+  int max_width = 10;  ///< the paper probes widths in [1, 10]
+  int num_threads = 1;
+
+  /// Reads HTD_BENCH_TIMEOUT / HTD_BENCH_MAX_WIDTH / HTD_BENCH_THREADS.
+  static RunConfig FromEnv();
+};
+
+/// Reads HTD_BENCH_SCALE (default 1) for corpus sizing.
+int CorpusScaleFromEnv();
+
+struct RunRecord {
+  bool solved = false;     ///< optimal width found and proven within timeout
+  int width = -1;          ///< valid iff solved
+  double seconds = 0.0;    ///< time to the optimal solution (solved only)
+  bool decided_no = false; ///< proven "width > max_width" within the timeout
+};
+
+/// Factory so each run starts from a fresh solver (fresh caches), matching
+/// the per-job isolation of the paper's cluster runs.
+using SolverFactory = std::function<std::unique_ptr<HdSolver>(const SolveOptions&)>;
+
+/// Runs the optimal-width protocol for one instance under a deadline.
+RunRecord RunOptimalWithTimeout(const SolverFactory& factory,
+                                const Hypergraph& graph, const RunConfig& config);
+
+/// Decision variant (Table 4): decide hw ≤ k under a deadline.
+/// Returns kYes / kNo / kCancelled.
+Outcome RunDecisionWithTimeout(const SolverFactory& factory, const Hypergraph& graph,
+                               int k, const RunConfig& config);
+
+/// Runs the optimal-width protocol with the exact solver interface (HtdLEO
+/// stand-in: no width parameter).
+RunRecord RunExactWithTimeout(const Hypergraph& graph, const RunConfig& config);
+
+}  // namespace htd::bench

@@ -1,0 +1,43 @@
+#include "benchlib/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace htd::bench {
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths;
+  for (const auto& row : rows_) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream out;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t i = 0; i < rows_[r].size(); ++i) {
+      if (i > 0) out << "  ";
+      out << rows_[r][i];
+      for (size_t pad = rows_[r][i].size(); pad < widths[i]; ++pad) out << ' ';
+    }
+    out << '\n';
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t i = 0; i < widths.size(); ++i) total += widths[i] + (i > 0 ? 2 : 0);
+      out << std::string(total, '-') << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string Fmt1(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", value);
+  return buffer;
+}
+
+}  // namespace htd::bench

@@ -1,0 +1,22 @@
+// Plain-text table rendering for the benchmark harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace htd::bench {
+
+/// Fixed-width table: first row is the header; columns auto-size.
+class TextTable {
+ public:
+  void AddRow(std::vector<std::string> cells);
+  std::string Render() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the paper's one-decimal convention.
+std::string Fmt1(double value);
+
+}  // namespace htd::bench

@@ -1,0 +1,17 @@
+#include "core/hybrid.h"
+
+namespace htd {
+
+std::unique_ptr<HdSolver> MakeHybridSolver(HybridMetric metric, double threshold,
+                                           SolveOptions base) {
+  base.hybrid_metric = metric;
+  base.hybrid_threshold = threshold;
+  return std::make_unique<LogKDecomp>(std::move(base));
+}
+
+std::unique_ptr<HdSolver> MakeDefaultHybrid(SolveOptions base) {
+  return MakeHybridSolver(HybridMetric::kWeightedCount,
+                          kDefaultWeightedCountThreshold, std::move(base));
+}
+
+}  // namespace htd

@@ -1,0 +1,41 @@
+// Hybrid log-k-decomp ➞ det-k-decomp solver construction (paper §D.2).
+//
+// log-k-decomp splits the instance into balanced subproblems; once a
+// subproblem's complexity metric falls below the threshold, det-k-decomp
+// finishes it. Because the subproblems are independent, this effectively
+// runs the inherently sequential det-k-decomp in parallel — the effect the
+// paper highlights ("we can use an inherently single-threaded algorithm
+// effectively in parallel because we are able to create balanced
+// subproblems").
+//
+// Metrics (on a subproblem H' with width parameter k):
+//   EdgeCount(H')     = |E'| + |Sp|
+//   WeightedCount(H') = (|E'| + |Sp|) * k / avg-arity(E')
+//
+// The paper's best configuration — used as the headline "log-k-decomp
+// Hybrid" of Table 1 — is WeightedCount with threshold 400 (Table 2). That
+// value is calibrated to HyperBench's instance sizes (up to thousands of
+// edges); this repository's offline corpus tops out around 150 edges, so the
+// default below is re-tuned on the corpus exactly as the paper tuned its
+// thresholds on HyperBench (Table 2's bench sweeps the neighbourhood).
+#pragma once
+
+#include <memory>
+
+#include "core/log_k_decomp.h"
+#include "core/solver.h"
+
+namespace htd {
+
+inline constexpr double kDefaultWeightedCountThreshold = 120.0;
+
+/// Builds the hybrid solver; `base` supplies threads / cancellation options.
+std::unique_ptr<HdSolver> MakeHybridSolver(
+    HybridMetric metric = HybridMetric::kWeightedCount,
+    double threshold = kDefaultWeightedCountThreshold, SolveOptions base = {});
+
+/// The headline configuration: WeightedCount at the corpus-tuned default
+/// threshold (the analogue of the paper's T = 400 on HyperBench).
+std::unique_ptr<HdSolver> MakeDefaultHybrid(SolveOptions base = {});
+
+}  // namespace htd

@@ -1,0 +1,32 @@
+// log-k-decomp, basic variant — a faithful transcription of Algorithm 1.
+//
+// Kept alongside the optimised Algorithm 2 implementation for two purposes:
+//  * the ablation benchmark (how much the Appendix C optimisations buy),
+//  * differential testing (both algorithms must agree on hw(H) ≤ k).
+//
+// This variant is a *decision procedure*, exactly as the paper presents it
+// ("we have formulated algorithm log-k-decomp as a decision procedure", §4);
+// use LogKDecomp for constructed, validated decompositions.
+#pragma once
+
+#include "core/search_types.h"
+#include "core/solver.h"
+#include "decomp/components.h"
+#include "decomp/extended_subhypergraph.h"
+#include "decomp/special_edges.h"
+
+namespace htd {
+
+class LogKDecompBasic : public HdSolver {
+ public:
+  explicit LogKDecompBasic(SolveOptions options = {}) : options_(std::move(options)) {}
+
+  /// Decision only: on kYes, `decomposition` stays empty.
+  SolveResult Solve(const Hypergraph& graph, int k) override;
+  std::string name() const override { return "log-k-decomp-basic"; }
+
+ private:
+  SolveOptions options_;
+};
+
+}  // namespace htd

@@ -1,0 +1,43 @@
+#include "core/negative_cache.h"
+
+#include <algorithm>
+
+namespace htd {
+
+bool NegativeCache::ContainsDominating(const ExtendedSubhypergraph& comp,
+                                       const util::DynamicBitset& conn,
+                                       const util::DynamicBitset& allowed) const {
+  Key key{comp.edges, comp.specials, conn};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  for (const util::DynamicBitset& recorded : it->second) {
+    if (allowed.IsSubsetOf(recorded)) return true;
+  }
+  return false;
+}
+
+void NegativeCache::Insert(const ExtendedSubhypergraph& comp,
+                           const util::DynamicBitset& conn,
+                           const util::DynamicBitset& allowed) {
+  Key key{comp.edges, comp.specials, conn};
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<util::DynamicBitset>& recorded = entries_[key];
+  for (const util::DynamicBitset& existing : recorded) {
+    if (allowed.IsSubsetOf(existing)) return;  // already dominated
+  }
+  // Keep the antichain: drop entries the new set dominates.
+  recorded.erase(std::remove_if(recorded.begin(), recorded.end(),
+                                [&](const util::DynamicBitset& existing) {
+                                  return existing.IsSubsetOf(allowed);
+                                }),
+                 recorded.end());
+  recorded.push_back(allowed);
+}
+
+size_t NegativeCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace htd

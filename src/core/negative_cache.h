@@ -1,0 +1,67 @@
+// Thread-safe negative cache for log-k-decomp subproblems.
+//
+// det-k-decomp owes much of its sequential speed to "extensive caching",
+// which the paper singles out as the reason it parallelises badly (§1). This
+// cache lets us measure that trade-off on our own engine: it records
+// subproblems ⟨E', Sp, Conn⟩ for which the search space was exhausted, so an
+// identical subproblem reached through a different (p, c) branch fails
+// immediately.
+//
+// Soundness with allowed-edge sets: Decompose(H', Conn, A) failing only
+// proves that no fragment exists *with λ-labels from A*. A later query with
+// allowed set A ⊆ A_recorded is dominated (its search space is a subset), so
+// a hit requires a recorded superset. Entries per key are kept as an
+// antichain of ⊆-maximal allowed sets.
+//
+// All operations take one global mutex — deliberately so: the measured
+// contention IS the phenomenon the paper describes. The ablation bench
+// (bench/ablation_prep_cache) quantifies it.
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "decomp/extended_subhypergraph.h"
+#include "util/bitset.h"
+
+namespace htd {
+
+class NegativeCache {
+ public:
+  /// True iff a recorded failure dominates the query: identical ⟨E', Sp,
+  /// Conn⟩ and a recorded allowed-set ⊇ `allowed`.
+  bool ContainsDominating(const ExtendedSubhypergraph& comp,
+                          const util::DynamicBitset& conn,
+                          const util::DynamicBitset& allowed) const;
+
+  /// Records that ⟨comp, conn⟩ has no fragment with λ-labels from `allowed`.
+  void Insert(const ExtendedSubhypergraph& comp, const util::DynamicBitset& conn,
+              const util::DynamicBitset& allowed);
+
+  /// Number of distinct ⟨E', Sp, Conn⟩ keys recorded.
+  size_t size() const;
+
+ private:
+  struct Key {
+    util::DynamicBitset edges;
+    std::vector<int> specials;
+    util::DynamicBitset conn;
+    bool operator==(const Key& other) const {
+      return edges == other.edges && specials == other.specials &&
+             conn == other.conn;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      size_t h = key.edges.Hash() * 1000003u + key.conn.Hash();
+      for (int s : key.specials) h = h * 31u + static_cast<size_t>(s) + 0x9e3779b9u;
+      return h;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, std::vector<util::DynamicBitset>, KeyHash> entries_;
+};
+
+}  // namespace htd

@@ -1,0 +1,137 @@
+#include "core/parallel_search.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include "core/search_steps.h"
+#include "util/combinations.h"
+
+namespace htd {
+
+int ThreadBudget::Claim(int want) {
+  if (want <= 0) return 0;
+  int current = available_.load(std::memory_order_relaxed);
+  while (current > 0) {
+    int granted = std::min(current, want);
+    if (available_.compare_exchange_weak(current, current - granted,
+                                         std::memory_order_relaxed)) {
+      return granted;
+    }
+  }
+  return 0;
+}
+
+void ThreadBudget::Release(int count) {
+  if (count > 0) available_.fetch_add(count, std::memory_order_relaxed);
+}
+
+SearchOutcome DriveCandidates(int n, int k, int first_limit, int extra_threads,
+                              int simulate_workers, StatsCounters& stats,
+                              const CandidateFn& try_candidate) {
+  const std::vector<util::SubsetChunk> chunks = util::MakeSubsetChunks(n, k, first_limit);
+  if (chunks.empty()) return SearchOutcome::NotFound();
+
+  if (extra_threads <= 0) {
+    // Sequential: chunks in deterministic (size, first) order. The step
+    // delta covers each candidate's full nested cost (see search_steps.h).
+    // With simulate_workers > 1, per-chunk *effective* costs (nested
+    // searches already collapsed to their own makespans) are list-scheduled
+    // onto virtual workers, mirroring the dynamic chunk claiming of the real
+    // parallel path; this search then collapses to the resulting makespan.
+    const int workers = std::max(1, simulate_workers);
+    std::vector<long> load(workers, 0);
+    const long steps_before = CurrentSearchSteps();
+    const long effective_before = CurrentEffectiveSteps();
+    long accounted = 0;
+    auto assign_chunk = [&](long cost) {
+      auto least = std::min_element(load.begin(), load.end());
+      *least += cost;
+      accounted += cost;
+    };
+    auto account = [&] {
+      // Any work not yet assigned to a chunk (the tail of an early exit).
+      long total_effective = CurrentEffectiveSteps() - effective_before;
+      assign_chunk(total_effective - accounted);
+      long makespan = *std::max_element(load.begin(), load.end());
+      stats.work_total.fetch_add(CurrentSearchSteps() - steps_before,
+                                 std::memory_order_relaxed);
+      stats.work_parallel.fetch_add(makespan, std::memory_order_relaxed);
+      if (workers > 1) CollapseEffectiveSteps(effective_before + makespan);
+    };
+    for (const util::SubsetChunk& chunk : chunks) {
+      const long chunk_start = CurrentEffectiveSteps();
+      util::FixedFirstEnumerator enumerator(n, chunk.size, chunk.first);
+      while (enumerator.Next()) {
+        SearchOutcome outcome = try_candidate(enumerator.indices());
+        if (outcome.status != SearchStatus::kNotFound) {
+          account();
+          return outcome;
+        }
+      }
+      assign_chunk(CurrentEffectiveSteps() - chunk_start);
+    }
+    account();
+    return SearchOutcome::NotFound();
+  }
+
+  // Parallel: workers claim chunks from an atomic cursor; the first
+  // kFound/kStopped outcome wins and stops everyone at the next candidate.
+  const int num_workers = extra_threads + 1;
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<int> done{0};  // 0 = running, 1 = found/stopped
+  std::mutex result_mutex;
+  SearchOutcome result = SearchOutcome::NotFound();
+  std::vector<long> work(num_workers, 0);
+
+  auto worker = [&](int slot) {
+    const long steps_before = CurrentSearchSteps();
+    while (done.load(std::memory_order_relaxed) == 0) {
+      size_t chunk_index = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk_index >= chunks.size()) break;
+      const util::SubsetChunk& chunk = chunks[chunk_index];
+      util::FixedFirstEnumerator enumerator(n, chunk.size, chunk.first);
+      while (enumerator.Next()) {
+        if (done.load(std::memory_order_relaxed) != 0) {
+          work[slot] = CurrentSearchSteps() - steps_before;
+          return;
+        }
+        SearchOutcome outcome = try_candidate(enumerator.indices());
+        if (outcome.status != SearchStatus::kNotFound) {
+          {
+            std::lock_guard<std::mutex> lock(result_mutex);
+            // Keep the first decisive outcome; prefer kFound over kStopped so
+            // a successful worker is not masked by a timeout racing in.
+            if (result.status == SearchStatus::kNotFound ||
+                (result.status == SearchStatus::kStopped &&
+                 outcome.status == SearchStatus::kFound)) {
+              result = std::move(outcome);
+            }
+            done.store(1, std::memory_order_relaxed);
+          }
+          work[slot] = CurrentSearchSteps() - steps_before;
+          return;
+        }
+      }
+    }
+    work[slot] = CurrentSearchSteps() - steps_before;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(extra_threads);
+  for (int t = 1; t < num_workers; ++t) threads.emplace_back(worker, t);
+  worker(0);
+  for (auto& thread : threads) thread.join();
+
+  long total = 0;
+  long max_work = 0;
+  for (long w : work) {
+    total += w;
+    max_work = std::max(max_work, w);
+  }
+  stats.work_total.fetch_add(total, std::memory_order_relaxed);
+  stats.work_parallel.fetch_add(max_work, std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace htd

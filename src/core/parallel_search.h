@@ -1,0 +1,59 @@
+// Parallel candidate-separator search (paper §D.1).
+//
+// The search space of λ-labels is partitioned into (size, first-element)
+// chunks; workers claim chunks from an atomic counter and run the full
+// candidate check — including nested recursion — independently. There is no
+// other inter-thread communication, which is why the paper observes linear
+// scaling: the first worker to find a fragment wins, the rest drain out at
+// the next candidate boundary.
+//
+// A solve-wide ThreadBudget caps the total number of live workers, so nested
+// parallel searches never oversubscribe the machine.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "core/search_types.h"
+#include "core/solver.h"
+
+namespace htd {
+
+class ThreadBudget {
+ public:
+  /// `extra_threads` = workers available beyond the calling thread.
+  explicit ThreadBudget(int extra_threads) : available_(std::max(0, extra_threads)) {}
+
+  /// Claims up to `want` helper threads; returns how many were granted.
+  int Claim(int want);
+  /// Returns previously claimed helpers to the pool.
+  void Release(int count);
+
+ private:
+  std::atomic<int> available_;
+};
+
+/// Signature of a candidate check: receives the candidate's indices into the
+/// caller's candidate-edge list. kNotFound means "this candidate fails";
+/// kFound/kStopped end the whole search.
+using CandidateFn = std::function<SearchOutcome(const std::vector<int>&)>;
+
+/// Tries all subsets S of {0..n-1} with 1 ≤ |S| ≤ k and min(S) < first_limit
+/// on 1 + extra_threads threads. Records search-step work into `stats`:
+/// work_total accumulates every step, work_parallel the longest worker's
+/// share per search (see SolveStats).
+///
+/// `simulate_workers` (> 1, only meaningful with extra_threads == 0) runs the
+/// search sequentially but additionally computes the makespan the solver's
+/// own chunk-scheduling discipline would achieve on that many workers —
+/// chunks are list-scheduled in claim order onto the least-loaded virtual
+/// worker, exactly mirroring the dynamic chunk claiming of the real parallel
+/// path. work_parallel then records the simulated makespan. This is how the
+/// Figure 1 harness demonstrates the paper's scaling argument on single-core
+/// hardware (DESIGN.md §4, substitution 3).
+SearchOutcome DriveCandidates(int n, int k, int first_limit, int extra_threads,
+                              int simulate_workers, StatsCounters& stats,
+                              const CandidateFn& try_candidate);
+
+}  // namespace htd

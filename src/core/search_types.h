@@ -1,0 +1,37 @@
+// Internal tri-state result of recursive Decomp searches.
+//
+// Shared between log-k-decomp and det-k-decomp (the latter doubles as the
+// hybrid's leaf solver, so both speak the same fragment protocol).
+#pragma once
+
+#include <utility>
+
+#include "decomp/fragment.h"
+
+namespace htd {
+
+enum class SearchStatus {
+  kFound,     ///< HD-fragment of width ≤ k exists (attached)
+  kNotFound,  ///< search space exhausted, no fragment exists
+  kStopped,   ///< cancelled — no statement about existence
+};
+
+struct SearchOutcome {
+  SearchStatus status = SearchStatus::kNotFound;
+  Fragment fragment;  ///< valid iff status == kFound
+
+  static SearchOutcome Found(Fragment fragment) {
+    SearchOutcome outcome;
+    outcome.status = SearchStatus::kFound;
+    outcome.fragment = std::move(fragment);
+    return outcome;
+  }
+  static SearchOutcome NotFound() { return SearchOutcome{}; }
+  static SearchOutcome Stopped() {
+    SearchOutcome outcome;
+    outcome.status = SearchStatus::kStopped;
+    return outcome;
+  }
+};
+
+}  // namespace htd

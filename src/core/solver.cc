@@ -1,0 +1,46 @@
+#include "core/solver.h"
+
+#include "util/timer.h"
+
+namespace htd {
+
+namespace {
+
+void Accumulate(SolveStats& into, const SolveStats& from) {
+  into.separators_tried += from.separators_tried;
+  into.recursive_calls += from.recursive_calls;
+  into.max_recursion_depth =
+      std::max(into.max_recursion_depth, from.max_recursion_depth);
+  into.cache_hits += from.cache_hits;
+  into.detk_subproblems += from.detk_subproblems;
+  into.work_total += from.work_total;
+  into.work_parallel += from.work_parallel;
+}
+
+}  // namespace
+
+OptimalRun FindOptimalWidth(HdSolver& solver, const Hypergraph& graph, int max_k) {
+  util::WallTimer timer;
+  OptimalRun run;
+  for (int k = 1; k <= max_k; ++k) {
+    SolveResult result = solver.Solve(graph, k);
+    Accumulate(run.stats, result.stats);
+    if (result.outcome == Outcome::kYes) {
+      run.outcome = Outcome::kYes;
+      run.width = k;
+      run.decomposition = std::move(result.decomposition);
+      run.seconds = timer.ElapsedSeconds();
+      return run;
+    }
+    if (result.outcome != Outcome::kNo) {
+      run.outcome = result.outcome;  // cancelled or error
+      run.seconds = timer.ElapsedSeconds();
+      return run;
+    }
+  }
+  run.outcome = Outcome::kNo;  // width exceeds max_k
+  run.seconds = timer.ElapsedSeconds();
+  return run;
+}
+
+}  // namespace htd

@@ -1,0 +1,57 @@
+#include "cq/database.h"
+
+#include <unordered_map>
+
+namespace htd::cq {
+
+void Database::AddRelation(Relation relation) {
+  relations_[relation.name] = std::move(relation);
+}
+
+const Relation* Database::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Database RandomDatabase(util::Rng& rng, const Query& query, int domain_size,
+                        int tuples_per_relation, double satisfiable_bias) {
+  Database db;
+  // A global assignment that, when planted, satisfies the whole query.
+  std::unordered_map<std::string, int64_t> spine;
+  auto spine_value = [&](const std::string& variable) {
+    auto it = spine.find(variable);
+    if (it != spine.end()) return it->second;
+    int64_t value = rng.UniformInt(0, domain_size - 1);
+    spine.emplace(variable, value);
+    return value;
+  };
+
+  bool plant = rng.Chance(satisfiable_bias);
+  std::unordered_map<std::string, Relation> relations;
+  for (const Atom& atom : query.atoms) {
+    auto [it, inserted] = relations.try_emplace(atom.relation);
+    Relation& rel = it->second;
+    if (inserted) {
+      rel.name = atom.relation;
+      rel.arity = static_cast<int>(atom.variables.size());
+      for (int t = 0; t < tuples_per_relation; ++t) {
+        Tuple tuple(rel.arity);
+        for (auto& cell : tuple) cell = rng.UniformInt(0, domain_size - 1);
+        rel.tuples.push_back(std::move(tuple));
+      }
+    }
+    HTD_CHECK_EQ(rel.arity, static_cast<int>(atom.variables.size()))
+        << "relation " << atom.relation << " used with inconsistent arity";
+    if (plant) {
+      Tuple tuple;
+      for (const std::string& variable : atom.variables) {
+        tuple.push_back(spine_value(variable));
+      }
+      rel.tuples.push_back(std::move(tuple));
+    }
+  }
+  for (auto& [name, rel] : relations) db.AddRelation(std::move(rel));
+  return db;
+}
+
+}  // namespace htd::cq

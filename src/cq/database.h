@@ -1,0 +1,41 @@
+// A minimal in-memory relational store for the CQ/CSP examples and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cq/query.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace htd::cq {
+
+using Tuple = std::vector<int64_t>;
+
+struct Relation {
+  std::string name;
+  int arity = 0;
+  std::vector<Tuple> tuples;
+};
+
+class Database {
+ public:
+  /// Adds (or replaces) a relation.
+  void AddRelation(Relation relation);
+  /// Looks up by name; nullptr if absent.
+  const Relation* Find(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, Relation> relations_;
+};
+
+/// Generates a random database for `query`: one relation per distinct symbol,
+/// `tuples_per_relation` tuples over [0, domain_size). A seeded "spine"
+/// assignment is inserted into every relation with probability
+/// `satisfiable_bias`, controlling whether the instance is likely satisfiable.
+Database RandomDatabase(util::Rng& rng, const Query& query, int domain_size,
+                        int tuples_per_relation, double satisfiable_bias);
+
+}  // namespace htd::cq

@@ -1,0 +1,100 @@
+#include "cq/query.h"
+
+#include <cctype>
+
+namespace htd::cq {
+namespace {
+
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  std::string ReadIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::StatusOr<Query> ParseQuery(const std::string& text) {
+  Scanner scan(text);
+  Query query;
+  while (!scan.AtEnd()) {
+    Atom atom;
+    atom.relation = scan.ReadIdent();
+    if (atom.relation.empty()) {
+      return util::Status::InvalidArgument("expected relation symbol");
+    }
+    if (!scan.Consume('(')) {
+      return util::Status::InvalidArgument("expected '(' after relation '" +
+                                           atom.relation + "'");
+    }
+    for (;;) {
+      std::string variable = scan.ReadIdent();
+      if (variable.empty()) {
+        return util::Status::InvalidArgument("expected variable in atom '" +
+                                             atom.relation + "'");
+      }
+      atom.variables.push_back(variable);
+      if (scan.Consume(',')) continue;
+      break;
+    }
+    if (!scan.Consume(')')) {
+      return util::Status::InvalidArgument("expected ')' closing atom '" +
+                                           atom.relation + "'");
+    }
+    query.atoms.push_back(std::move(atom));
+    if (scan.Consume(',')) continue;
+    if (scan.Consume('.')) break;
+  }
+  if (query.atoms.empty()) {
+    return util::Status::InvalidArgument("query has no atoms");
+  }
+  return query;
+}
+
+Hypergraph QueryHypergraph(const Query& query) {
+  Hypergraph graph;
+  for (size_t i = 0; i < query.atoms.size(); ++i) {
+    std::vector<int> vertices;
+    for (const std::string& variable : query.atoms[i].variables) {
+      vertices.push_back(graph.GetOrAddVertex(variable));
+    }
+    auto added =
+        graph.AddEdge("a" + std::to_string(i) + "_" + query.atoms[i].relation,
+                      vertices);
+    HTD_CHECK(added.ok()) << added.status().message();
+  }
+  return graph;
+}
+
+}  // namespace htd::cq

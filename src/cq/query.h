@@ -1,0 +1,33 @@
+// Conjunctive queries and their hypergraphs.
+//
+// The paper's motivating application (§1, §2): a CQ/CSP is an {∃,∧}-formula;
+// its hypergraph has the variables as vertices and one edge per atom's
+// variable set. Everything downstream (decomposition, Yannakakis) works on
+// that hypergraph with edge id == atom index.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace htd::cq {
+
+struct Atom {
+  std::string relation;                ///< relation symbol
+  std::vector<std::string> variables;  ///< argument list, duplicates allowed
+};
+
+struct Query {
+  std::vector<Atom> atoms;
+};
+
+/// Parses "R(X,Y), S(Y,Z), T(Z,X)." — identifiers for relations/variables,
+/// ','-separated atoms, optional trailing '.'.
+util::StatusOr<Query> ParseQuery(const std::string& text);
+
+/// H_phi: vertex per variable, edge per atom (edge id == atom index).
+Hypergraph QueryHypergraph(const Query& query);
+
+}  // namespace htd::cq

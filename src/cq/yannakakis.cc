@@ -1,0 +1,412 @@
+#include "cq/yannakakis.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace htd::cq {
+namespace {
+
+struct TupleHash {
+  size_t operator()(const Tuple& tuple) const {
+    size_t h = 1469598103934665603ull;
+    for (int64_t v : tuple) {
+      h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+using TupleSet = std::unordered_set<Tuple, TupleHash>;
+
+// A relation over hypergraph vertices (query variables).
+struct VarRel {
+  std::vector<int> vars;      // vertex ids, one per column
+  std::vector<Tuple> tuples;  // aligned with vars
+};
+
+// Positions of `keys` inside `vars` (-1 if absent).
+std::vector<int> Positions(const std::vector<int>& vars, const std::vector<int>& keys) {
+  std::vector<int> positions;
+  positions.reserve(keys.size());
+  for (int key : keys) {
+    auto it = std::find(vars.begin(), vars.end(), key);
+    positions.push_back(it == vars.end() ? -1
+                                         : static_cast<int>(it - vars.begin()));
+  }
+  return positions;
+}
+
+std::vector<int> SharedVars(const std::vector<int>& a, const std::vector<int>& b) {
+  std::vector<int> shared;
+  for (int v : a) {
+    if (std::find(b.begin(), b.end(), v) != b.end()) shared.push_back(v);
+  }
+  return shared;
+}
+
+Tuple ExtractKey(const Tuple& tuple, const std::vector<int>& positions) {
+  Tuple key;
+  key.reserve(positions.size());
+  for (int p : positions) key.push_back(tuple[p]);
+  return key;
+}
+
+// Loads an atom's relation as a VarRel over distinct variables, enforcing
+// equality for repeated variables (e.g. R(X,X)) and deduplicating tuples
+// (set semantics — required for counting to be well defined).
+VarRel AtomRelation(const Atom& atom, const Relation& relation,
+                    const Hypergraph& graph) {
+  VarRel result;
+  TupleSet seen;
+  std::vector<int> columns;  // source column per output column
+  for (size_t i = 0; i < atom.variables.size(); ++i) {
+    int vertex = graph.FindVertex(atom.variables[i]);
+    HTD_CHECK_GE(vertex, 0);
+    if (std::find(result.vars.begin(), result.vars.end(), vertex) ==
+        result.vars.end()) {
+      result.vars.push_back(vertex);
+      columns.push_back(static_cast<int>(i));
+    }
+  }
+  for (const Tuple& tuple : relation.tuples) {
+    // Repeated variables must carry equal values.
+    bool consistent = true;
+    for (size_t i = 0; i < atom.variables.size() && consistent; ++i) {
+      for (size_t j = i + 1; j < atom.variables.size(); ++j) {
+        if (atom.variables[i] == atom.variables[j] && tuple[i] != tuple[j]) {
+          consistent = false;
+          break;
+        }
+      }
+    }
+    if (!consistent) continue;
+    Tuple out;
+    out.reserve(columns.size());
+    for (int c : columns) out.push_back(tuple[c]);
+    if (seen.insert(out).second) result.tuples.push_back(std::move(out));
+  }
+  return result;
+}
+
+VarRel Join(const VarRel& left, const VarRel& right) {
+  std::vector<int> shared = SharedVars(left.vars, right.vars);
+  std::vector<int> left_pos = Positions(left.vars, shared);
+  std::vector<int> right_pos = Positions(right.vars, shared);
+  // Output schema: left vars then right-only vars.
+  VarRel result;
+  result.vars = left.vars;
+  std::vector<int> right_extra;
+  for (size_t i = 0; i < right.vars.size(); ++i) {
+    if (std::find(shared.begin(), shared.end(), right.vars[i]) == shared.end()) {
+      result.vars.push_back(right.vars[i]);
+      right_extra.push_back(static_cast<int>(i));
+    }
+  }
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
+  for (const Tuple& t : right.tuples) {
+    index[ExtractKey(t, right_pos)].push_back(&t);
+  }
+  for (const Tuple& t : left.tuples) {
+    auto it = index.find(ExtractKey(t, left_pos));
+    if (it == index.end()) continue;
+    for (const Tuple* r : it->second) {
+      Tuple out = t;
+      for (int c : right_extra) out.push_back((*r)[c]);
+      result.tuples.push_back(std::move(out));
+    }
+  }
+  return result;
+}
+
+VarRel ProjectTo(const VarRel& rel, const std::vector<int>& vars) {
+  std::vector<int> positions = Positions(rel.vars, vars);
+  for (int p : positions) HTD_CHECK_GE(p, 0);
+  VarRel result;
+  result.vars = vars;
+  TupleSet seen;
+  for (const Tuple& t : rel.tuples) {
+    Tuple out = ExtractKey(t, positions);
+    if (seen.insert(out).second) result.tuples.push_back(std::move(out));
+  }
+  return result;
+}
+
+// Keeps left tuples whose shared-variable key appears in right.
+void SemijoinInPlace(VarRel& left, const VarRel& right) {
+  std::vector<int> shared = SharedVars(left.vars, right.vars);
+  if (shared.empty()) {
+    if (right.tuples.empty()) left.tuples.clear();
+    return;
+  }
+  std::vector<int> left_pos = Positions(left.vars, shared);
+  std::vector<int> right_pos = Positions(right.vars, shared);
+  TupleSet keys;
+  for (const Tuple& t : right.tuples) keys.insert(ExtractKey(t, right_pos));
+  std::erase_if(left.tuples, [&](const Tuple& t) {
+    return keys.count(ExtractKey(t, left_pos)) == 0;
+  });
+}
+
+// Loads atom relations (schema-checked), assigns atoms to covering nodes and
+// materialises each node's relation: join of λ-atoms projected to χ,
+// semijoin-filtered by the atoms assigned to the node. Shared by Boolean
+// evaluation and counting.
+util::StatusOr<std::vector<VarRel>> BuildNodeRelations(const Query& query,
+                                                       const Database& db,
+                                                       const Decomposition& decomp,
+                                                       const Hypergraph& graph) {
+  std::vector<VarRel> atom_rels;
+  atom_rels.reserve(query.atoms.size());
+  for (const Atom& atom : query.atoms) {
+    const Relation* relation = db.Find(atom.relation);
+    if (relation == nullptr) {
+      return util::Status::InvalidArgument("relation '" + atom.relation +
+                                           "' not in database");
+    }
+    if (relation->arity != static_cast<int>(atom.variables.size())) {
+      return util::Status::InvalidArgument("arity mismatch for '" + atom.relation +
+                                           "'");
+    }
+    atom_rels.push_back(AtomRelation(atom, *relation, graph));
+  }
+
+  if (decomp.num_nodes() == 0) {
+    // Empty query hypergraph cannot happen (ParseQuery requires atoms).
+    return util::Status::InvalidArgument("empty decomposition");
+  }
+
+  // Assign every atom to one covering node (HD condition 1 guarantees one).
+  std::vector<std::vector<int>> atoms_at_node(decomp.num_nodes());
+  for (int a = 0; a < graph.num_edges(); ++a) {
+    int home = -1;
+    for (int u = 0; u < decomp.num_nodes() && home < 0; ++u) {
+      if (graph.edge_vertices(a).IsSubsetOf(decomp.node(u).chi)) home = u;
+    }
+    if (home < 0) {
+      return util::Status::InvalidArgument(
+          "decomposition does not cover atom " + std::to_string(a) +
+          " (not a decomposition of this query?)");
+    }
+    atoms_at_node[home].push_back(a);
+  }
+
+  std::vector<VarRel> node_rel(decomp.num_nodes());
+  for (int u = 0; u < decomp.num_nodes(); ++u) {
+    const DecompNode& node = decomp.node(u);
+    HTD_CHECK(!node.lambda.empty());
+    VarRel rel = atom_rels[node.lambda[0]];
+    for (size_t i = 1; i < node.lambda.size(); ++i) {
+      rel = Join(rel, atom_rels[node.lambda[i]]);
+    }
+    rel = ProjectTo(rel, node.chi.ToVector());
+    for (int a : atoms_at_node[u]) SemijoinInPlace(rel, atom_rels[a]);
+    node_rel[u] = std::move(rel);
+  }
+  return node_rel;
+}
+
+}  // namespace
+
+util::StatusOr<EvalResult> EvaluateWithDecomposition(const Query& query,
+                                                     const Database& db,
+                                                     const Decomposition& decomp) {
+  Hypergraph graph = QueryHypergraph(query);
+  auto built = BuildNodeRelations(query, db, decomp, graph);
+  if (!built.ok()) return built.status();
+  std::vector<VarRel> node_rel = std::move(*built);
+
+  // Yannakakis phase 1: bottom-up semijoins.
+  std::function<void(int)> up = [&](int u) {
+    for (int c : decomp.node(u).children) {
+      up(c);
+      SemijoinInPlace(node_rel[u], node_rel[c]);
+    }
+  };
+  up(decomp.root());
+
+  EvalResult result;
+  if (node_rel[decomp.root()].tuples.empty()) return result;  // unsatisfiable
+  result.satisfiable = true;
+
+  // Phase 2: top-down semijoins (makes every node globally consistent).
+  std::function<void(int)> down = [&](int u) {
+    for (int c : decomp.node(u).children) {
+      SemijoinInPlace(node_rel[c], node_rel[u]);
+      down(c);
+    }
+  };
+  down(decomp.root());
+
+  // Witness: choose the root tuple, then per child a tuple agreeing on the
+  // shared variables (one exists after the two sweeps; connectedness makes
+  // the union of choices a consistent assignment).
+  std::unordered_map<int, int64_t> assignment;  // vertex -> value
+  std::function<void(int, const Tuple&)> pick = [&](int u, const Tuple& chosen) {
+    const VarRel& rel = node_rel[u];
+    for (size_t i = 0; i < rel.vars.size(); ++i) assignment[rel.vars[i]] = chosen[i];
+    for (int c : decomp.node(u).children) {
+      const VarRel& child = node_rel[c];
+      std::vector<int> shared = SharedVars(child.vars, rel.vars);
+      std::vector<int> child_pos = Positions(child.vars, shared);
+      std::vector<int> parent_pos = Positions(rel.vars, shared);
+      Tuple want = ExtractKey(chosen, parent_pos);
+      const Tuple* match = nullptr;
+      for (const Tuple& t : child.tuples) {
+        if (ExtractKey(t, child_pos) == want) {
+          match = &t;
+          break;
+        }
+      }
+      HTD_CHECK(match != nullptr) << "semijoin reduction left no consistent tuple";
+      pick(c, *match);
+    }
+  };
+  pick(decomp.root(), node_rel[decomp.root()].tuples.front());
+  for (const auto& [vertex, value] : assignment) {
+    result.witness[graph.vertex_name(vertex)] = value;
+  }
+  return result;
+}
+
+
+util::StatusOr<unsigned long long> CountSolutions(const Query& query,
+                                                  const Database& db,
+                                                  const Decomposition& decomp) {
+  Hypergraph graph = QueryHypergraph(query);
+  auto built = BuildNodeRelations(query, db, decomp, graph);
+  if (!built.ok()) return built.status();
+  std::vector<VarRel> node_rel = std::move(*built);
+
+  // Dynamic program over the decomposition tree (tractable counting via
+  // decompositions; cf. Pichler & Skritek, cited in the paper's intro):
+  // weight(u, t) = product over children c of the summed weights of the
+  // c-tuples consistent with t. Connectedness makes tuple trees correspond
+  // one-to-one to satisfying assignments of all query variables, so the
+  // answer count is the weight sum at the root.
+  std::vector<std::vector<unsigned long long>> weight(decomp.num_nodes());
+  std::function<void(int)> up = [&](int u) {
+    weight[u].assign(node_rel[u].tuples.size(), 1ull);
+    for (int c : decomp.node(u).children) {
+      up(c);
+      const VarRel& child = node_rel[c];
+      const VarRel& mine = node_rel[u];
+      std::vector<int> shared = SharedVars(child.vars, mine.vars);
+      std::vector<int> child_pos = Positions(child.vars, shared);
+      std::vector<int> my_pos = Positions(mine.vars, shared);
+      std::unordered_map<Tuple, unsigned long long, TupleHash> sums;
+      for (size_t i = 0; i < child.tuples.size(); ++i) {
+        sums[ExtractKey(child.tuples[i], child_pos)] += weight[c][i];
+      }
+      for (size_t i = 0; i < mine.tuples.size(); ++i) {
+        auto it = sums.find(ExtractKey(mine.tuples[i], my_pos));
+        weight[u][i] *= it == sums.end() ? 0ull : it->second;
+      }
+    }
+  };
+  up(decomp.root());
+
+  unsigned long long total = 0;
+  for (unsigned long long w : weight[decomp.root()]) total += w;
+  return total;
+}
+
+util::StatusOr<unsigned long long> CountSolutionsBruteForce(const Query& query,
+                                                            const Database& db) {
+  Hypergraph graph = QueryHypergraph(query);
+  std::vector<VarRel> atom_rels;
+  for (const Atom& atom : query.atoms) {
+    const Relation* relation = db.Find(atom.relation);
+    if (relation == nullptr) {
+      return util::Status::InvalidArgument("relation '" + atom.relation +
+                                           "' not in database");
+    }
+    if (relation->arity != static_cast<int>(atom.variables.size())) {
+      return util::Status::InvalidArgument("arity mismatch for '" + atom.relation +
+                                           "'");
+    }
+    atom_rels.push_back(AtomRelation(atom, *relation, graph));
+  }
+  // With set semantics, each satisfying assignment corresponds to exactly
+  // one choice of tuple per atom, so counting leaves counts assignments.
+  std::unordered_map<int, int64_t> assignment;
+  unsigned long long count = 0;
+  std::function<void(size_t)> search = [&](size_t index) {
+    if (index == atom_rels.size()) {
+      ++count;
+      return;
+    }
+    const VarRel& rel = atom_rels[index];
+    for (const Tuple& t : rel.tuples) {
+      bool consistent = true;
+      std::vector<int> newly_bound;
+      for (size_t i = 0; i < rel.vars.size() && consistent; ++i) {
+        auto it = assignment.find(rel.vars[i]);
+        if (it == assignment.end()) {
+          assignment[rel.vars[i]] = t[i];
+          newly_bound.push_back(rel.vars[i]);
+        } else if (it->second != t[i]) {
+          consistent = false;
+        }
+      }
+      if (consistent) search(index + 1);
+      for (int v : newly_bound) assignment.erase(v);
+    }
+  };
+  search(0);
+  return count;
+}
+
+util::StatusOr<EvalResult> EvaluateBruteForce(const Query& query, const Database& db) {
+  Hypergraph graph = QueryHypergraph(query);
+  std::vector<VarRel> atom_rels;
+  for (const Atom& atom : query.atoms) {
+    const Relation* relation = db.Find(atom.relation);
+    if (relation == nullptr) {
+      return util::Status::InvalidArgument("relation '" + atom.relation +
+                                           "' not in database");
+    }
+    if (relation->arity != static_cast<int>(atom.variables.size())) {
+      return util::Status::InvalidArgument("arity mismatch for '" + atom.relation +
+                                           "'");
+    }
+    atom_rels.push_back(AtomRelation(atom, *relation, graph));
+  }
+
+  std::unordered_map<int, int64_t> assignment;
+  std::function<bool(size_t)> search = [&](size_t index) -> bool {
+    if (index == atom_rels.size()) return true;
+    const VarRel& rel = atom_rels[index];
+    for (const Tuple& t : rel.tuples) {
+      bool consistent = true;
+      std::vector<int> newly_bound;
+      for (size_t i = 0; i < rel.vars.size() && consistent; ++i) {
+        auto it = assignment.find(rel.vars[i]);
+        if (it == assignment.end()) {
+          assignment[rel.vars[i]] = t[i];
+          newly_bound.push_back(rel.vars[i]);
+        } else if (it->second != t[i]) {
+          consistent = false;
+        }
+      }
+      if (consistent && search(index + 1)) return true;
+      for (int v : newly_bound) assignment.erase(v);
+    }
+    return false;
+  };
+
+  EvalResult result;
+  result.satisfiable = search(0);
+  if (result.satisfiable) {
+    for (const auto& [vertex, value] : assignment) {
+      result.witness[graph.vertex_name(vertex)] = value;
+    }
+  }
+  return result;
+}
+
+}  // namespace htd::cq

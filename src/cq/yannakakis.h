@@ -1,0 +1,53 @@
+// HD-guided conjunctive-query evaluation (Yannakakis 1981).
+//
+// This is the application that motivates the paper (§1): an HD of width k
+// reduces CQ evaluation to an acyclic instance — each decomposition node
+// materialises the ≤ k-way join of its λ-atoms projected to its bag, atoms
+// are enforced at a covering node, and two semi-join sweeps (bottom-up, then
+// top-down) make the tree globally consistent in time polynomial for fixed
+// k. A witness assignment is then read off top-down.
+//
+// EvaluateBruteForce provides the oracle the tests compare against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cq/database.h"
+#include "cq/query.h"
+#include "decomp/decomposition.h"
+#include "util/status.h"
+
+namespace htd::cq {
+
+struct EvalResult {
+  bool satisfiable = false;
+  /// A satisfying assignment (variable name → value) when satisfiable.
+  std::unordered_map<std::string, int64_t> witness;
+};
+
+/// Evaluates `query` on `db` guided by an HD (or GHD) of the query's
+/// hypergraph. `decomp` must be a decomposition of QueryHypergraph(query).
+/// Fails with InvalidArgument if a relation is missing or arities mismatch.
+util::StatusOr<EvalResult> EvaluateWithDecomposition(const Query& query,
+                                                     const Database& db,
+                                                     const Decomposition& decomp);
+
+/// Baseline: backtracking join over the atoms (exponential; for testing).
+util::StatusOr<EvalResult> EvaluateBruteForce(const Query& query, const Database& db);
+
+/// Counts the satisfying assignments of the (full) CQ under set semantics by
+/// dynamic programming over the decomposition — the tractable counting
+/// application the paper's introduction cites (Pichler & Skritek 2013).
+/// Overflow caveat: the count is returned as unsigned long long.
+util::StatusOr<unsigned long long> CountSolutions(const Query& query,
+                                                  const Database& db,
+                                                  const Decomposition& decomp);
+
+/// Exponential counting oracle for tests.
+util::StatusOr<unsigned long long> CountSolutionsBruteForce(const Query& query,
+                                                            const Database& db);
+
+}  // namespace htd::cq

@@ -1,0 +1,129 @@
+#include "decomp/components.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace htd {
+namespace {
+
+// Small union-find over item indices.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[a] = b;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+int ComponentSplit::MaxComponentSize() const {
+  int max_size = 0;
+  for (const auto& c : components) max_size = std::max(max_size, c.size());
+  return max_size;
+}
+
+int ComponentSplit::FindOversized(int total) const {
+  for (size_t i = 0; i < components.size(); ++i) {
+    if (components[i].size() * 2 > total) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+ComponentSplit SplitComponents(const Hypergraph& graph,
+                               const SpecialEdgeRegistry& registry,
+                               const ExtendedSubhypergraph& sub,
+                               const util::DynamicBitset& separator) {
+  // Item indexing: 0..edge_count-1 are sub's edges (in bitset order), then
+  // one item per special edge.
+  std::vector<int> edge_ids;
+  edge_ids.reserve(sub.edge_count);
+  sub.edges.ForEach([&](int e) { edge_ids.push_back(e); });
+  const int num_edges = static_cast<int>(edge_ids.size());
+  const int num_items = num_edges + static_cast<int>(sub.specials.size());
+
+  UnionFind uf(num_items);
+  std::vector<int> vertex_owner(graph.num_vertices(), -1);
+  std::vector<bool> outside(num_items, false);  // has a vertex outside U
+
+  auto visit = [&](int item, int v) {
+    if (separator.Test(v)) return;
+    outside[item] = true;
+    if (vertex_owner[v] == -1) {
+      vertex_owner[v] = item;
+    } else {
+      uf.Union(item, vertex_owner[v]);
+    }
+  };
+
+  for (int i = 0; i < num_edges; ++i) {
+    for (int v : graph.edge_vertex_list(edge_ids[i])) visit(i, v);
+  }
+  for (size_t s = 0; s < sub.specials.size(); ++s) {
+    int item = num_edges + static_cast<int>(s);
+    registry.vertices(sub.specials[s]).ForEach([&](int v) { visit(item, v); });
+  }
+
+  ComponentSplit split;
+  split.covered.edges = util::DynamicBitset(graph.num_edges());
+  std::vector<int> component_of_root;  // lazily assigned component indices
+
+  std::vector<int> item_component(num_items, -1);
+  std::vector<int> root_to_component(num_items, -1);
+  for (int item = 0; item < num_items; ++item) {
+    if (!outside[item]) continue;  // covered by the separator
+    int root = uf.Find(item);
+    if (root_to_component[root] == -1) {
+      root_to_component[root] = static_cast<int>(split.components.size());
+      ExtendedSubhypergraph comp;
+      comp.edges = util::DynamicBitset(graph.num_edges());
+      split.components.push_back(std::move(comp));
+      split.component_vertices.emplace_back(graph.num_vertices());
+    }
+    item_component[item] = root_to_component[root];
+  }
+
+  for (int i = 0; i < num_edges; ++i) {
+    int e = edge_ids[i];
+    if (item_component[i] == -1) {
+      split.covered.edges.Set(e);
+      ++split.covered.edge_count;
+    } else {
+      auto& comp = split.components[item_component[i]];
+      comp.edges.Set(e);
+      ++comp.edge_count;
+      for (int v : graph.edge_vertex_list(e)) {
+        split.component_vertices[item_component[i]].Set(v);
+      }
+    }
+  }
+  for (size_t s = 0; s < sub.specials.size(); ++s) {
+    int item = num_edges + static_cast<int>(s);
+    int special_id = sub.specials[s];
+    if (item_component[item] == -1) {
+      split.covered.specials.push_back(special_id);
+    } else {
+      auto& comp = split.components[item_component[item]];
+      comp.specials.push_back(special_id);
+      split.component_vertices[item_component[item]].InplaceOr(
+          registry.vertices(special_id));
+    }
+  }
+  return split;
+}
+
+}  // namespace htd

@@ -1,0 +1,43 @@
+// [U]-components of extended subhypergraphs (Definition 3.2).
+//
+// Two (possibly special) edges f1, f2 are [U]-adjacent if (f1 ∩ f2) \ U ≠ ∅;
+// [U]-components are the classes of the transitive closure. Items fully
+// inside U (f ⊆ U) belong to no component — they are "covered" by the
+// separator and returned separately.
+//
+// This is the hottest kernel of every solver: it runs once per candidate
+// separator. The implementation is a single union-find pass over the items'
+// vertices, O(Σ|f| · α).
+#pragma once
+
+#include <vector>
+
+#include "decomp/extended_subhypergraph.h"
+
+namespace htd {
+
+struct ComponentSplit {
+  /// The [U]-components, each with its full vertex set V(component)
+  /// (including vertices inside U) in `component_vertices`.
+  std::vector<ExtendedSubhypergraph> components;
+  std::vector<util::DynamicBitset> component_vertices;
+
+  /// Items f with f ⊆ U: edges here need no further work; special edges here
+  /// must become leaf children of the separator's node.
+  ExtendedSubhypergraph covered;
+
+  /// Size (|E'|+|Sp|) of the largest component; 0 if none.
+  int MaxComponentSize() const;
+
+  /// Index of the unique component with size > half, or -1 if none exists.
+  /// (`half` is compared as: size * 2 > total, i.e. strict majority.)
+  int FindOversized(int total) const;
+};
+
+/// Splits `sub` into [U]-components where U = `separator` (a vertex set).
+ComponentSplit SplitComponents(const Hypergraph& graph,
+                               const SpecialEdgeRegistry& registry,
+                               const ExtendedSubhypergraph& sub,
+                               const util::DynamicBitset& separator);
+
+}  // namespace htd

@@ -1,0 +1,247 @@
+#include "decomp/decomp_reader.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace htd {
+namespace {
+
+using util::Status;
+using util::StatusOr;
+
+/// Minimal recursive-descent scanner for the decomposition JSON schema.
+/// Deliberately not a general JSON library: objects/arrays/strings/ints are
+/// all this format contains, and precise error positions matter more here
+/// than generality.
+class JsonScanner {
+ public:
+  explicit JsonScanner(std::string_view text) : text_(text) {}
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("decomposition JSON, offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AtEnd() {
+    SkipWhitespace();
+    return pos_ >= text_.size();
+  }
+
+  StatusOr<std::string> ParseString() {
+    SkipWhitespace();
+    if (!Consume('"')) return Error("expected string");
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Error("dangling escape");
+        out.push_back(text_[pos_++]);
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) return Error("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  StatusOr<long> ParseInt() {
+    SkipWhitespace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected integer");
+    return std::stol(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  StatusOr<std::vector<std::string>> ParseStringArray() {
+    if (!Consume('[')) return Error("expected '['");
+    std::vector<std::string> items;
+    if (Consume(']')) return items;
+    while (true) {
+      StatusOr<std::string> item = ParseString();
+      if (!item.ok()) return item.status();
+      items.push_back(*std::move(item));
+      if (Consume(']')) return items;
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+struct NodeEntry {
+  long id = -1;
+  long parent = -2;  // -2 = missing
+  std::vector<std::string> lambda;
+  std::vector<std::string> chi;
+};
+
+}  // namespace
+
+StatusOr<Decomposition> ParseDecompositionJson(const Hypergraph& graph,
+                                               std::string_view text) {
+  JsonScanner scanner(text);
+  if (!scanner.Consume('{')) return scanner.Error("expected top-level object");
+
+  long declared_width = -1;
+  std::vector<NodeEntry> entries;
+  bool saw_nodes = false;
+
+  while (true) {
+    StatusOr<std::string> key = scanner.ParseString();
+    if (!key.ok()) return key.status();
+    if (!scanner.Consume(':')) return scanner.Error("expected ':'");
+
+    if (*key == "width") {
+      StatusOr<long> width = scanner.ParseInt();
+      if (!width.ok()) return width.status();
+      declared_width = *width;
+    } else if (*key == "nodes") {
+      saw_nodes = true;
+      if (!scanner.Consume('[')) return scanner.Error("expected '[' after nodes");
+      if (!scanner.Consume(']')) {
+        while (true) {
+          if (!scanner.Consume('{')) return scanner.Error("expected node object");
+          NodeEntry entry;
+          while (true) {
+            StatusOr<std::string> field = scanner.ParseString();
+            if (!field.ok()) return field.status();
+            if (!scanner.Consume(':')) return scanner.Error("expected ':'");
+            if (*field == "id" || *field == "parent") {
+              StatusOr<long> value = scanner.ParseInt();
+              if (!value.ok()) return value.status();
+              (*field == "id" ? entry.id : entry.parent) = *value;
+            } else if (*field == "lambda" || *field == "chi") {
+              StatusOr<std::vector<std::string>> names = scanner.ParseStringArray();
+              if (!names.ok()) return names.status();
+              (*field == "lambda" ? entry.lambda : entry.chi) = *std::move(names);
+            } else {
+              return scanner.Error("unknown node field '" + *field + "'");
+            }
+            if (scanner.Consume('}')) break;
+            if (!scanner.Consume(',')) return scanner.Error("expected ',' or '}'");
+          }
+          entries.push_back(std::move(entry));
+          if (scanner.Consume(']')) break;
+          if (!scanner.Consume(',')) return scanner.Error("expected ',' or ']'");
+        }
+      }
+    } else {
+      return scanner.Error("unknown top-level field '" + *key + "'");
+    }
+    if (scanner.Consume('}')) break;
+    if (!scanner.Consume(',')) return scanner.Error("expected ',' or '}'");
+  }
+  if (!scanner.AtEnd()) return scanner.Error("trailing content");
+  if (!saw_nodes) return Status::InvalidArgument("decomposition JSON: no nodes");
+  if (entries.empty()) {
+    return Status::InvalidArgument("decomposition JSON: empty node list");
+  }
+
+  // Resolve ids: they may appear in any order but must be unique, and parent
+  // references must resolve (exactly one root with parent -1, no cycles).
+  std::map<long, int> id_to_index;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].id < 0) return Status::InvalidArgument("node without valid id");
+    if (entries[i].parent == -2) {
+      return Status::InvalidArgument("node " + std::to_string(entries[i].id) +
+                                     " without parent field");
+    }
+    if (!id_to_index.emplace(entries[i].id, static_cast<int>(i)).second) {
+      return Status::InvalidArgument("duplicate node id " +
+                                     std::to_string(entries[i].id));
+    }
+  }
+
+  int roots = 0;
+  for (const NodeEntry& entry : entries) {
+    if (entry.parent == -1) {
+      ++roots;
+    } else if (id_to_index.count(entry.parent) == 0) {
+      return Status::InvalidArgument("node " + std::to_string(entry.id) +
+                                     " references unknown parent " +
+                                     std::to_string(entry.parent));
+    }
+  }
+  if (roots != 1) {
+    return Status::InvalidArgument("expected exactly one root, found " +
+                                   std::to_string(roots));
+  }
+
+  // Parent-before-child insertion order via DFS from the root; a node never
+  // reached this way sits on a parent cycle.
+  std::vector<std::vector<int>> children(entries.size());
+  int root_index = -1;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].parent == -1) {
+      root_index = static_cast<int>(i);
+    } else {
+      children[id_to_index[entries[i].parent]].push_back(static_cast<int>(i));
+    }
+  }
+  std::vector<int> order;
+  std::function<void(int)> visit = [&](int i) {
+    order.push_back(i);
+    for (int c : children[i]) visit(c);
+  };
+  visit(root_index);
+  if (order.size() != entries.size()) {
+    return Status::InvalidArgument("parent references contain a cycle");
+  }
+
+  Decomposition decomp;
+  std::vector<int> new_id(entries.size(), -1);
+  for (int i : order) {
+    const NodeEntry& entry = entries[i];
+    std::vector<int> lambda;
+    for (const std::string& name : entry.lambda) {
+      int e = graph.FindEdge(name);
+      if (e < 0) return Status::NotFound("unknown edge name '" + name + "'");
+      lambda.push_back(e);
+    }
+    std::sort(lambda.begin(), lambda.end());
+    util::DynamicBitset chi(graph.num_vertices());
+    for (const std::string& name : entry.chi) {
+      int v = graph.FindVertex(name);
+      if (v < 0) return Status::NotFound("unknown vertex name '" + name + "'");
+      chi.Set(v);
+    }
+    int parent_new = entry.parent == -1 ? -1 : new_id[id_to_index[entry.parent]];
+    new_id[i] = decomp.AddNode(std::move(lambda), std::move(chi), parent_new);
+  }
+
+  if (declared_width >= 0 && declared_width != decomp.Width()) {
+    return Status::InvalidArgument(
+        "declared width " + std::to_string(declared_width) +
+        " does not match actual width " + std::to_string(decomp.Width()));
+  }
+  return decomp;
+}
+
+}  // namespace htd

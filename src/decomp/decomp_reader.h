@@ -1,0 +1,27 @@
+// Deserialisation of decompositions (inverse of decomp_writer.h).
+//
+// Reads the JSON document emitted by WriteDecompositionJson back into a
+// Decomposition over a given hypergraph, resolving edge and vertex names.
+// This is what external tooling needs to hand a decomposition back to the
+// library (e.g. to validate a decomposition produced by another system, as
+// examples/validate_tool does): the reader is strict — unknown names,
+// missing roots, forward/dangling parent references and malformed JSON all
+// produce InvalidArgument with a precise message, never a crash.
+#pragma once
+
+#include <string_view>
+
+#include "decomp/decomposition.h"
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace htd {
+
+/// Parses {"width": w, "nodes": [{"id", "parent", "lambda": [edge names],
+/// "chi": [vertex names]}]}. Node ids may appear in any order; exactly one
+/// node must have parent -1. The "width" field, if present, must match the
+/// parsed decomposition's width.
+util::StatusOr<Decomposition> ParseDecompositionJson(const Hypergraph& graph,
+                                                     std::string_view text);
+
+}  // namespace htd

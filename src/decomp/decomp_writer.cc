@@ -1,0 +1,77 @@
+#include "decomp/decomp_writer.h"
+
+#include <sstream>
+
+namespace htd {
+namespace {
+
+std::string JoinLambda(const Hypergraph& graph, const DecompNode& node,
+                       const char* separator) {
+  std::ostringstream out;
+  for (size_t i = 0; i < node.lambda.size(); ++i) {
+    if (i > 0) out << separator;
+    out << graph.edge_name(node.lambda[i]);
+  }
+  return out.str();
+}
+
+std::string JoinChi(const Hypergraph& graph, const DecompNode& node,
+                    const char* separator) {
+  std::ostringstream out;
+  bool first = true;
+  node.chi.ForEach([&](int v) {
+    if (!first) out << separator;
+    out << graph.vertex_name(v);
+    first = false;
+  });
+  return out.str();
+}
+
+}  // namespace
+
+std::string WriteDecompositionGml(const Hypergraph& graph,
+                                  const Decomposition& decomp) {
+  std::ostringstream out;
+  out << "graph [\n  directed 1\n";
+  for (int u = 0; u < decomp.num_nodes(); ++u) {
+    const DecompNode& node = decomp.node(u);
+    out << "  node [\n    id " << u << "\n    label \"{"
+        << JoinLambda(graph, node, ", ") << "}  {" << JoinChi(graph, node, ", ")
+        << "}\"\n  ]\n";
+  }
+  for (int u = 0; u < decomp.num_nodes(); ++u) {
+    if (decomp.node(u).parent >= 0) {
+      out << "  edge [\n    source " << decomp.node(u).parent << "\n    target "
+          << u << "\n  ]\n";
+    }
+  }
+  out << "]\n";
+  return out.str();
+}
+
+std::string WriteDecompositionJson(const Hypergraph& graph,
+                                   const Decomposition& decomp) {
+  std::ostringstream out;
+  out << "{\"width\": " << decomp.Width() << ", \"nodes\": [";
+  for (int u = 0; u < decomp.num_nodes(); ++u) {
+    const DecompNode& node = decomp.node(u);
+    if (u > 0) out << ", ";
+    out << "{\"id\": " << u << ", \"parent\": " << node.parent << ", \"lambda\": [";
+    for (size_t i = 0; i < node.lambda.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "\"" << graph.edge_name(node.lambda[i]) << "\"";
+    }
+    out << "], \"chi\": [";
+    bool first = true;
+    node.chi.ForEach([&](int v) {
+      if (!first) out << ", ";
+      out << "\"" << graph.vertex_name(v) << "\"";
+      first = false;
+    });
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace htd

@@ -1,0 +1,25 @@
+// Serialisation of decompositions for downstream tools.
+//
+// GML is what the original det-k-decomp / log-k-decomp tools emit (and what
+// hypergraph visualisers consume); the JSON form is convenient for scripted
+// analysis of benchmark results.
+#pragma once
+
+#include <string>
+
+#include "decomp/decomposition.h"
+#include "hypergraph/hypergraph.h"
+
+namespace htd {
+
+/// Graph Modelling Language: one node per decomposition node with its λ and
+/// χ labels, one edge per tree edge.
+std::string WriteDecompositionGml(const Hypergraph& graph,
+                                  const Decomposition& decomp);
+
+/// JSON: {"width": w, "nodes": [{"id", "parent", "lambda": [names],
+/// "chi": [names]}]}.
+std::string WriteDecompositionJson(const Hypergraph& graph,
+                                   const Decomposition& decomp);
+
+}  // namespace htd

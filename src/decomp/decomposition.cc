@@ -1,0 +1,72 @@
+#include "decomp/decomposition.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace htd {
+
+int Decomposition::AddNode(std::vector<int> lambda, util::DynamicBitset chi,
+                           int parent) {
+  int id = num_nodes();
+  DecompNode node;
+  std::sort(lambda.begin(), lambda.end());
+  node.lambda = std::move(lambda);
+  node.chi = std::move(chi);
+  node.parent = parent;
+  if (parent == -1) {
+    HTD_CHECK_EQ(root_, -1) << "decomposition already has a root";
+    root_ = id;
+  } else {
+    HTD_CHECK(parent >= 0 && parent < id);
+    nodes_[parent].children.push_back(id);
+  }
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+int Decomposition::Width() const {
+  int width = 0;
+  for (const auto& node : nodes_) {
+    width = std::max(width, static_cast<int>(node.lambda.size()));
+  }
+  return width;
+}
+
+int Decomposition::Depth() const {
+  if (root_ == -1) return 0;
+  int max_depth = 0;
+  std::function<void(int, int)> visit = [&](int u, int depth) {
+    max_depth = std::max(max_depth, depth);
+    for (int c : nodes_[u].children) visit(c, depth + 1);
+  };
+  visit(root_, 1);
+  return max_depth;
+}
+
+std::string Decomposition::ToString(const Hypergraph& graph) const {
+  std::ostringstream out;
+  std::function<void(int, int)> visit = [&](int u, int indent) {
+    for (int i = 0; i < indent; ++i) out << "  ";
+    out << "node " << u << ": lambda={";
+    for (size_t i = 0; i < nodes_[u].lambda.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << graph.edge_name(nodes_[u].lambda[i]);
+    }
+    out << "} chi={";
+    bool first = true;
+    nodes_[u].chi.ForEach([&](int v) {
+      if (!first) out << ", ";
+      out << graph.vertex_name(v);
+      first = false;
+    });
+    out << "}\n";
+    for (int c : nodes_[u].children) visit(c, indent + 1);
+  };
+  if (root_ != -1) visit(root_, 0);
+  return out.str();
+}
+
+}  // namespace htd

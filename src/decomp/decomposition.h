@@ -1,0 +1,47 @@
+// Final (generalized) hypertree decompositions ⟨T, χ, λ⟩.
+//
+// A Decomposition is a rooted tree whose nodes carry a λ-label (edge ids of
+// the base hypergraph) and a χ-label (vertex bitset). Whether it is an HD, a
+// GHD, or neither is decided by the validators in decomp/validation.h; the
+// structure itself is agnostic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "util/bitset.h"
+
+namespace htd {
+
+struct DecompNode {
+  std::vector<int> lambda;    ///< λ(u): edge ids, sorted
+  util::DynamicBitset chi;    ///< χ(u): vertex set
+  int parent = -1;
+  std::vector<int> children;
+};
+
+class Decomposition {
+ public:
+  /// Adds a node; parent == -1 designates the root (exactly one allowed).
+  int AddNode(std::vector<int> lambda, util::DynamicBitset chi, int parent);
+
+  int root() const { return root_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const DecompNode& node(int i) const { return nodes_[i]; }
+
+  /// max_u |λ(u)| — the width (paper §2).
+  int Width() const;
+
+  /// Depth of the decomposition tree (root = depth 1); the paper notes the
+  /// log-recursion bound does NOT bound this.
+  int Depth() const;
+
+  std::string ToString(const Hypergraph& graph) const;
+
+ private:
+  std::vector<DecompNode> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace htd

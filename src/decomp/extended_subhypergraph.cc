@@ -1,0 +1,25 @@
+#include "decomp/extended_subhypergraph.h"
+
+namespace htd {
+
+ExtendedSubhypergraph ExtendedSubhypergraph::FullGraph(const Hypergraph& graph) {
+  ExtendedSubhypergraph sub;
+  sub.edges = graph.AllEdges();
+  sub.edge_count = graph.num_edges();
+  return sub;
+}
+
+util::DynamicBitset VerticesOf(const Hypergraph& graph,
+                               const SpecialEdgeRegistry& registry,
+                               const ExtendedSubhypergraph& sub) {
+  util::DynamicBitset vertices(graph.num_vertices());
+  sub.edges.ForEach([&](int e) {
+    for (int v : graph.edge_vertex_list(e)) vertices.Set(v);
+  });
+  for (int s : sub.specials) {
+    vertices.InplaceOr(registry.vertices(s));
+  }
+  return vertices;
+}
+
+}  // namespace htd

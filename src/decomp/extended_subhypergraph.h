@@ -1,0 +1,38 @@
+// ExtendedSubhypergraph — the triple ⟨E', Sp, Conn⟩ of Definition 3.1.
+//
+// E' is a bitset over the base hypergraph's edges, Sp a sorted list of
+// special-edge ids. Conn is not stored here: the algorithms pass it
+// separately (it changes per recursive call while E'/Sp identify the
+// subproblem).
+#pragma once
+
+#include <vector>
+
+#include "decomp/special_edges.h"
+#include "hypergraph/hypergraph.h"
+#include "util/bitset.h"
+
+namespace htd {
+
+struct ExtendedSubhypergraph {
+  util::DynamicBitset edges;   ///< subset of E(H), universe = num_edges
+  std::vector<int> specials;   ///< sorted special-edge ids
+  int edge_count = 0;          ///< cached popcount of `edges`
+
+  /// |E'| + |Sp| — the size measure of the paper's balancedness conditions.
+  int size() const { return edge_count + static_cast<int>(specials.size()); }
+
+  bool operator==(const ExtendedSubhypergraph& other) const {
+    return edges == other.edges && specials == other.specials;
+  }
+
+  /// H viewed as an extended subhypergraph of itself: ⟨E(H), ∅, ∅⟩.
+  static ExtendedSubhypergraph FullGraph(const Hypergraph& graph);
+};
+
+/// V(H') = (⋃E') ∪ (⋃Sp): all vertices of all (special) edges.
+util::DynamicBitset VerticesOf(const Hypergraph& graph,
+                               const SpecialEdgeRegistry& registry,
+                               const ExtendedSubhypergraph& sub);
+
+}  // namespace htd

@@ -1,0 +1,131 @@
+#include "decomp/fragment.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/logging.h"
+
+namespace htd {
+
+int Fragment::AddNode(std::vector<int> lambda, util::DynamicBitset chi) {
+  HTD_CHECK(!lambda.empty());
+  FragmentNode node;
+  std::sort(lambda.begin(), lambda.end());
+  node.lambda = std::move(lambda);
+  node.chi = std::move(chi);
+  nodes_.push_back(std::move(node));
+  return num_nodes() - 1;
+}
+
+int Fragment::AddSpecialLeaf(int special_id, util::DynamicBitset chi) {
+  HTD_CHECK_GE(special_id, 0);
+  FragmentNode node;
+  node.special = special_id;
+  node.chi = std::move(chi);
+  nodes_.push_back(std::move(node));
+  return num_nodes() - 1;
+}
+
+int Fragment::Graft(const Fragment& other, int parent_idx) {
+  HTD_CHECK_GE(other.root(), 0);
+  int offset = num_nodes();
+  for (const FragmentNode& node : other.nodes_) {
+    FragmentNode copy = node;
+    for (int& c : copy.children) c += offset;
+    nodes_.push_back(std::move(copy));
+  }
+  int new_root = other.root() + offset;
+  if (parent_idx >= 0) AddChild(parent_idx, new_root);
+  return new_root;
+}
+
+int Fragment::FindSpecialLeaf(int special_id) const {
+  int found = -1;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (nodes_[i].special == special_id) {
+      HTD_CHECK_EQ(found, -1) << "special edge " << special_id
+                              << " occurs in more than one leaf";
+      found = i;
+    }
+  }
+  return found;
+}
+
+void Fragment::ReplaceSpecialLeaf(int idx, std::vector<int> lambda) {
+  HTD_CHECK(nodes_[idx].IsSpecialLeaf());
+  HTD_CHECK(!lambda.empty());
+  std::sort(lambda.begin(), lambda.end());
+  nodes_[idx].special = -1;
+  nodes_[idx].lambda = std::move(lambda);
+}
+
+void Fragment::TruncateTo(int new_size) {
+  HTD_CHECK(new_size >= 0 && new_size <= num_nodes());
+  nodes_.resize(new_size);
+  for (auto& node : nodes_) {
+    std::erase_if(node.children, [new_size](int c) { return c >= new_size; });
+  }
+  if (root_ >= new_size) root_ = -1;
+}
+
+int Fragment::CountSpecialLeaves() const {
+  int count = 0;
+  for (const auto& node : nodes_) {
+    if (node.IsSpecialLeaf()) ++count;
+  }
+  return count;
+}
+
+void Fragment::MaterializeSpecialLeaves(const SpecialEdgeRegistry& registry) {
+  for (auto& node : nodes_) {
+    if (!node.IsSpecialLeaf()) continue;
+    std::vector<int> witness = registry.witness(node.special);
+    HTD_CHECK(!witness.empty()) << "special edge without witness edges";
+    std::sort(witness.begin(), witness.end());
+    node.lambda = std::move(witness);
+    node.special = -1;
+  }
+}
+
+void Fragment::RerootAt(int new_root) {
+  HTD_CHECK(new_root >= 0 && new_root < num_nodes());
+  if (new_root == root_) return;
+  // Build undirected adjacency, then re-orient children lists via BFS.
+  std::vector<std::vector<int>> adjacent(num_nodes());
+  for (int u = 0; u < num_nodes(); ++u) {
+    for (int c : nodes_[u].children) {
+      adjacent[u].push_back(c);
+      adjacent[c].push_back(u);
+    }
+  }
+  for (auto& node : nodes_) node.children.clear();
+  std::vector<bool> visited(num_nodes(), false);
+  std::vector<int> queue{new_root};
+  visited[new_root] = true;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    int u = queue[head];
+    for (int v : adjacent[u]) {
+      if (visited[v]) continue;
+      visited[v] = true;
+      nodes_[u].children.push_back(v);
+      queue.push_back(v);
+    }
+  }
+  root_ = new_root;
+}
+
+Decomposition Fragment::ToDecomposition() const {
+  HTD_CHECK_GE(root_, 0) << "fragment has no root";
+  HTD_CHECK_EQ(CountSpecialLeaves(), 0)
+      << "cannot finalise a fragment with unresolved special leaves";
+  Decomposition decomp;
+  // DFS so that parents are added before children (AddNode requires it).
+  std::function<void(int, int)> visit = [&](int u, int parent) {
+    int id = decomp.AddNode(nodes_[u].lambda, nodes_[u].chi, parent);
+    for (int c : nodes_[u].children) visit(c, id);
+  };
+  visit(root_, -1);
+  return decomp;
+}
+
+}  // namespace htd

@@ -1,0 +1,80 @@
+// HD-fragments: partial decompositions with special-edge leaves.
+//
+// Each successful Decomp call (paper §4, Appendix A) yields a fragment — an
+// HD of an extended subhypergraph in the sense of Definition 3.3. Interfaces
+// to fragments "below" appear as leaves labelled with a single special edge;
+// stitching (the soundness-proof construction) replaces such a leaf by the
+// real node c and grafts the child fragments underneath.
+#pragma once
+
+#include <vector>
+
+#include "decomp/decomposition.h"
+#include "decomp/special_edges.h"
+#include "util/bitset.h"
+
+namespace htd {
+
+struct FragmentNode {
+  std::vector<int> lambda;  ///< edge ids; empty iff this is a special leaf
+  int special = -1;         ///< special-edge id if a special leaf, else -1
+  util::DynamicBitset chi;
+  std::vector<int> children;
+
+  bool IsSpecialLeaf() const { return special >= 0; }
+};
+
+class Fragment {
+ public:
+  /// Adds a regular node.
+  int AddNode(std::vector<int> lambda, util::DynamicBitset chi);
+  /// Adds a special-edge leaf (λ = {s}, χ = vertices of s).
+  int AddSpecialLeaf(int special_id, util::DynamicBitset chi);
+
+  void SetRoot(int idx) { root_ = idx; }
+  int root() const { return root_; }
+  void AddChild(int parent, int child) { nodes_[parent].children.push_back(child); }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const FragmentNode& node(int i) const { return nodes_[i]; }
+  FragmentNode& mutable_node(int i) { return nodes_[i]; }
+
+  /// Copies all nodes of `other` into this fragment as the subtree of a new
+  /// child of `parent_idx`. Returns the new index of other's root.
+  int Graft(const Fragment& other, int parent_idx);
+
+  /// Index of the unique leaf labelled with the given special edge; -1 if
+  /// absent. CHECK-fails if the id occurs more than once (ids are unique per
+  /// stitching step by construction).
+  int FindSpecialLeaf(int special_id) const;
+
+  /// Turns special leaf `idx` into a regular node with the given labels
+  /// (stitching step 1: the leaf becomes node c; χ must equal the leaf's χ).
+  void ReplaceSpecialLeaf(int idx, std::vector<int> lambda);
+
+  /// Number of remaining special leaves.
+  int CountSpecialLeaves() const;
+
+  /// Drops all nodes with index >= new_size (backtracking rollback). Child
+  /// references to dropped nodes are pruned; the root is cleared if dropped.
+  void TruncateTo(int new_size);
+
+  /// Converts each remaining special leaf into a regular node whose λ is the
+  /// registry witness (the separator edges whose union covers it). Used by
+  /// the GHD solver, where interface leaves stay in the final decomposition.
+  void MaterializeSpecialLeaves(const SpecialEdgeRegistry& registry);
+
+  /// Re-orients the tree so that `new_root` becomes the root. Only valid for
+  /// GHD use (HDs are rooted; GHDs are not, which is exactly the degree of
+  /// freedom BalancedGo exploits — paper §1).
+  void RerootAt(int new_root);
+
+  /// Converts to a final Decomposition. CHECK-fails if special leaves remain.
+  Decomposition ToDecomposition() const;
+
+ private:
+  std::vector<FragmentNode> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace htd

@@ -1,0 +1,224 @@
+#include "decomp/normal_form.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "decomp/components.h"
+#include "decomp/special_edges.h"
+#include "decomp/validation.h"
+#include "util/logging.h"
+
+namespace htd {
+namespace {
+
+/// Unique λ-labels of the input decomposition, each as a sorted edge-id
+/// vector with its ⋃λ vertex set precomputed.
+struct CandidateLabel {
+  std::vector<int> lambda;
+  util::DynamicBitset lambda_union;
+};
+
+std::vector<CandidateLabel> HarvestLabels(const Hypergraph& graph,
+                                          const Decomposition& decomp) {
+  std::vector<CandidateLabel> labels;
+  std::unordered_set<size_t> seen;
+  for (int u = 0; u < decomp.num_nodes(); ++u) {
+    std::vector<int> lambda = decomp.node(u).lambda;
+    std::sort(lambda.begin(), lambda.end());
+    util::DynamicBitset as_bits =
+        util::DynamicBitset::FromVector(graph.num_edges(), lambda);
+    if (!seen.insert(as_bits.Hash()).second) continue;  // rare collision: dup try
+    labels.push_back({std::move(lambda), graph.UnionOfEdges(as_bits)});
+  }
+  return labels;
+}
+
+/// Key for the failure memo: a subproblem is the component edge set plus its
+/// upward interface.
+struct SubproblemKey {
+  util::DynamicBitset edges;
+  util::DynamicBitset conn;
+  bool operator==(const SubproblemKey& other) const {
+    return edges == other.edges && conn == other.conn;
+  }
+};
+
+struct SubproblemKeyHash {
+  size_t operator()(const SubproblemKey& key) const {
+    return key.edges.Hash() * 1000003u + key.conn.Hash();
+  }
+};
+
+/// Temporary owned tree: failed search branches are dropped whole, so the
+/// final Decomposition contains exactly the successful nodes.
+struct NfNode {
+  std::vector<int> lambda;
+  util::DynamicBitset chi;
+  std::vector<std::unique_ptr<NfNode>> children;
+};
+
+class Normalizer {
+ public:
+  Normalizer(const Hypergraph& graph, std::vector<CandidateLabel> labels)
+      : graph_(graph),
+        registry_(graph.num_vertices()),
+        labels_(std::move(labels)) {}
+
+  util::StatusOr<Decomposition> Run() {
+    // Root loop: χ(r) = ⋃λ(r) (the minimal rule intersected with V(H)), then
+    // one child subtree per [χ(r)]-component.
+    for (const CandidateLabel& label : labels_) {
+      NfNode root{label.lambda, label.lambda_union, {}};
+      ExtendedSubhypergraph full = ExtendedSubhypergraph::FullGraph(graph_);
+      ComponentSplit split =
+          SplitComponents(graph_, registry_, full, label.lambda_union);
+      if (BuildChildren(split, label.lambda_union, root)) {
+        return Materialize(root);
+      }
+    }
+    return util::Status::Internal(
+        "label-restricted normal-form reconstruction failed; input was not a "
+        "valid HD");
+  }
+
+ private:
+  /// Builds one child subtree per component of `split` below `parent`.
+  bool BuildChildren(const ComponentSplit& split,
+                     const util::DynamicBitset& parent_chi, NfNode& parent) {
+    for (size_t i = 0; i < split.components.size(); ++i) {
+      util::DynamicBitset conn = split.component_vertices[i] & parent_chi;
+      std::unique_ptr<NfNode> child =
+          BuildSubtree(split.components[i].edges, split.component_vertices[i], conn);
+      if (child == nullptr) return false;
+      parent.children.push_back(std::move(child));
+    }
+    return true;
+  }
+
+  /// Decomposes one [χ(p)]-component: finds a label with the normal-form
+  /// properties and recurses into the [χ(c)]-subcomponents. Returns nullptr
+  /// if no candidate label works.
+  std::unique_ptr<NfNode> BuildSubtree(const util::DynamicBitset& component_edges,
+                                       const util::DynamicBitset& component_vertices,
+                                       const util::DynamicBitset& conn) {
+    SubproblemKey key{component_edges, conn};
+    if (failed_.count(key) > 0) return nullptr;
+
+    ExtendedSubhypergraph sub;
+    sub.edges = component_edges;
+    sub.edge_count = component_edges.Count();
+
+    for (const CandidateLabel& label : labels_) {
+      // Normal-form condition 3 (minimal χ): χ(c) = ⋃λ(c) ∩ ⋃C_p.
+      util::DynamicBitset chi = label.lambda_union & component_vertices;
+      // Upward connectedness: the interface to the parent must reappear.
+      if (!conn.IsSubsetOf(chi)) continue;
+
+      ComponentSplit split = SplitComponents(graph_, registry_, sub, chi);
+      // Normal-form condition 2 (progress): some edge of the component is
+      // covered here for the first time.
+      if (split.covered.edge_count == 0) continue;
+
+      auto node = std::make_unique<NfNode>(NfNode{label.lambda, chi, {}});
+      if (BuildChildren(split, chi, *node)) return node;
+      // Children unreachable with this label: try the next candidate.
+    }
+    failed_.insert(key);
+    return nullptr;
+  }
+
+  Decomposition Materialize(const NfNode& root) const {
+    Decomposition result;
+    std::function<void(const NfNode&, int)> emit = [&](const NfNode& node,
+                                                       int parent) {
+      const int id = result.AddNode(node.lambda, node.chi, parent);
+      for (const auto& child : node.children) emit(*child, id);
+    };
+    emit(root, -1);
+    return result;
+  }
+
+  const Hypergraph& graph_;
+  SpecialEdgeRegistry registry_;
+  std::vector<CandidateLabel> labels_;
+  std::unordered_set<SubproblemKey, SubproblemKeyHash> failed_;
+};
+
+}  // namespace
+
+util::StatusOr<Decomposition> NormalizeHd(const Hypergraph& graph,
+                                          const Decomposition& decomp) {
+  Validation input_valid = ValidateHd(graph, decomp);
+  if (!input_valid) {
+    return util::Status::InvalidArgument("NormalizeHd: input is not an HD: " +
+                                         input_valid.error);
+  }
+  Normalizer normalizer(graph, HarvestLabels(graph, decomp));
+  return normalizer.Run();
+}
+
+std::vector<util::DynamicBitset> FirstCoverPerSubtree(
+    const Hypergraph& graph, const Decomposition& decomp) {
+  const int n = decomp.num_nodes();
+  const int m = graph.num_edges();
+  std::vector<util::DynamicBitset> cov_subtree(n, util::DynamicBitset(m));
+  if (n == 0) return cov_subtree;
+
+  // For every edge, mark the nodes covering it; a node first-covers the edge
+  // if no ancestor covers it. (An edge can be first-covered at several
+  // incomparable nodes; by connectedness they never share a subtree-disjoint
+  // ancestor pair, which is what Lemma 3.10 relies on.)
+  std::vector<std::vector<int>> first_cover(n);
+  for (int e = 0; e < m; ++e) {
+    for (int u = 0; u < n; ++u) {
+      if (!graph.edge_vertices(e).IsSubsetOf(decomp.node(u).chi)) continue;
+      bool ancestor_covers = false;
+      for (int a = decomp.node(u).parent; a != -1; a = decomp.node(a).parent) {
+        if (graph.edge_vertices(e).IsSubsetOf(decomp.node(a).chi)) {
+          ancestor_covers = true;
+          break;
+        }
+      }
+      if (!ancestor_covers) first_cover[u].push_back(e);
+    }
+  }
+
+  std::function<void(int)> accumulate = [&](int u) {
+    for (int e : first_cover[u]) cov_subtree[u].Set(e);
+    for (int c : decomp.node(u).children) {
+      accumulate(c);
+      cov_subtree[u].InplaceOr(cov_subtree[c]);
+    }
+  };
+  accumulate(decomp.root());
+  return cov_subtree;
+}
+
+int FindBalancedSeparatorNode(const Hypergraph& graph,
+                              const Decomposition& decomp) {
+  HTD_CHECK_GE(decomp.root(), 0) << "decomposition has no root";
+  std::vector<util::DynamicBitset> cov = FirstCoverPerSubtree(graph, decomp);
+  const int total = graph.num_edges();
+
+  // Proof walk of Lemma 3.10: descend into the (unique) child subtree that
+  // covers more than half, until none does.
+  int u = decomp.root();
+  while (true) {
+    int oversized = -1;
+    for (int c : decomp.node(u).children) {
+      if (2 * cov[c].Count() > total) {
+        HTD_CHECK_EQ(oversized, -1) << "two oversized siblings cannot exist";
+        oversized = c;
+      }
+    }
+    if (oversized == -1) return u;
+    u = oversized;
+  }
+}
+
+}  // namespace htd

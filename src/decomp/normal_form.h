@@ -1,0 +1,51 @@
+// Normal-form machinery of §3: Theorem 3.6 (every HD can be brought into
+// minimal-χ normal form without increasing width) and Lemma 3.10 (every HD
+// has a balanced separator), both constructive.
+//
+// NormalizeHd re-derives the decomposition top-down with the normal-form
+// rules of Definition 3.5 — χ(c) = ⋃λ(c) ∩ ⋃C_p, exactly one component per
+// child, progress at every child — restricting candidate λ-labels to those
+// occurring in the input HD. That restriction is what makes the
+// transformation polynomial: the normalisation argument of [19, Thm. 5.4]
+// only ever re-uses labels of the input decomposition, and switching from
+// the maximal-χ form of [19] to the paper's minimal-χ form keeps the same
+// tree and λ-labels (see the discussion below Definition 3.5). The search
+// here is the det-k-decomp recursion with the candidate set Λ(D) instead of
+// all ≤k-subsets of E(H).
+//
+// FindBalancedSeparatorNode walks the HD from the root, always descending
+// into the unique oversized child subtree, exactly as in the proof of
+// Lemma 3.10; the returned node satisfies both balance conditions of
+// Definition 3.9 (each child subtree covers at most half of E(H), the part
+// above covers strictly less than half).
+#pragma once
+
+#include "decomp/decomposition.h"
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace htd {
+
+/// Theorem 3.6: an HD of `graph` in minimal-χ normal form (Definition 3.5)
+/// whose width is at most width(decomp). `decomp` must be a valid HD of
+/// `graph` (checked). Returns kInternal if the label-restricted
+/// reconstruction fails — which Theorem 3.6 rules out for valid inputs; the
+/// test suite asserts it never happens on any instance family.
+util::StatusOr<Decomposition> NormalizeHd(const Hypergraph& graph,
+                                          const Decomposition& decomp);
+
+/// Lemma 3.10: a node u of `decomp` such that no child subtree of u covers
+/// (first-covers) more than |E(H)|/2 edges and the part of the tree above u
+/// first-covers strictly fewer than |E(H)|/2. `decomp` must be a valid HD of
+/// `graph` with a root — the walk's invariant ("at most one oversized child
+/// sibling") is a consequence of the connectedness condition and is
+/// CHECK-enforced, so invalid inputs abort rather than mis-answer.
+int FindBalancedSeparatorNode(const Hypergraph& graph, const Decomposition& decomp);
+
+/// cov(T_u) for every node (Definition 3.4 restricted to plain hypergraphs):
+/// the set of edges first covered inside the subtree rooted at u. Exposed for
+/// tests and for FindBalancedSeparatorNode.
+std::vector<util::DynamicBitset> FirstCoverPerSubtree(const Hypergraph& graph,
+                                                      const Decomposition& decomp);
+
+}  // namespace htd

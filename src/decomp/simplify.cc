@@ -1,0 +1,102 @@
+#include "decomp/simplify.h"
+
+#include <functional>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace htd {
+namespace {
+
+struct MutableTree {
+  std::vector<std::vector<int>> lambda;
+  std::vector<util::DynamicBitset> chi;
+  std::vector<int> parent;
+  std::vector<std::vector<int>> children;
+  std::vector<bool> alive;
+  int root = -1;
+};
+
+MutableTree FromDecomposition(const Decomposition& decomp) {
+  MutableTree tree;
+  int n = decomp.num_nodes();
+  tree.lambda.resize(n);
+  tree.chi.reserve(n);
+  tree.parent.resize(n);
+  tree.children.resize(n);
+  tree.alive.assign(n, true);
+  tree.root = decomp.root();
+  for (int u = 0; u < n; ++u) {
+    tree.lambda[u] = decomp.node(u).lambda;
+    tree.chi.push_back(decomp.node(u).chi);
+    tree.parent[u] = decomp.node(u).parent;
+    tree.children[u] = decomp.node(u).children;
+  }
+  return tree;
+}
+
+// Detaches `u`, re-attaching its children to its parent.
+void Contract(MutableTree& tree, int u) {
+  int p = tree.parent[u];
+  HTD_CHECK_GE(p, 0);
+  auto& siblings = tree.children[p];
+  std::erase(siblings, u);
+  for (int c : tree.children[u]) {
+    tree.parent[c] = p;
+    siblings.push_back(c);
+  }
+  tree.children[u].clear();
+  tree.alive[u] = false;
+}
+
+}  // namespace
+
+Decomposition SimplifyDecomposition(const Hypergraph& graph,
+                                    const Decomposition& decomp) {
+  if (decomp.num_nodes() == 0) return Decomposition();
+  MutableTree tree = FromDecomposition(decomp);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Rule 1: contract nodes whose bag is contained in the parent's bag.
+    for (int u = 0; u < decomp.num_nodes(); ++u) {
+      if (!tree.alive[u] || tree.parent[u] < 0) continue;
+      if (tree.chi[u].IsSubsetOf(tree.chi[tree.parent[u]])) {
+        Contract(tree, u);
+        changed = true;
+      }
+    }
+    // Rule 2: drop leaves that cover no edge exclusively. An edge is
+    // "exclusively covered" by u if no other alive node's bag covers it.
+    for (int u = 0; u < decomp.num_nodes(); ++u) {
+      if (!tree.alive[u] || tree.parent[u] < 0 || !tree.children[u].empty()) {
+        continue;
+      }
+      bool exclusive = false;
+      for (int e = 0; e < graph.num_edges() && !exclusive; ++e) {
+        if (!graph.edge_vertices(e).IsSubsetOf(tree.chi[u])) continue;
+        bool covered_elsewhere = false;
+        for (int w = 0; w < decomp.num_nodes() && !covered_elsewhere; ++w) {
+          if (w == u || !tree.alive[w]) continue;
+          covered_elsewhere = graph.edge_vertices(e).IsSubsetOf(tree.chi[w]);
+        }
+        exclusive = !covered_elsewhere;
+      }
+      if (!exclusive) {
+        Contract(tree, u);
+        changed = true;
+      }
+    }
+  }
+
+  Decomposition result;
+  std::function<void(int, int)> emit = [&](int u, int new_parent) {
+    int id = result.AddNode(tree.lambda[u], tree.chi[u], new_parent);
+    for (int c : tree.children[u]) emit(c, id);
+  };
+  emit(tree.root, -1);
+  return result;
+}
+
+}  // namespace htd

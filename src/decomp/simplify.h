@@ -1,0 +1,25 @@
+// Post-processing of decompositions: contract redundant nodes.
+//
+// Solvers (especially det-k-decomp and the stitching construction) can leave
+// nodes whose bag is contained in their parent's bag, or leaves that cover
+// nothing exclusively. Removing them never hurts validity or width and makes
+// the decompositions smaller — which matters downstream, e.g. fewer bag
+// relations to materialise in Yannakakis evaluation.
+#pragma once
+
+#include "decomp/decomposition.h"
+#include "hypergraph/hypergraph.h"
+
+namespace htd {
+
+/// Returns an equivalent decomposition with
+///  * every node whose χ is a subset of its parent's χ contracted into the
+///    parent (its children re-attach to the parent), and
+///  * every leaf that covers no hypergraph edge exclusively removed,
+/// iterated to a fixpoint. Width never increases; HD/GHD validity is
+/// preserved (the classic tree-decomposition contraction argument, which the
+/// tests verify via the validators on every family).
+Decomposition SimplifyDecomposition(const Hypergraph& graph,
+                                    const Decomposition& decomp);
+
+}  // namespace htd

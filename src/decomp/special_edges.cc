@@ -1,0 +1,14 @@
+#include "decomp/special_edges.h"
+
+namespace htd {
+
+int SpecialEdgeRegistry::Add(util::DynamicBitset vertices,
+                             std::vector<int> witness_edges) {
+  HTD_CHECK_EQ(vertices.size_bits(), num_vertices_);
+  HTD_CHECK(vertices.Any()) << "special edges must be non-empty";
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.push_back(Entry{std::move(vertices), std::move(witness_edges)});
+  return static_cast<int>(entries_.size()) - 1;
+}
+
+}  // namespace htd

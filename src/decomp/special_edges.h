@@ -1,0 +1,62 @@
+// Registry of special edges created during a decomposition run.
+//
+// A special edge (paper §3) is a vertex set χ(u) acting as the interface
+// between an HD-fragment and the fragments below it. Special edges are
+// created dynamically (one per parent/child split) and referenced by id from
+// ExtendedSubhypergraphs.
+//
+// Ids are never deduplicated: two splits that happen to produce the same
+// vertex set still get distinct ids, because each id marks a distinct leaf
+// that a distinct stitching step will later replace (collapsing them would
+// leave one of the two stitching steps without its leaf).
+//
+// Thread-safety: all accessors lock; entries live in a deque and are
+// immutable once constructed, so the references returned by
+// vertices()/witness() remain valid (and safely readable) after the lock is
+// released even while other workers keep registering new special edges.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace htd {
+
+class SpecialEdgeRegistry {
+ public:
+  explicit SpecialEdgeRegistry(int num_vertices) : num_vertices_(num_vertices) {}
+
+  /// Registers a special edge with the λ-edges whose union produced it (the
+  /// "witness"; used when materialising GHD leaves). Returns a fresh id.
+  int Add(util::DynamicBitset vertices, std::vector<int> witness_edges);
+
+  const util::DynamicBitset& vertices(int id) const {
+    HTD_DCHECK(id >= 0);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_[id].vertices;
+  }
+  const std::vector<int>& witness(int id) const {
+    HTD_DCHECK(id >= 0);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_[id].witness;
+  }
+
+  int size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int>(entries_.size());
+  }
+  int num_vertices() const { return num_vertices_; }
+
+ private:
+  struct Entry {
+    util::DynamicBitset vertices;
+    std::vector<int> witness;
+  };
+  int num_vertices_;
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace htd

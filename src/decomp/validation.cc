@@ -1,0 +1,326 @@
+#include "decomp/validation.h"
+
+#include <functional>
+#include <sstream>
+#include <vector>
+
+#include "decomp/components.h"
+
+namespace htd {
+namespace {
+
+// Checks the connectedness condition: for each vertex, the nodes whose bag
+// contains it must induce a subtree. A set of c nodes inside a tree is
+// connected iff it spans exactly c-1 of the tree's (child, parent) edges.
+Validation CheckConnectedness(const Decomposition& decomp, int num_vertices) {
+  std::vector<int> nodes_with_vertex(num_vertices, 0);
+  std::vector<int> edges_with_vertex(num_vertices, 0);
+  for (int u = 0; u < decomp.num_nodes(); ++u) {
+    decomp.node(u).chi.ForEach([&](int v) { ++nodes_with_vertex[v]; });
+    if (decomp.node(u).parent >= 0) {
+      const auto& parent_chi = decomp.node(decomp.node(u).parent).chi;
+      decomp.node(u).chi.ForEach([&](int v) {
+        if (parent_chi.Test(v)) ++edges_with_vertex[v];
+      });
+    }
+  }
+  for (int v = 0; v < num_vertices; ++v) {
+    if (nodes_with_vertex[v] > 0 &&
+        edges_with_vertex[v] != nodes_with_vertex[v] - 1) {
+      return Validation::Fail("connectedness violated for vertex " +
+                              std::to_string(v));
+    }
+  }
+  return Validation::Ok();
+}
+
+// Bottom-up χ(T_u) for every node.
+std::vector<util::DynamicBitset> SubtreeChi(const Decomposition& decomp,
+                                            int num_vertices) {
+  std::vector<util::DynamicBitset> subtree(decomp.num_nodes(),
+                                           util::DynamicBitset(num_vertices));
+  std::function<void(int)> visit = [&](int u) {
+    subtree[u] = decomp.node(u).chi;
+    for (int c : decomp.node(u).children) {
+      visit(c);
+      subtree[u].InplaceOr(subtree[c]);
+    }
+  };
+  if (decomp.root() >= 0) visit(decomp.root());
+  return subtree;
+}
+
+}  // namespace
+
+Validation ValidateGhd(const Hypergraph& graph, const Decomposition& decomp) {
+  if (decomp.root() < 0) {
+    if (graph.num_edges() == 0) return Validation::Ok();
+    return Validation::Fail("empty decomposition of non-empty hypergraph");
+  }
+  // Condition (3): χ(u) ⊆ ⋃λ(u); also λ must reference valid edges.
+  for (int u = 0; u < decomp.num_nodes(); ++u) {
+    const auto& node = decomp.node(u);
+    for (int e : node.lambda) {
+      if (e < 0 || e >= graph.num_edges()) {
+        return Validation::Fail("node " + std::to_string(u) +
+                                " has invalid lambda edge id");
+      }
+    }
+    util::DynamicBitset lambda_union = graph.UnionOfEdges(node.lambda);
+    if (!node.chi.IsSubsetOf(lambda_union)) {
+      return Validation::Fail("chi(u) not covered by lambda(u) at node " +
+                              std::to_string(u));
+    }
+  }
+  // Condition (1): every edge covered by some bag.
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    bool covered = false;
+    for (int u = 0; u < decomp.num_nodes() && !covered; ++u) {
+      covered = graph.edge_vertices(e).IsSubsetOf(decomp.node(u).chi);
+    }
+    if (!covered) {
+      return Validation::Fail("edge " + graph.edge_name(e) +
+                              " covered by no bag");
+    }
+  }
+  // Condition (2).
+  return CheckConnectedness(decomp, graph.num_vertices());
+}
+
+Validation ValidateHd(const Hypergraph& graph, const Decomposition& decomp) {
+  Validation ghd = ValidateGhd(graph, decomp);
+  if (!ghd.ok) return ghd;
+  // Condition (4): χ(T_u) ∩ ⋃λ(u) ⊆ χ(u).
+  auto subtree = SubtreeChi(decomp, graph.num_vertices());
+  for (int u = 0; u < decomp.num_nodes(); ++u) {
+    util::DynamicBitset lambda_union = graph.UnionOfEdges(decomp.node(u).lambda);
+    util::DynamicBitset witness = subtree[u] & lambda_union;
+    if (!witness.IsSubsetOf(decomp.node(u).chi)) {
+      return Validation::Fail("special condition violated at node " +
+                              std::to_string(u) + ": subtree vertices " +
+                              (witness - decomp.node(u).chi).ToString() +
+                              " from lambda missing in chi");
+    }
+  }
+  return Validation::Ok();
+}
+
+Validation ValidateHdWithWidth(const Hypergraph& graph, const Decomposition& decomp,
+                               int k) {
+  Validation hd = ValidateHd(graph, decomp);
+  if (!hd.ok) return hd;
+  if (decomp.Width() > k) {
+    return Validation::Fail("width " + std::to_string(decomp.Width()) +
+                            " exceeds requested " + std::to_string(k));
+  }
+  return Validation::Ok();
+}
+
+Validation ValidateExtendedHd(const Hypergraph& graph,
+                              const SpecialEdgeRegistry& registry,
+                              const ExtendedSubhypergraph& sub,
+                              const util::DynamicBitset& conn,
+                              const Fragment& fragment) {
+  if (fragment.root() < 0) return Validation::Fail("fragment has no root");
+  const int n = fragment.num_nodes();
+
+  // Reachability / tree sanity plus parent map.
+  std::vector<int> parent(n, -2);
+  bool multi_parent = false;
+  std::function<void(int)> visit = [&](int u) {
+    for (int c : fragment.node(u).children) {
+      if (parent[c] != -2) {
+        multi_parent = true;
+        continue;
+      }
+      parent[c] = u;
+      visit(c);
+    }
+  };
+  parent[fragment.root()] = -1;
+  visit(fragment.root());
+  if (multi_parent) return Validation::Fail("node with multiple parents");
+  for (int u = 0; u < n; ++u) {
+    if (parent[u] == -2) return Validation::Fail("node unreachable from root");
+  }
+
+  // Condition (1): λ(u) ⊆ E(H) with χ(u) ⊆ ⋃λ(u), or special leaf with χ = s.
+  // Condition (5): special-edge nodes are leaves.
+  for (int u = 0; u < n; ++u) {
+    const FragmentNode& node = fragment.node(u);
+    if (node.IsSpecialLeaf()) {
+      if (!node.children.empty()) {
+        return Validation::Fail("special-edge node is not a leaf");
+      }
+      if (node.chi != registry.vertices(node.special)) {
+        return Validation::Fail("special leaf chi differs from its special edge");
+      }
+    } else {
+      util::DynamicBitset lambda_union = graph.UnionOfEdges(node.lambda);
+      if (!node.chi.IsSubsetOf(lambda_union)) {
+        return Validation::Fail("chi not covered by lambda at fragment node " +
+                                std::to_string(u));
+      }
+    }
+  }
+
+  // Condition (2): every edge of E' covered by some bag; every special edge
+  // covered by a leaf labelled with it.
+  bool all_edges_covered = true;
+  std::string missing_edge;
+  sub.edges.ForEach([&](int e) {
+    for (int u = 0; u < n; ++u) {
+      if (graph.edge_vertices(e).IsSubsetOf(fragment.node(u).chi)) return;
+    }
+    all_edges_covered = false;
+    missing_edge = graph.edge_name(e);
+  });
+  if (!all_edges_covered) {
+    return Validation::Fail("edge " + missing_edge + " covered by no fragment bag");
+  }
+  for (int s : sub.specials) {
+    bool found = false;
+    for (int u = 0; u < n && !found; ++u) {
+      found = fragment.node(u).special == s;
+    }
+    if (!found) {
+      return Validation::Fail("special edge " + std::to_string(s) +
+                              " has no leaf");
+    }
+  }
+
+  // Condition (3): connectedness over the vertices of E' ∪ Sp.
+  util::DynamicBitset relevant = VerticesOf(graph, registry, sub);
+  {
+    std::vector<int> nodes_with(graph.num_vertices(), 0);
+    std::vector<int> edges_with(graph.num_vertices(), 0);
+    for (int u = 0; u < n; ++u) {
+      fragment.node(u).chi.ForEach([&](int v) { ++nodes_with[v]; });
+      if (parent[u] >= 0) {
+        const auto& pchi = fragment.node(parent[u]).chi;
+        fragment.node(u).chi.ForEach([&](int v) {
+          if (pchi.Test(v)) ++edges_with[v];
+        });
+      }
+    }
+    bool ok = true;
+    int bad_vertex = -1;
+    relevant.ForEach([&](int v) {
+      if (nodes_with[v] > 0 && edges_with[v] != nodes_with[v] - 1) {
+        ok = false;
+        bad_vertex = v;
+      }
+    });
+    if (!ok) {
+      return Validation::Fail("fragment connectedness violated for vertex " +
+                              std::to_string(bad_vertex));
+    }
+  }
+
+  // Condition (4): special condition within the fragment.
+  {
+    std::vector<util::DynamicBitset> subtree(n,
+                                             util::DynamicBitset(graph.num_vertices()));
+    std::function<void(int)> accumulate = [&](int u) {
+      subtree[u] = fragment.node(u).chi;
+      for (int c : fragment.node(u).children) {
+        accumulate(c);
+        subtree[u].InplaceOr(subtree[c]);
+      }
+    };
+    accumulate(fragment.root());
+    for (int u = 0; u < n; ++u) {
+      const FragmentNode& node = fragment.node(u);
+      util::DynamicBitset lambda_union =
+          node.IsSpecialLeaf() ? registry.vertices(node.special)
+                               : graph.UnionOfEdges(node.lambda);
+      if (!(subtree[u] & lambda_union).IsSubsetOf(node.chi)) {
+        return Validation::Fail("fragment special condition violated at node " +
+                                std::to_string(u));
+      }
+    }
+  }
+
+  // Condition (6): Conn ⊆ χ(root).
+  if (!conn.IsSubsetOf(fragment.node(fragment.root()).chi)) {
+    return Validation::Fail("Conn not contained in root bag");
+  }
+  return Validation::Ok();
+}
+
+Validation CheckNormalForm(const Hypergraph& graph, const Decomposition& decomp) {
+  if (decomp.root() < 0) return Validation::Ok();
+  const int n = decomp.num_nodes();
+  SpecialEdgeRegistry empty_registry(graph.num_vertices());
+  ExtendedSubhypergraph full = ExtendedSubhypergraph::FullGraph(graph);
+
+  // cov(u): edges covered first at u (no ancestor covers them). We compute,
+  // for every edge, the set of covering nodes, then mark cover-first nodes.
+  std::vector<std::vector<int>> first_cover(n);  // node -> edges first covered
+  {
+    std::vector<int> parent(n);
+    for (int u = 0; u < n; ++u) parent[u] = decomp.node(u).parent;
+    for (int e = 0; e < graph.num_edges(); ++e) {
+      for (int u = 0; u < n; ++u) {
+        if (!graph.edge_vertices(e).IsSubsetOf(decomp.node(u).chi)) continue;
+        bool ancestor_covers = false;
+        for (int a = parent[u]; a != -1; a = parent[a]) {
+          if (graph.edge_vertices(e).IsSubsetOf(decomp.node(a).chi)) {
+            ancestor_covers = true;
+            break;
+          }
+        }
+        if (!ancestor_covers) first_cover[u].push_back(e);
+      }
+    }
+  }
+  // cov(T_c) via DFS accumulation.
+  std::vector<util::DynamicBitset> cov_subtree(n,
+                                               util::DynamicBitset(graph.num_edges()));
+  std::function<void(int)> accumulate = [&](int u) {
+    for (int e : first_cover[u]) cov_subtree[u].Set(e);
+    for (int c : decomp.node(u).children) {
+      accumulate(c);
+      cov_subtree[u].InplaceOr(cov_subtree[c]);
+    }
+  };
+  accumulate(decomp.root());
+
+  for (int p = 0; p < n; ++p) {
+    ComponentSplit split =
+        SplitComponents(graph, empty_registry, full, decomp.node(p).chi);
+    for (int c : decomp.node(p).children) {
+      // Condition 1: cov(T_c) equals exactly one [χ(p)]-component.
+      int matching = -1;
+      for (size_t i = 0; i < split.components.size(); ++i) {
+        if (split.components[i].edges == cov_subtree[c]) {
+          matching = static_cast<int>(i);
+          break;
+        }
+      }
+      if (matching == -1) {
+        return Validation::Fail("normal form cond. 1 violated at child " +
+                                std::to_string(c));
+      }
+      // Condition 2: some edge of the component is covered by χ(c).
+      bool progress = false;
+      split.components[matching].edges.ForEach([&](int e) {
+        if (graph.edge_vertices(e).IsSubsetOf(decomp.node(c).chi)) progress = true;
+      });
+      if (!progress) {
+        return Validation::Fail("normal form cond. 2 violated at child " +
+                                std::to_string(c));
+      }
+      // Condition 3: χ(c) = ⋃λ(c) ∩ ⋃C_p.
+      util::DynamicBitset expected = graph.UnionOfEdges(decomp.node(c).lambda) &
+                                     split.component_vertices[matching];
+      if (expected != decomp.node(c).chi) {
+        return Validation::Fail("normal form cond. 3 violated at child " +
+                                std::to_string(c));
+      }
+    }
+  }
+  return Validation::Ok();
+}
+
+}  // namespace htd

@@ -1,0 +1,56 @@
+// Condition-by-condition validators for decompositions.
+//
+// These implement, literally, the definitions of the paper:
+//  * ValidateGhd  — GHD conditions (1)-(3) of §2,
+//  * ValidateHd   — the above plus the special condition (4),
+//  * ValidateExtendedHd — Definition 3.3 (conditions 1-6) for HD-fragments of
+//    extended subhypergraphs,
+//  * CheckNormalForm — Definition 3.5 (the minimal-χ normal form).
+//
+// Every decomposition produced by any solver in this repository is expected
+// to pass the relevant validator; the test suite enforces this on every
+// instance family.
+#pragma once
+
+#include <string>
+
+#include "decomp/decomposition.h"
+#include "decomp/extended_subhypergraph.h"
+#include "decomp/fragment.h"
+#include "hypergraph/hypergraph.h"
+
+namespace htd {
+
+struct Validation {
+  bool ok = true;
+  std::string error;
+
+  static Validation Ok() { return Validation{}; }
+  static Validation Fail(std::string message) { return Validation{false, std::move(message)}; }
+  explicit operator bool() const { return ok; }
+};
+
+/// GHD check: (1) every edge covered by some bag, (2) connectedness of every
+/// vertex, (3) χ(u) ⊆ ⋃λ(u).
+Validation ValidateGhd(const Hypergraph& graph, const Decomposition& decomp);
+
+/// HD check: GHD conditions plus (4) the special condition
+/// χ(T_u) ∩ ⋃λ(u) ⊆ χ(u).
+Validation ValidateHd(const Hypergraph& graph, const Decomposition& decomp);
+
+/// Validates that `decomp` is an HD of `graph` with width at most `k`.
+Validation ValidateHdWithWidth(const Hypergraph& graph, const Decomposition& decomp,
+                               int k);
+
+/// Definition 3.3: HD of the extended subhypergraph ⟨sub.E, sub.Sp, conn⟩.
+Validation ValidateExtendedHd(const Hypergraph& graph,
+                              const SpecialEdgeRegistry& registry,
+                              const ExtendedSubhypergraph& sub,
+                              const util::DynamicBitset& conn,
+                              const Fragment& fragment);
+
+/// Definition 3.5 (normal form) for an HD of the full hypergraph, i.e. of the
+/// extended subhypergraph ⟨E(H), ∅, ∅⟩.
+Validation CheckNormalForm(const Hypergraph& graph, const Decomposition& decomp);
+
+}  // namespace htd

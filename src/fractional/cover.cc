@@ -1,0 +1,86 @@
+#include "fractional/cover.h"
+
+#include <algorithm>
+
+#include "fractional/simplex.h"
+#include "util/logging.h"
+
+namespace htd::fractional {
+
+FractionalCover FractionalEdgeCover(const Hypergraph& graph,
+                                    const util::DynamicBitset& vertices) {
+  FractionalCover cover;
+  if (vertices.None()) {
+    cover.weight = 0.0;
+    return cover;
+  }
+
+  // Variables: edges intersecting S (others can never help).
+  std::vector<int> edge_ids;
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    if (graph.edge_vertices(e).Intersects(vertices)) edge_ids.push_back(e);
+  }
+
+  LpProblem problem;
+  problem.objective.assign(edge_ids.size(), 1.0);
+  std::vector<int> vertex_list = vertices.ToVector();
+  for (int v : vertex_list) {
+    std::vector<double> row(edge_ids.size(), 0.0);
+    bool coverable = false;
+    for (size_t j = 0; j < edge_ids.size(); ++j) {
+      if (graph.edge_vertices(edge_ids[j]).Test(v)) {
+        row[j] = 1.0;
+        coverable = true;
+      }
+    }
+    if (!coverable) return cover;  // vertex in no edge: uncoverable
+    problem.rows.push_back(std::move(row));
+    problem.rhs.push_back(1.0);
+  }
+
+  LpSolution solution = SolveCoveringLp(problem);
+  HTD_CHECK(solution.feasible) << "covering LP with coverable vertices "
+                                  "must be feasible";
+  cover.weight = solution.objective_value;
+  for (size_t j = 0; j < edge_ids.size(); ++j) {
+    if (solution.x[j] > 1e-9) cover.edge_weights.emplace_back(edge_ids[j], solution.x[j]);
+  }
+  return cover;
+}
+
+double FractionalCoverWeight(const Hypergraph& graph,
+                             const util::DynamicBitset& vertices) {
+  return FractionalEdgeCover(graph, vertices).weight;
+}
+
+std::vector<int> GreedyIntegralCover(const Hypergraph& graph,
+                                     const util::DynamicBitset& vertices) {
+  std::vector<int> cover;
+  util::DynamicBitset uncovered = vertices;
+  while (uncovered.Any()) {
+    int best_edge = -1;
+    int best_gain = 0;
+    for (int e = 0; e < graph.num_edges(); ++e) {
+      const int gain = (graph.edge_vertices(e) & uncovered).Count();
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_edge = e;
+      }
+    }
+    HTD_CHECK_NE(best_edge, -1) << "uncoverable vertex set";
+    cover.push_back(best_edge);
+    uncovered.InplaceAndNot(graph.edge_vertices(best_edge));
+  }
+  std::sort(cover.begin(), cover.end());
+  return cover;
+}
+
+double FractionalWidth(const Hypergraph& graph, const Decomposition& decomp) {
+  double width = 0.0;
+  for (int u = 0; u < decomp.num_nodes(); ++u) {
+    width = std::max(width, FractionalCoverWeight(graph, decomp.node(u).chi));
+  }
+  return width;
+}
+
+}  // namespace htd::fractional

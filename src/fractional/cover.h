@@ -1,0 +1,48 @@
+// Fractional edge covers and fractional widths (Grohe & Marx).
+//
+// ρ*(S), the fractional edge-cover number of a vertex set S, is the optimum
+// of the LP  min Σ_e x_e  s.t.  Σ_{e ∋ v} x_e ≥ 1 for every v ∈ S, x ≥ 0.
+// The fractional hypertree width fhw(H) is the minimum over decompositions
+// of max_u ρ*(χ(u)); since every λ-label is an integral cover of its bag,
+// every HD/GHD of width k witnesses fhw ≤ k — which is the chain
+// fhw ≤ ghw ≤ hw the paper cites. This module evaluates ρ* exactly (via the
+// in-house simplex) and reports the fractional width of any decomposition,
+// i.e. the quantity BalancedGo's FHD mode optimises; the tests pin known
+// closed forms (cliques n/2, odd cycles n/2, Fano plane 7/3).
+#pragma once
+
+#include <vector>
+
+#include "decomp/decomposition.h"
+#include "hypergraph/hypergraph.h"
+#include "util/bitset.h"
+
+namespace htd::fractional {
+
+struct FractionalCover {
+  /// Optimal LP value ρ*(S); -1 if S is uncoverable (a vertex in no edge —
+  /// cannot happen for vertex sets of a well-formed hypergraph).
+  double weight = -1.0;
+  /// Edge id and its (non-zero) weight in an optimal cover.
+  std::vector<std::pair<int, double>> edge_weights;
+};
+
+/// Exact ρ*(S) with an optimal cover. Only edges intersecting S enter the LP.
+FractionalCover FractionalEdgeCover(const Hypergraph& graph,
+                                    const util::DynamicBitset& vertices);
+
+/// Convenience: just the weight ρ*(S).
+double FractionalCoverWeight(const Hypergraph& graph,
+                             const util::DynamicBitset& vertices);
+
+/// Greedy integral edge cover of S (largest-marginal-coverage rule): an upper
+/// bound on ρ(S) with the usual ln-factor guarantee; ρ*(S) ≤ ρ(S) always.
+std::vector<int> GreedyIntegralCover(const Hypergraph& graph,
+                                     const util::DynamicBitset& vertices);
+
+/// max_u ρ*(χ(u)) — the fractional width of a decomposition. For any HD/GHD
+/// this is ≤ its (integral) width; the gap measures how much an FHD solver
+/// could save on the same tree.
+double FractionalWidth(const Hypergraph& graph, const Decomposition& decomp);
+
+}  // namespace htd::fractional

@@ -1,0 +1,165 @@
+#include "fractional/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace htd::fractional {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Canonical-form tableau: m rows over n_total columns plus RHS, with a
+/// basis column per row. Costs are swapped between the two phases.
+class Tableau {
+ public:
+  Tableau(const LpProblem& problem)
+      : m_(static_cast<int>(problem.rows.size())),
+        n_(static_cast<int>(problem.objective.size())),
+        total_(n_ + 2 * m_),
+        cells_(m_, std::vector<double>(total_ + 1, 0.0)),
+        basis_(m_) {
+    // Layout: [x_0..x_{n-1} | surplus s_0..s_{m-1} | artificial a_0..a_{m-1}].
+    for (int i = 0; i < m_; ++i) {
+      HTD_CHECK_EQ(static_cast<int>(problem.rows[i].size()), n_)
+          << "ragged LP row " << i;
+      HTD_CHECK_GE(problem.rhs[i], 0.0) << "covering LP needs b >= 0";
+      for (int j = 0; j < n_; ++j) cells_[i][j] = problem.rows[i][j];
+      cells_[i][n_ + i] = -1.0;       // surplus: Ax - s = b
+      cells_[i][n_ + m_ + i] = 1.0;   // artificial basis
+      cells_[i][total_] = problem.rhs[i];
+      basis_[i] = n_ + m_ + i;
+    }
+  }
+
+  /// Runs simplex iterations for the given column costs until optimal.
+  /// Only columns < max_entering may enter the basis (phase 2 excludes the
+  /// artificials this way).
+  void Minimize(const std::vector<double>& cost, int max_entering) {
+    while (true) {
+      int entering = -1;
+      for (int j = 0; j < max_entering; ++j) {  // Bland: lowest index first
+        if (ReducedCost(cost, j) < -kEps) {
+          entering = j;
+          break;
+        }
+      }
+      if (entering == -1) return;  // optimal
+
+      int leaving = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < m_; ++i) {
+        if (cells_[i][entering] <= kEps) continue;
+        double ratio = cells_[i][total_] / cells_[i][entering];
+        // Bland tie-break: smallest basis index among minimal ratios.
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leaving == -1 || basis_[i] < basis_[leaving]))) {
+          best_ratio = ratio;
+          leaving = i;
+        }
+      }
+      // A covering LP with c >= 0 is bounded below by 0, so an unbounded ray
+      // would indicate a programming error.
+      HTD_CHECK_NE(leaving, -1) << "covering LP cannot be unbounded";
+      Pivot(leaving, entering);
+    }
+  }
+
+  double ObjectiveValue(const std::vector<double>& cost) const {
+    double value = 0.0;
+    for (int i = 0; i < m_; ++i) value += cost[basis_[i]] * cells_[i][total_];
+    return value;
+  }
+
+  std::vector<double> ExtractPrimal() const {
+    std::vector<double> x(n_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] < n_) x[basis_[i]] = cells_[i][total_];
+    }
+    return x;
+  }
+
+  /// Pivots any artificial variable still basic (at level 0 after a feasible
+  /// phase 1) out of the basis; rows that are entirely zero over the real
+  /// columns are redundant constraints and may keep their artificial — no
+  /// later pivot can touch them.
+  void EvictArtificials() {
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] < n_ + m_) continue;
+      for (int j = 0; j < n_ + m_; ++j) {
+        if (std::fabs(cells_[i][j]) > kEps) {
+          Pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+  int num_vars() const { return n_; }
+  int num_rows() const { return m_; }
+  int total_cols() const { return total_; }
+
+ private:
+  double ReducedCost(const std::vector<double>& cost, int j) const {
+    double reduced = cost[j];
+    for (int i = 0; i < m_; ++i) reduced -= cost[basis_[i]] * cells_[i][j];
+    return reduced;
+  }
+
+  void Pivot(int row, int col) {
+    const double pivot = cells_[row][col];
+    for (int j = 0; j <= total_; ++j) cells_[row][j] /= pivot;
+    for (int i = 0; i < m_; ++i) {
+      if (i == row || std::fabs(cells_[i][col]) < kEps) continue;
+      const double factor = cells_[i][col];
+      for (int j = 0; j <= total_; ++j) cells_[i][j] -= factor * cells_[row][j];
+    }
+    basis_[row] = col;
+  }
+
+  int m_, n_, total_;
+  std::vector<std::vector<double>> cells_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+LpSolution SolveCoveringLp(const LpProblem& problem) {
+  HTD_CHECK_EQ(problem.rows.size(), problem.rhs.size());
+  for (double c : problem.objective) HTD_CHECK_GE(c, 0.0);
+
+  LpSolution solution;
+  if (problem.rows.empty()) {  // nothing to cover: x = 0 is optimal
+    solution.feasible = true;
+    solution.x.assign(problem.objective.size(), 0.0);
+    return solution;
+  }
+
+  Tableau tableau(problem);
+  const int n = tableau.num_vars();
+  const int m = tableau.num_rows();
+
+  // Phase 1: minimize the artificial sum; > 0 means infeasible.
+  std::vector<double> phase1(tableau.total_cols(), 0.0);
+  for (int j = n + m; j < tableau.total_cols(); ++j) phase1[j] = 1.0;
+  tableau.Minimize(phase1, /*max_entering=*/n + m);
+  if (tableau.ObjectiveValue(phase1) > 1e-7) return solution;  // infeasible
+  tableau.EvictArtificials();
+
+  // Phase 2: the real objective; artificials cannot re-enter the basis.
+  std::vector<double> phase2(tableau.total_cols(), 0.0);
+  for (int j = 0; j < n; ++j) phase2[j] = problem.objective[j];
+  tableau.Minimize(phase2, /*max_entering=*/n + m);
+
+  solution.feasible = true;
+  solution.x = tableau.ExtractPrimal();
+  solution.objective_value = 0.0;
+  for (int j = 0; j < n; ++j) {
+    solution.objective_value += problem.objective[j] * solution.x[j];
+  }
+  return solution;
+}
+
+}  // namespace htd::fractional

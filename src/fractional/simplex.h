@@ -1,0 +1,36 @@
+// Dense two-phase primal simplex for small covering LPs.
+//
+// The fractional-cover LPs this library needs are tiny (variables = edges
+// touching a bag, constraints = vertices of the bag; both rarely beyond a
+// few dozen), so a textbook dense tableau with Bland's anti-cycling rule is
+// the right tool: exact enough at double precision, fully deterministic, no
+// external dependency.
+//
+// Problem form (covering):   minimize  c·x
+//                            subject   A x ≥ b,   x ≥ 0,   b ≥ 0, c ≥ 0.
+#pragma once
+
+#include <vector>
+
+namespace htd::fractional {
+
+struct LpProblem {
+  /// Objective coefficients c (one per variable), all ≥ 0.
+  std::vector<double> objective;
+  /// Constraint matrix rows; rows[i][j] multiplies x_j in constraint i.
+  std::vector<std::vector<double>> rows;
+  /// Right-hand sides b, all ≥ 0; constraint i reads rows[i]·x ≥ rhs[i].
+  std::vector<double> rhs;
+};
+
+struct LpSolution {
+  bool feasible = false;
+  double objective_value = 0.0;
+  std::vector<double> x;
+};
+
+/// Solves the covering LP; CHECK-fails on malformed input (ragged rows,
+/// negative b or c). Always terminates (Bland's rule).
+LpSolution SolveCoveringLp(const LpProblem& problem);
+
+}  // namespace htd::fractional

@@ -1,0 +1,273 @@
+#include "hypergraph/generators.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace htd {
+namespace {
+
+std::vector<int> AddVertices(Hypergraph& graph, int count, const std::string& prefix) {
+  std::vector<int> ids(count);
+  for (int i = 0; i < count; ++i) {
+    ids[i] = graph.GetOrAddVertex(prefix + std::to_string(i));
+  }
+  return ids;
+}
+
+void MustAddEdge(Hypergraph& graph, const std::string& name,
+                 const std::vector<int>& vertices) {
+  auto result = graph.AddEdge(name, vertices);
+  HTD_CHECK(result.ok()) << result.status().message();
+}
+
+}  // namespace
+
+Hypergraph MakePath(int n) {
+  HTD_CHECK_GE(n, 2);
+  Hypergraph graph;
+  auto v = AddVertices(graph, n, "x");
+  for (int i = 0; i + 1 < n; ++i) {
+    MustAddEdge(graph, "R" + std::to_string(i + 1), {v[i], v[i + 1]});
+  }
+  return graph;
+}
+
+Hypergraph MakeCycle(int n) {
+  HTD_CHECK_GE(n, 3);
+  Hypergraph graph;
+  auto v = AddVertices(graph, n, "x");
+  for (int i = 0; i < n; ++i) {
+    MustAddEdge(graph, "R" + std::to_string(i + 1), {v[i], v[(i + 1) % n]});
+  }
+  return graph;
+}
+
+Hypergraph MakeStar(int n) {
+  HTD_CHECK_GE(n, 1);
+  Hypergraph graph;
+  int centre = graph.GetOrAddVertex("c");
+  auto leaves = AddVertices(graph, n, "x");
+  for (int i = 0; i < n; ++i) {
+    MustAddEdge(graph, "R" + std::to_string(i + 1), {centre, leaves[i]});
+  }
+  return graph;
+}
+
+Hypergraph MakeGrid(int rows, int cols) {
+  HTD_CHECK_GE(rows, 1);
+  HTD_CHECK_GE(cols, 1);
+  Hypergraph graph;
+  std::vector<std::vector<int>> v(rows, std::vector<int>(cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      v[r][c] = graph.GetOrAddVertex("x" + std::to_string(r) + "_" + std::to_string(c));
+    }
+  }
+  int edge = 0;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        MustAddEdge(graph, "H" + std::to_string(edge++), {v[r][c], v[r][c + 1]});
+      }
+      if (r + 1 < rows) {
+        MustAddEdge(graph, "V" + std::to_string(edge++), {v[r][c], v[r + 1][c]});
+      }
+    }
+  }
+  return graph;
+}
+
+Hypergraph MakeClique(int n) {
+  HTD_CHECK_GE(n, 2);
+  Hypergraph graph;
+  auto v = AddVertices(graph, n, "x");
+  int edge = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      MustAddEdge(graph, "R" + std::to_string(edge++), {v[i], v[j]});
+    }
+  }
+  return graph;
+}
+
+Hypergraph MakeHyperCycle(int length, int arity, int overlap) {
+  HTD_CHECK_GE(length, 3);
+  HTD_CHECK_GE(arity, 2);
+  HTD_CHECK_GE(overlap, 1);
+  HTD_CHECK_LT(overlap, arity);
+  // Each edge introduces (arity - overlap) fresh vertices and reuses the last
+  // `overlap` vertices of the previous edge; the final edge wraps around.
+  int stride = arity - overlap;
+  int n = length * stride;
+  Hypergraph graph;
+  auto v = AddVertices(graph, n, "x");
+  for (int e = 0; e < length; ++e) {
+    std::vector<int> vertices;
+    for (int j = 0; j < arity; ++j) {
+      vertices.push_back(v[(e * stride + j) % n]);
+    }
+    MustAddEdge(graph, "R" + std::to_string(e + 1), vertices);
+  }
+  return graph;
+}
+
+Hypergraph MakeAcyclicQuery(util::Rng& rng, int num_atoms, int max_arity) {
+  HTD_CHECK_GE(num_atoms, 1);
+  HTD_CHECK_GE(max_arity, 2);
+  Hypergraph graph;
+  // Atom 0 gets fresh variables; every later atom attaches to a random
+  // earlier atom, sharing one of its variables (tree-shaped joins => acyclic).
+  std::vector<std::vector<int>> atom_vars;
+  int next_var = 0;
+  for (int a = 0; a < num_atoms; ++a) {
+    int arity = rng.UniformInt(2, max_arity);
+    std::vector<int> vars;
+    if (a > 0) {
+      const auto& parent_vars = atom_vars[rng.UniformInt(0, a - 1)];
+      vars.push_back(parent_vars[rng.UniformInt(
+          0, static_cast<int>(parent_vars.size()) - 1)]);
+    }
+    while (static_cast<int>(vars.size()) < arity) {
+      vars.push_back(graph.GetOrAddVertex("X" + std::to_string(next_var++)));
+    }
+    atom_vars.push_back(vars);
+    MustAddEdge(graph, "A" + std::to_string(a + 1), vars);
+  }
+  return graph;
+}
+
+Hypergraph MakeRandomCq(util::Rng& rng, int num_atoms, int max_arity,
+                        double extra_join_prob) {
+  HTD_CHECK_GE(num_atoms, 2);
+  Hypergraph graph;
+  // Chain backbone with occasional long-range joins (the cross joins make the
+  // query mildly cyclic, like hand-written application CQs).
+  std::vector<std::vector<int>> atom_vars;
+  int next_var = 0;
+  auto fresh = [&]() { return graph.GetOrAddVertex("X" + std::to_string(next_var++)); };
+  for (int a = 0; a < num_atoms; ++a) {
+    int arity = rng.UniformInt(2, max_arity);
+    std::vector<int> vars;
+    if (a > 0) {
+      vars.push_back(atom_vars[a - 1].back());  // chain join
+    }
+    if (a > 1 && rng.Chance(extra_join_prob)) {
+      const auto& far = atom_vars[rng.UniformInt(0, a - 2)];
+      vars.push_back(far[rng.UniformInt(0, static_cast<int>(far.size()) - 1)]);
+    }
+    while (static_cast<int>(vars.size()) < arity) vars.push_back(fresh());
+    std::sort(vars.begin(), vars.end());
+    vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+    if (vars.size() < 2) vars.push_back(fresh());
+    atom_vars.push_back(vars);
+    MustAddEdge(graph, "A" + std::to_string(a + 1), vars);
+  }
+  return graph;
+}
+
+Hypergraph MakeRandomCsp(util::Rng& rng, int num_vars, int num_constraints,
+                         int min_arity, int max_arity) {
+  HTD_CHECK_GE(num_vars, max_arity);
+  HTD_CHECK_GE(min_arity, 2);
+  HTD_CHECK_LE(min_arity, max_arity);
+  Hypergraph graph;
+  AddVertices(graph, num_vars, "X");
+  for (int c = 0; c < num_constraints; ++c) {
+    int arity = rng.UniformInt(min_arity, max_arity);
+    std::vector<int> vars = rng.SampleDistinct(0, num_vars - 1, arity);
+    MustAddEdge(graph, "C" + std::to_string(c + 1), vars);
+  }
+  // CSP generators can leave variables unconstrained; attach each isolated
+  // variable to a binary constraint so the no-isolated-vertices assumption
+  // holds.
+  int extra = 0;
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.edges_of_vertex(v).empty()) {
+      int other = (v + 1) % num_vars;
+      MustAddEdge(graph, "Cx" + std::to_string(extra++), {v, other});
+    }
+  }
+  return graph;
+}
+
+Hypergraph MakeCycleBundle(int num_cycles, int cycle_length) {
+  HTD_CHECK_GE(num_cycles, 1);
+  HTD_CHECK_GE(cycle_length, 3);
+  Hypergraph graph;
+  int hub = graph.GetOrAddVertex("hub");
+  for (int c = 0; c < num_cycles; ++c) {
+    std::vector<int> ring;
+    ring.push_back(hub);
+    for (int i = 1; i < cycle_length; ++i) {
+      ring.push_back(
+          graph.GetOrAddVertex("x" + std::to_string(c) + "_" + std::to_string(i)));
+    }
+    for (int i = 0; i < cycle_length; ++i) {
+      MustAddEdge(graph, "R" + std::to_string(c) + "_" + std::to_string(i),
+                  {ring[i], ring[(i + 1) % cycle_length]});
+    }
+  }
+  return graph;
+}
+
+Hypergraph AddRedundancy(const Hypergraph& base, util::Rng& rng,
+                         int subsumed_edges, int twin_vertices) {
+  Hypergraph graph;
+  for (int v = 0; v < base.num_vertices(); ++v) {
+    graph.GetOrAddVertex(base.vertex_name(v));
+  }
+
+  // Payload columns first (edges are immutable once added): payload i rides
+  // along a host vertex into every edge containing the host, making the two
+  // twins — the non-join attributes of a wide relation. hw is unchanged:
+  // contracting the twin recovers `base` exactly.
+  std::vector<std::vector<int>> payload_of(base.num_vertices());
+  for (int i = 0; i < twin_vertices; ++i) {
+    int host = rng.UniformInt(0, base.num_vertices() - 1);
+    payload_of[host].push_back(graph.GetOrAddVertex("payload" + std::to_string(i)));
+  }
+  for (int e = 0; e < base.num_edges(); ++e) {
+    std::vector<int> widened = base.edge_vertex_list(e);
+    for (int v : base.edge_vertex_list(e)) {
+      widened.insert(widened.end(), payload_of[v].begin(), payload_of[v].end());
+    }
+    MustAddEdge(graph, base.edge_name(e), widened);
+  }
+
+  // Projection atoms: strict subsets of original edges (subsumed, so again
+  // hw-neutral; models SELECT-list helper relations in real CQ sets).
+  for (int i = 0; i < subsumed_edges; ++i) {
+    int host = rng.UniformInt(0, base.num_edges() - 1);
+    const std::vector<int>& vertices = base.edge_vertex_list(host);
+    if (vertices.size() < 2) continue;
+    int keep = rng.UniformInt(1, static_cast<int>(vertices.size()) - 1);
+    std::vector<int> subset;
+    for (int j : rng.SampleDistinct(0, static_cast<int>(vertices.size()) - 1, keep)) {
+      subset.push_back(vertices[j]);
+    }
+    MustAddEdge(graph, "proj" + std::to_string(i), subset);
+  }
+  return graph;
+}
+
+Hypergraph AddRandomChords(const Hypergraph& base, util::Rng& rng, int count) {
+  Hypergraph graph;
+  for (int v = 0; v < base.num_vertices(); ++v) {
+    graph.GetOrAddVertex(base.vertex_name(v));
+  }
+  for (int e = 0; e < base.num_edges(); ++e) {
+    MustAddEdge(graph, base.edge_name(e), base.edge_vertex_list(e));
+  }
+  int n = graph.num_vertices();
+  for (int i = 0; i < count; ++i) {
+    int arity = rng.UniformInt(2, std::min(3, n));
+    std::vector<int> vars = rng.SampleDistinct(0, n - 1, arity);
+    MustAddEdge(graph, "chord" + std::to_string(i), vars);
+  }
+  return graph;
+}
+
+}  // namespace htd

@@ -1,0 +1,75 @@
+#include "hypergraph/gyo.h"
+
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace htd {
+namespace {
+
+// Runs the GYO reduction. Returns the parent assignment if it empties the
+// hypergraph (acyclic), std::nullopt otherwise.
+std::optional<std::vector<int>> Reduce(const Hypergraph& graph) {
+  int m = graph.num_edges();
+  int n = graph.num_vertices();
+  if (m == 0) return std::vector<int>{};
+  std::vector<util::DynamicBitset> current;
+  current.reserve(m);
+  for (int e = 0; e < m; ++e) current.push_back(graph.edge_vertices(e));
+  std::vector<bool> alive(m, true);
+  std::vector<int> parent(m, -1);
+  std::vector<int> occurrence_count(n, 0);
+
+  int alive_count = m;
+  bool changed = true;
+  while (changed && alive_count > 1) {
+    changed = false;
+    // Rule 1: drop vertices occurring in exactly one alive edge ("ears").
+    std::fill(occurrence_count.begin(), occurrence_count.end(), 0);
+    for (int e = 0; e < m; ++e) {
+      if (!alive[e]) continue;
+      current[e].ForEach([&](int v) { ++occurrence_count[v]; });
+    }
+    for (int e = 0; e < m; ++e) {
+      if (!alive[e]) continue;
+      std::vector<int> to_drop;
+      current[e].ForEach([&](int v) {
+        if (occurrence_count[v] == 1) to_drop.push_back(v);
+      });
+      for (int v : to_drop) {
+        current[e].Reset(v);
+        changed = true;
+      }
+    }
+    // Rule 2: absorb edges contained in another alive edge.
+    for (int e = 0; e < m && alive_count > 1; ++e) {
+      if (!alive[e]) continue;
+      for (int f = 0; f < m; ++f) {
+        if (f == e || !alive[f]) continue;
+        if (current[e].IsSubsetOf(current[f])) {
+          alive[e] = false;
+          parent[e] = f;
+          --alive_count;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  if (alive_count > 1) return std::nullopt;
+  return parent;
+}
+
+}  // namespace
+
+bool IsAlphaAcyclic(const Hypergraph& graph) { return Reduce(graph).has_value(); }
+
+std::optional<JoinTree> BuildJoinTree(const Hypergraph& graph) {
+  auto parent = Reduce(graph);
+  if (!parent.has_value()) return std::nullopt;
+  JoinTree tree;
+  tree.parent = std::move(*parent);
+  return tree;
+}
+
+}  // namespace htd

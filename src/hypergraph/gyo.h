@@ -1,0 +1,30 @@
+// GYO (Graham / Yu-Ozsoyoglu) reduction and alpha-acyclicity.
+//
+// A hypergraph is alpha-acyclic iff GYO reduction (repeatedly delete "ear"
+// vertices that occur in exactly one edge, and edges contained in another
+// edge) empties it — and alpha-acyclicity is exactly hw(H) = 1. The optimal
+// solver uses this as its width-1 fast path and lower bound, and the CQ layer
+// uses the join tree that falls out of the reduction.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace htd {
+
+/// A join tree: parent[i] is the parent edge-id of edge i (or -1 for a root,
+/// or for edges absorbed as duplicates). For an acyclic hypergraph, edge i's
+/// shared vertices with its subtree-exterior are contained in parent[i].
+struct JoinTree {
+  std::vector<int> parent;
+};
+
+/// Returns true iff the hypergraph is alpha-acyclic (equivalently hw ≤ 1).
+bool IsAlphaAcyclic(const Hypergraph& graph);
+
+/// Builds a join tree if the hypergraph is acyclic; std::nullopt otherwise.
+std::optional<JoinTree> BuildJoinTree(const Hypergraph& graph);
+
+}  // namespace htd

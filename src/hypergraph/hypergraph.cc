@@ -1,0 +1,126 @@
+#include "hypergraph/hypergraph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace htd {
+
+int Hypergraph::GetOrAddVertex(const std::string& name) {
+  auto it = vertex_index_.find(name);
+  if (it != vertex_index_.end()) return it->second;
+  int id = num_vertices();
+  vertex_index_.emplace(name, id);
+  vertex_names_.push_back(name);
+  incidence_.emplace_back();
+  return id;
+}
+
+int Hypergraph::AddVertex() {
+  // Pick a fresh auto-name; user-supplied names may collide with "v<i>".
+  int id = num_vertices();
+  std::string name = "v" + std::to_string(id);
+  while (vertex_index_.count(name) > 0) name += "_";
+  return GetOrAddVertex(name);
+}
+
+util::StatusOr<int> Hypergraph::AddEdge(std::string name,
+                                        const std::vector<int>& vertices) {
+  if (vertices.empty()) {
+    return util::Status::InvalidArgument("edge '" + name + "' has no vertices");
+  }
+  std::vector<int> sorted = vertices;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (int v : sorted) {
+    if (v < 0 || v >= num_vertices()) {
+      return util::Status::InvalidArgument("edge '" + name +
+                                           "' references unknown vertex id " +
+                                           std::to_string(v));
+    }
+  }
+  // Keep the invariant that every edge bitset spans the current vertex
+  // universe; edges created before later vertices are grown in place.
+  for (Edge& existing : edges_) {
+    if (existing.vertices.size_bits() < num_vertices()) {
+      existing.vertices.GrowUniverse(num_vertices());
+    }
+  }
+  int id = num_edges();
+  Edge edge;
+  edge.name = std::move(name);
+  edge.vertices = util::DynamicBitset::FromVector(num_vertices(), sorted);
+  edge.vertex_list = std::move(sorted);
+  for (int v : edge.vertex_list) incidence_[v].push_back(id);
+  edge_index_.emplace(edge.name, id);
+  edges_.push_back(std::move(edge));
+  return id;
+}
+
+util::StatusOr<int> Hypergraph::AddEdge(const std::vector<int>& vertices) {
+  std::string name = "e" + std::to_string(num_edges());
+  while (edge_index_.count(name) > 0) name += "_";
+  return AddEdge(std::move(name), vertices);
+}
+
+int Hypergraph::FindVertex(const std::string& name) const {
+  auto it = vertex_index_.find(name);
+  return it == vertex_index_.end() ? -1 : it->second;
+}
+
+int Hypergraph::FindEdge(const std::string& name) const {
+  auto it = edge_index_.find(name);
+  return it == edge_index_.end() ? -1 : it->second;
+}
+
+util::DynamicBitset Hypergraph::AllVertices() const {
+  util::DynamicBitset all(num_vertices());
+  all.SetAll();
+  return all;
+}
+
+util::DynamicBitset Hypergraph::AllEdges() const {
+  util::DynamicBitset all(num_edges());
+  all.SetAll();
+  return all;
+}
+
+util::DynamicBitset Hypergraph::UnionOfEdges(const std::vector<int>& edge_ids) const {
+  util::DynamicBitset result(num_vertices());
+  for (int e : edge_ids) {
+    HTD_DCHECK(e >= 0 && e < num_edges());
+    // Edge bitsets may be over a smaller (older) vertex universe; normalise.
+    for (int v : edges_[e].vertex_list) result.Set(v);
+  }
+  return result;
+}
+
+util::DynamicBitset Hypergraph::UnionOfEdges(const util::DynamicBitset& edge_set) const {
+  util::DynamicBitset result(num_vertices());
+  edge_set.ForEach([&](int e) {
+    for (int v : edges_[e].vertex_list) result.Set(v);
+  });
+  return result;
+}
+
+bool Hypergraph::HasIsolatedVertices() const {
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (incidence_[v].empty()) return true;
+  }
+  return false;
+}
+
+std::string Hypergraph::ToString() const {
+  std::ostringstream out;
+  out << "Hypergraph(|V|=" << num_vertices() << ", |E|=" << num_edges() << ")\n";
+  for (int e = 0; e < num_edges(); ++e) {
+    out << "  " << edges_[e].name << "(";
+    for (size_t i = 0; i < edges_[e].vertex_list.size(); ++i) {
+      if (i > 0) out << ",";
+      out << vertex_names_[edges_[e].vertex_list[i]];
+    }
+    out << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace htd

@@ -1,0 +1,82 @@
+// Hypergraph: the central input structure.
+//
+// A hypergraph H = (V(H), E(H)) with dense integer vertex and edge ids.
+// Edge contents are stored both as a vertex bitset (for set algebra in the
+// decomposition algorithms) and as a sorted id list (for iteration and I/O).
+// Vertex/edge names are retained for parsing and pretty-printing; following
+// the paper (§2), isolated vertices do not exist: every vertex belongs to at
+// least one edge once construction is finished.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/status.h"
+
+namespace htd {
+
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  /// Returns the id of the named vertex, creating it if new.
+  int GetOrAddVertex(const std::string& name);
+
+  /// Adds an anonymous vertex ("v<i>").
+  int AddVertex();
+
+  /// Adds an edge over existing vertex ids. Duplicate vertices within the
+  /// edge are collapsed; empty edges are rejected (paper assumes non-empty).
+  util::StatusOr<int> AddEdge(std::string name, const std::vector<int>& vertices);
+
+  /// Convenience overload with an auto-generated name ("e<i>").
+  util::StatusOr<int> AddEdge(const std::vector<int>& vertices);
+
+  int num_vertices() const { return static_cast<int>(vertex_names_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  const util::DynamicBitset& edge_vertices(int e) const { return edges_[e].vertices; }
+  const std::vector<int>& edge_vertex_list(int e) const { return edges_[e].vertex_list; }
+  const std::string& edge_name(int e) const { return edges_[e].name; }
+  const std::string& vertex_name(int v) const { return vertex_names_[v]; }
+
+  /// Edges incident to a vertex, ascending.
+  const std::vector<int>& edges_of_vertex(int v) const { return incidence_[v]; }
+
+  /// Looks up a vertex by name; -1 if absent.
+  int FindVertex(const std::string& name) const;
+  /// Looks up an edge by name; -1 if absent (first match if duplicated).
+  int FindEdge(const std::string& name) const;
+
+  /// Bitset with every vertex set.
+  util::DynamicBitset AllVertices() const;
+  /// Bitset with every edge set.
+  util::DynamicBitset AllEdges() const;
+
+  /// Union of the vertex sets of the given edges: ⋃λ.
+  util::DynamicBitset UnionOfEdges(const std::vector<int>& edge_ids) const;
+  util::DynamicBitset UnionOfEdges(const util::DynamicBitset& edge_set) const;
+
+  /// True iff any vertex appears in no edge (violates the paper's w.l.o.g.
+  /// assumption; parsers and generators never produce this).
+  bool HasIsolatedVertices() const;
+
+  std::string ToString() const;
+
+ private:
+  struct Edge {
+    std::string name;
+    util::DynamicBitset vertices;
+    std::vector<int> vertex_list;
+  };
+
+  std::vector<std::string> vertex_names_;
+  std::unordered_map<std::string, int> vertex_index_;
+  std::vector<Edge> edges_;
+  std::unordered_map<std::string, int> edge_index_;
+  std::vector<std::vector<int>> incidence_;
+};
+
+}  // namespace htd

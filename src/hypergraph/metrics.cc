@@ -1,0 +1,31 @@
+#include "hypergraph/metrics.h"
+
+#include <algorithm>
+
+namespace htd {
+
+HypergraphStats ComputeStats(const Hypergraph& graph) {
+  HypergraphStats stats;
+  stats.num_vertices = graph.num_vertices();
+  stats.num_edges = graph.num_edges();
+  long arity_sum = 0;
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    int arity = static_cast<int>(graph.edge_vertex_list(e).size());
+    stats.max_arity = std::max(stats.max_arity, arity);
+    arity_sum += arity;
+  }
+  stats.avg_arity =
+      graph.num_edges() == 0 ? 0.0 : static_cast<double>(arity_sum) / graph.num_edges();
+  long degree_sum = 0;
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    int degree = static_cast<int>(graph.edges_of_vertex(v).size());
+    stats.max_degree = std::max(stats.max_degree, degree);
+    degree_sum += degree;
+  }
+  stats.avg_degree = graph.num_vertices() == 0
+                         ? 0.0
+                         : static_cast<double>(degree_sum) / graph.num_vertices();
+  return stats;
+}
+
+}  // namespace htd

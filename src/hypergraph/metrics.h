@@ -1,0 +1,23 @@
+// Structural statistics of hypergraphs.
+//
+// Besides general reporting, these feed the hybridisation metrics of
+// log-k-decomp (§D.2): EdgeCount = |E(H)| and
+// WeightedCount = |E(H)| * k / avg-arity.
+#pragma once
+
+#include "hypergraph/hypergraph.h"
+
+namespace htd {
+
+struct HypergraphStats {
+  int num_vertices = 0;
+  int num_edges = 0;
+  int max_arity = 0;
+  double avg_arity = 0.0;
+  int max_degree = 0;
+  double avg_degree = 0.0;
+};
+
+HypergraphStats ComputeStats(const Hypergraph& graph);
+
+}  // namespace htd

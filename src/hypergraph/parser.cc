@@ -1,0 +1,228 @@
+#include "hypergraph/parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace htd {
+namespace {
+
+// Strips '%'-to-end-of-line comments (HyperBench format).
+std::string StripPercentComments(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  bool in_comment = false;
+  for (char ch : text) {
+    if (ch == '\n') {
+      in_comment = false;
+      out.push_back(ch);
+    } else if (in_comment) {
+      continue;
+    } else if (ch == '%') {
+      in_comment = true;
+    } else {
+      out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.' || c == '[' || c == ']' || c == '\'' || c == '/' ||
+         c == '+';
+}
+
+class HyperBenchScanner {
+ public:
+  explicit HyperBenchScanner(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  // Reads a maximal identifier; empty string on failure.
+  std::string ReadIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+    return text_.substr(start, pos_ - start);
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::StatusOr<Hypergraph> ParseHyperBench(const std::string& raw) {
+  std::string text = StripPercentComments(raw);
+  HyperBenchScanner scan(text);
+  Hypergraph graph;
+  bool expect_more = true;
+  while (!scan.AtEnd()) {
+    if (!expect_more) {
+      return util::Status::InvalidArgument(
+          "trailing content after final '.' at offset " + std::to_string(scan.pos()));
+    }
+    std::string edge_name = scan.ReadIdent();
+    if (edge_name.empty()) {
+      return util::Status::InvalidArgument("expected edge name at offset " +
+                                           std::to_string(scan.pos()));
+    }
+    if (!scan.Consume('(')) {
+      return util::Status::InvalidArgument("expected '(' after edge '" + edge_name +
+                                           "'");
+    }
+    std::vector<int> vertices;
+    if (scan.Peek() != ')') {
+      for (;;) {
+        std::string vertex_name = scan.ReadIdent();
+        if (vertex_name.empty()) {
+          return util::Status::InvalidArgument("expected vertex name in edge '" +
+                                               edge_name + "'");
+        }
+        vertices.push_back(graph.GetOrAddVertex(vertex_name));
+        if (scan.Consume(',')) continue;
+        break;
+      }
+    }
+    if (!scan.Consume(')')) {
+      return util::Status::InvalidArgument("expected ')' closing edge '" + edge_name +
+                                           "'");
+    }
+    auto added = graph.AddEdge(edge_name, vertices);
+    if (!added.ok()) return added.status();
+    if (scan.Consume(',')) {
+      expect_more = true;
+    } else if (scan.Consume('.')) {
+      expect_more = false;
+    } else {
+      // Newline-separated edges without ',' also occur in the wild.
+      expect_more = true;
+    }
+  }
+  if (graph.num_edges() == 0) {
+    return util::Status::InvalidArgument("no edges found in HyperBench input");
+  }
+  return graph;
+}
+
+util::StatusOr<Hypergraph> ParsePace(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int declared_vertices = -1;
+  int declared_edges = -1;
+  Hypergraph graph;
+  int line_no = 0;
+  int edges_seen = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream fields(line);
+    if (line[0] == 'p') {
+      std::string p, fmt;
+      fields >> p >> fmt >> declared_vertices >> declared_edges;
+      if (fmt != "htd" && fmt != "hd") {
+        return util::Status::InvalidArgument("line " + std::to_string(line_no) +
+                                             ": unsupported format '" + fmt + "'");
+      }
+      if (declared_vertices < 0 || declared_edges < 0 || fields.fail()) {
+        return util::Status::InvalidArgument("line " + std::to_string(line_no) +
+                                             ": malformed problem line");
+      }
+      // Guard against absurd declarations: the header drives an eager
+      // vertex allocation, so a corrupt size must not exhaust memory.
+      constexpr int kMaxDeclaredVertices = 10'000'000;
+      if (declared_vertices > kMaxDeclaredVertices) {
+        return util::Status::InvalidArgument(
+            "line " + std::to_string(line_no) + ": vertex count " +
+            std::to_string(declared_vertices) + " exceeds the supported maximum");
+      }
+      for (int v = 1; v <= declared_vertices; ++v) {
+        graph.GetOrAddVertex(std::to_string(v));
+      }
+      continue;
+    }
+    if (declared_vertices < 0) {
+      return util::Status::InvalidArgument("edge data before 'p htd' header (line " +
+                                           std::to_string(line_no) + ")");
+    }
+    int edge_id;
+    if (!(fields >> edge_id)) {
+      return util::Status::InvalidArgument("line " + std::to_string(line_no) +
+                                           ": expected edge id");
+    }
+    std::vector<int> vertices;
+    int v;
+    while (fields >> v) {
+      if (v < 1 || v > declared_vertices) {
+        return util::Status::InvalidArgument("line " + std::to_string(line_no) +
+                                             ": vertex " + std::to_string(v) +
+                                             " out of range");
+      }
+      vertices.push_back(v - 1);
+    }
+    auto added = graph.AddEdge("e" + std::to_string(edge_id), vertices);
+    if (!added.ok()) return added.status();
+    ++edges_seen;
+  }
+  if (declared_vertices < 0) {
+    return util::Status::InvalidArgument("missing 'p htd' header");
+  }
+  if (edges_seen != declared_edges) {
+    return util::Status::InvalidArgument(
+        "header declares " + std::to_string(declared_edges) + " edges but " +
+        std::to_string(edges_seen) + " were found");
+  }
+  return graph;
+}
+
+util::StatusOr<Hypergraph> ParseAuto(const std::string& text) {
+  // A PACE file has a 'p htd' problem line before any edge data.
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line.rfind("p ", 0) == 0) return ParsePace(text);
+    break;
+  }
+  return ParseHyperBench(text);
+}
+
+util::StatusOr<Hypergraph> ParseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status::NotFound("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseAuto(buffer.str());
+}
+
+}  // namespace htd

@@ -1,0 +1,32 @@
+// Parsers for the two on-disk hypergraph formats used by the HD community.
+//
+//  * HyperBench / det-k-decomp format:  lines of  name(v1,v2,...),  with the
+//    final edge terminated by '.' or end of input; '%' starts a line comment.
+//    This is the format of the 3648 HyperBench instances.
+//  * PACE 2019 "htd" format:  a 'p htd <n> <m>' header followed by one line
+//    per edge: <edge-id> <vertex-id>... ; 'c' lines are comments.
+//
+// ParseAuto sniffs the format. All parsers reject structurally invalid input
+// with a descriptive Status rather than crashing.
+#pragma once
+
+#include <string>
+
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace htd {
+
+/// Parses the HyperBench / det-k-decomp "name(v1,v2,...)," format.
+util::StatusOr<Hypergraph> ParseHyperBench(const std::string& text);
+
+/// Parses the PACE 2019 hypertree ("p htd") format.
+util::StatusOr<Hypergraph> ParsePace(const std::string& text);
+
+/// Detects the format (PACE if a 'p htd' header is present) and parses.
+util::StatusOr<Hypergraph> ParseAuto(const std::string& text);
+
+/// Reads a file and parses it with ParseAuto.
+util::StatusOr<Hypergraph> ParseFile(const std::string& path);
+
+}  // namespace htd

@@ -1,0 +1,33 @@
+#include "hypergraph/writer.h"
+
+#include <sstream>
+
+namespace htd {
+
+std::string WriteHyperBench(const Hypergraph& graph) {
+  std::ostringstream out;
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    out << graph.edge_name(e) << "(";
+    const auto& vertices = graph.edge_vertex_list(e);
+    for (size_t i = 0; i < vertices.size(); ++i) {
+      if (i > 0) out << ",";
+      out << graph.vertex_name(vertices[i]);
+    }
+    out << ")";
+    out << (e + 1 == graph.num_edges() ? ".\n" : ",\n");
+  }
+  return out.str();
+}
+
+std::string WritePace(const Hypergraph& graph) {
+  std::ostringstream out;
+  out << "p htd " << graph.num_vertices() << " " << graph.num_edges() << "\n";
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    out << (e + 1);
+    for (int v : graph.edge_vertex_list(e)) out << " " << (v + 1);
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace htd

@@ -1,0 +1,16 @@
+// Serialisation of hypergraphs back to the community formats.
+#pragma once
+
+#include <string>
+
+#include "hypergraph/hypergraph.h"
+
+namespace htd {
+
+/// Renders in HyperBench / det-k-decomp format ("name(v1,v2),\n...").
+std::string WriteHyperBench(const Hypergraph& graph);
+
+/// Renders in PACE 2019 'p htd' format.
+std::string WritePace(const Hypergraph& graph);
+
+}  // namespace htd

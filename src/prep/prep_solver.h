@@ -1,0 +1,47 @@
+// PreprocessingSolver: wraps any HdSolver with the width-preserving
+// reductions of prep/preprocess.h.
+//
+// Solve(H, k) preprocesses H, runs the inner solver on every reduced
+// component, and lifts the component HDs back to an HD of H. Because the
+// reductions preserve hw exactly (see preprocess.h), the wrapper is both
+// sound and complete: it answers kYes/kNo exactly when the inner solver
+// would on the raw input — typically much faster, since subsumed edges and
+// twin vertices inflate the separator search space without changing the
+// decomposition structure.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/solver.h"
+#include "prep/preprocess.h"
+
+namespace htd {
+
+/// Owning convenience factory: wraps `inner` (taking ownership) in a
+/// PreprocessingSolver. Handy for solver-factory call sites.
+std::unique_ptr<HdSolver> MakePreprocessingSolver(std::unique_ptr<HdSolver> inner,
+                                                  PreprocessOptions options = {},
+                                                  bool validate_result = false);
+
+class PreprocessingSolver : public HdSolver {
+ public:
+  /// `inner` must outlive this wrapper.
+  explicit PreprocessingSolver(HdSolver& inner, PreprocessOptions options = {},
+                               bool validate_result = false)
+      : inner_(inner), options_(options), validate_result_(validate_result) {}
+
+  SolveResult Solve(const Hypergraph& graph, int k) override;
+  std::string name() const override { return inner_.name() + " + prep"; }
+
+  /// Stats of the most recent Solve()'s reduction pass.
+  const PreprocessStats& last_prep_stats() const { return last_prep_stats_; }
+
+ private:
+  HdSolver& inner_;
+  PreprocessOptions options_;
+  bool validate_result_;
+  PreprocessStats last_prep_stats_;
+};
+
+}  // namespace htd

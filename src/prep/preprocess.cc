@@ -1,0 +1,226 @@
+#include "prep/preprocess.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace htd {
+namespace {
+
+/// Plain union-find over 0..n-1 with path halving; smallest id wins as root
+/// so class representatives are stable and deterministic.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    parent_[b] = a;  // smaller id becomes the representative
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+const std::vector<int>& PreprocessedInstance::TwinClass(int rep) const {
+  HTD_CHECK(rep >= 0 && rep < static_cast<int>(twin_classes_.size()));
+  HTD_CHECK(!twin_classes_[rep].empty())
+      << "vertex " << rep << " is not a class representative";
+  return twin_classes_[rep];
+}
+
+int PreprocessedInstance::ReducedEdgeCount() const {
+  int total = 0;
+  for (const auto& c : components_) total += c.graph.num_edges();
+  return total;
+}
+
+PreprocessedInstance Preprocess(const Hypergraph& graph,
+                                const PreprocessOptions& options) {
+  const int n = graph.num_vertices();
+  const int m = graph.num_edges();
+
+  // Working state: surviving edges with their current (contracted) vertex
+  // sets, and a union-find of twin classes over the original vertices.
+  std::vector<bool> edge_alive(m, true);
+  std::vector<util::DynamicBitset> edge_set(m);
+  for (int e = 0; e < m; ++e) edge_set[e] = graph.edge_vertices(e);
+  UnionFind classes(n);
+
+  PreprocessedInstance out;
+  out.stats_.num_components = 0;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++out.stats_.fixpoint_rounds;
+
+    if (options.contract_twin_vertices) {
+      // Group current representatives by their incidence signature over the
+      // surviving edges. std::map keeps the grouping deterministic.
+      std::map<std::vector<int>, std::vector<int>> by_signature;
+      std::vector<std::vector<int>> incidence(n);
+      for (int e = 0; e < m; ++e) {
+        if (!edge_alive[e]) continue;
+        edge_set[e].ForEach([&](int v) { incidence[v].push_back(e); });
+      }
+      for (int v = 0; v < n; ++v) {
+        if (!incidence[v].empty()) by_signature[incidence[v]].push_back(v);
+      }
+      for (const auto& [signature, members] : by_signature) {
+        if (members.size() < 2) continue;
+        changed = true;
+        const int rep = members.front();  // members ascend, so rep is minimal
+        for (size_t i = 1; i < members.size(); ++i) {
+          classes.Union(rep, members[i]);
+          ++out.stats_.twin_vertices_contracted;
+          for (int e : signature) edge_set[e].Reset(members[i]);
+        }
+      }
+    }
+
+    if (options.remove_subsumed_edges) {
+      // e is dropped if e ⊆ f for a distinct surviving f; on equality the
+      // smaller id survives. Quadratic in |E| with bitset subset tests —
+      // negligible next to the decomposition search.
+      for (int e = 0; e < m; ++e) {
+        if (!edge_alive[e]) continue;
+        for (int f = 0; f < m && edge_alive[e]; ++f) {
+          if (f == e || !edge_alive[f]) continue;
+          if (!edge_set[e].IsSubsetOf(edge_set[f])) continue;
+          if (edge_set[e] == edge_set[f] && e < f) continue;
+          edge_alive[e] = false;
+          ++out.stats_.subsumed_edges_removed;
+          changed = true;
+        }
+      }
+    }
+
+    if (!options.contract_twin_vertices && !options.remove_subsumed_edges) break;
+  }
+
+  // Materialise the twin classes (indexed by representative).
+  out.twin_classes_.assign(n, {});
+  for (int v = 0; v < n; ++v) out.twin_classes_[classes.Find(v)].push_back(v);
+
+  // Split the surviving edges into connected components (vertices shared ⇒
+  // same component); without the option everything is one component.
+  UnionFind comp(n);
+  for (int e = 0; e < m; ++e) {
+    if (!edge_alive[e]) continue;
+    const int first = edge_set[e].FindFirst();
+    edge_set[e].ForEach([&](int v) { comp.Union(first, v); });
+  }
+
+  std::map<int, std::vector<int>> edges_by_component;  // deterministic order
+  for (int e = 0; e < m; ++e) {
+    if (!edge_alive[e]) continue;
+    const int key =
+        options.split_components ? comp.Find(edge_set[e].FindFirst()) : 0;
+    edges_by_component[key].push_back(e);
+  }
+
+  for (const auto& [key, edges] : edges_by_component) {
+    ReducedComponent component;
+    std::vector<int> orig_to_local(n, -1);
+    for (int e : edges) {
+      std::vector<int> local_vertices;
+      edge_set[e].ForEach([&](int v) {
+        if (orig_to_local[v] == -1) {
+          orig_to_local[v] =
+              component.graph.GetOrAddVertex(graph.vertex_name(v));
+          component.vertex_to_orig.push_back(v);
+        }
+        local_vertices.push_back(orig_to_local[v]);
+      });
+      auto added = component.graph.AddEdge(graph.edge_name(e), local_vertices);
+      HTD_CHECK(added.ok()) << added.status().ToString();
+      component.edge_to_orig.push_back(e);
+    }
+    out.components_.push_back(std::move(component));
+  }
+  out.stats_.num_components = static_cast<int>(out.components_.size());
+  return out;
+}
+
+Decomposition PreprocessedInstance::Lift(
+    const Hypergraph& original,
+    const std::vector<Decomposition>& component_decomps) const {
+  HTD_CHECK_EQ(component_decomps.size(), components_.size())
+      << "one decomposition per reduced component required";
+
+  Decomposition lifted;
+  const int n = original.num_vertices();
+
+  if (components_.empty()) {
+    // Edgeless hypergraph: a single empty node is a width-0 HD.
+    lifted.AddNode({}, util::DynamicBitset(n), -1);
+    return lifted;
+  }
+
+  int overall_root = -1;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    const ReducedComponent& component = components_[i];
+    const Decomposition& decomp = component_decomps[i];
+    HTD_CHECK_GE(decomp.root(), 0) << "component decomposition has no root";
+
+    // BFS so parents are always added before their children.
+    std::vector<int> new_id(decomp.num_nodes(), -1);
+    std::queue<int> queue;
+    queue.push(decomp.root());
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop();
+      const DecompNode& node = decomp.node(u);
+
+      std::vector<int> lambda;
+      lambda.reserve(node.lambda.size());
+      for (int e : node.lambda) lambda.push_back(component.edge_to_orig[e]);
+      std::sort(lambda.begin(), lambda.end());
+
+      util::DynamicBitset chi(n);
+      node.chi.ForEach([&](int local_v) {
+        // Re-expand the whole twin class of the representative.
+        for (int member : TwinClass(component.vertex_to_orig[local_v])) {
+          chi.Set(member);
+        }
+      });
+
+      int parent;
+      if (node.parent >= 0) {
+        parent = new_id[node.parent];
+      } else {
+        // Component roots: the first becomes the overall root, the others
+        // attach below it (disjoint vertex sets keep all HD conditions
+        // independent across components).
+        parent = (i == 0) ? -1 : overall_root;
+      }
+      new_id[u] = lifted.AddNode(std::move(lambda), std::move(chi), parent);
+      if (i == 0 && node.parent < 0) overall_root = new_id[u];
+
+      for (int child : node.children) queue.push(child);
+    }
+  }
+  return lifted;
+}
+
+}  // namespace htd

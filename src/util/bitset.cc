@@ -1,0 +1,108 @@
+#include "util/bitset.h"
+
+#include <sstream>
+
+namespace htd::util {
+
+int DynamicBitset::Count() const {
+  int count = 0;
+  for (uint64_t w : words_) count += __builtin_popcountll(w);
+  return count;
+}
+
+bool DynamicBitset::Any() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
+  HTD_DCHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& other) const {
+  HTD_DCHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+DynamicBitset& DynamicBitset::InplaceOr(const DynamicBitset& other) {
+  HTD_DCHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::InplaceAnd(const DynamicBitset& other) {
+  HTD_DCHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::InplaceAndNot(const DynamicBitset& other) {
+  HTD_DCHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+bool DynamicBitset::operator<(const DynamicBitset& other) const {
+  if (num_bits_ != other.num_bits_) return num_bits_ < other.num_bits_;
+  return words_ < other.words_;
+}
+
+int DynamicBitset::FindFirst() const {
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) return static_cast<int>(w * 64 + __builtin_ctzll(words_[w]));
+  }
+  return -1;
+}
+
+int DynamicBitset::FindNext(int i) const {
+  ++i;
+  if (i >= num_bits_) return -1;
+  size_t w = i >> 6;
+  uint64_t word = words_[w] >> (i & 63);
+  if (word != 0) return i + __builtin_ctzll(word);
+  for (++w; w < words_.size(); ++w) {
+    if (words_[w] != 0) return static_cast<int>(w * 64 + __builtin_ctzll(words_[w]));
+  }
+  return -1;
+}
+
+std::vector<int> DynamicBitset::ToVector() const {
+  std::vector<int> out;
+  out.reserve(Count());
+  ForEach([&](int i) { out.push_back(i); });
+  return out;
+}
+
+size_t DynamicBitset::Hash() const {
+  // FNV-1a over the words; adequate for hash-map keys in caches.
+  size_t h = 1469598103934665603ull;
+  for (uint64_t w : words_) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return h ^ static_cast<size_t>(num_bits_);
+}
+
+std::string DynamicBitset::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  ForEach([&](int i) {
+    if (!first) out << ", ";
+    out << i;
+    first = false;
+  });
+  out << "}";
+  return out.str();
+}
+
+}  // namespace htd::util

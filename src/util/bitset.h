@@ -1,0 +1,143 @@
+// DynamicBitset: a fixed-universe bitset sized at runtime.
+//
+// The workhorse data structure of the library. Vertex sets (bags, separators,
+// Conn interfaces) and edge sets (subhypergraphs, allowed-edge sets) are all
+// DynamicBitsets over a hypergraph's vertex / edge universe. All binary
+// operations require operands of identical universe size.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace htd::util {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Creates an all-zero bitset over a universe of `num_bits` elements.
+  explicit DynamicBitset(int num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {
+    HTD_CHECK_GE(num_bits, 0);
+  }
+
+  /// Convenience constructor from explicit indices (mostly for tests).
+  static DynamicBitset FromIndices(int num_bits, std::initializer_list<int> bits) {
+    DynamicBitset b(num_bits);
+    for (int i : bits) b.Set(i);
+    return b;
+  }
+  static DynamicBitset FromVector(int num_bits, const std::vector<int>& bits) {
+    DynamicBitset b(num_bits);
+    for (int i : bits) b.Set(i);
+    return b;
+  }
+
+  int size_bits() const { return num_bits_; }
+
+  /// Grows the universe to `new_num_bits` (which must be >= the current
+  /// size); existing bits keep their positions.
+  void GrowUniverse(int new_num_bits) {
+    HTD_CHECK_GE(new_num_bits, num_bits_);
+    num_bits_ = new_num_bits;
+    words_.resize((new_num_bits + 63) / 64, 0);
+  }
+
+  bool Test(int i) const {
+    HTD_DCHECK(i >= 0 && i < num_bits_) << i << " vs " << num_bits_;
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void Set(int i) {
+    HTD_DCHECK(i >= 0 && i < num_bits_) << i << " vs " << num_bits_;
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+  void Reset(int i) {
+    HTD_DCHECK(i >= 0 && i < num_bits_) << i << " vs " << num_bits_;
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  void Clear() {
+    for (auto& w : words_) w = 0;
+  }
+  void SetAll() {
+    for (auto& w : words_) w = ~uint64_t{0};
+    TrimTail();
+  }
+
+  int Count() const;
+  bool Any() const;
+  bool None() const { return !Any(); }
+
+  /// True iff this ⊆ other.
+  bool IsSubsetOf(const DynamicBitset& other) const;
+  /// True iff this ∩ other ≠ ∅.
+  bool Intersects(const DynamicBitset& other) const;
+
+  DynamicBitset& InplaceOr(const DynamicBitset& other);
+  DynamicBitset& InplaceAnd(const DynamicBitset& other);
+  /// this := this \ other.
+  DynamicBitset& InplaceAndNot(const DynamicBitset& other);
+
+  friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
+    return a.InplaceOr(b);
+  }
+  friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) {
+    return a.InplaceAnd(b);
+  }
+  /// Set difference a \ b.
+  friend DynamicBitset operator-(DynamicBitset a, const DynamicBitset& b) {
+    return a.InplaceAndNot(b);
+  }
+
+  bool operator==(const DynamicBitset& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+  bool operator!=(const DynamicBitset& other) const { return !(*this == other); }
+  /// Total order (lexicographic on words); usable as map key.
+  bool operator<(const DynamicBitset& other) const;
+
+  /// Index of the lowest set bit, or -1 if empty.
+  int FindFirst() const;
+  /// Index of the lowest set bit strictly greater than `i`, or -1.
+  int FindNext(int i) const;
+
+  /// Invokes f(int index) for each set bit in increasing order.
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        int bit = __builtin_ctzll(word);
+        f(static_cast<int>(w * 64 + bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  std::vector<int> ToVector() const;
+
+  size_t Hash() const;
+
+  /// Renders as "{1, 4, 7}"; handy in test failure messages.
+  std::string ToString() const;
+
+ private:
+  void TrimTail() {
+    int tail = num_bits_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  int num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+struct DynamicBitsetHash {
+  size_t operator()(const DynamicBitset& b) const { return b.Hash(); }
+};
+
+}  // namespace htd::util

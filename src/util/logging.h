@@ -1,0 +1,61 @@
+// Minimal CHECK-style assertion macros (glog-flavoured, exception-free).
+//
+// HTD_CHECK(cond) << "message";  aborts with file/line + streamed message if
+// cond is false. HTD_DCHECK compiles to a no-op in NDEBUG builds.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace htd::util {
+
+/// Collects a streamed failure message and aborts the process on destruction.
+/// Used by the HTD_CHECK family below; not intended for direct use.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a check is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace htd::util
+
+#define HTD_CHECK(cond)                                            \
+  if (!(cond))                                                     \
+  ::htd::util::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#define HTD_CHECK_EQ(a, b) HTD_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HTD_CHECK_NE(a, b) HTD_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HTD_CHECK_LT(a, b) HTD_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HTD_CHECK_LE(a, b) HTD_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HTD_CHECK_GT(a, b) HTD_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HTD_CHECK_GE(a, b) HTD_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define HTD_DCHECK(cond) \
+  if (false) ::htd::util::NullStream()
+#else
+#define HTD_DCHECK(cond) HTD_CHECK(cond)
+#endif

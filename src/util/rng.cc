@@ -1,0 +1,60 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace htd::util {
+
+uint64_t Rng::Next64() {
+  // splitmix64 (public domain, Vigna).
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  HTD_CHECK_LE(lo, hi);
+  uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  // Lemire's multiply-shift rejection method for unbiased bounded integers.
+  uint64_t x = Next64();
+  __uint128_t m = static_cast<__uint128_t>(x) * range;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < range) {
+    uint64_t threshold = -range % range;
+    while (l < threshold) {
+      x = Next64();
+      m = static_cast<__uint128_t>(x) * range;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return lo + static_cast<int>(m >> 64);
+}
+
+double Rng::UniformDouble() {
+  return (Next64() >> 11) * 0x1.0p-53;
+}
+
+std::vector<int> Rng::SampleDistinct(int lo, int hi, int count) {
+  int universe = hi - lo + 1;
+  HTD_CHECK_LE(count, universe);
+  std::vector<int> out;
+  out.reserve(count);
+  if (count * 3 >= universe) {
+    // Dense case: shuffle the universe prefix.
+    std::vector<int> all(universe);
+    for (int i = 0; i < universe; ++i) all[i] = lo + i;
+    Shuffle(all);
+    out.assign(all.begin(), all.begin() + count);
+  } else {
+    std::unordered_set<int> seen;
+    while (static_cast<int>(out.size()) < count) {
+      int v = UniformInt(lo, hi);
+      if (seen.insert(v).second) out.push_back(v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace htd::util

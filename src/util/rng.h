@@ -1,0 +1,49 @@
+// Deterministic, platform-independent PRNG for the synthetic corpus.
+//
+// std::mt19937_64 output is portable but the standard distributions are not;
+// we therefore implement the few samplers we need on top of splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace htd::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  uint64_t Next64();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (int i = static_cast<int>(v.size()) - 1; i > 0; --i) {
+      int j = UniformInt(0, i);
+      std::swap(v[i], v[j]);
+    }
+  }
+
+  /// Samples `count` distinct values from [lo, hi] (inclusive), sorted.
+  std::vector<int> SampleDistinct(int lo, int hi, int count);
+
+  /// Derives an independent child generator (for per-instance determinism).
+  Rng Fork() { return Rng(Next64() ^ 0x9e3779b97f4a7c15ull); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace htd::util

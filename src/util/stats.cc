@@ -1,0 +1,27 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace htd::util {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    max_ = min_ = x;
+  } else {
+    max_ = std::max(max_, x);
+    min_ = std::min(min_, x);
+  }
+  ++count_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double RunningStats::StdDev() const {
+  if (count_ == 0) return 0.0;
+  double mean = Mean();
+  double var = sum_sq_ / count_ - mean * mean;
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+}  // namespace htd::util

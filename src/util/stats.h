@@ -1,0 +1,30 @@
+// Running statistics (count / mean / max / stdev) for benchmark tables.
+//
+// Table 1 of the paper reports avg, max and stdev of runtimes over *solved*
+// instances only; RunningStats is the accumulator the harnesses use for that.
+#pragma once
+
+#include <string>
+
+namespace htd::util {
+
+class RunningStats {
+ public:
+  void Add(double x);
+
+  long Count() const { return count_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double Max() const { return count_ == 0 ? 0.0 : max_; }
+  double Min() const { return count_ == 0 ? 0.0 : min_; }
+  /// Population standard deviation (what the paper's stdev column reports).
+  double StdDev() const;
+
+ private:
+  long count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double max_ = 0.0;
+  double min_ = 0.0;
+};
+
+}  // namespace htd::util

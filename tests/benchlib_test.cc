@@ -1,0 +1,150 @@
+#include "benchlib/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "benchlib/runner.h"
+#include "benchlib/table.h"
+#include "core/log_k_decomp.h"
+#include "hypergraph/generators.h"
+
+namespace htd::bench {
+namespace {
+
+TEST(CorpusTest, DeterministicAcrossBuilds) {
+  CorpusConfig config;
+  auto a = BuildHyperBenchLikeCorpus(config);
+  auto b = BuildHyperBenchLikeCorpus(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].graph.num_edges(), b[i].graph.num_edges());
+    EXPECT_EQ(a[i].graph.num_vertices(), b[i].graph.num_vertices());
+  }
+}
+
+TEST(CorpusTest, StratificationMatchesHyperBenchShape) {
+  auto corpus = BuildHyperBenchLikeCorpus({});
+  std::map<std::pair<Origin, SizeBin>, int> cells;
+  for (const auto& instance : corpus) {
+    ++cells[{instance.origin, BinForEdgeCount(instance.graph.num_edges())}];
+  }
+  // Every Table 1 group except Application/>100 must be populated
+  // (HyperBench has no application instances above 100 edges).
+  for (Origin origin : {Origin::kApplication, Origin::kSynthetic}) {
+    for (SizeBin bin : {SizeBin::kUpTo10, SizeBin::k10To50, SizeBin::k50To75,
+                        SizeBin::k75To100}) {
+      EXPECT_GT((cells[{origin, bin}]), 0)
+          << OriginName(origin) << " / " << SizeBinName(bin);
+    }
+  }
+  EXPECT_GT((cells[{Origin::kSynthetic, SizeBin::kOver100}]), 0);
+  EXPECT_EQ((cells[{Origin::kApplication, SizeBin::kOver100}]), 0);
+}
+
+TEST(CorpusTest, KnownWidthsAreCorrectWhereStated) {
+  auto corpus = BuildHyperBenchLikeCorpus({});
+  LogKDecomp solver;
+  int checked = 0;
+  for (const auto& instance : corpus) {
+    if (!instance.known_width.has_value() || instance.graph.num_edges() > 40) {
+      continue;
+    }
+    OptimalRun run = FindOptimalWidth(solver, instance.graph, 10);
+    ASSERT_EQ(run.outcome, Outcome::kYes) << instance.name;
+    EXPECT_EQ(run.width, *instance.known_width) << instance.name;
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(CorpusTest, ScaleMultipliesInstances) {
+  CorpusConfig small, large;
+  large.scale = 2;
+  EXPECT_EQ(BuildHyperBenchLikeCorpus(large).size(),
+            2 * BuildHyperBenchLikeCorpus(small).size());
+}
+
+TEST(CorpusTest, NoIsolatedVertices) {
+  for (const auto& instance : BuildHyperBenchLikeCorpus({})) {
+    EXPECT_FALSE(instance.graph.HasIsolatedVertices()) << instance.name;
+  }
+}
+
+TEST(CorpusTest, SelectLargeSubsetFilters) {
+  auto corpus = BuildHyperBenchLikeCorpus({});
+  std::vector<int> widths(corpus.size(), -1);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    if (corpus[i].known_width.has_value()) widths[i] = *corpus[i].known_width;
+  }
+  auto selected = SelectLargeSubset(corpus, widths);
+  EXPECT_FALSE(selected.empty());
+  for (int i : selected) {
+    EXPECT_GT(corpus[i].graph.num_edges(), 50);
+    ASSERT_GE(widths[i], 1);
+    EXPECT_LE(widths[i], 6);
+  }
+}
+
+TEST(RunnerTest, SolvesEasyInstanceWithinTimeout) {
+  RunConfig config;
+  config.timeout_seconds = 10.0;
+  RunRecord record = RunOptimalWithTimeout(
+      [](const SolveOptions& options) -> std::unique_ptr<HdSolver> {
+        return std::make_unique<LogKDecomp>(options);
+      },
+      MakeCycle(8), config);
+  EXPECT_TRUE(record.solved);
+  EXPECT_EQ(record.width, 2);
+  EXPECT_LT(record.seconds, config.timeout_seconds);
+}
+
+TEST(RunnerTest, TimesOutOnHardInstance) {
+  RunConfig config;
+  config.timeout_seconds = 0.05;
+  config.max_width = 10;
+  RunRecord record = RunOptimalWithTimeout(
+      [](const SolveOptions& options) -> std::unique_ptr<HdSolver> {
+        return std::make_unique<LogKDecomp>(options);
+      },
+      MakeClique(14), config);
+  EXPECT_FALSE(record.solved);
+  EXPECT_FALSE(record.decided_no);
+}
+
+TEST(RunnerTest, DecisionRun) {
+  RunConfig config;
+  config.timeout_seconds = 10.0;
+  auto factory = [](const SolveOptions& options) -> std::unique_ptr<HdSolver> {
+    return std::make_unique<LogKDecomp>(options);
+  };
+  EXPECT_EQ(RunDecisionWithTimeout(factory, MakeCycle(8), 2, config), Outcome::kYes);
+  EXPECT_EQ(RunDecisionWithTimeout(factory, MakeCycle(8), 1, config), Outcome::kNo);
+}
+
+TEST(RunnerTest, ExactSolverRun) {
+  RunConfig config;
+  config.timeout_seconds = 10.0;
+  RunRecord record = RunExactWithTimeout(MakeCycle(9), config);
+  EXPECT_TRUE(record.solved);
+  EXPECT_EQ(record.width, 2);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable table;
+  table.AddRow({"method", "#solved", "avg"});
+  table.AddRow({"log-k", "3102", "30.5"});
+  std::string rendered = table.Render();
+  EXPECT_NE(rendered.find("method"), std::string::npos);
+  EXPECT_NE(rendered.find("3102"), std::string::npos);
+  EXPECT_NE(rendered.find("----"), std::string::npos);
+}
+
+TEST(TableTest, Fmt1Rounds) {
+  EXPECT_EQ(Fmt1(30.46), "30.5");
+  EXPECT_EQ(Fmt1(0.0), "0.0");
+}
+
+}  // namespace
+}  // namespace htd::bench

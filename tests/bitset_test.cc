@@ -1,0 +1,167 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+
+namespace htd::util {
+namespace {
+
+TEST(BitsetTest, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.Count(), 0);
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Any());
+  EXPECT_EQ(b.FindFirst(), -1);
+}
+
+TEST(BitsetTest, SetTestReset) {
+  DynamicBitset b(130);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3);
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2);
+}
+
+TEST(BitsetTest, SetAllRespectsUniverse) {
+  DynamicBitset b(70);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 70);
+  b.Clear();
+  EXPECT_EQ(b.Count(), 0);
+}
+
+TEST(BitsetTest, SetAllOnWordBoundary) {
+  DynamicBitset b(128);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 128);
+}
+
+TEST(BitsetTest, FromIndices) {
+  auto b = DynamicBitset::FromIndices(10, {1, 3, 7});
+  EXPECT_EQ(b.ToVector(), (std::vector<int>{1, 3, 7}));
+}
+
+TEST(BitsetTest, SubsetAndIntersects) {
+  auto a = DynamicBitset::FromIndices(100, {5, 50, 99});
+  auto b = DynamicBitset::FromIndices(100, {5, 50, 99, 3});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  auto c = DynamicBitset::FromIndices(100, {1, 2});
+  EXPECT_FALSE(a.Intersects(c));
+  DynamicBitset empty(100);
+  EXPECT_TRUE(empty.IsSubsetOf(a));
+  EXPECT_FALSE(empty.Intersects(a));
+}
+
+TEST(BitsetTest, BooleanOperators) {
+  auto a = DynamicBitset::FromIndices(80, {1, 2, 3, 70});
+  auto b = DynamicBitset::FromIndices(80, {3, 4, 70});
+  EXPECT_EQ((a | b).ToVector(), (std::vector<int>{1, 2, 3, 4, 70}));
+  EXPECT_EQ((a & b).ToVector(), (std::vector<int>{3, 70}));
+  EXPECT_EQ((a - b).ToVector(), (std::vector<int>{1, 2}));
+}
+
+TEST(BitsetTest, EqualityAndOrdering) {
+  auto a = DynamicBitset::FromIndices(64, {1});
+  auto b = DynamicBitset::FromIndices(64, {1});
+  auto c = DynamicBitset::FromIndices(64, {2});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a < c || c < a);
+}
+
+TEST(BitsetTest, FindNextWalksSetBits) {
+  auto b = DynamicBitset::FromIndices(200, {0, 63, 64, 128, 199});
+  std::vector<int> seen;
+  for (int i = b.FindFirst(); i != -1; i = b.FindNext(i)) seen.push_back(i);
+  EXPECT_EQ(seen, (std::vector<int>{0, 63, 64, 128, 199}));
+}
+
+TEST(BitsetTest, ForEachMatchesToVector) {
+  auto b = DynamicBitset::FromIndices(150, {3, 77, 149});
+  std::vector<int> seen;
+  b.ForEach([&](int i) { seen.push_back(i); });
+  EXPECT_EQ(seen, b.ToVector());
+}
+
+TEST(BitsetTest, GrowUniverseKeepsBits) {
+  auto b = DynamicBitset::FromIndices(10, {2, 9});
+  b.GrowUniverse(300);
+  EXPECT_EQ(b.size_bits(), 300);
+  EXPECT_TRUE(b.Test(2));
+  EXPECT_TRUE(b.Test(9));
+  EXPECT_EQ(b.Count(), 2);
+  b.Set(299);
+  EXPECT_EQ(b.Count(), 3);
+}
+
+TEST(BitsetTest, HashDistinguishesTypicalSets) {
+  auto a = DynamicBitset::FromIndices(64, {1, 2});
+  auto b = DynamicBitset::FromIndices(64, {1, 3});
+  EXPECT_NE(a.Hash(), b.Hash());
+  auto a2 = DynamicBitset::FromIndices(64, {1, 2});
+  EXPECT_EQ(a.Hash(), a2.Hash());
+}
+
+TEST(BitsetTest, ToStringRendersElements) {
+  auto b = DynamicBitset::FromIndices(10, {1, 4});
+  EXPECT_EQ(b.ToString(), "{1, 4}");
+  EXPECT_EQ(DynamicBitset(5).ToString(), "{}");
+}
+
+TEST(BitsetTest, ZeroSizedUniverse) {
+  DynamicBitset b(0);
+  EXPECT_EQ(b.Count(), 0);
+  EXPECT_TRUE(b.None());
+  EXPECT_EQ(b.FindFirst(), -1);
+}
+
+// Property sweep: random sets behave like std::set under union/intersection.
+class BitsetPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitsetPropertyTest, MatchesReferenceSets) {
+  Rng rng(GetParam());
+  const int universe = 1 + rng.UniformInt(1, 190);
+  std::set<int> ref_a, ref_b;
+  DynamicBitset a(universe), b(universe);
+  for (int i = 0; i < universe / 2; ++i) {
+    int x = rng.UniformInt(0, universe - 1);
+    int y = rng.UniformInt(0, universe - 1);
+    ref_a.insert(x);
+    ref_b.insert(y);
+    a.Set(x);
+    b.Set(y);
+  }
+  std::set<int> ref_union = ref_a, ref_inter, ref_diff;
+  ref_union.insert(ref_b.begin(), ref_b.end());
+  std::set_intersection(ref_a.begin(), ref_a.end(), ref_b.begin(), ref_b.end(),
+                        std::inserter(ref_inter, ref_inter.begin()));
+  std::set_difference(ref_a.begin(), ref_a.end(), ref_b.begin(), ref_b.end(),
+                      std::inserter(ref_diff, ref_diff.begin()));
+  auto as_vector = [](const std::set<int>& s) {
+    return std::vector<int>(s.begin(), s.end());
+  };
+  EXPECT_EQ((a | b).ToVector(), as_vector(ref_union));
+  EXPECT_EQ((a & b).ToVector(), as_vector(ref_inter));
+  EXPECT_EQ((a - b).ToVector(), as_vector(ref_diff));
+  EXPECT_EQ(a.Intersects(b), !ref_inter.empty());
+  EXPECT_EQ(a.IsSubsetOf(b), ref_diff.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitsetPropertyTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace htd::util

@@ -1,0 +1,203 @@
+// Tests for [U]-components of extended subhypergraphs (Definition 3.2).
+#include "decomp/components.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/generators.h"
+#include "util/rng.h"
+
+namespace htd {
+namespace {
+
+// The paper's Appendix B example: a cycle of length 10.
+class CycleComponentsTest : public ::testing::Test {
+ protected:
+  CycleComponentsTest()
+      : graph_(MakeCycle(10)),
+        registry_(graph_.num_vertices()),
+        full_(ExtendedSubhypergraph::FullGraph(graph_)) {}
+
+  Hypergraph graph_;
+  SpecialEdgeRegistry registry_;
+  ExtendedSubhypergraph full_;
+};
+
+TEST_F(CycleComponentsTest, EmptySeparatorYieldsOneComponent) {
+  ComponentSplit split =
+      SplitComponents(graph_, registry_, full_, util::DynamicBitset(10));
+  ASSERT_EQ(split.components.size(), 1u);
+  EXPECT_EQ(split.components[0].size(), 10);
+  EXPECT_EQ(split.covered.size(), 0);
+}
+
+TEST_F(CycleComponentsTest, PaperExampleLambdaR1R5) {
+  // [λ]-components for λ = {R1, R5} (the paper's Call 1): R1 = {x0,x1},
+  // R5 = {x4,x5}. Components: {R2,R3,R4} and {R6,...,R10}; R1 and R5 are
+  // covered by the separator.
+  util::DynamicBitset separator =
+      graph_.edge_vertices(0) | graph_.edge_vertices(4);
+  ComponentSplit split = SplitComponents(graph_, registry_, full_, separator);
+  ASSERT_EQ(split.components.size(), 2u);
+  int small = split.components[0].size() == 3 ? 0 : 1;
+  EXPECT_EQ(split.components[small].size(), 3);
+  EXPECT_EQ(split.components[1 - small].size(), 5);
+  EXPECT_EQ(split.covered.edge_count, 2);
+}
+
+TEST_F(CycleComponentsTest, ComponentsPartitionTheItems) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    util::DynamicBitset separator(10);
+    for (int v = 0; v < 10; ++v) {
+      if (rng.Chance(0.4)) separator.Set(v);
+    }
+    ComponentSplit split = SplitComponents(graph_, registry_, full_, separator);
+    int total = split.covered.edge_count;
+    util::DynamicBitset seen = split.covered.edges;
+    for (const auto& comp : split.components) {
+      total += comp.size();
+      EXPECT_FALSE(seen.Intersects(comp.edges)) << "components overlap";
+      seen.InplaceOr(comp.edges);
+    }
+    EXPECT_EQ(total, 10);
+  }
+}
+
+TEST_F(CycleComponentsTest, ComponentVerticesIncludeSeparatorVertices) {
+  // V(component) is the full union of its edges, including separator
+  // vertices (needed for Conn computations).
+  util::DynamicBitset separator =
+      graph_.edge_vertices(0) | graph_.edge_vertices(4);
+  ComponentSplit split = SplitComponents(graph_, registry_, full_, separator);
+  for (size_t i = 0; i < split.components.size(); ++i) {
+    util::DynamicBitset expected(graph_.num_vertices());
+    split.components[i].edges.ForEach(
+        [&](int e) { expected.InplaceOr(graph_.edge_vertices(e)); });
+    EXPECT_EQ(split.component_vertices[i], expected);
+  }
+}
+
+TEST(ComponentsTest, SpecialEdgesParticipate) {
+  // Path a-b-c-d plus a special edge {b, d}: with separator {c}, the special
+  // edge keeps {c,d}-side and {a,b}-side connected through b and d.
+  Hypergraph graph = MakePath(4);  // edges {0,1},{1,2},{2,3}
+  SpecialEdgeRegistry registry(graph.num_vertices());
+  int special =
+      registry.Add(util::DynamicBitset::FromIndices(4, {1, 3}), {});
+  ExtendedSubhypergraph sub = ExtendedSubhypergraph::FullGraph(graph);
+  sub.specials.push_back(special);
+
+  util::DynamicBitset separator = util::DynamicBitset::FromIndices(4, {2});
+  ComponentSplit split = SplitComponents(graph, registry, sub, separator);
+  // Without the special edge, {a,b} and {d} sides would be two components;
+  // the special edge {b,d} bridges them into one.
+  ASSERT_EQ(split.components.size(), 1u);
+  EXPECT_EQ(split.components[0].size(), 4);  // 3 edges + 1 special
+  EXPECT_EQ(split.components[0].specials.size(), 1u);
+}
+
+TEST(ComponentsTest, CoveredSpecialEdges) {
+  Hypergraph graph = MakePath(4);
+  SpecialEdgeRegistry registry(graph.num_vertices());
+  int special = registry.Add(util::DynamicBitset::FromIndices(4, {0, 1}), {});
+  ExtendedSubhypergraph sub = ExtendedSubhypergraph::FullGraph(graph);
+  sub.specials.push_back(special);
+
+  util::DynamicBitset separator = util::DynamicBitset::FromIndices(4, {0, 1});
+  ComponentSplit split = SplitComponents(graph, registry, sub, separator);
+  ASSERT_EQ(split.covered.specials.size(), 1u);
+  EXPECT_EQ(split.covered.specials[0], special);
+  EXPECT_EQ(split.covered.edge_count, 1);  // edge {0,1}
+}
+
+TEST(ComponentsTest, FindOversized) {
+  Hypergraph graph = MakeCycle(10);
+  SpecialEdgeRegistry registry(graph.num_vertices());
+  ExtendedSubhypergraph full = ExtendedSubhypergraph::FullGraph(graph);
+  // Separator = vertices of R1 only: one big component of 9 edges remains
+  // ([{x0,x1}]-components: R2..R10 are connected around the cycle).
+  ComponentSplit split =
+      SplitComponents(graph, registry, full, graph.edge_vertices(0));
+  ASSERT_EQ(split.components.size(), 1u);
+  EXPECT_EQ(split.FindOversized(10), 0);
+  EXPECT_EQ(split.MaxComponentSize(), 9);
+  // With total = 20 nothing is oversized.
+  EXPECT_EQ(split.FindOversized(20), -1);
+}
+
+TEST(ComponentsTest, DisconnectedHypergraph) {
+  // Two disjoint triangles: empty separator yields two components.
+  Hypergraph graph;
+  std::vector<int> v;
+  for (int i = 0; i < 6; ++i) v.push_back(graph.GetOrAddVertex("x" + std::to_string(i)));
+  for (int t = 0; t < 2; ++t) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(graph
+                      .AddEdge("t" + std::to_string(t) + "_" + std::to_string(i),
+                               {v[3 * t + i], v[3 * t + (i + 1) % 3]})
+                      .ok());
+    }
+  }
+  SpecialEdgeRegistry registry(graph.num_vertices());
+  ExtendedSubhypergraph full = ExtendedSubhypergraph::FullGraph(graph);
+  ComponentSplit split =
+      SplitComponents(graph, registry, full, util::DynamicBitset(6));
+  EXPECT_EQ(split.components.size(), 2u);
+}
+
+TEST(ComponentsTest, SeparatorCoveringEverything) {
+  Hypergraph graph = MakePath(5);
+  SpecialEdgeRegistry registry(graph.num_vertices());
+  ExtendedSubhypergraph full = ExtendedSubhypergraph::FullGraph(graph);
+  ComponentSplit split = SplitComponents(graph, registry, full, graph.AllVertices());
+  EXPECT_TRUE(split.components.empty());
+  EXPECT_EQ(split.covered.edge_count, 4);
+}
+
+TEST(ComponentsTest, SubhypergraphRestriction) {
+  // Splitting a strict subhypergraph must ignore edges outside it.
+  Hypergraph graph = MakeCycle(8);
+  SpecialEdgeRegistry registry(graph.num_vertices());
+  ExtendedSubhypergraph sub;
+  sub.edges = util::DynamicBitset::FromIndices(8, {1, 2, 5, 6});
+  sub.edge_count = 4;
+  ComponentSplit split =
+      SplitComponents(graph, registry, sub, util::DynamicBitset(8));
+  // {R2,R3} and {R6,R7} are separated once R4,R5,R8,R1 are absent.
+  ASSERT_EQ(split.components.size(), 2u);
+  EXPECT_EQ(split.components[0].size(), 2);
+  EXPECT_EQ(split.components[1].size(), 2);
+}
+
+// Property: for random separators on random CSPs, components never share
+// vertices outside the separator, and every non-covered item lands in
+// exactly one component.
+class ComponentInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComponentInvariantTest, SeparationInvariant) {
+  util::Rng rng(GetParam());
+  Hypergraph graph = MakeRandomCsp(rng, 20, 14, 2, 4);
+  SpecialEdgeRegistry registry(graph.num_vertices());
+  ExtendedSubhypergraph full = ExtendedSubhypergraph::FullGraph(graph);
+  util::DynamicBitset separator(graph.num_vertices());
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    if (rng.Chance(0.3)) separator.Set(v);
+  }
+  ComponentSplit split = SplitComponents(graph, registry, full, separator);
+  for (size_t i = 0; i < split.components.size(); ++i) {
+    for (size_t j = i + 1; j < split.components.size(); ++j) {
+      util::DynamicBitset shared =
+          split.component_vertices[i] & split.component_vertices[j];
+      EXPECT_TRUE(shared.IsSubsetOf(separator))
+          << "components " << i << "," << j << " share non-separator vertices";
+    }
+  }
+  int total = split.covered.edge_count;
+  for (const auto& comp : split.components) total += comp.size();
+  EXPECT_EQ(total, graph.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComponentInvariantTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace htd

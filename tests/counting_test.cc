@@ -1,0 +1,132 @@
+// Tests for CountSolutions: tractable CQ answer counting over HDs.
+#include <gtest/gtest.h>
+
+#include "core/log_k_decomp.h"
+#include "cq/database.h"
+#include "cq/query.h"
+#include "cq/yannakakis.h"
+#include "util/rng.h"
+
+namespace htd::cq {
+namespace {
+
+Decomposition Decompose(const Query& query) {
+  LogKDecomp solver;
+  OptimalRun run = FindOptimalWidth(solver, QueryHypergraph(query), 10);
+  HTD_CHECK(run.outcome == Outcome::kYes);
+  return std::move(*run.decomposition);
+}
+
+TEST(CountingTest, SimpleChainCount) {
+  auto query = ParseQuery("R(X,Y), S(Y,Z).");
+  ASSERT_TRUE(query.ok());
+  Database db;
+  // R: (1,2),(3,2),(4,5); S: (2,7),(2,8),(5,9).
+  db.AddRelation({"R", 2, {{1, 2}, {3, 2}, {4, 5}}});
+  db.AddRelation({"S", 2, {{2, 7}, {2, 8}, {5, 9}}});
+  // Join: (1,2,7),(1,2,8),(3,2,7),(3,2,8),(4,5,9) -> 5 answers.
+  auto count = CountSolutions(*query, db, Decompose(*query));
+  ASSERT_TRUE(count.ok()) << count.status().message();
+  EXPECT_EQ(*count, 5ull);
+}
+
+TEST(CountingTest, UnsatisfiableCountsZero) {
+  auto query = ParseQuery("R(X,Y), S(Y,Z).");
+  ASSERT_TRUE(query.ok());
+  Database db;
+  db.AddRelation({"R", 2, {{1, 2}}});
+  db.AddRelation({"S", 2, {{3, 4}}});
+  auto count = CountSolutions(*query, db, Decompose(*query));
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0ull);
+}
+
+TEST(CountingTest, TriangleCount) {
+  auto query = ParseQuery("R(X,Y), S(Y,Z), T(Z,X).");
+  ASSERT_TRUE(query.ok());
+  Database db;
+  // Two triangles 1-2-3 and 4-5-6 plus noise.
+  db.AddRelation({"R", 2, {{1, 2}, {4, 5}, {1, 9}}});
+  db.AddRelation({"S", 2, {{2, 3}, {5, 6}, {9, 9}}});
+  db.AddRelation({"T", 2, {{3, 1}, {6, 4}}});
+  auto count = CountSolutions(*query, db, Decompose(*query));
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 2ull);
+}
+
+TEST(CountingTest, DuplicateTuplesAreSetSemantics) {
+  auto query = ParseQuery("R(X,Y).");
+  ASSERT_TRUE(query.ok());
+  Database db;
+  db.AddRelation({"R", 2, {{1, 2}, {1, 2}, {1, 2}, {3, 4}}});
+  auto count = CountSolutions(*query, db, Decompose(*query));
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 2ull);  // duplicates collapse
+}
+
+TEST(CountingTest, RepeatedVariableAtom) {
+  auto query = ParseQuery("R(X,X,Y).");
+  ASSERT_TRUE(query.ok());
+  Database db;
+  db.AddRelation({"R", 3, {{1, 1, 2}, {1, 2, 3}, {4, 4, 4}, {4, 4, 5}}});
+  auto count = CountSolutions(*query, db, Decompose(*query));
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 3ull);  // (1,2), (4,4), (4,5)
+}
+
+TEST(CountingTest, MissingRelationReported) {
+  auto query = ParseQuery("R(X,Y).");
+  ASSERT_TRUE(query.ok());
+  Database db;
+  EXPECT_FALSE(CountSolutions(*query, db, Decompose(*query)).ok());
+}
+
+TEST(CountingTest, CartesianProductCount) {
+  // Disconnected query: count multiplies across components.
+  auto query = ParseQuery("R(X,Y), S(U,V).");
+  ASSERT_TRUE(query.ok());
+  Database db;
+  db.AddRelation({"R", 2, {{1, 2}, {3, 4}, {5, 6}}});
+  db.AddRelation({"S", 2, {{7, 8}, {9, 10}}});
+  auto count = CountSolutions(*query, db, Decompose(*query));
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 6ull);
+}
+
+// Property: the HD-guided count equals the brute-force count on random
+// queries and databases, and matches EvaluateWithDecomposition on
+// satisfiability.
+class CountingPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CountingPropertyTest, AgreesWithBruteForce) {
+  util::Rng rng(GetParam() + 1000);
+  std::string text;
+  int atoms = rng.UniformInt(3, 5);
+  for (int i = 0; i < atoms; ++i) {
+    if (i > 0) text += ", ";
+    text += "R" + std::to_string(i) + "(V" + std::to_string(i) + ",V" +
+            std::to_string(i + 1) + ")";
+  }
+  text += ", C(V0,V" + std::to_string(rng.UniformInt(1, 2)) + ").";
+  auto query = ParseQuery(text);
+  ASSERT_TRUE(query.ok());
+  Database db = RandomDatabase(rng, *query, /*domain_size=*/4,
+                               /*tuples_per_relation=*/7,
+                               /*satisfiable_bias=*/0.5);
+  Decomposition decomp = Decompose(*query);
+
+  auto fast = CountSolutions(*query, db, decomp);
+  auto slow = CountSolutionsBruteForce(*query, db);
+  ASSERT_TRUE(fast.ok()) << fast.status().message();
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(*fast, *slow) << "seed " << GetParam();
+
+  auto boolean = EvaluateWithDecomposition(*query, db, decomp);
+  ASSERT_TRUE(boolean.ok());
+  EXPECT_EQ(boolean->satisfiable, *fast > 0) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CountingPropertyTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace htd::cq

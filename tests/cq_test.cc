@@ -1,0 +1,185 @@
+#include "cq/yannakakis.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/opt_solver.h"
+#include "core/log_k_decomp.h"
+#include "cq/database.h"
+#include "cq/query.h"
+#include "util/rng.h"
+
+namespace htd::cq {
+namespace {
+
+TEST(QueryParseTest, Basic) {
+  auto query = ParseQuery("R(X,Y), S(Y,Z).");
+  ASSERT_TRUE(query.ok()) << query.status().message();
+  ASSERT_EQ(query->atoms.size(), 2u);
+  EXPECT_EQ(query->atoms[0].relation, "R");
+  EXPECT_EQ(query->atoms[0].variables, (std::vector<std::string>{"X", "Y"}));
+}
+
+TEST(QueryParseTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("R(X").ok());
+  EXPECT_FALSE(ParseQuery("R()").ok());
+  EXPECT_FALSE(ParseQuery("(X,Y)").ok());
+}
+
+TEST(QueryHypergraphTest, SharedVariables) {
+  auto query = ParseQuery("R(X,Y), S(Y,Z), T(Z,X).");
+  ASSERT_TRUE(query.ok());
+  Hypergraph graph = QueryHypergraph(*query);
+  EXPECT_EQ(graph.num_vertices(), 3);
+  EXPECT_EQ(graph.num_edges(), 3);
+  EXPECT_TRUE(graph.edge_vertices(0).Intersects(graph.edge_vertices(1)));
+}
+
+TEST(QueryHypergraphTest, RepeatedVariableCollapses) {
+  auto query = ParseQuery("R(X,X,Y).");
+  ASSERT_TRUE(query.ok());
+  Hypergraph graph = QueryHypergraph(*query);
+  EXPECT_EQ(graph.edge_vertex_list(0).size(), 2u);
+}
+
+class YannakakisTest : public ::testing::Test {
+ protected:
+  // Decomposes the query's hypergraph with log-k-decomp at optimal width.
+  Decomposition Decompose(const Query& query) {
+    LogKDecomp solver;
+    OptimalRun run = FindOptimalWidth(solver, QueryHypergraph(query), 10);
+    HTD_CHECK(run.outcome == Outcome::kYes);
+    return std::move(*run.decomposition);
+  }
+};
+
+TEST_F(YannakakisTest, SimpleSatisfiableJoin) {
+  auto query = ParseQuery("R(X,Y), S(Y,Z).");
+  ASSERT_TRUE(query.ok());
+  Database db;
+  db.AddRelation({"R", 2, {{1, 2}, {3, 4}}});
+  db.AddRelation({"S", 2, {{2, 5}}});
+  auto result = EvaluateWithDecomposition(*query, db, Decompose(*query));
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_TRUE(result->satisfiable);
+  EXPECT_EQ(result->witness.at("X"), 1);
+  EXPECT_EQ(result->witness.at("Y"), 2);
+  EXPECT_EQ(result->witness.at("Z"), 5);
+}
+
+TEST_F(YannakakisTest, UnsatisfiableJoin) {
+  auto query = ParseQuery("R(X,Y), S(Y,Z).");
+  ASSERT_TRUE(query.ok());
+  Database db;
+  db.AddRelation({"R", 2, {{1, 2}}});
+  db.AddRelation({"S", 2, {{3, 4}}});
+  auto result = EvaluateWithDecomposition(*query, db, Decompose(*query));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->satisfiable);
+}
+
+TEST_F(YannakakisTest, CyclicQueryTriangle) {
+  auto query = ParseQuery("R(X,Y), S(Y,Z), T(Z,X).");
+  ASSERT_TRUE(query.ok());
+  Database db;
+  db.AddRelation({"R", 2, {{1, 2}, {2, 3}}});
+  db.AddRelation({"S", 2, {{2, 3}, {3, 1}}});
+  db.AddRelation({"T", 2, {{3, 1}, {1, 2}}});
+  auto result = EvaluateWithDecomposition(*query, db, Decompose(*query));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->satisfiable);
+  // Verify the witness satisfies every atom.
+  int64_t x = result->witness.at("X");
+  int64_t y = result->witness.at("Y");
+  int64_t z = result->witness.at("Z");
+  EXPECT_TRUE((x == 1 && y == 2 && z == 3));
+}
+
+TEST_F(YannakakisTest, RepeatedVariableAtom) {
+  auto query = ParseQuery("R(X,X).");
+  ASSERT_TRUE(query.ok());
+  Database db;
+  db.AddRelation({"R", 2, {{1, 2}, {3, 3}}});
+  auto result = EvaluateWithDecomposition(*query, db, Decompose(*query));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->satisfiable);
+  EXPECT_EQ(result->witness.at("X"), 3);
+}
+
+TEST_F(YannakakisTest, MissingRelationReported) {
+  auto query = ParseQuery("R(X,Y).");
+  ASSERT_TRUE(query.ok());
+  Database db;
+  auto result = EvaluateWithDecomposition(*query, db, Decompose(*query));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(YannakakisTest, ArityMismatchReported) {
+  auto query = ParseQuery("R(X,Y).");
+  ASSERT_TRUE(query.ok());
+  Database db;
+  db.AddRelation({"R", 3, {{1, 2, 3}}});
+  auto result = EvaluateWithDecomposition(*query, db, Decompose(*query));
+  EXPECT_FALSE(result.ok());
+}
+
+// Differential testing: HD-guided evaluation must agree with brute force on
+// random queries and databases, and its witnesses must satisfy every atom.
+class YannakakisPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(YannakakisPropertyTest, AgreesWithBruteForce) {
+  util::Rng rng(GetParam());
+  // Random chain query with some cross joins; small domain so both outcomes
+  // occur across seeds.
+  auto query = ParseQuery([&] {
+    std::string text;
+    int atoms = rng.UniformInt(3, 6);
+    for (int i = 0; i < atoms; ++i) {
+      if (i > 0) text += ", ";
+      text += "R" + std::to_string(i) + "(V" + std::to_string(i) + ",V" +
+              std::to_string(i + 1) + ")";
+    }
+    text += ", C(V0,V" + std::to_string(rng.UniformInt(1, 3)) + ").";
+    return text;
+  }());
+  ASSERT_TRUE(query.ok());
+  Database db = RandomDatabase(rng, *query, /*domain_size=*/4,
+                               /*tuples_per_relation=*/6,
+                               /*satisfiable_bias=*/0.6);
+
+  LogKDecomp solver;
+  OptimalRun run = FindOptimalWidth(solver, QueryHypergraph(*query), 10);
+  ASSERT_EQ(run.outcome, Outcome::kYes);
+
+  auto fast = EvaluateWithDecomposition(*query, db, *run.decomposition);
+  auto slow = EvaluateBruteForce(*query, db);
+  ASSERT_TRUE(fast.ok()) << fast.status().message();
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(fast->satisfiable, slow->satisfiable) << "seed " << GetParam();
+
+  if (fast->satisfiable) {
+    // The witness must satisfy every atom.
+    for (const Atom& atom : query->atoms) {
+      const Relation* rel = db.Find(atom.relation);
+      ASSERT_NE(rel, nullptr);
+      Tuple expected;
+      for (const auto& variable : atom.variables) {
+        expected.push_back(fast->witness.at(variable));
+      }
+      bool found = false;
+      for (const Tuple& t : rel->tuples) {
+        if (t == expected) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "witness violates atom " << atom.relation << " (seed "
+                         << GetParam() << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, YannakakisPropertyTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace htd::cq

@@ -1,0 +1,127 @@
+// JSON decomposition reader: round-trips with the writer, and rejects every
+// malformed-input class with a useful error.
+#include <gtest/gtest.h>
+
+#include "baselines/det_k_decomp.h"
+#include "core/log_k_decomp.h"
+#include "decomp/decomp_reader.h"
+#include "decomp/decomp_writer.h"
+#include "decomp/validation.h"
+#include "hypergraph/generators.h"
+#include "util/rng.h"
+
+namespace htd {
+namespace {
+
+TEST(DecompReaderTest, ParsesHandWrittenDocument) {
+  Hypergraph path = MakePath(3);  // R1(x0,x1), R2(x1,x2)
+  const char* json = R"({"nodes": [
+    {"id": 0, "parent": -1, "lambda": ["R1"], "chi": ["x0", "x1"]},
+    {"id": 1, "parent": 0, "lambda": ["R2"], "chi": ["x1", "x2"]}
+  ]})";
+  auto decomp = ParseDecompositionJson(path, json);
+  ASSERT_TRUE(decomp.ok()) << decomp.status().ToString();
+  EXPECT_EQ(decomp->num_nodes(), 2);
+  EXPECT_EQ(decomp->Width(), 1);
+  Validation validation = ValidateHd(path, *decomp);
+  EXPECT_TRUE(validation.ok) << validation.error;
+}
+
+TEST(DecompReaderTest, AcceptsNodesInArbitraryOrder) {
+  Hypergraph path = MakePath(3);
+  // Child listed before its parent, ids not dense.
+  const char* json = R"({"nodes": [
+    {"id": 7, "parent": 42, "lambda": ["R2"], "chi": ["x1", "x2"]},
+    {"id": 42, "parent": -1, "lambda": ["R1"], "chi": ["x0", "x1"]}
+  ]})";
+  auto decomp = ParseDecompositionJson(path, json);
+  ASSERT_TRUE(decomp.ok()) << decomp.status().ToString();
+  EXPECT_EQ(decomp->num_nodes(), 2);
+  EXPECT_EQ(decomp->node(decomp->root()).lambda, (std::vector<int>{0}));
+}
+
+TEST(DecompReaderTest, ChecksDeclaredWidth) {
+  Hypergraph path = MakePath(3);
+  const char* json = R"({"width": 2, "nodes": [
+    {"id": 0, "parent": -1, "lambda": ["R1"], "chi": ["x0", "x1"]},
+    {"id": 1, "parent": 0, "lambda": ["R2"], "chi": ["x1", "x2"]}
+  ]})";
+  auto decomp = ParseDecompositionJson(path, json);
+  ASSERT_FALSE(decomp.ok());
+  EXPECT_NE(decomp.status().message().find("width"), std::string::npos);
+}
+
+struct BadCase {
+  const char* name;
+  const char* json;
+};
+
+class DecompReaderRejectionTest : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(DecompReaderRejectionTest, RejectsMalformedInput) {
+  Hypergraph path = MakePath(3);
+  auto decomp = ParseDecompositionJson(path, GetParam().json);
+  EXPECT_FALSE(decomp.ok()) << "case: " << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DecompReaderRejectionTest,
+    ::testing::Values(
+        BadCase{"empty", ""},
+        BadCase{"not_json", "hello"},
+        BadCase{"no_nodes", R"({"width": 1})"},
+        BadCase{"empty_nodes", R"({"nodes": []})"},
+        BadCase{"two_roots",
+                R"({"nodes": [{"id": 0, "parent": -1, "lambda": [], "chi": []},
+                              {"id": 1, "parent": -1, "lambda": [], "chi": []}]})"},
+        BadCase{"no_root",
+                R"({"nodes": [{"id": 0, "parent": 1, "lambda": [], "chi": []},
+                              {"id": 1, "parent": 0, "lambda": [], "chi": []}]})"},
+        BadCase{"unknown_parent",
+                R"({"nodes": [{"id": 0, "parent": 9, "lambda": [], "chi": []}]})"},
+        BadCase{"duplicate_id",
+                R"({"nodes": [{"id": 0, "parent": -1, "lambda": [], "chi": []},
+                              {"id": 0, "parent": 0, "lambda": [], "chi": []}]})"},
+        BadCase{"unknown_edge",
+                R"({"nodes": [{"id": 0, "parent": -1, "lambda": ["nope"], "chi": []}]})"},
+        BadCase{"unknown_vertex",
+                R"({"nodes": [{"id": 0, "parent": -1, "lambda": [], "chi": ["nope"]}]})"},
+        BadCase{"missing_parent_field",
+                R"({"nodes": [{"id": 0, "lambda": [], "chi": []}]})"},
+        BadCase{"unterminated_string",
+                R"({"nodes": [{"id": 0, "parent": -1, "lambda": ["R1)"},
+        BadCase{"trailing_garbage",
+                R"({"nodes": [{"id": 0, "parent": -1, "lambda": [], "chi": []}]} x)"}),
+    [](const ::testing::TestParamInfo<BadCase>& info) { return info.param.name; });
+
+class RoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripTest, WriterOutputParsesBackIdentically) {
+  const uint64_t seed = GetParam();
+  util::Rng rng(seed);
+  Hypergraph graph = (seed % 2 == 0) ? MakeRandomCsp(rng, 12, 8, 2, 4)
+                                     : MakeRandomCq(rng, 10, 4, 0.3);
+  DetKDecomp solver;
+  OptimalRun run = FindOptimalWidth(solver, graph, 6);
+  ASSERT_EQ(run.outcome, Outcome::kYes) << "seed=" << seed;
+
+  std::string json = WriteDecompositionJson(graph, *run.decomposition);
+  auto parsed = ParseDecompositionJson(graph, json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << " seed=" << seed;
+
+  // Node-by-node equality (ids are preserved by the writer).
+  ASSERT_EQ(parsed->num_nodes(), run.decomposition->num_nodes());
+  EXPECT_EQ(parsed->Width(), run.decomposition->Width());
+  for (int u = 0; u < parsed->num_nodes(); ++u) {
+    EXPECT_EQ(parsed->node(u).lambda, run.decomposition->node(u).lambda);
+    EXPECT_EQ(parsed->node(u).chi, run.decomposition->node(u).chi);
+    EXPECT_EQ(parsed->node(u).parent, run.decomposition->node(u).parent);
+  }
+  Validation validation = ValidateHd(graph, *parsed);
+  EXPECT_TRUE(validation.ok) << validation.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace htd

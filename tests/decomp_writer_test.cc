@@ -1,0 +1,69 @@
+#include "decomp/decomp_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/log_k_decomp.h"
+#include "hypergraph/generators.h"
+
+namespace htd {
+namespace {
+
+class DecompWriterTest : public ::testing::Test {
+ protected:
+  DecompWriterTest() : graph_(MakeCycle(6)) {
+    LogKDecomp solver;
+    SolveResult result = solver.Solve(graph_, 2);
+    HTD_CHECK(result.outcome == Outcome::kYes);
+    decomp_ = std::move(*result.decomposition);
+  }
+  Hypergraph graph_;
+  Decomposition decomp_;
+};
+
+TEST_F(DecompWriterTest, GmlContainsAllNodesAndEdges) {
+  std::string gml = WriteDecompositionGml(graph_, decomp_);
+  size_t node_count = 0, edge_count = 0, pos = 0;
+  while ((pos = gml.find("node [", pos)) != std::string::npos) {
+    ++node_count;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = gml.find("edge [", pos)) != std::string::npos) {
+    ++edge_count;
+    ++pos;
+  }
+  EXPECT_EQ(node_count, static_cast<size_t>(decomp_.num_nodes()));
+  EXPECT_EQ(edge_count, static_cast<size_t>(decomp_.num_nodes() - 1));
+  EXPECT_NE(gml.find("directed 1"), std::string::npos);
+}
+
+TEST_F(DecompWriterTest, GmlMentionsEdgeAndVertexNames) {
+  std::string gml = WriteDecompositionGml(graph_, decomp_);
+  EXPECT_NE(gml.find("R1"), std::string::npos);
+  EXPECT_NE(gml.find("x0"), std::string::npos);
+}
+
+TEST_F(DecompWriterTest, JsonHasWidthAndStructure) {
+  std::string json = WriteDecompositionJson(graph_, decomp_);
+  EXPECT_NE(json.find("\"width\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"parent\": -1"), std::string::npos);  // the root
+  EXPECT_NE(json.find("\"lambda\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"chi\": ["), std::string::npos);
+  // Rough balance check of the JSON structure.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(DecompWriterEmptyTest, EmptyDecomposition) {
+  Hypergraph empty;
+  Decomposition decomp;
+  EXPECT_NE(WriteDecompositionGml(empty, decomp).find("graph ["),
+            std::string::npos);
+  EXPECT_NE(WriteDecompositionJson(empty, decomp).find("\"nodes\": []"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace htd

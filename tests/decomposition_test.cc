@@ -1,0 +1,56 @@
+#include "decomp/decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/generators.h"
+
+namespace htd {
+namespace {
+
+TEST(DecompositionTest, EmptyDecomposition) {
+  Decomposition decomp;
+  EXPECT_EQ(decomp.num_nodes(), 0);
+  EXPECT_EQ(decomp.root(), -1);
+  EXPECT_EQ(decomp.Width(), 0);
+  EXPECT_EQ(decomp.Depth(), 0);
+}
+
+TEST(DecompositionTest, SingleNode) {
+  Decomposition decomp;
+  int root = decomp.AddNode({0, 1}, util::DynamicBitset::FromIndices(4, {0, 1}), -1);
+  EXPECT_EQ(decomp.root(), root);
+  EXPECT_EQ(decomp.Width(), 2);
+  EXPECT_EQ(decomp.Depth(), 1);
+  EXPECT_TRUE(decomp.node(root).children.empty());
+}
+
+TEST(DecompositionTest, ParentChildLinks) {
+  Decomposition decomp;
+  int root = decomp.AddNode({0}, util::DynamicBitset::FromIndices(4, {0}), -1);
+  int child = decomp.AddNode({1}, util::DynamicBitset::FromIndices(4, {1}), root);
+  int grandchild =
+      decomp.AddNode({2, 3}, util::DynamicBitset::FromIndices(4, {2}), child);
+  EXPECT_EQ(decomp.node(child).parent, root);
+  EXPECT_EQ(decomp.node(root).children, (std::vector<int>{child}));
+  EXPECT_EQ(decomp.node(grandchild).parent, child);
+  EXPECT_EQ(decomp.Depth(), 3);
+  EXPECT_EQ(decomp.Width(), 2);
+}
+
+TEST(DecompositionTest, LambdaIsSortedOnInsert) {
+  Decomposition decomp;
+  int node = decomp.AddNode({3, 1, 2}, util::DynamicBitset(4), -1);
+  EXPECT_EQ(decomp.node(node).lambda, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(DecompositionTest, ToStringMentionsLabels) {
+  Hypergraph graph = MakePath(3);  // edges R1={x0,x1}, R2={x1,x2}
+  Decomposition decomp;
+  decomp.AddNode({0}, graph.edge_vertices(0), -1);
+  std::string rendered = decomp.ToString(graph);
+  EXPECT_NE(rendered.find("R1"), std::string::npos);
+  EXPECT_NE(rendered.find("x0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace htd

@@ -1,0 +1,124 @@
+// FHD solver (fractional/fhd_solver.*): soundness (valid GHDs within the
+// fractional budget), the K5 witness where fhw < hw, and monotonicity.
+#include <gtest/gtest.h>
+
+#include "baselines/det_k_decomp.h"
+#include "decomp/validation.h"
+#include "fractional/cover.h"
+#include "fractional/fhd_solver.h"
+#include "hypergraph/generators.h"
+#include "util/cancel.h"
+#include "util/rng.h"
+
+namespace htd::fractional {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+FhdOptions Validated() {
+  FhdOptions options;
+  options.base.validate_result = true;
+  return options;
+}
+
+TEST(FhdSolverTest, CliqueK5BeatsIntegralWidth) {
+  // fhw(K5) = 5/2 via the single bag V(K5); hw(K5) = 3. The FHD solver must
+  // accept w = 2.5 where every integral solver needs k = 3.
+  Hypergraph clique = MakeClique(5);
+
+  DetKDecomp integral;
+  EXPECT_EQ(integral.Solve(clique, 2).outcome, Outcome::kNo);
+  EXPECT_EQ(integral.Solve(clique, 3).outcome, Outcome::kYes);
+
+  FhdSolver solver(Validated());
+  FhdResult result = solver.Solve(clique, 2.5);
+  ASSERT_EQ(result.outcome, Outcome::kYes);
+  EXPECT_NEAR(result.fractional_width, 2.5, kTol);
+  Validation validation = ValidateGhd(clique, *result.decomposition);
+  EXPECT_TRUE(validation.ok) << validation.error;
+}
+
+TEST(FhdSolverTest, CliqueRejectsBelowHalfN) {
+  Hypergraph clique = MakeClique(5);
+  FhdSolver solver(Validated());
+  // Any bag covering an edge {u, v} plus the connecting structure forces
+  // rho* >= ... in particular w = 2 is infeasible for K5 within any bag
+  // family: fhw(K5) = 2.5.
+  EXPECT_EQ(solver.Solve(clique, 2.0).outcome, Outcome::kNo);
+}
+
+TEST(FhdSolverTest, OddCycleNeedsWidthTwo) {
+  Hypergraph cycle = MakeCycle(9);
+  FhdSolver solver(Validated());
+  // Bags that split a long cycle contain two disjoint binary edges: rho* = 2.
+  // (The base case does not apply: rho*(V(C9)) = 4.5.)
+  EXPECT_EQ(solver.Solve(cycle, 1.5).outcome, Outcome::kNo);
+  FhdResult result = solver.Solve(cycle, 2.0);
+  ASSERT_EQ(result.outcome, Outcome::kYes);
+  EXPECT_LE(result.fractional_width, 2.0 + kTol);
+}
+
+TEST(FhdSolverTest, AcyclicInstanceIsWidthOne) {
+  Hypergraph path = MakePath(8);
+  FhdSolver solver(Validated());
+  FhdResult result = solver.Solve(path, 1.0);
+  ASSERT_EQ(result.outcome, Outcome::kYes);
+  EXPECT_NEAR(result.fractional_width, 1.0, kTol);
+}
+
+TEST(FhdSolverTest, EdgelessGraphTrivial) {
+  Hypergraph empty;
+  FhdSolver solver;
+  FhdResult result = solver.Solve(empty, 1.0);
+  EXPECT_EQ(result.outcome, Outcome::kYes);
+}
+
+TEST(FhdSolverTest, CancellationStopsSearch) {
+  Hypergraph clique = MakeClique(9);
+  util::CancelToken token;
+  token.RequestStop();
+  FhdOptions options;
+  options.base.cancel = &token;
+  FhdSolver solver(options);
+  EXPECT_EQ(solver.Solve(clique, 2.0).outcome, Outcome::kCancelled);
+}
+
+TEST(FhdSolverTest, RespectsExplicitLambdaBound) {
+  // With max_lambda = 1 only single-edge bags (plus the base case) exist:
+  // the cycle C6 cannot be decomposed that way at width 1.
+  Hypergraph cycle = MakeCycle(6);
+  FhdOptions options;
+  options.max_lambda = 1;
+  FhdSolver narrow(options);
+  EXPECT_EQ(narrow.Solve(cycle, 1.0).outcome, Outcome::kNo);
+}
+
+class FhdPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FhdPropertyTest, SoundMonotoneAndBelowIntegralWidth) {
+  const uint64_t seed = GetParam();
+  util::Rng rng(seed);
+  Hypergraph graph = (seed % 2 == 0) ? MakeRandomCsp(rng, 11, 7, 2, 4)
+                                     : MakeRandomCq(rng, 8, 4, 0.3);
+
+  DetKDecomp integral;
+  OptimalRun run = FindOptimalWidth(integral, graph, 6);
+  ASSERT_EQ(run.outcome, Outcome::kYes) << "seed=" << seed;
+
+  // The integral optimum is always fractionally feasible.
+  FhdSolver solver(Validated());
+  FhdResult at_hw = solver.Solve(graph, static_cast<double>(run.width));
+  ASSERT_EQ(at_hw.outcome, Outcome::kYes) << "seed=" << seed;
+  EXPECT_LE(at_hw.fractional_width, run.width + kTol) << "seed=" << seed;
+  Validation validation = ValidateGhd(graph, *at_hw.decomposition);
+  EXPECT_TRUE(validation.ok) << validation.error << " seed=" << seed;
+
+  // Monotonicity: a half-unit more budget cannot flip yes into no.
+  FhdResult wider = solver.Solve(graph, run.width + 0.5);
+  EXPECT_EQ(wider.outcome, Outcome::kYes) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FhdPropertyTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace htd::fractional

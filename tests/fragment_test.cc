@@ -1,0 +1,120 @@
+#include "decomp/fragment.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/generators.h"
+
+namespace htd {
+namespace {
+
+TEST(FragmentTest, AddNodesAndConvert) {
+  Fragment fragment;
+  int root = fragment.AddNode({0}, util::DynamicBitset::FromIndices(4, {0, 1}));
+  int child = fragment.AddNode({1}, util::DynamicBitset::FromIndices(4, {1, 2}));
+  fragment.SetRoot(root);
+  fragment.AddChild(root, child);
+  Decomposition decomp = fragment.ToDecomposition();
+  EXPECT_EQ(decomp.num_nodes(), 2);
+  EXPECT_EQ(decomp.node(decomp.root()).children.size(), 1u);
+}
+
+TEST(FragmentTest, SpecialLeafBookkeeping) {
+  Fragment fragment;
+  int root = fragment.AddNode({0}, util::DynamicBitset::FromIndices(4, {0, 1}));
+  int leaf = fragment.AddSpecialLeaf(7, util::DynamicBitset::FromIndices(4, {1}));
+  fragment.SetRoot(root);
+  fragment.AddChild(root, leaf);
+  EXPECT_EQ(fragment.CountSpecialLeaves(), 1);
+  EXPECT_EQ(fragment.FindSpecialLeaf(7), leaf);
+  EXPECT_EQ(fragment.FindSpecialLeaf(8), -1);
+  fragment.ReplaceSpecialLeaf(leaf, {2, 1});
+  EXPECT_EQ(fragment.CountSpecialLeaves(), 0);
+  EXPECT_EQ(fragment.node(leaf).lambda, (std::vector<int>{1, 2}));
+}
+
+TEST(FragmentTest, GraftCopiesSubtree) {
+  Fragment target;
+  int root = target.AddNode({0}, util::DynamicBitset::FromIndices(4, {0}));
+  target.SetRoot(root);
+
+  Fragment other;
+  int oroot = other.AddNode({1}, util::DynamicBitset::FromIndices(4, {1}));
+  int ochild = other.AddNode({2}, util::DynamicBitset::FromIndices(4, {2}));
+  other.SetRoot(oroot);
+  other.AddChild(oroot, ochild);
+
+  int new_root = target.Graft(other, root);
+  EXPECT_EQ(target.num_nodes(), 3);
+  EXPECT_EQ(target.node(root).children, (std::vector<int>{new_root}));
+  ASSERT_EQ(target.node(new_root).children.size(), 1u);
+  int new_child = target.node(new_root).children[0];
+  EXPECT_EQ(target.node(new_child).lambda, (std::vector<int>{2}));
+}
+
+TEST(FragmentTest, TruncateRollsBack) {
+  Fragment fragment;
+  int root = fragment.AddNode({0}, util::DynamicBitset(4));
+  fragment.SetRoot(root);
+  int checkpoint = fragment.num_nodes();
+  int extra = fragment.AddNode({1}, util::DynamicBitset(4));
+  fragment.AddChild(root, extra);
+  fragment.TruncateTo(checkpoint);
+  EXPECT_EQ(fragment.num_nodes(), 1);
+  EXPECT_TRUE(fragment.node(root).children.empty());
+  EXPECT_EQ(fragment.root(), root);
+}
+
+TEST(FragmentTest, TruncateClearsRootIfDropped) {
+  Fragment fragment;
+  int root = fragment.AddNode({0}, util::DynamicBitset(4));
+  fragment.SetRoot(root);
+  fragment.TruncateTo(0);
+  EXPECT_EQ(fragment.root(), -1);
+  EXPECT_EQ(fragment.num_nodes(), 0);
+}
+
+TEST(FragmentTest, MaterializeSpecialLeavesUsesWitness) {
+  SpecialEdgeRegistry registry(5);
+  int s = registry.Add(util::DynamicBitset::FromIndices(5, {1, 2}), {3, 1});
+  Fragment fragment;
+  int root = fragment.AddNode({0}, util::DynamicBitset::FromIndices(5, {0, 1, 2}));
+  int leaf = fragment.AddSpecialLeaf(s, registry.vertices(s));
+  fragment.SetRoot(root);
+  fragment.AddChild(root, leaf);
+  fragment.MaterializeSpecialLeaves(registry);
+  EXPECT_EQ(fragment.CountSpecialLeaves(), 0);
+  EXPECT_EQ(fragment.node(leaf).lambda, (std::vector<int>{1, 3}));
+}
+
+TEST(FragmentTest, RerootPreservesTreeShape) {
+  // Path root - a - b; reroot at b: children lists reverse.
+  Fragment fragment;
+  int r = fragment.AddNode({0}, util::DynamicBitset(4));
+  int a = fragment.AddNode({1}, util::DynamicBitset(4));
+  int b = fragment.AddNode({2}, util::DynamicBitset(4));
+  fragment.SetRoot(r);
+  fragment.AddChild(r, a);
+  fragment.AddChild(a, b);
+  fragment.RerootAt(b);
+  EXPECT_EQ(fragment.root(), b);
+  EXPECT_EQ(fragment.node(b).children, (std::vector<int>{a}));
+  EXPECT_EQ(fragment.node(a).children, (std::vector<int>{r}));
+  EXPECT_TRUE(fragment.node(r).children.empty());
+  // Still convertible: 3 nodes, depth 3.
+  Decomposition decomp = fragment.ToDecomposition();
+  EXPECT_EQ(decomp.Depth(), 3);
+}
+
+TEST(FragmentTest, RerootAtCurrentRootIsNoOp) {
+  Fragment fragment;
+  int r = fragment.AddNode({0}, util::DynamicBitset(4));
+  int a = fragment.AddNode({1}, util::DynamicBitset(4));
+  fragment.SetRoot(r);
+  fragment.AddChild(r, a);
+  fragment.RerootAt(r);
+  EXPECT_EQ(fragment.root(), r);
+  EXPECT_EQ(fragment.node(r).children, (std::vector<int>{a}));
+}
+
+}  // namespace
+}  // namespace htd

@@ -1,0 +1,173 @@
+#include "hypergraph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/gyo.h"
+
+namespace htd {
+namespace {
+
+TEST(GeneratorsTest, PathShape) {
+  Hypergraph path = MakePath(5);
+  EXPECT_EQ(path.num_vertices(), 5);
+  EXPECT_EQ(path.num_edges(), 4);
+  EXPECT_FALSE(path.HasIsolatedVertices());
+}
+
+TEST(GeneratorsTest, CycleShape) {
+  Hypergraph cycle = MakeCycle(10);
+  EXPECT_EQ(cycle.num_vertices(), 10);
+  EXPECT_EQ(cycle.num_edges(), 10);
+  for (int v = 0; v < 10; ++v) {
+    EXPECT_EQ(cycle.edges_of_vertex(v).size(), 2u);
+  }
+}
+
+TEST(GeneratorsTest, StarShape) {
+  Hypergraph star = MakeStar(6);
+  EXPECT_EQ(star.num_vertices(), 7);
+  EXPECT_EQ(star.num_edges(), 6);
+  EXPECT_EQ(star.edges_of_vertex(0).size(), 6u);  // centre added first
+}
+
+TEST(GeneratorsTest, GridShape) {
+  Hypergraph grid = MakeGrid(3, 4);
+  EXPECT_EQ(grid.num_vertices(), 12);
+  // Horizontal: 3*3, vertical: 2*4.
+  EXPECT_EQ(grid.num_edges(), 17);
+}
+
+TEST(GeneratorsTest, CliqueShape) {
+  Hypergraph clique = MakeClique(5);
+  EXPECT_EQ(clique.num_vertices(), 5);
+  EXPECT_EQ(clique.num_edges(), 10);
+}
+
+TEST(GeneratorsTest, HyperCycleShape) {
+  Hypergraph hc = MakeHyperCycle(6, 4, 2);
+  EXPECT_EQ(hc.num_edges(), 6);
+  EXPECT_EQ(hc.num_vertices(), 12);  // 6 * (4 - 2)
+  for (int e = 0; e < hc.num_edges(); ++e) {
+    EXPECT_EQ(hc.edge_vertex_list(e).size(), 4u);
+  }
+  EXPECT_FALSE(hc.HasIsolatedVertices());
+}
+
+TEST(GeneratorsTest, CycleBundleShape) {
+  Hypergraph bundle = MakeCycleBundle(3, 5);
+  EXPECT_EQ(bundle.num_edges(), 15);
+  EXPECT_EQ(bundle.num_vertices(), 1 + 3 * 4);
+  EXPECT_FALSE(bundle.HasIsolatedVertices());
+}
+
+TEST(GeneratorsTest, AcyclicQueryIsAcyclic) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(seed);
+    Hypergraph query = MakeAcyclicQuery(rng, 12, 4);
+    EXPECT_EQ(query.num_edges(), 12);
+    EXPECT_TRUE(IsAlphaAcyclic(query)) << "seed " << seed;
+    EXPECT_FALSE(query.HasIsolatedVertices());
+  }
+}
+
+TEST(GeneratorsTest, RandomCqDeterministicPerSeed) {
+  util::Rng rng1(99), rng2(99);
+  Hypergraph a = MakeRandomCq(rng1, 20, 4, 0.3);
+  Hypergraph b = MakeRandomCq(rng2, 20, 4, 0.3);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  for (int e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge_vertex_list(e), b.edge_vertex_list(e));
+  }
+}
+
+TEST(GeneratorsTest, RandomCqIsConnectedChain) {
+  util::Rng rng(5);
+  Hypergraph cq = MakeRandomCq(rng, 15, 4, 0.2);
+  EXPECT_EQ(cq.num_edges(), 15);
+  EXPECT_FALSE(cq.HasIsolatedVertices());
+  // Consecutive atoms share a variable (chain backbone).
+  for (int e = 0; e + 1 < cq.num_edges(); ++e) {
+    EXPECT_TRUE(cq.edge_vertices(e).Intersects(cq.edge_vertices(e + 1)))
+        << "edges " << e << " and " << e + 1;
+  }
+}
+
+TEST(GeneratorsTest, RandomCspRespectsArityBounds) {
+  util::Rng rng(17);
+  Hypergraph csp = MakeRandomCsp(rng, 40, 25, 2, 5);
+  EXPECT_EQ(csp.num_vertices(), 40);
+  EXPECT_GE(csp.num_edges(), 25);  // plus isolated-vertex fixups
+  for (int e = 0; e < 25; ++e) {
+    size_t arity = csp.edge_vertex_list(e).size();
+    EXPECT_GE(arity, 2u);
+    EXPECT_LE(arity, 5u);
+  }
+  EXPECT_FALSE(csp.HasIsolatedVertices());
+}
+
+TEST(GeneratorsTest, AddRandomChordsGrowsEdgeCount) {
+  util::Rng rng(3);
+  Hypergraph base = MakePath(8);
+  Hypergraph chorded = AddRandomChords(base, rng, 4);
+  EXPECT_EQ(chorded.num_edges(), base.num_edges() + 4);
+  EXPECT_EQ(chorded.num_vertices(), base.num_vertices());
+}
+
+TEST(GyoTest, PathIsAcyclic) {
+  EXPECT_TRUE(IsAlphaAcyclic(MakePath(10)));
+}
+
+TEST(GyoTest, StarIsAcyclic) {
+  EXPECT_TRUE(IsAlphaAcyclic(MakeStar(8)));
+}
+
+TEST(GyoTest, CycleIsCyclic) {
+  for (int n : {3, 4, 5, 10, 25}) {
+    EXPECT_FALSE(IsAlphaAcyclic(MakeCycle(n))) << "cycle " << n;
+  }
+}
+
+TEST(GyoTest, TriangleWithCoveringEdgeIsAcyclic) {
+  // {a,b},{b,c},{c,a},{a,b,c}: the big edge absorbs the triangle.
+  Hypergraph graph;
+  int a = graph.GetOrAddVertex("a");
+  int b = graph.GetOrAddVertex("b");
+  int c = graph.GetOrAddVertex("c");
+  ASSERT_TRUE(graph.AddEdge("ab", {a, b}).ok());
+  ASSERT_TRUE(graph.AddEdge("bc", {b, c}).ok());
+  ASSERT_TRUE(graph.AddEdge("ca", {c, a}).ok());
+  ASSERT_TRUE(graph.AddEdge("abc", {a, b, c}).ok());
+  EXPECT_TRUE(IsAlphaAcyclic(graph));
+}
+
+TEST(GyoTest, GridIsCyclic) {
+  EXPECT_FALSE(IsAlphaAcyclic(MakeGrid(3, 3)));
+}
+
+TEST(GyoTest, SingleEdgeIsAcyclic) {
+  Hypergraph graph;
+  int a = graph.GetOrAddVertex("a");
+  int b = graph.GetOrAddVertex("b");
+  ASSERT_TRUE(graph.AddEdge("R", {a, b}).ok());
+  EXPECT_TRUE(IsAlphaAcyclic(graph));
+  EXPECT_TRUE(BuildJoinTree(graph).has_value());
+}
+
+TEST(GyoTest, JoinTreeExistsIffAcyclic) {
+  EXPECT_TRUE(BuildJoinTree(MakePath(6)).has_value());
+  EXPECT_FALSE(BuildJoinTree(MakeCycle(6)).has_value());
+}
+
+TEST(GyoTest, JoinTreeHasSingleRoot) {
+  auto tree = BuildJoinTree(MakePath(6));
+  ASSERT_TRUE(tree.has_value());
+  int roots = 0;
+  for (int p : tree->parent) {
+    if (p == -1) ++roots;
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+}  // namespace
+}  // namespace htd

@@ -1,0 +1,94 @@
+#include "core/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/det_k_decomp.h"
+#include "decomp/validation.h"
+#include "hypergraph/generators.h"
+#include "util/rng.h"
+
+namespace htd {
+namespace {
+
+TEST(HybridTest, DefaultHybridSolvesFamilies) {
+  std::unique_ptr<HdSolver> hybrid = MakeDefaultHybrid();
+  EXPECT_EQ(hybrid->Solve(MakePath(10), 1).outcome, Outcome::kYes);
+  EXPECT_EQ(hybrid->Solve(MakeCycle(12), 1).outcome, Outcome::kNo);
+  SolveResult result = hybrid->Solve(MakeCycle(12), 2);
+  ASSERT_EQ(result.outcome, Outcome::kYes);
+  Validation validation = ValidateHdWithWidth(MakeCycle(12), *result.decomposition, 2);
+  EXPECT_TRUE(validation.ok) << validation.error;
+}
+
+TEST(HybridTest, HandsOffToDetKBelowThreshold) {
+  // With a generous EdgeCount threshold, even the top-level call goes to
+  // det-k; the counter must reflect the hand-off.
+  std::unique_ptr<HdSolver> hybrid =
+      MakeHybridSolver(HybridMetric::kEdgeCount, /*threshold=*/1000.0);
+  SolveResult result = hybrid->Solve(MakeCycle(10), 2);
+  EXPECT_EQ(result.outcome, Outcome::kYes);
+  EXPECT_GT(result.stats.detk_subproblems, 0);
+}
+
+TEST(HybridTest, NoHandOffWithZeroThreshold) {
+  std::unique_ptr<HdSolver> hybrid =
+      MakeHybridSolver(HybridMetric::kEdgeCount, /*threshold=*/0.0);
+  SolveResult result = hybrid->Solve(MakeCycle(10), 2);
+  EXPECT_EQ(result.outcome, Outcome::kYes);
+  EXPECT_EQ(result.stats.detk_subproblems, 0);
+}
+
+TEST(HybridTest, WeightedCountAgreesWithPlainSolvers) {
+  for (uint64_t seed = 60; seed < 72; ++seed) {
+    util::Rng rng(seed);
+    Hypergraph graph = MakeRandomCsp(rng, 16, 11, 2, 4);
+    DetKDecomp det_k;
+    for (double threshold : {5.0, 40.0, 1000.0}) {
+      std::unique_ptr<HdSolver> hybrid =
+          MakeHybridSolver(HybridMetric::kWeightedCount, threshold);
+      for (int k = 2; k <= 3; ++k) {
+        EXPECT_EQ(hybrid->Solve(graph, k).outcome, det_k.Solve(graph, k).outcome)
+            << "seed=" << seed << " T=" << threshold << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(HybridTest, HybridHdsValidate) {
+  for (uint64_t seed = 80; seed < 88; ++seed) {
+    util::Rng rng(seed);
+    Hypergraph graph = MakeRandomCq(rng, 16, 4, 0.3);
+    std::unique_ptr<HdSolver> hybrid =
+        MakeHybridSolver(HybridMetric::kWeightedCount, 30.0);
+    for (int k = 1; k <= 3; ++k) {
+      SolveResult result = hybrid->Solve(graph, k);
+      if (result.outcome == Outcome::kYes) {
+        Validation validation = ValidateHdWithWidth(graph, *result.decomposition, k);
+        EXPECT_TRUE(validation.ok) << validation.error << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(HybridTest, ParallelHybridMatches) {
+  util::Rng rng(5);
+  Hypergraph graph = MakeRandomCsp(rng, 18, 13, 2, 4);
+  SolveOptions base;
+  base.num_threads = 3;
+  base.parallel_min_size = 4;
+  std::unique_ptr<HdSolver> hybrid =
+      MakeHybridSolver(HybridMetric::kWeightedCount, 20.0, base);
+  DetKDecomp det_k;
+  for (int k = 2; k <= 3; ++k) {
+    EXPECT_EQ(hybrid->Solve(graph, k).outcome, det_k.Solve(graph, k).outcome);
+  }
+}
+
+TEST(HybridTest, FactoryNames) {
+  EXPECT_EQ(MakeDefaultHybrid()->name(), "log-k-hybrid(WeightedCount)");
+  EXPECT_EQ(MakeHybridSolver(HybridMetric::kEdgeCount, 20)->name(),
+            "log-k-hybrid(EdgeCount)");
+}
+
+}  // namespace
+}  // namespace htd

@@ -1,0 +1,153 @@
+#include "hypergraph/hypergraph.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/metrics.h"
+
+namespace htd {
+namespace {
+
+TEST(HypergraphTest, EmptyGraph) {
+  Hypergraph graph;
+  EXPECT_EQ(graph.num_vertices(), 0);
+  EXPECT_EQ(graph.num_edges(), 0);
+  EXPECT_FALSE(graph.HasIsolatedVertices());
+}
+
+TEST(HypergraphTest, GetOrAddVertexDeduplicates) {
+  Hypergraph graph;
+  int a = graph.GetOrAddVertex("X");
+  int b = graph.GetOrAddVertex("Y");
+  int a2 = graph.GetOrAddVertex("X");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(graph.num_vertices(), 2);
+  EXPECT_EQ(graph.vertex_name(a), "X");
+}
+
+TEST(HypergraphTest, AddEdgeBasics) {
+  Hypergraph graph;
+  int x = graph.GetOrAddVertex("x");
+  int y = graph.GetOrAddVertex("y");
+  auto e = graph.AddEdge("R", {x, y});
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(graph.num_edges(), 1);
+  EXPECT_EQ(graph.edge_name(*e), "R");
+  EXPECT_EQ(graph.edge_vertex_list(*e), (std::vector<int>{x, y}));
+  EXPECT_TRUE(graph.edge_vertices(*e).Test(x));
+  EXPECT_TRUE(graph.edge_vertices(*e).Test(y));
+}
+
+TEST(HypergraphTest, EmptyEdgeRejected) {
+  Hypergraph graph;
+  auto e = graph.AddEdge("bad", {});
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(HypergraphTest, UnknownVertexRejected) {
+  Hypergraph graph;
+  graph.GetOrAddVertex("x");
+  auto e = graph.AddEdge("bad", {5});
+  EXPECT_FALSE(e.ok());
+}
+
+TEST(HypergraphTest, DuplicateVerticesCollapsed) {
+  Hypergraph graph;
+  int x = graph.GetOrAddVertex("x");
+  int y = graph.GetOrAddVertex("y");
+  auto e = graph.AddEdge("R", {x, y, x, y, x});
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(graph.edge_vertex_list(*e).size(), 2u);
+}
+
+TEST(HypergraphTest, EdgeBitsetsGrowWithVertexUniverse) {
+  Hypergraph graph;
+  int x = graph.GetOrAddVertex("x");
+  int y = graph.GetOrAddVertex("y");
+  ASSERT_TRUE(graph.AddEdge("R1", {x, y}).ok());
+  // Add more vertices after the first edge, then another edge.
+  int z = graph.GetOrAddVertex("z");
+  ASSERT_TRUE(graph.AddEdge("R2", {y, z}).ok());
+  // The first edge's bitset must span the new universe for set algebra.
+  EXPECT_EQ(graph.edge_vertices(0).size_bits(), graph.num_vertices());
+  EXPECT_TRUE(graph.edge_vertices(0).Intersects(graph.edge_vertices(1)));
+}
+
+TEST(HypergraphTest, IncidenceLists) {
+  Hypergraph graph;
+  int x = graph.GetOrAddVertex("x");
+  int y = graph.GetOrAddVertex("y");
+  int z = graph.GetOrAddVertex("z");
+  ASSERT_TRUE(graph.AddEdge("R1", {x, y}).ok());
+  ASSERT_TRUE(graph.AddEdge("R2", {y, z}).ok());
+  EXPECT_EQ(graph.edges_of_vertex(y), (std::vector<int>{0, 1}));
+  EXPECT_EQ(graph.edges_of_vertex(x), (std::vector<int>{0}));
+}
+
+TEST(HypergraphTest, FindByName) {
+  Hypergraph graph;
+  int x = graph.GetOrAddVertex("x");
+  ASSERT_TRUE(graph.AddEdge("R", {x}).ok());
+  EXPECT_EQ(graph.FindVertex("x"), x);
+  EXPECT_EQ(graph.FindVertex("nope"), -1);
+  EXPECT_EQ(graph.FindEdge("R"), 0);
+  EXPECT_EQ(graph.FindEdge("nope"), -1);
+}
+
+TEST(HypergraphTest, UnionOfEdges) {
+  Hypergraph graph;
+  int x = graph.GetOrAddVertex("x");
+  int y = graph.GetOrAddVertex("y");
+  int z = graph.GetOrAddVertex("z");
+  ASSERT_TRUE(graph.AddEdge("R1", {x, y}).ok());
+  ASSERT_TRUE(graph.AddEdge("R2", {y, z}).ok());
+  auto u = graph.UnionOfEdges(std::vector<int>{0, 1});
+  EXPECT_EQ(u.Count(), 3);
+  auto via_bitset = graph.UnionOfEdges(graph.AllEdges());
+  EXPECT_EQ(u, via_bitset);
+}
+
+TEST(HypergraphTest, IsolatedVertexDetection) {
+  Hypergraph graph;
+  graph.GetOrAddVertex("lonely");
+  EXPECT_TRUE(graph.HasIsolatedVertices());
+  int x = graph.GetOrAddVertex("x");
+  int lonely = graph.FindVertex("lonely");
+  ASSERT_TRUE(graph.AddEdge("R", {x, lonely}).ok());
+  EXPECT_FALSE(graph.HasIsolatedVertices());
+}
+
+TEST(HypergraphTest, AnonymousVerticesAndEdges) {
+  Hypergraph graph;
+  int v = graph.AddVertex();
+  EXPECT_EQ(v, 0);
+  auto e = graph.AddEdge({v});
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(graph.edge_name(*e), "e0");
+}
+
+TEST(MetricsTest, ComputeStats) {
+  Hypergraph graph;
+  int a = graph.GetOrAddVertex("a");
+  int b = graph.GetOrAddVertex("b");
+  int c = graph.GetOrAddVertex("c");
+  ASSERT_TRUE(graph.AddEdge("R1", {a, b}).ok());
+  ASSERT_TRUE(graph.AddEdge("R2", {a, b, c}).ok());
+  HypergraphStats stats = ComputeStats(graph);
+  EXPECT_EQ(stats.num_vertices, 3);
+  EXPECT_EQ(stats.num_edges, 2);
+  EXPECT_EQ(stats.max_arity, 3);
+  EXPECT_DOUBLE_EQ(stats.avg_arity, 2.5);
+  EXPECT_EQ(stats.max_degree, 2);
+}
+
+TEST(MetricsTest, EmptyGraphStats) {
+  Hypergraph graph;
+  HypergraphStats stats = ComputeStats(graph);
+  EXPECT_EQ(stats.num_edges, 0);
+  EXPECT_DOUBLE_EQ(stats.avg_arity, 0.0);
+}
+
+}  // namespace
+}  // namespace htd

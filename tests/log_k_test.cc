@@ -1,0 +1,171 @@
+#include "core/log_k_decomp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/log_k_decomp_basic.h"
+#include "decomp/validation.h"
+#include "hypergraph/generators.h"
+#include "util/cancel.h"
+#include "util/rng.h"
+
+namespace htd {
+namespace {
+
+SolveOptions Validated() {
+  SolveOptions options;
+  options.validate_result = true;
+  return options;
+}
+
+TEST(LogKTest, PathHasWidthOne) {
+  LogKDecomp solver(Validated());
+  EXPECT_EQ(solver.Solve(MakePath(9), 1).outcome, Outcome::kYes);
+}
+
+TEST(LogKTest, CycleWidths) {
+  LogKDecomp solver(Validated());
+  for (int n : {3, 4, 6, 10, 16}) {
+    Hypergraph cycle = MakeCycle(n);
+    EXPECT_EQ(solver.Solve(cycle, 1).outcome, Outcome::kNo) << "cycle " << n;
+    EXPECT_EQ(solver.Solve(cycle, 2).outcome, Outcome::kYes) << "cycle " << n;
+  }
+}
+
+TEST(LogKTest, PaperExampleCycle10) {
+  // Section B walks log-k-decomp through the 10-cycle with k = 2.
+  LogKDecomp solver(Validated());
+  Hypergraph cycle = MakeCycle(10);
+  SolveResult result = solver.Solve(cycle, 2);
+  ASSERT_EQ(result.outcome, Outcome::kYes);
+  ASSERT_TRUE(result.decomposition.has_value());
+  Validation validation = ValidateHdWithWidth(cycle, *result.decomposition, 2);
+  EXPECT_TRUE(validation.ok) << validation.error;
+}
+
+TEST(LogKTest, ProducedHdsAreValidOnVariedFamilies) {
+  LogKDecomp solver;
+  util::Rng rng(77);
+  std::vector<Hypergraph> graphs;
+  graphs.push_back(MakeGrid(3, 4));
+  graphs.push_back(MakeClique(5));
+  graphs.push_back(MakeHyperCycle(7, 4, 2));
+  graphs.push_back(MakeRandomCsp(rng, 18, 12, 2, 4));
+  graphs.push_back(MakeRandomCq(rng, 14, 4, 0.3));
+  for (const Hypergraph& graph : graphs) {
+    for (int k = 1; k <= 4; ++k) {
+      SolveResult result = solver.Solve(graph, k);
+      if (result.outcome == Outcome::kYes) {
+        ASSERT_TRUE(result.decomposition.has_value());
+        Validation validation = ValidateHdWithWidth(graph, *result.decomposition, k);
+        EXPECT_TRUE(validation.ok)
+            << validation.error << " (|E|=" << graph.num_edges() << ", k=" << k << ")";
+      }
+    }
+  }
+}
+
+TEST(LogKTest, RecursionDepthIsLogarithmic) {
+  // Theorem 4.1: the Decomp recursion depth is O(log |E|). With the explicit
+  // balancedness re-check, every recursive call at least halves the
+  // subproblem, so depth <= ceil(log2 m) + 1.
+  LogKDecomp solver;
+  for (int n : {8, 16, 32, 64}) {
+    Hypergraph cycle = MakeCycle(n);
+    SolveResult result = solver.Solve(cycle, 2);
+    ASSERT_EQ(result.outcome, Outcome::kYes) << "cycle " << n;
+    int bound = static_cast<int>(std::ceil(std::log2(n))) + 1;
+    EXPECT_LE(result.stats.max_recursion_depth, bound)
+        << "cycle " << n << ": depth " << result.stats.max_recursion_depth;
+  }
+}
+
+TEST(LogKTest, RecursionDepthLogarithmicOnNegativeInstances) {
+  LogKDecomp solver;
+  Hypergraph grid = MakeGrid(3, 5);
+  SolveResult result = solver.Solve(grid, 1);
+  ASSERT_EQ(result.outcome, Outcome::kNo);
+  int bound = static_cast<int>(std::ceil(std::log2(grid.num_edges()))) + 1;
+  EXPECT_LE(result.stats.max_recursion_depth, bound);
+}
+
+TEST(LogKTest, EmptyAndTinyInstances) {
+  LogKDecomp solver(Validated());
+  Hypergraph empty;
+  EXPECT_EQ(solver.Solve(empty, 1).outcome, Outcome::kYes);
+
+  Hypergraph single;
+  int a = single.GetOrAddVertex("a");
+  ASSERT_TRUE(single.AddEdge("R", {a}).ok());
+  SolveResult result = solver.Solve(single, 1);
+  EXPECT_EQ(result.outcome, Outcome::kYes);
+  EXPECT_EQ(result.decomposition->Width(), 1);
+}
+
+TEST(LogKTest, CancellationPropagates) {
+  util::CancelToken cancel;
+  cancel.RequestStop();
+  SolveOptions options;
+  options.cancel = &cancel;
+  LogKDecomp solver(options);
+  EXPECT_EQ(solver.Solve(MakeGrid(4, 4), 2).outcome, Outcome::kCancelled);
+}
+
+TEST(LogKTest, TimeoutEventuallyCancels) {
+  util::CancelToken cancel;
+  cancel.SetTimeout(std::chrono::duration<double>(0.02));
+  SolveOptions options;
+  options.cancel = &cancel;
+  LogKDecomp solver(options);
+  // A clique of 13 at k=3 is far too hard for 20ms.
+  SolveResult result = solver.Solve(MakeClique(13), 3);
+  EXPECT_EQ(result.outcome, Outcome::kCancelled);
+}
+
+TEST(LogKTest, DepthOfHdTreeMayExceedRecursionDepth) {
+  // The paper stresses that the log bound is on the recursion, not the HD
+  // tree: long cycles still produce deep HDs.
+  LogKDecomp solver;
+  Hypergraph cycle = MakeCycle(32);
+  SolveResult result = solver.Solve(cycle, 2);
+  ASSERT_EQ(result.outcome, Outcome::kYes);
+  EXPECT_GT(result.decomposition->Depth(), result.stats.max_recursion_depth);
+}
+
+TEST(LogKBasicTest, AgreesOnFamilies) {
+  LogKDecompBasic basic;
+  LogKDecomp optimised;
+  std::vector<Hypergraph> graphs;
+  graphs.push_back(MakePath(6));
+  graphs.push_back(MakeCycle(6));
+  graphs.push_back(MakeStar(5));
+  graphs.push_back(MakeClique(4));
+  util::Rng rng(5);
+  graphs.push_back(MakeRandomCsp(rng, 12, 8, 2, 3));
+  for (const Hypergraph& graph : graphs) {
+    for (int k = 1; k <= 3; ++k) {
+      Outcome expected = optimised.Solve(graph, k).outcome;
+      Outcome actual = basic.Solve(graph, k).outcome;
+      EXPECT_EQ(actual, expected)
+          << "|E|=" << graph.num_edges() << " k=" << k;
+    }
+  }
+}
+
+TEST(LogKBasicTest, IsDecisionOnly) {
+  LogKDecompBasic basic;
+  SolveResult result = basic.Solve(MakeCycle(6), 2);
+  EXPECT_EQ(result.outcome, Outcome::kYes);
+  EXPECT_FALSE(result.decomposition.has_value());
+}
+
+TEST(LogKTest, SolverNameReflectsHybrid) {
+  EXPECT_EQ(LogKDecomp().name(), "log-k-decomp");
+  SolveOptions hybrid;
+  hybrid.hybrid_metric = HybridMetric::kWeightedCount;
+  EXPECT_EQ(LogKDecomp(hybrid).name(), "log-k-hybrid(WeightedCount)");
+}
+
+}  // namespace
+}  // namespace htd

@@ -1,0 +1,169 @@
+// Normal-form machinery (decomp/normal_form.*): Theorem 3.6 transformation
+// and Lemma 3.10 balanced-separator extraction.
+#include <gtest/gtest.h>
+
+#include "baselines/det_k_decomp.h"
+#include "core/log_k_decomp.h"
+#include "decomp/normal_form.h"
+#include "decomp/validation.h"
+#include "hypergraph/generators.h"
+#include "util/rng.h"
+
+namespace htd {
+namespace {
+
+/// The maximal-χ HD of the cycle C_n in the style of the paper's Figure 2a:
+/// a path of nodes u_i with λ(u_i) = {R_1, R_{i+2}} and χ(u_i) the full
+/// ⋃λ(u_i). Valid HD of width 2 but NOT in the paper's minimal-χ normal form
+/// (bags repeat x0 down the path beyond need).
+Decomposition Figure2StyleHd(const Hypergraph& cycle) {
+  const int n = cycle.num_edges();
+  Decomposition decomp;
+  int parent = -1;
+  for (int i = 0; i + 2 <= n; ++i) {
+    std::vector<int> lambda = {0, i + 1};  // {R1, R_{i+2}}
+    util::DynamicBitset chi = cycle.UnionOfEdges(lambda);
+    parent = decomp.AddNode(std::move(lambda), std::move(chi), parent);
+  }
+  return decomp;
+}
+
+TEST(NormalizeHdTest, Figure2HdIsValidInput) {
+  Hypergraph cycle = MakeCycle(10);
+  Decomposition decomp = Figure2StyleHd(cycle);
+  Validation validation = ValidateHd(cycle, decomp);
+  ASSERT_TRUE(validation.ok) << validation.error;
+  EXPECT_EQ(decomp.Width(), 2);
+}
+
+TEST(NormalizeHdTest, NormalizesFigure2Hd) {
+  Hypergraph cycle = MakeCycle(10);
+  Decomposition decomp = Figure2StyleHd(cycle);
+
+  auto normalized = NormalizeHd(cycle, decomp);
+  ASSERT_TRUE(normalized.ok()) << normalized.status().ToString();
+
+  Validation valid = ValidateHd(cycle, *normalized);
+  EXPECT_TRUE(valid.ok) << valid.error;
+  Validation nf = CheckNormalForm(cycle, *normalized);
+  EXPECT_TRUE(nf.ok) << nf.error;
+  EXPECT_LE(normalized->Width(), decomp.Width());
+}
+
+TEST(NormalizeHdTest, RejectsInvalidInput) {
+  Hypergraph cycle = MakeCycle(6);
+  Decomposition bogus;
+  // Single node covering only one edge: misses the covering condition.
+  bogus.AddNode({0}, cycle.edge_vertices(0), -1);
+  auto result = NormalizeHd(cycle, bogus);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(NormalizeHdTest, IdempotentOnNormalFormInput) {
+  Hypergraph graph = MakeHyperCycle(6, 3, 1);
+  LogKDecomp solver;
+  SolveResult result = solver.Solve(graph, 2);
+  ASSERT_EQ(result.outcome, Outcome::kYes);
+
+  auto once = NormalizeHd(graph, *result.decomposition);
+  ASSERT_TRUE(once.ok()) << once.status().ToString();
+  auto twice = NormalizeHd(graph, *once);
+  ASSERT_TRUE(twice.ok()) << twice.status().ToString();
+  Validation nf = CheckNormalForm(graph, *twice);
+  EXPECT_TRUE(nf.ok) << nf.error;
+  EXPECT_EQ(once->Width(), twice->Width());
+}
+
+TEST(BalancedSeparatorTest, PathHdSeparatorIsCentral) {
+  // The Figure-2-style HD of C_10 is a path of 8 nodes; the balanced
+  // separator cannot be near either end.
+  Hypergraph cycle = MakeCycle(10);
+  Decomposition decomp = Figure2StyleHd(cycle);
+  int u = FindBalancedSeparatorNode(cycle, decomp);
+
+  std::vector<util::DynamicBitset> cov = FirstCoverPerSubtree(cycle, decomp);
+  const int total = cycle.num_edges();
+  for (int c : decomp.node(u).children) {
+    EXPECT_LE(2 * cov[c].Count(), total);
+  }
+  // Above part = total - cov(T_u) is strictly less than half.
+  EXPECT_LT(2 * (total - cov[u].Count()), total);
+}
+
+TEST(BalancedSeparatorTest, RootIsSeparatorWhenBalanced) {
+  // A star's HD can be a root with all leaves as children: root is balanced.
+  Hypergraph star = MakeStar(6);
+  DetKDecomp solver;
+  SolveResult result = solver.Solve(star, 1);
+  ASSERT_EQ(result.outcome, Outcome::kYes);
+  int u = FindBalancedSeparatorNode(star, *result.decomposition);
+  std::vector<util::DynamicBitset> cov =
+      FirstCoverPerSubtree(star, *result.decomposition);
+  for (int c : result.decomposition->node(u).children) {
+    EXPECT_LE(2 * cov[c].Count(), star.num_edges());
+  }
+}
+
+TEST(FirstCoverTest, RootSubtreeCoversEverything) {
+  Hypergraph graph = MakeGrid(3, 3);
+  DetKDecomp solver;
+  SolveResult result = solver.Solve(graph, 3);
+  ASSERT_EQ(result.outcome, Outcome::kYes);
+  std::vector<util::DynamicBitset> cov =
+      FirstCoverPerSubtree(graph, *result.decomposition);
+  EXPECT_EQ(cov[result.decomposition->root()].Count(), graph.num_edges());
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: every solver-produced HD normalizes to a valid NF HD of no
+// larger width, and always contains a balanced separator node.
+
+Hypergraph RandomNfInstance(uint64_t seed) {
+  util::Rng rng(seed);
+  switch (seed % 4) {
+    case 0:
+      return MakeRandomCsp(rng, 12, 8, 2, 4);
+    case 1:
+      return MakeRandomCq(rng, 9, 4, 0.3);
+    case 2:
+      return MakeCycleBundle(2 + seed % 3, 4);
+    default:
+      return AddRandomChords(MakeGrid(2, 4), rng, 2);
+  }
+}
+
+class NormalFormPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalFormPropertyTest, SolverHdsNormalizeAndSeparate) {
+  const uint64_t seed = GetParam();
+  Hypergraph graph = RandomNfInstance(seed);
+
+  DetKDecomp solver;
+  OptimalRun run = FindOptimalWidth(solver, graph, /*max_k=*/6);
+  ASSERT_EQ(run.outcome, Outcome::kYes) << "seed=" << seed;
+  ASSERT_TRUE(run.decomposition.has_value());
+
+  auto normalized = NormalizeHd(graph, *run.decomposition);
+  ASSERT_TRUE(normalized.ok()) << normalized.status().ToString() << " seed=" << seed;
+  Validation valid = ValidateHd(graph, *normalized);
+  EXPECT_TRUE(valid.ok) << valid.error << " seed=" << seed;
+  Validation nf = CheckNormalForm(graph, *normalized);
+  EXPECT_TRUE(nf.ok) << nf.error << " seed=" << seed;
+  EXPECT_LE(normalized->Width(), run.decomposition->Width()) << "seed=" << seed;
+
+  // Lemma 3.10 on the normalized HD: the walk terminates and both balance
+  // conditions hold at the returned node.
+  int u = FindBalancedSeparatorNode(graph, *normalized);
+  std::vector<util::DynamicBitset> cov = FirstCoverPerSubtree(graph, *normalized);
+  const int total = graph.num_edges();
+  for (int c : normalized->node(u).children) {
+    EXPECT_LE(2 * cov[c].Count(), total) << "seed=" << seed;
+  }
+  EXPECT_LT(2 * (total - cov[u].Count()), total) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalFormPropertyTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace htd

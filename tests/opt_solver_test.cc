@@ -1,0 +1,109 @@
+#include "baselines/opt_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/log_k_decomp.h"
+#include "decomp/validation.h"
+#include "hypergraph/generators.h"
+#include "util/cancel.h"
+#include "util/rng.h"
+
+namespace htd {
+namespace {
+
+TEST(OptSolverTest, AcyclicFamiliesHaveWidthOne) {
+  OptimalSolver solver;
+  for (const Hypergraph& graph : {MakePath(10), MakeStar(7)}) {
+    OptimalRun run = solver.FindOptimal(graph);
+    ASSERT_EQ(run.outcome, Outcome::kYes);
+    EXPECT_EQ(run.width, 1);
+    ASSERT_TRUE(run.decomposition.has_value());
+    Validation validation = ValidateHdWithWidth(graph, *run.decomposition, 1);
+    EXPECT_TRUE(validation.ok) << validation.error;
+  }
+}
+
+TEST(OptSolverTest, AcyclicQueryJoinTreeHd) {
+  OptimalSolver solver;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    util::Rng rng(seed);
+    Hypergraph graph = MakeAcyclicQuery(rng, 15, 4);
+    OptimalRun run = solver.FindOptimal(graph);
+    ASSERT_EQ(run.outcome, Outcome::kYes) << "seed " << seed;
+    EXPECT_EQ(run.width, 1);
+    Validation validation = ValidateHdWithWidth(graph, *run.decomposition, 1);
+    EXPECT_TRUE(validation.ok) << validation.error << " seed " << seed;
+  }
+}
+
+TEST(OptSolverTest, CycleOptimalWidthTwo) {
+  OptimalSolver solver;
+  OptimalRun run = solver.FindOptimal(MakeCycle(9));
+  ASSERT_EQ(run.outcome, Outcome::kYes);
+  EXPECT_EQ(run.width, 2);
+}
+
+TEST(OptSolverTest, CliqueWidthsMatchTheory) {
+  // hw(K_n) = ceil(n/2): one bag of all vertices built from ceil(n/2)
+  // disjoint edges is optimal for cliques.
+  OptimalSolver solver;
+  EXPECT_EQ(solver.FindOptimal(MakeClique(4)).width, 2);
+  EXPECT_EQ(solver.FindOptimal(MakeClique(5)).width, 3);
+  EXPECT_EQ(solver.FindOptimal(MakeClique(6)).width, 3);
+}
+
+TEST(OptSolverTest, AgreesWithLogKProtocol) {
+  for (uint64_t seed = 40; seed < 50; ++seed) {
+    util::Rng rng(seed);
+    Hypergraph graph = MakeRandomCsp(rng, 12, 8, 2, 4);
+    OptimalSolver exact;
+    OptimalRun exact_run = exact.FindOptimal(graph);
+    LogKDecomp log_k;
+    OptimalRun protocol_run = FindOptimalWidth(log_k, graph, 10);
+    ASSERT_EQ(exact_run.outcome, Outcome::kYes);
+    ASSERT_EQ(protocol_run.outcome, Outcome::kYes);
+    EXPECT_EQ(exact_run.width, protocol_run.width) << "seed " << seed;
+  }
+}
+
+TEST(OptSolverTest, EmptyGraphWidthZero) {
+  OptimalSolver solver;
+  Hypergraph empty;
+  OptimalRun run = solver.FindOptimal(empty);
+  EXPECT_EQ(run.outcome, Outcome::kYes);
+  EXPECT_EQ(run.width, 0);
+}
+
+TEST(OptSolverTest, RespectsMaxK) {
+  OptimalSolver solver;
+  OptimalRun run = solver.FindOptimal(MakeClique(8), /*max_k=*/2);
+  EXPECT_EQ(run.outcome, Outcome::kNo);  // hw(K8) = 4 > 2
+}
+
+TEST(OptSolverTest, CancellationPropagates) {
+  util::CancelToken cancel;
+  cancel.RequestStop();
+  SolveOptions options;
+  options.cancel = &cancel;
+  OptimalSolver solver(options);
+  OptimalRun run = solver.FindOptimal(MakeClique(10));
+  EXPECT_EQ(run.outcome, Outcome::kCancelled);
+}
+
+TEST(FindOptimalWidthTest, ProtocolProvesOptimality) {
+  LogKDecomp solver;
+  OptimalRun run = FindOptimalWidth(solver, MakeCycle(8), 10);
+  ASSERT_EQ(run.outcome, Outcome::kYes);
+  EXPECT_EQ(run.width, 2);  // k=1 probed and refuted first
+  ASSERT_TRUE(run.decomposition.has_value());
+  EXPECT_LE(run.decomposition->Width(), 2);
+}
+
+TEST(FindOptimalWidthTest, ExceedingMaxKReportsNo) {
+  LogKDecomp solver;
+  OptimalRun run = FindOptimalWidth(solver, MakeClique(8), 2);
+  EXPECT_EQ(run.outcome, Outcome::kNo);
+}
+
+}  // namespace
+}  // namespace htd

@@ -1,0 +1,145 @@
+#include "hypergraph/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/writer.h"
+
+namespace htd {
+namespace {
+
+TEST(HyperBenchParserTest, BasicQuery) {
+  auto result = ParseHyperBench("R1(x1,x2),\nR2(x2,x3).\n");
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  const Hypergraph& graph = *result;
+  EXPECT_EQ(graph.num_edges(), 2);
+  EXPECT_EQ(graph.num_vertices(), 3);
+  EXPECT_EQ(graph.edge_name(0), "R1");
+  EXPECT_EQ(graph.FindVertex("x2"), 1);
+}
+
+TEST(HyperBenchParserTest, SharedVerticesAreMerged) {
+  auto result = ParseHyperBench("a(x,y), b(y,z), c(z,x).");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_vertices(), 3);
+  EXPECT_EQ(result->num_edges(), 3);
+}
+
+TEST(HyperBenchParserTest, CommentsAndWhitespace) {
+  auto result = ParseHyperBench(
+      "% a comment line\n"
+      "  R1 ( x1 , x2 ) ,  % trailing comment\n"
+      "R2(x2,x3).");
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->num_edges(), 2);
+}
+
+TEST(HyperBenchParserTest, NewlineSeparatedEdgesWithoutCommas) {
+  auto result = ParseHyperBench("R1(x,y)\nR2(y,z)\n");
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->num_edges(), 2);
+}
+
+TEST(HyperBenchParserTest, RichIdentifiers) {
+  auto result = ParseHyperBench("rel:sub-1.2(VAR_A,VAR['x']).");
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->num_edges(), 1);
+  EXPECT_EQ(result->edge_vertex_list(0).size(), 2u);
+}
+
+TEST(HyperBenchParserTest, ErrorMissingParen) {
+  auto result = ParseHyperBench("R1 x1,x2).");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(HyperBenchParserTest, ErrorEmptyInput) {
+  EXPECT_FALSE(ParseHyperBench("").ok());
+  EXPECT_FALSE(ParseHyperBench("% only comments\n").ok());
+}
+
+TEST(HyperBenchParserTest, ErrorUnclosedEdge) {
+  EXPECT_FALSE(ParseHyperBench("R1(x1,x2").ok());
+}
+
+TEST(HyperBenchParserTest, ErrorTrailingGarbageAfterDot) {
+  EXPECT_FALSE(ParseHyperBench("R1(x). R2(y).").ok());
+}
+
+TEST(HyperBenchParserTest, EmptyParensRejected) {
+  // An edge with no vertices violates the non-empty-edge assumption.
+  EXPECT_FALSE(ParseHyperBench("R1().").ok());
+}
+
+TEST(PaceParserTest, BasicInstance) {
+  auto result = ParsePace(
+      "c example instance\n"
+      "p htd 4 3\n"
+      "1 1 2\n"
+      "2 2 3\n"
+      "3 3 4\n");
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->num_vertices(), 4);
+  EXPECT_EQ(result->num_edges(), 3);
+  // PACE is 1-based; internal ids are 0-based.
+  EXPECT_TRUE(result->edge_vertices(0).Test(0));
+  EXPECT_TRUE(result->edge_vertices(0).Test(1));
+}
+
+TEST(PaceParserTest, ErrorMissingHeader) {
+  EXPECT_FALSE(ParsePace("1 1 2\n").ok());
+}
+
+TEST(PaceParserTest, ErrorVertexOutOfRange) {
+  EXPECT_FALSE(ParsePace("p htd 2 1\n1 1 5\n").ok());
+}
+
+TEST(PaceParserTest, ErrorEdgeCountMismatch) {
+  EXPECT_FALSE(ParsePace("p htd 3 2\n1 1 2\n").ok());
+}
+
+TEST(PaceParserTest, ErrorBadFormatTag) {
+  EXPECT_FALSE(ParsePace("p tw 3 2\n1 1 2\n2 2 3\n").ok());
+}
+
+TEST(AutoParserTest, DetectsPace) {
+  auto result = ParseAuto("p htd 2 1\n1 1 2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_edges(), 1);
+}
+
+TEST(AutoParserTest, DetectsHyperBench) {
+  auto result = ParseAuto("R(x,y).");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_edges(), 1);
+}
+
+TEST(ParseFileTest, MissingFile) {
+  auto result = ParseFile("/nonexistent/path/to/instance.hg");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(WriterTest, HyperBenchRoundTrip) {
+  auto original = ParseHyperBench("R1(a,b),R2(b,c,d),R3(d,a).");
+  ASSERT_TRUE(original.ok());
+  auto reparsed = ParseHyperBench(WriteHyperBench(*original));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
+  EXPECT_EQ(reparsed->num_edges(), original->num_edges());
+  EXPECT_EQ(reparsed->num_vertices(), original->num_vertices());
+  for (int e = 0; e < original->num_edges(); ++e) {
+    EXPECT_EQ(reparsed->edge_name(e), original->edge_name(e));
+    EXPECT_EQ(reparsed->edge_vertex_list(e).size(),
+              original->edge_vertex_list(e).size());
+  }
+}
+
+TEST(WriterTest, PaceRoundTrip) {
+  auto original = ParseHyperBench("R1(a,b),R2(b,c,d).");
+  ASSERT_TRUE(original.ok());
+  auto reparsed = ParsePace(WritePace(*original));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
+  EXPECT_EQ(reparsed->num_edges(), 2);
+  EXPECT_EQ(reparsed->num_vertices(), 4);
+}
+
+}  // namespace
+}  // namespace htd

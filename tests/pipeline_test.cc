@@ -1,0 +1,62 @@
+// End-to-end pipeline tests: the full production path a downstream user
+// would run — parse, preprocess, solve, lift, normalize, serialise, parse
+// back, validate — composed in one flow on messy inputs.
+#include <gtest/gtest.h>
+
+#include "core/log_k_decomp.h"
+#include "decomp/decomp_reader.h"
+#include "decomp/decomp_writer.h"
+#include "decomp/normal_form.h"
+#include "decomp/simplify.h"
+#include "decomp/validation.h"
+#include "hypergraph/generators.h"
+#include "prep/prep_solver.h"
+#include "util/rng.h"
+
+namespace htd {
+namespace {
+
+class PipelineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineTest, FullProductionPathOnMessyInstances) {
+  const uint64_t seed = GetParam();
+  util::Rng gen_rng(seed);
+  Hypergraph base = (seed % 2 == 0) ? MakeRandomCsp(gen_rng, 10, 7, 2, 4)
+                                    : MakeRandomCq(gen_rng, 8, 4, 0.3);
+  util::Rng redundancy_rng(seed + 1000);
+  Hypergraph graph = AddRedundancy(base, redundancy_rng, 3, 2);
+
+  // 1. Preprocess + solve + lift.
+  LogKDecomp inner;
+  PreprocessingSolver solver(inner, {}, /*validate_result=*/true);
+  OptimalRun run = FindOptimalWidth(solver, graph, /*max_k=*/6);
+  ASSERT_EQ(run.outcome, Outcome::kYes) << "seed=" << seed;
+  ASSERT_TRUE(run.decomposition.has_value());
+
+  // 2. Normalize the lifted HD (Theorem 3.6 applies to any valid HD,
+  //    including stitched/lifted ones).
+  auto normalized = NormalizeHd(graph, *run.decomposition);
+  ASSERT_TRUE(normalized.ok()) << normalized.status().ToString() << " seed=" << seed;
+  EXPECT_LE(normalized->Width(), run.width) << "seed=" << seed;
+  Validation nf = CheckNormalForm(graph, *normalized);
+  EXPECT_TRUE(nf.ok) << nf.error << " seed=" << seed;
+
+  // 3. Contract redundant nodes; still a valid HD of the same width class.
+  Decomposition simplified = SimplifyDecomposition(graph, *normalized);
+  Validation still_valid = ValidateHdWithWidth(graph, simplified, run.width);
+  EXPECT_TRUE(still_valid.ok) << still_valid.error << " seed=" << seed;
+
+  // 4. Serialise, parse back, re-validate: the wire format carries
+  //    everything the validator needs.
+  std::string json = WriteDecompositionJson(graph, simplified);
+  auto reparsed = ParseDecompositionJson(graph, json);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << " seed=" << seed;
+  Validation after_roundtrip = ValidateHdWithWidth(graph, *reparsed, run.width);
+  EXPECT_TRUE(after_roundtrip.ok) << after_roundtrip.error << " seed=" << seed;
+  EXPECT_EQ(reparsed->Width(), simplified.Width());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace htd

@@ -1,0 +1,74 @@
+// AddRedundancy generator: the injected projection atoms and payload columns
+// must be exactly the kind of redundancy preprocessing removes, and must
+// never change the optimal hypertree width.
+#include <gtest/gtest.h>
+
+#include "baselines/det_k_decomp.h"
+#include "decomp/validation.h"
+#include "hypergraph/generators.h"
+#include "prep/prep_solver.h"
+#include "prep/preprocess.h"
+#include "util/rng.h"
+
+namespace htd {
+namespace {
+
+TEST(AddRedundancyTest, PayloadColumnsAreTwins) {
+  Hypergraph base = MakeCycle(6);
+  util::Rng rng(3);
+  Hypergraph messy = AddRedundancy(base, rng, /*subsumed_edges=*/0,
+                                   /*twin_vertices=*/3);
+  EXPECT_EQ(messy.num_vertices(), base.num_vertices() + 3);
+  EXPECT_EQ(messy.num_edges(), base.num_edges());
+
+  PreprocessedInstance instance = Preprocess(messy);
+  EXPECT_EQ(instance.stats().twin_vertices_contracted, 3);
+  ASSERT_EQ(instance.components().size(), 1u);
+  EXPECT_EQ(instance.components()[0].graph.num_vertices(), base.num_vertices());
+}
+
+TEST(AddRedundancyTest, ProjectionAtomsAreSubsumed) {
+  util::Rng gen_rng(5);
+  Hypergraph base = MakeRandomCsp(gen_rng, 10, 6, 3, 4);
+  util::Rng rng(7);
+  Hypergraph messy = AddRedundancy(base, rng, /*subsumed_edges=*/4,
+                                   /*twin_vertices=*/0);
+  EXPECT_GT(messy.num_edges(), base.num_edges());
+
+  PreprocessedInstance instance = Preprocess(messy);
+  EXPECT_EQ(instance.ReducedEdgeCount(), base.num_edges());
+}
+
+class RedundancyWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RedundancyWidthTest, RedundancyNeverChangesOptimalWidth) {
+  const uint64_t seed = GetParam();
+  util::Rng gen_rng(seed);
+  Hypergraph base = (seed % 2 == 0) ? MakeRandomCsp(gen_rng, 11, 7, 2, 4)
+                                    : MakeRandomCq(gen_rng, 9, 4, 0.3);
+  util::Rng rng(seed * 17 + 1);
+  Hypergraph messy =
+      AddRedundancy(base, rng, base.num_edges() / 2, /*twin_vertices=*/3);
+
+  DetKDecomp solver;
+  OptimalRun base_run = FindOptimalWidth(solver, base, 6);
+  OptimalRun messy_run = FindOptimalWidth(solver, messy, 6);
+  ASSERT_EQ(base_run.outcome, Outcome::kYes) << "seed=" << seed;
+  ASSERT_EQ(messy_run.outcome, Outcome::kYes) << "seed=" << seed;
+  EXPECT_EQ(base_run.width, messy_run.width) << "seed=" << seed;
+
+  // And the preprocessed solve of the messy instance agrees too.
+  DetKDecomp inner;
+  PreprocessingSolver prepped(inner, {}, /*validate_result=*/true);
+  OptimalRun prep_run = FindOptimalWidth(prepped, messy, 6);
+  ASSERT_EQ(prep_run.outcome, Outcome::kYes) << "seed=" << seed;
+  EXPECT_EQ(prep_run.width, base_run.width) << "seed=" << seed;
+  Validation validation =
+      ValidateHdWithWidth(messy, *prep_run.decomposition, prep_run.width);
+  EXPECT_TRUE(validation.ok) << validation.error << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RedundancyWidthTest, ::testing::Range(0, 14));
+
+}  // namespace
+}  // namespace htd

@@ -1,0 +1,181 @@
+// Failure injection and robustness: malformed inputs never crash, timeouts
+// fire at every stage, and solvers behave sanely on degenerate hypergraphs.
+#include <gtest/gtest.h>
+
+#include "baselines/balsep_ghd.h"
+#include "baselines/det_k_decomp.h"
+#include "baselines/opt_solver.h"
+#include "core/hybrid.h"
+#include "core/log_k_decomp.h"
+#include "decomp/validation.h"
+#include "hypergraph/generators.h"
+#include "hypergraph/parser.h"
+#include "util/rng.h"
+
+namespace htd {
+namespace {
+
+TEST(RobustnessTest, ParserSurvivesGarbage) {
+  // None of these may crash; all must return a Status, parse or not.
+  const char* inputs[] = {
+      ")",     "(((",   "a(b,c)extra(",  "1 2 3\n4 5 6",
+      "p htd", "p htd -1 -1\n",          "p htd 2 1\n1 1 2\n1 1 2\n",
+      ",,,",   "R(,)",  "R(x,,y).",      "\0x",
+      "R(x)R(y)",       "%%%%",          "p htd 1000000000 2\n",
+  };
+  for (const char* input : inputs) {
+    auto result = ParseAuto(input);
+    (void)result.ok();  // either outcome is fine; no crash allowed
+  }
+}
+
+TEST(RobustnessTest, ParserFuzzRandomStrings) {
+  util::Rng rng(123);
+  const char alphabet[] = "abcXY(),.% \n\t0123_:-";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input;
+    int length = rng.UniformInt(0, 60);
+    for (int i = 0; i < length; ++i) {
+      input.push_back(alphabet[rng.UniformInt(0, sizeof(alphabet) - 2)]);
+    }
+    auto result = ParseAuto(input);
+    if (result.ok()) {
+      EXPECT_GT(result->num_edges(), 0);
+    }
+  }
+}
+
+TEST(RobustnessTest, SelfLoopEdges) {
+  // Single-vertex edges are legal hypergraph edges.
+  Hypergraph graph;
+  int a = graph.GetOrAddVertex("a");
+  int b = graph.GetOrAddVertex("b");
+  ASSERT_TRUE(graph.AddEdge("loop", {a}).ok());
+  ASSERT_TRUE(graph.AddEdge("r", {a, b}).ok());
+  LogKDecomp solver;
+  SolveResult result = solver.Solve(graph, 1);
+  ASSERT_EQ(result.outcome, Outcome::kYes);
+  EXPECT_TRUE(ValidateHd(graph, *result.decomposition).ok);
+}
+
+TEST(RobustnessTest, DuplicateEdges) {
+  Hypergraph graph;
+  int a = graph.GetOrAddVertex("a");
+  int b = graph.GetOrAddVertex("b");
+  ASSERT_TRUE(graph.AddEdge("r1", {a, b}).ok());
+  ASSERT_TRUE(graph.AddEdge("r2", {a, b}).ok());
+  ASSERT_TRUE(graph.AddEdge("r3", {b, a}).ok());
+  for (int k = 1; k <= 2; ++k) {
+    LogKDecomp solver;
+    SolveResult result = solver.Solve(graph, k);
+    EXPECT_EQ(result.outcome, Outcome::kYes) << "k=" << k;
+    EXPECT_TRUE(ValidateHd(graph, *result.decomposition).ok);
+  }
+}
+
+TEST(RobustnessTest, EdgeEqualToWholeVertexSet) {
+  Hypergraph graph = MakeCycle(6);
+  // Recreate with an extra covering edge.
+  Hypergraph covered;
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    covered.GetOrAddVertex(graph.vertex_name(v));
+  }
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    ASSERT_TRUE(covered.AddEdge(graph.edge_name(e), graph.edge_vertex_list(e)).ok());
+  }
+  std::vector<int> all;
+  for (int v = 0; v < covered.num_vertices(); ++v) all.push_back(v);
+  ASSERT_TRUE(covered.AddEdge("everything", all).ok());
+  LogKDecomp solver;
+  SolveResult result = solver.Solve(covered, 1);
+  ASSERT_EQ(result.outcome, Outcome::kYes);  // the big edge covers it all
+  EXPECT_TRUE(ValidateHd(covered, *result.decomposition).ok);
+}
+
+TEST(RobustnessTest, TimeoutsFireAcrossSolvers) {
+  Hypergraph hard = MakeClique(14);
+  for (int variant = 0; variant < 4; ++variant) {
+    util::CancelToken cancel;
+    cancel.SetTimeout(std::chrono::duration<double>(0.02));
+    SolveOptions options;
+    options.cancel = &cancel;
+    std::unique_ptr<HdSolver> solver;
+    switch (variant) {
+      case 0:
+        solver = std::make_unique<LogKDecomp>(options);
+        break;
+      case 1:
+        solver = std::make_unique<DetKDecomp>(options);
+        break;
+      case 2:
+        solver = MakeDefaultHybrid(options);
+        break;
+      default:
+        solver = std::make_unique<BalSepGhd>(options);
+        break;
+    }
+    EXPECT_EQ(solver->Solve(hard, 4).outcome, Outcome::kCancelled)
+        << solver->name();
+  }
+}
+
+TEST(RobustnessTest, CancelDuringParallelSearch) {
+  util::CancelToken cancel;
+  cancel.SetTimeout(std::chrono::duration<double>(0.02));
+  SolveOptions options;
+  options.cancel = &cancel;
+  options.num_threads = 4;
+  options.parallel_min_size = 4;
+  LogKDecomp solver(options);
+  EXPECT_EQ(solver.Solve(MakeClique(14), 4).outcome, Outcome::kCancelled);
+}
+
+TEST(RobustnessTest, ZeroWidthRequestRejectedGracefully) {
+  // k must be >= 1; the solver CHECKs in debug builds, so only probe k >= 1
+  // here and assert k == 1 behaves on an empty-ish instance.
+  Hypergraph graph;
+  int a = graph.GetOrAddVertex("a");
+  ASSERT_TRUE(graph.AddEdge("r", {a}).ok());
+  LogKDecomp solver;
+  EXPECT_EQ(solver.Solve(graph, 1).outcome, Outcome::kYes);
+}
+
+TEST(RobustnessTest, LargeAritySingleEdge) {
+  Hypergraph graph;
+  std::vector<int> vertices;
+  for (int i = 0; i < 200; ++i) {
+    vertices.push_back(graph.GetOrAddVertex("v" + std::to_string(i)));
+  }
+  ASSERT_TRUE(graph.AddEdge("wide", vertices).ok());
+  OptimalSolver solver;
+  OptimalRun run = solver.FindOptimal(graph);
+  ASSERT_EQ(run.outcome, Outcome::kYes);
+  EXPECT_EQ(run.width, 1);
+}
+
+TEST(RobustnessTest, ManyDisconnectedComponents) {
+  Hypergraph graph;
+  for (int c = 0; c < 30; ++c) {
+    int a = graph.GetOrAddVertex("a" + std::to_string(c));
+    int b = graph.GetOrAddVertex("b" + std::to_string(c));
+    ASSERT_TRUE(graph.AddEdge("e" + std::to_string(c), {a, b}).ok());
+  }
+  LogKDecomp solver;
+  SolveResult result = solver.Solve(graph, 1);
+  ASSERT_EQ(result.outcome, Outcome::kYes);
+  Validation validation = ValidateHdWithWidth(graph, *result.decomposition, 1);
+  EXPECT_TRUE(validation.ok) << validation.error;
+}
+
+TEST(RobustnessTest, RepeatedSolvesAreIndependent) {
+  // Solver objects are reusable; runs must not leak state across calls.
+  LogKDecomp solver;
+  Hypergraph cycle = MakeCycle(8);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(solver.Solve(cycle, 1).outcome, Outcome::kNo);
+    EXPECT_EQ(solver.Solve(cycle, 2).outcome, Outcome::kYes);
+  }
+}
+
+}  // namespace
+}  // namespace htd

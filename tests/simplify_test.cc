@@ -1,0 +1,85 @@
+#include "decomp/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/det_k_decomp.h"
+#include "core/log_k_decomp.h"
+#include "decomp/validation.h"
+#include "hypergraph/generators.h"
+#include "util/rng.h"
+
+namespace htd {
+namespace {
+
+TEST(SimplifyTest, ContractsSubsetBags) {
+  // Root {x0,x1,x2} with a redundant child {x0,x1} that carries the real
+  // leaf {x1,x2} below it: the middle node must be contracted.
+  Hypergraph graph = MakePath(3);  // edges {0,1},{1,2}
+  Decomposition decomp;
+  int root = decomp.AddNode({0, 1}, util::DynamicBitset::FromIndices(3, {0, 1, 2}), -1);
+  int middle = decomp.AddNode({1}, util::DynamicBitset::FromIndices(3, {1, 2}), root);
+  decomp.AddNode({1}, util::DynamicBitset::FromIndices(3, {1, 2}), middle);
+  ASSERT_TRUE(ValidateHd(graph, decomp).ok);
+
+  Decomposition simplified = SimplifyDecomposition(graph, decomp);
+  EXPECT_LT(simplified.num_nodes(), decomp.num_nodes());
+  Validation validation = ValidateHd(graph, simplified);
+  EXPECT_TRUE(validation.ok) << validation.error;
+  // In fact everything collapses into the root here (child bags are subsets
+  // or cover nothing exclusively).
+  EXPECT_EQ(simplified.num_nodes(), 1);
+}
+
+TEST(SimplifyTest, KeepsNecessaryNodes) {
+  // The paper's width-2 HD of the 10-cycle has no redundant nodes.
+  Hypergraph graph = MakeCycle(10);
+  Decomposition decomp;
+  int parent = -1;
+  for (int i = 0; i < 8; ++i) {
+    parent = decomp.AddNode({0, i + 1},
+                            util::DynamicBitset::FromIndices(10, {0, i + 1, i + 2}),
+                            parent);
+  }
+  Decomposition simplified = SimplifyDecomposition(graph, decomp);
+  EXPECT_EQ(simplified.num_nodes(), 8);
+  EXPECT_TRUE(ValidateHd(graph, simplified).ok);
+}
+
+TEST(SimplifyTest, EmptyDecomposition) {
+  Hypergraph empty;
+  Decomposition decomp;
+  EXPECT_EQ(SimplifyDecomposition(empty, decomp).num_nodes(), 0);
+}
+
+// Property: simplification preserves HD validity and never increases width
+// or node count, across solvers and families.
+class SimplifyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplifyPropertyTest, PreservesValidityAndWidth) {
+  util::Rng rng(GetParam());
+  Hypergraph graph = GetParam() % 2 == 0 ? MakeRandomCsp(rng, 16, 11, 2, 4)
+                                         : MakeRandomCq(rng, 12, 4, 0.3);
+  for (int k = 1; k <= 4; ++k) {
+    for (int solver_kind = 0; solver_kind < 2; ++solver_kind) {
+      std::unique_ptr<HdSolver> solver;
+      if (solver_kind == 0) {
+        solver = std::make_unique<DetKDecomp>();
+      } else {
+        solver = std::make_unique<LogKDecomp>();
+      }
+      SolveResult result = solver->Solve(graph, k);
+      if (result.outcome != Outcome::kYes) continue;
+      Decomposition simplified = SimplifyDecomposition(graph, *result.decomposition);
+      Validation validation = ValidateHd(graph, simplified);
+      EXPECT_TRUE(validation.ok)
+          << validation.error << " seed=" << GetParam() << " k=" << k;
+      EXPECT_LE(simplified.Width(), result.decomposition->Width());
+      EXPECT_LE(simplified.num_nodes(), result.decomposition->num_nodes());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyPropertyTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace htd

@@ -1,0 +1,86 @@
+// Tests of the partition-simulation mode (SolveOptions::simulate_partition):
+// the machinery behind the Figure 1 harness on single-core hosts.
+#include <gtest/gtest.h>
+
+#include "core/log_k_decomp.h"
+#include "core/search_steps.h"
+#include "hypergraph/generators.h"
+#include "util/rng.h"
+
+namespace htd {
+namespace {
+
+double PartitionRatio(const Hypergraph& graph, int k, int threads) {
+  SolveOptions options;
+  options.num_threads = threads;
+  options.simulate_partition = true;
+  LogKDecomp solver(options);
+  SolveResult result = solver.Solve(graph, k);
+  EXPECT_NE(result.outcome, Outcome::kCancelled);
+  EXPECT_GT(result.stats.work_total, 0);
+  return static_cast<double>(result.stats.work_parallel) /
+         static_cast<double>(result.stats.work_total);
+}
+
+TEST(SimulationTest, OneWorkerRatioIsOne) {
+  EXPECT_DOUBLE_EQ(PartitionRatio(MakeGrid(4, 6), 2, 1), 1.0);
+}
+
+TEST(SimulationTest, RatioRespectsBrentBound) {
+  // The modelled makespan can never beat work/T.
+  for (int threads : {2, 4, 8}) {
+    double ratio = PartitionRatio(MakeGrid(4, 6), 2, threads);
+    EXPECT_GE(ratio, 1.0 / threads - 1e-9) << "threads " << threads;
+    EXPECT_LE(ratio, 1.0 + 1e-9);
+  }
+}
+
+TEST(SimulationTest, RefutationPartitionsWell) {
+  // Negative instances explore the full candidate space: the partition
+  // should be close to ideal (the paper's linear-scaling case).
+  Hypergraph grid = MakeGrid(4, 8);
+  double r2 = PartitionRatio(grid, 2, 2);
+  double r4 = PartitionRatio(grid, 2, 4);
+  EXPECT_LT(r2, 0.75);  // clearly better than sequential
+  EXPECT_LT(r4, r2);    // and improving with more workers
+}
+
+TEST(SimulationTest, SimulationDoesNotChangeOutcomes) {
+  util::Rng rng(9);
+  Hypergraph graph = MakeRandomCsp(rng, 18, 12, 2, 4);
+  for (int k = 1; k <= 3; ++k) {
+    LogKDecomp plain;
+    SolveOptions options;
+    options.num_threads = 4;
+    options.simulate_partition = true;
+    LogKDecomp simulated(options);
+    EXPECT_EQ(simulated.Solve(graph, k).outcome, plain.Solve(graph, k).outcome)
+        << "k=" << k;
+  }
+}
+
+TEST(SimulationTest, SimulationRunsNoRealThreads) {
+  // In simulation mode the search must stay on the calling thread: the
+  // thread-local step counter of this thread sees all the work.
+  long before = CurrentSearchSteps();
+  SolveOptions options;
+  options.num_threads = 4;
+  options.simulate_partition = true;
+  LogKDecomp solver(options);
+  SolveResult result = solver.Solve(MakeCycle(16), 2);
+  ASSERT_EQ(result.outcome, Outcome::kYes);
+  EXPECT_EQ(CurrentSearchSteps() - before, result.stats.work_total);
+}
+
+TEST(SimulationTest, EffectiveWorkMonotoneInWorkers) {
+  Hypergraph graph = MakeGrid(3, 8);
+  double previous = 1.0 + 1e-9;
+  for (int threads : {1, 2, 3, 4}) {
+    double ratio = PartitionRatio(graph, 2, threads);
+    EXPECT_LE(ratio, previous + 1e-9) << "threads " << threads;
+    previous = ratio;
+  }
+}
+
+}  // namespace
+}  // namespace htd

@@ -1,0 +1,230 @@
+// Validator tests built around the paper's Appendix B example: the cycle of
+// length 10 and its width-2 HD of Figure 2a.
+#include "decomp/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/generators.h"
+
+namespace htd {
+namespace {
+
+// Builds Figure 2a: the path of nodes u1..u8 with λ(u_i) = {R1, R_{i+1}} and
+// χ(u_i) = {x1, x_{i+1}, x_{i+2}} (0-based here: R1 -> edge 0, x1 -> vertex 0).
+Decomposition PaperFigure2a(const Hypergraph& cycle10) {
+  Decomposition decomp;
+  int parent = -1;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<int> lambda{0, i + 1};
+    util::DynamicBitset chi =
+        util::DynamicBitset::FromIndices(10, {0, i + 1, i + 2});
+    parent = decomp.AddNode(lambda, chi, parent);
+  }
+  return decomp;
+}
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  PaperExampleTest() : graph_(MakeCycle(10)), decomp_(PaperFigure2a(graph_)) {}
+  Hypergraph graph_;
+  Decomposition decomp_;
+};
+
+TEST_F(PaperExampleTest, Figure2aIsAValidHd) {
+  Validation hd = ValidateHd(graph_, decomp_);
+  EXPECT_TRUE(hd.ok) << hd.error;
+  EXPECT_EQ(decomp_.Width(), 2);
+}
+
+TEST_F(PaperExampleTest, Figure2aIsAValidGhd) {
+  Validation ghd = ValidateGhd(graph_, decomp_);
+  EXPECT_TRUE(ghd.ok) << ghd.error;
+}
+
+TEST_F(PaperExampleTest, WidthCheckRejectsTooSmallK) {
+  EXPECT_TRUE(ValidateHdWithWidth(graph_, decomp_, 2).ok);
+  EXPECT_FALSE(ValidateHdWithWidth(graph_, decomp_, 1).ok);
+}
+
+TEST_F(PaperExampleTest, BreakingCoverageIsDetected) {
+  // Remove the last node: edge R9 = {x8, x9} loses its covering bag.
+  Decomposition truncated;
+  int parent = -1;
+  for (int i = 0; i < 7; ++i) {
+    truncated.AddNode({0, i + 1},
+                      util::DynamicBitset::FromIndices(10, {0, i + 1, i + 2}),
+                      parent);
+    parent = i;
+  }
+  Validation result = ValidateHd(graph_, truncated);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("covered by no bag"), std::string::npos);
+}
+
+TEST_F(PaperExampleTest, BreakingConnectednessIsDetected) {
+  // Drop x1 (vertex 0) from a middle bag: its occurrences become disconnected.
+  Decomposition broken;
+  int parent = -1;
+  for (int i = 0; i < 8; ++i) {
+    util::DynamicBitset chi =
+        i == 4 ? util::DynamicBitset::FromIndices(10, {i + 1, i + 2})
+               : util::DynamicBitset::FromIndices(10, {0, i + 1, i + 2});
+    parent = broken.AddNode({0, i + 1}, chi, parent);
+  }
+  Validation result = ValidateHd(graph_, broken);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("connectedness"), std::string::npos);
+}
+
+TEST_F(PaperExampleTest, BreakingChiSubsetLambdaIsDetected) {
+  Decomposition broken;
+  // χ contains x5 (vertex 4) which is in neither R1 nor R2.
+  broken.AddNode({0, 1}, util::DynamicBitset::FromIndices(10, {0, 1, 2, 4}), -1);
+  Validation result = ValidateGhd(graph_, broken);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("not covered by lambda"), std::string::npos);
+}
+
+TEST_F(PaperExampleTest, SpecialConditionViolationIsDetected) {
+  // Root λ = {R1, R3}, χ = {x0, x1} but subtree covers x2 ∈ R3: the special
+  // condition χ(T_u) ∩ ⋃λ(u) ⊆ χ(u) fails at the root (x2, x3 missing).
+  Decomposition broken;
+  int root =
+      broken.AddNode({0, 2}, util::DynamicBitset::FromIndices(10, {0, 1}), -1);
+  int child =
+      broken.AddNode({1, 2}, util::DynamicBitset::FromIndices(10, {1, 2, 3}), root);
+  (void)child;
+  // Make it at least a GHD first (coverage fails, so test only condition 4
+  // on a complete-but-wrong HD). We use a 3-cycle to keep it small.
+  Hypergraph triangle = MakeCycle(3);
+  Decomposition bad;
+  int r = bad.AddNode({0, 1}, util::DynamicBitset::FromIndices(3, {0, 1}), -1);
+  bad.AddNode({1, 2}, util::DynamicBitset::FromIndices(3, {1, 2, 0}), r);
+  // Root's λ covers vertex 2 (via edge 1 = {x1,x2}); vertex 2 appears in the
+  // subtree but not in the root's χ -> violation.
+  Validation ghd = ValidateGhd(triangle, bad);
+  EXPECT_TRUE(ghd.ok) << ghd.error;
+  Validation hd = ValidateHd(triangle, bad);
+  EXPECT_FALSE(hd.ok);
+  EXPECT_NE(hd.error.find("special condition"), std::string::npos);
+}
+
+TEST_F(PaperExampleTest, InvalidLambdaEdgeIdIsDetected) {
+  Decomposition broken;
+  broken.AddNode({42}, util::DynamicBitset(10), -1);
+  EXPECT_FALSE(ValidateGhd(graph_, broken).ok);
+}
+
+TEST_F(PaperExampleTest, NormalFormOfPaperHd) {
+  // Figure 2a is in (minimal-χ) normal form.
+  Validation nf = CheckNormalForm(graph_, decomp_);
+  EXPECT_TRUE(nf.ok) << nf.error;
+}
+
+TEST_F(PaperExampleTest, NormalFormViolationDetected) {
+  // Give a middle node a maximal χ (adds x1..x4 beyond the component's
+  // vertices): still a valid HD but not in our minimal normal form? Instead,
+  // we break condition 2: a child whose bag covers no new component edge.
+  Decomposition odd;
+  int root = odd.AddNode({0, 1}, util::DynamicBitset::FromIndices(10, {0, 1, 2}), -1);
+  // Child repeats the root's bag: cov(T_c) has no edge covered first at c.
+  int child = odd.AddNode({0, 1}, util::DynamicBitset::FromIndices(10, {0, 1, 2}), root);
+  (void)child;
+  Validation nf = CheckNormalForm(graph_, odd);
+  EXPECT_FALSE(nf.ok);
+}
+
+TEST(ValidationTest, EmptyHypergraphEmptyDecomposition) {
+  Hypergraph empty;
+  Decomposition decomp;
+  EXPECT_TRUE(ValidateHd(empty, decomp).ok);
+}
+
+TEST(ValidationTest, EmptyDecompositionOfNonEmptyGraphFails) {
+  Hypergraph graph = MakePath(3);
+  Decomposition decomp;
+  EXPECT_FALSE(ValidateHd(graph, decomp).ok);
+}
+
+// --- Extended HD validation (Definition 3.3) -------------------------------
+
+TEST(ExtendedValidationTest, FragmentWithSpecialLeaf) {
+  // Paper's HD-fragment D1.2 (Figure 2c) for the extended subhypergraph
+  // ⟨{R3,R4,R5}, {s1}, {x1,x3}⟩ of the 10-cycle, with s1 = {x1, x6, x7}
+  // (0-based: {x0, x5, x6}).
+  Hypergraph graph = MakeCycle(10);
+  SpecialEdgeRegistry registry(10);
+  int s1 = registry.Add(util::DynamicBitset::FromIndices(10, {0, 5, 6}), {});
+
+  ExtendedSubhypergraph sub;
+  sub.edges = util::DynamicBitset::FromIndices(10, {2, 3, 4});  // R3,R4,R5
+  sub.edge_count = 3;
+  sub.specials.push_back(s1);
+  util::DynamicBitset conn = util::DynamicBitset::FromIndices(10, {0, 2});
+
+  Fragment fragment;
+  int n1 = fragment.AddNode({0, 2}, util::DynamicBitset::FromIndices(10, {0, 2, 3}));
+  int n2 = fragment.AddNode({0, 3}, util::DynamicBitset::FromIndices(10, {0, 3, 4}));
+  int n3 = fragment.AddNode({0, 4}, util::DynamicBitset::FromIndices(10, {0, 4, 5}));
+  int leaf = fragment.AddSpecialLeaf(s1, registry.vertices(s1));
+  fragment.SetRoot(n1);
+  fragment.AddChild(n1, n2);
+  fragment.AddChild(n2, n3);
+  fragment.AddChild(n3, leaf);
+
+  Validation result = ValidateExtendedHd(graph, registry, sub, conn, fragment);
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+TEST(ExtendedValidationTest, MissingSpecialLeafDetected) {
+  Hypergraph graph = MakeCycle(10);
+  SpecialEdgeRegistry registry(10);
+  int s1 = registry.Add(util::DynamicBitset::FromIndices(10, {0, 5, 6}), {});
+  ExtendedSubhypergraph sub;
+  sub.edges = util::DynamicBitset(10);
+  sub.specials.push_back(s1);
+  Fragment fragment;
+  int node = fragment.AddNode({0}, graph.edge_vertices(0));
+  fragment.SetRoot(node);
+  Validation result =
+      ValidateExtendedHd(graph, registry, sub, util::DynamicBitset(10), fragment);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("no leaf"), std::string::npos);
+}
+
+TEST(ExtendedValidationTest, ConnNotInRootDetected) {
+  Hypergraph graph = MakePath(3);
+  SpecialEdgeRegistry registry(3);
+  ExtendedSubhypergraph sub;
+  sub.edges = util::DynamicBitset::FromIndices(2, {0});
+  sub.edge_count = 1;
+  Fragment fragment;
+  int node = fragment.AddNode({0}, graph.edge_vertices(0));  // χ = {x0,x1}
+  fragment.SetRoot(node);
+  util::DynamicBitset conn = util::DynamicBitset::FromIndices(3, {2});
+  Validation result = ValidateExtendedHd(graph, registry, sub, conn, fragment);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("Conn"), std::string::npos);
+}
+
+TEST(ExtendedValidationTest, SpecialNodeWithChildrenDetected) {
+  Hypergraph graph = MakePath(3);
+  SpecialEdgeRegistry registry(3);
+  int s = registry.Add(util::DynamicBitset::FromIndices(3, {0, 1}), {});
+  ExtendedSubhypergraph sub;
+  sub.edges = util::DynamicBitset::FromIndices(2, {0});
+  sub.edge_count = 1;
+  sub.specials.push_back(s);
+  Fragment fragment;
+  int leaf = fragment.AddSpecialLeaf(s, registry.vertices(s));
+  int child = fragment.AddNode({0}, graph.edge_vertices(0));
+  fragment.SetRoot(leaf);
+  fragment.AddChild(leaf, child);
+  Validation result =
+      ValidateExtendedHd(graph, registry, sub, util::DynamicBitset(3), fragment);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("not a leaf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace htd
