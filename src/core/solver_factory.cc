@@ -1,0 +1,72 @@
+#include "core/solver_factory.h"
+
+#include <cstring>
+
+#include "baselines/balsep_ghd.h"
+#include "baselines/det_k_decomp.h"
+#include "core/hybrid.h"
+#include "core/log_k_decomp.h"
+#include "core/log_k_decomp_basic.h"
+#include "util/hash.h"
+
+namespace htd {
+
+namespace {
+
+using util::HashCombine;
+
+uint64_t HashString(uint64_t seed, const std::string& s) {
+  uint64_t h = seed;
+  for (unsigned char c : s) h = HashCombine(h, c);
+  return HashCombine(h, s.size());
+}
+
+}  // namespace
+
+std::vector<std::string> KnownSolverNames() {
+  return {"logk", "logk-basic", "detk", "hybrid", "balsep-ghd"};
+}
+
+util::StatusOr<SolverFactoryFn> MakeSolverFactory(const std::string& name) {
+  if (name == "logk") {
+    return SolverFactoryFn([](const SolveOptions& options) -> std::unique_ptr<HdSolver> {
+      return std::make_unique<LogKDecomp>(options);
+    });
+  }
+  if (name == "logk-basic") {
+    return SolverFactoryFn([](const SolveOptions& options) -> std::unique_ptr<HdSolver> {
+      return std::make_unique<LogKDecompBasic>(options);
+    });
+  }
+  if (name == "detk") {
+    return SolverFactoryFn([](const SolveOptions& options) -> std::unique_ptr<HdSolver> {
+      return std::make_unique<DetKDecomp>(options);
+    });
+  }
+  if (name == "hybrid") {
+    return SolverFactoryFn([](const SolveOptions& options) -> std::unique_ptr<HdSolver> {
+      return MakeDefaultHybrid(options);
+    });
+  }
+  if (name == "balsep-ghd") {
+    return SolverFactoryFn([](const SolveOptions& options) -> std::unique_ptr<HdSolver> {
+      return std::make_unique<BalSepGhd>(options);
+    });
+  }
+  return util::Status::InvalidArgument("unknown solver name: '" + name +
+                                       "' (known: logk, logk-basic, detk, hybrid, "
+                                       "balsep-ghd)");
+}
+
+uint64_t SolverConfigDigest(const std::string& name, const SolveOptions& options) {
+  uint64_t h = HashString(0x48544443464744ULL /* "HTDCFGD" */, name);
+  h = HashCombine(h, static_cast<uint64_t>(options.hybrid_metric));
+  uint64_t threshold_bits = 0;
+  static_assert(sizeof(threshold_bits) == sizeof(options.hybrid_threshold));
+  std::memcpy(&threshold_bits, &options.hybrid_threshold, sizeof(threshold_bits));
+  h = HashCombine(h, threshold_bits);
+  h = HashCombine(h, options.enable_cache ? 1 : 0);
+  return h;
+}
+
+}  // namespace htd

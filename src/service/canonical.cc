@@ -1,0 +1,194 @@
+#include "service/canonical.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace htd::service {
+
+namespace {
+
+using util::HashCombine;
+
+/// Replaces arbitrary 64-bit colour hashes by dense ranks in [0, #distinct).
+/// Ranking by sorted hash value keeps the mapping independent of vertex and
+/// edge numbering, which is what makes each refinement round invariant.
+int Compress(std::vector<uint64_t>& colors) {
+  std::vector<uint64_t> sorted(colors);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (auto& c : colors) {
+    c = static_cast<uint64_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), c) - sorted.begin());
+  }
+  return static_cast<int>(sorted.size());
+}
+
+struct Refinement {
+  std::vector<uint64_t> vcolor;  // dense vertex colours
+  std::vector<uint64_t> ecolor;  // dense edge colours
+  int num_vertex_classes = 0;
+  int num_edge_classes = 0;
+};
+
+/// One-sided update: recolour `out` from its own colour plus the sorted
+/// multiset of neighbour colours (edge ➞ member vertices, vertex ➞ incident
+/// edges).
+template <typename NeighborsFn>
+void RecolorSide(std::vector<uint64_t>& out, const std::vector<uint64_t>& other,
+                 NeighborsFn&& neighbors, uint64_t side_seed) {
+  std::vector<uint64_t> next(out.size());
+  std::vector<uint64_t> adj;
+  for (size_t i = 0; i < out.size(); ++i) {
+    adj.clear();
+    neighbors(static_cast<int>(i), adj, other);
+    std::sort(adj.begin(), adj.end());
+    uint64_t h = HashCombine(side_seed, out[i]);
+    for (uint64_t c : adj) h = HashCombine(h, c);
+    h = HashCombine(h, adj.size());
+    next[i] = h;
+  }
+  out = std::move(next);
+}
+
+/// Runs colour refinement to a fixed point. Colours are invariant under any
+/// renaming of vertices or reordering of edges.
+Refinement Refine(const Hypergraph& graph, std::vector<uint64_t> vcolor,
+                  std::vector<uint64_t> ecolor) {
+  const int n = graph.num_vertices();
+  const int m = graph.num_edges();
+  Refinement r;
+  r.vcolor = std::move(vcolor);
+  r.ecolor = std::move(ecolor);
+  r.num_vertex_classes = Compress(r.vcolor);
+  r.num_edge_classes = Compress(r.ecolor);
+
+  auto edge_members = [&graph](int e, std::vector<uint64_t>& adj,
+                               const std::vector<uint64_t>& vc) {
+    for (int v : graph.edge_vertex_list(e)) adj.push_back(vc[v]);
+  };
+  auto vertex_edges = [&graph](int v, std::vector<uint64_t>& adj,
+                               const std::vector<uint64_t>& ec) {
+    for (int e : graph.edges_of_vertex(v)) adj.push_back(ec[e]);
+  };
+
+  // Each productive round strictly grows a class count; n + m bounds rounds.
+  for (int round = 0; round < n + m + 1; ++round) {
+    RecolorSide(r.ecolor, r.vcolor, edge_members, /*side_seed=*/0xe5);
+    int edge_classes = Compress(r.ecolor);
+    RecolorSide(r.vcolor, r.ecolor, vertex_edges, /*side_seed=*/0x5e);
+    int vertex_classes = Compress(r.vcolor);
+    if (edge_classes == r.num_edge_classes &&
+        vertex_classes == r.num_vertex_classes) {
+      break;
+    }
+    r.num_edge_classes = edge_classes;
+    r.num_vertex_classes = vertex_classes;
+  }
+  return r;
+}
+
+}  // namespace
+
+std::string Fingerprint::ToHex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return std::string(buf);
+}
+
+CanonicalForm ComputeCanonicalForm(const Hypergraph& graph) {
+  const int n = graph.num_vertices();
+  const int m = graph.num_edges();
+
+  // Seed colours: vertex degree / edge size (the degree/edge-size refinement).
+  std::vector<uint64_t> vcolor(n), ecolor(m);
+  for (int v = 0; v < n; ++v) {
+    vcolor[v] = static_cast<uint64_t>(graph.edges_of_vertex(v).size());
+  }
+  for (int e = 0; e < m; ++e) {
+    ecolor[e] = static_cast<uint64_t>(graph.edge_vertex_list(e).size());
+  }
+  Refinement r = Refine(graph, std::move(vcolor), std::move(ecolor));
+
+  // Individualise until the vertex partition is discrete: give one member of
+  // the first (lowest-ranked) still-tied colour class a fresh colour and
+  // re-refine. The member choice (lowest original id) only matters for
+  // classes whose members are not automorphic; see the caveat in the header.
+  while (r.num_vertex_classes < n) {
+    std::vector<int> class_size(r.num_vertex_classes, 0);
+    for (int v = 0; v < n; ++v) class_size[r.vcolor[v]]++;
+    int target_class = -1;
+    for (int c = 0; c < r.num_vertex_classes; ++c) {
+      if (class_size[c] > 1) {
+        target_class = c;
+        break;
+      }
+    }
+    HTD_CHECK(target_class >= 0);
+    int chosen = -1;
+    for (int v = 0; v < n; ++v) {
+      if (static_cast<int>(r.vcolor[v]) == target_class) {
+        chosen = v;
+        break;
+      }
+    }
+    r.vcolor[chosen] = static_cast<uint64_t>(r.num_vertex_classes);
+    r = Refine(graph, std::move(r.vcolor), std::move(r.ecolor));
+  }
+
+  // Discrete partition: vcolor IS the canonical vertex id.
+  CanonicalForm form;
+  form.num_vertices = n;
+  form.num_edges = m;
+  form.edges.reserve(m);
+  for (int e = 0; e < m; ++e) {
+    std::vector<int> edge;
+    edge.reserve(graph.edge_vertex_list(e).size());
+    for (int v : graph.edge_vertex_list(e)) {
+      edge.push_back(static_cast<int>(r.vcolor[v]));
+    }
+    std::sort(edge.begin(), edge.end());
+    form.edges.push_back(std::move(edge));
+  }
+  std::sort(form.edges.begin(), form.edges.end());
+
+  // Two independently seeded mixes over (n, m, canonical edges) = 128 bits.
+  uint64_t h1 = 0x6c6f676b64656331ULL;  // "logkdec1"
+  uint64_t h2 = 0x6c6f676b64656332ULL;  // "logkdec2"
+  auto absorb = [&](uint64_t value) {
+    h1 = HashCombine(h1, value);
+    h2 = HashCombine(h2, ~value);
+  };
+  absorb(static_cast<uint64_t>(n));
+  absorb(static_cast<uint64_t>(m));
+  for (const auto& edge : form.edges) {
+    absorb(edge.size());
+    for (int v : edge) absorb(static_cast<uint64_t>(v));
+  }
+  form.fingerprint = Fingerprint{h1, h2};
+  return form;
+}
+
+Fingerprint CanonicalFingerprint(const Hypergraph& graph) {
+  return ComputeCanonicalForm(graph).fingerprint;
+}
+
+std::string CanonicalString(const CanonicalForm& form) {
+  std::string out = std::to_string(form.num_vertices) + " " +
+                    std::to_string(form.num_edges);
+  for (const auto& edge : form.edges) {
+    out += " |";
+    for (int v : edge) {
+      out += " " + std::to_string(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace htd::service

@@ -1,0 +1,79 @@
+// Canonical forms and 128-bit fingerprints for hypergraphs.
+//
+// The service layer memoizes whole-instance results, so identical instances
+// must hash identically no matter how the client named its vertices or in
+// which order it listed its edges. This module computes an
+// isomorphism-robust canonical form by colour refinement on the bipartite
+// incidence structure (vertices seeded with their degree, edges with their
+// size — the degree/edge-size refinement of the seed's bitset
+// representation), followed by deterministic individualisation of any
+// remaining tied colour class.
+//
+// Guarantees:
+//  * Reordering edges or reordering vertices inside an edge never changes
+//    the canonical form or the fingerprint. Renaming vertices never does
+//    either, except in the pathological case of the third bullet (the
+//    individualisation tie-break picks the lowest original id within a
+//    tied class, which is only canonical when that class is automorphic).
+//  * Two hypergraphs with different canonical forms are non-isomorphic.
+//  * Isomorphic hypergraphs receive the same form whenever refinement-
+//    equivalent vertices are automorphic — true for everything the corpus
+//    and HyperBench-style workloads contain. Pathological refinement-
+//    resistant families (e.g. CFI-style constructions) may split one
+//    isomorphism class — including renamings of a single instance — across
+//    cache entries; that costs a duplicate solve, never a wrong answer.
+//
+// Fingerprints are 128 bits (two independently seeded 64-bit mixes over the
+// canonical edge list), so accidental collisions are out of practical reach.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace htd::service {
+
+struct Fingerprint {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const Fingerprint& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+  bool operator!=(const Fingerprint& other) const { return !(*this == other); }
+  bool operator<(const Fingerprint& other) const {
+    return hi != other.hi ? hi < other.hi : lo < other.lo;
+  }
+
+  /// 32 hex digits, e.g. for log lines and manifests.
+  std::string ToHex() const;
+};
+
+struct FingerprintHash {
+  size_t operator()(const Fingerprint& fp) const {
+    return static_cast<size_t>(fp.hi ^ (fp.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+struct CanonicalForm {
+  int num_vertices = 0;
+  int num_edges = 0;
+  /// Edges over canonical vertex ids in [0, num_vertices): each edge sorted
+  /// ascending, edges sorted lexicographically. Duplicate edges are kept.
+  std::vector<std::vector<int>> edges;
+  Fingerprint fingerprint;
+};
+
+/// Computes the canonical form (refinement + individualisation) of `graph`.
+CanonicalForm ComputeCanonicalForm(const Hypergraph& graph);
+
+/// Shorthand when only the 128-bit fingerprint is needed.
+Fingerprint CanonicalFingerprint(const Hypergraph& graph);
+
+/// Deterministic text rendering of a canonical form ("n m | e1 | e2 ...");
+/// equal strings iff equal forms. Used by tests and debug tooling.
+std::string CanonicalString(const CanonicalForm& form);
+
+}  // namespace htd::service

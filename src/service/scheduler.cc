@@ -1,0 +1,184 @@
+#include "service/scheduler.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace htd::service {
+
+BatchScheduler::BatchScheduler(util::ThreadPool& pool, SolverFactoryFn factory,
+                               const SolveOptions& solve_options,
+                               ResultCache* cache, uint64_t config_digest)
+    : pool_(pool),
+      factory_(std::move(factory)),
+      solve_options_(solve_options),
+      cache_(cache),
+      config_digest_(config_digest) {
+  HTD_CHECK(factory_ != nullptr);
+  // The flight owns its CancelToken; a caller-level token would outlive our
+  // control. Per-job deadlines come in through JobSpec::timeout_seconds.
+  solve_options_.cancel = nullptr;
+}
+
+BatchScheduler::~BatchScheduler() {
+  CancelAll();
+  Drain();
+}
+
+std::future<JobResult> BatchScheduler::Submit(const JobSpec& spec) {
+  std::vector<std::function<void()>> new_tasks;
+  std::future<JobResult> future = Admit(spec, new_tasks);
+  if (!new_tasks.empty()) pool_.Submit(std::move(new_tasks.front()));
+  return future;
+}
+
+std::vector<std::future<JobResult>> BatchScheduler::SubmitBatch(
+    const std::vector<JobSpec>& specs) {
+  std::vector<std::future<JobResult>> futures;
+  futures.reserve(specs.size());
+  std::vector<std::function<void()>> new_tasks;
+  for (const JobSpec& spec : specs) {
+    futures.push_back(Admit(spec, new_tasks));
+  }
+  pool_.SubmitBatch(std::move(new_tasks));
+  return futures;
+}
+
+std::future<JobResult> BatchScheduler::Admit(
+    const JobSpec& spec, std::vector<std::function<void()>>& new_tasks) {
+  HTD_CHECK(spec.graph != nullptr);
+  HTD_CHECK_GE(spec.k, 1);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  // Fingerprint on the submitter's thread: keeps the admission lock cheap.
+  Fingerprint fp = CanonicalFingerprint(*spec.graph);
+  CacheKey key{fp, spec.k, config_digest_};
+
+  std::promise<JobResult> promise;
+  std::future<JobResult> future = promise.get_future();
+
+  // Cache probe outside the scheduler lock: the cache has its own shard
+  // striping, and a hit copies a whole SolveResult — serialising that behind
+  // mutex_ would make every admission pay for it.
+  if (cache_ != nullptr) {
+    if (std::optional<SolveResult> hit = cache_->Lookup(key)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      JobResult job_result;
+      job_result.result = std::move(*hit);
+      job_result.fingerprint = fp;
+      job_result.cache_hit = true;
+      promise.set_value(std::move(job_result));
+      return future;
+    }
+  }
+
+  // Prepare the flight before taking the lock too — the graph copy is
+  // O(n + m). It is wasted work only when this job loses the admission race
+  // to an identical in-flight solve (the rare case by construction).
+  auto flight = std::make_shared<Flight>();
+  flight->graph = std::make_shared<const Hypergraph>(*spec.graph);
+  flight->key = key;
+  if (spec.timeout_seconds > 0.0) {
+    // Armed before the task reaches the pool: the worker's read of the
+    // deadline is ordered after this write by the pool's queue mutex.
+    flight->token.SetTimeout(std::chrono::duration<double>(spec.timeout_seconds));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Single-flight: join an identical in-flight solve if there is one. A
+    // solve that completed between the cache probe above and this point
+    // re-solves instead of hitting — correct, just not free; the window is
+    // a few instructions wide.
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      dedup_joins_.fetch_add(1, std::memory_order_relaxed);
+      it->second->waiters.push_back(Waiter{std::move(promise), true});
+      return future;
+    }
+    flight->waiters.push_back(Waiter{std::move(promise), false});
+    inflight_.emplace(key, flight);
+    ++pending_flights_;
+  }
+  solves_.fetch_add(1, std::memory_order_relaxed);
+  new_tasks.push_back([this, flight] { RunFlight(flight); });
+  return future;
+}
+
+void BatchScheduler::RunFlight(const std::shared_ptr<Flight>& flight) {
+  SolveOptions options = solve_options_;
+  options.cancel = &flight->token;
+  SolveResult result;
+  // A throwing solve must not leak the flight: waiters would see
+  // broken_promise and Drain() would block forever on the stale inflight_
+  // entry. Escaped exceptions become kError results instead.
+  try {
+    std::unique_ptr<HdSolver> solver = factory_(options);
+    result = solver->Solve(*flight->graph, flight->key.k);
+  } catch (...) {
+    result = SolveResult{};
+    result.outcome = Outcome::kError;
+  }
+
+  // Only definitive answers are worth memoizing; kCancelled/kError depend on
+  // the deadline (or fault) that produced them, not on the instance.
+  if (cache_ != nullptr &&
+      (result.outcome == Outcome::kYes || result.outcome == Outcome::kNo)) {
+    cache_->Insert(flight->key, result);
+  }
+
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    waiters = std::move(flight->waiters);
+    inflight_.erase(flight->key);
+  }
+
+  const double seconds = flight->timer.ElapsedSeconds();
+  for (Waiter& waiter : waiters) {
+    JobResult job_result;
+    job_result.result = result;
+    job_result.fingerprint = flight->key.fingerprint;
+    job_result.deduplicated = waiter.deduplicated;
+    job_result.seconds = seconds;
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    waiter.promise.set_value(std::move(job_result));
+  }
+
+  // The drain signal comes last: Drain() returning is the caller's licence
+  // to destroy the scheduler, so nothing may touch `this` after the count
+  // hits zero. The notify stays under the lock for the same reason.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--pending_flights_ == 0) drained_.notify_all();
+  }
+}
+
+void BatchScheduler::CancelAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, flight] : inflight_) {
+    flight->token.RequestStop();
+  }
+}
+
+void BatchScheduler::Drain() {
+  // pending_flights_, not inflight_.empty(): a flight leaves inflight_
+  // before its waiters are fulfilled, and Drain() must not return while the
+  // worker is still in that fan-out (see the tail of RunFlight).
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [this] { return pending_flights_ == 0; });
+}
+
+BatchScheduler::Stats BatchScheduler::GetStats() const {
+  Stats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.solves = solves_.load(std::memory_order_relaxed);
+  stats.dedup_joins = dedup_joins_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace htd::service

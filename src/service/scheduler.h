@@ -1,0 +1,137 @@
+// Async batch scheduler: futures, single-flight dedup, per-job deadlines.
+//
+// The scheduler accepts decomposition jobs (hypergraph, width k, optional
+// timeout), runs them on a util::ThreadPool, and returns std::futures.
+// Identical requests — same canonical fingerprint, same k, same solver
+// config — that arrive while a solve is in flight are coalesced onto that
+// flight ("single-flight"): one solver run fans its result out to every
+// waiter. Completed results are inserted into the ResultCache (when one is
+// attached) so later submissions hit without solving at all.
+//
+// Deadlines: the flight's CancelToken is armed with the first submitter's
+// deadline BEFORE the task is handed to the pool, so the solver thread only
+// ever reads a fully published token (TSan-clean by construction). Waiters
+// that join an in-flight solve share the leader's deadline; their
+// `deduplicated` flag says so. CancelAll() cooperatively stops every flight.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/solver_factory.h"
+#include "service/canonical.h"
+#include "service/result_cache.h"
+#include "util/cancel.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace htd::service {
+
+/// One decomposition request.
+struct JobSpec {
+  const Hypergraph* graph = nullptr;  ///< not owned; copied on admission
+  int k = 1;
+  /// 0 = no deadline. The deadline is end-to-end from admission: queue wait
+  /// counts against it, like a service SLA. Applies when this job starts a
+  /// new flight; joining an in-flight duplicate inherits the leader's
+  /// deadline instead.
+  double timeout_seconds = 0.0;
+};
+
+/// What a job's future resolves to.
+struct JobResult {
+  SolveResult result;
+  Fingerprint fingerprint;
+  bool cache_hit = false;      ///< answered from the ResultCache, no solve
+  bool deduplicated = false;   ///< coalesced onto an already-running flight
+  /// Wall time of the flight that produced the result, admission to fan-out.
+  /// Cache hits report 0.0 (no flight ran); dedup joiners share the leader's
+  /// clock rather than measuring from their own admission.
+  double seconds = 0.0;
+};
+
+class BatchScheduler {
+ public:
+  struct Stats {
+    uint64_t submitted = 0;     ///< jobs accepted
+    uint64_t solves = 0;        ///< actual solver runs started
+    uint64_t dedup_joins = 0;   ///< jobs coalesced onto an in-flight solve
+    uint64_t cache_hits = 0;    ///< jobs answered from the cache
+    uint64_t completed = 0;     ///< futures fulfilled
+  };
+
+  /// `cache` may be nullptr (no memoization). `config_digest` must describe
+  /// `factory`'s answer-affecting configuration (SolverConfigDigest).
+  BatchScheduler(util::ThreadPool& pool, SolverFactoryFn factory,
+                 const SolveOptions& solve_options, ResultCache* cache,
+                 uint64_t config_digest);
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Admits one job. The graph is fingerprinted and copied on the caller's
+  /// thread; the returned future resolves when the job is answered (cache,
+  /// dedup fan-out, or fresh solve).
+  std::future<JobResult> Submit(const JobSpec& spec);
+
+  /// Admits many jobs with one pool hand-off (ThreadPool::SubmitBatch);
+  /// futures are index-aligned with `specs`.
+  std::vector<std::future<JobResult>> SubmitBatch(const std::vector<JobSpec>& specs);
+
+  /// Cooperatively cancels every in-flight solve (kCancelled results).
+  void CancelAll();
+
+  /// Blocks until no flight is running or queued.
+  void Drain();
+
+  Stats GetStats() const;
+
+ private:
+  struct Waiter {
+    std::promise<JobResult> promise;
+    bool deduplicated = false;
+  };
+  struct Flight {
+    std::shared_ptr<const Hypergraph> graph;
+    CacheKey key;
+    util::CancelToken token;
+    util::WallTimer timer;
+    std::vector<Waiter> waiters;  // guarded by scheduler mutex
+  };
+
+  /// Fingerprints and admits one job: immediate answer (cache hit), join of
+  /// an in-flight solve, or a fresh flight whose pool task is appended to
+  /// `new_tasks` for the caller to hand to the pool.
+  std::future<JobResult> Admit(const JobSpec& spec,
+                               std::vector<std::function<void()>>& new_tasks);
+  void RunFlight(const std::shared_ptr<Flight>& flight);
+
+  util::ThreadPool& pool_;
+  SolverFactoryFn factory_;
+  SolveOptions solve_options_;
+  ResultCache* cache_;
+  uint64_t config_digest_;
+
+  std::mutex mutex_;
+  std::condition_variable drained_;
+  std::unordered_map<CacheKey, std::shared_ptr<Flight>, CacheKeyHash> inflight_;
+  /// Flights admitted but whose fan-out has not finished. Outlives the
+  /// flight's inflight_ entry; Drain() waits on this reaching zero.
+  int pending_flights_ = 0;  // guarded by mutex_
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> solves_{0};
+  std::atomic<uint64_t> dedup_joins_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> completed_{0};
+};
+
+}  // namespace htd::service

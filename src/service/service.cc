@@ -1,0 +1,74 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace htd::service {
+
+DecompositionService::DecompositionService(ServiceOptions options)
+    : options_(std::move(options)),
+      pool_(std::max(1, options_.num_workers)) {
+  auto factory = MakeSolverFactory(options_.solver_name);
+  HTD_CHECK(factory.ok()) << factory.status().message();
+  if (options_.enable_result_cache) {
+    cache_ = std::make_unique<ResultCache>(std::max<size_t>(1, options_.cache_capacity),
+                                           options_.cache_shards);
+  }
+  scheduler_ = std::make_unique<BatchScheduler>(
+      pool_, std::move(*factory), options_.solve, cache_.get(),
+      SolverConfigDigest(options_.solver_name, options_.solve));
+}
+
+DecompositionService::~DecompositionService() = default;
+
+util::StatusOr<std::unique_ptr<DecompositionService>> DecompositionService::Create(
+    ServiceOptions options) {
+  auto factory = MakeSolverFactory(options.solver_name);
+  if (!factory.ok()) return factory.status();
+  if (options.num_workers < 1) {
+    return util::Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (options.enable_result_cache && options.cache_capacity < 1) {
+    return util::Status::InvalidArgument("cache_capacity must be >= 1");
+  }
+  return std::make_unique<DecompositionService>(std::move(options));
+}
+
+std::future<JobResult> DecompositionService::Submit(const Hypergraph& graph, int k) {
+  return Submit(graph, k, options_.default_timeout_seconds);
+}
+
+std::future<JobResult> DecompositionService::Submit(const Hypergraph& graph, int k,
+                                                    double timeout_seconds) {
+  JobSpec spec;
+  spec.graph = &graph;
+  spec.k = k;
+  spec.timeout_seconds = timeout_seconds;
+  return scheduler_->Submit(spec);
+}
+
+std::vector<std::future<JobResult>> DecompositionService::SubmitBatch(
+    const std::vector<JobSpec>& jobs) {
+  return scheduler_->SubmitBatch(jobs);
+}
+
+JobResult DecompositionService::Solve(const Hypergraph& graph, int k) {
+  return Submit(graph, k).get();
+}
+
+void DecompositionService::CancelAll() { scheduler_->CancelAll(); }
+
+void DecompositionService::Drain() { scheduler_->Drain(); }
+
+ResultCache::Stats DecompositionService::cache_stats() const {
+  if (cache_ == nullptr) return ResultCache::Stats{};
+  return cache_->GetStats();
+}
+
+BatchScheduler::Stats DecompositionService::scheduler_stats() const {
+  return scheduler_->GetStats();
+}
+
+}  // namespace htd::service

@@ -1,0 +1,97 @@
+// DecompositionService: the façade over the service subsystem.
+//
+// Request flow (docs/SERVICE.md has the full picture):
+//
+//   Submit(graph, k)
+//     ➞ canonical fingerprint            (service/canonical.h)
+//     ➞ sharded result cache lookup      (service/result_cache.h)
+//     ➞ single-flight batch scheduler    (service/scheduler.h)
+//     ➞ solver from the name registry    (core/solver_factory.h)
+//
+// The service owns the worker pool, the cache, and the scheduler; callers
+// only hold futures. One service instance is meant to be long-lived and
+// shared across many clients — every knob that changes the answers a solve
+// can produce is part of the cache key, so mixing workloads is safe.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "core/solver_factory.h"
+#include "service/result_cache.h"
+#include "service/scheduler.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace htd::service {
+
+/// ServiceOptions extends SolveOptions with the service-level knobs.
+struct ServiceOptions {
+  /// Base solver configuration; `cancel` is ignored (deadlines are per-job),
+  /// `num_threads` configures intra-solve parallelism.
+  SolveOptions solve;
+
+  /// Solver registry name (core/solver_factory.h): "logk", "logk-basic",
+  /// "detk", "hybrid", "balsep-ghd".
+  std::string solver_name = "logk";
+
+  /// Worker threads the scheduler fans jobs out over (inter-job parallelism).
+  int num_workers = 4;
+
+  /// Whole-instance result memoization.
+  bool enable_result_cache = true;
+  size_t cache_capacity = 4096;
+  int cache_shards = 16;
+
+  /// Deadline applied to jobs submitted without an explicit timeout
+  /// (0 = none).
+  double default_timeout_seconds = 0.0;
+};
+
+class DecompositionService {
+ public:
+  /// Aborts (HTD_CHECK) on an unknown solver name; use Create() to validate.
+  explicit DecompositionService(ServiceOptions options = {});
+  ~DecompositionService();
+
+  DecompositionService(const DecompositionService&) = delete;
+  DecompositionService& operator=(const DecompositionService&) = delete;
+
+  /// Validating constructor: kInvalidArgument on a bad configuration.
+  static util::StatusOr<std::unique_ptr<DecompositionService>> Create(
+      ServiceOptions options);
+
+  /// Submits one job; uses options().default_timeout_seconds.
+  std::future<JobResult> Submit(const Hypergraph& graph, int k);
+  /// Submits one job with an explicit deadline (0 = none).
+  std::future<JobResult> Submit(const Hypergraph& graph, int k,
+                                double timeout_seconds);
+
+  /// Submits many jobs with a single scheduler hand-off; futures are
+  /// index-aligned with `jobs`.
+  std::vector<std::future<JobResult>> SubmitBatch(const std::vector<JobSpec>& jobs);
+
+  /// Synchronous convenience wrapper: Submit + wait.
+  JobResult Solve(const Hypergraph& graph, int k);
+
+  /// Cooperatively cancels all in-flight work.
+  void CancelAll();
+  /// Blocks until every admitted job has completed.
+  void Drain();
+
+  ResultCache::Stats cache_stats() const;
+  BatchScheduler::Stats scheduler_stats() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  ServiceOptions options_;
+  util::ThreadPool pool_;
+  std::unique_ptr<ResultCache> cache_;       // null when caching is disabled
+  std::unique_ptr<BatchScheduler> scheduler_;
+};
+
+}  // namespace htd::service

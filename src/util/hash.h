@@ -1,0 +1,26 @@
+// Shared 64-bit mixing primitives.
+//
+// Both the solver-config digest (core/solver_factory.h) and the canonical
+// hypergraph fingerprint (service/canonical.h) feed these into persistent
+// cache keys, so the two must stay bit-identical — hence one definition
+// here rather than per-file copies. Treat any change as a cache-format
+// break.
+#pragma once
+
+#include <cstdint>
+
+namespace htd::util {
+
+inline uint64_t Mix64(uint64_t x) {
+  // splitmix64 finalizer.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+}  // namespace htd::util

@@ -1,0 +1,264 @@
+// BatchScheduler: single-flight dedup under concurrent identical
+// submissions, deadline/cancellation behaviour, cache integration, and
+// batch fan-out. Uses instrumented fake solvers so the tests control
+// timing precisely.
+#include "service/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "hypergraph/generators.h"
+#include "service/result_cache.h"
+#include "util/thread_pool.h"
+
+namespace htd::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Counts Solve() calls; optionally blocks until released or cancelled.
+class FakeSolver : public HdSolver {
+ public:
+  struct Control {
+    std::atomic<int> solve_calls{0};
+    std::atomic<bool> release{true};  ///< false: spin until released/cancelled
+    Outcome outcome = Outcome::kYes;
+  };
+
+  FakeSolver(Control* control, const SolveOptions& options)
+      : control_(control), options_(options) {}
+
+  SolveResult Solve(const Hypergraph&, int) override {
+    control_->solve_calls.fetch_add(1);
+    SolveResult result;
+    while (!control_->release.load()) {
+      if (options_.cancel != nullptr && options_.cancel->ShouldStop()) {
+        result.outcome = Outcome::kCancelled;
+        return result;
+      }
+      std::this_thread::sleep_for(1ms);
+    }
+    result.outcome = control_->outcome;
+    return result;
+  }
+
+  std::string name() const override { return "fake"; }
+
+ private:
+  Control* control_;
+  SolveOptions options_;
+};
+
+SolverFactoryFn FakeFactory(FakeSolver::Control* control) {
+  return [control](const SolveOptions& options) -> std::unique_ptr<HdSolver> {
+    return std::make_unique<FakeSolver>(control, options);
+  };
+}
+
+JobSpec SpecFor(const Hypergraph& graph, int k, double timeout = 0.0) {
+  JobSpec spec;
+  spec.graph = &graph;
+  spec.k = k;
+  spec.timeout_seconds = timeout;
+  return spec;
+}
+
+TEST(SchedulerTest, SolvesAndFulfillsFuture) {
+  util::ThreadPool pool(2);
+  FakeSolver::Control control;
+  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{},
+                           /*cache=*/nullptr, /*config_digest=*/1);
+  Hypergraph graph = MakeCycle(6);
+  JobResult job = scheduler.Submit(SpecFor(graph, 2)).get();
+  EXPECT_EQ(job.result.outcome, Outcome::kYes);
+  EXPECT_FALSE(job.cache_hit);
+  EXPECT_FALSE(job.deduplicated);
+  EXPECT_EQ(control.solve_calls.load(), 1);
+  EXPECT_EQ(job.fingerprint, CanonicalFingerprint(graph));
+}
+
+TEST(SchedulerTest, SingleFlightDeduplicatesConcurrentIdenticalJobs) {
+  util::ThreadPool pool(4);
+  FakeSolver::Control control;
+  control.release.store(false);  // hold the flight open while duplicates pile up
+  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{},
+                           nullptr, 1);
+  Hypergraph graph = MakeCycle(8);
+
+  constexpr int kJobs = 16;
+  std::vector<std::future<JobResult>> futures;
+  futures.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    futures.push_back(scheduler.Submit(SpecFor(graph, 2)));
+  }
+  // Wait until the leader is actually running, then let it finish.
+  while (control.solve_calls.load() == 0) std::this_thread::sleep_for(1ms);
+  control.release.store(true);
+
+  int dedup_count = 0;
+  for (auto& future : futures) {
+    JobResult job = future.get();
+    EXPECT_EQ(job.result.outcome, Outcome::kYes);
+    dedup_count += job.deduplicated ? 1 : 0;
+  }
+  EXPECT_EQ(control.solve_calls.load(), 1);
+  EXPECT_EQ(dedup_count, kJobs - 1);
+
+  BatchScheduler::Stats stats = scheduler.GetStats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kJobs));
+  EXPECT_EQ(stats.solves, 1u);
+  EXPECT_EQ(stats.dedup_joins, static_cast<uint64_t>(kJobs - 1));
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kJobs));
+}
+
+TEST(SchedulerTest, DistinctJobsAreNotDeduplicated) {
+  util::ThreadPool pool(4);
+  FakeSolver::Control control;
+  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{},
+                           nullptr, 1);
+  Hypergraph cycle = MakeCycle(8);
+  Hypergraph path = MakePath(8);
+  auto f1 = scheduler.Submit(SpecFor(cycle, 2));
+  auto f2 = scheduler.Submit(SpecFor(path, 2));
+  auto f3 = scheduler.Submit(SpecFor(cycle, 3));  // same graph, different k
+  f1.get();
+  f2.get();
+  f3.get();
+  EXPECT_EQ(control.solve_calls.load(), 3);
+}
+
+TEST(SchedulerTest, DeadlineCancelsRunningJob) {
+  util::ThreadPool pool(2);
+  FakeSolver::Control control;
+  control.release.store(false);  // solver only exits via its cancel token
+  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{},
+                           nullptr, 1);
+  Hypergraph graph = MakeCycle(8);
+  JobResult job =
+      scheduler.Submit(SpecFor(graph, 2, /*timeout=*/0.05)).get();
+  EXPECT_EQ(job.result.outcome, Outcome::kCancelled);
+}
+
+TEST(SchedulerTest, CancelAllStopsInFlightWork) {
+  util::ThreadPool pool(2);
+  FakeSolver::Control control;
+  control.release.store(false);
+  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{},
+                           nullptr, 1);
+  Hypergraph graph = MakeCycle(8);
+  auto future = scheduler.Submit(SpecFor(graph, 2));
+  while (control.solve_calls.load() == 0) std::this_thread::sleep_for(1ms);
+  scheduler.CancelAll();
+  EXPECT_EQ(future.get().result.outcome, Outcome::kCancelled);
+}
+
+TEST(SchedulerTest, CancelledResultsAreNotCached) {
+  util::ThreadPool pool(2);
+  ResultCache cache(16, 2);
+  FakeSolver::Control control;
+  control.release.store(false);
+  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{}, &cache, 1);
+  Hypergraph graph = MakeCycle(8);
+  scheduler.Submit(SpecFor(graph, 2, 0.05)).get();
+  EXPECT_EQ(cache.num_entries(), 0u);
+
+  // A later submission re-solves (and, released, caches the kYes).
+  control.release.store(true);
+  JobResult job = scheduler.Submit(SpecFor(graph, 2)).get();
+  EXPECT_EQ(job.result.outcome, Outcome::kYes);
+  EXPECT_FALSE(job.cache_hit);
+  EXPECT_EQ(cache.num_entries(), 1u);
+}
+
+TEST(SchedulerTest, CompletedResultsHitTheCache) {
+  util::ThreadPool pool(2);
+  ResultCache cache(16, 2);
+  FakeSolver::Control control;
+  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{}, &cache, 1);
+  Hypergraph graph = MakeCycle(8);
+
+  JobResult first = scheduler.Submit(SpecFor(graph, 2)).get();
+  EXPECT_FALSE(first.cache_hit);
+  JobResult second = scheduler.Submit(SpecFor(graph, 2)).get();
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.result.outcome, Outcome::kYes);
+  EXPECT_EQ(control.solve_calls.load(), 1);
+  EXPECT_EQ(scheduler.GetStats().cache_hits, 1u);
+}
+
+TEST(SchedulerTest, SubmitBatchAlignsFuturesWithSpecs) {
+  util::ThreadPool pool(4);
+  FakeSolver::Control control;
+  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{},
+                           nullptr, 1);
+  Hypergraph cycle = MakeCycle(8);
+  Hypergraph path = MakePath(5);
+  std::vector<JobSpec> specs = {SpecFor(cycle, 2), SpecFor(path, 1),
+                                SpecFor(cycle, 2)};
+  auto futures = scheduler.SubmitBatch(specs);
+  ASSERT_EQ(futures.size(), 3u);
+  JobResult a = futures[0].get();
+  JobResult b = futures[1].get();
+  JobResult c = futures[2].get();
+  EXPECT_EQ(a.fingerprint, c.fingerprint);
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+  // The duplicate either joined the first flight or hit nothing (no cache
+  // attached), but it must not have answered wrongly.
+  EXPECT_LE(control.solve_calls.load(), 3);
+  EXPECT_EQ(scheduler.GetStats().completed, 3u);
+}
+
+TEST(SchedulerTest, DrainWaitsForAllFlights) {
+  util::ThreadPool pool(2);
+  FakeSolver::Control control;
+  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{},
+                           nullptr, 1);
+  Hypergraph graph = MakeCycle(8);
+  std::vector<std::future<JobResult>> futures;
+  for (int k = 1; k <= 4; ++k) {
+    futures.push_back(scheduler.Submit(SpecFor(graph, k)));
+  }
+  scheduler.Drain();
+  for (auto& future : futures) {
+    EXPECT_EQ(future.wait_for(0s), std::future_status::ready);
+  }
+}
+
+TEST(SchedulerTest, HammeredWithConcurrentSubmitters) {
+  // Stress the admission path from many threads; also the TSan target.
+  util::ThreadPool pool(4);
+  ResultCache cache(128, 8);
+  FakeSolver::Control control;
+  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{},
+                           &cache, 1);
+  std::vector<Hypergraph> graphs;
+  for (int n = 4; n < 10; ++n) graphs.push_back(MakeCycle(n));
+
+  constexpr int kSubmitters = 6;
+  constexpr int kPerThread = 40;
+  std::vector<std::thread> submitters;
+  std::atomic<int> yes_count{0};
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Hypergraph& graph = graphs[(t + i) % graphs.size()];
+        JobResult job = scheduler.Submit(SpecFor(graph, 2)).get();
+        if (job.result.outcome == Outcome::kYes) yes_count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  EXPECT_EQ(yes_count.load(), kSubmitters * kPerThread);
+  // Every (graph, k) pair needs at most a handful of real solves; the rest
+  // must come from dedup or the cache.
+  EXPECT_LE(control.solve_calls.load(), static_cast<int>(graphs.size()) * 2);
+  BatchScheduler::Stats stats = scheduler.GetStats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kSubmitters * kPerThread));
+}
+
+}  // namespace
+}  // namespace htd::service
