@@ -131,23 +131,34 @@ int Main() {
   negatives.push_back(
       {"dense CSP, k=2", MakeRandomCsp(rng, 16, 12, 3, 5), 2});
 
+  struct CacheVariant {
+    const char* name;
+    bool enabled;
+    int shards;
+  };
+  // "cached-1" pins the cache to a single stripe — the historical global-
+  // mutex configuration whose contention the paper's §1 argument is about;
+  // "cached-16" is the striped default.
+  const CacheVariant cache_variants[] = {
+      {"plain", false, 1}, {"cached-16", true, 16}, {"cached-1", true, 1}};
   TextTable table_b;
   table_b.AddRow({"instance", "variant", "outcome", "separators", "cache hits",
                   "ms"});
   for (const Negative& negative : negatives) {
-    for (bool cached : {false, true}) {
+    for (const CacheVariant& variant : cache_variants) {
       util::CancelToken deadline;
       deadline.SetTimeout(std::chrono::duration<double>(
           std::max(config.timeout_seconds, 1.0)));
       SolveOptions options;
-      options.enable_cache = cached;
+      options.enable_cache = variant.enabled;
+      options.cache_shards = variant.shards;
       options.cancel = &deadline;
       LogKDecomp solver(options);
       SolveResult result = solver.Solve(negative.graph, negative.k);
       const char* outcome = result.outcome == Outcome::kNo    ? "no"
                             : result.outcome == Outcome::kYes ? "yes"
                                                               : "other";
-      table_b.AddRow({negative.name, cached ? "cached" : "plain", outcome,
+      table_b.AddRow({negative.name, variant.name, outcome,
                       std::to_string(result.stats.separators_tried),
                       std::to_string(result.stats.cache_hits),
                       Fmt1(result.stats.seconds * 1000.0)});
@@ -157,7 +168,11 @@ int Main() {
   std::printf(
       "\nReading: the cache trims exhaustive refutations (same outcome, fewer\n"
       "separators); the paper's design point keeps log-k cache-free because\n"
-      "the mutex serialises exactly the searches the algorithm parallelises.\n");
+      "a shared cache serialises exactly the searches the algorithm\n"
+      "parallelises — cached-1 is that historical single-mutex exhibit, and\n"
+      "the striped cached-16 is what production paths use now. The follow-up\n"
+      "ablation, bench/ablation_shared_memo.cc, measures the cross-instance\n"
+      "version of the same idea: subproblem outcomes shared across runs.\n");
   return 0;
 }
 

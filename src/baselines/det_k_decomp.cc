@@ -1,9 +1,11 @@
 #include "baselines/det_k_decomp.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/search_steps.h"
 #include "decomp/validation.h"
+#include "service/subproblem_store.h"
 #include "util/combinations.h"
 #include "util/timer.h"
 
@@ -52,6 +54,30 @@ SearchOutcome DetKEngine::Decompose(const ExtendedSubhypergraph& comp,
   if (CacheLookup(key)) {
     stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     return SearchOutcome::NotFound();
+  }
+
+  // Cross-instance subproblem store: det-k decides the same predicate as
+  // log-k ("∃ width-≤k fragment of ⟨comp, conn⟩ with λ ⊆ allowed"), so the
+  // two solvers share entries in both directions.
+  service::SubproblemStore* store = options_.subproblem_store;
+  std::optional<service::SubproblemStore::Key> store_key;
+  if (store != nullptr && store->ShouldProbe(comp)) {
+    store_key = service::SubproblemStore::MakeKey(graph_, registry_, comp, conn,
+                                                  allowed, k_);
+    Fragment reusable;
+    switch (store->Lookup(*store_key, graph_, &reusable)) {
+      case service::SubproblemStore::Hit::kNegative:
+        stats_.store_negative_hits.fetch_add(1, std::memory_order_relaxed);
+        // Mirror into the per-run cache: revisits of this exact subproblem
+        // then answer locally instead of re-canonicalising.
+        CacheInsert(std::move(key));
+        return SearchOutcome::NotFound();
+      case service::SubproblemStore::Hit::kPositive:
+        stats_.store_positive_hits.fetch_add(1, std::memory_order_relaxed);
+        return SearchOutcome::Found(std::move(reusable));
+      case service::SubproblemStore::Hit::kMiss:
+        break;
+    }
   }
 
   // Candidate λ-edges: allowed edges touching the component, with the
@@ -113,11 +139,15 @@ SearchOutcome DetKEngine::Decompose(const ExtendedSubhypergraph& comp,
       for (const Fragment& child : child_fragments) {
         fragment.Graft(child, root);
       }
+      if (store_key.has_value()) {
+        store->InsertPositive(*store_key, graph_, fragment);
+      }
       return SearchOutcome::Found(std::move(fragment));
     }
   }
 
   CacheInsert(std::move(key));
+  if (store_key.has_value()) store->InsertNegative(*store_key);
   return SearchOutcome::NotFound();
 }
 

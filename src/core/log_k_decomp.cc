@@ -1,9 +1,11 @@
 #include "core/log_k_decomp.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/search_steps.h"
 #include "decomp/validation.h"
+#include "service/subproblem_store.h"
 #include "util/combinations.h"
 #include "util/timer.h"
 
@@ -126,6 +128,29 @@ SearchOutcome LogKEngine::Decompose(const ExtendedSubhypergraph& comp,
     return SearchOutcome::NotFound();
   }
 
+  // Cross-instance subproblem store: canonical dominance lookup, and the key
+  // is kept for the post-search insert (service/subproblem_store.h).
+  service::SubproblemStore* store = options_.subproblem_store;
+  std::optional<service::SubproblemStore::Key> store_key;
+  if (store != nullptr && store->ShouldProbe(comp)) {
+    store_key = service::SubproblemStore::MakeKey(graph_, registry_, comp, conn,
+                                                  allowed, k_);
+    Fragment reusable;
+    switch (store->Lookup(*store_key, graph_, &reusable)) {
+      case service::SubproblemStore::Hit::kNegative:
+        stats_.store_negative_hits.fetch_add(1, std::memory_order_relaxed);
+        // Mirror into the per-run cache: revisits of this subproblem then
+        // answer from a local hash probe instead of re-canonicalising.
+        if (cache_ != nullptr) cache_->Insert(comp, conn, allowed);
+        return SearchOutcome::NotFound();
+      case service::SubproblemStore::Hit::kPositive:
+        stats_.store_positive_hits.fetch_add(1, std::memory_order_relaxed);
+        return SearchOutcome::Found(std::move(reusable));
+      case service::SubproblemStore::Hit::kMiss:
+        break;
+    }
+  }
+
   // Candidate λ(c) edges: allowed edges touching the component, with the
   // component's own edges first so that the first-element bound enforces
   // λ(c) ∩ H'.E ≠ ∅ (Algorithm 2, line 11).
@@ -163,6 +188,14 @@ SearchOutcome LogKEngine::Decompose(const ExtendedSubhypergraph& comp,
   if (budget_ != nullptr) budget_->Release(extra);
   if (cache_ != nullptr && outcome.status == SearchStatus::kNotFound) {
     cache_->Insert(comp, conn, allowed);
+  }
+  // Definitive outcomes feed the shared store; kStopped says nothing.
+  if (store_key.has_value()) {
+    if (outcome.status == SearchStatus::kNotFound) {
+      store->InsertNegative(*store_key);
+    } else if (outcome.status == SearchStatus::kFound) {
+      store->InsertPositive(*store_key, graph_, outcome.fragment);
+    }
   }
   return outcome;
 }
@@ -378,7 +411,9 @@ SolveResult LogKDecomp::Solve(const Hypergraph& graph, int k) {
     fallback = std::make_unique<DetKEngine>(graph, registry, k, options_, counters);
   }
   std::unique_ptr<NegativeCache> cache;
-  if (options_.enable_cache) cache = std::make_unique<NegativeCache>();
+  if (options_.enable_cache) {
+    cache = std::make_unique<NegativeCache>(options_.cache_shards);
+  }
   LogKEngine engine(graph, registry, k, options_, counters, fallback.get(), &budget,
                     cache.get());
 

@@ -45,7 +45,8 @@ class LogKEngine {
   /// `fallback` (optional) is the hybrid's det-k engine: subproblems whose
   /// hybrid metric drops below options.hybrid_threshold are forwarded to it.
   /// `cache` (optional) is the negative subproblem cache that
-  /// options.enable_cache switches on.
+  /// options.enable_cache switches on. A cross-instance subproblem store, if
+  /// any, rides in on options.subproblem_store.
   LogKEngine(const Hypergraph& graph, SpecialEdgeRegistry& registry, int k,
              const SolveOptions& options, StatsCounters& stats,
              DetKEngine* fallback, ThreadBudget* budget,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "service/subproblem_store.h"
 #include "util/combinations.h"
 #include "util/timer.h"
 
@@ -16,7 +17,12 @@ class BasicEngine {
  public:
   BasicEngine(const Hypergraph& graph, SpecialEdgeRegistry& registry, int k,
               const SolveOptions& options, StatsCounters& stats)
-      : graph_(graph), registry_(registry), k_(k), options_(options), stats_(stats) {}
+      : graph_(graph),
+        registry_(registry),
+        k_(k),
+        options_(options),
+        stats_(stats),
+        all_edges_(graph.AllEdges()) {}
 
   // Main program, lines 1-10: RootLoop over λ(r).
   Tri Run() {
@@ -64,6 +70,29 @@ class BasicEngine {
     // Base cases, lines 12-15.
     if (comp.edge_count <= k_ && comp.specials.empty()) return Tri::kTrue;
     if (comp.edge_count == 0 && comp.specials.size() == 1) return Tri::kTrue;
+
+    // Cross-instance subproblem store — consume-only. Either polarity is a
+    // genuine fact about fragment existence, and Algorithm 1's correctness
+    // only needs its sub-answers to mean exactly that. Its own exhaustion is
+    // NOT inserted: the algorithm as printed searches a normal-form-
+    // restricted space, so "basic found nothing" is weaker than "no
+    // fragment exists" (see service/subproblem_store.h). Algorithm 1 has no
+    // allowed-set either — its λ candidates range over all of E(H).
+    if (service::SubproblemStore* store = options_.subproblem_store;
+        store != nullptr && store->ShouldProbe(comp)) {
+      service::SubproblemStore::Key store_key = service::SubproblemStore::MakeKey(
+          graph_, registry_, comp, conn, all_edges_, k_);
+      switch (store->Lookup(store_key, graph_, /*fragment=*/nullptr)) {
+        case service::SubproblemStore::Hit::kNegative:
+          stats_.store_negative_hits.fetch_add(1, std::memory_order_relaxed);
+          return Tri::kFalse;
+        case service::SubproblemStore::Hit::kPositive:
+          stats_.store_positive_hits.fetch_add(1, std::memory_order_relaxed);
+          return Tri::kTrue;
+        case service::SubproblemStore::Hit::kMiss:
+          break;
+      }
+    }
 
     const int total = comp.size();
     const util::DynamicBitset comp_vertices = VerticesOf(graph_, registry_, comp);
@@ -150,6 +179,7 @@ class BasicEngine {
   const int k_;
   const SolveOptions& options_;
   StatsCounters& stats_;
+  const util::DynamicBitset all_edges_;
 };
 
 }  // namespace

@@ -4,13 +4,23 @@
 
 namespace htd {
 
+NegativeCache::NegativeCache(int num_shards) {
+  num_shards = std::max(1, num_shards);
+  shards_.reserve(num_shards);
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
 bool NegativeCache::ContainsDominating(const ExtendedSubhypergraph& comp,
                                        const util::DynamicBitset& conn,
                                        const util::DynamicBitset& allowed) const {
   Key key{comp.edges, comp.specials, conn};
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return false;
+  key.ComputeHash();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return false;
   for (const util::DynamicBitset& recorded : it->second) {
     if (allowed.IsSubsetOf(recorded)) return true;
   }
@@ -21,8 +31,10 @@ void NegativeCache::Insert(const ExtendedSubhypergraph& comp,
                            const util::DynamicBitset& conn,
                            const util::DynamicBitset& allowed) {
   Key key{comp.edges, comp.specials, conn};
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<util::DynamicBitset>& recorded = entries_[key];
+  key.ComputeHash();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::vector<util::DynamicBitset>& recorded = shard.entries[key];
   for (const util::DynamicBitset& existing : recorded) {
     if (allowed.IsSubsetOf(existing)) return;  // already dominated
   }
@@ -36,8 +48,12 @@ void NegativeCache::Insert(const ExtendedSubhypergraph& comp,
 }
 
 size_t NegativeCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->entries.size();
+  }
+  return total;
 }
 
 }  // namespace htd

@@ -13,11 +13,19 @@
 // a hit requires a recorded superset. Entries per key are kept as an
 // antichain of ⊆-maximal allowed sets.
 //
-// All operations take one global mutex — deliberately so: the measured
-// contention IS the phenomenon the paper describes. The ablation bench
-// (bench/ablation_prep_cache) quantifies it.
+// Concurrency: the key space is striped over independently locked shards
+// (the same pattern as service/result_cache.h), so parallel workers probing
+// different subproblems never contend. The original implementation took one
+// global mutex on purpose — the measured contention WAS the phenomenon the
+// paper describes — but once the cross-instance subproblem store
+// (service/subproblem_store.h) made cached search a first-class service
+// component, the bottleneck stopped being an exhibit and started being a
+// cost. The single-mutex story lives on in the benches: the cache-vs-
+// parallelism trade-off in bench/ablation_prep_cache.cc, the shared-
+// memoization follow-up in bench/ablation_shared_memo.cc.
 #pragma once
 
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -29,6 +37,14 @@ namespace htd {
 
 class NegativeCache {
  public:
+  /// `num_shards` stripes (clamped to >= 1). The default matches
+  /// service/result_cache.h; SolveOptions::cache_shards = 1 reproduces the
+  /// historical global-mutex behaviour in measurements.
+  explicit NegativeCache(int num_shards = 16);
+
+  NegativeCache(const NegativeCache&) = delete;
+  NegativeCache& operator=(const NegativeCache&) = delete;
+
   /// True iff a recorded failure dominates the query: identical ⟨E', Sp,
   /// Conn⟩ and a recorded allowed-set ⊇ `allowed`.
   bool ContainsDominating(const ExtendedSubhypergraph& comp,
@@ -39,29 +55,44 @@ class NegativeCache {
   void Insert(const ExtendedSubhypergraph& comp, const util::DynamicBitset& conn,
               const util::DynamicBitset& allowed);
 
-  /// Number of distinct ⟨E', Sp, Conn⟩ keys recorded.
+  /// Number of distinct ⟨E', Sp, Conn⟩ keys recorded (summed over shards).
   size_t size() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
 
  private:
   struct Key {
     util::DynamicBitset edges;
     std::vector<int> specials;
     util::DynamicBitset conn;
+    /// Computed once per operation (this is a per-recursion-node hot path):
+    /// shard selection and the shard map both reuse it instead of
+    /// re-hashing three bitsets. Equality stays structural.
+    size_t hash = 0;
+
+    void ComputeHash() {
+      size_t h = edges.Hash() * 1000003u + conn.Hash();
+      for (int s : specials) h = h * 31u + static_cast<size_t>(s) + 0x9e3779b9u;
+      hash = h;
+    }
     bool operator==(const Key& other) const {
       return edges == other.edges && specials == other.specials &&
              conn == other.conn;
     }
   };
   struct KeyHash {
-    size_t operator()(const Key& key) const {
-      size_t h = key.edges.Hash() * 1000003u + key.conn.Hash();
-      for (int s : key.specials) h = h * 31u + static_cast<size_t>(s) + 0x9e3779b9u;
-      return h;
-    }
+    size_t operator()(const Key& key) const { return key.hash; }
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, std::vector<util::DynamicBitset>, KeyHash> entries;
   };
 
-  mutable std::mutex mutex_;
-  std::unordered_map<Key, std::vector<util::DynamicBitset>, KeyHash> entries_;
+  Shard& ShardFor(const Key& key) const {
+    return *shards_[key.hash % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace htd

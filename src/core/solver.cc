@@ -13,6 +13,8 @@ void Accumulate(SolveStats& into, const SolveStats& from) {
       std::max(into.max_recursion_depth, from.max_recursion_depth);
   into.cache_hits += from.cache_hits;
   into.detk_subproblems += from.detk_subproblems;
+  into.store_negative_hits += from.store_negative_hits;
+  into.store_positive_hits += from.store_positive_hits;
   into.work_total += from.work_total;
   into.work_parallel += from.work_parallel;
 }

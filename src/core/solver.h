@@ -14,6 +14,10 @@
 #include "hypergraph/hypergraph.h"
 #include "util/cancel.h"
 
+namespace htd::service {
+class SubproblemStore;
+}  // namespace htd::service
+
 namespace htd {
 
 /// Hybridisation metrics of §D.2. kNone disables the hybrid switch.
@@ -44,12 +48,22 @@ struct SolveOptions {
   /// enabling it trades the det-k-style sequential win for mutex contention
   /// (measured in the ablation bench).
   bool enable_cache = false;
+  /// Mutex stripes of that cache; 1 reproduces the historical global-mutex
+  /// variant (the contention exhibit of bench/ablation_prep_cache.cc).
+  int cache_shards = 16;
 
   /// If true, the separator search runs sequentially but computes the
   /// makespan its chunk scheduling would achieve on `num_threads` workers
   /// (reported via work_parallel). Used to measure parallel-partition
   /// quality on machines without enough physical cores (DESIGN.md §4).
   bool simulate_partition = false;
+
+  /// Cross-instance subproblem memoization (service/subproblem_store.h).
+  /// Not owned; one store is meant to be shared by many solves, possibly
+  /// concurrently — the store stripes its own locking. nullptr = off.
+  /// LogKDecomp, DetKDecomp, and the hybrid read and write it;
+  /// LogKDecompBasic only reads (see the store header's soundness notes).
+  service::SubproblemStore* subproblem_store = nullptr;
 };
 
 /// Aggregate counters reported by a solve call.
@@ -59,6 +73,10 @@ struct SolveStats {
   int max_recursion_depth = 0;
   long cache_hits = 0;          ///< det-k negative-cache hits
   long detk_subproblems = 0;    ///< hybrid hand-offs to det-k-decomp
+  /// Cross-instance subproblem store (service/subproblem_store.h) hits:
+  /// dominated failures short-circuited / fragments reused without search.
+  long store_negative_hits = 0;
+  long store_positive_hits = 0;
   /// Parallel-scaling accounting (DESIGN.md §4.3): total candidates vs. the
   /// per-search maximum over workers, summed. Their ratio estimates the
   /// speedup the search-space partitioning achieves with perfect cores.
@@ -74,6 +92,8 @@ struct StatsCounters {
   std::atomic<int> max_depth{0};
   std::atomic<long> cache_hits{0};
   std::atomic<long> detk_subproblems{0};
+  std::atomic<long> store_negative_hits{0};
+  std::atomic<long> store_positive_hits{0};
   std::atomic<long> work_total{0};
   std::atomic<long> work_parallel{0};
 
@@ -92,6 +112,8 @@ struct StatsCounters {
     s.max_recursion_depth = max_depth.load();
     s.cache_hits = cache_hits.load();
     s.detk_subproblems = detk_subproblems.load();
+    s.store_negative_hits = store_negative_hits.load();
+    s.store_positive_hits = store_positive_hits.load();
     s.work_total = work_total.load();
     s.work_parallel = work_parallel.load();
     return s;

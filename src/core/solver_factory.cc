@@ -66,6 +66,7 @@ uint64_t SolverConfigDigest(const std::string& name, const SolveOptions& options
   std::memcpy(&threshold_bits, &options.hybrid_threshold, sizeof(threshold_bits));
   h = HashCombine(h, threshold_bits);
   h = HashCombine(h, options.enable_cache ? 1 : 0);
+  h = HashCombine(h, options.subproblem_store != nullptr ? 1 : 0);
   return h;
 }
 

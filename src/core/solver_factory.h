@@ -32,8 +32,10 @@ std::vector<std::string> KnownSolverNames();
 util::StatusOr<SolverFactoryFn> MakeSolverFactory(const std::string& name);
 
 /// Stable 64-bit digest of the configuration axes that change what a solve
-/// can return (solver identity, hybrid strategy, subproblem caching). Used
-/// as the config component of result-cache keys; deliberately EXCLUDES
+/// can return (solver identity, hybrid strategy, subproblem caching — both
+/// the per-run negative cache and the presence of a cross-instance
+/// subproblem store, which can swap one valid decomposition for another).
+/// Used as the config component of result-cache keys; deliberately EXCLUDES
 /// execution-only knobs (num_threads, cancel, validate_result,
 /// parallel_min_size, simulate_partition) so e.g. a 1-thread and an 8-thread
 /// run share cache entries.

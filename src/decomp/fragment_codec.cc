@@ -1,0 +1,100 @@
+#include "decomp/fragment_codec.h"
+
+#include <algorithm>
+
+namespace htd {
+
+size_t PortableFragment::ApproxBytes() const {
+  size_t bytes = sizeof(PortableFragment);
+  for (const PortableFragmentNode& node : nodes) {
+    bytes += sizeof(PortableFragmentNode);
+    bytes += (node.lambda.size() + node.chi.size() + node.children.size()) *
+             sizeof(int);
+  }
+  return bytes;
+}
+
+std::optional<PortableFragment> EncodeFragment(const Fragment& fragment,
+                                               const IdMapFn& edge_token,
+                                               const IdMapFn& vertex_token,
+                                               const IdMapFn& special_token) {
+  if (fragment.root() < 0 || fragment.root() >= fragment.num_nodes()) {
+    return std::nullopt;
+  }
+  PortableFragment portable;
+  portable.nodes.reserve(fragment.num_nodes());
+  for (int i = 0; i < fragment.num_nodes(); ++i) {
+    const FragmentNode& node = fragment.node(i);
+    PortableFragmentNode out;
+    if (node.IsSpecialLeaf()) {
+      out.special = special_token(node.special);
+      if (out.special < 0) return std::nullopt;
+    } else {
+      if (node.lambda.empty()) return std::nullopt;
+      for (int e : node.lambda) {
+        int token = edge_token(e);
+        if (token < 0) return std::nullopt;
+        out.lambda.push_back(token);
+      }
+      std::sort(out.lambda.begin(), out.lambda.end());
+    }
+    bool ok = true;
+    node.chi.ForEach([&](int v) {
+      int token = vertex_token(v);
+      if (token < 0) ok = false;
+      out.chi.push_back(token);
+    });
+    if (!ok) return std::nullopt;
+    std::sort(out.chi.begin(), out.chi.end());
+    out.children = node.children;
+    portable.nodes.push_back(std::move(out));
+  }
+  portable.root = fragment.root();
+  return portable;
+}
+
+std::optional<Fragment> DecodeFragment(const PortableFragment& portable,
+                                       int num_base_vertices,
+                                       const IdMapFn& edge_of_token,
+                                       const IdMapFn& vertex_of_token,
+                                       const IdMapFn& special_of_token) {
+  const int num_nodes = static_cast<int>(portable.nodes.size());
+  if (portable.root < 0 || portable.root >= num_nodes) return std::nullopt;
+  Fragment fragment;
+  for (const PortableFragmentNode& node : portable.nodes) {
+    util::DynamicBitset chi(num_base_vertices);
+    for (int token : node.chi) {
+      int v = vertex_of_token(token);
+      if (v < 0 || v >= num_base_vertices) return std::nullopt;
+      chi.Set(v);
+    }
+    if (node.special >= 0) {
+      int special = special_of_token(node.special);
+      if (special < 0) return std::nullopt;
+      fragment.AddSpecialLeaf(special, std::move(chi));
+    } else {
+      if (node.lambda.empty()) return std::nullopt;
+      std::vector<int> lambda;
+      lambda.reserve(node.lambda.size());
+      for (int token : node.lambda) {
+        int e = edge_of_token(token);
+        if (e < 0) return std::nullopt;
+        lambda.push_back(e);
+      }
+      // Distinct tokens may decode to one edge (equal traces); λ is a set.
+      std::sort(lambda.begin(), lambda.end());
+      lambda.erase(std::unique(lambda.begin(), lambda.end()), lambda.end());
+      fragment.AddNode(std::move(lambda), std::move(chi));
+    }
+  }
+  for (int i = 0; i < num_nodes; ++i) {
+    for (int child : portable.nodes[i].children) {
+      if (child < 0 || child >= num_nodes || child == i) return std::nullopt;
+      fragment.AddChild(i, child);
+    }
+  }
+  fragment.SetRoot(portable.root);
+  return fragment;
+}
+
+}  // namespace htd

@@ -1,0 +1,60 @@
+// Portable fragments: HD-fragments re-expressed over caller-defined tokens.
+//
+// A Fragment speaks one solve's coordinates — base-graph edge ids, vertex
+// ids, run-local special-edge ids. To reuse a fragment in a *different*
+// solve (the subproblem store memoizes positive outcomes across runs and
+// across instances), it is re-encoded over opaque integer tokens chosen by
+// the caller: the store uses canonical vertex ids and allowed-trace indices
+// so that any isomorphic subproblem can decode the fragment back into its
+// own ids. This module is deliberately ignorant of canonicalisation — it
+// only applies the translators it is handed.
+//
+// Encode and decode both fail soft (std::nullopt) instead of CHECK-failing:
+// an unencodable fragment means the producer skips the memoization, a
+// undecodable entry means the consumer treats it as a miss.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "decomp/fragment.h"
+
+namespace htd {
+
+struct PortableFragmentNode {
+  std::vector<int> lambda;   ///< edge tokens; empty iff special leaf
+  int special = -1;          ///< special token if a special leaf, else -1
+  std::vector<int> chi;      ///< vertex tokens, sorted ascending
+  std::vector<int> children;
+};
+
+struct PortableFragment {
+  std::vector<PortableFragmentNode> nodes;
+  int root = -1;
+
+  /// Rough heap footprint, for the store's byte budget.
+  size_t ApproxBytes() const;
+};
+
+/// Token translator; returns -1 for "no token" (aborts the conversion).
+using IdMapFn = std::function<int(int)>;
+
+/// Re-expresses `fragment` over tokens. Fails (nullopt) if the fragment has
+/// no root or any id has no token — the caller then skips memoization.
+std::optional<PortableFragment> EncodeFragment(const Fragment& fragment,
+                                               const IdMapFn& edge_token,
+                                               const IdMapFn& vertex_token,
+                                               const IdMapFn& special_token);
+
+/// Rebuilds a Fragment in the consumer's ids; χ bitsets use a vertex
+/// universe of `num_base_vertices`. Fails (nullopt) on any unmapped token or
+/// structurally invalid input (bad child index, empty λ on a regular node).
+std::optional<Fragment> DecodeFragment(const PortableFragment& portable,
+                                       int num_base_vertices,
+                                       const IdMapFn& edge_of_token,
+                                       const IdMapFn& vertex_of_token,
+                                       const IdMapFn& special_of_token);
+
+}  // namespace htd

@@ -92,6 +92,42 @@ Refinement Refine(const Hypergraph& graph, std::vector<uint64_t> vcolor,
   return r;
 }
 
+/// Refines from the given seed colours, then individualises until the vertex
+/// partition is discrete. The returned vector is the canonical vertex id of
+/// each vertex. The member choice inside a tied class (lowest original id)
+/// only matters for classes whose members are not automorphic; see the
+/// header caveat.
+std::vector<int> DiscreteVertexIds(const Hypergraph& graph,
+                                   std::vector<uint64_t> vseed,
+                                   std::vector<uint64_t> eseed) {
+  const int n = graph.num_vertices();
+  Refinement r = Refine(graph, std::move(vseed), std::move(eseed));
+  while (r.num_vertex_classes < n) {
+    std::vector<int> class_size(r.num_vertex_classes, 0);
+    for (int v = 0; v < n; ++v) class_size[r.vcolor[v]]++;
+    int target_class = -1;
+    for (int c = 0; c < r.num_vertex_classes; ++c) {
+      if (class_size[c] > 1) {
+        target_class = c;
+        break;
+      }
+    }
+    HTD_CHECK(target_class >= 0);
+    int chosen = -1;
+    for (int v = 0; v < n; ++v) {
+      if (static_cast<int>(r.vcolor[v]) == target_class) {
+        chosen = v;
+        break;
+      }
+    }
+    r.vcolor[chosen] = static_cast<uint64_t>(r.num_vertex_classes);
+    r = Refine(graph, std::move(r.vcolor), std::move(r.ecolor));
+  }
+  std::vector<int> ids(n);
+  for (int v = 0; v < n; ++v) ids[v] = static_cast<int>(r.vcolor[v]);
+  return ids;
+}
+
 }  // namespace
 
 std::string Fingerprint::ToHex() const {
@@ -114,35 +150,10 @@ CanonicalForm ComputeCanonicalForm(const Hypergraph& graph) {
   for (int e = 0; e < m; ++e) {
     ecolor[e] = static_cast<uint64_t>(graph.edge_vertex_list(e).size());
   }
-  Refinement r = Refine(graph, std::move(vcolor), std::move(ecolor));
+  // Individualisation makes the partition discrete: vcolor IS the canonical
+  // vertex id.
+  std::vector<int> ids = DiscreteVertexIds(graph, std::move(vcolor), std::move(ecolor));
 
-  // Individualise until the vertex partition is discrete: give one member of
-  // the first (lowest-ranked) still-tied colour class a fresh colour and
-  // re-refine. The member choice (lowest original id) only matters for
-  // classes whose members are not automorphic; see the caveat in the header.
-  while (r.num_vertex_classes < n) {
-    std::vector<int> class_size(r.num_vertex_classes, 0);
-    for (int v = 0; v < n; ++v) class_size[r.vcolor[v]]++;
-    int target_class = -1;
-    for (int c = 0; c < r.num_vertex_classes; ++c) {
-      if (class_size[c] > 1) {
-        target_class = c;
-        break;
-      }
-    }
-    HTD_CHECK(target_class >= 0);
-    int chosen = -1;
-    for (int v = 0; v < n; ++v) {
-      if (static_cast<int>(r.vcolor[v]) == target_class) {
-        chosen = v;
-        break;
-      }
-    }
-    r.vcolor[chosen] = static_cast<uint64_t>(r.num_vertex_classes);
-    r = Refine(graph, std::move(r.vcolor), std::move(r.ecolor));
-  }
-
-  // Discrete partition: vcolor IS the canonical vertex id.
   CanonicalForm form;
   form.num_vertices = n;
   form.num_edges = m;
@@ -151,7 +162,7 @@ CanonicalForm ComputeCanonicalForm(const Hypergraph& graph) {
     std::vector<int> edge;
     edge.reserve(graph.edge_vertex_list(e).size());
     for (int v : graph.edge_vertex_list(e)) {
-      edge.push_back(static_cast<int>(r.vcolor[v]));
+      edge.push_back(ids[v]);
     }
     std::sort(edge.begin(), edge.end());
     form.edges.push_back(std::move(edge));
@@ -177,6 +188,133 @@ CanonicalForm ComputeCanonicalForm(const Hypergraph& graph) {
 
 Fingerprint CanonicalFingerprint(const Hypergraph& graph) {
   return ComputeCanonicalForm(graph).fingerprint;
+}
+
+SubproblemCanonicalForm FingerprintSubhypergraph(const Hypergraph& graph,
+                                                 const SpecialEdgeRegistry& registry,
+                                                 const ExtendedSubhypergraph& comp,
+                                                 const util::DynamicBitset& conn) {
+  SubproblemCanonicalForm form;
+
+  // Dense-renumber V(H') = (⋃E') ∪ (⋃Sp) into a local universe. The rank
+  // array is filled with local ids first and rewritten to canonical ids
+  // after refinement, so only one base-universe-sized array is built. Its
+  // O(|V(H)|) zero-fill per probe is a deliberate trade-off: dense lookups
+  // beat hashing at corpus scale (revisit for huge, sparse instances).
+  const util::DynamicBitset base_vertices = VerticesOf(graph, registry, comp);
+  form.base_vertex_rank.assign(graph.num_vertices(), -1);
+  std::vector<int>& local_of_base = form.base_vertex_rank;
+  std::vector<int> base_of_local;
+  base_vertices.ForEach([&](int v) {
+    local_of_base[v] = static_cast<int>(base_of_local.size());
+    base_of_local.push_back(v);
+  });
+  const int n = static_cast<int>(base_of_local.size());
+  form.num_vertices = n;
+
+  // Build the local incidence structure: component edges first, then special
+  // edges (a special edge is its interface vertex set).
+  Hypergraph local;
+  for (int i = 0; i < n; ++i) local.AddVertex();
+  std::vector<int> local_edge_source;  // local edge index → base edge / special id
+  comp.edges.ForEach([&](int e) {
+    std::vector<int> members;
+    for (int v : graph.edge_vertex_list(e)) {
+      members.push_back(local_of_base[v]);
+    }
+    HTD_CHECK(local.AddEdge(members).ok());
+    local_edge_source.push_back(e);
+  });
+  const int num_component_edges = static_cast<int>(local_edge_source.size());
+  for (int s : comp.specials) {
+    std::vector<int> members;
+    registry.vertices(s).ForEach(
+        [&](int v) { members.push_back(local_of_base[v]); });
+    HTD_CHECK(local.AddEdge(members).ok());
+    local_edge_source.push_back(s);
+  }
+  const int m = local.num_edges();
+
+  // Seed colours: (degree, Conn-membership) per vertex, (size, is-special)
+  // per edge. Connector vertices outside V(H') cannot occur in solver calls
+  // but are ignored if present (the rank filter drops them).
+  std::vector<uint64_t> vseed(n), eseed(m);
+  for (int v = 0; v < n; ++v) {
+    const bool in_conn = conn.Test(base_of_local[v]);
+    vseed[v] = HashCombine(static_cast<uint64_t>(local.edges_of_vertex(v).size()),
+                           in_conn ? 0xc0 : 0x0c);
+  }
+  for (int e = 0; e < m; ++e) {
+    const bool is_special = e >= num_component_edges;
+    eseed[e] = HashCombine(static_cast<uint64_t>(local.edge_vertex_list(e).size()),
+                           is_special ? 0x5b : 0xb5);
+  }
+  std::vector<int> ids = DiscreteVertexIds(local, std::move(vseed), std::move(eseed));
+
+  // Rewrite the rank array in place: local ids become canonical ids.
+  form.canonical_vertices.assign(n, -1);
+  for (int v = 0; v < n; ++v) {
+    form.canonical_vertices[ids[v]] = base_of_local[v];
+    form.base_vertex_rank[base_of_local[v]] = ids[v];
+  }
+
+  // Canonical edge order: (label, canonical content) ascending. Ties are
+  // content-identical edges of one label — interchangeable, so the original
+  // index breaks them.
+  struct EdgeRecord {
+    int label;  // 0 = component edge, 1 = special edge
+    std::vector<int> members;
+    int local_index;
+  };
+  std::vector<EdgeRecord> records;
+  records.reserve(m);
+  for (int e = 0; e < m; ++e) {
+    EdgeRecord record;
+    record.label = e >= num_component_edges ? 1 : 0;
+    for (int v : local.edge_vertex_list(e)) record.members.push_back(ids[v]);
+    std::sort(record.members.begin(), record.members.end());
+    record.local_index = e;
+    records.push_back(std::move(record));
+  }
+  std::sort(records.begin(), records.end(),
+            [](const EdgeRecord& a, const EdgeRecord& b) {
+              if (a.label != b.label) return a.label < b.label;
+              if (a.members != b.members) return a.members < b.members;
+              return a.local_index < b.local_index;
+            });
+  for (const EdgeRecord& record : records) {
+    if (record.label == 1) {
+      form.special_order.push_back(local_edge_source[record.local_index]);
+    }
+  }
+
+  // Fingerprint: two independent mixes over (n, counts, canonical Conn,
+  // labelled canonical edges). Conn is absorbed explicitly — the seed
+  // colours influence canonical ids, but the edge lists alone need not pin
+  // the connector down.
+  uint64_t h1 = 0x73756270726f6231ULL;  // "subprob1"
+  uint64_t h2 = 0x73756270726f6232ULL;  // "subprob2"
+  auto absorb = [&](uint64_t value) {
+    h1 = HashCombine(h1, value);
+    h2 = HashCombine(h2, ~value);
+  };
+  absorb(static_cast<uint64_t>(n));
+  absorb(static_cast<uint64_t>(num_component_edges));
+  absorb(static_cast<uint64_t>(m - num_component_edges));
+  std::vector<int> conn_ids;
+  conn.ForEach([&](int v) {
+    if (form.base_vertex_rank[v] >= 0) conn_ids.push_back(form.base_vertex_rank[v]);
+  });
+  std::sort(conn_ids.begin(), conn_ids.end());
+  absorb(conn_ids.size());
+  for (int c : conn_ids) absorb(static_cast<uint64_t>(c));
+  for (const EdgeRecord& record : records) {
+    absorb(static_cast<uint64_t>(record.label));
+    absorb(record.members.size());
+    for (int v : record.members) absorb(static_cast<uint64_t>(v));
+  }
+  form.fingerprint = Fingerprint{h1, h2};
+  return form;
 }
 
 std::string CanonicalString(const CanonicalForm& form) {

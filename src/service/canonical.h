@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "decomp/extended_subhypergraph.h"
+#include "decomp/special_edges.h"
 #include "hypergraph/hypergraph.h"
 
 namespace htd::service {
@@ -75,5 +77,49 @@ Fingerprint CanonicalFingerprint(const Hypergraph& graph);
 /// Deterministic text rendering of a canonical form ("n m | e1 | e2 ...");
 /// equal strings iff equal forms. Used by tests and debug tooling.
 std::string CanonicalString(const CanonicalForm& form);
+
+/// Canonical form of an extended sub-hypergraph ⟨E', Sp⟩ with its connector
+/// Conn, inside a base hypergraph. The subproblem store keys on this: two
+/// subproblems — possibly of *different* instances — that are isomorphic as
+/// labelled structures receive the same fingerprint.
+///
+/// The labelling distinguishes everything the subproblem's outcome can
+/// legally depend on: special edges carry a distinct edge colour (a special
+/// edge is an interface vertex set, not a λ-candidate), and connector
+/// vertices carry a distinct vertex colour (they must be covered by the
+/// fragment root). Both labels seed the colour refinement, so they are
+/// isomorphism-invariants of the refined partition, and both are absorbed
+/// into the fingerprint. The same refinement-resistance caveat as
+/// ComputeCanonicalForm applies: a pathological symmetric subproblem may
+/// split one isomorphism class across fingerprints — a missed reuse, never a
+/// wrong one.
+struct SubproblemCanonicalForm {
+  Fingerprint fingerprint;
+
+  int num_vertices = 0;  ///< |V(H')| — vertices of all (special) edges
+
+  /// canonical vertex id → base-graph vertex id.
+  std::vector<int> canonical_vertices;
+  /// base-graph vertex id → canonical id, or -1 for vertices outside V(H').
+  /// Sized to the base graph's vertex universe (dense for fast trace
+  /// computation; the fill is O(|V(H)|) per call).
+  std::vector<int> base_vertex_rank;
+
+  /// canonical special order → special-edge id (SpecialEdgeRegistry).
+  /// Component edges cross instances as traces (see the subproblem store),
+  /// so no edge-order mapping is kept for them.
+  std::vector<int> special_order;
+};
+
+/// Canonicalises ⟨comp, Conn⟩ by colour refinement restricted to the
+/// component: vertices are seeded with (degree, Conn-membership), edges with
+/// (size, is-special). `conn` uses the base graph's vertex universe; only
+/// its intersection with V(H') participates (the solvers never pass
+/// connectors outside the component, but the restriction makes the entry
+/// point total).
+SubproblemCanonicalForm FingerprintSubhypergraph(const Hypergraph& graph,
+                                                 const SpecialEdgeRegistry& registry,
+                                                 const ExtendedSubhypergraph& comp,
+                                                 const util::DynamicBitset& conn);
 
 }  // namespace htd::service

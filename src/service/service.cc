@@ -16,6 +16,12 @@ DecompositionService::DecompositionService(ServiceOptions options)
     cache_ = std::make_unique<ResultCache>(std::max<size_t>(1, options_.cache_capacity),
                                            options_.cache_shards);
   }
+  if (options_.enable_subproblem_store) {
+    subproblem_store_ = std::make_unique<SubproblemStore>(options_.subproblem_store);
+    // Handed to every solver the scheduler builds. Part of the config digest
+    // below, so result-cache entries don't cross the store on/off boundary.
+    options_.solve.subproblem_store = subproblem_store_.get();
+  }
   scheduler_ = std::make_unique<BatchScheduler>(
       pool_, std::move(*factory), options_.solve, cache_.get(),
       SolverConfigDigest(options_.solver_name, options_.solve));
@@ -32,6 +38,20 @@ util::StatusOr<std::unique_ptr<DecompositionService>> DecompositionService::Crea
   }
   if (options.enable_result_cache && options.cache_capacity < 1) {
     return util::Status::InvalidArgument("cache_capacity must be >= 1");
+  }
+  if (options.enable_subproblem_store) {
+    if (options.subproblem_store.byte_budget < 1) {
+      return util::Status::InvalidArgument(
+          "subproblem_store.byte_budget must be >= 1");
+    }
+    if (options.subproblem_store.min_subproblem_size < 0) {
+      return util::Status::InvalidArgument(
+          "subproblem_store.min_subproblem_size must be >= 0");
+    }
+  }
+  if (options.solve.subproblem_store != nullptr) {
+    return util::Status::InvalidArgument(
+        "solve.subproblem_store is service-owned; use enable_subproblem_store");
   }
   return std::make_unique<DecompositionService>(std::move(options));
 }
@@ -69,6 +89,11 @@ ResultCache::Stats DecompositionService::cache_stats() const {
 
 BatchScheduler::Stats DecompositionService::scheduler_stats() const {
   return scheduler_->GetStats();
+}
+
+SubproblemStore::Stats DecompositionService::subproblem_stats() const {
+  if (subproblem_store_ == nullptr) return SubproblemStore::Stats{};
+  return subproblem_store_->GetStats();
 }
 
 }  // namespace htd::service

@@ -24,6 +24,7 @@
 #include "core/solver_factory.h"
 #include "service/result_cache.h"
 #include "service/scheduler.h"
+#include "service/subproblem_store.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -46,6 +47,14 @@ struct ServiceOptions {
   bool enable_result_cache = true;
   size_t cache_capacity = 4096;
   int cache_shards = 16;
+
+  /// Cross-instance subproblem memoization: one SubproblemStore shared by
+  /// every worker and every solve, so overlapping instances reuse each
+  /// other's subproblem outcomes (docs/SERVICE.md). Off by default — the
+  /// result cache already covers identical resubmissions; enable it for
+  /// workloads with repeated substructure across *distinct* instances.
+  bool enable_subproblem_store = false;
+  SubproblemStore::Options subproblem_store;
 
   /// Deadline applied to jobs submitted without an explicit timeout
   /// (0 = none).
@@ -85,12 +94,15 @@ class DecompositionService {
 
   ResultCache::Stats cache_stats() const;
   BatchScheduler::Stats scheduler_stats() const;
+  /// Zeroed stats when the subproblem store is disabled.
+  SubproblemStore::Stats subproblem_stats() const;
   const ServiceOptions& options() const { return options_; }
 
  private:
   ServiceOptions options_;
   util::ThreadPool pool_;
   std::unique_ptr<ResultCache> cache_;       // null when caching is disabled
+  std::unique_ptr<SubproblemStore> subproblem_store_;  // null when disabled
   std::unique_ptr<BatchScheduler> scheduler_;
 };
 

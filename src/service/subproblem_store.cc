@@ -1,0 +1,357 @@
+#include "service/subproblem_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace htd::service {
+
+namespace {
+
+/// True iff `sub` ⊆ `super`; both sorted, duplicate-free trace lists.
+bool TraceSubset(const std::vector<std::vector<int>>& sub,
+                 const std::vector<std::vector<int>>& super) {
+  return sub.size() <= super.size() &&
+         std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+size_t TraceBytes(const std::vector<std::vector<int>>& traces) {
+  size_t bytes = sizeof(traces);
+  for (const std::vector<int>& trace : traces) {
+    bytes += sizeof(trace) + trace.size() * sizeof(int);
+  }
+  return bytes;
+}
+
+/// Canonical trace of a base edge on V(H'): sorted canonical ids of its
+/// member vertices inside the component; empty if disjoint from it.
+std::vector<int> CanonicalTrace(const Hypergraph& graph,
+                                const SubproblemCanonicalForm& form, int e) {
+  std::vector<int> trace;
+  for (int v : graph.edge_vertex_list(e)) {
+    int rank = form.base_vertex_rank[v];
+    if (rank >= 0) trace.push_back(rank);
+  }
+  std::sort(trace.begin(), trace.end());
+  return trace;
+}
+
+/// Index of `trace` in the sorted unique list, or -1.
+int TraceIndex(const std::vector<std::vector<int>>& traces,
+               const std::vector<int>& trace) {
+  auto it = std::lower_bound(traces.begin(), traces.end(), trace);
+  if (it == traces.end() || *it != trace) return -1;
+  return static_cast<int>(it - traces.begin());
+}
+
+}  // namespace
+
+SubproblemStore::SubproblemStore(Options options) : options_(options) {
+  HTD_CHECK_GE(options_.byte_budget, 1u);
+  options_.num_shards = std::max(1, options_.num_shards);
+  options_.max_variants_per_key = std::max(1, options_.max_variants_per_key);
+  per_shard_budget_ =
+      (options_.byte_budget + options_.num_shards - 1) / options_.num_shards;
+  shards_.reserve(options_.num_shards);
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SubproblemStore::Key SubproblemStore::MakeKey(const Hypergraph& graph,
+                                              const SpecialEdgeRegistry& registry,
+                                              const ExtendedSubhypergraph& comp,
+                                              const util::DynamicBitset& conn,
+                                              const util::DynamicBitset& allowed,
+                                              int k) {
+  Key key;
+  key.k = k;
+  key.form = FingerprintSubhypergraph(graph, registry, comp, conn);
+  key.fingerprint = key.form.fingerprint;
+
+  // Distinct canonical traces of the allowed edges, each with one
+  // representative base edge (duplicate traces are interchangeable as
+  // λ-labels, so one representative suffices for decoding).
+  std::vector<std::pair<std::vector<int>, int>> traced;
+  allowed.ForEach([&](int e) {
+    std::vector<int> trace = CanonicalTrace(graph, key.form, e);
+    if (!trace.empty()) traced.emplace_back(std::move(trace), e);
+  });
+  std::sort(traced.begin(), traced.end());
+  key.allowed_traces.reserve(traced.size());
+  key.trace_edges.reserve(traced.size());
+  for (auto& [trace, e] : traced) {
+    if (!key.allowed_traces.empty() && key.allowed_traces.back() == trace) continue;
+    key.allowed_traces.push_back(std::move(trace));
+    key.trace_edges.push_back(e);
+  }
+  return key;
+}
+
+std::list<SubproblemStore::Entry>::iterator SubproblemStore::Touch(
+    Shard& shard, const MapKey& key) {
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second;
+  }
+  Entry entry;
+  entry.key = key;
+  entry.bytes = sizeof(Entry);
+  shard.lru.push_front(std::move(entry));
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += shard.lru.front().bytes;
+  bytes_.fetch_add(shard.lru.front().bytes, std::memory_order_relaxed);
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  return shard.lru.begin();
+}
+
+void SubproblemStore::ReaccountBytes(Shard& shard, Entry& entry) {
+  const size_t before = entry.bytes;
+  entry.bytes = sizeof(Entry);
+  for (const NegativeVariant& variant : entry.negatives) {
+    entry.bytes += TraceBytes(variant.traces);
+  }
+  for (const auto& variant : entry.positives) {
+    entry.bytes += sizeof(PositiveVariant) + TraceBytes(variant->traces) +
+                   variant->fragment.ApproxBytes();
+  }
+  shard.bytes += entry.bytes - before;
+  if (entry.bytes >= before) {
+    bytes_.fetch_add(entry.bytes - before, std::memory_order_relaxed);
+  } else {
+    bytes_.fetch_sub(before - entry.bytes, std::memory_order_relaxed);
+  }
+}
+
+void SubproblemStore::EvictOver(Shard& shard) {
+  while (shard.bytes > per_shard_budget_ && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    bytes_.fetch_sub(victim.bytes, std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+  }
+}
+
+SubproblemStore::Hit SubproblemStore::Lookup(const Key& key, const Hypergraph& graph,
+                                             Fragment* fragment) {
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  MapKey map_key{key.fingerprint, key.k};
+  Shard& shard = ShardFor(map_key);
+
+  // Take a reference to the matching positive variant; decode after
+  // unlocking (variants are immutable once published, shared_ptr keeps the
+  // one we hold alive across eviction).
+  std::shared_ptr<const PositiveVariant> positive;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(map_key);
+    if (it == shard.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return Hit::kMiss;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    Entry& entry = *it->second;
+    for (const NegativeVariant& variant : entry.negatives) {
+      // A recorded failure with a ⊇ allowed set dominates: the query's
+      // search space is a subset of the exhausted one.
+      if (TraceSubset(key.allowed_traces, variant.traces)) {
+        negative_hits_.fetch_add(1, std::memory_order_relaxed);
+        return Hit::kNegative;
+      }
+    }
+    for (const auto& variant : entry.positives) {
+      // A recorded fragment whose used traces are a ⊆ of the query's
+      // allowed traces dominates: every λ-trace it needs is available.
+      if (TraceSubset(variant->traces, key.allowed_traces)) {
+        if (fragment == nullptr) {
+          positive_hits_.fetch_add(1, std::memory_order_relaxed);
+          return Hit::kPositive;
+        }
+        positive = variant;
+        break;
+      }
+    }
+  }
+  if (positive == nullptr) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return Hit::kMiss;
+  }
+
+  // Decode into the caller's ids. Recorded trace index → query trace index
+  // by merging the two sorted lists (recorded ⊆ query holds by the check
+  // above), then query trace index → representative allowed edge.
+  std::vector<int> query_index_of(positive->traces.size(), -1);
+  {
+    size_t q = 0;
+    for (size_t r = 0; r < positive->traces.size(); ++r) {
+      while (q < key.allowed_traces.size() &&
+             key.allowed_traces[q] < positive->traces[r]) {
+        ++q;
+      }
+      if (q < key.allowed_traces.size() &&
+          key.allowed_traces[q] == positive->traces[r]) {
+        query_index_of[r] = static_cast<int>(q);
+      }
+    }
+  }
+  auto edge_of_token = [&](int token) -> int {
+    if (token < 0 || token >= static_cast<int>(query_index_of.size())) return -1;
+    int q = query_index_of[token];
+    return q < 0 ? -1 : key.trace_edges[q];
+  };
+  auto vertex_of_token = [&](int token) -> int {
+    if (token < 0 || token >= static_cast<int>(key.form.canonical_vertices.size())) {
+      return -1;
+    }
+    return key.form.canonical_vertices[token];
+  };
+  auto special_of_token = [&](int token) -> int {
+    if (token < 0 || token >= static_cast<int>(key.form.special_order.size())) {
+      return -1;
+    }
+    return key.form.special_order[token];
+  };
+  std::optional<Fragment> decoded =
+      DecodeFragment(positive->fragment, graph.num_vertices(), edge_of_token,
+                     vertex_of_token, special_of_token);
+  if (!decoded.has_value()) {
+    // Corrupt or non-decodable entry (should not happen): treat as a miss.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return Hit::kMiss;
+  }
+  positive_hits_.fetch_add(1, std::memory_order_relaxed);
+  *fragment = std::move(*decoded);
+  return Hit::kPositive;
+}
+
+void SubproblemStore::InsertNegative(const Key& key) {
+  MapKey map_key{key.fingerprint, key.k};
+  Shard& shard = ShardFor(map_key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Entry& entry = *Touch(shard, map_key);
+  for (const NegativeVariant& variant : entry.negatives) {
+    if (TraceSubset(key.allowed_traces, variant.traces)) {
+      rejected_inserts_.fetch_add(1, std::memory_order_relaxed);
+      return;  // already dominated
+    }
+  }
+  // Keep the antichain: drop failure sets the new one dominates.
+  std::erase_if(entry.negatives, [&](const NegativeVariant& variant) {
+    return TraceSubset(variant.traces, key.allowed_traces);
+  });
+  entry.negatives.push_back(NegativeVariant{key.allowed_traces});
+  if (static_cast<int>(entry.negatives.size()) > options_.max_variants_per_key) {
+    entry.negatives.erase(entry.negatives.begin());
+  }
+  ReaccountBytes(shard, entry);
+  negative_inserts_.fetch_add(1, std::memory_order_relaxed);
+  EvictOver(shard);
+}
+
+void SubproblemStore::InsertPositive(const Key& key, const Hypergraph& graph,
+                                     const Fragment& fragment) {
+  // Encode outside the lock: λ edges as allowed-trace indices, χ as
+  // canonical vertex ids, special leaves as canonical special indices.
+  auto edge_token = [&](int e) -> int {
+    if (e < 0 || e >= graph.num_edges()) return -1;
+    return TraceIndex(key.allowed_traces, CanonicalTrace(graph, key.form, e));
+  };
+  auto vertex_token = [&](int v) -> int {
+    if (v < 0 || v >= static_cast<int>(key.form.base_vertex_rank.size())) return -1;
+    return key.form.base_vertex_rank[v];
+  };
+  auto special_token = [&](int s) -> int {
+    for (size_t i = 0; i < key.form.special_order.size(); ++i) {
+      if (key.form.special_order[i] == s) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  std::optional<PortableFragment> portable =
+      EncodeFragment(fragment, edge_token, vertex_token, special_token);
+  if (!portable.has_value()) {
+    rejected_inserts_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // Shrink the recorded allowed set to the traces the fragment's λ-labels
+  // actually use: the smaller the recorded set, the more future queries it
+  // dominates (they only need ⊇ what the fragment needs). λ tokens are
+  // remapped from allowed-trace indices to used-trace indices.
+  std::vector<int> used;  // indices into key.allowed_traces, sorted unique
+  for (const PortableFragmentNode& node : portable->nodes) {
+    used.insert(used.end(), node.lambda.begin(), node.lambda.end());
+  }
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  auto variant = std::make_shared<PositiveVariant>();
+  variant->traces.reserve(used.size());
+  std::vector<int> used_index_of(key.allowed_traces.size(), -1);
+  for (size_t i = 0; i < used.size(); ++i) {
+    used_index_of[used[i]] = static_cast<int>(i);
+    variant->traces.push_back(key.allowed_traces[used[i]]);
+  }
+  for (PortableFragmentNode& node : portable->nodes) {
+    for (int& token : node.lambda) token = used_index_of[token];
+  }
+  variant->fragment = std::move(*portable);
+
+  MapKey map_key{key.fingerprint, key.k};
+  Shard& shard = ShardFor(map_key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Entry& entry = *Touch(shard, map_key);
+  for (const auto& existing : entry.positives) {
+    if (TraceSubset(existing->traces, variant->traces)) {
+      rejected_inserts_.fetch_add(1, std::memory_order_relaxed);
+      return;  // an entry with a smaller used set already serves this
+    }
+  }
+  // Keep the antichain ⊆-minimal: drop entries the new one undercuts.
+  std::erase_if(entry.positives, [&](const auto& existing) {
+    return TraceSubset(variant->traces, existing->traces);
+  });
+  entry.positives.push_back(std::move(variant));
+  if (static_cast<int>(entry.positives.size()) > options_.max_variants_per_key) {
+    entry.positives.erase(entry.positives.begin());
+  }
+  ReaccountBytes(shard, entry);
+  positive_inserts_.fetch_add(1, std::memory_order_relaxed);
+  EvictOver(shard);
+}
+
+void SubproblemStore::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    entries_.fetch_sub(shard->lru.size(), std::memory_order_relaxed);
+    bytes_.fetch_sub(shard->bytes, std::memory_order_relaxed);
+    shard->bytes = 0;
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+SubproblemStore::Stats SubproblemStore::GetStats() const {
+  Stats stats;
+  stats.probes = probes_.load(std::memory_order_relaxed);
+  stats.negative_hits = negative_hits_.load(std::memory_order_relaxed);
+  stats.positive_hits = positive_hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.negative_inserts = negative_inserts_.load(std::memory_order_relaxed);
+  stats.positive_inserts = positive_inserts_.load(std::memory_order_relaxed);
+  stats.rejected_inserts = rejected_inserts_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.entries = entries_.load(std::memory_order_relaxed);
+  stats.bytes = bytes_.load(std::memory_order_relaxed);
+  stats.byte_budget = options_.byte_budget;
+  return stats;
+}
+
+size_t SubproblemStore::num_entries() const {
+  return entries_.load(std::memory_order_relaxed);
+}
+
+}  // namespace htd::service

@@ -1,0 +1,210 @@
+// Cross-instance subproblem memoization store.
+//
+// det-k-decomp owes its sequential speed to "extensive caching" of
+// subproblem outcomes, which the paper (§1) identifies as the reason it
+// parallelises badly. core/negative_cache.h reproduces that idea *within*
+// one solve; this store generalises it across solves and across instances:
+// subproblem outcomes ⟨E', Sp, Conn⟩ — negative (search space exhausted) AND
+// positive (a reusable HD-fragment) — are keyed by the canonical fingerprint
+// of the extended sub-hypergraph (service/canonical.h:
+// FingerprintSubhypergraph, connector vertices as distinguished colours), so
+// two isomorphic subproblems of two *different* instances share one entry.
+// This is the same pruning that lets Gottlob & Samer's det-k (cs/0701083)
+// and the Fischl-Gottlob-Pichler GHD framework (1611.01090) skip repeated
+// components, lifted to a long-lived service component.
+//
+// Allowed-set dominance. Decompose(H', Conn, A) failing only proves that no
+// fragment exists with λ-labels from A, and succeeding only exhibits one
+// with λ-labels from A. Across instances the allowed set A is represented
+// by its canonical *traces* — the distinct intersections of allowed edges
+// with V(H'), in canonical vertex ids — because only those traces can
+// influence the subproblem (a λ-label acts on the component through its
+// trace; duplicate traces are interchangeable). A query with trace set T is
+// answered by:
+//   * a recorded failure with traces  T_rec ⊇ T  (smaller search space), or
+//   * a recorded fragment with traces T_rec ⊆ T  (its λ-edges decode into
+//     edges the query is allowed to use).
+// Entries per key keep both families as antichains: ⊆-maximal failure
+// trace sets, ⊆-minimal fragment trace sets.
+//
+// Concurrency & eviction: the key space is striped over independently
+// locked shards (the service/result_cache.h pattern); canonicalisation,
+// encoding, and decoding all run outside the locks. Each shard evicts whole
+// keys LRU-first under its slice of the byte budget; within a key, the
+// per-polarity antichains are additionally capped so one popular key cannot
+// grow without bound.
+//
+// Cross-solver soundness: "a width-≤k fragment of ⟨E', Sp, Conn⟩ with
+// λ-labels from A exists" is a property of the subproblem, not of the
+// solver, so LogKDecomp, DetKDecomp, and the hybrid can share one store in
+// both directions. LogKDecompBasic (Algorithm 1 as printed) searches a
+// normal-form-restricted space, so it only *consumes* entries (either
+// polarity is a genuine fact about fragment existence) and never inserts.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "decomp/extended_subhypergraph.h"
+#include "decomp/fragment_codec.h"
+#include "decomp/special_edges.h"
+#include "service/canonical.h"
+#include "util/bitset.h"
+
+namespace htd::service {
+
+class SubproblemStore {
+ public:
+  struct Options {
+    /// Total heap budget, split evenly across shards. See docs/SERVICE.md
+    /// ("sizing the byte budget") for guidance.
+    size_t byte_budget = size_t{64} << 20;
+    int num_shards = 16;
+    /// Subproblems with |E'| + |Sp| below this are solved rather than
+    /// memoized: canonicalisation costs more than the search they'd save.
+    int min_subproblem_size = 4;
+    /// Cap on recorded allowed-set variants per key and polarity.
+    int max_variants_per_key = 8;
+  };
+
+  struct Stats {
+    uint64_t probes = 0;
+    uint64_t negative_hits = 0;
+    uint64_t positive_hits = 0;
+    uint64_t misses = 0;
+    uint64_t negative_inserts = 0;
+    uint64_t positive_inserts = 0;
+    uint64_t rejected_inserts = 0;  ///< dominated duplicates + unencodable
+    uint64_t evictions = 0;         ///< whole keys dropped for the budget
+    size_t entries = 0;             ///< distinct ⟨fingerprint, k⟩ keys
+    size_t bytes = 0;               ///< approximate resident bytes
+    size_t byte_budget = 0;
+  };
+
+  /// One probe's canonical identity, computed once per Decompose call (the
+  /// engines reuse it for the post-search insert). Plain data; no lock held.
+  struct Key {
+    Fingerprint fingerprint;  ///< of ⟨E', Sp, Conn⟩ with labels
+    int k = 0;
+    SubproblemCanonicalForm form;
+    /// Distinct canonical traces of the allowed edges on V(H'), sorted.
+    std::vector<std::vector<int>> allowed_traces;
+    /// Representative base-graph edge id per trace (index-aligned).
+    std::vector<int> trace_edges;
+  };
+
+  enum class Hit { kMiss, kNegative, kPositive };
+
+  SubproblemStore() : SubproblemStore(Options()) {}
+  explicit SubproblemStore(Options options);
+
+  SubproblemStore(const SubproblemStore&) = delete;
+  SubproblemStore& operator=(const SubproblemStore&) = delete;
+
+  /// Cheap gate the engines call before paying for MakeKey.
+  bool ShouldProbe(const ExtendedSubhypergraph& comp) const {
+    return comp.size() >= options_.min_subproblem_size;
+  }
+
+  /// Canonicalises the subproblem and its allowed set. Pure; thread-safe.
+  static Key MakeKey(const Hypergraph& graph, const SpecialEdgeRegistry& registry,
+                     const ExtendedSubhypergraph& comp,
+                     const util::DynamicBitset& conn,
+                     const util::DynamicBitset& allowed, int k);
+
+  /// Dominance lookup. On kPositive, `*fragment` (if non-null) receives the
+  /// recorded fragment decoded into the caller's ids — λ over the caller's
+  /// allowed edges, χ over the caller's vertex universe, special leaves over
+  /// the caller's special-edge ids. Pass fragment == nullptr for
+  /// decision-only callers (skips the decode).
+  Hit Lookup(const Key& key, const Hypergraph& graph, Fragment* fragment);
+
+  /// Records that the key's subproblem has no fragment with λ-labels from
+  /// the key's allowed set.
+  void InsertNegative(const Key& key);
+
+  /// Records a fragment found for the key's subproblem. `graph` must be the
+  /// instance the fragment's ids refer to (λ edges are stored as traces).
+  /// Skipped (counted in rejected_inserts) if the fragment doesn't encode.
+  void InsertPositive(const Key& key, const Hypergraph& graph,
+                      const Fragment& fragment);
+
+  void Clear();
+  Stats GetStats() const;
+  size_t num_entries() const;
+  const Options& options() const { return options_; }
+
+ private:
+  struct MapKey {
+    Fingerprint fingerprint;
+    int k = 0;
+    bool operator==(const MapKey& other) const {
+      return fingerprint == other.fingerprint && k == other.k;
+    }
+  };
+  struct MapKeyHash {
+    size_t operator()(const MapKey& key) const {
+      return FingerprintHash{}(key.fingerprint) ^
+             (static_cast<size_t>(key.k) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  struct NegativeVariant {
+    std::vector<std::vector<int>> traces;  ///< the failed allowed set
+  };
+  struct PositiveVariant {
+    /// Only the traces the fragment's λ-labels actually use — the smallest
+    /// set a future query must be a superset of, maximising dominance.
+    std::vector<std::vector<int>> traces;
+    PortableFragment fragment;  ///< λ tokens index into `traces`
+  };
+  struct Entry {
+    MapKey key;
+    std::vector<NegativeVariant> negatives;  ///< antichain, ⊆-maximal
+    /// Antichain, ⊆-minimal. shared_ptr so Lookup can hand a reference out
+    /// of the critical section and decode without holding the shard lock.
+    std::vector<std::shared_ptr<const PositiveVariant>> positives;
+    size_t bytes = 0;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<MapKey, std::list<Entry>::iterator, MapKeyHash> index;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const MapKey& key) {
+    return *shards_[MapKeyHash{}(key) % shards_.size()];
+  }
+  /// Finds or creates the entry and moves it to the LRU front. Caller holds
+  /// the shard lock.
+  std::list<Entry>::iterator Touch(Shard& shard, const MapKey& key);
+  /// Recomputes `entry.bytes` from its variants and applies the delta to the
+  /// shard and global byte counters. Caller holds the shard lock.
+  void ReaccountBytes(Shard& shard, Entry& entry);
+  /// Evicts LRU keys while the shard exceeds its budget slice (the freshly
+  /// touched front entry is never evicted). Caller holds the shard lock.
+  void EvictOver(Shard& shard);
+
+  Options options_;
+  size_t per_shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<uint64_t> probes_{0};
+  std::atomic<uint64_t> negative_hits_{0};
+  std::atomic<uint64_t> positive_hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> negative_inserts_{0};
+  std::atomic<uint64_t> positive_inserts_{0};
+  std::atomic<uint64_t> rejected_inserts_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<size_t> entries_{0};
+  std::atomic<size_t> bytes_{0};
+};
+
+}  // namespace htd::service

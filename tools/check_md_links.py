@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Checks intra-repo links in the repository's Markdown files.
+
+Scans every *.md file (outside build trees) for inline links and
+reference-style definitions, and fails if a relative link points at a file
+or directory that does not exist. External schemes (http, https, mailto)
+and pure #anchor links are ignored; fenced code blocks are skipped so code
+samples cannot produce false positives.
+
+Usage: python3 tools/check_md_links.py [repo_root]
+Exit status: 0 if every intra-repo link resolves, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "build-tsan", "node_modules"}
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def find_markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def links_in(path):
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in INLINE_LINK.finditer(line):
+                yield line_number, match.group(1)
+            match = REFERENCE_DEF.match(line)
+            if match:
+                yield line_number, match.group(1)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    dead = []
+    checked = 0
+    for md_file in find_markdown_files(root):
+        for line_number, target in links_in(md_file):
+            if EXTERNAL.match(target) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if relative.startswith("/"):
+                resolved = os.path.join(root, relative.lstrip("/"))
+            else:
+                resolved = os.path.join(os.path.dirname(md_file), relative)
+            checked += 1
+            if not os.path.exists(resolved):
+                dead.append((os.path.relpath(md_file, root), line_number, target))
+    if dead:
+        print("dead intra-repo links:")
+        for md_file, line_number, target in dead:
+            print(f"  {md_file}:{line_number}: {target}")
+        return 1
+    print(f"ok: {checked} intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
