@@ -1,6 +1,13 @@
 // batch_server: drive the DecompositionService over a directory or manifest
 // of hypergraph instances at configurable concurrency.
 //
+// DEPRECATED as a serving path: the one server code path is now
+// tools/hdserver.cc — the out-of-process HTTP front-end with admission
+// control and warm-state persistence (docs/SERVER.md). This example remains
+// as an in-process *batch driver* (load a corpus, submit it as batches,
+// print throughput); anything that should accept work from other processes
+// belongs on hdserver.
+//
 //   $ ./build/batch_server --corpus                 # built-in synthetic corpus
 //   $ ./build/batch_server --dir instances/ --k 3 --workers 8 --passes 2
 //   $ ./build/batch_server --manifest jobs.txt --solver hybrid --timeout 5
@@ -203,6 +210,9 @@ int main(int argc, char** argv) {
 
   std::printf("batch_server: %zu instances, k = %d, solver = %s, %d workers\n",
               instances.size(), args.k, args.solver.c_str(), args.workers);
+  std::fprintf(stderr,
+               "note: batch_server is an in-process batch driver; the network "
+               "server is ./build/hdserver (docs/SERVER.md)\n");
 
   uint64_t last_hits = 0;
   uint64_t last_joins = 0;

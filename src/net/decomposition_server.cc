@@ -1,0 +1,413 @@
+#include "net/decomposition_server.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "decomp/decomp_writer.h"
+#include "hypergraph/parser.h"
+
+namespace htd::net {
+
+namespace {
+
+const char* OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kYes: return "yes";
+    case Outcome::kNo: return "no";
+    case Outcome::kCancelled: return "cancelled";
+    case Outcome::kError: return "error";
+  }
+  return "?";
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.body = "{\"error\": \"" + JsonEscape(message) + "\"}\n";
+  return response;
+}
+
+/// Strict non-negative integer parse; -1 on garbage.
+int ParseInt(const std::string& text) {
+  if (text.empty()) return -1;
+  char* end = nullptr;
+  long value = std::strtol(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || value < 0 || value > 1'000'000'000) {
+    return -1;
+  }
+  return static_cast<int>(value);
+}
+
+double ParseSeconds(const std::string& text, double fallback) {
+  if (text.empty()) return fallback;
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || value < 0 || !(value < 1e9)) {
+    return -1.0;
+  }
+  return value;
+}
+
+}  // namespace
+
+DecompositionServer::DecompositionServer(DecompositionServerOptions options)
+    : options_(std::move(options)) {}
+
+util::StatusOr<std::unique_ptr<DecompositionServer>> DecompositionServer::Create(
+    DecompositionServerOptions options) {
+  if (options.max_queue_depth < 1) {
+    return util::Status::InvalidArgument("max_queue_depth must be >= 1");
+  }
+  if (options.max_k < 1) {
+    return util::Status::InvalidArgument("max_k must be >= 1");
+  }
+  // One Retry-After story for both shedding layers (queue bound here,
+  // connection bound in the transport).
+  options.http.retry_after_seconds = options.retry_after_seconds;
+  auto service = service::DecompositionService::Create(options.service);
+  if (!service.ok()) return service.status();
+
+  auto server = std::unique_ptr<DecompositionServer>(
+      new DecompositionServer(std::move(options)));
+  server->service_ = std::move(*service);
+
+  if (!server->options_.snapshot_path.empty() &&
+      server->options_.load_snapshot_on_start) {
+    auto loaded = service::LoadSnapshot(server->options_.snapshot_path,
+                                        server->service_->result_cache(),
+                                        server->service_->subproblem_store());
+    if (loaded.ok()) {
+      server->restored_ = *loaded;
+    } else if (loaded.status().code() != util::StatusCode::kNotFound) {
+      // Corrupt or version-mismatched warm state must not take the server
+      // down — log and start cold (verified by tests/net_server_test.cc).
+      std::fprintf(stderr, "hdserver: ignoring snapshot %s: %s\n",
+                   server->options_.snapshot_path.c_str(),
+                   loaded.status().message().c_str());
+    }
+  }
+
+  server->http_ = std::make_unique<HttpServer>(
+      server->options_.http,
+      [raw = server.get()](const HttpRequest& request) {
+        return raw->Handle(request);
+      });
+  return server;
+}
+
+DecompositionServer::~DecompositionServer() { Stop(); }
+
+util::Status DecompositionServer::Start() { return http_->Start(); }
+
+void DecompositionServer::Stop() {
+  if (http_ == nullptr || !http_->running()) return;
+  // Refuse new admissions first (503), then keep sweeping cancellations
+  // while the listener drains: a handler that passed the stopping_ check
+  // can still admit one more flight behind a single CancelAll, and with no
+  // deadline that flight would park its handler thread — and HttpServer::
+  // Stop()'s WaitIdle — forever.
+  stopping_.store(true, std::memory_order_release);
+  std::atomic<bool> http_stopped{false};
+  std::thread canceller([&] {
+    while (!http_stopped.load(std::memory_order_acquire)) {
+      service_->CancelAll();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+  http_->Stop();
+  http_stopped.store(true, std::memory_order_release);
+  canceller.join();
+  service_->CancelAll();
+  service_->Drain();
+}
+
+DecompositionServer::AdmissionStats DecompositionServer::admission_stats() const {
+  AdmissionStats stats;
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+util::StatusOr<service::SnapshotStats> DecompositionServer::SaveSnapshotNow() {
+  if (options_.snapshot_path.empty()) {
+    return util::Status::FailedPrecondition(
+        "no snapshot path configured (--snapshot)");
+  }
+  // One writer at a time: concurrent saves (two /v1/admin/snapshot requests,
+  // or one racing the exit save) would interleave on the shared temp file
+  // and rename a corrupt snapshot over the good one.
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  // Recompute the digest the way the service did (it arms solve.subproblem_store
+  // before digesting), so the snapshot header matches the cache keys inside.
+  SolveOptions solve = options_.service.solve;
+  solve.subproblem_store = service_->subproblem_store();
+  return service::SaveSnapshot(
+      options_.snapshot_path, service_->result_cache(),
+      service_->subproblem_store(),
+      SolverConfigDigest(options_.service.solver_name, solve));
+}
+
+HttpResponse DecompositionServer::Handle(const HttpRequest& request) {
+  if (request.path == "/healthz") {
+    HttpResponse response;
+    response.body = "{\"ok\": true}\n";
+    return response;
+  }
+  if (request.path == "/v1/decompose") {
+    if (request.method != "POST") {
+      return ErrorResponse(405, "use POST for /v1/decompose");
+    }
+    return HandleDecompose(request);
+  }
+  if (request.path.rfind("/v1/jobs/", 0) == 0) {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "use GET for /v1/jobs/<id>");
+    }
+    return HandleJob(request.path.substr(sizeof("/v1/jobs/") - 1));
+  }
+  if (request.path == "/v1/stats") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "use GET for /v1/stats");
+    }
+    return HandleStats();
+  }
+  if (request.path == "/v1/admin/snapshot") {
+    if (request.method != "POST") {
+      return ErrorResponse(405, "use POST for /v1/admin/snapshot");
+    }
+    return HandleSnapshot();
+  }
+  return ErrorResponse(404, "unknown route: " + request.path);
+}
+
+HttpResponse DecompositionServer::HandleDecompose(const HttpRequest& request) {
+  int k = ParseInt(request.QueryOr("k", ""));
+  if (k < 1 || k > options_.max_k) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(
+        400, "query parameter k must be an integer in [1, " +
+                 std::to_string(options_.max_k) + "]");
+  }
+  double timeout = ParseSeconds(request.QueryOr("timeout", ""),
+                                service_->options().default_timeout_seconds);
+  if (timeout < 0) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(400, "query parameter timeout must be seconds >= 0");
+  }
+  const bool async = request.QueryOr("async", "0") == "1";
+  const bool include_decomposition = request.QueryOr("decomposition", "0") == "1";
+  if (request.body.empty()) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(400, "empty body: expected a hypergraph in "
+                              "HyperBench or PACE format");
+  }
+
+  // Shedding comes BEFORE the body parse: an overloaded server must reject
+  // in O(1), not pay a parse proportional to the body it is about to refuse.
+  if (stopping_.load(std::memory_order_acquire)) {
+    return ErrorResponse(503, "server is shutting down");
+  }
+  // Admission control: shed rather than queue without bound. The counter is
+  // sampled lock-free and approximate (see the header comment); overshoot
+  // on the order of the IO thread count is within the bound's semantics
+  // (docs/SERVER.md).
+  if (service_->outstanding_jobs() >=
+      static_cast<uint64_t>(options_.max_queue_depth)) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse response = ErrorResponse(
+        429, "queue full: " + std::to_string(options_.max_queue_depth) +
+                 " jobs outstanding; retry later");
+    response.headers.emplace_back("Retry-After",
+                                  std::to_string(options_.retry_after_seconds));
+    return response;
+  }
+
+  auto parsed = ParseAuto(request.body);
+  if (!parsed.ok()) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(400, "cannot parse hypergraph: " +
+                                  parsed.status().message());
+  }
+
+  auto graph = std::make_shared<const Hypergraph>(std::move(*parsed));
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  std::future<service::JobResult> future = service_->Submit(*graph, k, timeout);
+
+  if (!async) {
+    service::JobResult job = future.get();
+    HttpResponse response;
+    response.body = RenderResult(job, *graph, include_decomposition);
+    return response;
+  }
+
+  const std::string id = "j" + std::to_string(
+      next_job_id_.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    AsyncJob record;
+    record.future = future.share();
+    record.graph = graph;
+    record.k = k;
+    record.include_decomposition = include_decomposition;
+    jobs_.emplace(id, std::move(record));
+    job_order_.push_back(id);
+    // Evict the oldest *resolved* records over the retention cap; unresolved
+    // jobs stay queryable (their count is bounded by admission control).
+    for (auto it = job_order_.begin();
+         jobs_.size() > options_.max_retained_jobs && it != job_order_.end();) {
+      auto found = jobs_.find(*it);
+      if (found != jobs_.end() &&
+          found->second.future.wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready) {
+        jobs_.erase(found);
+        it = job_order_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  HttpResponse response;
+  response.status = 202;
+  response.body = "{\"job\": \"" + id + "\", \"state\": \"admitted\"}\n";
+  return response;
+}
+
+HttpResponse DecompositionServer::HandleJob(const std::string& id) {
+  AsyncJob record;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return ErrorResponse(404, "unknown job id: " + id);
+    }
+    record = it->second;  // shared_future/shared_ptr copies are cheap
+  }
+  if (record.future.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    HttpResponse response;
+    response.body = "{\"job\": \"" + id + "\", \"state\": \"running\"}\n";
+    return response;
+  }
+  const service::JobResult& job = record.future.get();
+  HttpResponse response;
+  response.body = "{\"job\": \"" + id + "\", \"state\": \"done\", \"result\": " +
+                  RenderResult(job, *record.graph, record.include_decomposition);
+  // RenderResult ends with '\n'; splice the wrapper's closing brace in.
+  response.body.back() = '}';
+  response.body += "\n";
+  return response;
+}
+
+HttpResponse DecompositionServer::HandleStats() {
+  auto scheduler = service_->scheduler_stats();
+  auto cache = service_->cache_stats();
+  auto store = service_->subproblem_stats();
+  AdmissionStats admission = admission_stats();
+
+  std::string body = "{";
+  body += "\"scheduler\": {";
+  body += "\"submitted\": " + std::to_string(scheduler.submitted);
+  body += ", \"solves\": " + std::to_string(scheduler.solves);
+  body += ", \"dedup_joins\": " + std::to_string(scheduler.dedup_joins);
+  body += ", \"cache_hits\": " + std::to_string(scheduler.cache_hits);
+  body += ", \"completed\": " + std::to_string(scheduler.completed);
+  body += ", \"queue_depth\": " + std::to_string(service_->queue_depth());
+  body += ", \"outstanding\": " + std::to_string(service_->outstanding_jobs());
+  body += "}, \"cache\": {";
+  body += "\"hits\": " + std::to_string(cache.hits);
+  body += ", \"misses\": " + std::to_string(cache.misses);
+  body += ", \"insertions\": " + std::to_string(cache.insertions);
+  body += ", \"evictions\": " + std::to_string(cache.evictions);
+  body += ", \"entries\": " + std::to_string(cache.entries);
+  body += ", \"capacity\": " + std::to_string(cache.capacity);
+  body += "}, \"subproblem_store\": {";
+  body += "\"enabled\": " +
+          std::string(service_->options().enable_subproblem_store ? "true" : "false");
+  body += ", \"probes\": " + std::to_string(store.probes);
+  body += ", \"negative_hits\": " + std::to_string(store.negative_hits);
+  body += ", \"positive_hits\": " + std::to_string(store.positive_hits);
+  body += ", \"entries\": " + std::to_string(store.entries);
+  body += ", \"bytes\": " + std::to_string(store.bytes);
+  body += "}, \"admission\": {";
+  body += "\"admitted\": " + std::to_string(admission.admitted);
+  body += ", \"shed\": " + std::to_string(admission.shed);
+  body += ", \"connections_shed\": " + std::to_string(http_->connections_shed());
+  body += ", \"bad_requests\": " + std::to_string(admission.bad_requests);
+  body += ", \"max_queue_depth\": " + std::to_string(options_.max_queue_depth);
+  body += ", \"max_connections\": " + std::to_string(options_.http.max_connections);
+  body += "}, \"snapshot\": {";
+  body += "\"path\": \"" + JsonEscape(options_.snapshot_path) + "\"";
+  body += ", \"restored_cache_entries\": " + std::to_string(restored_.cache_entries);
+  body += ", \"restored_store_entries\": " + std::to_string(restored_.store_entries);
+  body += "}}\n";
+
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse DecompositionServer::HandleSnapshot() {
+  auto saved = SaveSnapshotNow();
+  if (!saved.ok()) {
+    int status =
+        saved.status().code() == util::StatusCode::kFailedPrecondition ? 412 : 500;
+    return ErrorResponse(status, saved.status().message());
+  }
+  HttpResponse response;
+  response.body = "{\"saved\": true, \"cache_entries\": " +
+                  std::to_string(saved->cache_entries) +
+                  ", \"store_entries\": " + std::to_string(saved->store_entries) +
+                  ", \"bytes\": " + std::to_string(saved->bytes) + "}\n";
+  return response;
+}
+
+std::string DecompositionServer::RenderResult(const service::JobResult& job,
+                                              const Hypergraph& graph,
+                                              bool include_decomposition) const {
+  std::string body = "{";
+  body += "\"outcome\": \"" + std::string(OutcomeName(job.result.outcome)) + "\"";
+  if (job.result.decomposition.has_value()) {
+    body += ", \"width\": " + std::to_string(job.result.decomposition->Width());
+  }
+  body += std::string(", \"cache_hit\": ") + (job.cache_hit ? "true" : "false");
+  body += std::string(", \"deduplicated\": ") +
+          (job.deduplicated ? "true" : "false");
+  body += ", \"seconds\": " + std::to_string(job.seconds);
+  body += ", \"threads_used\": " + std::to_string(job.threads_used);
+  body += ", \"fingerprint\": \"" + job.fingerprint.ToHex() + "\"";
+  if (include_decomposition && job.result.decomposition.has_value()) {
+    body += ", \"decomposition\": " +
+            WriteDecompositionJson(graph, *job.result.decomposition);
+  }
+  body += "}\n";
+  return body;
+}
+
+}  // namespace htd::net

@@ -1,0 +1,152 @@
+// Out-of-process decomposition server: HTTP routes, admission control, and
+// warm-state persistence over a DecompositionService.
+//
+// Routes (wire protocol details in docs/SERVER.md):
+//
+//   POST /v1/decompose      body: hypergraph (HyperBench or PACE text),
+//                           query: k (required), timeout, async,
+//                           decomposition. Sync by default; async=1 returns
+//                           202 + a job id for GET /v1/jobs/<id>.
+//   GET  /v1/jobs/<id>      state of an async job; includes the result once
+//                           resolved.
+//   GET  /v1/stats          scheduler/cache/store/admission counters.
+//   POST /v1/admin/snapshot persist warm state to the configured snapshot
+//                           path (service/persistence.h).
+//   GET  /healthz           liveness probe.
+//
+// Admission control: requests are shed with 429 + Retry-After once the
+// number of admitted-but-unresolved jobs reaches max_queue_depth — a
+// bounded queue in front of the scheduler, so overload degrades into fast
+// failures instead of unbounded queueing. The check samples the scheduler's
+// outstanding-jobs counter without a lock, and that counter itself can
+// transiently under-count jobs mid-fan-out (see
+// BatchScheduler::outstanding_jobs), so the bound is a load-shedding
+// threshold with overshoot on the order of the IO thread count plus one
+// fan-out, not an exact semaphore.
+//
+// Warm start: when a snapshot path is configured, Create() restores the
+// result cache and subproblem store from it (a missing file is a normal
+// cold start; a corrupt or version-mismatched file logs the reason to
+// stderr and starts cold — it never aborts startup).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/http.h"
+#include "net/server.h"
+#include "service/persistence.h"
+#include "service/service.h"
+#include "util/status.h"
+
+namespace htd::net {
+
+struct DecompositionServerOptions {
+  HttpServer::Options http;
+  service::ServiceOptions service;
+
+  /// Admission bound: jobs admitted but not yet resolved. Requests beyond
+  /// it are shed with 429.
+  int max_queue_depth = 64;
+  /// Advertised in the Retry-After header of shed responses.
+  int retry_after_seconds = 1;
+
+  /// Completed async job records retained for GET /v1/jobs/<id> (oldest
+  /// evicted first). Unresolved jobs are never evicted.
+  size_t max_retained_jobs = 1024;
+
+  /// Snapshot file for warm-state persistence; empty disables the
+  /// /v1/admin/snapshot route and startup restore.
+  std::string snapshot_path;
+  /// Restore from snapshot_path during Create() when the file exists.
+  bool load_snapshot_on_start = true;
+
+  /// Largest k accepted from the wire (guards against runaway requests).
+  int max_k = 64;
+};
+
+class DecompositionServer {
+ public:
+  struct AdmissionStats {
+    uint64_t admitted = 0;     ///< requests handed to the scheduler
+    uint64_t shed = 0;         ///< requests rejected with 429
+    uint64_t bad_requests = 0; ///< parse/validation failures (4xx)
+  };
+
+  /// Builds the service (validated), restores the snapshot when configured,
+  /// and wires the routes. The HTTP listener is not started yet — Start().
+  static util::StatusOr<std::unique_ptr<DecompositionServer>> Create(
+      DecompositionServerOptions options);
+
+  ~DecompositionServer();
+
+  DecompositionServer(const DecompositionServer&) = delete;
+  DecompositionServer& operator=(const DecompositionServer&) = delete;
+
+  util::Status Start();
+  /// Cancels in-flight solves, stops the listener, drains the service.
+  void Stop();
+
+  int port() const { return http_->port(); }
+  service::DecompositionService& decomposition_service() { return *service_; }
+  AdmissionStats admission_stats() const;
+  /// Entries restored at startup (zeros when cold).
+  const service::SnapshotStats& restored() const { return restored_; }
+
+  /// Saves warm state to options().snapshot_path (FailedPrecondition when no
+  /// path is configured). Also reachable as POST /v1/admin/snapshot.
+  util::StatusOr<service::SnapshotStats> SaveSnapshotNow();
+
+  /// Route dispatch; public so tests can drive the server without sockets.
+  HttpResponse Handle(const HttpRequest& request);
+
+  const DecompositionServerOptions& options() const { return options_; }
+
+ private:
+  struct AsyncJob {
+    std::shared_future<service::JobResult> future;
+    /// The admitted instance; kept so a later GET can render the
+    /// decomposition in the caller's vertex/edge names.
+    std::shared_ptr<const Hypergraph> graph;
+    int k = 0;
+    bool include_decomposition = false;
+  };
+
+  explicit DecompositionServer(DecompositionServerOptions options);
+
+  HttpResponse HandleDecompose(const HttpRequest& request);
+  HttpResponse HandleJob(const std::string& id);
+  HttpResponse HandleStats();
+  HttpResponse HandleSnapshot();
+
+  /// Renders one resolved JobResult as the response JSON body.
+  std::string RenderResult(const service::JobResult& job, const Hypergraph& graph,
+                           bool include_decomposition) const;
+
+  DecompositionServerOptions options_;
+  std::unique_ptr<service::DecompositionService> service_;
+  std::unique_ptr<HttpServer> http_;
+  service::SnapshotStats restored_;
+
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> bad_requests_{0};
+  std::atomic<uint64_t> next_job_id_{1};
+  /// Set at the head of Stop(): new decompose requests are refused with 503
+  /// so no fresh flight can slip in behind the cancellation sweep.
+  std::atomic<bool> stopping_{false};
+  /// Serialises snapshot writers (concurrent saves would interleave on the
+  /// shared temp file and install a corrupt snapshot).
+  std::mutex snapshot_mutex_;
+
+  std::mutex jobs_mutex_;
+  std::map<std::string, AsyncJob> jobs_;       // guarded by jobs_mutex_
+  std::list<std::string> job_order_;           // insertion order, for eviction
+};
+
+}  // namespace htd::net

@@ -1,0 +1,307 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace htd::net {
+
+namespace {
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                           text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Splits the request target into a decoded path and query map.
+void ParseTarget(const std::string& target, std::string* path,
+                 std::map<std::string, std::string>* query) {
+  size_t qpos = target.find('?');
+  *path = UrlDecode(target.substr(0, qpos));
+  if (qpos == std::string::npos) return;
+  std::string_view rest = std::string_view(target).substr(qpos + 1);
+  while (!rest.empty()) {
+    size_t amp = rest.find('&');
+    std::string_view pair = rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view()
+                                         : rest.substr(amp + 1);
+    if (pair.empty()) continue;
+    size_t eq = pair.find('=');
+    std::string key = UrlDecode(pair.substr(0, eq));
+    std::string value =
+        eq == std::string_view::npos ? "" : UrlDecode(pair.substr(eq + 1));
+    (*query)[key] = value;
+  }
+}
+
+}  // namespace
+
+std::string HttpRequest::QueryOr(const std::string& key,
+                                 const std::string& fallback) const {
+  auto it = query.find(key);
+  return it == query.end() ? fallback : it->second;
+}
+
+bool AsciiIEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool HttpRequest::WantsClose() const {
+  auto it = headers.find("connection");
+  if (it != headers.end()) {
+    if (AsciiIEquals(it->second, "close")) return true;
+    if (AsciiIEquals(it->second, "keep-alive")) return false;
+  }
+  // No (recognised) Connection header: HTTP/1.0 defaults to close,
+  // HTTP/1.1+ to keep-alive.
+  return version == "HTTP/1.0";
+}
+
+std::string_view StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 412: return "Precondition Failed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response,
+                              std::string_view connection) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " ";
+  out += StatusReason(response.status);
+  out += "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: ";
+  out += connection;
+  out += "\r\n";
+  for (const auto& [key, value] : response.headers) {
+    out += key + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string UrlDecode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%' && i + 2 < text.size() && HexValue(text[i + 1]) >= 0 &&
+               HexValue(text[i + 2]) >= 0) {
+      out.push_back(static_cast<char>(HexValue(text[i + 1]) * 16 +
+                                      HexValue(text[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+HttpRequestParser::State HttpRequestParser::Fail(int status, std::string message) {
+  error_status_ = status;
+  error_ = std::move(message);
+  state_ = State::kError;
+  return state_;
+}
+
+bool HttpRequestParser::ParseHead(std::string_view head) {
+  // Request line: METHOD SP target SP HTTP/1.x
+  size_t line_end = head.find('\n');
+  std::string_view request_line =
+      Trim(head.substr(0, line_end == std::string_view::npos ? head.size()
+                                                             : line_end));
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    Fail(400, "malformed request line");
+    return false;
+  }
+  request_.method = std::string(request_line.substr(0, sp1));
+  request_.target = std::string(Trim(request_line.substr(sp1 + 1, sp2 - sp1 - 1)));
+  std::string_view version = request_line.substr(sp2 + 1);
+  if (version.substr(0, 7) != "HTTP/1.") {
+    Fail(400, "unsupported HTTP version");
+    return false;
+  }
+  request_.version = std::string(version);
+  if (request_.method.empty() || request_.target.empty() ||
+      request_.target[0] != '/') {
+    Fail(400, "malformed request target");
+    return false;
+  }
+  ParseTarget(request_.target, &request_.path, &request_.query);
+
+  // Header fields.
+  while (line_end != std::string_view::npos) {
+    size_t start = line_end + 1;
+    line_end = head.find('\n', start);
+    std::string_view line = head.substr(
+        start, line_end == std::string_view::npos ? head.size() - start
+                                                  : line_end - start);
+    line = Trim(line);
+    if (line.empty()) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      Fail(400, "malformed header line");
+      return false;
+    }
+    std::string key = ToLower(Trim(line.substr(0, colon)));
+    request_.headers[key] = std::string(Trim(line.substr(colon + 1)));
+  }
+
+  if (request_.headers.count("transfer-encoding") != 0) {
+    Fail(501, "transfer-encoding not supported; send Content-Length");
+    return false;
+  }
+  body_expected_ = 0;
+  auto it = request_.headers.find("content-length");
+  if (it != request_.headers.end()) {
+    char* end = nullptr;
+    unsigned long long parsed = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+      Fail(400, "malformed Content-Length");
+      return false;
+    }
+    if (parsed > limits_.max_body_bytes) {
+      Fail(413, "body exceeds limit of " +
+                    std::to_string(limits_.max_body_bytes) + " bytes");
+      return false;
+    }
+    body_expected_ = static_cast<size_t>(parsed);
+  }
+  return true;
+}
+
+HttpRequestParser::State HttpRequestParser::Consume(std::string_view bytes) {
+  if (state_ != State::kNeedMore) return state_;
+  buffer_.append(bytes.data(), bytes.size());
+
+  if (!head_done_) {
+    size_t head_end = buffer_.find("\r\n\r\n");
+    size_t head_len = 4;
+    if (head_end == std::string::npos) {
+      head_end = buffer_.find("\n\n");
+      head_len = 2;
+    }
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_head_bytes) {
+        return Fail(413, "request head exceeds limit");
+      }
+      return State::kNeedMore;
+    }
+    if (!ParseHead(std::string_view(buffer_).substr(0, head_end))) {
+      return state_;
+    }
+    buffer_.erase(0, head_end + head_len);
+    head_done_ = true;
+  }
+
+  if (buffer_.size() < body_expected_) return State::kNeedMore;
+  request_.body = buffer_.substr(0, body_expected_);
+  buffer_.erase(0, body_expected_);
+  state_ = State::kDone;
+  return state_;
+}
+
+void HttpRequestParser::Reset() {
+  request_ = HttpRequest();
+  head_done_ = false;
+  body_expected_ = 0;
+  error_.clear();
+  error_status_ = 400;
+  state_ = State::kNeedMore;
+}
+
+bool ParseHttpResponseBlob(std::string_view blob, int* status,
+                           std::map<std::string, std::string>* headers,
+                           std::string* body) {
+  size_t head_end = blob.find("\r\n\r\n");
+  size_t head_len = 4;
+  if (head_end == std::string_view::npos) {
+    head_end = blob.find("\n\n");
+    head_len = 2;
+  }
+  if (head_end == std::string_view::npos) return false;
+  std::string_view head = blob.substr(0, head_end);
+
+  size_t line_end = head.find('\n');
+  std::string_view status_line =
+      Trim(head.substr(0, line_end == std::string_view::npos ? head.size()
+                                                             : line_end));
+  if (status_line.substr(0, 5) != "HTTP/") return false;
+  size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos || sp + 4 > status_line.size()) return false;
+  *status = std::atoi(std::string(status_line.substr(sp + 1, 3)).c_str());
+  if (*status < 100 || *status > 599) return false;
+
+  headers->clear();
+  while (line_end != std::string_view::npos) {
+    size_t start = line_end + 1;
+    line_end = head.find('\n', start);
+    std::string_view line = head.substr(
+        start, line_end == std::string_view::npos ? head.size() - start
+                                                  : line_end - start);
+    line = Trim(line);
+    if (line.empty()) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return false;
+    (*headers)[ToLower(Trim(line.substr(0, colon)))] =
+        std::string(Trim(line.substr(colon + 1)));
+  }
+
+  *body = std::string(blob.substr(head_end + head_len));
+  auto it = headers->find("content-length");
+  if (it != headers->end()) {
+    char* end = nullptr;
+    unsigned long long expected = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') return false;
+    if (body->size() < expected) return false;
+    body->resize(static_cast<size_t>(expected));
+  }
+  return true;
+}
+
+}  // namespace htd::net

@@ -1,0 +1,116 @@
+// Minimal HTTP/1.1 message handling for the decomposition server.
+//
+// Implements exactly the slice the wire protocol (docs/SERVER.md) needs and
+// nothing more: request parsing with Content-Length bodies, response
+// serialisation, and client-side response parsing for tools/hdclient.cc.
+// No chunked transfer encoding (rejected with 501 by the server), no TLS,
+// no multipart. The parser is incremental and socket-agnostic — it consumes
+// byte chunks from any source, which keeps it unit-testable without a
+// network (tests/http_test.cc).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace htd::net {
+
+struct HttpRequest {
+  std::string method;  ///< upper-case, e.g. "GET"
+  std::string target;  ///< raw request target, e.g. "/v1/decompose?k=3"
+  std::string path;    ///< target up to '?', percent-decoded
+  std::string version; ///< as sent, e.g. "HTTP/1.1"
+  std::map<std::string, std::string> query;    ///< decoded query parameters
+  std::map<std::string, std::string> headers;  ///< keys lower-cased
+  std::string body;
+
+  /// Query parameter lookup with a default.
+  std::string QueryOr(const std::string& key, const std::string& fallback) const;
+
+  /// True when the sender expects the connection to close after the
+  /// response: an explicit `Connection: close` (case-insensitive, RFC 9110
+  /// §7.6.1) or HTTP/1.0 without `Connection: keep-alive`.
+  bool WantsClose() const;
+};
+
+/// ASCII case-insensitive equality (header values are operator/client input).
+bool AsciiIEquals(std::string_view a, std::string_view b);
+
+struct HttpResponse {
+  int status = 200;
+  /// Extra headers; Content-Length and Connection are added by the
+  /// serialiser / server.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Canonical reason phrase for the status codes the server emits.
+std::string_view StatusReason(int status);
+
+/// Serialises a response, adding Content-Type, Content-Length, and the given
+/// Connection header value ("keep-alive" or "close").
+std::string SerializeResponse(const HttpResponse& response,
+                              std::string_view connection);
+
+/// Percent-decodes %XX escapes and '+' (as space). Invalid escapes are kept
+/// verbatim rather than rejected — query strings are operator input here.
+std::string UrlDecode(std::string_view text);
+
+/// Incremental request parser: feed Consume() whatever the socket yields
+/// until it stops returning kNeedMore. One parser instance handles one
+/// request; call Reset() between keep-alive requests (bytes beyond the first
+/// request are retained and re-examined after Reset).
+class HttpRequestParser {
+ public:
+  enum class State { kNeedMore, kDone, kError };
+
+  struct Limits {
+    size_t max_head_bytes = 64 * 1024;
+    size_t max_body_bytes = 64 * 1024 * 1024;
+  };
+
+  HttpRequestParser() = default;
+  explicit HttpRequestParser(Limits limits) : limits_(limits) {}
+
+  State Consume(std::string_view bytes);
+  /// Re-examines already-buffered bytes without new input (used after Reset
+  /// when the previous read pulled in the start of the next request).
+  State Continue() { return Consume({}); }
+
+  const HttpRequest& request() const { return request_; }
+  /// Human-readable parse failure; meaningful in state kError.
+  const std::string& error() const { return error_; }
+  /// Suggested response status for a parse failure (400 or 413 or 501).
+  int error_status() const { return error_status_; }
+
+  /// Clears the parsed request but keeps unconsumed buffered bytes (HTTP
+  /// pipelining / back-to-back keep-alive requests).
+  void Reset();
+
+ private:
+  State Fail(int status, std::string message);
+  bool ParseHead(std::string_view head);
+
+  Limits limits_;
+  std::string buffer_;
+  bool head_done_ = false;
+  size_t body_expected_ = 0;
+  HttpRequest request_;
+  std::string error_;
+  int error_status_ = 400;
+  State state_ = State::kNeedMore;
+};
+
+/// Parses a complete serialised response (status line, headers, body) as
+/// read by a Connection: close client. Returns false on malformed input.
+/// If Content-Length is present, the body is truncated/validated against it;
+/// otherwise everything after the blank line is the body.
+bool ParseHttpResponseBlob(std::string_view blob, int* status,
+                           std::map<std::string, std::string>* headers,
+                           std::string* body);
+
+}  // namespace htd::net

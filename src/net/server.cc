@@ -1,0 +1,136 @@
+#include "net/server.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace htd::net {
+
+HttpServer::HttpServer(Options options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {
+  HTD_CHECK(handler_ != nullptr);
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+util::Status HttpServer::Start() {
+  if (running()) return util::Status::FailedPrecondition("server already running");
+  auto listener = util::ListenTcp(options_.host, options_.port,
+                                  std::max(1, options_.backlog));
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  port_ = util::LocalPort(listener_.fd());
+  io_pool_ = std::make_unique<util::ThreadPool>(std::max(1, options_.io_threads));
+  // Every IO thread must be able to hold a connection, or the pool would
+  // starve below its own concurrency.
+  options_.max_connections = std::max(options_.max_connections, options_.io_threads);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return util::Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // The acceptor polls with a 100 ms timeout, so it observes running_ ==
+  // false within one tick; only then is the listener closed (closing first
+  // would race the acceptor's use of the fd).
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.Close();
+  {
+    // Unblock every connection thread parked in recv (read-side shutdown:
+    // they see EOF and bail out on running_ == false) without cutting the
+    // write side — a handler mid-response can still flush it.
+    std::lock_guard<std::mutex> lock(live_mutex_);
+    for (int fd : live_fds_) util::ShutdownRead(fd);
+  }
+  io_pool_->WaitIdle();
+  io_pool_.reset();
+}
+
+void HttpServer::AcceptLoop() {
+  while (running()) {
+    util::Socket conn = util::AcceptWithTimeout(listener_.fd(), /*timeout_ms=*/100);
+    if (!conn.valid()) continue;
+    {
+      // Transport-level shedding: beyond max_connections the connection is
+      // refused right here, on the acceptor thread — queueing it as an IO
+      // task would let a synchronous-request flood grow the pool's queue
+      // without bound (the application queue bound can't see it until a
+      // handler thread picks it up).
+      std::lock_guard<std::mutex> lock(live_mutex_);
+      if (static_cast<int>(live_fds_.size()) >= options_.max_connections) {
+        connections_shed_.fetch_add(1, std::memory_order_relaxed);
+        HttpResponse response;
+        response.status = 503;
+        response.headers.emplace_back(
+            "Retry-After", std::to_string(options_.retry_after_seconds));
+        response.body = "{\"error\": \"server at connection capacity; retry later\"}\n";
+        util::SendAll(conn.fd(), SerializeResponse(response, "close"));
+        continue;  // conn's destructor closes the socket
+      }
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    int fd = conn.Release();
+    {
+      std::lock_guard<std::mutex> lock(live_mutex_);
+      live_fds_.insert(fd);
+    }
+    io_pool_->Submit([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  util::Socket conn(fd);
+  util::SetRecvTimeout(fd, options_.idle_timeout_seconds);
+  // A stalled peer must not park this thread in send() forever — Stop()'s
+  // WaitIdle waits on it.
+  util::SetSendTimeout(fd, options_.idle_timeout_seconds);
+  HttpRequestParser parser(options_.limits);
+  char buffer[16 * 1024];
+
+  while (running()) {
+    HttpRequestParser::State state = parser.Continue();
+    while (state == HttpRequestParser::State::kNeedMore) {
+      long n = util::RecvSome(fd, buffer, sizeof(buffer));
+      if (n <= 0) goto done;  // peer close, error, or idle timeout
+      if (!running()) goto done;
+      state = parser.Consume(std::string_view(buffer, static_cast<size_t>(n)));
+    }
+
+    if (state == HttpRequestParser::State::kError) {
+      HttpResponse response;
+      response.status = parser.error_status();
+      response.body = "{\"error\": \"" + parser.error() + "\"}\n";
+      util::SendAll(fd, SerializeResponse(response, "close"));
+      goto done;
+    }
+
+    {
+      const HttpRequest& request = parser.request();
+      bool close = request.WantsClose();
+      HttpResponse response;
+      // The handler is application code; a stray exception must cost one
+      // 500, not the connection thread.
+      try {
+        response = handler_(request);
+      } catch (...) {
+        response = HttpResponse();
+        response.status = 500;
+        response.body = "{\"error\": \"internal server error\"}\n";
+      }
+      if (!util::SendAll(
+              fd, SerializeResponse(response, close ? "close" : "keep-alive"))) {
+        goto done;
+      }
+      if (close) goto done;
+    }
+    parser.Reset();
+  }
+
+done : {
+  std::lock_guard<std::mutex> lock(live_mutex_);
+  live_fds_.erase(fd);
+}
+}
+
+}  // namespace htd::net

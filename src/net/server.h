@@ -1,0 +1,97 @@
+// Threaded blocking HTTP/1.1 server.
+//
+// One acceptor thread polls the listening socket; each accepted connection
+// is served on the IO thread pool (util::ThreadPool) with keep-alive and a
+// per-read idle timeout. The server is transport only — it knows nothing
+// about decompositions; the application routes live in
+// net/decomposition_server.{h,cc} behind the Handler callback.
+//
+// Shutdown: Stop() closes the listener, shuts down every live connection
+// socket (unblocking threads parked in recv), and joins the acceptor. It is
+// idempotent and called from the destructor.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "net/http.h"
+#include "util/socket.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace htd::net {
+
+class HttpServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 = kernel-assigned ephemeral port (tests); read it back via port().
+    int port = 0;
+    int backlog = 64;
+    /// Connection-serving threads. Requests block these for their full
+    /// duration (including synchronous solves), so size ≥ the expected
+    /// concurrent client count.
+    int io_threads = 8;
+    /// Live-connection bound: connections accepted beyond it are answered
+    /// 503 + Retry-After and closed on the acceptor thread, WITHOUT queueing
+    /// an IO task. This is the transport-level half of load shedding — it is
+    /// what keeps a flood of *synchronous* requests from parking unboundedly
+    /// in the IO pool's queue (the application-level queue bound only sees
+    /// jobs once a handler thread runs).
+    int max_connections = 64;
+    /// Retry-After value on connection-level 503s.
+    int retry_after_seconds = 1;
+    /// Keep-alive connections idle longer than this are closed.
+    double idle_timeout_seconds = 30.0;
+    HttpRequestParser::Limits limits;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(Options options, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the acceptor thread.
+  util::Status Start();
+  /// Stops accepting, tears down live connections, joins the acceptor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (valid after a successful Start()).
+  int port() const { return port_; }
+  /// Connections accepted over the server's lifetime.
+  uint64_t connections_accepted() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+  /// Connections refused with 503 because max_connections was reached.
+  uint64_t connections_shed() const {
+    return connections_shed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Options options_;
+  Handler handler_;
+  util::Socket listener_;
+  int port_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> connections_shed_{0};
+  std::thread acceptor_;
+  std::unique_ptr<util::ThreadPool> io_pool_;
+
+  std::mutex live_mutex_;
+  std::unordered_set<int> live_fds_;  // guarded by live_mutex_
+};
+
+}  // namespace htd::net

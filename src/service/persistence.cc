@@ -1,0 +1,491 @@
+#include "service/persistence.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace htd::service {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'T', 'D', 'S', 'N', 'A', 'P', '1'};
+constexpr size_t kHeaderBytes = 8 + 4 + 8 + 8 + 8;
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian byte writer / bounds-checked reader over std::string.
+
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  void PutI32(int v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+  void PutIntVec(const std::vector<int>& v) {
+    PutU32(static_cast<uint32_t>(v.size()));
+    for (int x : v) PutI32(x);
+  }
+  void PutTraces(const std::vector<std::vector<int>>& traces) {
+    PutU32(static_cast<uint32_t>(traces.size()));
+    for (const std::vector<int>& trace : traces) PutIntVec(trace);
+  }
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool GetU32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool GetI32(int* v) {
+    uint32_t raw;
+    if (!GetU32(&raw)) return false;
+    *v = static_cast<int>(raw);
+    return true;
+  }
+  bool GetI64(int64_t* v) {
+    uint64_t raw;
+    if (!GetU64(&raw)) return false;
+    *v = static_cast<int64_t>(raw);
+    return true;
+  }
+  bool GetLong(long* v) {
+    int64_t raw;
+    if (!GetI64(&raw)) return false;
+    *v = static_cast<long>(raw);
+    return true;
+  }
+  bool GetDouble(double* v) {
+    uint64_t bits;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool GetIntVec(std::vector<int>* v) {
+    uint32_t count;
+    if (!GetU32(&count)) return false;
+    v->clear();
+    for (uint32_t i = 0; i < count; ++i) {
+      int x;
+      if (!GetI32(&x)) return false;
+      v->push_back(x);
+    }
+    return true;
+  }
+  bool GetTraces(std::vector<std::vector<int>>* traces) {
+    uint32_t count;
+    if (!GetU32(&count)) return false;
+    traces->clear();
+    for (uint32_t i = 0; i < count; ++i) {
+      std::vector<int> trace;
+      if (!GetIntVec(&trace)) return false;
+      traces->push_back(std::move(trace));
+    }
+    return true;
+  }
+
+  bool Done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// SolveResult (cache values).
+
+void WriteSolveStats(ByteWriter& w, const SolveStats& stats) {
+  w.PutI64(stats.separators_tried);
+  w.PutI64(stats.recursive_calls);
+  w.PutI32(stats.max_recursion_depth);
+  w.PutI64(stats.cache_hits);
+  w.PutI64(stats.detk_subproblems);
+  w.PutI64(stats.store_negative_hits);
+  w.PutI64(stats.store_positive_hits);
+  w.PutI64(stats.work_total);
+  w.PutI64(stats.work_parallel);
+  w.PutDouble(stats.seconds);
+}
+
+bool ReadSolveStats(ByteReader& r, SolveStats* stats) {
+  return r.GetLong(&stats->separators_tried) && r.GetLong(&stats->recursive_calls) &&
+         r.GetI32(&stats->max_recursion_depth) && r.GetLong(&stats->cache_hits) &&
+         r.GetLong(&stats->detk_subproblems) &&
+         r.GetLong(&stats->store_negative_hits) &&
+         r.GetLong(&stats->store_positive_hits) && r.GetLong(&stats->work_total) &&
+         r.GetLong(&stats->work_parallel) && r.GetDouble(&stats->seconds);
+}
+
+void WriteDecomposition(ByteWriter& w, const Decomposition& decomp) {
+  const int universe =
+      decomp.num_nodes() > 0 ? decomp.node(0).chi.size_bits() : 0;
+  w.PutI32(universe);
+  w.PutU32(static_cast<uint32_t>(decomp.num_nodes()));
+  // Decomposition::AddNode assigns ids in insertion order with parents
+  // preceding children, so writing nodes in id order round-trips.
+  for (int i = 0; i < decomp.num_nodes(); ++i) {
+    const DecompNode& node = decomp.node(i);
+    w.PutI32(node.parent);
+    w.PutIntVec(node.lambda);
+    w.PutIntVec(node.chi.ToVector());
+  }
+}
+
+bool ReadDecomposition(ByteReader& r, std::optional<Decomposition>* out) {
+  int universe;
+  uint32_t num_nodes;
+  if (!r.GetI32(&universe) || !r.GetU32(&num_nodes)) return false;
+  if (universe < 0) return false;
+  Decomposition decomp;
+  int roots = 0;
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    int parent;
+    std::vector<int> lambda, chi_list;
+    if (!r.GetI32(&parent) || !r.GetIntVec(&lambda) || !r.GetIntVec(&chi_list)) {
+      return false;
+    }
+    // Validate before AddNode: its invariants are CHECKs, and a corrupt
+    // snapshot must produce a clean error, not a process abort.
+    if (parent < -1 || parent >= static_cast<int>(i)) return false;
+    if (parent == -1 && ++roots > 1) return false;
+    util::DynamicBitset chi(universe);
+    for (int v : chi_list) {
+      if (v < 0 || v >= universe) return false;
+      chi.Set(v);
+    }
+    for (int e : lambda) {
+      if (e < 0) return false;
+    }
+    decomp.AddNode(std::move(lambda), std::move(chi), parent);
+  }
+  if (num_nodes > 0 && roots != 1) return false;
+  if (num_nodes > 0) {
+    *out = std::move(decomp);
+  } else {
+    out->reset();
+  }
+  return true;
+}
+
+void WriteCacheEntry(ByteWriter& w, const CacheKey& key, const SolveResult& result) {
+  w.PutU64(key.fingerprint.hi);
+  w.PutU64(key.fingerprint.lo);
+  w.PutI32(key.k);
+  w.PutU64(key.config_digest);
+  w.PutU8(static_cast<uint8_t>(result.outcome));
+  WriteSolveStats(w, result.stats);
+  w.PutU8(result.decomposition.has_value() ? 1 : 0);
+  if (result.decomposition.has_value()) {
+    WriteDecomposition(w, *result.decomposition);
+  }
+}
+
+bool ReadCacheEntry(ByteReader& r, CacheKey* key, SolveResult* result) {
+  uint8_t outcome, has_decomp;
+  if (!r.GetU64(&key->fingerprint.hi) || !r.GetU64(&key->fingerprint.lo) ||
+      !r.GetI32(&key->k) || !r.GetU64(&key->config_digest) || !r.GetU8(&outcome) ||
+      !ReadSolveStats(r, &result->stats) || !r.GetU8(&has_decomp)) {
+    return false;
+  }
+  if (outcome > static_cast<uint8_t>(Outcome::kError) || has_decomp > 1) return false;
+  result->outcome = static_cast<Outcome>(outcome);
+  if (has_decomp == 1) {
+    if (!ReadDecomposition(r, &result->decomposition)) return false;
+  } else {
+    result->decomposition.reset();
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Subproblem-store entries.
+
+void WriteFragment(ByteWriter& w, const PortableFragment& fragment) {
+  w.PutI32(fragment.root);
+  w.PutU32(static_cast<uint32_t>(fragment.nodes.size()));
+  for (const PortableFragmentNode& node : fragment.nodes) {
+    w.PutI32(node.special);
+    w.PutIntVec(node.lambda);
+    w.PutIntVec(node.chi);
+    w.PutIntVec(node.children);
+  }
+}
+
+bool ReadFragment(ByteReader& r, PortableFragment* fragment) {
+  uint32_t num_nodes;
+  if (!r.GetI32(&fragment->root) || !r.GetU32(&num_nodes)) return false;
+  fragment->nodes.clear();
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    PortableFragmentNode node;
+    if (!r.GetI32(&node.special) || !r.GetIntVec(&node.lambda) ||
+        !r.GetIntVec(&node.chi) || !r.GetIntVec(&node.children)) {
+      return false;
+    }
+    fragment->nodes.push_back(std::move(node));
+  }
+  const int n = static_cast<int>(fragment->nodes.size());
+  if (fragment->root < 0 || fragment->root >= n) return false;
+  for (const PortableFragmentNode& node : fragment->nodes) {
+    for (int child : node.children) {
+      if (child < 0 || child >= n) return false;
+    }
+  }
+  return true;
+}
+
+void WriteStoreEntry(ByteWriter& w, const SubproblemStore::ExportedEntry& entry) {
+  w.PutU64(entry.fingerprint.hi);
+  w.PutU64(entry.fingerprint.lo);
+  w.PutI32(entry.k);
+  w.PutU32(static_cast<uint32_t>(entry.negatives.size()));
+  for (const auto& traces : entry.negatives) w.PutTraces(traces);
+  w.PutU32(static_cast<uint32_t>(entry.positives.size()));
+  for (const SubproblemStore::ExportedPositive& positive : entry.positives) {
+    w.PutTraces(positive.traces);
+    WriteFragment(w, positive.fragment);
+  }
+}
+
+bool ReadStoreEntry(ByteReader& r, SubproblemStore::ExportedEntry* entry) {
+  uint32_t neg_count, pos_count;
+  if (!r.GetU64(&entry->fingerprint.hi) || !r.GetU64(&entry->fingerprint.lo) ||
+      !r.GetI32(&entry->k) || !r.GetU32(&neg_count)) {
+    return false;
+  }
+  entry->negatives.clear();
+  for (uint32_t i = 0; i < neg_count; ++i) {
+    std::vector<std::vector<int>> traces;
+    if (!r.GetTraces(&traces)) return false;
+    entry->negatives.push_back(std::move(traces));
+  }
+  if (!r.GetU32(&pos_count)) return false;
+  entry->positives.clear();
+  for (uint32_t i = 0; i < pos_count; ++i) {
+    SubproblemStore::ExportedPositive positive;
+    if (!r.GetTraces(&positive.traces) || !ReadFragment(r, &positive.fragment)) {
+      return false;
+    }
+    entry->positives.push_back(std::move(positive));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(ResultCache* cache, SubproblemStore* store,
+                           uint64_t config_digest) {
+  ByteWriter payload;
+
+  std::vector<std::pair<CacheKey, SolveResult>> cache_entries;
+  if (cache != nullptr) {
+    cache->ForEach([&](const CacheKey& key, const SolveResult& result) {
+      cache_entries.emplace_back(key, result);
+    });
+  }
+  payload.PutU64(cache_entries.size());
+  for (const auto& [key, result] : cache_entries) {
+    WriteCacheEntry(payload, key, result);
+  }
+
+  std::vector<SubproblemStore::ExportedEntry> store_entries;
+  if (store != nullptr) store_entries = store->Export();
+  payload.PutU64(store_entries.size());
+  for (const SubproblemStore::ExportedEntry& entry : store_entries) {
+    WriteStoreEntry(payload, entry);
+  }
+
+  std::string body = payload.Take();
+  ByteWriter header;
+  header.PutU8(kMagic[0]);
+  for (int i = 1; i < 8; ++i) header.PutU8(static_cast<uint8_t>(kMagic[i]));
+  header.PutU32(kSnapshotVersion);
+  header.PutU64(config_digest);
+  header.PutU64(body.size());
+  header.PutU64(Fnv1a64(body));
+  std::string out = header.Take();
+  out += body;
+  return out;
+}
+
+util::StatusOr<SnapshotStats> DecodeSnapshot(const std::string& bytes,
+                                             ResultCache* cache,
+                                             SubproblemStore* store) {
+  if (bytes.size() < kHeaderBytes) {
+    return util::Status::InvalidArgument("snapshot truncated: shorter than header");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::InvalidArgument("not a snapshot file (bad magic)");
+  }
+  ByteReader header(std::string_view(bytes).substr(sizeof(kMagic),
+                                                   kHeaderBytes - sizeof(kMagic)));
+  uint32_t version;
+  uint64_t config_digest, payload_size, checksum;
+  header.GetU32(&version);
+  header.GetU64(&config_digest);
+  header.GetU64(&payload_size);
+  header.GetU64(&checksum);
+  if (version != kSnapshotVersion) {
+    return util::Status::FailedPrecondition(
+        "snapshot version mismatch: file has v" + std::to_string(version) +
+        ", this build reads v" + std::to_string(kSnapshotVersion));
+  }
+  std::string_view payload = std::string_view(bytes).substr(kHeaderBytes);
+  if (payload.size() != payload_size) {
+    return util::Status::InvalidArgument(
+        "snapshot truncated or padded: payload is " +
+        std::to_string(payload.size()) + " bytes, header promises " +
+        std::to_string(payload_size));
+  }
+  if (Fnv1a64(payload) != checksum) {
+    return util::Status::InvalidArgument("snapshot corrupt: checksum mismatch");
+  }
+
+  // Decode everything into staging vectors first: a snapshot that fails
+  // mid-payload must leave the cache and store untouched.
+  ByteReader r(payload);
+  uint64_t cache_count;
+  if (!r.GetU64(&cache_count)) {
+    return util::Status::InvalidArgument("snapshot corrupt: cache section header");
+  }
+  std::vector<std::pair<CacheKey, SolveResult>> cache_entries;
+  for (uint64_t i = 0; i < cache_count; ++i) {
+    CacheKey key;
+    SolveResult result;
+    if (!ReadCacheEntry(r, &key, &result)) {
+      return util::Status::InvalidArgument(
+          "snapshot corrupt: cache entry " + std::to_string(i));
+    }
+    cache_entries.emplace_back(std::move(key), std::move(result));
+  }
+  uint64_t store_count;
+  if (!r.GetU64(&store_count)) {
+    return util::Status::InvalidArgument("snapshot corrupt: store section header");
+  }
+  std::vector<SubproblemStore::ExportedEntry> store_entries;
+  for (uint64_t i = 0; i < store_count; ++i) {
+    SubproblemStore::ExportedEntry entry;
+    if (!ReadStoreEntry(r, &entry)) {
+      return util::Status::InvalidArgument(
+          "snapshot corrupt: store entry " + std::to_string(i));
+    }
+    store_entries.push_back(std::move(entry));
+  }
+  if (!r.Done()) {
+    return util::Status::InvalidArgument("snapshot corrupt: trailing bytes");
+  }
+
+  // Sections are written most- to least-recently used, so restoring in
+  // reverse re-creates the LRU order (modulo shard-boundary effects when the
+  // restoring cache is sharded or sized differently).
+  if (cache != nullptr) {
+    for (auto it = cache_entries.rbegin(); it != cache_entries.rend(); ++it) {
+      cache->Insert(it->first, it->second);
+    }
+  }
+  if (store != nullptr) {
+    for (auto it = store_entries.rbegin(); it != store_entries.rend(); ++it) {
+      store->Import(*it);
+    }
+  }
+
+  SnapshotStats stats;
+  stats.cache_entries = cache_entries.size();
+  stats.store_entries = store_entries.size();
+  stats.bytes = bytes.size();
+  return stats;
+}
+
+util::StatusOr<SnapshotStats> SaveSnapshot(const std::string& path,
+                                           ResultCache* cache,
+                                           SubproblemStore* store,
+                                           uint64_t config_digest) {
+  std::string bytes = EncodeSnapshot(cache, store, config_digest);
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return util::Status::Internal("cannot open " + tmp_path + " for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      return util::Status::Internal("short write to " + tmp_path);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    return util::Status::Internal("cannot rename snapshot into place: " +
+                                  ec.message());
+  }
+  SnapshotStats stats;
+  stats.bytes = bytes.size();
+  if (cache != nullptr) stats.cache_entries = cache->num_entries();
+  if (store != nullptr) stats.store_entries = store->num_entries();
+  return stats;
+}
+
+util::StatusOr<SnapshotStats> LoadSnapshot(const std::string& path,
+                                           ResultCache* cache,
+                                           SubproblemStore* store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Status::NotFound("no snapshot at " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return util::Status::Internal("error reading " + path);
+  }
+  return DecodeSnapshot(bytes, cache, store);
+}
+
+}  // namespace htd::service

@@ -56,6 +56,16 @@ void ResultCache::Insert(const CacheKey& key, const SolveResult& result) {
   entries_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ResultCache::ForEach(
+    const std::function<void(const CacheKey&, const SolveResult&)>& fn) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const Entry& entry : shard->lru) {
+      fn(entry.key, entry.result);
+    }
+  }
+}
+
 void ResultCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);

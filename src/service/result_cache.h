@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -75,6 +76,12 @@ class ResultCache {
 
   /// Drops every entry (stats are kept).
   void Clear();
+
+  /// Visits every resident entry, shard by shard, most- to least-recently
+  /// used within a shard. Holds one shard lock at a time; do not call back
+  /// into the same cache from `fn`. Used by the snapshot writer
+  /// (service/persistence.h).
+  void ForEach(const std::function<void(const CacheKey&, const SolveResult&)>& fn);
 
   Stats GetStats() const;
   size_t num_entries() const;

@@ -1,11 +1,21 @@
 #include "service/scheduler.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
 #include "util/logging.h"
 
 namespace htd::service {
+
+int PickAutoThreads(int pool_threads, int queue_depth) {
+  if (pool_threads < 1) pool_threads = 1;
+  if (queue_depth < 1) queue_depth = 1;
+  // Even split of the pool over outstanding flights, floored at one: a lone
+  // job gets the whole pool, `pool_threads` or more queued jobs get one
+  // thread each (inter-job parallelism already saturates the workers).
+  return std::max(1, pool_threads / queue_depth);
+}
 
 BatchScheduler::BatchScheduler(util::ThreadPool& pool, SolverFactoryFn factory,
                                const SolveOptions& solve_options,
@@ -110,6 +120,17 @@ std::future<JobResult> BatchScheduler::Admit(
 void BatchScheduler::RunFlight(const std::shared_ptr<Flight>& flight) {
   SolveOptions options = solve_options_;
   options.cancel = &flight->token;
+  if (options.num_threads == 0) {
+    // Auto mode: batch-aware thread feedback (ROADMAP). The queue depth is
+    // sampled at flight start — few outstanding flights ⇒ wide intra-solve
+    // parallelism, a deep queue ⇒ one thread each.
+    int depth;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      depth = pending_flights_;
+    }
+    options.num_threads = PickAutoThreads(pool_.num_threads(), depth);
+  }
   SolveResult result;
   // A throwing solve must not leak the flight: waiters would see
   // broken_promise and Drain() would block forever on the stale inflight_
@@ -143,6 +164,7 @@ void BatchScheduler::RunFlight(const std::shared_ptr<Flight>& flight) {
     job_result.fingerprint = flight->key.fingerprint;
     job_result.deduplicated = waiter.deduplicated;
     job_result.seconds = seconds;
+    job_result.threads_used = options.num_threads;
     completed_.fetch_add(1, std::memory_order_relaxed);
     waiter.promise.set_value(std::move(job_result));
   }
@@ -169,6 +191,21 @@ void BatchScheduler::Drain() {
   // worker is still in that fan-out (see the tail of RunFlight).
   std::unique_lock<std::mutex> lock(mutex_);
   drained_.wait(lock, [this] { return pending_flights_ == 0; });
+}
+
+int BatchScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_flights_;
+}
+
+uint64_t BatchScheduler::outstanding_jobs() const {
+  // completed_ is incremented just before each promise is fulfilled, so this
+  // can transiently UNDER-count by the jobs mid-fan-out (their waiters are
+  // already counted completed). Callers use it as an approximate
+  // load-shedding threshold, not an exact semaphore.
+  uint64_t submitted = submitted_.load(std::memory_order_relaxed);
+  uint64_t completed = completed_.load(std::memory_order_relaxed);
+  return submitted >= completed ? submitted - completed : 0;
 }
 
 BatchScheduler::Stats BatchScheduler::GetStats() const {

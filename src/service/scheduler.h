@@ -55,7 +55,18 @@ struct JobResult {
   /// Cache hits report 0.0 (no flight ran); dedup joiners share the leader's
   /// clock rather than measuring from their own admission.
   double seconds = 0.0;
+  /// Intra-solve threads the flight actually ran with — equal to the
+  /// configured SolveOptions::num_threads, or the occupancy-derived pick when
+  /// that was 0 (auto). Cache hits report 0 (no flight ran).
+  int threads_used = 0;
 };
+
+/// Intra-solve thread count for auto mode (SolveOptions::num_threads == 0):
+/// splits the worker pool evenly over the flights currently outstanding, so
+/// a lone job fans its separator search across the whole pool while a deep
+/// queue runs one thread per job and lets inter-job parallelism saturate it.
+/// `queue_depth` counts this flight itself (>= 1 when called from one).
+int PickAutoThreads(int pool_threads, int queue_depth);
 
 class BatchScheduler {
  public:
@@ -94,6 +105,17 @@ class BatchScheduler {
 
   Stats GetStats() const;
 
+  /// Flights admitted but not yet fanned out — the scheduler's live queue
+  /// depth. Cache hits and dedup joins never appear here; this is the number
+  /// of solver runs outstanding. Feeds the auto thread pick (PickAutoThreads)
+  /// and the admission-control surface (net/decomposition_server.h).
+  int queue_depth() const;
+
+  /// Jobs admitted whose futures have not resolved yet (includes every
+  /// waiter of a shared flight, unlike queue_depth). The admission bound in
+  /// front of the scheduler sheds load against this number.
+  uint64_t outstanding_jobs() const;
+
  private:
   struct Waiter {
     std::promise<JobResult> promise;
@@ -120,7 +142,7 @@ class BatchScheduler {
   ResultCache* cache_;
   uint64_t config_digest_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable drained_;
   std::unordered_map<CacheKey, std::shared_ptr<Flight>, CacheKeyHash> inflight_;
   /// Flights admitted but whose fan-out has not finished. Outlives the

@@ -36,6 +36,10 @@ util::StatusOr<std::unique_ptr<DecompositionService>> DecompositionService::Crea
   if (options.num_workers < 1) {
     return util::Status::InvalidArgument("num_workers must be >= 1");
   }
+  if (options.solve.num_threads < 0) {
+    return util::Status::InvalidArgument(
+        "solve.num_threads must be >= 0 (0 = batch-aware auto)");
+  }
   if (options.enable_result_cache && options.cache_capacity < 1) {
     return util::Status::InvalidArgument("cache_capacity must be >= 1");
   }
@@ -89,6 +93,12 @@ ResultCache::Stats DecompositionService::cache_stats() const {
 
 BatchScheduler::Stats DecompositionService::scheduler_stats() const {
   return scheduler_->GetStats();
+}
+
+int DecompositionService::queue_depth() const { return scheduler_->queue_depth(); }
+
+uint64_t DecompositionService::outstanding_jobs() const {
+  return scheduler_->outstanding_jobs();
 }
 
 SubproblemStore::Stats DecompositionService::subproblem_stats() const {

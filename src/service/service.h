@@ -33,7 +33,11 @@ namespace htd::service {
 /// ServiceOptions extends SolveOptions with the service-level knobs.
 struct ServiceOptions {
   /// Base solver configuration; `cancel` is ignored (deadlines are per-job),
-  /// `num_threads` configures intra-solve parallelism.
+  /// `num_threads` configures intra-solve parallelism. num_threads == 0
+  /// enables batch-aware auto mode: each flight picks its thread count from
+  /// the scheduler's queue depth at start (service/scheduler.h:
+  /// PickAutoThreads) — few queued jobs run wide, a deep queue runs one
+  /// thread per job.
   SolveOptions solve;
 
   /// Solver registry name (core/solver_factory.h): "logk", "logk-basic",
@@ -96,7 +100,17 @@ class DecompositionService {
   BatchScheduler::Stats scheduler_stats() const;
   /// Zeroed stats when the subproblem store is disabled.
   SubproblemStore::Stats subproblem_stats() const;
+  /// Solver runs outstanding (admitted flights not yet fanned out).
+  int queue_depth() const;
+  /// Jobs admitted whose futures have not resolved yet; the admission-control
+  /// front-end (net/decomposition_server.h) sheds load against this.
+  uint64_t outstanding_jobs() const;
   const ServiceOptions& options() const { return options_; }
+
+  /// Warm state, for snapshot/restore (service/persistence.h). Null when the
+  /// corresponding layer is disabled.
+  ResultCache* result_cache() { return cache_.get(); }
+  SubproblemStore* subproblem_store() { return subproblem_store_.get(); }
 
  private:
   ServiceOptions options_;

@@ -230,21 +230,25 @@ SubproblemStore::Hit SubproblemStore::Lookup(const Key& key, const Hypergraph& g
 }
 
 void SubproblemStore::InsertNegative(const Key& key) {
-  MapKey map_key{key.fingerprint, key.k};
+  InsertNegativeVariant(MapKey{key.fingerprint, key.k}, key.allowed_traces);
+}
+
+void SubproblemStore::InsertNegativeVariant(
+    const MapKey& map_key, const std::vector<std::vector<int>>& traces) {
   Shard& shard = ShardFor(map_key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   Entry& entry = *Touch(shard, map_key);
   for (const NegativeVariant& variant : entry.negatives) {
-    if (TraceSubset(key.allowed_traces, variant.traces)) {
+    if (TraceSubset(traces, variant.traces)) {
       rejected_inserts_.fetch_add(1, std::memory_order_relaxed);
       return;  // already dominated
     }
   }
   // Keep the antichain: drop failure sets the new one dominates.
   std::erase_if(entry.negatives, [&](const NegativeVariant& variant) {
-    return TraceSubset(variant.traces, key.allowed_traces);
+    return TraceSubset(variant.traces, traces);
   });
-  entry.negatives.push_back(NegativeVariant{key.allowed_traces});
+  entry.negatives.push_back(NegativeVariant{traces});
   if (static_cast<int>(entry.negatives.size()) > options_.max_variants_per_key) {
     entry.negatives.erase(entry.negatives.begin());
   }
@@ -300,7 +304,11 @@ void SubproblemStore::InsertPositive(const Key& key, const Hypergraph& graph,
   }
   variant->fragment = std::move(*portable);
 
-  MapKey map_key{key.fingerprint, key.k};
+  InsertPositiveVariant(MapKey{key.fingerprint, key.k}, std::move(variant));
+}
+
+void SubproblemStore::InsertPositiveVariant(
+    const MapKey& map_key, std::shared_ptr<PositiveVariant> variant) {
   Shard& shard = ShardFor(map_key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   Entry& entry = *Touch(shard, map_key);
@@ -321,6 +329,41 @@ void SubproblemStore::InsertPositive(const Key& key, const Hypergraph& graph,
   ReaccountBytes(shard, entry);
   positive_inserts_.fetch_add(1, std::memory_order_relaxed);
   EvictOver(shard);
+}
+
+std::vector<SubproblemStore::ExportedEntry> SubproblemStore::Export() {
+  std::vector<ExportedEntry> exported;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const Entry& entry : shard->lru) {
+      ExportedEntry out;
+      out.fingerprint = entry.key.fingerprint;
+      out.k = entry.key.k;
+      out.negatives.reserve(entry.negatives.size());
+      for (const NegativeVariant& variant : entry.negatives) {
+        out.negatives.push_back(variant.traces);
+      }
+      out.positives.reserve(entry.positives.size());
+      for (const auto& variant : entry.positives) {
+        out.positives.push_back(ExportedPositive{variant->traces, variant->fragment});
+      }
+      exported.push_back(std::move(out));
+    }
+  }
+  return exported;
+}
+
+void SubproblemStore::Import(const ExportedEntry& entry) {
+  MapKey map_key{entry.fingerprint, entry.k};
+  for (const auto& traces : entry.negatives) {
+    InsertNegativeVariant(map_key, traces);
+  }
+  for (const ExportedPositive& positive : entry.positives) {
+    auto variant = std::make_shared<PositiveVariant>();
+    variant->traces = positive.traces;
+    variant->fragment = positive.fragment;
+    InsertPositiveVariant(map_key, std::move(variant));
+  }
 }
 
 void SubproblemStore::Clear() {

@@ -140,6 +140,31 @@ class SubproblemStore {
   size_t num_entries() const;
   const Options& options() const { return options_; }
 
+  /// One key's recorded outcomes in portable form, for snapshotting
+  /// (service/persistence.h). Positive fragments keep their stored token
+  /// encoding (λ tokens index into the variant's trace list), so an exported
+  /// entry re-imports losslessly into any store.
+  struct ExportedPositive {
+    std::vector<std::vector<int>> traces;
+    PortableFragment fragment;
+  };
+  struct ExportedEntry {
+    Fingerprint fingerprint;
+    int k = 0;
+    /// Failure trace sets (one vector<vector<int>> per recorded variant).
+    std::vector<std::vector<std::vector<int>>> negatives;
+    std::vector<ExportedPositive> positives;
+  };
+
+  /// Snapshots every resident entry, shard by shard, most- to least-recently
+  /// used within a shard. One shard lock held at a time.
+  std::vector<ExportedEntry> Export();
+
+  /// Merges one exported entry back in through the normal dominance /
+  /// antichain / eviction machinery, so importing into a non-empty store is
+  /// safe. Counts as ordinary inserts in the stats.
+  void Import(const ExportedEntry& entry);
+
  private:
   struct MapKey {
     Fingerprint fingerprint;
@@ -184,6 +209,13 @@ class SubproblemStore {
   /// Finds or creates the entry and moves it to the LRU front. Caller holds
   /// the shard lock.
   std::list<Entry>::iterator Touch(Shard& shard, const MapKey& key);
+  /// Dominance-checked insertion of an already-encoded positive variant;
+  /// the shared tail of InsertPositive and Import. Takes the shard lock.
+  void InsertPositiveVariant(const MapKey& map_key,
+                             std::shared_ptr<PositiveVariant> variant);
+  /// Ditto for a failure trace set.
+  void InsertNegativeVariant(const MapKey& map_key,
+                             const std::vector<std::vector<int>>& traces);
   /// Recomputes `entry.bytes` from its variants and applies the delta to the
   /// shard and global byte counters. Caller holds the shard lock.
   void ReaccountBytes(Shard& shard, Entry& entry);

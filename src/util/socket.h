@@ -1,0 +1,77 @@
+// Thin blocking TCP helpers over POSIX sockets.
+//
+// The network front-end (src/net/) deliberately uses plain blocking sockets
+// plus a util::ThreadPool rather than an event loop or an external HTTP
+// library: the request bodies are whole hypergraphs and the responses whole
+// decompositions, so per-connection threads are the simple, dependency-free
+// fit. Everything here reports through util::Status / return codes — no
+// exceptions, no global state (SIGPIPE is avoided per-send with
+// MSG_NOSIGNAL).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace htd::util {
+
+/// Owning wrapper for a socket file descriptor (closes on destruction).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// Releases ownership without closing.
+  int Release();
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on host:port (port 0 = kernel-assigned ephemeral port).
+/// SO_REUSEADDR is set so restarted servers rebind immediately.
+StatusOr<Socket> ListenTcp(const std::string& host, int port, int backlog);
+
+/// The local port a listening (or connected) socket is bound to.
+int LocalPort(int fd);
+
+/// Accepts one connection; blocks at most `timeout_ms` (so accept loops can
+/// poll a shutdown flag). Returns an invalid Socket on timeout or on a
+/// transient accept failure.
+Socket AcceptWithTimeout(int listen_fd, int timeout_ms);
+
+/// Connects to host:port; kUnavailable-flavoured Internal status on failure.
+StatusOr<Socket> ConnectTcp(const std::string& host, int port,
+                            double timeout_seconds);
+
+/// Sets SO_RCVTIMEO so blocking reads fail with EAGAIN after the timeout.
+void SetRecvTimeout(int fd, double seconds);
+
+/// Sets SO_SNDTIMEO so blocking writes to a stalled peer eventually fail.
+void SetSendTimeout(int fd, double seconds);
+
+/// Writes the whole buffer (retrying partial sends); false on any error.
+bool SendAll(int fd, std::string_view data);
+
+/// One blocking read of up to `capacity` bytes into `buffer`. Returns the
+/// byte count, 0 on orderly peer close, -1 on error, -2 on recv timeout.
+long RecvSome(int fd, char* buffer, size_t capacity);
+
+/// Half-closes the READ side only, unblocking any thread parked in recv on
+/// this fd (it sees an orderly EOF) while leaving the write side usable —
+/// an in-flight response can still be flushed. Used to tear down keep-alive
+/// connections at server stop.
+void ShutdownRead(int fd);
+
+}  // namespace htd::util

@@ -1,0 +1,184 @@
+// net/http.h: incremental request parsing, limits, serialisation, and the
+// client-side response-blob parser. Pure byte-level tests — no sockets.
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace htd::net {
+namespace {
+
+using State = HttpRequestParser::State;
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Consume("GET /v1/stats HTTP/1.1\r\nHost: x\r\n\r\n"),
+            State::kDone);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().target, "/v1/stats");
+  EXPECT_EQ(parser.request().path, "/v1/stats");
+  EXPECT_EQ(parser.request().headers.at("host"), "x");
+  EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(HttpParserTest, ParsesPostWithBody) {
+  HttpRequestParser parser;
+  std::string request =
+      "POST /v1/decompose?k=3&timeout=1.5 HTTP/1.1\r\n"
+      "Content-Length: 11\r\n\r\n"
+      "e1(a,b,c).\n";
+  EXPECT_EQ(parser.Consume(request), State::kDone);
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().path, "/v1/decompose");
+  EXPECT_EQ(parser.request().QueryOr("k", ""), "3");
+  EXPECT_EQ(parser.request().QueryOr("timeout", ""), "1.5");
+  EXPECT_EQ(parser.request().QueryOr("absent", "d"), "d");
+  EXPECT_EQ(parser.request().body, "e1(a,b,c).\n");
+}
+
+TEST(HttpParserTest, AcceptsByteAtATimeDelivery) {
+  std::string request =
+      "POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+  HttpRequestParser parser;
+  State state = State::kNeedMore;
+  for (char c : request) {
+    ASSERT_NE(state, State::kError);
+    state = parser.Consume(std::string_view(&c, 1));
+  }
+  EXPECT_EQ(state, State::kDone);
+  EXPECT_EQ(parser.request().body, "abcd");
+}
+
+TEST(HttpParserTest, KeepAlivePipelining) {
+  HttpRequestParser parser;
+  // Two requests arrive in one read; Reset keeps the tail buffered.
+  std::string both =
+      "GET /first HTTP/1.1\r\n\r\nGET /second HTTP/1.1\r\n\r\n";
+  EXPECT_EQ(parser.Consume(both), State::kDone);
+  EXPECT_EQ(parser.request().path, "/first");
+  parser.Reset();
+  EXPECT_EQ(parser.Continue(), State::kDone);
+  EXPECT_EQ(parser.request().path, "/second");
+}
+
+TEST(HttpParserTest, UrlDecoding) {
+  EXPECT_EQ(UrlDecode("a%20b+c%2Fd"), "a b c/d");
+  EXPECT_EQ(UrlDecode("no-escapes"), "no-escapes");
+  EXPECT_EQ(UrlDecode("bad%zz"), "bad%zz");  // invalid escape kept verbatim
+  EXPECT_EQ(UrlDecode("truncated%2"), "truncated%2");
+}
+
+TEST(HttpParserTest, RejectsMalformedRequestLine) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Consume("NONSENSE\r\n\r\n"), State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, RejectsNonHttpVersion) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Consume("GET / SPDY/99\r\n\r\n"), State::kError);
+}
+
+TEST(HttpParserTest, RejectsChunkedTransferEncoding) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Consume("POST /x HTTP/1.1\r\n"
+                           "Transfer-Encoding: chunked\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParserTest, RejectsOversizedBody) {
+  HttpRequestParser::Limits limits;
+  limits.max_body_bytes = 16;
+  HttpRequestParser parser(limits);
+  EXPECT_EQ(parser.Consume("POST /x HTTP/1.1\r\nContent-Length: 17\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, RejectsOversizedHead) {
+  HttpRequestParser::Limits limits;
+  limits.max_head_bytes = 64;
+  HttpRequestParser parser(limits);
+  std::string head = "GET /" + std::string(256, 'a');  // never terminated
+  EXPECT_EQ(parser.Consume(head), State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, RejectsMalformedContentLength) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Consume("POST /x HTTP/1.1\r\nContent-Length: 12abc\r\n\r\n"),
+            State::kError);
+}
+
+TEST(HttpParserTest, ToleratesBareLfSeparators) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Consume("GET /lf HTTP/1.1\nHost: y\n\n"), State::kDone);
+  EXPECT_EQ(parser.request().headers.at("host"), "y");
+}
+
+TEST(HttpResponseTest, SerializeAndReparse) {
+  HttpResponse response;
+  response.status = 202;
+  response.body = "{\"job\": \"j1\"}\n";
+  response.headers.emplace_back("Retry-After", "1");
+  std::string wire = SerializeResponse(response, "close");
+
+  int status = 0;
+  std::map<std::string, std::string> headers;
+  std::string body;
+  ASSERT_TRUE(ParseHttpResponseBlob(wire, &status, &headers, &body));
+  EXPECT_EQ(status, 202);
+  EXPECT_EQ(headers.at("retry-after"), "1");
+  EXPECT_EQ(headers.at("connection"), "close");
+  EXPECT_EQ(body, response.body);
+}
+
+TEST(HttpResponseTest, BlobParserRejectsGarbage) {
+  int status = 0;
+  std::map<std::string, std::string> headers;
+  std::string body;
+  EXPECT_FALSE(ParseHttpResponseBlob("not http at all", &status, &headers, &body));
+  EXPECT_FALSE(ParseHttpResponseBlob("HTTP/1.1 abc\r\n\r\n", &status, &headers, &body));
+  // Body shorter than Content-Length promises: truncated response.
+  EXPECT_FALSE(ParseHttpResponseBlob(
+      "HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc", &status, &headers, &body));
+}
+
+TEST(HttpParserTest, ConnectionCloseSemantics) {
+  HttpRequestParser parser;
+  ASSERT_EQ(parser.Consume("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n"),
+            State::kDone);
+  EXPECT_EQ(parser.request().version, "HTTP/1.1");
+  EXPECT_TRUE(parser.request().WantsClose()) << "header values are case-insensitive";
+
+  parser.Reset();
+  ASSERT_EQ(parser.Consume("GET / HTTP/1.1\r\n\r\n"), State::kDone);
+  EXPECT_FALSE(parser.request().WantsClose()) << "HTTP/1.1 defaults to keep-alive";
+
+  parser.Reset();
+  ASSERT_EQ(parser.Consume("GET / HTTP/1.0\r\n\r\n"), State::kDone);
+  EXPECT_TRUE(parser.request().WantsClose()) << "HTTP/1.0 defaults to close";
+
+  parser.Reset();
+  ASSERT_EQ(parser.Consume("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"),
+            State::kDone);
+  EXPECT_FALSE(parser.request().WantsClose());
+}
+
+TEST(HttpParserTest, AsciiIEquals) {
+  EXPECT_TRUE(AsciiIEquals("Close", "close"));
+  EXPECT_TRUE(AsciiIEquals("", ""));
+  EXPECT_FALSE(AsciiIEquals("close", "clos"));
+  EXPECT_FALSE(AsciiIEquals("keep-alive", "keepalive"));
+}
+
+TEST(HttpResponseTest, StatusReasons) {
+  EXPECT_EQ(StatusReason(200), "OK");
+  EXPECT_EQ(StatusReason(429), "Too Many Requests");
+  EXPECT_EQ(StatusReason(777), "Unknown");
+}
+
+}  // namespace
+}  // namespace htd::net

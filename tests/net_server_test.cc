@@ -1,0 +1,295 @@
+// net/decomposition_server.h end to end: real sockets on an ephemeral port,
+// route behaviour, admission-control load shedding, async jobs, and
+// snapshot-based warm restart (including corrupt-snapshot cold start).
+#include "net/decomposition_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "hypergraph/generators.h"
+#include "hypergraph/writer.h"
+#include "net/http.h"
+#include "util/socket.h"
+
+namespace htd::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct WireResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+/// Minimal HTTP client: one Connection: close exchange against localhost.
+WireResponse Exchange(int port, const std::string& method,
+                      const std::string& target, const std::string& body = "") {
+  WireResponse out;
+  auto sock = util::ConnectTcp("127.0.0.1", port, /*timeout_seconds=*/120.0);
+  EXPECT_TRUE(sock.ok()) << sock.status().message();
+  if (!sock.ok()) return out;
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += "Connection: close\r\n\r\n" + body;
+  EXPECT_TRUE(util::SendAll(sock->fd(), request));
+  std::string blob;
+  char buffer[8192];
+  while (true) {
+    long n = util::RecvSome(sock->fd(), buffer, sizeof(buffer));
+    if (n <= 0) break;
+    blob.append(buffer, static_cast<size_t>(n));
+  }
+  EXPECT_TRUE(ParseHttpResponseBlob(blob, &out.status, &out.headers, &out.body))
+      << "unparseable response: " << blob;
+  return out;
+}
+
+DecompositionServerOptions BaseOptions() {
+  DecompositionServerOptions options;
+  options.http.port = 0;  // ephemeral
+  options.http.io_threads = 4;
+  options.service.num_workers = 2;
+  options.service.default_timeout_seconds = 30.0;
+  return options;
+}
+
+std::string PathInstance() { return WriteHyperBench(MakePath(5)); }
+
+TEST(NetServerTest, DecomposeSyncAndCacheHit) {
+  auto server = DecompositionServer::Create(BaseOptions());
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  ASSERT_TRUE((*server)->Start().ok());
+  int port = (*server)->port();
+
+  WireResponse first =
+      Exchange(port, "POST", "/v1/decompose?k=2&decomposition=1", PathInstance());
+  EXPECT_EQ(first.status, 200);
+  EXPECT_NE(first.body.find("\"outcome\": \"yes\""), std::string::npos) << first.body;
+  EXPECT_NE(first.body.find("\"cache_hit\": false"), std::string::npos);
+  EXPECT_NE(first.body.find("\"decomposition\""), std::string::npos);
+
+  // The same instance under renamed vertices still hits (canonical keys).
+  WireResponse second =
+      Exchange(port, "POST", "/v1/decompose?k=2", PathInstance());
+  EXPECT_EQ(second.status, 200);
+  EXPECT_NE(second.body.find("\"cache_hit\": true"), std::string::npos) << second.body;
+
+  WireResponse stats = Exchange(port, "GET", "/v1/stats");
+  EXPECT_EQ(stats.status, 200);
+  EXPECT_NE(stats.body.find("\"cache_hits\": 1"), std::string::npos) << stats.body;
+  (*server)->Stop();
+}
+
+TEST(NetServerTest, ValidationAndRouting) {
+  auto server = DecompositionServer::Create(BaseOptions());
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Start().ok());
+  int port = (*server)->port();
+
+  EXPECT_EQ(Exchange(port, "POST", "/v1/decompose", PathInstance()).status, 400)
+      << "missing k";
+  EXPECT_EQ(Exchange(port, "POST", "/v1/decompose?k=abc", PathInstance()).status,
+            400);
+  EXPECT_EQ(Exchange(port, "POST", "/v1/decompose?k=2", "").status, 400)
+      << "empty body";
+  EXPECT_EQ(Exchange(port, "POST", "/v1/decompose?k=2", "((((").status, 400)
+      << "unparseable hypergraph";
+  EXPECT_EQ(Exchange(port, "GET", "/v1/decompose?k=2").status, 405);
+  EXPECT_EQ(Exchange(port, "GET", "/nope").status, 404);
+  EXPECT_EQ(Exchange(port, "GET", "/v1/jobs/j999").status, 404);
+  EXPECT_EQ(Exchange(port, "GET", "/healthz").status, 200);
+
+  WireResponse stats = Exchange(port, "GET", "/v1/stats");
+  EXPECT_NE(stats.body.find("\"bad_requests\": 4"), std::string::npos) << stats.body;
+  (*server)->Stop();
+}
+
+TEST(NetServerTest, AsyncJobLifecycle) {
+  auto server = DecompositionServer::Create(BaseOptions());
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Start().ok());
+  int port = (*server)->port();
+
+  WireResponse admitted =
+      Exchange(port, "POST", "/v1/decompose?k=2&async=1", PathInstance());
+  EXPECT_EQ(admitted.status, 202);
+  size_t id_pos = admitted.body.find("\"job\": \"");
+  ASSERT_NE(id_pos, std::string::npos) << admitted.body;
+  size_t id_start = id_pos + 8;
+  std::string id = admitted.body.substr(
+      id_start, admitted.body.find('"', id_start) - id_start);
+
+  // Poll until resolved (a path at k=2 solves in microseconds).
+  WireResponse job;
+  for (int i = 0; i < 200; ++i) {
+    job = Exchange(port, "GET", "/v1/jobs/" + id);
+    ASSERT_EQ(job.status, 200);
+    if (job.body.find("\"state\": \"done\"") != std::string::npos) break;
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_NE(job.body.find("\"state\": \"done\""), std::string::npos) << job.body;
+  EXPECT_NE(job.body.find("\"outcome\": \"yes\""), std::string::npos) << job.body;
+  (*server)->Stop();
+}
+
+TEST(NetServerTest, AdmissionControlShedsWith429) {
+  DecompositionServerOptions options = BaseOptions();
+  options.service.num_workers = 1;
+  options.max_queue_depth = 2;
+  options.retry_after_seconds = 3;
+  auto server = DecompositionServer::Create(options);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Start().ok());
+  int port = (*server)->port();
+
+  // A clique this size at k=4 runs far longer than the test (it is shed or
+  // cancelled long before finishing), so it pins the single worker while
+  // the flood arrives.
+  std::string slow = WriteHyperBench(MakeClique(24));
+  int accepted = 0, shed = 0;
+  for (int i = 0; i < 6; ++i) {
+    WireResponse r = Exchange(
+        port, "POST", "/v1/decompose?k=4&async=1&timeout=30", slow);
+    if (r.status == 202) {
+      ++accepted;
+    } else {
+      ASSERT_EQ(r.status, 429) << r.body;
+      EXPECT_EQ(r.headers.at("retry-after"), "3");
+      ++shed;
+    }
+  }
+  EXPECT_EQ(accepted, 2) << "bounded queue must stop admitting at the bound";
+  EXPECT_EQ(shed, 4);
+
+  WireResponse stats = Exchange(port, "GET", "/v1/stats");
+  EXPECT_NE(stats.body.find("\"shed\": 4"), std::string::npos) << stats.body;
+
+  // Stop() cancels the pinned solves; it must return promptly rather than
+  // wait out the 30 s deadlines.
+  (*server)->Stop();
+}
+
+TEST(NetServerTest, SyncFloodShedsAtTheConnectionBound) {
+  DecompositionServerOptions options = BaseOptions();
+  options.service.num_workers = 1;
+  options.http.io_threads = 2;
+  options.http.max_connections = 2;  // both slots will be pinned
+  auto server = DecompositionServer::Create(options);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Start().ok());
+  int port = (*server)->port();
+
+  // Two synchronous requests pin both connection slots (the single worker
+  // solves one; the other waits in the scheduler) — no async, so the
+  // application-level queue bound alone could never shed this shape.
+  std::string slow = WriteHyperBench(MakeClique(24));
+  std::atomic<int> done{0};
+  auto pin = [&] {
+    WireResponse r =
+        Exchange(port, "POST", "/v1/decompose?k=4&timeout=30", slow);
+    EXPECT_EQ(r.status, 200);  // resolves as cancelled once Stop() sweeps
+    done.fetch_add(1);
+  };
+  std::thread a(pin), b(pin);
+
+  // Wait until both connections are live, then the next one must be shed
+  // with 503 at the transport instead of queueing in the IO pool.
+  WireResponse shed;
+  for (int i = 0; i < 200; ++i) {
+    shed = Exchange(port, "GET", "/v1/stats");
+    if (shed.status == 503) break;
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_EQ(shed.status, 503) << shed.body;
+  EXPECT_EQ(shed.headers.at("retry-after"), "1");
+  EXPECT_EQ(done.load(), 0) << "pinned requests must still be in flight";
+
+  (*server)->Stop();  // cancels the pinned solves; both threads unblock
+  a.join();
+  b.join();
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(NetServerTest, SnapshotWarmRestartServesCacheHits) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "htd_net_server_warm.snap").string();
+  std::filesystem::remove(path);
+
+  DecompositionServerOptions options = BaseOptions();
+  options.snapshot_path = path;
+  options.service.enable_subproblem_store = true;
+
+  {
+    auto server = DecompositionServer::Create(options);
+    ASSERT_TRUE(server.ok());
+    ASSERT_TRUE((*server)->Start().ok());
+    int port = (*server)->port();
+    EXPECT_EQ(Exchange(port, "POST", "/v1/decompose?k=2",
+                       WriteHyperBench(MakeCycle(6))).status, 200);
+    EXPECT_EQ(Exchange(port, "POST", "/v1/decompose?k=2", PathInstance()).status,
+              200);
+    WireResponse snap = Exchange(port, "POST", "/v1/admin/snapshot");
+    EXPECT_EQ(snap.status, 200) << snap.body;
+    EXPECT_NE(snap.body.find("\"saved\": true"), std::string::npos);
+    (*server)->Stop();
+  }
+
+  {
+    auto server = DecompositionServer::Create(options);
+    ASSERT_TRUE(server.ok());
+    EXPECT_EQ((*server)->restored().cache_entries, 2u);
+    ASSERT_TRUE((*server)->Start().ok());
+    int port = (*server)->port();
+    WireResponse replay =
+        Exchange(port, "POST", "/v1/decompose?k=2", WriteHyperBench(MakeCycle(6)));
+    EXPECT_EQ(replay.status, 200);
+    EXPECT_NE(replay.body.find("\"cache_hit\": true"), std::string::npos)
+        << "warm restart must serve previously-solved instances from cache: "
+        << replay.body;
+    WireResponse stats = Exchange(port, "GET", "/v1/stats");
+    EXPECT_NE(stats.body.find("\"restored_cache_entries\": 2"), std::string::npos)
+        << stats.body;
+    (*server)->Stop();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(NetServerTest, CorruptSnapshotStartsCold) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "htd_net_server_corrupt.snap")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "HTDSNAP1 but then garbage follows";
+  }
+  DecompositionServerOptions options = BaseOptions();
+  options.snapshot_path = path;
+  auto server = DecompositionServer::Create(options);
+  ASSERT_TRUE(server.ok()) << "corrupt snapshot must not abort startup";
+  EXPECT_EQ((*server)->restored().cache_entries, 0u);
+  EXPECT_EQ((*server)->restored().store_entries, 0u);
+  ASSERT_TRUE((*server)->Start().ok());
+  EXPECT_EQ(Exchange((*server)->port(), "POST", "/v1/decompose?k=2",
+                     PathInstance()).status, 200);
+  (*server)->Stop();
+  std::filesystem::remove(path);
+}
+
+TEST(NetServerTest, SnapshotRouteWithoutPathIs412) {
+  auto server = DecompositionServer::Create(BaseOptions());
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Start().ok());
+  EXPECT_EQ(Exchange((*server)->port(), "POST", "/v1/admin/snapshot").status, 412);
+  (*server)->Stop();
+}
+
+}  // namespace
+}  // namespace htd::net

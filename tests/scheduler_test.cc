@@ -260,5 +260,125 @@ TEST(SchedulerTest, HammeredWithConcurrentSubmitters) {
   EXPECT_EQ(stats.completed, static_cast<uint64_t>(kSubmitters * kPerThread));
 }
 
+// ---------------------------------------------------------------------------
+// Batch-aware thread feedback (SolveOptions::num_threads == 0).
+
+TEST(AutoThreadsTest, PickAutoThreadsSplitsThePool) {
+  EXPECT_EQ(PickAutoThreads(8, 1), 8);   // lone job: whole pool
+  EXPECT_EQ(PickAutoThreads(8, 2), 4);
+  EXPECT_EQ(PickAutoThreads(8, 3), 2);
+  EXPECT_EQ(PickAutoThreads(8, 8), 1);   // pool-deep queue: one thread each
+  EXPECT_EQ(PickAutoThreads(8, 100), 1); // deeper queues never go below one
+  EXPECT_EQ(PickAutoThreads(4, 3), 1);
+  EXPECT_EQ(PickAutoThreads(1, 1), 1);
+  EXPECT_EQ(PickAutoThreads(0, 0), 1);   // degenerate inputs clamp
+}
+
+/// Records the num_threads each constructed solver was handed.
+SolverFactoryFn RecordingFactory(FakeSolver::Control* control,
+                                 std::mutex* mutex, std::vector<int>* seen) {
+  return [control, mutex, seen](const SolveOptions& options) {
+    {
+      std::lock_guard<std::mutex> lock(*mutex);
+      seen->push_back(options.num_threads);
+    }
+    return std::make_unique<FakeSolver>(control, options);
+  };
+}
+
+TEST(AutoThreadsTest, LoneJobGetsTheWholePool) {
+  util::ThreadPool pool(4);
+  FakeSolver::Control control;
+  std::mutex mutex;
+  std::vector<int> seen;
+  SolveOptions options;
+  options.num_threads = 0;  // auto
+  BatchScheduler scheduler(pool, RecordingFactory(&control, &mutex, &seen),
+                           options, /*cache=*/nullptr, /*config_digest=*/1);
+  Hypergraph graph = MakeCycle(6);
+  JobResult job = scheduler.Submit(SpecFor(graph, 2)).get();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 4) << "an empty queue should hand one job every worker";
+  EXPECT_EQ(job.threads_used, 4);
+}
+
+TEST(AutoThreadsTest, DeepQueueRunsOneThreadPerJob) {
+  util::ThreadPool pool(4);
+  FakeSolver::Control control;
+  control.release = false;  // park flights so the queue stays deep
+  std::mutex mutex;
+  std::vector<int> seen;
+  SolveOptions options;
+  options.num_threads = 0;  // auto
+  BatchScheduler scheduler(pool, RecordingFactory(&control, &mutex, &seen),
+                           options, /*cache=*/nullptr, /*config_digest=*/1);
+
+  // As many flights as pool workers, admitted in one batch and parked: every
+  // flight starts while all four are outstanding, so each samples a queue
+  // depth of 4 on a 4-thread pool ⇒ one intra-solve thread each.
+  std::vector<Hypergraph> graphs;
+  for (int n = 4; n < 8; ++n) graphs.push_back(MakeCycle(n));
+  std::vector<JobSpec> specs;
+  for (const Hypergraph& graph : graphs) specs.push_back(SpecFor(graph, 2));
+  auto futures = scheduler.SubmitBatch(specs);
+
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (seen.size() >= graphs.size()) break;
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+  control.release = true;
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().threads_used, 1);
+  }
+  std::lock_guard<std::mutex> lock(mutex);
+  ASSERT_EQ(seen.size(), graphs.size());
+  for (int threads : seen) EXPECT_EQ(threads, 1);
+}
+
+TEST(AutoThreadsTest, ConfiguredThreadCountIsUntouched) {
+  util::ThreadPool pool(4);
+  FakeSolver::Control control;
+  std::mutex mutex;
+  std::vector<int> seen;
+  SolveOptions options;
+  options.num_threads = 3;  // explicit: auto mode must not engage
+  BatchScheduler scheduler(pool, RecordingFactory(&control, &mutex, &seen),
+                           options, /*cache=*/nullptr, /*config_digest=*/1);
+  Hypergraph graph = MakeCycle(6);
+  JobResult job = scheduler.Submit(SpecFor(graph, 2)).get();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 3);
+  EXPECT_EQ(job.threads_used, 3);
+}
+
+TEST(AutoThreadsTest, QueueDepthTracksFlights) {
+  util::ThreadPool pool(2);
+  FakeSolver::Control control;
+  control.release = false;
+  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{},
+                           /*cache=*/nullptr, /*config_digest=*/1);
+  EXPECT_EQ(scheduler.queue_depth(), 0);
+  EXPECT_EQ(scheduler.outstanding_jobs(), 0u);
+
+  Hypergraph cycle = MakeCycle(8);
+  Hypergraph path = MakePath(8);
+  auto f1 = scheduler.Submit(SpecFor(cycle, 2));
+  auto f2 = scheduler.Submit(SpecFor(path, 2));
+  auto f3 = scheduler.Submit(SpecFor(cycle, 2));  // dedup join, not a flight
+  EXPECT_EQ(scheduler.queue_depth(), 2);
+  EXPECT_EQ(scheduler.outstanding_jobs(), 3u);
+
+  control.release = true;
+  f1.get();
+  f2.get();
+  f3.get();
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.queue_depth(), 0);
+  EXPECT_EQ(scheduler.outstanding_jobs(), 0u);
+}
+
 }  // namespace
 }  // namespace htd::service

@@ -1,0 +1,237 @@
+// hdclient: command-line client for hdserver (docs/SERVER.md).
+//
+//   $ hdclient decompose instance.hg --k 3 --timeout 5 --decomposition
+//   $ hdclient decompose instance.hg --k 3 --async      # prints a job id
+//   $ hdclient job j42
+//   $ hdclient stats
+//   $ hdclient snapshot
+//
+// Speaks HTTP/1.1 over a raw TCP socket (Connection: close per request) —
+// no external dependencies. The response body is printed to stdout.
+//
+// Exit codes: 0 = 2xx, 3 = other HTTP error, 4 = load shed (429/503),
+// 2 = usage/transport error, 5 = --expect-cache-hit unmet.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "net/http.h"
+#include "util/socket.h"
+
+namespace {
+
+struct Args {
+  std::string host = "127.0.0.1";
+  int port = 8080;
+  /// Transport timeout (connect + response read). For synchronous decompose
+  /// requests the effective read timeout is stretched to cover the job's own
+  /// --timeout (the server legitimately takes that long to answer); a job
+  /// with no deadline (--timeout 0) waits indefinitely.
+  double connect_timeout = 120.0;
+  std::string command;
+  std::string file;    // decompose: instance path ("-" = stdin)
+  std::string job_id;  // job
+  int k = 0;
+  double timeout = -1.0;  // <0 = server default
+  bool async = false;
+  bool decomposition = false;
+  bool expect_cache_hit = false;
+  bool quiet = false;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host H] [--port N] COMMAND\n"
+      "commands:\n"
+      "  decompose FILE --k N [--timeout S] [--async] [--decomposition]\n"
+      "            [--expect-cache-hit]      FILE '-' reads stdin\n"
+      "  job ID                              poll an async job\n"
+      "  stats                               GET /v1/stats\n"
+      "  snapshot                            POST /v1/admin/snapshot\n"
+      "options:\n"
+      "  --quiet               suppress the response body on success\n"
+      "  --connect-timeout S   transport timeout (default 120; sync decompose\n"
+      "                        reads wait at least the job timeout + 60)\n",
+      argv0);
+}
+
+bool ParseArgs(int argc, char** argv, Args& args) {
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--host") {
+      const char* v = next("--host");
+      if (v == nullptr) return false;
+      args.host = v;
+    } else if (flag == "--port") {
+      const char* v = next("--port");
+      if (v == nullptr) return false;
+      args.port = std::atoi(v);
+    } else if (flag == "--k") {
+      const char* v = next("--k");
+      if (v == nullptr) return false;
+      args.k = std::atoi(v);
+    } else if (flag == "--timeout") {
+      const char* v = next("--timeout");
+      if (v == nullptr) return false;
+      args.timeout = std::atof(v);
+    } else if (flag == "--connect-timeout") {
+      const char* v = next("--connect-timeout");
+      if (v == nullptr) return false;
+      args.connect_timeout = std::atof(v);
+    } else if (flag == "--async") {
+      args.async = true;
+    } else if (flag == "--decomposition") {
+      args.decomposition = true;
+    } else if (flag == "--expect-cache-hit") {
+      args.expect_cache_hit = true;
+    } else if (flag == "--quiet") {
+      args.quiet = true;
+    } else if (flag.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    } else if (positional == 0) {
+      args.command = flag;
+      ++positional;
+    } else if (positional == 1 &&
+               (args.command == "decompose" || args.command == "job")) {
+      if (args.command == "decompose") {
+        args.file = flag;
+      } else {
+        args.job_id = flag;
+      }
+      ++positional;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (args.command == "decompose") return !args.file.empty() && args.k >= 1;
+  if (args.command == "job") return !args.job_id.empty();
+  return args.command == "stats" || args.command == "snapshot";
+}
+
+/// One HTTP exchange (Connection: close). Returns false on transport errors.
+bool Exchange(const Args& args, const std::string& method,
+              const std::string& target, const std::string& body, int* status,
+              std::string* response_body) {
+  double io_timeout = args.connect_timeout;
+  if (args.command == "decompose" && !args.async) {
+    // A synchronous solve may legitimately run for the job's full deadline;
+    // the transport must outlast it. --timeout 0 = no deadline: wait forever.
+    io_timeout = args.timeout == 0.0
+                     ? 0.0
+                     : std::max(io_timeout, args.timeout + 60.0);
+  }
+  auto sock = htd::util::ConnectTcp(args.host, args.port, io_timeout);
+  if (!sock.ok()) {
+    std::fprintf(stderr, "hdclient: %s\n", sock.status().message().c_str());
+    return false;
+  }
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: " + args.host + "\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += "Connection: close\r\n\r\n";
+  request += body;
+  if (!htd::util::SendAll(sock->fd(), request)) {
+    std::fprintf(stderr, "hdclient: send failed\n");
+    return false;
+  }
+  std::string blob;
+  char buffer[16 * 1024];
+  while (true) {
+    long n = htd::util::RecvSome(sock->fd(), buffer, sizeof(buffer));
+    if (n == 0) break;  // orderly close: response complete
+    if (n < 0) {
+      std::fprintf(stderr, "hdclient: %s\n",
+                   n == -2 ? "response timed out" : "recv failed");
+      return false;
+    }
+    blob.append(buffer, static_cast<size_t>(n));
+  }
+  std::map<std::string, std::string> headers;
+  if (!htd::net::ParseHttpResponseBlob(blob, status, &headers, response_body)) {
+    std::fprintf(stderr, "hdclient: malformed HTTP response\n");
+    return false;
+  }
+  return true;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", seconds);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, args)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  std::string method = "GET", target, body;
+  if (args.command == "decompose") {
+    std::string text;
+    if (args.file == "-") {
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      text = buffer.str();
+    } else {
+      std::ifstream in(args.file, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "hdclient: cannot open %s\n", args.file.c_str());
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      text = buffer.str();
+    }
+    method = "POST";
+    target = "/v1/decompose?k=" + std::to_string(args.k);
+    if (args.timeout >= 0) target += "&timeout=" + FormatSeconds(args.timeout);
+    if (args.async) target += "&async=1";
+    if (args.decomposition) target += "&decomposition=1";
+    body = std::move(text);
+  } else if (args.command == "job") {
+    target = "/v1/jobs/" + args.job_id;
+  } else if (args.command == "stats") {
+    target = "/v1/stats";
+  } else {  // snapshot
+    method = "POST";
+    target = "/v1/admin/snapshot";
+  }
+
+  int status = 0;
+  std::string response;
+  if (!Exchange(args, method, target, body, &status, &response)) return 2;
+
+  if (status >= 200 && status < 300) {
+    if (!args.quiet) std::fputs(response.c_str(), stdout);
+    if (args.expect_cache_hit &&
+        response.find("\"cache_hit\": true") == std::string::npos) {
+      std::fprintf(stderr, "hdclient: expected a cache hit, got: %s",
+                   response.c_str());
+      return 5;
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "hdclient: HTTP %d: %s", status, response.c_str());
+  return status == 429 || status == 503 ? 4 : 3;
+}

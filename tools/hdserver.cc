@@ -1,0 +1,162 @@
+// hdserver: the standalone decomposition server (docs/SERVER.md).
+//
+//   $ hdserver --port 8080 --solver logk --workers 8 --threads 0 \
+//              --queue-depth 64 --snapshot /var/lib/htd/warm.snap --store
+//
+// Serves POST /v1/decompose, GET /v1/jobs/<id>, GET /v1/stats, and
+// POST /v1/admin/snapshot over HTTP/1.1. With --snapshot the server restores
+// the result cache and subproblem store at startup (warm start) and saves
+// them on clean shutdown (SIGINT/SIGTERM) unless --no-save-on-exit.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/decomposition_server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --host ADDR        listen address (default 127.0.0.1)\n"
+      "  --port N           listen port, 0 = ephemeral (default 8080)\n"
+      "  --io-threads N     connection-serving threads (default 8)\n"
+      "  --workers N        scheduler worker threads (default 4)\n"
+      "  --threads N        intra-solve threads per job; 0 = batch-aware auto\n"
+      "                     (default 0)\n"
+      "  --solver NAME      logk | logk-basic | detk | hybrid | balsep-ghd\n"
+      "  --queue-depth N    admission bound: shed with 429 beyond N\n"
+      "                     outstanding jobs (default 64)\n"
+      "  --max-connections N  live-connection bound: further connections are\n"
+      "                     answered 503 and closed (default 64)\n"
+      "  --default-timeout S  deadline for requests without ?timeout=\n"
+      "                     (default 30, 0 = none)\n"
+      "  --cache-capacity N result-cache entries (default 4096)\n"
+      "  --store            enable the cross-instance subproblem store\n"
+      "  --store-budget-mb N  subproblem store byte budget (default 64)\n"
+      "  --max-k N          largest accepted width parameter (default 64)\n"
+      "  --snapshot PATH    warm-state snapshot file (enables\n"
+      "                     /v1/admin/snapshot, startup restore, exit save)\n"
+      "  --no-load          do not restore the snapshot at startup\n"
+      "  --no-save-on-exit  do not save the snapshot on clean shutdown\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  htd::net::DecompositionServerOptions options;
+  options.http.port = 8080;
+  options.service.solve.num_threads = 0;  // batch-aware auto
+  options.service.default_timeout_seconds = 30.0;
+  bool save_on_exit = true;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--host") {
+      options.http.host = next("--host");
+    } else if (flag == "--port") {
+      options.http.port = std::atoi(next("--port"));
+    } else if (flag == "--io-threads") {
+      options.http.io_threads = std::atoi(next("--io-threads"));
+    } else if (flag == "--workers") {
+      options.service.num_workers = std::atoi(next("--workers"));
+    } else if (flag == "--threads") {
+      options.service.solve.num_threads = std::atoi(next("--threads"));
+    } else if (flag == "--solver") {
+      options.service.solver_name = next("--solver");
+    } else if (flag == "--queue-depth") {
+      options.max_queue_depth = std::atoi(next("--queue-depth"));
+    } else if (flag == "--max-connections") {
+      options.http.max_connections = std::atoi(next("--max-connections"));
+    } else if (flag == "--default-timeout") {
+      options.service.default_timeout_seconds = std::atof(next("--default-timeout"));
+    } else if (flag == "--cache-capacity") {
+      options.service.cache_capacity =
+          static_cast<size_t>(std::atol(next("--cache-capacity")));
+    } else if (flag == "--store") {
+      options.service.enable_subproblem_store = true;
+    } else if (flag == "--store-budget-mb") {
+      options.service.subproblem_store.byte_budget =
+          static_cast<size_t>(std::atol(next("--store-budget-mb"))) << 20;
+      options.service.enable_subproblem_store = true;
+    } else if (flag == "--max-k") {
+      options.max_k = std::atoi(next("--max-k"));
+    } else if (flag == "--snapshot") {
+      options.snapshot_path = next("--snapshot");
+    } else if (flag == "--no-load") {
+      options.load_snapshot_on_start = false;
+    } else if (flag == "--no-save-on-exit") {
+      save_on_exit = false;
+    } else if (flag == "--help" || flag == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  auto server = htd::net::DecompositionServer::Create(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "hdserver: %s\n", server.status().message().c_str());
+    return 2;
+  }
+  if (auto status = (*server)->Start(); !status.ok()) {
+    std::fprintf(stderr, "hdserver: %s\n", status.message().c_str());
+    return 2;
+  }
+
+  const auto& restored = (*server)->restored();
+  std::printf(
+      "hdserver: listening on %s:%d (solver %s, %d workers, queue depth %d)\n",
+      options.http.host.c_str(), (*server)->port(),
+      options.service.solver_name.c_str(), options.service.num_workers,
+      options.max_queue_depth);
+  if (restored.cache_entries > 0 || restored.store_entries > 0) {
+    std::printf("hdserver: warm start — restored %zu cache entries, "
+                "%zu store keys from %s\n",
+                restored.cache_entries, restored.store_entries,
+                options.snapshot_path.c_str());
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("hdserver: shutting down\n");
+  if (save_on_exit && !options.snapshot_path.empty()) {
+    auto saved = (*server)->SaveSnapshotNow();
+    if (saved.ok()) {
+      std::printf("hdserver: snapshot saved (%zu cache entries, %zu store keys, "
+                  "%zu bytes)\n",
+                  saved->cache_entries, saved->store_entries, saved->bytes);
+    } else {
+      std::fprintf(stderr, "hdserver: snapshot save failed: %s\n",
+                   saved.status().message().c_str());
+    }
+  }
+  (*server)->Stop();
+  return 0;
+}

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for hdserver + hdclient (run by CI).
+
+Phases (see ISSUE/acceptance criteria and docs/SERVER.md):
+  1. cold server on a small corpus: every request answers 200, repeats hit
+     the result cache, /v1/admin/snapshot persists the warm state;
+  2. restart from the snapshot: the replayed corpus reports cache hits and
+     /v1/stats shows the restored entry count;
+  3. overload: a single-worker server with a tiny admission bound floods
+     past the queue bound and sheds with 429 instead of queueing or hanging.
+
+Usage: tools/server_smoke.py [BUILD_DIR]   (default: ./build)
+Exits non-zero with a FAIL line on the first broken property.
+"""
+
+import json
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+BUILD = Path(sys.argv[1] if len(sys.argv) > 1 else "build").resolve()
+HDSERVER = BUILD / "hdserver"
+HDCLIENT = BUILD / "hdclient"
+CLIENT_TIMEOUT = 60  # seconds per hdclient invocation; a hang is a failure
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def client(port, *args, expect_exit=0):
+    """Runs hdclient, enforcing a wall-clock bound (no hangs allowed)."""
+    cmd = [str(HDCLIENT), "--port", str(port), *args]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=CLIENT_TIMEOUT)
+    except subprocess.TimeoutExpired:
+        fail(f"hdclient hung: {' '.join(cmd)}")
+    if expect_exit is not None and proc.returncode != expect_exit:
+        fail(f"{' '.join(cmd)} exited {proc.returncode} "
+             f"(expected {expect_exit}): {proc.stdout}{proc.stderr}")
+    return proc
+
+
+def start_server(port, *extra):
+    proc = subprocess.Popen(
+        [str(HDSERVER), "--port", str(port), *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    deadline = time.time() + 20
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            fail(f"hdserver exited early:\n{proc.stdout.read()}")
+        try:
+            probe = subprocess.run(
+                [str(HDCLIENT), "--port", str(port), "stats"],
+                capture_output=True, timeout=5)
+            if probe.returncode == 0:
+                return proc
+        except subprocess.TimeoutExpired:
+            pass
+        time.sleep(0.2)
+    proc.kill()
+    fail("hdserver did not become ready within 20s")
+
+
+def stop_server(proc):
+    proc.send_signal(signal.SIGTERM)
+    try:
+        proc.wait(timeout=20)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        fail("hdserver did not shut down on SIGTERM within 20s")
+
+
+def write_corpus(workdir):
+    """Small instances with known answers plus one deliberately hard one."""
+    instances = {}
+    # Path (hw 1) and a 6-cycle (hw 2).
+    instances["path.hg"] = "e1(a,b),\ne2(b,c),\ne3(c,d),\ne4(d,e).\n"
+    cycle = [f"c{i}(v{i},v{(i + 1) % 6})" for i in range(6)]
+    instances["cycle.hg"] = ",\n".join(cycle) + ".\n"
+    # 4x4 grid.
+    grid = []
+    for i in range(4):
+        for j in range(4):
+            if j + 1 < 4:
+                grid.append(f"h{i}_{j}(g{i}_{j},g{i}_{j + 1})")
+            if i + 1 < 4:
+                grid.append(f"v{i}_{j}(g{i}_{j},g{i + 1}_{j})")
+    instances["grid.hg"] = ",\n".join(grid) + ".\n"
+    # K24 at k=4 runs for minutes — it exists to pin the worker in phase 3.
+    clique = [f"e{i}_{j}(v{i},v{j})" for i in range(24) for j in range(i + 1, 24)]
+    instances["clique24.hg"] = ",\n".join(clique) + ".\n"
+    for name, text in instances.items():
+        (workdir / name).write_text(text)
+    return ["path.hg", "cycle.hg", "grid.hg"]
+
+
+def main():
+    for binary in (HDSERVER, HDCLIENT):
+        if not binary.exists():
+            fail(f"{binary} not built")
+    workdir = Path(tempfile.mkdtemp(prefix="hdserver_smoke_"))
+    snapshot = workdir / "warm.snap"
+    corpus = write_corpus(workdir)
+
+    # --- Phase 1: cold serve + snapshot. -----------------------------------
+    port = free_port()
+    server = start_server(port, "--snapshot", str(snapshot), "--workers", "2")
+    for name in corpus:
+        proc = client(port, "decompose", str(workdir / name), "--k", "3",
+                      "--timeout", "30")
+        body = json.loads(proc.stdout)
+        if body["outcome"] not in ("yes", "no"):
+            fail(f"{name}: unexpected outcome {body['outcome']}")
+        if body["cache_hit"]:
+            fail(f"{name}: cold pass must not be a cache hit")
+    # Identical resubmission: served from memory.
+    client(port, "decompose", str(workdir / corpus[0]), "--k", "3",
+           "--expect-cache-hit", "--quiet")
+    client(port, "snapshot", "--quiet")
+    if not snapshot.exists():
+        fail("snapshot file was not written")
+    stop_server(server)
+    print("phase 1 OK: cold serve, cache hit on resubmit, snapshot written")
+
+    # --- Phase 2: warm restart from the snapshot. --------------------------
+    port = free_port()
+    server = start_server(port, "--snapshot", str(snapshot), "--workers", "2")
+    for name in corpus:
+        client(port, "decompose", str(workdir / name), "--k", "3",
+               "--expect-cache-hit", "--quiet")
+    stats = json.loads(client(port, "stats").stdout)
+    restored = stats["snapshot"]["restored_cache_entries"]
+    if restored < len(corpus):
+        fail(f"expected >= {len(corpus)} restored cache entries, got {restored}")
+    stop_server(server)
+    print(f"phase 2 OK: warm restart served {len(corpus)} cache hits "
+          f"({restored} entries restored)")
+
+    # --- Phase 3: flood past the admission bound. --------------------------
+    port = free_port()
+    server = start_server(port, "--workers", "1", "--queue-depth", "2")
+    accepted = shed = 0
+    for _ in range(8):
+        proc = client(port, "decompose", str(workdir / "clique24.hg"),
+                      "--k", "4", "--timeout", "30", "--async", "--quiet",
+                      expect_exit=None)
+        if proc.returncode == 0:
+            accepted += 1
+        elif proc.returncode == 4:  # 429/503: load shed
+            shed += 1
+        else:
+            fail(f"flood request failed unexpectedly (exit {proc.returncode}): "
+                 f"{proc.stderr}")
+    if accepted == 0:
+        fail("flood: no request was admitted")
+    if shed == 0:
+        fail("flood: queue bound never shed load (server queues unboundedly?)")
+    stats = json.loads(client(port, "stats").stdout)
+    if stats["admission"]["shed"] != shed:
+        fail(f"stats disagree: {stats['admission']['shed']} != {shed}")
+    stop_server(server)  # must cancel pinned solves promptly, not hang
+    print(f"phase 3 OK: {accepted} admitted, {shed} shed with 429")
+
+    print("server_smoke: all phases passed")
+
+
+if __name__ == "__main__":
+    main()
