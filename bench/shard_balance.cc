@@ -1,0 +1,168 @@
+// Bench: fingerprint-range sharding of the warm state (service/shard_map.h).
+//
+// Two properties make the sharding layer worth running and this bench
+// measures both on a realistic mixed corpus:
+//
+//  1. Balance. ShardMap splits the 128-bit canonical fingerprint space into
+//     N equal hi-ranges. The fingerprint is a hash, so distinct isomorphism
+//     classes should spread near-uniformly over the shards; a skewed split
+//     would turn one hdserver into the fleet's hotspot. Reported as the
+//     max/mean load ratio for N in {2, 4, 8, 16}.
+//
+//  2. Affinity. Renamed isomorphic copies — the production shape: one query
+//     pattern under fresh variable names — must all land on the SAME shard,
+//     or the fleet re-solves what one process would have cached. Verified
+//     exactly (the bench fails on any split family), and the routing cost
+//     itself is timed: IndexFor is arithmetic on an already-computed
+//     fingerprint, so it must be in the nanoseconds, dwarfed by the
+//     canonicalisation that produces the fingerprint.
+//
+// Env knobs (bench_common.h conventions): HTD_BENCH_SCALE multiplies the
+// corpus.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "hypergraph/generators.h"
+#include "service/canonical.h"
+#include "service/shard_map.h"
+#include "util/rng.h"
+
+namespace htd::bench {
+namespace {
+
+/// Isomorphic copy: random vertex renaming + random edge order.
+Hypergraph RenameAndShuffle(const Hypergraph& graph, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<int> vertex_perm(graph.num_vertices());
+  for (int v = 0; v < graph.num_vertices(); ++v) vertex_perm[v] = v;
+  rng.Shuffle(vertex_perm);
+  std::vector<int> edge_order(graph.num_edges());
+  for (int e = 0; e < graph.num_edges(); ++e) edge_order[e] = e;
+  rng.Shuffle(edge_order);
+
+  Hypergraph renamed;
+  std::vector<int> new_id(graph.num_vertices(), -1);
+  for (int e : edge_order) {
+    std::vector<int> members;
+    for (int v : graph.edge_vertex_list(e)) {
+      if (new_id[v] < 0) {
+        new_id[v] = renamed.GetOrAddVertex("r" + std::to_string(vertex_perm[v]));
+      }
+      members.push_back(new_id[v]);
+    }
+    if (!renamed.AddEdge(members).ok()) std::abort();
+  }
+  return renamed;
+}
+
+int ScaleFromEnv() {
+  const char* text = std::getenv("HTD_BENCH_SCALE");
+  int scale = text != nullptr ? std::atoi(text) : 1;
+  return scale >= 1 ? scale : 1;
+}
+
+service::ShardMap MapOf(int n) {
+  std::string spec;
+  for (int i = 0; i < n; ++i) {
+    spec += (i ? "," : "") + std::string("shard") + std::to_string(i) + ":80";
+  }
+  return service::ShardMap::Parse(spec).value();
+}
+
+}  // namespace
+}  // namespace htd::bench
+
+int main() {
+  using namespace htd;
+  using namespace htd::bench;
+
+  const int scale = ScaleFromEnv();
+
+  // Distinct isomorphism classes (one representative each)...
+  std::vector<Hypergraph> classes;
+  for (int n = 3; n < 3 + 40 * scale; ++n) {
+    classes.push_back(MakePath(n));
+    classes.push_back(MakeCycle(n));
+    classes.push_back(MakeHyperCycle(n, 3, 1));
+  }
+  for (int n = 2; n < 2 + 4 * scale; ++n) {
+    classes.push_back(MakeGrid(n, n + 1));
+    classes.push_back(MakeClique(n + 2));
+  }
+  // ...and per-class renamed copies (the affinity workload).
+  const int kCopies = 8;
+
+  std::printf("shard_balance: %zu isomorphism classes, %d renamed copies each\n",
+              classes.size(), kCopies);
+
+  // Fingerprint everything once (timed: this is the real routing cost).
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<service::Fingerprint> class_fp;
+  class_fp.reserve(classes.size());
+  for (const Hypergraph& graph : classes) {
+    class_fp.push_back(service::CanonicalFingerprint(graph));
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  const double fp_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count() /
+      static_cast<double>(classes.size());
+
+  // Affinity: every renamed copy must route with its class, on every map.
+  int split_families = 0;
+  for (int n : {2, 4, 8, 16}) {
+    service::ShardMap map = MapOf(n);
+    for (size_t c = 0; c < classes.size(); ++c) {
+      const int home = map.IndexFor(class_fp[c]);
+      for (int copy = 0; copy < kCopies; ++copy) {
+        Hypergraph renamed =
+            RenameAndShuffle(classes[c], 0x5eed + c * 131 + copy);
+        if (map.IndexFor(service::CanonicalFingerprint(renamed)) != home) {
+          ++split_families;
+          std::printf("  SPLIT: class %zu copy %d leaves shard %d (N=%d)\n",
+                      c, copy, home, n);
+        }
+      }
+    }
+  }
+
+  // Balance: distinct classes over the shards, plus raw IndexFor cost.
+  std::printf("%6s %12s %12s %10s\n", "shards", "max load", "mean load",
+              "max/mean");
+  for (int n : {2, 4, 8, 16}) {
+    service::ShardMap map = MapOf(n);
+    std::vector<int> load(n, 0);
+    for (const service::Fingerprint& fp : class_fp) ++load[map.IndexFor(fp)];
+    int max_load = 0;
+    for (int l : load) max_load = std::max(max_load, l);
+    const double mean = static_cast<double>(class_fp.size()) / n;
+    std::printf("%6d %12d %12.1f %10.2f\n", n, max_load, mean,
+                static_cast<double>(max_load) / mean);
+  }
+
+  auto t2 = std::chrono::steady_clock::now();
+  service::ShardMap map16 = MapOf(16);
+  uint64_t sink = 0;
+  constexpr int kLookups = 1'000'000;
+  for (int i = 0; i < kLookups; ++i) {
+    sink += static_cast<uint64_t>(
+        map16.IndexFor(class_fp[static_cast<size_t>(i) % class_fp.size()]));
+  }
+  auto t3 = std::chrono::steady_clock::now();
+  const double lookup_ns =
+      std::chrono::duration<double, std::nano>(t3 - t2).count() / kLookups;
+
+  std::printf("fingerprint (route key): %8.1f us/instance\n", fp_us);
+  std::printf("IndexFor lookup:         %8.2f ns/lookup (sink %llu)\n",
+              lookup_ns, static_cast<unsigned long long>(sink));
+
+  if (split_families > 0) {
+    std::printf("shard_balance: FAIL — %d renamed copies changed shard\n",
+                split_families);
+    return 1;
+  }
+  std::printf("shard_balance: OK — all renamed copies stayed on their shard\n");
+  return 0;
+}

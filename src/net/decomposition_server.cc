@@ -8,6 +8,7 @@
 
 #include "decomp/decomp_writer.h"
 #include "hypergraph/parser.h"
+#include "net/json.h"
 
 namespace htd::net {
 
@@ -23,34 +24,8 @@ const char* OutcomeName(Outcome outcome) {
   return "?";
 }
 
-std::string JsonEscape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
-
 HttpResponse ErrorResponse(int status, const std::string& message) {
-  HttpResponse response;
-  response.status = status;
-  response.body = "{\"error\": \"" + JsonEscape(message) + "\"}\n";
-  return response;
+  return JsonErrorResponse(status, message);
 }
 
 /// Strict non-negative integer parse; -1 on garbage.
@@ -87,6 +62,14 @@ util::StatusOr<std::unique_ptr<DecompositionServer>> DecompositionServer::Create
   if (options.max_k < 1) {
     return util::Status::InvalidArgument("max_k must be >= 1");
   }
+  if (options.shard_map.has_value() &&
+      (options.shard_index < 0 ||
+       options.shard_index >= options.shard_map->num_shards())) {
+    return util::Status::InvalidArgument(
+        "shard_index must be in [0, " +
+        std::to_string(options.shard_map->num_shards()) + ") for shard map " +
+        options.shard_map->Serialise());
+  }
   // One Retry-After story for both shedding layers (queue bound here,
   // connection bound in the transport).
   options.http.retry_after_seconds = options.retry_after_seconds;
@@ -96,12 +79,20 @@ util::StatusOr<std::unique_ptr<DecompositionServer>> DecompositionServer::Create
   auto server = std::unique_ptr<DecompositionServer>(
       new DecompositionServer(std::move(options)));
   server->service_ = std::move(*service);
+  if (server->options_.shard_map.has_value()) {
+    server->shard_range_ =
+        server->options_.shard_map->RangeFor(server->options_.shard_index);
+    server->shard_digest_hex_ = server->options_.shard_map->DigestHex();
+  }
+  const service::FingerprintRange* range =
+      server->options_.shard_map.has_value() ? &server->shard_range_ : nullptr;
 
   if (!server->options_.snapshot_path.empty() &&
       server->options_.load_snapshot_on_start) {
     auto loaded = service::LoadSnapshot(server->options_.snapshot_path,
                                         server->service_->result_cache(),
-                                        server->service_->subproblem_store());
+                                        server->service_->subproblem_store(),
+                                        range);
     if (loaded.ok()) {
       server->restored_ = *loaded;
     } else if (loaded.status().code() != util::StatusCode::kNotFound) {
@@ -152,6 +143,7 @@ DecompositionServer::AdmissionStats DecompositionServer::admission_stats() const
   stats.admitted = admitted_.load(std::memory_order_relaxed);
   stats.shed = shed_.load(std::memory_order_relaxed);
   stats.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  stats.misrouted = misrouted_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -168,10 +160,15 @@ util::StatusOr<service::SnapshotStats> DecompositionServer::SaveSnapshotNow() {
   // before digesting), so the snapshot header matches the cache keys inside.
   SolveOptions solve = options_.service.solve;
   solve.subproblem_store = service_->subproblem_store();
+  // A sharded server persists only its own fingerprint range: shard
+  // snapshots never overlap, so a fleet's warm state is the disjoint union
+  // of its shards' snapshot files.
+  const service::FingerprintRange* range =
+      options_.shard_map.has_value() ? &shard_range_ : nullptr;
   return service::SaveSnapshot(
       options_.snapshot_path, service_->result_cache(),
       service_->subproblem_store(),
-      SolverConfigDigest(options_.service.solver_name, solve));
+      SolverConfigDigest(options_.service.solver_name, solve), range);
 }
 
 HttpResponse DecompositionServer::Handle(const HttpRequest& request) {
@@ -223,6 +220,47 @@ HttpResponse DecompositionServer::HandleDecompose(const HttpRequest& request) {
   }
   const bool async = request.QueryOr("async", "0") == "1";
   const bool include_decomposition = request.QueryOr("decomposition", "0") == "1";
+  // In a sharded deployment, a sender that hashed against a different
+  // topology must be told so, not silently served — an entry cached here
+  // under a foreign range would never be found again after its snapshot is
+  // filtered to this shard's slice. `sender_hashed` records that the sender
+  // proved it routed with the CURRENT map (digest header present and equal);
+  // only then is its fingerprint header trusted below in place of our own
+  // canonicalisation.
+  bool sender_hashed = false;
+  if (options_.shard_map.has_value()) {
+    auto digest = request.headers.find("x-htd-shard-digest");
+    if (digest != request.headers.end()) {
+      if (digest->second != shard_digest_hex_) {
+        misrouted_.fetch_add(1, std::memory_order_relaxed);
+        return ErrorResponse(
+            421, "shard map digest mismatch: this shard is " +
+                     std::to_string(options_.shard_index) + "/" +
+                     std::to_string(options_.shard_map->num_shards()) + " of " +
+                     options_.shard_map->Serialise() + " (digest " +
+                     shard_digest_hex_ + "); request was routed by digest " +
+                     digest->second);
+      }
+      sender_hashed = true;
+    }
+    auto fp_header = request.headers.find("x-htd-shard-fingerprint");
+    if (fp_header != request.headers.end()) {
+      service::Fingerprint fp;
+      if (!service::Fingerprint::FromHex(fp_header->second, &fp)) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        return ErrorResponse(400, "x-htd-shard-fingerprint must be 32 hex digits");
+      }
+      if (!shard_range_.Contains(fp)) {
+        misrouted_.fetch_add(1, std::memory_order_relaxed);
+        return ErrorResponse(
+            421, "misrouted: fingerprint " + fp_header->second +
+                     " is outside shard " + std::to_string(options_.shard_index) +
+                     "'s range");
+      }
+    } else {
+      sender_hashed = false;  // a digest without a fingerprint proves nothing
+    }
+  }
   if (request.body.empty()) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
     return ErrorResponse(400, "empty body: expected a hypergraph in "
@@ -254,6 +292,28 @@ HttpResponse DecompositionServer::HandleDecompose(const HttpRequest& request) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
     return ErrorResponse(400, "cannot parse hypergraph: " +
                                   parsed.status().message());
+  }
+  if (options_.shard_map.has_value() && !sender_hashed) {
+    // The sender did not prove it hashed with the current map (no digest
+    // header, or no fingerprint header to go with it — e.g. a client
+    // talking to a shard directly, without --shards, or one sending a
+    // crafted fingerprint alone). Enforce the range on OUR fingerprint:
+    // admitting would warm a foreign range — the entry would be invisible
+    // to correctly-routed traffic and silently dropped by the next
+    // range-filtered snapshot. (When both headers are present and the
+    // digest matches, the sender demonstrably ran IndexFor on the current
+    // topology; recomputing here would double-pay canonicalisation on
+    // every routed request.)
+    const service::Fingerprint fp = service::CanonicalFingerprint(*parsed);
+    if (!shard_range_.Contains(fp)) {
+      misrouted_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(
+          421, "misrouted: instance fingerprint " + fp.ToHex() +
+                   " belongs to shard " +
+                   std::to_string(options_.shard_map->IndexFor(fp)) +
+                   ", this is shard " + std::to_string(options_.shard_index) +
+                   " (route via the shard map)");
+    }
   }
 
   auto graph = std::make_shared<const Hypergraph>(std::move(*parsed));
@@ -360,12 +420,30 @@ HttpResponse DecompositionServer::HandleStats() {
   body += ", \"shed\": " + std::to_string(admission.shed);
   body += ", \"connections_shed\": " + std::to_string(http_->connections_shed());
   body += ", \"bad_requests\": " + std::to_string(admission.bad_requests);
+  body += ", \"misrouted\": " + std::to_string(admission.misrouted);
   body += ", \"max_queue_depth\": " + std::to_string(options_.max_queue_depth);
   body += ", \"max_connections\": " + std::to_string(options_.http.max_connections);
+  body += "}, \"shard\": {";
+  if (options_.shard_map.has_value()) {
+    body += "\"enabled\": true";
+    body += ", \"index\": " + std::to_string(options_.shard_index);
+    body += ", \"count\": " + std::to_string(options_.shard_map->num_shards());
+    body += ", \"digest\": \"" + shard_digest_hex_ + "\"";
+    char range_buf[64];
+    std::snprintf(range_buf, sizeof(range_buf),
+                  ", \"range\": \"%016llx-%016llx\"",
+                  static_cast<unsigned long long>(shard_range_.first_hi),
+                  static_cast<unsigned long long>(shard_range_.last_hi));
+    body += range_buf;
+  } else {
+    body += "\"enabled\": false";
+  }
   body += "}, \"snapshot\": {";
   body += "\"path\": \"" + JsonEscape(options_.snapshot_path) + "\"";
   body += ", \"restored_cache_entries\": " + std::to_string(restored_.cache_entries);
   body += ", \"restored_store_entries\": " + std::to_string(restored_.store_entries);
+  body += ", \"restored_dropped_out_of_range\": " +
+          std::to_string(restored_.dropped_out_of_range);
   body += "}}\n";
 
   HttpResponse response;

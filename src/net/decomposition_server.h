@@ -36,12 +36,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "net/http.h"
 #include "net/server.h"
 #include "service/persistence.h"
 #include "service/service.h"
+#include "service/shard_map.h"
 #include "util/status.h"
 
 namespace htd::net {
@@ -68,6 +70,15 @@ struct DecompositionServerOptions {
 
   /// Largest k accepted from the wire (guards against runaway requests).
   int max_k = 64;
+
+  /// Fingerprint-range sharding (docs/SERVER.md): when set, this server is
+  /// shard `shard_index` of the map. Snapshots then cover only this shard's
+  /// range (and restores drop out-of-range entries, so pre-resharding
+  /// snapshots load cleanly), and requests carrying an x-htd-shard-digest
+  /// header that disagrees with the map — a client or proxy routing by a
+  /// stale topology — are refused with 421 Misdirected Request.
+  std::optional<service::ShardMap> shard_map;
+  int shard_index = -1;
 };
 
 class DecompositionServer {
@@ -76,6 +87,7 @@ class DecompositionServer {
     uint64_t admitted = 0;     ///< requests handed to the scheduler
     uint64_t shed = 0;         ///< requests rejected with 429
     uint64_t bad_requests = 0; ///< parse/validation failures (4xx)
+    uint64_t misrouted = 0;    ///< sharding refusals (421): digest or range
   };
 
   /// Builds the service (validated), restores the snapshot when configured,
@@ -133,9 +145,16 @@ class DecompositionServer {
   std::unique_ptr<HttpServer> http_;
   service::SnapshotStats restored_;
 
+  /// This shard's slice of the fingerprint space (full space when the
+  /// server is unsharded) and the map digest it enforces; both fixed at
+  /// Create() from options_.shard_map.
+  service::FingerprintRange shard_range_;
+  std::string shard_digest_hex_;
+
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> bad_requests_{0};
+  std::atomic<uint64_t> misrouted_{0};
   std::atomic<uint64_t> next_job_id_{1};
   /// Set at the head of Stop(): new decompose requests are refused with 503
   /// so no fresh flight can slip in behind the cancellation sweep.

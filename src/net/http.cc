@@ -76,8 +76,20 @@ bool AsciiIEquals(std::string_view a, std::string_view b) {
 bool HttpRequest::WantsClose() const {
   auto it = headers.find("connection");
   if (it != headers.end()) {
-    if (AsciiIEquals(it->second, "close")) return true;
-    if (AsciiIEquals(it->second, "keep-alive")) return false;
+    // The Connection header is a comma-separated token list (RFC 7230 §6.1):
+    // "keep-alive, upgrade" must still read as keep-alive. `close` wins over
+    // `keep-alive` when a confused client sends both.
+    bool keep_alive = false;
+    std::string_view rest = it->second;
+    while (!rest.empty()) {
+      size_t comma = rest.find(',');
+      std::string_view token = Trim(rest.substr(0, comma));
+      rest = comma == std::string_view::npos ? std::string_view()
+                                             : rest.substr(comma + 1);
+      if (AsciiIEquals(token, "close")) return true;
+      if (AsciiIEquals(token, "keep-alive")) keep_alive = true;
+    }
+    if (keep_alive) return false;
   }
   // No (recognised) Connection header: HTTP/1.0 defaults to close,
   // HTTP/1.1+ to keep-alive.
@@ -95,10 +107,14 @@ std::string_view StatusReason(int status) {
     case 409: return "Conflict";
     case 412: return "Precondition Failed";
     case 413: return "Payload Too Large";
+    case 421: return "Misdirected Request";
     case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
+    case 502: return "Bad Gateway";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 508: return "Loop Detected";
     default: return "Unknown";
   }
 }
@@ -114,6 +130,13 @@ std::string SerializeResponse(const HttpResponse& response,
   out += connection;
   out += "\r\n";
   for (const auto& [key, value] : response.headers) {
+    // The three fixed headers above are owned by the serialiser; a handler
+    // that also sets one (e.g. a proxied response copying Content-Length)
+    // must not produce a duplicate-header message.
+    if (AsciiIEquals(key, "content-type") || AsciiIEquals(key, "content-length") ||
+        AsciiIEquals(key, "connection")) {
+      continue;
+    }
     out += key + ": " + value + "\r\n";
   }
   out += "\r\n";

@@ -1,0 +1,19 @@
+// Tiny JSON response helpers shared by the HTTP front-ends
+// (net/decomposition_server.cc and net/shard_router.cc), so error bodies
+// and escaping behave identically on both sides of a proxy hop.
+#pragma once
+
+#include <string>
+
+#include "net/http.h"
+
+namespace htd::net {
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, and control characters as \uXXXX).
+std::string JsonEscape(const std::string& text);
+
+/// The canonical error body: {"error": "<message>"} with the given status.
+HttpResponse JsonErrorResponse(int status, const std::string& message);
+
+}  // namespace htd::net

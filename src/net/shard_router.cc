@@ -1,0 +1,435 @@
+#include "net/shard_router.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "hypergraph/parser.h"
+#include "net/json.h"
+#include "service/canonical.h"
+#include "util/cli.h"
+#include "util/socket.h"
+
+namespace htd::net {
+
+namespace {
+
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  return JsonErrorResponse(status, message);
+}
+
+/// Extracts `"key": <number>` from the flat object `"section": {...}` of a
+/// stats body. The stats JSON is the server's own (two levels, flat numeric
+/// sections — net/decomposition_server.cc renders it), so plain string
+/// search is exact here; this is not a general JSON parser.
+bool FindJsonNumber(const std::string& body, const std::string& section,
+                    const std::string& key, double* out) {
+  size_t section_pos = body.find("\"" + section + "\": {");
+  if (section_pos == std::string::npos) return false;
+  size_t section_end = body.find('}', section_pos);
+  if (section_end == std::string::npos) return false;
+  size_t key_pos = body.find("\"" + key + "\": ", section_pos);
+  if (key_pos == std::string::npos || key_pos > section_end) return false;
+  *out = std::strtod(body.c_str() + key_pos + key.size() + 4, nullptr);
+  return true;
+}
+
+/// Trailing-'\n'-free copy of a forwarded JSON body, for embedding.
+std::string Embed(const std::string& body) {
+  std::string out = body;
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "null" : out;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(ShardRouterOptions options)
+    : options_(std::move(options)),
+      health_(static_cast<size_t>(options_.map.num_shards())) {}
+
+std::vector<ShardRouter::ShardStats> ShardRouter::shard_stats() const {
+  std::vector<ShardStats> out(health_.size());
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  for (size_t i = 0; i < health_.size(); ++i) {
+    out[i].forwarded = health_[i].forwarded;
+    out[i].transport_errors = health_[i].transport_errors;
+    out[i].backoff_shed = health_[i].backoff_shed;
+    out[i].consecutive_failures = health_[i].consecutive_failures;
+    out[i].backing_off = health_[i].retry_at > now;
+  }
+  return out;
+}
+
+bool ShardRouter::InBackoff(int index) {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  ShardHealth& health = health_[index];
+  if (health.retry_at > std::chrono::steady_clock::now()) {
+    ++health.backoff_shed;
+    return true;
+  }
+  return false;
+}
+
+void ShardRouter::RecordSuccess(int index) {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  health_[index].consecutive_failures = 0;
+  health_[index].retry_at = {};
+}
+
+void ShardRouter::RecordFailure(int index) {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  ShardHealth& health = health_[index];
+  ++health.transport_errors;
+  health.consecutive_failures =
+      std::min(health.consecutive_failures + 1, 30);  // cap the shift below
+  const double backoff =
+      std::min(options_.backoff_max_seconds,
+               options_.backoff_base_seconds *
+                   static_cast<double>(1ULL << (health.consecutive_failures - 1)));
+  health.retry_at = std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(static_cast<int64_t>(backoff * 1e6));
+}
+
+HttpResponse ShardRouter::Forward(int index, const std::string& method,
+                                  const std::string& target,
+                                  const std::string& body,
+                                  const std::string& fingerprint_hex,
+                                  double read_timeout_seconds) {
+  const service::ShardEndpoint& endpoint = options_.map.endpoint(index);
+  if (InBackoff(index)) {
+    HttpResponse response = ErrorResponse(
+        503, "shard " + std::to_string(index) + " (" + endpoint.host + ":" +
+                 std::to_string(endpoint.port) +
+                 ") is backing off after transport failures; retry later");
+    response.headers.emplace_back("Retry-After",
+                                  std::to_string(options_.retry_after_seconds));
+    return response;
+  }
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    ++health_[index].forwarded;
+  }
+
+  // read_timeout 0 = wait indefinitely (a sync solve with ?timeout=0 has no
+  // deadline); SetRecvTimeout cannot unset a timeout, so connect untimed too.
+  auto sock = util::ConnectTcp(
+      endpoint.host, endpoint.port,
+      read_timeout_seconds == 0 ? 0 : options_.connect_timeout_seconds);
+  if (!sock.ok()) {
+    RecordFailure(index);
+    HttpResponse response = ErrorResponse(
+        503, "shard " + std::to_string(index) + " (" + endpoint.host + ":" +
+                 std::to_string(endpoint.port) +
+                 ") unreachable: " + sock.status().message());
+    response.headers.emplace_back("Retry-After",
+                                  std::to_string(options_.retry_after_seconds));
+    return response;
+  }
+  if (read_timeout_seconds > 0) {
+    util::SetRecvTimeout(sock->fd(), read_timeout_seconds);
+  }
+
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: " + endpoint.host + "\r\n";
+  wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  // Single-hop marker: a router receiving this answers 508, never forwards.
+  wire += "X-HTD-Forwarded: 1\r\n";
+  wire += "X-HTD-Shard-Digest: " + options_.map.DigestHex() + "\r\n";
+  if (!fingerprint_hex.empty()) {
+    wire += "X-HTD-Shard-Fingerprint: " + fingerprint_hex + "\r\n";
+  }
+  wire += "Connection: close\r\n\r\n";
+  wire += body;
+  if (!util::SendAll(sock->fd(), wire)) {
+    RecordFailure(index);
+    return ErrorResponse(502, "send to shard " + std::to_string(index) + " failed");
+  }
+
+  std::string blob;
+  char buffer[16 * 1024];
+  while (true) {
+    long n = util::RecvSome(sock->fd(), buffer, sizeof(buffer));
+    if (n == 0) break;  // orderly close: response complete
+    if (n < 0) {
+      RecordFailure(index);
+      return ErrorResponse(n == -2 ? 504 : 502,
+                           "shard " + std::to_string(index) +
+                               (n == -2 ? " response timed out" : " recv failed"));
+    }
+    blob.append(buffer, static_cast<size_t>(n));
+  }
+
+  int status = 0;
+  std::map<std::string, std::string> headers;
+  std::string response_body;
+  if (!ParseHttpResponseBlob(blob, &status, &headers, &response_body)) {
+    RecordFailure(index);
+    return ErrorResponse(502, "shard " + std::to_string(index) +
+                                  " sent a malformed HTTP response");
+  }
+  RecordSuccess(index);
+
+  // Pass the shard's answer through verbatim — status (incl. its own 429/503
+  // load shedding), Retry-After, and body; the client's backoff logic works
+  // unchanged behind the router.
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(response_body);
+  auto content_type = headers.find("content-type");
+  if (content_type != headers.end()) response.content_type = content_type->second;
+  auto retry_after = headers.find("retry-after");
+  if (retry_after != headers.end()) {
+    response.headers.emplace_back("Retry-After", retry_after->second);
+  }
+  return response;
+}
+
+std::vector<HttpResponse> ShardRouter::ForwardAll(const std::string& method,
+                                                  const std::string& target,
+                                                  double read_timeout_seconds) {
+  // Concurrent fan-out: the per-shard exchanges are independent, and doing
+  // them sequentially would serialise the connect timeouts of every
+  // not-yet-backing-off down shard (k dead shards = k * connect_timeout per
+  // stats call, on a router IO thread decompose forwards also need).
+  const int n = options_.map.num_shards();
+  std::vector<HttpResponse> responses(static_cast<size_t>(n));
+  constexpr int kMaxFanOutThreads = 16;
+  const int num_threads = std::min(n, kMaxFanOutThreads);
+  std::atomic<int> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        responses[static_cast<size_t>(i)] =
+            Forward(i, method, target, "", "", read_timeout_seconds);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  return responses;
+}
+
+HttpResponse ShardRouter::Handle(const HttpRequest& request) {
+  if (request.headers.count("x-htd-forwarded") != 0) {
+    return ErrorResponse(
+        508, "routing loop: this router received an already-forwarded request "
+             "(is a router listed in its own --route-to map?)");
+  }
+  if (request.path == "/healthz") {
+    auto stats = shard_stats();
+    int backing_off = 0;
+    for (const ShardStats& shard : stats) backing_off += shard.backing_off ? 1 : 0;
+    HttpResponse response;
+    response.body = "{\"ok\": true, \"role\": \"router\", \"shards\": " +
+                    std::to_string(options_.map.num_shards()) +
+                    ", \"backing_off\": " + std::to_string(backing_off) + "}\n";
+    return response;
+  }
+  if (request.path == "/v1/decompose") {
+    if (request.method != "POST") {
+      return ErrorResponse(405, "use POST for /v1/decompose");
+    }
+    return HandleDecompose(request);
+  }
+  if (request.path.rfind("/v1/jobs/", 0) == 0) {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "use GET for /v1/jobs/<id>");
+    }
+    return HandleJob(request);
+  }
+  if (request.path == "/v1/stats") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "use GET for /v1/stats");
+    }
+    return HandleStats();
+  }
+  if (request.path == "/v1/admin/snapshot") {
+    if (request.method != "POST") {
+      return ErrorResponse(405, "use POST for /v1/admin/snapshot");
+    }
+    return HandleSnapshot();
+  }
+  return ErrorResponse(404, "unknown route (router): " + request.path);
+}
+
+HttpResponse ShardRouter::HandleDecompose(const HttpRequest& request) {
+  if (request.body.empty()) {
+    return ErrorResponse(400, "empty body: expected a hypergraph in "
+                              "HyperBench or PACE format");
+  }
+  // The router pays one parse + canonicalisation per request to learn the
+  // routing key. The shard parses again — the body crosses a process
+  // boundary either way, and re-deriving beats trusting a proxy's bytes.
+  auto parsed = ParseAuto(request.body);
+  if (!parsed.ok()) {
+    return ErrorResponse(400,
+                         "cannot parse hypergraph: " + parsed.status().message());
+  }
+  const service::Fingerprint fp = service::CanonicalFingerprint(*parsed);
+  const int shard = options_.map.IndexFor(fp);
+
+  const bool async = request.QueryOr("async", "0") == "1";
+  double read_timeout = options_.read_timeout_seconds;
+  if (!async) {
+    // A synchronous solve legitimately runs for the job's own deadline; the
+    // forward must outlast it (same policy as hdclient's transport timeout).
+    double job_timeout;
+    if (util::ParseDoubleFlag(request.QueryOr("timeout", ""), 0.0, &job_timeout)) {
+      read_timeout =
+          job_timeout == 0 ? 0 : std::max(read_timeout, job_timeout + 60.0);
+    }
+  }
+
+  HttpResponse response =
+      Forward(shard, request.method, request.target, request.body, fp.ToHex(),
+              read_timeout);
+  if (async && response.status == 202) {
+    // Prefix the job id with its shard ("j7" -> "s1.j7") so a later
+    // GET /v1/jobs/<id> can route statelessly.
+    const std::string marker = "\"job\": \"";
+    size_t pos = response.body.find(marker);
+    if (pos != std::string::npos) {
+      response.body.insert(pos + marker.size(),
+                           "s" + std::to_string(shard) + ".");
+    }
+  }
+  return response;
+}
+
+HttpResponse ShardRouter::HandleJob(const HttpRequest& request) {
+  // Job ids minted through the router are "s<shard>.<id on that shard>".
+  std::string id = request.path.substr(sizeof("/v1/jobs/") - 1);
+  if (id.size() < 3 || id[0] != 's') {
+    return ErrorResponse(404, "unknown job id: " + id +
+                                  " (router job ids look like s0.j7)");
+  }
+  size_t dot = id.find('.');
+  if (dot == std::string::npos || dot == 1) {
+    return ErrorResponse(404, "unknown job id: " + id +
+                                  " (router job ids look like s0.j7)");
+  }
+  char* end = nullptr;
+  long shard = std::strtol(id.c_str() + 1, &end, 10);
+  if (end != id.c_str() + dot || shard < 0 ||
+      shard >= options_.map.num_shards()) {
+    return ErrorResponse(404, "unknown job id: " + id +
+                                  " (no such shard in the map)");
+  }
+  const std::string remote_id = id.substr(dot + 1);
+  HttpResponse response =
+      Forward(static_cast<int>(shard), "GET", "/v1/jobs/" + remote_id, "", "",
+              options_.read_timeout_seconds);
+  if (response.status == 200) {
+    // Re-prefix the id in the shard's answer so clients can keep polling
+    // the value they read back.
+    const std::string marker = "\"job\": \"";
+    size_t pos = response.body.find(marker);
+    if (pos != std::string::npos) {
+      response.body.insert(pos + marker.size(),
+                           "s" + std::to_string(shard) + ".");
+    }
+  }
+  return response;
+}
+
+HttpResponse ShardRouter::HandleStats() {
+  // Aggregated keys summed across reachable shards; chosen to cover what
+  // operators and the smoke test assert on.
+  struct Field {
+    const char* section;
+    const char* key;
+    double sum = 0;
+  };
+  Field fields[] = {
+      {"scheduler", "submitted"}, {"scheduler", "solves"},
+      {"scheduler", "cache_hits"}, {"scheduler", "outstanding"},
+      {"cache", "hits"}, {"cache", "misses"}, {"cache", "entries"},
+      {"subproblem_store", "entries"}, {"admission", "admitted"},
+      {"admission", "shed"}, {"admission", "misrouted"},
+      {"snapshot", "restored_cache_entries"},
+      {"snapshot", "restored_store_entries"},
+  };
+
+  // Full read timeout, not the connect timeout: a backend whose IO threads
+  // are pinned by long solves answers stats slowly, and timing it out here
+  // would RecordFailure a healthy shard into backoff — shedding live
+  // decompose traffic because an operator looked at a dashboard.
+  std::vector<HttpResponse> responses =
+      ForwardAll("GET", "/v1/stats", options_.read_timeout_seconds);
+  auto router_stats = shard_stats();
+  int reachable = 0;
+  std::string shards_json;
+  for (int i = 0; i < options_.map.num_shards(); ++i) {
+    const service::ShardEndpoint& endpoint = options_.map.endpoint(i);
+    HttpResponse& shard_response = responses[static_cast<size_t>(i)];
+    if (!shards_json.empty()) shards_json += ", ";
+    shards_json += "{\"index\": " + std::to_string(i);
+    shards_json += ", \"endpoint\": \"" + JsonEscape(endpoint.host) + ":" +
+                   std::to_string(endpoint.port) + "\"";
+    shards_json += ", \"forwarded\": " + std::to_string(router_stats[i].forwarded);
+    shards_json += ", \"transport_errors\": " +
+                   std::to_string(router_stats[i].transport_errors);
+    shards_json +=
+        ", \"backoff_shed\": " + std::to_string(router_stats[i].backoff_shed);
+    if (shard_response.status == 200) {
+      ++reachable;
+      for (Field& field : fields) {
+        double value = 0;
+        if (FindJsonNumber(shard_response.body, field.section, field.key, &value)) {
+          field.sum += value;
+        }
+      }
+      shards_json += ", \"reachable\": true, \"stats\": " +
+                     Embed(shard_response.body);
+    } else {
+      shards_json += ", \"reachable\": false, \"status\": " +
+                     std::to_string(shard_response.status);
+    }
+    shards_json += "}";
+  }
+
+  std::string body = "{\"role\": \"router\"";
+  body += ", \"shard_count\": " + std::to_string(options_.map.num_shards());
+  body += ", \"reachable\": " + std::to_string(reachable);
+  body += ", \"map_digest\": \"" + options_.map.DigestHex() + "\"";
+  body += ", \"aggregate\": {";
+  bool first = true;
+  for (const Field& field : fields) {
+    if (!first) body += ", ";
+    first = false;
+    body += "\"" + std::string(field.section) + "_" + field.key + "\": " +
+            std::to_string(static_cast<long long>(field.sum));
+  }
+  body += "}, \"shards\": [" + shards_json + "]}\n";
+
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse ShardRouter::HandleSnapshot() {
+  std::vector<HttpResponse> responses =
+      ForwardAll("POST", "/v1/admin/snapshot", options_.read_timeout_seconds);
+  bool all_saved = true;
+  std::string shards_json;
+  for (int i = 0; i < options_.map.num_shards(); ++i) {
+    HttpResponse& shard_response = responses[static_cast<size_t>(i)];
+    if (!shards_json.empty()) shards_json += ", ";
+    shards_json += "{\"index\": " + std::to_string(i);
+    shards_json += ", \"status\": " + std::to_string(shard_response.status);
+    shards_json += ", \"response\": " + Embed(shard_response.body) + "}";
+    if (shard_response.status != 200) all_saved = false;
+  }
+  HttpResponse response;
+  // Partial success is a gateway-level failure: some shard's warm state is
+  // NOT on disk, and the operator must know before trusting a restart.
+  response.status = all_saved ? 200 : 502;
+  response.body = std::string("{\"saved\": ") + (all_saved ? "true" : "false") +
+                  ", \"shards\": [" + shards_json + "]}\n";
+  return response;
+}
+
+}  // namespace htd::net

@@ -1,0 +1,132 @@
+// Fingerprint-range routing proxy: hdserver's --route-to mode.
+//
+// One ShardRouter sits in front of N sharded hdserver backends
+// (net/decomposition_server.h, each configured with the same ShardMap and
+// its own shard_index) and forwards every /v1/decompose to the shard that
+// owns the instance's canonical fingerprint. Because the fingerprint is
+// isomorphism-invariant, all renamings of an instance — and, with the
+// subproblem store enabled, all isomorphic subproblems the backends memoize
+// — accumulate on one shard, so the fleet's warm state is a partition, not
+// N overlapping copies (ROADMAP: "shard the warm state across processes").
+//
+//   clients ──► ShardRouter (hdserver --route-to a:1,b:2)
+//                  │  fingerprint → ShardMap::IndexFor
+//                  ├────────► shard 0 (hdserver --shard-map a:1,b:2 --shard-index 0)
+//                  └────────► shard 1 (hdserver --shard-map a:1,b:2 --shard-index 1)
+//
+// Forwarding is SINGLE-HOP by construction: every forwarded request carries
+// x-htd-forwarded, and a router that receives that header answers 508 Loop
+// Detected instead of forwarding again — a mis-wired fleet (router routed to
+// itself, or two routers pointed at each other) fails loudly on the first
+// request rather than melting down. Requests also carry the map digest and
+// the computed fingerprint, so a backend holding a different topology
+// refuses with 421 (see DecompositionServerOptions::shard_map).
+//
+// Health: a shard whose transport fails (connect/send/recv) is marked down
+// and skipped for an exponentially growing backoff window (fail-fast 503 +
+// Retry-After to the client, per-shard, without touching the socket); one
+// successful exchange resets it. A shard's own 429/503 load-shedding
+// responses pass through verbatim — the router adds no retry magic, clients
+// already know how to back off (docs/SERVER.md).
+//
+// Routes: /v1/decompose forwards to the owning shard (async job ids come
+// back prefixed "s<shard>." so /v1/jobs/<id> can route without state);
+// /v1/stats fans out and returns per-shard bodies plus an aggregated
+// summary; /v1/admin/snapshot fans out (each shard persists its own range);
+// /healthz answers locally with per-shard reachability.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http.h"
+#include "service/shard_map.h"
+
+namespace htd::net {
+
+struct ShardRouterOptions {
+  service::ShardMap map;
+
+  /// Transport timeout for connecting to a shard.
+  double connect_timeout_seconds = 5.0;
+  /// Floor for the forwarded-request read timeout. Synchronous decompose
+  /// forwards stretch it to cover the job's own ?timeout= (the shard
+  /// legitimately takes that long to answer); ?timeout=0 waits indefinitely.
+  double read_timeout_seconds = 120.0;
+  /// First backoff after a transport failure; doubles per consecutive
+  /// failure up to backoff_max_seconds.
+  double backoff_base_seconds = 0.5;
+  double backoff_max_seconds = 30.0;
+  /// Retry-After value on router-generated 503s (shard down / backing off).
+  int retry_after_seconds = 1;
+};
+
+class ShardRouter {
+ public:
+  struct ShardStats {
+    uint64_t forwarded = 0;       ///< exchanges attempted against this shard
+    uint64_t transport_errors = 0;///< connect/send/recv/parse failures
+    uint64_t backoff_shed = 0;    ///< 503s answered without touching the socket
+    int consecutive_failures = 0;
+    bool backing_off = false;     ///< true while inside the backoff window
+  };
+
+  explicit ShardRouter(ShardRouterOptions options);
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Route dispatch; plug into HttpServer as the handler (tools/hdserver.cc)
+  /// or call directly in tests.
+  HttpResponse Handle(const HttpRequest& request);
+
+  const ShardRouterOptions& options() const { return options_; }
+  std::vector<ShardStats> shard_stats() const;
+
+ private:
+  struct ShardHealth {
+    int consecutive_failures = 0;
+    std::chrono::steady_clock::time_point retry_at{};  // epoch = healthy
+    uint64_t forwarded = 0;
+    uint64_t transport_errors = 0;
+    uint64_t backoff_shed = 0;
+  };
+
+  HttpResponse HandleDecompose(const HttpRequest& request);
+  HttpResponse HandleJob(const HttpRequest& request);
+  HttpResponse HandleStats();
+  HttpResponse HandleSnapshot();
+
+  /// One blocking exchange against shard `index` (Connection: close), with
+  /// the single-hop / digest / fingerprint headers attached. Applies the
+  /// backoff gate before touching the socket and records the outcome.
+  /// `fingerprint_hex` is empty for non-decompose forwards.
+  HttpResponse Forward(int index, const std::string& method,
+                       const std::string& target, const std::string& body,
+                       const std::string& fingerprint_hex,
+                       double read_timeout_seconds);
+
+  /// Body-less Forward to EVERY shard concurrently (up to 16 fan-out
+  /// threads), index-aligned results. A sequential fan-out would serialise
+  /// the connect timeouts of down shards on a router IO thread.
+  std::vector<HttpResponse> ForwardAll(const std::string& method,
+                                       const std::string& target,
+                                       double read_timeout_seconds);
+
+  /// True when the shard is inside its backoff window (also bumps the
+  /// backoff_shed counter).
+  bool InBackoff(int index);
+  void RecordSuccess(int index);
+  void RecordFailure(int index);
+
+  ShardRouterOptions options_;
+  mutable std::mutex health_mutex_;
+  std::vector<ShardHealth> health_;  // index-aligned with the map
+};
+
+}  // namespace htd::net

@@ -138,6 +138,30 @@ std::string Fingerprint::ToHex() const {
   return std::string(buf);
 }
 
+bool Fingerprint::FromHex(std::string_view text, Fingerprint* out) {
+  if (text.size() != 32) return false;
+  uint64_t words[2] = {0, 0};
+  for (int w = 0; w < 2; ++w) {
+    for (int i = 0; i < 16; ++i) {
+      char c = text[w * 16 + i];
+      uint64_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<uint64_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<uint64_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+      words[w] = (words[w] << 4) | digit;
+    }
+  }
+  out->hi = words[0];
+  out->lo = words[1];
+  return true;
+}
+
 CanonicalForm ComputeCanonicalForm(const Hypergraph& graph) {
   const int n = graph.num_vertices();
   const int m = graph.num_edges();

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "decomp/extended_subhypergraph.h"
@@ -51,6 +52,25 @@ struct Fingerprint {
 
   /// 32 hex digits, e.g. for log lines and manifests.
   std::string ToHex() const;
+
+  /// Inverse of ToHex: exactly 32 hex digits. Returns false on anything else.
+  static bool FromHex(std::string_view text, Fingerprint* out);
+};
+
+/// A contiguous slice of the 128-bit fingerprint space, bounded (inclusive)
+/// on the high word only — the sharding layer (service/shard_map.h) splits
+/// the space into N equal hi-ranges, so membership never needs `lo`.
+/// first_hi = 0 and last_hi = UINT64_MAX is the full space.
+struct FingerprintRange {
+  uint64_t first_hi = 0;
+  uint64_t last_hi = ~0ULL;
+
+  bool Contains(const Fingerprint& fp) const {
+    return fp.hi >= first_hi && fp.hi <= last_hi;
+  }
+  bool operator==(const FingerprintRange& other) const {
+    return first_hi == other.first_hi && last_hi == other.last_hi;
+  }
 };
 
 struct FingerprintHash {

@@ -318,17 +318,21 @@ bool ReadStoreEntry(ByteReader& r, SubproblemStore::ExportedEntry* entry) {
   return true;
 }
 
-}  // namespace
-
-std::string EncodeSnapshot(ResultCache* cache, SubproblemStore* store,
-                           uint64_t config_digest) {
+// Shared tail of EncodeSnapshot / SaveSnapshot: encodes and reports how many
+// entries of each section were actually written (after range filtering).
+std::string EncodeSnapshotCounted(ResultCache* cache, SubproblemStore* store,
+                                  uint64_t config_digest,
+                                  const FingerprintRange* range,
+                                  SnapshotStats* written) {
   ByteWriter payload;
 
   std::vector<std::pair<CacheKey, SolveResult>> cache_entries;
   if (cache != nullptr) {
-    cache->ForEach([&](const CacheKey& key, const SolveResult& result) {
-      cache_entries.emplace_back(key, result);
-    });
+    cache->ForEach(
+        [&](const CacheKey& key, const SolveResult& result) {
+          cache_entries.emplace_back(key, result);
+        },
+        range);
   }
   payload.PutU64(cache_entries.size());
   for (const auto& [key, result] : cache_entries) {
@@ -336,11 +340,14 @@ std::string EncodeSnapshot(ResultCache* cache, SubproblemStore* store,
   }
 
   std::vector<SubproblemStore::ExportedEntry> store_entries;
-  if (store != nullptr) store_entries = store->Export();
+  if (store != nullptr) store_entries = store->Export(range);
   payload.PutU64(store_entries.size());
   for (const SubproblemStore::ExportedEntry& entry : store_entries) {
     WriteStoreEntry(payload, entry);
   }
+
+  written->cache_entries = cache_entries.size();
+  written->store_entries = store_entries.size();
 
   std::string body = payload.Take();
   ByteWriter header;
@@ -352,12 +359,23 @@ std::string EncodeSnapshot(ResultCache* cache, SubproblemStore* store,
   header.PutU64(Fnv1a64(body));
   std::string out = header.Take();
   out += body;
+  written->bytes = out.size();
   return out;
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(ResultCache* cache, SubproblemStore* store,
+                           uint64_t config_digest,
+                           const FingerprintRange* range) {
+  SnapshotStats written;
+  return EncodeSnapshotCounted(cache, store, config_digest, range, &written);
 }
 
 util::StatusOr<SnapshotStats> DecodeSnapshot(const std::string& bytes,
                                              ResultCache* cache,
-                                             SubproblemStore* store) {
+                                             SubproblemStore* store,
+                                             const FingerprintRange* range) {
   if (bytes.size() < kHeaderBytes) {
     return util::Status::InvalidArgument("snapshot truncated: shorter than header");
   }
@@ -424,30 +442,46 @@ util::StatusOr<SnapshotStats> DecodeSnapshot(const std::string& bytes,
 
   // Sections are written most- to least-recently used, so restoring in
   // reverse re-creates the LRU order (modulo shard-boundary effects when the
-  // restoring cache is sharded or sized differently).
+  // restoring cache is sharded or sized differently). A range filter drops
+  // out-of-range entries here — after validation, so a corrupt snapshot is
+  // still rejected whole — which is what lets a pre-resharding snapshot load
+  // into a narrower shard.
+  SnapshotStats stats;
+  stats.bytes = bytes.size();
   if (cache != nullptr) {
     for (auto it = cache_entries.rbegin(); it != cache_entries.rend(); ++it) {
+      if (range != nullptr && !range->Contains(it->first.fingerprint)) {
+        ++stats.dropped_out_of_range;
+        continue;
+      }
       cache->Insert(it->first, it->second);
+      ++stats.cache_entries;
     }
+  } else {
+    stats.cache_entries = cache_entries.size();  // decoded (and discarded)
   }
   if (store != nullptr) {
     for (auto it = store_entries.rbegin(); it != store_entries.rend(); ++it) {
-      store->Import(*it);
+      if (store->Import(*it, range)) {
+        ++stats.store_entries;
+      } else {
+        ++stats.dropped_out_of_range;
+      }
     }
+  } else {
+    stats.store_entries = store_entries.size();
   }
-
-  SnapshotStats stats;
-  stats.cache_entries = cache_entries.size();
-  stats.store_entries = store_entries.size();
-  stats.bytes = bytes.size();
   return stats;
 }
 
 util::StatusOr<SnapshotStats> SaveSnapshot(const std::string& path,
                                            ResultCache* cache,
                                            SubproblemStore* store,
-                                           uint64_t config_digest) {
-  std::string bytes = EncodeSnapshot(cache, store, config_digest);
+                                           uint64_t config_digest,
+                                           const FingerprintRange* range) {
+  SnapshotStats stats;
+  std::string bytes =
+      EncodeSnapshotCounted(cache, store, config_digest, range, &stats);
   const std::string tmp_path = path + ".tmp";
   {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
@@ -466,16 +500,13 @@ util::StatusOr<SnapshotStats> SaveSnapshot(const std::string& path,
     return util::Status::Internal("cannot rename snapshot into place: " +
                                   ec.message());
   }
-  SnapshotStats stats;
-  stats.bytes = bytes.size();
-  if (cache != nullptr) stats.cache_entries = cache->num_entries();
-  if (store != nullptr) stats.store_entries = store->num_entries();
   return stats;
 }
 
 util::StatusOr<SnapshotStats> LoadSnapshot(const std::string& path,
                                            ResultCache* cache,
-                                           SubproblemStore* store) {
+                                           SubproblemStore* store,
+                                           const FingerprintRange* range) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return util::Status::NotFound("no snapshot at " + path);
@@ -485,7 +516,7 @@ util::StatusOr<SnapshotStats> LoadSnapshot(const std::string& path,
   if (!in.good() && !in.eof()) {
     return util::Status::Internal("error reading " + path);
   }
-  return DecodeSnapshot(bytes, cache, store);
+  return DecodeSnapshot(bytes, cache, store, range);
 }
 
 }  // namespace htd::service

@@ -44,33 +44,46 @@ struct SnapshotStats {
   size_t cache_entries = 0;  ///< result-cache entries written / restored
   size_t store_entries = 0;  ///< subproblem-store keys written / restored
   size_t bytes = 0;          ///< snapshot size, header included
+  /// Entries skipped by a fingerprint-range filter on restore — a snapshot
+  /// taken before resharding loads cleanly, keeping only the entries this
+  /// shard still owns (service/shard_map.h).
+  size_t dropped_out_of_range = 0;
 };
 
 /// Serialises the current contents of `cache` and `store` (either may be
 /// nullptr — its section is written empty). `config_digest` is recorded in
-/// the header for diagnostics.
+/// the header for diagnostics. A non-null `range` restricts both sections
+/// to entries whose fingerprint it contains — a sharded server persists
+/// only its slice of the key space.
 std::string EncodeSnapshot(ResultCache* cache, SubproblemStore* store,
-                           uint64_t config_digest);
+                           uint64_t config_digest,
+                           const FingerprintRange* range = nullptr);
 
 /// Validates and decodes `bytes`, then restores entries into `cache` and
 /// `store` (either may be nullptr — its section is decoded and discarded).
 /// On any validation or decode failure nothing is restored and an
 /// InvalidArgument / FailedPrecondition status describes the problem.
+/// A non-null `range` drops entries outside it (counted in
+/// dropped_out_of_range, excluded from the restored counts), so a
+/// pre-resharding snapshot restores cleanly into a narrower shard.
 util::StatusOr<SnapshotStats> DecodeSnapshot(const std::string& bytes,
                                              ResultCache* cache,
-                                             SubproblemStore* store);
+                                             SubproblemStore* store,
+                                             const FingerprintRange* range = nullptr);
 
 /// EncodeSnapshot + atomic file write (temp file in the same directory,
 /// then rename), so a crash mid-save never corrupts an existing snapshot.
 util::StatusOr<SnapshotStats> SaveSnapshot(const std::string& path,
                                            ResultCache* cache,
                                            SubproblemStore* store,
-                                           uint64_t config_digest);
+                                           uint64_t config_digest,
+                                           const FingerprintRange* range = nullptr);
 
 /// Reads `path` and restores via DecodeSnapshot. NotFound when the file does
 /// not exist (callers treat that as a normal cold start).
 util::StatusOr<SnapshotStats> LoadSnapshot(const std::string& path,
                                            ResultCache* cache,
-                                           SubproblemStore* store);
+                                           SubproblemStore* store,
+                                           const FingerprintRange* range = nullptr);
 
 }  // namespace htd::service

@@ -57,10 +57,12 @@ void ResultCache::Insert(const CacheKey& key, const SolveResult& result) {
 }
 
 void ResultCache::ForEach(
-    const std::function<void(const CacheKey&, const SolveResult&)>& fn) {
+    const std::function<void(const CacheKey&, const SolveResult&)>& fn,
+    const FingerprintRange* range) {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     for (const Entry& entry : shard->lru) {
+      if (range != nullptr && !range->Contains(entry.key.fingerprint)) continue;
       fn(entry.key, entry.result);
     }
   }

@@ -80,8 +80,11 @@ class ResultCache {
   /// Visits every resident entry, shard by shard, most- to least-recently
   /// used within a shard. Holds one shard lock at a time; do not call back
   /// into the same cache from `fn`. Used by the snapshot writer
-  /// (service/persistence.h).
-  void ForEach(const std::function<void(const CacheKey&, const SolveResult&)>& fn);
+  /// (service/persistence.h). With a non-null `range`, entries whose
+  /// fingerprint falls outside it are skipped — a fingerprint-range-sharded
+  /// server persists only its slice of the key space (service/shard_map.h).
+  void ForEach(const std::function<void(const CacheKey&, const SolveResult&)>& fn,
+               const FingerprintRange* range = nullptr);
 
   Stats GetStats() const;
   size_t num_entries() const;

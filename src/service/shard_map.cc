@@ -1,0 +1,117 @@
+#include "service/shard_map.h"
+
+#include <cstdio>
+
+#include "util/cli.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace htd::service {
+
+namespace {
+
+constexpr int kMaxShards = 4096;
+
+std::string_view TrimSpaces(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+ShardMap::ShardMap(std::vector<ShardEndpoint> endpoints)
+    : endpoints_(std::move(endpoints)) {
+  HTD_CHECK_GE(endpoints_.size(), 1u);
+  const uint64_t n = endpoints_.size();
+  // floor((2^64 - 1) / n) + 1: n slices of this width cover the whole space,
+  // and (n-1) * step_ never overflows for n <= kMaxShards (<< 2^32).
+  step_ = n == 1 ? 0 : (~0ULL / n) + 1;
+}
+
+util::StatusOr<ShardMap> ShardMap::Parse(const std::string& spec) {
+  std::vector<ShardEndpoint> endpoints;
+  std::string_view rest = spec;
+  while (true) {
+    size_t comma = rest.find(',');
+    std::string_view item = TrimSpaces(rest.substr(0, comma));
+    if (item.empty()) {
+      return util::Status::InvalidArgument(
+          "shard map: empty endpoint in \"" + spec + "\"");
+    }
+    size_t colon = item.rfind(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return util::Status::InvalidArgument(
+          "shard map: endpoint \"" + std::string(item) +
+          "\" is not host:port");
+    }
+    long port;
+    if (!util::ParseIntFlag(item.substr(colon + 1), 1, 65535, &port)) {
+      return util::Status::InvalidArgument(
+          "shard map: bad port in \"" + std::string(item) + "\"");
+    }
+    endpoints.push_back(
+        ShardEndpoint{std::string(item.substr(0, colon)), static_cast<int>(port)});
+    if (comma == std::string_view::npos) break;
+    rest = rest.substr(comma + 1);
+  }
+  if (static_cast<int>(endpoints.size()) > kMaxShards) {
+    return util::Status::InvalidArgument(
+        "shard map: more than " + std::to_string(kMaxShards) + " shards");
+  }
+  return ShardMap(std::move(endpoints));
+}
+
+std::string ShardMap::Serialise() const {
+  std::string out;
+  for (const ShardEndpoint& endpoint : endpoints_) {
+    if (!out.empty()) out += ',';
+    out += endpoint.host + ":" + std::to_string(endpoint.port);
+  }
+  return out;
+}
+
+uint64_t ShardMap::Digest() const {
+  // FNV-1a over the canonical serialisation, then mixed: equal maps — and
+  // only equal maps — digest equally.
+  uint64_t h = 1469598103934665603ULL;
+  const std::string text =
+      std::to_string(endpoints_.size()) + ";" + Serialise();
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return util::Mix64(h);
+}
+
+std::string ShardMap::DigestHex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(Digest()));
+  return std::string(buf);
+}
+
+int ShardMap::IndexFor(const Fingerprint& fp) const {
+  if (step_ == 0) return 0;
+  const uint64_t index = fp.hi / step_;
+  const uint64_t last = endpoints_.size() - 1;
+  return static_cast<int>(index < last ? index : last);
+}
+
+FingerprintRange ShardMap::RangeFor(int index) const {
+  HTD_CHECK_GE(index, 0);
+  HTD_CHECK_LT(index, num_shards());
+  if (step_ == 0) return FingerprintRange{};
+  FingerprintRange range;
+  range.first_hi = static_cast<uint64_t>(index) * step_;
+  range.last_hi = index == num_shards() - 1
+                      ? ~0ULL
+                      : static_cast<uint64_t>(index + 1) * step_ - 1;
+  return range;
+}
+
+}  // namespace htd::service

@@ -1,0 +1,87 @@
+// Fingerprint-range shard map: the shared topology config of a sharded
+// warm-state deployment.
+//
+// The paper's parallel LogKDecomp wins come from splitting the work that
+// det-k-decomp's "extensive caching" serialises (PODS 2022 §1); PR 2/3
+// rebuilt that caching as long-lived warm state (result cache + subproblem
+// store, snapshot-persistent). One process can only hold so much of it, so
+// the warm state is scaled out by partitioning the canonical 128-bit
+// fingerprint space — the key of the result cache AND of the subproblem
+// store — into N contiguous ranges, one hdserver process per range. The
+// fingerprint is isomorphism-invariant, so every renaming of an instance
+// (and every isomorphic subproblem) lands on the same shard: the same
+// cache-partitioning discipline det-k applies in-process, lifted to a fleet.
+//
+// A ShardMap is parsed from the operator's endpoint list
+// ("host:port,host:port,..."); shard i owns the i-th of N equal slices of
+// the fingerprint's high word. Every participant — the hdserver proxy mode
+// (net/shard_router.h), sharded hdserver backends, and hdclient doing
+// client-side hashing — must hold the SAME map: Digest() condenses the
+// full topology into 64 bits that are attached to forwarded requests
+// (x-htd-shard-digest) and checked by the backends, so a client or proxy
+// operating on a stale map is refused with 421 instead of silently
+// poisoning another shard's range.
+//
+// Routing is pure arithmetic (no lookup tables): IndexFor is a division,
+// RangeFor an interval — deterministic across processes, architectures,
+// and restarts, which is what makes per-shard snapshots self-describing
+// (each shard persists only its range; see service/persistence.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "service/canonical.h"
+#include "util/status.h"
+
+namespace htd::service {
+
+struct ShardEndpoint {
+  std::string host;
+  int port = 0;
+
+  bool operator==(const ShardEndpoint& other) const {
+    return host == other.host && port == other.port;
+  }
+};
+
+class ShardMap {
+ public:
+  /// Parses "host:port,host:port,..." (1 to 4096 endpoints; spaces around
+  /// commas tolerated). InvalidArgument on empty specs, malformed endpoints,
+  /// or out-of-range ports.
+  static util::StatusOr<ShardMap> Parse(const std::string& spec);
+
+  /// Canonical textual form ("host:port,host:port"); Parse(Serialise())
+  /// round-trips, and equal maps serialise equally.
+  std::string Serialise() const;
+
+  /// 64-bit digest of the full topology (shard count + every endpoint).
+  /// Two processes agree on routing iff their digests match.
+  uint64_t Digest() const;
+  /// Digest() in 16 hex digits, the wire form of x-htd-shard-digest.
+  std::string DigestHex() const;
+
+  int num_shards() const { return static_cast<int>(endpoints_.size()); }
+  const ShardEndpoint& endpoint(int index) const { return endpoints_[index]; }
+
+  /// The shard owning `fp`: floor(fp.hi / step), clamped to the last shard.
+  /// Deterministic — equal maps route equal fingerprints identically.
+  int IndexFor(const Fingerprint& fp) const;
+
+  /// The inclusive hi-word range shard `index` owns. Ranges partition the
+  /// space: every fingerprint is in exactly one shard's range, and
+  /// RangeFor(IndexFor(fp)).Contains(fp) always holds.
+  FingerprintRange RangeFor(int index) const;
+
+ private:
+  explicit ShardMap(std::vector<ShardEndpoint> endpoints);
+
+  /// Width of each shard's hi-slice (2^64 / num_shards, rounded up so
+  /// num_shards * step covers the space; the last shard absorbs the
+  /// remainder). 0 means the single-shard full range.
+  uint64_t step_ = 0;
+  std::vector<ShardEndpoint> endpoints_;
+};
+
+}  // namespace htd::service

@@ -331,11 +331,13 @@ void SubproblemStore::InsertPositiveVariant(
   EvictOver(shard);
 }
 
-std::vector<SubproblemStore::ExportedEntry> SubproblemStore::Export() {
+std::vector<SubproblemStore::ExportedEntry> SubproblemStore::Export(
+    const FingerprintRange* range) {
   std::vector<ExportedEntry> exported;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     for (const Entry& entry : shard->lru) {
+      if (range != nullptr && !range->Contains(entry.key.fingerprint)) continue;
       ExportedEntry out;
       out.fingerprint = entry.key.fingerprint;
       out.k = entry.key.k;
@@ -353,7 +355,9 @@ std::vector<SubproblemStore::ExportedEntry> SubproblemStore::Export() {
   return exported;
 }
 
-void SubproblemStore::Import(const ExportedEntry& entry) {
+bool SubproblemStore::Import(const ExportedEntry& entry,
+                             const FingerprintRange* range) {
+  if (range != nullptr && !range->Contains(entry.fingerprint)) return false;
   MapKey map_key{entry.fingerprint, entry.k};
   for (const auto& traces : entry.negatives) {
     InsertNegativeVariant(map_key, traces);
@@ -364,6 +368,7 @@ void SubproblemStore::Import(const ExportedEntry& entry) {
     variant->fragment = positive.fragment;
     InsertPositiveVariant(map_key, std::move(variant));
   }
+  return true;
 }
 
 void SubproblemStore::Clear() {

@@ -157,13 +157,18 @@ class SubproblemStore {
   };
 
   /// Snapshots every resident entry, shard by shard, most- to least-recently
-  /// used within a shard. One shard lock held at a time.
-  std::vector<ExportedEntry> Export();
+  /// used within a shard. One shard lock held at a time. With a non-null
+  /// `range`, entries whose fingerprint falls outside it are skipped — a
+  /// fingerprint-range-sharded server persists only its slice of the key
+  /// space (service/shard_map.h).
+  std::vector<ExportedEntry> Export(const FingerprintRange* range = nullptr);
 
   /// Merges one exported entry back in through the normal dominance /
   /// antichain / eviction machinery, so importing into a non-empty store is
-  /// safe. Counts as ordinary inserts in the stats.
-  void Import(const ExportedEntry& entry);
+  /// safe. Counts as ordinary inserts in the stats. With a non-null `range`,
+  /// an entry outside it is dropped and false is returned — loading a
+  /// pre-resharding snapshot keeps only the entries this shard now owns.
+  bool Import(const ExportedEntry& entry, const FingerprintRange* range = nullptr);
 
  private:
   struct MapKey {

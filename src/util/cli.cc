@@ -1,0 +1,42 @@
+#include "util/cli.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace htd::util {
+
+bool ParseIntFlag(std::string_view text, long min_value, long max_value,
+                  long* out) {
+  if (text.empty()) return false;
+  // strtol skips leading whitespace; a flag value starting with space is
+  // operator error, not a number.
+  if (std::isspace(static_cast<unsigned char>(text.front()))) return false;
+  std::string owned(text);
+  errno = 0;
+  char* end = nullptr;
+  long value = std::strtol(owned.c_str(), &end, 10);
+  if (end != owned.c_str() + owned.size()) return false;
+  if (errno == ERANGE) return false;
+  if (value < min_value || value > max_value) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDoubleFlag(std::string_view text, double min_value, double* out) {
+  if (text.empty()) return false;
+  if (std::isspace(static_cast<unsigned char>(text.front()))) return false;
+  std::string owned(text);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size()) return false;
+  if (errno == ERANGE || !std::isfinite(value)) return false;
+  if (value < min_value) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace htd::util

@@ -1,0 +1,26 @@
+// Strict numeric parsing for command-line flags.
+//
+// std::atoi silently turns garbage into 0 — `--port x` binds an ephemeral
+// port, `--queue-depth x` sheds every request — and overflow is undefined
+// behaviour. These helpers parse the FULL string (no trailing junk), check
+// the permitted range, and report failure instead of guessing, so the tools
+// (tools/hdserver.cc, tools/hdclient.cc) can print usage and exit non-zero
+// on bad input. Kept exception-free like the rest of util/.
+#pragma once
+
+#include <string_view>
+
+namespace htd::util {
+
+/// Parses `text` as a base-10 integer in [min_value, max_value]. The whole
+/// string must be consumed (leading/trailing whitespace and trailing
+/// characters are errors); out-of-range values — including anything that
+/// overflows long — fail rather than wrap. Returns false without touching
+/// `*out` on failure.
+bool ParseIntFlag(std::string_view text, long min_value, long max_value,
+                  long* out);
+
+/// Ditto for floating-point flags: full-string, finite, and >= min_value.
+bool ParseDoubleFlag(std::string_view text, double min_value, double* out);
+
+}  // namespace htd::util

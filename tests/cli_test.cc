@@ -1,0 +1,71 @@
+// util/cli.h: strict CLI-flag parsing. Regression coverage for the tools'
+// former bare-atoi behaviour, where `--port x` silently bound port 0 (an
+// ephemeral port), `--queue-depth x` silently shed everything, and numeric
+// overflow was UB.
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace htd::util {
+namespace {
+
+TEST(CliTest, ParsesPlainIntegers) {
+  long value = -1;
+  EXPECT_TRUE(ParseIntFlag("8080", 0, 65535, &value));
+  EXPECT_EQ(value, 8080);
+  EXPECT_TRUE(ParseIntFlag("0", 0, 65535, &value));
+  EXPECT_EQ(value, 0);
+  EXPECT_TRUE(ParseIntFlag("-3", -10, 10, &value));
+  EXPECT_EQ(value, -3);
+  EXPECT_TRUE(ParseIntFlag("+7", 0, 10, &value));
+  EXPECT_EQ(value, 7);
+}
+
+TEST(CliTest, RejectsWhatAtoiAccepted) {
+  long value = 123;
+  // atoi("x") == 0: the bug this helper exists to kill.
+  EXPECT_FALSE(ParseIntFlag("x", 0, 65535, &value));
+  // atoi("8080x") == 8080: trailing junk must fail, full string or nothing.
+  EXPECT_FALSE(ParseIntFlag("8080x", 0, 65535, &value));
+  EXPECT_FALSE(ParseIntFlag("12 ", 0, 65535, &value));
+  EXPECT_FALSE(ParseIntFlag(" 12", 0, 65535, &value));
+  EXPECT_FALSE(ParseIntFlag("", 0, 65535, &value));
+  EXPECT_FALSE(ParseIntFlag("1.5", 0, 65535, &value));
+  EXPECT_FALSE(ParseIntFlag("0x10", 0, 65535, &value));
+  EXPECT_EQ(value, 123) << "failed parses must not touch the output";
+}
+
+TEST(CliTest, RejectsOutOfRangeAndOverflow) {
+  long value;
+  EXPECT_FALSE(ParseIntFlag("65536", 0, 65535, &value));
+  EXPECT_FALSE(ParseIntFlag("-1", 0, 65535, &value));
+  // atoi overflow is UB; here it is a plain failure.
+  EXPECT_FALSE(ParseIntFlag("99999999999999999999999999", 0, 65535, &value));
+  EXPECT_FALSE(ParseIntFlag("-99999999999999999999999999", -100, 100, &value));
+  EXPECT_TRUE(ParseIntFlag("65535", 0, 65535, &value));
+  EXPECT_EQ(value, 65535);
+}
+
+TEST(CliTest, ParsesSeconds) {
+  double value = -1;
+  EXPECT_TRUE(ParseDoubleFlag("1.5", 0.0, &value));
+  EXPECT_DOUBLE_EQ(value, 1.5);
+  EXPECT_TRUE(ParseDoubleFlag("0", 0.0, &value));
+  EXPECT_DOUBLE_EQ(value, 0.0);
+  EXPECT_TRUE(ParseDoubleFlag("1e3", 0.0, &value));
+  EXPECT_DOUBLE_EQ(value, 1000.0);
+}
+
+TEST(CliTest, RejectsBadSeconds) {
+  double value;
+  EXPECT_FALSE(ParseDoubleFlag("abc", 0.0, &value));
+  EXPECT_FALSE(ParseDoubleFlag("1.5s", 0.0, &value));
+  EXPECT_FALSE(ParseDoubleFlag("", 0.0, &value));
+  EXPECT_FALSE(ParseDoubleFlag("-1", 0.0, &value));
+  EXPECT_FALSE(ParseDoubleFlag("nan", 0.0, &value));
+  EXPECT_FALSE(ParseDoubleFlag("inf", 0.0, &value));
+  EXPECT_FALSE(ParseDoubleFlag("1e999", 0.0, &value));
+}
+
+}  // namespace
+}  // namespace htd::util

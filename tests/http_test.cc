@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <map>
 #include <string>
 
 namespace htd::net {
@@ -165,6 +167,76 @@ TEST(HttpParserTest, ConnectionCloseSemantics) {
   ASSERT_EQ(parser.Consume("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"),
             State::kDone);
   EXPECT_FALSE(parser.request().WantsClose());
+}
+
+TEST(HttpParserTest, ConnectionTokenLists) {
+  // RFC 7230 §6.1: the Connection header is a comma-separated token list.
+  // An HTTP/1.0 client sending "keep-alive, upgrade" used to fall through
+  // to the version default and get its connection closed mid-stream.
+  HttpRequestParser parser;
+  ASSERT_EQ(parser.Consume("GET / HTTP/1.0\r\n"
+                           "Connection: keep-alive, upgrade\r\n\r\n"),
+            State::kDone);
+  EXPECT_FALSE(parser.request().WantsClose());
+
+  parser.Reset();
+  ASSERT_EQ(parser.Consume("GET / HTTP/1.1\r\n"
+                           "Connection: Upgrade , Close\r\n\r\n"),
+            State::kDone);
+  EXPECT_TRUE(parser.request().WantsClose())
+      << "close anywhere in the list closes, case-insensitively";
+
+  parser.Reset();
+  ASSERT_EQ(parser.Consume("GET / HTTP/1.0\r\n"
+                           "Connection: close, keep-alive\r\n\r\n"),
+            State::kDone);
+  EXPECT_TRUE(parser.request().WantsClose()) << "close wins over keep-alive";
+
+  parser.Reset();
+  ASSERT_EQ(parser.Consume("GET / HTTP/1.1\r\n"
+                           "Connection: upgrade\r\n\r\n"),
+            State::kDone);
+  EXPECT_FALSE(parser.request().WantsClose())
+      << "unrecognised tokens only: fall back to the version default";
+}
+
+TEST(HttpResponseTest, HandlerHeadersNeverDuplicateFixedOnes) {
+  // SerializeResponse owns Content-Type / Content-Length / Connection; a
+  // handler that also sets them (e.g. a proxy copying upstream headers)
+  // used to produce a duplicate-header response.
+  HttpResponse response;
+  response.body = "ok";
+  response.headers.emplace_back("content-length", "999");
+  response.headers.emplace_back("Content-Type", "text/plain");
+  response.headers.emplace_back("CONNECTION", "keep-alive");
+  response.headers.emplace_back("Retry-After", "2");
+  std::string wire = SerializeResponse(response, "close");
+
+  auto count = [&wire](const std::string& needle) {
+    size_t n = 0;
+    for (size_t pos = wire.find(needle); pos != std::string::npos;
+         pos = wire.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  // Lower-case the wire once so the count is case-insensitive.
+  for (char& c : wire) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  EXPECT_EQ(count("content-length:"), 1u) << wire;
+  EXPECT_EQ(count("content-type:"), 1u) << wire;
+  EXPECT_EQ(count("connection:"), 1u) << wire;
+  EXPECT_EQ(count("retry-after:"), 1u) << "non-colliding headers still pass";
+
+  // The serialiser's values (not the handler's stale copies) are the ones
+  // on the wire.
+  int status = 0;
+  std::map<std::string, std::string> headers;
+  std::string body;
+  ASSERT_TRUE(ParseHttpResponseBlob(SerializeResponse(response, "close"),
+                                    &status, &headers, &body));
+  EXPECT_EQ(headers.at("content-length"), "2");
+  EXPECT_EQ(headers.at("connection"), "close");
+  EXPECT_EQ(body, "ok");
 }
 
 TEST(HttpParserTest, AsciiIEquals) {

@@ -189,18 +189,24 @@ TEST(NetServerTest, SyncFloodShedsAtTheConnectionBound) {
 
   // Two synchronous requests pin both connection slots (the single worker
   // solves one; the other waits in the scheduler) — no async, so the
-  // application-level queue bound alone could never shed this shape.
+  // application-level queue bound alone could never shed this shape. The
+  // pinning connections are opened HERE, sequentially, before any stats
+  // probe: the kernel's accept queue is FIFO, so they own the two slots
+  // before a probe can steal one (probe threads racing the pins for slots
+  // made the original formulation flaky).
   std::string slow = WriteHyperBench(MakeClique(24));
-  std::atomic<int> done{0};
-  auto pin = [&] {
-    WireResponse r =
-        Exchange(port, "POST", "/v1/decompose?k=4&timeout=30", slow);
-    EXPECT_EQ(r.status, 200);  // resolves as cancelled once Stop() sweeps
-    done.fetch_add(1);
-  };
-  std::thread a(pin), b(pin);
+  std::string pin_request =
+      "POST /v1/decompose?k=4&timeout=30 HTTP/1.1\r\n"
+      "Content-Length: " + std::to_string(slow.size()) +
+      "\r\nConnection: close\r\n\r\n" + slow;
+  auto pin1 = util::ConnectTcp("127.0.0.1", port, /*timeout_seconds=*/120.0);
+  ASSERT_TRUE(pin1.ok()) << pin1.status().message();
+  ASSERT_TRUE(util::SendAll(pin1->fd(), pin_request));
+  auto pin2 = util::ConnectTcp("127.0.0.1", port, /*timeout_seconds=*/120.0);
+  ASSERT_TRUE(pin2.ok()) << pin2.status().message();
+  ASSERT_TRUE(util::SendAll(pin2->fd(), pin_request));
 
-  // Wait until both connections are live, then the next one must be shed
+  // Once the acceptor has admitted both, the next connection must be shed
   // with 503 at the transport instead of queueing in the IO pool.
   WireResponse shed;
   for (int i = 0; i < 200; ++i) {
@@ -210,12 +216,33 @@ TEST(NetServerTest, SyncFloodShedsAtTheConnectionBound) {
   }
   EXPECT_EQ(shed.status, 503) << shed.body;
   EXPECT_EQ(shed.headers.at("retry-after"), "1");
-  EXPECT_EQ(done.load(), 0) << "pinned requests must still be in flight";
 
-  (*server)->Stop();  // cancels the pinned solves; both threads unblock
-  a.join();
-  b.join();
-  EXPECT_EQ(done.load(), 2);
+  // The acceptor counts a connection live before its handler task has run;
+  // stopping now could 503 the pins before they are admitted. Wait until
+  // both have reached the scheduler.
+  for (int i = 0; i < 500 && (*server)->admission_stats().admitted < 2; ++i) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_EQ((*server)->admission_stats().admitted, 2u);
+
+  // Stop() cancels the pinned solves but flushes their in-flight responses
+  // (read-side-only shutdown): both pinned connections still read an
+  // orderly 200 (outcome: cancelled).
+  (*server)->Stop();
+  for (util::Socket* pin : {&*pin1, &*pin2}) {
+    std::string blob;
+    char buffer[8192];
+    while (true) {
+      long n = util::RecvSome(pin->fd(), buffer, sizeof(buffer));
+      if (n <= 0) break;
+      blob.append(buffer, static_cast<size_t>(n));
+    }
+    WireResponse response;
+    ASSERT_TRUE(ParseHttpResponseBlob(blob, &response.status, &response.headers,
+                                      &response.body))
+        << "pinned connection must still get its response: " << blob;
+    EXPECT_EQ(response.status, 200);
+  }
 }
 
 TEST(NetServerTest, SnapshotWarmRestartServesCacheHits) {

@@ -6,6 +6,13 @@
 //   $ hdclient stats
 //   $ hdclient snapshot
 //
+// Sharded fleets (docs/SERVER.md "Sharding the warm state"): with
+// --shards host:port,host:port the client hashes the instance's canonical
+// fingerprint itself and talks straight to the owning shard — no proxy hop.
+// The shared ShardMap's digest rides along on every request, so a client
+// holding a stale topology is refused with 421 instead of warming the wrong
+// shard. `stats` and `snapshot` fan out to every shard.
+//
 // Speaks HTTP/1.1 over a raw TCP socket (Connection: close per request) —
 // no external dependencies. The response body is printed to stdout.
 //
@@ -18,10 +25,15 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 
+#include "hypergraph/parser.h"
 #include "net/http.h"
+#include "service/canonical.h"
+#include "service/shard_map.h"
+#include "util/cli.h"
 #include "util/socket.h"
 
 namespace {
@@ -43,12 +55,15 @@ struct Args {
   bool decomposition = false;
   bool expect_cache_hit = false;
   bool quiet = false;
+  /// Client-side sharding: fingerprint the instance locally and pick the
+  /// owning endpoint from this map (overrides --host/--port for decompose).
+  std::optional<htd::service::ShardMap> shards;
 };
 
 void Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--host H] [--port N] COMMAND\n"
+      "usage: %s [--host H] [--port N] [--shards H:P,H:P,...] COMMAND\n"
       "commands:\n"
       "  decompose FILE --k N [--timeout S] [--async] [--decomposition]\n"
       "            [--expect-cache-hit]      FILE '-' reads stdin\n"
@@ -56,10 +71,36 @@ void Usage(const char* argv0) {
       "  stats                               GET /v1/stats\n"
       "  snapshot                            POST /v1/admin/snapshot\n"
       "options:\n"
+      "  --shards H:P,...      shared shard map: decompose routes to the\n"
+      "                        shard owning the instance's fingerprint;\n"
+      "                        stats/snapshot fan out to every shard\n"
       "  --quiet               suppress the response body on success\n"
       "  --connect-timeout S   transport timeout (default 120; sync decompose\n"
       "                        reads wait at least the job timeout + 60)\n",
       argv0);
+}
+
+/// Strict numeric flag parse; a false return lands in main's usage+exit-2
+/// path (bare atoi silently turned `--port x` into port 0).
+bool FlagInt(const char* flag, const char* text, long min_value, long max_value,
+             long* out) {
+  if (!htd::util::ParseIntFlag(text, min_value, max_value, out)) {
+    std::fprintf(stderr,
+                 "invalid value for %s: \"%s\" (expected an integer in "
+                 "[%ld, %ld])\n",
+                 flag, text, min_value, max_value);
+    return false;
+  }
+  return true;
+}
+
+bool FlagSeconds(const char* flag, const char* text, double* out) {
+  if (!htd::util::ParseDoubleFlag(text, 0.0, out)) {
+    std::fprintf(stderr, "invalid value for %s: \"%s\" (expected seconds >= 0)\n",
+                 flag, text);
+    return false;
+  }
+  return true;
 }
 
 bool ParseArgs(int argc, char** argv, Args& args) {
@@ -79,20 +120,35 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.host = v;
     } else if (flag == "--port") {
       const char* v = next("--port");
+      long port;
+      if (v == nullptr || !FlagInt("--port", v, 1, 65535, &port)) return false;
+      args.port = static_cast<int>(port);
+    } else if (flag == "--shards") {
+      const char* v = next("--shards");
       if (v == nullptr) return false;
-      args.port = std::atoi(v);
+      auto map = htd::service::ShardMap::Parse(v);
+      if (!map.ok()) {
+        std::fprintf(stderr, "invalid value for --shards: %s\n",
+                     map.status().message().c_str());
+        return false;
+      }
+      args.shards = *map;
     } else if (flag == "--k") {
       const char* v = next("--k");
-      if (v == nullptr) return false;
-      args.k = std::atoi(v);
+      long k;
+      if (v == nullptr || !FlagInt("--k", v, 1, 1'000'000, &k)) return false;
+      args.k = static_cast<int>(k);
     } else if (flag == "--timeout") {
       const char* v = next("--timeout");
-      if (v == nullptr) return false;
-      args.timeout = std::atof(v);
+      if (v == nullptr || !FlagSeconds("--timeout", v, &args.timeout)) {
+        return false;
+      }
     } else if (flag == "--connect-timeout") {
       const char* v = next("--connect-timeout");
-      if (v == nullptr) return false;
-      args.connect_timeout = std::atof(v);
+      if (v == nullptr ||
+          !FlagSeconds("--connect-timeout", v, &args.connect_timeout)) {
+        return false;
+      }
     } else if (flag == "--async") {
       args.async = true;
     } else if (flag == "--decomposition") {
@@ -126,9 +182,10 @@ bool ParseArgs(int argc, char** argv, Args& args) {
 }
 
 /// One HTTP exchange (Connection: close). Returns false on transport errors.
-bool Exchange(const Args& args, const std::string& method,
-              const std::string& target, const std::string& body, int* status,
-              std::string* response_body) {
+bool Exchange(const Args& args, const std::string& host, int port,
+              const std::string& method, const std::string& target,
+              const std::string& body, const std::string& extra_headers,
+              int* status, std::string* response_body) {
   double io_timeout = args.connect_timeout;
   if (args.command == "decompose" && !args.async) {
     // A synchronous solve may legitimately run for the job's full deadline;
@@ -137,14 +194,15 @@ bool Exchange(const Args& args, const std::string& method,
                      ? 0.0
                      : std::max(io_timeout, args.timeout + 60.0);
   }
-  auto sock = htd::util::ConnectTcp(args.host, args.port, io_timeout);
+  auto sock = htd::util::ConnectTcp(host, port, io_timeout);
   if (!sock.ok()) {
     std::fprintf(stderr, "hdclient: %s\n", sock.status().message().c_str());
     return false;
   }
   std::string request = method + " " + target + " HTTP/1.1\r\n";
-  request += "Host: " + args.host + "\r\n";
+  request += "Host: " + host + "\r\n";
   request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += extra_headers;
   request += "Connection: close\r\n\r\n";
   request += body;
   if (!htd::util::SendAll(sock->fd(), request)) {
@@ -175,6 +233,37 @@ std::string FormatSeconds(double seconds) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%g", seconds);
   return buf;
+}
+
+int ExitCodeFor(int status) {
+  if (status >= 200 && status < 300) return 0;
+  return status == 429 || status == 503 ? 4 : 3;
+}
+
+/// stats/snapshot against a shard map: one exchange per shard, each body
+/// printed under its endpoint. Fails with the worst per-shard exit code.
+int FanOut(const Args& args, const std::string& method,
+           const std::string& target) {
+  const htd::service::ShardMap& map = *args.shards;
+  const std::string digest_header =
+      "X-HTD-Shard-Digest: " + map.DigestHex() + "\r\n";
+  int worst = 0;
+  for (int i = 0; i < map.num_shards(); ++i) {
+    const htd::service::ShardEndpoint& endpoint = map.endpoint(i);
+    int status = 0;
+    std::string response;
+    if (!Exchange(args, endpoint.host, endpoint.port, method, target, "",
+                  digest_header, &status, &response)) {
+      worst = std::max(worst, 2);
+      continue;
+    }
+    if (!args.quiet || status < 200 || status >= 300) {
+      std::printf("shard %d (%s:%d): HTTP %d\n%s", i, endpoint.host.c_str(),
+                  endpoint.port, status, response.c_str());
+    }
+    worst = std::max(worst, ExitCodeFor(status));
+  }
+  return worst;
 }
 
 }  // namespace
@@ -218,9 +307,47 @@ int main(int argc, char** argv) {
     target = "/v1/admin/snapshot";
   }
 
+  std::string host = args.host;
+  int port = args.port;
+  std::string extra_headers;
+  if (args.shards.has_value()) {
+    if (args.command == "stats" || args.command == "snapshot") {
+      return FanOut(args, method, target);
+    }
+    if (args.command == "job") {
+      std::fprintf(stderr,
+                   "hdclient: `job` with --shards is ambiguous; poll the "
+                   "shard that admitted the job via --host/--port\n");
+      return 2;
+    }
+    // Client-side hashing: the canonical fingerprint decides the shard, so
+    // every renaming of this instance lands on the same warm state.
+    auto parsed = htd::ParseAuto(body);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "hdclient: cannot parse %s: %s\n", args.file.c_str(),
+                   parsed.status().message().c_str());
+      return 2;
+    }
+    const htd::service::Fingerprint fp =
+        htd::service::CanonicalFingerprint(*parsed);
+    const int shard = args.shards->IndexFor(fp);
+    const htd::service::ShardEndpoint& endpoint = args.shards->endpoint(shard);
+    host = endpoint.host;
+    port = endpoint.port;
+    extra_headers = "X-HTD-Shard-Digest: " + args.shards->DigestHex() +
+                    "\r\nX-HTD-Shard-Fingerprint: " + fp.ToHex() + "\r\n";
+    if (!args.quiet) {
+      std::fprintf(stderr, "hdclient: %s -> shard %d (%s:%d)\n",
+                   fp.ToHex().c_str(), shard, host.c_str(), port);
+    }
+  }
+
   int status = 0;
   std::string response;
-  if (!Exchange(args, method, target, body, &status, &response)) return 2;
+  if (!Exchange(args, host, port, method, target, body, extra_headers, &status,
+                &response)) {
+    return 2;
+  }
 
   if (status >= 200 && status < 300) {
     if (!args.quiet) std::fputs(response.c_str(), stdout);
@@ -233,5 +360,5 @@ int main(int argc, char** argv) {
     return 0;
   }
   std::fprintf(stderr, "hdclient: HTTP %d: %s", status, response.c_str());
-  return status == 429 || status == 503 ? 4 : 3;
+  return ExitCodeFor(status);
 }

@@ -7,7 +7,12 @@ Phases (see ISSUE/acceptance criteria and docs/SERVER.md):
   2. restart from the snapshot: the replayed corpus reports cache hits and
      /v1/stats shows the restored entry count;
   3. overload: a single-worker server with a tiny admission bound floods
-     past the queue bound and sheds with 429 instead of queueing or hanging.
+     past the queue bound and sheds with 429 instead of queueing or hanging;
+  4. sharding: two shard servers behind a --route-to proxy — deterministic
+     fingerprint-range routing (resubmits hit the same shard's cache),
+     aggregated stats summing across shards, per-shard snapshots, and a
+     warm restart of ONE shard that serves its instances as cache hits
+     while the other shard is untouched.
 
 Usage: tools/server_smoke.py [BUILD_DIR]   (default: ./build)
 Exits non-zero with a FAIL line on the first broken property.
@@ -107,6 +112,111 @@ def write_corpus(workdir):
     return ["path.hg", "cycle.hg", "grid.hg"]
 
 
+def shard_of(fingerprint_hex, num_shards):
+    """Mirrors ShardMap::IndexFor: floor(hi / step) over equal hi-slices."""
+    hi = int(fingerprint_hex[:16], 16)
+    if num_shards == 1:
+        return 0
+    step = ((1 << 64) - 1) // num_shards + 1
+    return min(num_shards - 1, hi // step)
+
+
+def shard_phase(workdir):
+    """Phase 4: two shards behind a proxy-mode router."""
+    port_a, port_b, port_r = free_port(), free_port(), free_port()
+    shard_map = f"127.0.0.1:{port_a},127.0.0.1:{port_b}"
+    snap = {0: workdir / "shard0.snap", 1: workdir / "shard1.snap"}
+
+    def start_shard(index, port):
+        return start_server(port, "--shard-map", shard_map, "--shard-index",
+                            str(index), "--snapshot", str(snap[index]),
+                            "--workers", "2")
+
+    shards = {0: start_shard(0, port_a), 1: start_shard(1, port_b)}
+    router = start_server(port_r, "--route-to", shard_map)
+
+    # Find instances on BOTH sides of the range split: paths of growing
+    # length have effectively uniform fingerprints, so a handful suffices.
+    by_shard = {0: [], 1: []}
+    for length in range(3, 33):
+        name = f"shard_path{length}.hg"
+        text = ",\n".join(f"e{i}(n{i},n{i + 1})" for i in range(length)) + ".\n"
+        (workdir / name).write_text(text)
+        proc = client(port_r, "decompose", str(workdir / name), "--k", "2",
+                      "--timeout", "30")
+        body = json.loads(proc.stdout)
+        if body["cache_hit"]:
+            fail(f"{name}: first submission must not be a cache hit")
+        owner = shard_of(body["fingerprint"], 2)
+        if len(by_shard[owner]) < 2:
+            by_shard[owner].append(name)
+        if len(by_shard[0]) >= 2 and len(by_shard[1]) >= 2:
+            break
+    else:
+        fail("could not find instances for both shards in 30 tries")
+    corpus = by_shard[0] + by_shard[1]
+
+    # Deterministic routing: resubmission through the router must land on
+    # the shard that solved it — i.e. answer from that shard's cache.
+    for name in corpus:
+        client(port_r, "decompose", str(workdir / name), "--k", "2",
+               "--expect-cache-hit", "--quiet")
+
+    # Per-shard stats confirm the split, aggregated stats sum across shards.
+    stats = {i: json.loads(client(p, "stats").stdout)
+             for i, p in ((0, port_a), (1, port_b))}
+    for index in (0, 1):
+        hits = stats[index]["scheduler"]["cache_hits"]
+        if hits < len(by_shard[index]):
+            fail(f"shard {index}: expected >= {len(by_shard[index])} cache "
+                 f"hits, got {hits} (routing not deterministic?)")
+        if not stats[index]["shard"]["enabled"]:
+            fail(f"shard {index}: /v1/stats does not report sharding")
+    router_stats = json.loads(client(port_r, "stats").stdout)
+    agg = router_stats["aggregate"]
+    want_hits = stats[0]["scheduler"]["cache_hits"] + \
+        stats[1]["scheduler"]["cache_hits"]
+    if agg["scheduler_cache_hits"] != want_hits:
+        fail(f"aggregated cache_hits {agg['scheduler_cache_hits']} != "
+             f"sum of shards {want_hits}")
+    want_admitted = stats[0]["admission"]["admitted"] + \
+        stats[1]["admission"]["admitted"]
+    if agg["admission_admitted"] != want_admitted:
+        fail(f"aggregated admitted {agg['admission_admitted']} != "
+             f"{want_admitted}")
+
+    # Snapshot through the router: every shard persists its own range.
+    client(port_r, "snapshot", "--quiet")
+    for index in (0, 1):
+        if not snap[index].exists():
+            fail(f"shard {index} snapshot was not written")
+
+    # Restart ONLY shard 0 from its snapshot: its instances replay as cache
+    # hits, and shard 1 must not see any of this.
+    before_b = json.loads(client(port_b, "stats").stdout)
+    stop_server(shards[0])
+    shards[0] = start_shard(0, port_a)
+    restarted = json.loads(client(port_a, "stats").stdout)
+    if restarted["snapshot"]["restored_cache_entries"] < len(by_shard[0]):
+        fail(f"shard 0 restored "
+             f"{restarted['snapshot']['restored_cache_entries']} entries, "
+             f"expected >= {len(by_shard[0])}")
+    for name in by_shard[0]:
+        client(port_r, "decompose", str(workdir / name), "--k", "2",
+               "--expect-cache-hit", "--quiet")
+    after_b = json.loads(client(port_b, "stats").stdout)
+    if after_b["admission"]["admitted"] != before_b["admission"]["admitted"]:
+        fail("shard 1 saw traffic during shard 0's warm restart")
+
+    stop_server(router)
+    for proc in shards.values():
+        stop_server(proc)
+    print(f"phase 4 OK: routed {len(corpus)} instances across 2 shards "
+          f"({len(by_shard[0])}/{len(by_shard[1])} split), aggregate stats "
+          f"consistent, per-shard warm restart served "
+          f"{len(by_shard[0])} cache hits")
+
+
 def main():
     for binary in (HDSERVER, HDCLIENT):
         if not binary.exists():
@@ -173,6 +283,9 @@ def main():
         fail(f"stats disagree: {stats['admission']['shed']} != {shed}")
     stop_server(server)  # must cancel pinned solves promptly, not hang
     print(f"phase 3 OK: {accepted} admitted, {shed} shed with 429")
+
+    # --- Phase 4: fingerprint-range sharding behind the router. ------------
+    shard_phase(workdir)
 
     print("server_smoke: all phases passed")
 
