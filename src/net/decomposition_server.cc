@@ -8,7 +8,9 @@
 
 #include "decomp/decomp_writer.h"
 #include "hypergraph/parser.h"
+#include "net/http_client.h"
 #include "net/json.h"
+#include "util/cli.h"
 
 namespace htd::net {
 
@@ -49,6 +51,90 @@ double ParseSeconds(const std::string& text, double fallback) {
   return value;
 }
 
+std::string HexRange(const service::FingerprintRange& range) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%016llx-%016llx",
+                static_cast<unsigned long long>(range.first_hi),
+                static_cast<unsigned long long>(range.last_hi));
+  return std::string(buf);
+}
+
+/// Parses "HEX-HEX" (1..16 hex digits each side, first <= last) — the wire
+/// form of a fingerprint hi-range, matching the rendering in /v1/stats.
+bool ParseHexRange(const std::string& text, service::FingerprintRange* out) {
+  size_t dash = text.find('-');
+  if (dash == std::string::npos || dash == 0 || dash + 1 >= text.size()) {
+    return false;
+  }
+  auto parse_half = [](std::string_view half, uint64_t* value) {
+    if (half.empty() || half.size() > 16) return false;
+    *value = 0;
+    for (char c : half) {
+      int digit;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+      else return false;
+      *value = (*value << 4) | static_cast<uint64_t>(digit);
+    }
+    return true;
+  };
+  uint64_t first, last;
+  if (!parse_half(std::string_view(text).substr(0, dash), &first) ||
+      !parse_half(std::string_view(text).substr(dash + 1), &last)) {
+    return false;
+  }
+  if (first > last) return false;
+  out->first_hi = first;
+  out->last_hi = last;
+  return true;
+}
+
+/// Intersection of two hi-ranges; false when they are disjoint.
+bool Intersect(const service::FingerprintRange& a,
+               const service::FingerprintRange& b,
+               service::FingerprintRange* out) {
+  const uint64_t first = a.first_hi > b.first_hi ? a.first_hi : b.first_hi;
+  const uint64_t last = a.last_hi < b.last_hi ? a.last_hi : b.last_hi;
+  if (first > last) return false;
+  out->first_hi = first;
+  out->last_hi = last;
+  return true;
+}
+
+using ShardState = DecompositionServer::ShardState;
+
+/// True when a request routed by `digest_hex` may be served here: the
+/// current digest, or — mid-migration — the incoming topology's digest.
+bool DigestAccepted(const ShardState& state, const std::string& digest_hex) {
+  return digest_hex == state.digest_hex ||
+         (state.transitioning() && digest_hex == state.new_digest_hex);
+}
+
+/// True when `fp` is in a range this server currently answers for: its old
+/// range, or — mid-migration, when it stays in the fleet — its new one.
+bool RangeAccepted(const ShardState& state, const service::Fingerprint& fp) {
+  return state.range.Contains(fp) ||
+         (state.transitioning() && state.new_index >= 0 &&
+          state.new_range.Contains(fp));
+}
+
+/// The smallest single interval covering everything this server accepts.
+/// Used by /v1/admin/import (an operator/migration path): precise enough to
+/// refuse clearly-foreign entries while staying one DecodeSnapshot pass.
+service::FingerprintRange CoveringRange(const ShardState& state) {
+  service::FingerprintRange covering = state.range;
+  if (state.transitioning() && state.new_index >= 0) {
+    if (state.new_range.first_hi < covering.first_hi) {
+      covering.first_hi = state.new_range.first_hi;
+    }
+    if (state.new_range.last_hi > covering.last_hi) {
+      covering.last_hi = state.new_range.last_hi;
+    }
+  }
+  return covering;
+}
+
 }  // namespace
 
 DecompositionServer::DecompositionServer(DecompositionServerOptions options)
@@ -80,12 +166,15 @@ util::StatusOr<std::unique_ptr<DecompositionServer>> DecompositionServer::Create
       new DecompositionServer(std::move(options)));
   server->service_ = std::move(*service);
   if (server->options_.shard_map.has_value()) {
-    server->shard_range_ =
-        server->options_.shard_map->RangeFor(server->options_.shard_index);
-    server->shard_digest_hex_ = server->options_.shard_map->DigestHex();
+    auto state = std::make_shared<ShardState>(*server->options_.shard_map);
+    state->index = server->options_.shard_index;
+    state->range = state->map.RangeFor(state->index);
+    state->digest_hex = state->map.DigestHex();
+    server->shard_state_ = std::move(state);
   }
+  auto shard = server->shard_state();
   const service::FingerprintRange* range =
-      server->options_.shard_map.has_value() ? &server->shard_range_ : nullptr;
+      shard != nullptr ? &shard->range : nullptr;
 
   if (!server->options_.snapshot_path.empty() &&
       server->options_.load_snapshot_on_start) {
@@ -147,6 +236,37 @@ DecompositionServer::AdmissionStats DecompositionServer::admission_stats() const
   return stats;
 }
 
+DecompositionServer::MigrationStats DecompositionServer::migration_stats() const {
+  MigrationStats stats;
+  stats.imported_cache_entries =
+      imported_cache_entries_.load(std::memory_order_relaxed);
+  stats.imported_store_entries =
+      imported_store_entries_.load(std::memory_order_relaxed);
+  stats.migrated_out_entries =
+      migrated_out_entries_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::shared_ptr<const ShardState> DecompositionServer::shard_state() const {
+  std::lock_guard<std::mutex> lock(shard_mutex_);
+  return shard_state_;
+}
+
+void DecompositionServer::SwapShardState(
+    std::shared_ptr<const ShardState> next) {
+  std::lock_guard<std::mutex> lock(shard_mutex_);
+  shard_state_ = std::move(next);
+}
+
+uint64_t DecompositionServer::CurrentConfigDigest() const {
+  // Recompute the digest the way the service did (it arms
+  // solve.subproblem_store before digesting), so snapshot headers match the
+  // cache keys inside.
+  SolveOptions solve = options_.service.solve;
+  solve.subproblem_store = service_->subproblem_store();
+  return SolverConfigDigest(options_.service.solver_name, solve);
+}
+
 util::StatusOr<service::SnapshotStats> DecompositionServer::SaveSnapshotNow() {
   if (options_.snapshot_path.empty()) {
     return util::Status::FailedPrecondition(
@@ -156,19 +276,17 @@ util::StatusOr<service::SnapshotStats> DecompositionServer::SaveSnapshotNow() {
   // or one racing the exit save) would interleave on the shared temp file
   // and rename a corrupt snapshot over the good one.
   std::lock_guard<std::mutex> lock(snapshot_mutex_);
-  // Recompute the digest the way the service did (it arms solve.subproblem_store
-  // before digesting), so the snapshot header matches the cache keys inside.
-  SolveOptions solve = options_.service.solve;
-  solve.subproblem_store = service_->subproblem_store();
   // A sharded server persists only its own fingerprint range: shard
   // snapshots never overlap, so a fleet's warm state is the disjoint union
-  // of its shards' snapshot files.
+  // of its shards' snapshot files. Mid-migration the server answers for two
+  // ranges at once, so it snapshots unfiltered (restores filter anyway).
+  auto state = shard_state();
   const service::FingerprintRange* range =
-      options_.shard_map.has_value() ? &shard_range_ : nullptr;
-  return service::SaveSnapshot(
-      options_.snapshot_path, service_->result_cache(),
-      service_->subproblem_store(),
-      SolverConfigDigest(options_.service.solver_name, solve), range);
+      state != nullptr && !state->transitioning() ? &state->range : nullptr;
+  return service::SaveSnapshot(options_.snapshot_path,
+                               service_->result_cache(),
+                               service_->subproblem_store(),
+                               CurrentConfigDigest(), range);
 }
 
 HttpResponse DecompositionServer::Handle(const HttpRequest& request) {
@@ -201,6 +319,24 @@ HttpResponse DecompositionServer::Handle(const HttpRequest& request) {
     }
     return HandleSnapshot();
   }
+  if (request.path == "/v1/admin/export") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "use GET for /v1/admin/export");
+    }
+    return HandleExport(request);
+  }
+  if (request.path == "/v1/admin/import") {
+    if (request.method != "POST") {
+      return ErrorResponse(405, "use POST for /v1/admin/import");
+    }
+    return HandleImport(request);
+  }
+  if (request.path == "/v1/admin/migrate") {
+    if (request.method != "POST") {
+      return ErrorResponse(405, "use POST for /v1/admin/migrate");
+    }
+    return HandleMigrate(request);
+  }
   return ErrorResponse(404, "unknown route: " + request.path);
 }
 
@@ -224,22 +360,25 @@ HttpResponse DecompositionServer::HandleDecompose(const HttpRequest& request) {
   // topology must be told so, not silently served — an entry cached here
   // under a foreign range would never be found again after its snapshot is
   // filtered to this shard's slice. `sender_hashed` records that the sender
-  // proved it routed with the CURRENT map (digest header present and equal);
-  // only then is its fingerprint header trusted below in place of our own
-  // canonicalisation.
+  // proved it routed with a topology this server currently accepts (its own
+  // map, or — mid-migration — the incoming one); only then is its
+  // fingerprint header trusted below in place of our own canonicalisation.
+  auto shard = shard_state();
   bool sender_hashed = false;
-  if (options_.shard_map.has_value()) {
+  if (shard != nullptr) {
     auto digest = request.headers.find("x-htd-shard-digest");
     if (digest != request.headers.end()) {
-      if (digest->second != shard_digest_hex_) {
+      if (!DigestAccepted(*shard, digest->second)) {
         misrouted_.fetch_add(1, std::memory_order_relaxed);
         return ErrorResponse(
             421, "shard map digest mismatch: this shard is " +
-                     std::to_string(options_.shard_index) + "/" +
-                     std::to_string(options_.shard_map->num_shards()) + " of " +
-                     options_.shard_map->Serialise() + " (digest " +
-                     shard_digest_hex_ + "); request was routed by digest " +
-                     digest->second);
+                     std::to_string(shard->index) + "/" +
+                     std::to_string(shard->map.num_shards()) + " of " +
+                     shard->map.Serialise() + " (digest " + shard->digest_hex +
+                     (shard->transitioning()
+                          ? ", transitioning to " + shard->new_digest_hex
+                          : "") +
+                     "); request was routed by digest " + digest->second);
       }
       sender_hashed = true;
     }
@@ -250,11 +389,11 @@ HttpResponse DecompositionServer::HandleDecompose(const HttpRequest& request) {
         bad_requests_.fetch_add(1, std::memory_order_relaxed);
         return ErrorResponse(400, "x-htd-shard-fingerprint must be 32 hex digits");
       }
-      if (!shard_range_.Contains(fp)) {
+      if (!RangeAccepted(*shard, fp)) {
         misrouted_.fetch_add(1, std::memory_order_relaxed);
         return ErrorResponse(
             421, "misrouted: fingerprint " + fp_header->second +
-                     " is outside shard " + std::to_string(options_.shard_index) +
+                     " is outside shard " + std::to_string(shard->index) +
                      "'s range");
       }
     } else {
@@ -293,25 +432,25 @@ HttpResponse DecompositionServer::HandleDecompose(const HttpRequest& request) {
     return ErrorResponse(400, "cannot parse hypergraph: " +
                                   parsed.status().message());
   }
-  if (options_.shard_map.has_value() && !sender_hashed) {
-    // The sender did not prove it hashed with the current map (no digest
+  if (shard != nullptr && !sender_hashed) {
+    // The sender did not prove it hashed with an accepted map (no digest
     // header, or no fingerprint header to go with it — e.g. a client
     // talking to a shard directly, without --shards, or one sending a
     // crafted fingerprint alone). Enforce the range on OUR fingerprint:
     // admitting would warm a foreign range — the entry would be invisible
     // to correctly-routed traffic and silently dropped by the next
     // range-filtered snapshot. (When both headers are present and the
-    // digest matches, the sender demonstrably ran IndexFor on the current
+    // digest matches, the sender demonstrably ran IndexFor on an accepted
     // topology; recomputing here would double-pay canonicalisation on
     // every routed request.)
     const service::Fingerprint fp = service::CanonicalFingerprint(*parsed);
-    if (!shard_range_.Contains(fp)) {
+    if (!RangeAccepted(*shard, fp)) {
       misrouted_.fetch_add(1, std::memory_order_relaxed);
       return ErrorResponse(
           421, "misrouted: instance fingerprint " + fp.ToHex() +
                    " belongs to shard " +
-                   std::to_string(options_.shard_map->IndexFor(fp)) +
-                   ", this is shard " + std::to_string(options_.shard_index) +
+                   std::to_string(shard->map.IndexFor(fp)) +
+                   ", this is shard " + std::to_string(shard->index) +
                    " (route via the shard map)");
     }
   }
@@ -390,6 +529,8 @@ HttpResponse DecompositionServer::HandleStats() {
   auto cache = service_->cache_stats();
   auto store = service_->subproblem_stats();
   AdmissionStats admission = admission_stats();
+  MigrationStats migration = migration_stats();
+  auto shard = shard_state();
 
   std::string body = "{";
   body += "\"scheduler\": {";
@@ -424,20 +565,31 @@ HttpResponse DecompositionServer::HandleStats() {
   body += ", \"max_queue_depth\": " + std::to_string(options_.max_queue_depth);
   body += ", \"max_connections\": " + std::to_string(options_.http.max_connections);
   body += "}, \"shard\": {";
-  if (options_.shard_map.has_value()) {
+  if (shard != nullptr) {
     body += "\"enabled\": true";
-    body += ", \"index\": " + std::to_string(options_.shard_index);
-    body += ", \"count\": " + std::to_string(options_.shard_map->num_shards());
-    body += ", \"digest\": \"" + shard_digest_hex_ + "\"";
-    char range_buf[64];
-    std::snprintf(range_buf, sizeof(range_buf),
-                  ", \"range\": \"%016llx-%016llx\"",
-                  static_cast<unsigned long long>(shard_range_.first_hi),
-                  static_cast<unsigned long long>(shard_range_.last_hi));
-    body += range_buf;
+    body += ", \"index\": " + std::to_string(shard->index);
+    body += ", \"count\": " + std::to_string(shard->map.num_shards());
+    body += ", \"digest\": \"" + shard->digest_hex + "\"";
+    body += ", \"range\": \"" + HexRange(shard->range) + "\"";
+    body += std::string(", \"transitioning\": ") +
+            (shard->transitioning() ? "true" : "false");
+    if (shard->transitioning()) {
+      body += ", \"new_digest\": \"" + shard->new_digest_hex + "\"";
+      body += ", \"new_index\": " + std::to_string(shard->new_index);
+      if (shard->new_index >= 0) {
+        body += ", \"new_range\": \"" + HexRange(shard->new_range) + "\"";
+      }
+    }
   } else {
     body += "\"enabled\": false";
   }
+  body += "}, \"migration\": {";
+  body += "\"imported_cache_entries\": " +
+          std::to_string(migration.imported_cache_entries);
+  body += ", \"imported_store_entries\": " +
+          std::to_string(migration.imported_store_entries);
+  body += ", \"migrated_out_entries\": " +
+          std::to_string(migration.migrated_out_entries);
   body += "}, \"snapshot\": {";
   body += "\"path\": \"" + JsonEscape(options_.snapshot_path) + "\"";
   body += ", \"restored_cache_entries\": " + std::to_string(restored_.cache_entries);
@@ -463,6 +615,260 @@ HttpResponse DecompositionServer::HandleSnapshot() {
                   std::to_string(saved->cache_entries) +
                   ", \"store_entries\": " + std::to_string(saved->store_entries) +
                   ", \"bytes\": " + std::to_string(saved->bytes) + "}\n";
+  return response;
+}
+
+HttpResponse DecompositionServer::HandleExport(const HttpRequest& request) {
+  service::FingerprintRange range;
+  const std::string range_text = request.QueryOr("range", "");
+  if (range_text.empty()) {
+    // No range = everything this server holds (an operator copy drill).
+  } else if (!ParseHexRange(range_text, &range)) {
+    return ErrorResponse(400, "query parameter range must be HEX-HEX "
+                              "(fingerprint hi bounds, inclusive)");
+  }
+  service::SnapshotStats written;
+  std::string blob = service::EncodeSnapshot(
+      service_->result_cache(), service_->subproblem_store(),
+      CurrentConfigDigest(), range_text.empty() ? nullptr : &range, &written);
+  HttpResponse response;
+  response.content_type = "application/octet-stream";
+  response.headers.emplace_back("X-HTD-Cache-Entries",
+                                std::to_string(written.cache_entries));
+  response.headers.emplace_back("X-HTD-Store-Entries",
+                                std::to_string(written.store_entries));
+  response.body = std::move(blob);
+  return response;
+}
+
+HttpResponse DecompositionServer::HandleImport(const HttpRequest& request) {
+  if (request.body.empty()) {
+    return ErrorResponse(400, "empty body: expected a snapshot blob "
+                              "(service/persistence.h format)");
+  }
+  auto shard = shard_state();
+  if (shard != nullptr) {
+    auto digest = request.headers.find("x-htd-shard-digest");
+    if (digest != request.headers.end() &&
+        !DigestAccepted(*shard, digest->second)) {
+      misrouted_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(
+          421, "import routed by digest " + digest->second +
+                   " but this shard accepts " + shard->digest_hex +
+                   (shard->transitioning() ? " or " + shard->new_digest_hex
+                                           : ""));
+    }
+  }
+  // Filter to the accepted slice of the key space; a migration push built
+  // against the right map never loses entries to this (the sender already
+  // cut the blob to our range), while a mis-aimed blob is trimmed instead
+  // of poisoning a foreign range.
+  service::FingerprintRange covering;
+  const service::FingerprintRange* range = nullptr;
+  if (shard != nullptr) {
+    covering = CoveringRange(*shard);
+    range = &covering;
+  }
+  auto imported = service::DecodeSnapshot(request.body,
+                                          service_->result_cache(),
+                                          service_->subproblem_store(), range);
+  if (!imported.ok()) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(400, "cannot import snapshot blob: " +
+                                  imported.status().message());
+  }
+  imported_cache_entries_.fetch_add(imported->cache_entries,
+                                    std::memory_order_relaxed);
+  imported_store_entries_.fetch_add(imported->store_entries,
+                                    std::memory_order_relaxed);
+  HttpResponse response;
+  response.body = "{\"imported\": true, \"cache_entries\": " +
+                  std::to_string(imported->cache_entries) +
+                  ", \"store_entries\": " + std::to_string(imported->store_entries) +
+                  ", \"dropped_out_of_range\": " +
+                  std::to_string(imported->dropped_out_of_range) + "}\n";
+  return response;
+}
+
+HttpResponse DecompositionServer::HandleMigrate(const HttpRequest& request) {
+  // One migration flow at a time; begin, re-drive, and finalise serialise.
+  std::lock_guard<std::mutex> migrate_lock(migrate_mutex_);
+  auto shard = shard_state();
+  if (shard == nullptr) {
+    return ErrorResponse(412, "not a sharded server: /v1/admin/migrate needs "
+                              "--shard-map/--shard-index");
+  }
+  if (stopping_.load(std::memory_order_acquire)) {
+    return ErrorResponse(503, "server is shutting down");
+  }
+
+  if (request.QueryOr("finalise", "0") == "1") {
+    if (!shard->transitioning()) {
+      return ErrorResponse(412, "no migration in flight to finalise");
+    }
+    if (shard->new_index < 0) {
+      return ErrorResponse(412, "this backend is leaving the fleet "
+                                "(new_index=-1); shut it down instead of "
+                                "finalising");
+    }
+    auto next = std::make_shared<ShardState>(*shard->new_map);
+    next->index = shard->new_index;
+    next->range = next->map.RangeFor(next->index);
+    next->digest_hex = next->map.DigestHex();
+    SwapShardState(next);
+    HttpResponse response;
+    response.body = "{\"finalised\": true, \"digest\": \"" + next->digest_hex +
+                    "\", \"index\": " + std::to_string(next->index) +
+                    ", \"range\": \"" + HexRange(next->range) + "\"}\n";
+    return response;
+  }
+
+  long new_index;
+  if (!util::ParseIntFlag(request.QueryOr("new_index", "-1"), -1, 4095,
+                          &new_index)) {
+    return ErrorResponse(400, "query parameter new_index must be an integer "
+                              ">= -1 (-1 = this backend leaves the fleet)");
+  }
+  // `self` is this process's own endpoint as it appears in the new map. The
+  // server cannot know its public host:port, and it matters when the new
+  // map REPLICATES this server's own range: the retained slice must be
+  // pushed to the new sibling replicas (minus self) or they come up cold.
+  // Without `self` the own-range push is skipped entirely — a self-push
+  // would tie up an IO thread talking to itself.
+  std::optional<service::ShardEndpoint> self;
+  const std::string self_text = request.QueryOr("self", "");
+  if (!self_text.empty()) {
+    size_t colon = self_text.rfind(':');
+    long self_port;
+    if (colon == std::string::npos || colon == 0 ||
+        !util::ParseIntFlag(self_text.substr(colon + 1), 1, 65535,
+                            &self_port)) {
+      return ErrorResponse(400, "query parameter self must be host:port");
+    }
+    self = service::ShardEndpoint{self_text.substr(0, colon),
+                                  static_cast<int>(self_port)};
+  }
+  if (request.body.empty()) {
+    return ErrorResponse(400, "empty body: expected the new shard map spec "
+                              "(host:port,host:port*2,...)");
+  }
+  std::string spec = request.body;
+  while (!spec.empty() && (spec.back() == '\n' || spec.back() == '\r')) {
+    spec.pop_back();
+  }
+  auto new_map = service::ShardMap::Parse(spec);
+  if (!new_map.ok()) {
+    return ErrorResponse(400, "cannot parse new shard map: " +
+                                  new_map.status().message());
+  }
+  if (new_index >= new_map->num_shards()) {
+    return ErrorResponse(400, "new_index " + std::to_string(new_index) +
+                                  " is outside the new map (" +
+                                  std::to_string(new_map->num_shards()) +
+                                  " shards)");
+  }
+  if (new_map->DigestHex() == shard->digest_hex) {
+    return ErrorResponse(400, "new map equals the current map (digest " +
+                                  shard->digest_hex + "); nothing to migrate");
+  }
+  if (shard->transitioning() &&
+      (shard->new_digest_hex != new_map->DigestHex() ||
+       shard->new_index != static_cast<int>(new_index))) {
+    return ErrorResponse(
+        409, "a different migration is already in flight (to digest " +
+                 shard->new_digest_hex + ", new_index " +
+                 std::to_string(shard->new_index) +
+                 "); finalise or restart it with the same arguments");
+  }
+
+  // Install the transitioning state BEFORE streaming anything out: from
+  // here on this server accepts requests routed by either digest and
+  // imports for its new range, so traffic keeps flowing mid-handover.
+  // (Re-driving an identical in-flight migration is idempotent — pushes go
+  // through the dominance-checked import path.)
+  auto next = std::make_shared<ShardState>(*shard);
+  next->new_map = *new_map;
+  next->new_index = static_cast<int>(new_index);
+  next->new_digest_hex = new_map->DigestHex();
+  if (new_index >= 0) next->new_range = new_map->RangeFor(next->new_index);
+  SwapShardState(next);
+  shard = next;
+
+  // ?prepare=1 stops here: the orchestrator (tools/hdreshard.cc) prepares
+  // EVERY old backend before any of them streams, because migration pushes
+  // carry the NEW digest — a receiver that has not yet learned the incoming
+  // topology would refuse them with 421.
+  if (request.QueryOr("prepare", "0") == "1") {
+    HttpResponse response;
+    response.body = "{\"prepared\": true, \"transitioning\": true, "
+                    "\"new_digest\": \"" + shard->new_digest_hex +
+                    "\", \"new_index\": " + std::to_string(shard->new_index) +
+                    "}\n";
+    return response;
+  }
+
+  // Stream the entries leaving this range to their new owners — and, when
+  // the new map replicates our OWN range, the retained slice to the new
+  // sibling replicas: cut a snapshot blob per overlapping new range and
+  // push it to every replica of that range (minus ourselves).
+  bool all_ok = true;
+  uint64_t moved = 0;
+  std::string targets_json;
+  for (int j = 0; j < new_map->num_shards(); ++j) {
+    if (j == shard->new_index && !self.has_value()) continue;
+    service::FingerprintRange leaving;
+    if (!Intersect(shard->range, new_map->RangeFor(j), &leaving)) continue;
+    service::SnapshotStats written;
+    std::string blob = service::EncodeSnapshot(
+        service_->result_cache(), service_->subproblem_store(),
+        CurrentConfigDigest(), &leaving, &written);
+    const uint64_t entries = written.cache_entries + written.store_entries;
+    bool pushed_any = false;
+    for (int r = 0; r < new_map->num_replicas(j); ++r) {
+      const service::ShardEndpoint& target = new_map->replica(j, r);
+      if (self.has_value() && target == *self) continue;
+      FetchOptions fetch;
+      fetch.read_timeout_seconds = options_.migrate_push_timeout_seconds;
+      FetchResult pushed =
+          entries == 0
+              ? FetchResult{FetchResult::Transport::kOk, 200, {}, "", ""}
+              : HttpFetch(target.host, target.port, "POST", "/v1/admin/import",
+                          blob,
+                          {{"X-HTD-Shard-Digest", shard->new_digest_hex}},
+                          fetch);
+      pushed_any = true;
+      const bool ok = pushed.ok() && pushed.status == 200;
+      all_ok = all_ok && ok;
+      if (!targets_json.empty()) targets_json += ", ";
+      targets_json += "{\"range\": " + std::to_string(j);
+      targets_json += ", \"endpoint\": \"" + JsonEscape(target.host) + ":" +
+                      std::to_string(target.port) + "\"";
+      targets_json += ", \"cache_entries\": " +
+                      std::to_string(written.cache_entries);
+      targets_json +=
+          ", \"store_entries\": " + std::to_string(written.store_entries);
+      if (pushed.ok()) {
+        targets_json += ", \"status\": " + std::to_string(pushed.status);
+      } else {
+        targets_json += ", \"status\": 0, \"error\": \"" +
+                        JsonEscape(pushed.error) + "\"";
+      }
+      targets_json += "}";
+    }
+    if (pushed_any) moved += entries;
+  }
+  migrated_out_entries_.fetch_add(moved, std::memory_order_relaxed);
+
+  HttpResponse response;
+  // Partial pushes are a gateway-level failure: some new owner did NOT
+  // receive its slice, and the operator must re-drive before finalising.
+  response.status = all_ok ? 200 : 502;
+  response.body = std::string("{\"migrated\": ") + (all_ok ? "true" : "false") +
+                  ", \"transitioning\": true, \"new_digest\": \"" +
+                  shard->new_digest_hex +
+                  "\", \"new_index\": " + std::to_string(shard->new_index) +
+                  ", \"entries_out\": " + std::to_string(moved) +
+                  ", \"targets\": [" + targets_json + "]}\n";
   return response;
 }
 

@@ -1,7 +1,8 @@
 // Out-of-process decomposition server: HTTP routes, admission control, and
 // warm-state persistence over a DecompositionService.
 //
-// Routes (wire protocol details in docs/SERVER.md):
+// Routes (wire protocol details in docs/SERVER.md, fleet operations in
+// docs/OPERATIONS.md):
 //
 //   POST /v1/decompose      body: hypergraph (HyperBench or PACE text),
 //                           query: k (required), timeout, async,
@@ -12,6 +13,22 @@
 //   GET  /v1/stats          scheduler/cache/store/admission counters.
 //   POST /v1/admin/snapshot persist warm state to the configured snapshot
 //                           path (service/persistence.h).
+//   GET  /v1/admin/export?range=HEX-HEX
+//                           the warm state inside the given fingerprint
+//                           hi-range as one snapshot blob (the
+//                           service/persistence.h codec IS the wire format).
+//   POST /v1/admin/import   merge a snapshot blob into the warm state
+//                           (filtered to this shard's accepted range).
+//   POST /v1/admin/migrate?new_index=K[&prepare=1|&finalise=1]
+//                           live reshard: body carries the NEW shard map
+//                           spec; the server enters a transitioning state
+//                           (accepts both topologies), streams the entries
+//                           leaving its range to their new owners via
+//                           /v1/admin/import, and on finalise adopts the
+//                           new map exclusively. prepare=1 installs the
+//                           transitioning state WITHOUT streaming — the
+//                           orchestrator prepares every backend first so
+//                           each accepts its peers' new-digest pushes.
 //   GET  /healthz           liveness probe.
 //
 // Admission control: requests are shed with 429 + Retry-After once the
@@ -28,6 +45,16 @@
 // result cache and subproblem store from it (a missing file is a normal
 // cold start; a corrupt or version-mismatched file logs the reason to
 // stderr and starts cold — it never aborts startup).
+//
+// Live resharding: a sharded server's topology is runtime state, not just
+// configuration. /v1/admin/migrate installs a transitioning ShardState —
+// old map and new map at once — during which the server accepts requests
+// routed by EITHER digest and fingerprints in EITHER of its two ranges, so
+// a router double-routing mid-handover never surfaces a 421. Entries whose
+// owner changes are pushed (as range-filtered snapshot blobs) to every
+// replica of the new owner; the old copies stay resident until the next
+// range-filtered snapshot or LRU eviction drops them, so the donor keeps
+// serving warm hits throughout. Finalise swaps to the new map atomically.
 #pragma once
 
 #include <atomic>
@@ -76,9 +103,15 @@ struct DecompositionServerOptions {
   /// range (and restores drop out-of-range entries, so pre-resharding
   /// snapshots load cleanly), and requests carrying an x-htd-shard-digest
   /// header that disagrees with the map — a client or proxy routing by a
-  /// stale topology — are refused with 421 Misdirected Request.
+  /// stale topology — are refused with 421 Misdirected Request. The pair is
+  /// only the STARTING topology: /v1/admin/migrate can replace it at
+  /// runtime (live resharding, docs/OPERATIONS.md).
   std::optional<service::ShardMap> shard_map;
   int shard_index = -1;
+
+  /// Transport timeout for one migration push (POST /v1/admin/import to a
+  /// new owner). Blobs can be large; default is generous.
+  double migrate_push_timeout_seconds = 300.0;
 };
 
 class DecompositionServer {
@@ -88,6 +121,37 @@ class DecompositionServer {
     uint64_t shed = 0;         ///< requests rejected with 429
     uint64_t bad_requests = 0; ///< parse/validation failures (4xx)
     uint64_t misrouted = 0;    ///< sharding refusals (421): digest or range
+  };
+
+  /// Warm-state movement counters (live resharding, docs/OPERATIONS.md).
+  struct MigrationStats {
+    uint64_t imported_cache_entries = 0;  ///< merged in via /v1/admin/import
+    uint64_t imported_store_entries = 0;
+    uint64_t migrated_out_entries = 0;    ///< pushed to new owners by migrate
+  };
+
+  /// The sharding identity the server currently enforces. Starts from
+  /// DecompositionServerOptions::{shard_map, shard_index}; replaced at
+  /// runtime by /v1/admin/migrate. While `new_map` is set the server is
+  /// TRANSITIONING: it accepts the old digest AND the new one, and
+  /// fingerprints in the old range AND (when it stays in the fleet) the new
+  /// one, so no correctly double-routed request 421s mid-migration.
+  struct ShardState {
+    explicit ShardState(service::ShardMap m) : map(std::move(m)) {}
+
+    service::ShardMap map;
+    int index = 0;
+    service::FingerprintRange range;
+    std::string digest_hex;
+
+    std::optional<service::ShardMap> new_map;
+    /// This server's range under new_map; -1 = leaving the fleet (it
+    /// donates everything and serves only its old range until shut down).
+    int new_index = -1;
+    service::FingerprintRange new_range;  ///< valid iff new_index >= 0
+    std::string new_digest_hex;
+
+    bool transitioning() const { return new_map.has_value(); }
   };
 
   /// Builds the service (validated), restores the snapshot when configured,
@@ -107,8 +171,11 @@ class DecompositionServer {
   int port() const { return http_->port(); }
   service::DecompositionService& decomposition_service() { return *service_; }
   AdmissionStats admission_stats() const;
+  MigrationStats migration_stats() const;
   /// Entries restored at startup (zeros when cold).
   const service::SnapshotStats& restored() const { return restored_; }
+  /// Snapshot of the current sharding identity; null when unsharded.
+  std::shared_ptr<const ShardState> shard_state() const;
 
   /// Saves warm state to options().snapshot_path (FailedPrecondition when no
   /// path is configured). Also reachable as POST /v1/admin/snapshot.
@@ -135,26 +202,40 @@ class DecompositionServer {
   HttpResponse HandleJob(const std::string& id);
   HttpResponse HandleStats();
   HttpResponse HandleSnapshot();
+  HttpResponse HandleExport(const HttpRequest& request);
+  HttpResponse HandleImport(const HttpRequest& request);
+  HttpResponse HandleMigrate(const HttpRequest& request);
 
   /// Renders one resolved JobResult as the response JSON body.
   std::string RenderResult(const service::JobResult& job, const Hypergraph& graph,
                            bool include_decomposition) const;
+
+  /// The solver-config digest snapshots are stamped with (recomputed the
+  /// way the service armed it, so the header matches the keys inside).
+  uint64_t CurrentConfigDigest() const;
+
+  /// Atomically replaces the sharding identity.
+  void SwapShardState(std::shared_ptr<const ShardState> next);
 
   DecompositionServerOptions options_;
   std::unique_ptr<service::DecompositionService> service_;
   std::unique_ptr<HttpServer> http_;
   service::SnapshotStats restored_;
 
-  /// This shard's slice of the fingerprint space (full space when the
-  /// server is unsharded) and the map digest it enforces; both fixed at
-  /// Create() from options_.shard_map.
-  service::FingerprintRange shard_range_;
-  std::string shard_digest_hex_;
+  /// Current sharding identity (null = unsharded); readers copy the
+  /// shared_ptr under shard_mutex_, writers swap it (live resharding).
+  std::shared_ptr<const ShardState> shard_state_;
+  mutable std::mutex shard_mutex_;
+  /// Serialises /v1/admin/migrate flows (begin, re-drive, finalise).
+  std::mutex migrate_mutex_;
 
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> bad_requests_{0};
   std::atomic<uint64_t> misrouted_{0};
+  std::atomic<uint64_t> imported_cache_entries_{0};
+  std::atomic<uint64_t> imported_store_entries_{0};
+  std::atomic<uint64_t> migrated_out_entries_{0};
   std::atomic<uint64_t> next_job_id_{1};
   /// Set at the head of Stop(): new decompose requests are refused with 503
   /// so no fresh flight can slip in behind the cancellation sweep.

@@ -1,0 +1,68 @@
+#include "net/http_client.h"
+
+#include "net/http.h"
+#include "util/socket.h"
+
+namespace htd::net {
+
+FetchResult HttpFetch(const std::string& host, int port,
+                      const std::string& method, const std::string& target,
+                      const std::string& body,
+                      const std::vector<std::pair<std::string, std::string>>&
+                          extra_headers,
+                      const FetchOptions& options) {
+  FetchResult result;
+  // read_timeout 0 = wait indefinitely; SetRecvTimeout cannot unset a
+  // timeout, so connect untimed too.
+  auto sock = util::ConnectTcp(host, port,
+                               options.read_timeout_seconds == 0
+                                   ? 0
+                                   : options.connect_timeout_seconds);
+  if (!sock.ok()) {
+    result.transport = FetchResult::Transport::kConnectFailed;
+    result.error = sock.status().message();
+    return result;
+  }
+  if (options.read_timeout_seconds > 0) {
+    util::SetRecvTimeout(sock->fd(), options.read_timeout_seconds);
+  }
+
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: " + host + "\r\n";
+  wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  for (const auto& [key, value] : extra_headers) {
+    wire += key + ": " + value + "\r\n";
+  }
+  wire += "Connection: close\r\n\r\n";
+  wire += body;
+  if (!util::SendAll(sock->fd(), wire)) {
+    result.transport = FetchResult::Transport::kSendFailed;
+    result.error = "send failed";
+    return result;
+  }
+
+  std::string blob;
+  char buffer[16 * 1024];
+  while (true) {
+    long n = util::RecvSome(sock->fd(), buffer, sizeof(buffer));
+    if (n == 0) break;  // orderly close: response complete
+    if (n < 0) {
+      result.transport = n == -2 ? FetchResult::Transport::kRecvTimeout
+                                 : FetchResult::Transport::kRecvFailed;
+      result.error = n == -2 ? "response timed out" : "recv failed";
+      return result;
+    }
+    blob.append(buffer, static_cast<size_t>(n));
+  }
+
+  if (!ParseHttpResponseBlob(blob, &result.status, &result.headers,
+                             &result.body)) {
+    result.transport = FetchResult::Transport::kParseFailed;
+    result.error = "malformed HTTP response";
+    return result;
+  }
+  result.transport = FetchResult::Transport::kOk;
+  return result;
+}
+
+}  // namespace htd::net

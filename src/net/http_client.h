@@ -1,0 +1,57 @@
+// One blocking HTTP/1.1 exchange (Connection: close) over a raw TCP socket.
+//
+// Three places used to hand-roll the same request/recv/parse loop — the
+// shard router's Forward, hdclient's Exchange, and now the migration pusher
+// in net/decomposition_server.cc plus tools/hdreshard.cc. This is the shared
+// implementation. It deliberately reports transport failures as a typed
+// enum rather than an HTTP status: callers like the router must distinguish
+// "the shard is down" (connect/send/recv failed → health bookkeeping,
+// replica failover) from "the shard answered 5xx" (pass through verbatim).
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace htd::net {
+
+struct FetchOptions {
+  /// Connect timeout; ignored (wait indefinitely) when read_timeout is 0.
+  double connect_timeout_seconds = 5.0;
+  /// Response read timeout; 0 = wait indefinitely (a synchronous solve with
+  /// ?timeout=0 has no deadline).
+  double read_timeout_seconds = 120.0;
+};
+
+struct FetchResult {
+  /// Transport-level outcome; `status` and `body` are meaningful only on kOk.
+  enum class Transport {
+    kOk,
+    kConnectFailed,
+    kSendFailed,
+    kRecvFailed,
+    kRecvTimeout,
+    kParseFailed,
+  };
+
+  Transport transport = Transport::kConnectFailed;
+  int status = 0;
+  std::map<std::string, std::string> headers;  ///< keys lower-cased
+  std::string body;
+  std::string error;  ///< human-readable detail on transport failures
+
+  bool ok() const { return transport == Transport::kOk; }
+};
+
+/// Sends `method target` with `body` and `extra_headers` to host:port and
+/// reads the full response until the peer closes. Host, Content-Length, and
+/// `Connection: close` are added automatically.
+FetchResult HttpFetch(const std::string& host, int port,
+                      const std::string& method, const std::string& target,
+                      const std::string& body,
+                      const std::vector<std::pair<std::string, std::string>>&
+                          extra_headers,
+                      const FetchOptions& options);
+
+}  // namespace htd::net

@@ -16,4 +16,19 @@ std::string JsonEscape(const std::string& text);
 /// The canonical error body: {"error": "<message>"} with the given status.
 HttpResponse JsonErrorResponse(int status, const std::string& message);
 
+/// Extracts `"key": <number>` from the flat object `"section": {...}` of a
+/// fleet-rendered JSON body. The bodies this reads are the fleet's OWN
+/// (net/decomposition_server.cc renders them: two levels, flat numeric
+/// sections, exactly one space after the colon), so plain string search is
+/// exact here — this is not a general JSON parser, and every consumer
+/// (router aggregation, hdreshard verify) shares this one implementation so
+/// a renderer change cannot break them apart.
+bool FindJsonNumber(const std::string& body, const std::string& section,
+                    const std::string& key, double* out);
+
+/// As above for a key at any position in the body (top-level fields like
+/// the migrate response's "entries_out").
+bool FindJsonNumber(const std::string& body, const std::string& key,
+                    double* out);
+
 }  // namespace htd::net

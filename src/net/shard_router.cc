@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <set>
 
 #include "hypergraph/parser.h"
+#include "net/http_client.h"
 #include "net/json.h"
 #include "service/canonical.h"
 #include "util/cli.h"
-#include "util/socket.h"
 
 namespace htd::net {
 
@@ -15,22 +16,6 @@ namespace {
 
 HttpResponse ErrorResponse(int status, const std::string& message) {
   return JsonErrorResponse(status, message);
-}
-
-/// Extracts `"key": <number>` from the flat object `"section": {...}` of a
-/// stats body. The stats JSON is the server's own (two levels, flat numeric
-/// sections — net/decomposition_server.cc renders it), so plain string
-/// search is exact here; this is not a general JSON parser.
-bool FindJsonNumber(const std::string& body, const std::string& section,
-                    const std::string& key, double* out) {
-  size_t section_pos = body.find("\"" + section + "\": {");
-  if (section_pos == std::string::npos) return false;
-  size_t section_end = body.find('}', section_pos);
-  if (section_end == std::string::npos) return false;
-  size_t key_pos = body.find("\"" + key + "\": ", section_pos);
-  if (key_pos == std::string::npos || key_pos > section_end) return false;
-  *out = std::strtod(body.c_str() + key_pos + key.size() + 4, nullptr);
-  return true;
 }
 
 /// Trailing-'\n'-free copy of a forwarded JSON body, for embedding.
@@ -42,29 +27,159 @@ std::string Embed(const std::string& body) {
   return out.empty() ? "null" : out;
 }
 
+/// Inserts `prefix` in front of the job id in a 202/200 job body.
+void PrefixJobIdRaw(HttpResponse* response, const std::string& prefix) {
+  const std::string marker = "\"job\": \"";
+  size_t pos = response->body.find(marker);
+  if (pos != std::string::npos) {
+    response->body.insert(pos + marker.size(), prefix);
+  }
+}
+
+/// Prefixes the job id in a 202 body with the shard AND replica that minted
+/// it ("j7" -> "s1r0.j7") so a later GET /v1/jobs/<id> can route statelessly
+/// to the exact process. The replica matters: backends mint their own local
+/// counters, so "j7" on replica 0 and "j7" on replica 1 are DIFFERENT jobs.
+void PrefixJobId(HttpResponse* response, int shard, int replica) {
+  PrefixJobIdRaw(response,
+                 "s" + std::to_string(shard) + "r" + std::to_string(replica) +
+                     ".");
+}
+
 }  // namespace
 
 ShardRouter::ShardRouter(ShardRouterOptions options)
-    : options_(std::move(options)),
-      health_(static_cast<size_t>(options_.map.num_shards())) {}
+    : options_(std::move(options)) {
+  auto maps = std::make_shared<Maps>(options_.map);
+  maps->digest_hex = maps->map.DigestHex();
+  maps_ = std::move(maps);
+}
 
-std::vector<ShardRouter::ShardStats> ShardRouter::shard_stats() const {
-  std::vector<ShardStats> out(health_.size());
-  const auto now = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(health_mutex_);
-  for (size_t i = 0; i < health_.size(); ++i) {
-    out[i].forwarded = health_[i].forwarded;
-    out[i].transport_errors = health_[i].transport_errors;
-    out[i].backoff_shed = health_[i].backoff_shed;
-    out[i].consecutive_failures = health_[i].consecutive_failures;
-    out[i].backing_off = health_[i].retry_at > now;
+std::shared_ptr<const ShardRouter::Maps> ShardRouter::maps() const {
+  std::lock_guard<std::mutex> lock(maps_mutex_);
+  return maps_;
+}
+
+bool ShardRouter::transitioning() const {
+  return maps()->new_map.has_value();
+}
+
+service::ShardMap ShardRouter::current_map() const { return maps()->map; }
+
+util::Status ShardRouter::BeginTransition(const service::ShardMap& new_map) {
+  std::lock_guard<std::mutex> lock(maps_mutex_);
+  if (new_map.DigestHex() == maps_->digest_hex) {
+    return util::Status::InvalidArgument(
+        "new map equals the current map (digest " + maps_->digest_hex +
+        "); nothing to transition to");
+  }
+  if (maps_->new_map.has_value()) {
+    if (maps_->new_digest_hex == new_map.DigestHex()) {
+      return util::Status::Ok();  // idempotent re-announce
+    }
+    return util::Status::FailedPrecondition(
+        "a different transition is already in flight (to digest " +
+        maps_->new_digest_hex + "); complete or abort it first");
+  }
+  auto next = std::make_shared<Maps>(*maps_);
+  next->new_map = new_map;
+  next->new_digest_hex = new_map.DigestHex();
+  maps_ = std::move(next);
+  return util::Status::Ok();
+}
+
+util::Status ShardRouter::CompleteTransition() {
+  std::lock_guard<std::mutex> lock(maps_mutex_);
+  if (!maps_->new_map.has_value()) {
+    return util::Status::FailedPrecondition("no transition in flight");
+  }
+  auto next = std::make_shared<Maps>(*maps_->new_map);
+  next->digest_hex = maps_->new_digest_hex;
+  // Retire the old map into the job-polling history (see Maps::prev_map).
+  next->prev_map = maps_->map;
+  next->prev_digest_hex = maps_->digest_hex;
+  maps_ = std::move(next);
+  return util::Status::Ok();
+}
+
+util::Status ShardRouter::AbortTransition() {
+  std::lock_guard<std::mutex> lock(maps_mutex_);
+  if (!maps_->new_map.has_value()) {
+    return util::Status::FailedPrecondition("no transition in flight");
+  }
+  auto next = std::make_shared<Maps>(maps_->map);
+  next->digest_hex = maps_->digest_hex;
+  next->prev_map = maps_->prev_map;
+  next->prev_digest_hex = maps_->prev_digest_hex;
+  maps_ = std::move(next);
+  return util::Status::Ok();
+}
+
+std::vector<ShardRouter::AddressedEndpoint> ShardRouter::AddressedEndpoints(
+    const Maps& maps) {
+  std::vector<AddressedEndpoint> out;
+  std::set<std::string> seen;
+  for (int index = 0; index < maps.map.num_shards(); ++index) {
+    for (int r = 0; r < maps.map.num_replicas(index); ++r) {
+      AddressedEndpoint target;
+      target.endpoint = maps.map.replica(index, r);
+      target.range = index;
+      target.replica = r;
+      target.digest_hex = maps.digest_hex;
+      seen.insert(HealthKey(target.endpoint));
+      out.push_back(std::move(target));
+    }
+  }
+  if (maps.new_map.has_value()) {
+    for (int index = 0; index < maps.new_map->num_shards(); ++index) {
+      for (int r = 0; r < maps.new_map->num_replicas(index); ++r) {
+        AddressedEndpoint target;
+        target.endpoint = maps.new_map->replica(index, r);
+        if (!seen.insert(HealthKey(target.endpoint)).second) continue;
+        target.range = index;
+        target.replica = r;
+        target.new_map_only = true;
+        target.digest_hex = maps.new_digest_hex;
+        out.push_back(std::move(target));
+      }
+    }
   }
   return out;
 }
 
-bool ShardRouter::InBackoff(int index) {
+std::vector<ShardRouter::ShardStats> ShardRouter::shard_stats() const {
+  return StatsForTargets(AddressedEndpoints(*maps()));
+}
+
+std::vector<ShardRouter::ShardStats> ShardRouter::StatsForTargets(
+    const std::vector<AddressedEndpoint>& targets) const {
+  std::vector<ShardStats> out;
+  out.reserve(targets.size());
+  const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(health_mutex_);
-  ShardHealth& health = health_[index];
+  for (const AddressedEndpoint& target : targets) {
+    ShardStats stats;
+    stats.host = target.endpoint.host;
+    stats.port = target.endpoint.port;
+    stats.range = target.range;
+    stats.replica = target.replica;
+    stats.new_map_only = target.new_map_only;
+    auto it = health_.find(HealthKey(target.endpoint));
+    if (it != health_.end()) {
+      stats.forwarded = it->second.forwarded;
+      stats.transport_errors = it->second.transport_errors;
+      stats.backoff_shed = it->second.backoff_shed;
+      stats.consecutive_failures = it->second.consecutive_failures;
+      stats.backing_off = it->second.retry_at > now;
+    }
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+bool ShardRouter::InBackoff(const std::string& key) {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  EndpointHealth& health = health_[key];
   if (health.retry_at > std::chrono::steady_clock::now()) {
     ++health.backoff_shed;
     return true;
@@ -72,15 +187,15 @@ bool ShardRouter::InBackoff(int index) {
   return false;
 }
 
-void ShardRouter::RecordSuccess(int index) {
+void ShardRouter::RecordSuccess(const std::string& key) {
   std::lock_guard<std::mutex> lock(health_mutex_);
-  health_[index].consecutive_failures = 0;
-  health_[index].retry_at = {};
+  health_[key].consecutive_failures = 0;
+  health_[key].retry_at = {};
 }
 
-void ShardRouter::RecordFailure(int index) {
+void ShardRouter::RecordFailure(const std::string& key) {
   std::lock_guard<std::mutex> lock(health_mutex_);
-  ShardHealth& health = health_[index];
+  EndpointHealth& health = health_[key];
   ++health.transport_errors;
   health.consecutive_failures =
       std::min(health.consecutive_failures + 1, 30);  // cap the shift below
@@ -92,108 +207,125 @@ void ShardRouter::RecordFailure(int index) {
                     std::chrono::microseconds(static_cast<int64_t>(backoff * 1e6));
 }
 
-HttpResponse ShardRouter::Forward(int index, const std::string& method,
-                                  const std::string& target,
-                                  const std::string& body,
-                                  const std::string& fingerprint_hex,
-                                  double read_timeout_seconds) {
-  const service::ShardEndpoint& endpoint = options_.map.endpoint(index);
-  if (InBackoff(index)) {
+HttpResponse ShardRouter::ForwardToEndpoint(
+    const service::ShardEndpoint& endpoint, const std::string& digest_hex,
+    const std::string& method, const std::string& target,
+    const std::string& body, const std::string& fingerprint_hex,
+    double read_timeout_seconds, bool* transport_failed) {
+  const std::string key = HealthKey(endpoint);
+  *transport_failed = true;
+  if (InBackoff(key)) {
     HttpResponse response = ErrorResponse(
-        503, "shard " + std::to_string(index) + " (" + endpoint.host + ":" +
-                 std::to_string(endpoint.port) +
-                 ") is backing off after transport failures; retry later");
+        503, "endpoint " + key +
+                 " is backing off after transport failures; retry later");
     response.headers.emplace_back("Retry-After",
                                   std::to_string(options_.retry_after_seconds));
     return response;
   }
   {
     std::lock_guard<std::mutex> lock(health_mutex_);
-    ++health_[index].forwarded;
+    ++health_[key].forwarded;
   }
 
-  // read_timeout 0 = wait indefinitely (a sync solve with ?timeout=0 has no
-  // deadline); SetRecvTimeout cannot unset a timeout, so connect untimed too.
-  auto sock = util::ConnectTcp(
-      endpoint.host, endpoint.port,
-      read_timeout_seconds == 0 ? 0 : options_.connect_timeout_seconds);
-  if (!sock.ok()) {
-    RecordFailure(index);
-    HttpResponse response = ErrorResponse(
-        503, "shard " + std::to_string(index) + " (" + endpoint.host + ":" +
-                 std::to_string(endpoint.port) +
-                 ") unreachable: " + sock.status().message());
-    response.headers.emplace_back("Retry-After",
-                                  std::to_string(options_.retry_after_seconds));
-    return response;
-  }
-  if (read_timeout_seconds > 0) {
-    util::SetRecvTimeout(sock->fd(), read_timeout_seconds);
-  }
-
-  std::string wire = method + " " + target + " HTTP/1.1\r\n";
-  wire += "Host: " + endpoint.host + "\r\n";
-  wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  std::vector<std::pair<std::string, std::string>> headers;
   // Single-hop marker: a router receiving this answers 508, never forwards.
-  wire += "X-HTD-Forwarded: 1\r\n";
-  wire += "X-HTD-Shard-Digest: " + options_.map.DigestHex() + "\r\n";
+  headers.emplace_back("X-HTD-Forwarded", "1");
+  headers.emplace_back("X-HTD-Shard-Digest", digest_hex);
   if (!fingerprint_hex.empty()) {
-    wire += "X-HTD-Shard-Fingerprint: " + fingerprint_hex + "\r\n";
+    headers.emplace_back("X-HTD-Shard-Fingerprint", fingerprint_hex);
   }
-  wire += "Connection: close\r\n\r\n";
-  wire += body;
-  if (!util::SendAll(sock->fd(), wire)) {
-    RecordFailure(index);
-    return ErrorResponse(502, "send to shard " + std::to_string(index) + " failed");
-  }
-
-  std::string blob;
-  char buffer[16 * 1024];
-  while (true) {
-    long n = util::RecvSome(sock->fd(), buffer, sizeof(buffer));
-    if (n == 0) break;  // orderly close: response complete
-    if (n < 0) {
-      RecordFailure(index);
-      return ErrorResponse(n == -2 ? 504 : 502,
-                           "shard " + std::to_string(index) +
-                               (n == -2 ? " response timed out" : " recv failed"));
+  FetchOptions fetch;
+  fetch.connect_timeout_seconds = options_.connect_timeout_seconds;
+  fetch.read_timeout_seconds = read_timeout_seconds;
+  FetchResult result = HttpFetch(endpoint.host, endpoint.port, method, target,
+                                 body, headers, fetch);
+  if (!result.ok()) {
+    RecordFailure(key);
+    switch (result.transport) {
+      case FetchResult::Transport::kConnectFailed: {
+        HttpResponse response = ErrorResponse(
+            503, "endpoint " + key + " unreachable: " + result.error);
+        response.headers.emplace_back(
+            "Retry-After", std::to_string(options_.retry_after_seconds));
+        return response;
+      }
+      case FetchResult::Transport::kRecvTimeout:
+        return ErrorResponse(504, "endpoint " + key + " response timed out");
+      case FetchResult::Transport::kParseFailed:
+        return ErrorResponse(502, "endpoint " + key +
+                                      " sent a malformed HTTP response");
+      default:
+        return ErrorResponse(502, "exchange with endpoint " + key +
+                                      " failed: " + result.error);
     }
-    blob.append(buffer, static_cast<size_t>(n));
   }
+  RecordSuccess(key);
+  *transport_failed = false;
 
-  int status = 0;
-  std::map<std::string, std::string> headers;
-  std::string response_body;
-  if (!ParseHttpResponseBlob(blob, &status, &headers, &response_body)) {
-    RecordFailure(index);
-    return ErrorResponse(502, "shard " + std::to_string(index) +
-                                  " sent a malformed HTTP response");
-  }
-  RecordSuccess(index);
-
-  // Pass the shard's answer through verbatim — status (incl. its own 429/503
-  // load shedding), Retry-After, and body; the client's backoff logic works
-  // unchanged behind the router.
+  // Pass the endpoint's answer through verbatim — status (incl. its own
+  // 429/503 load shedding), Retry-After, and body; the client's backoff
+  // logic works unchanged behind the router.
   HttpResponse response;
-  response.status = status;
-  response.body = std::move(response_body);
-  auto content_type = headers.find("content-type");
-  if (content_type != headers.end()) response.content_type = content_type->second;
-  auto retry_after = headers.find("retry-after");
-  if (retry_after != headers.end()) {
+  response.status = result.status;
+  response.body = std::move(result.body);
+  auto content_type = result.headers.find("content-type");
+  if (content_type != result.headers.end()) {
+    response.content_type = content_type->second;
+  }
+  auto retry_after = result.headers.find("retry-after");
+  if (retry_after != result.headers.end()) {
     response.headers.emplace_back("Retry-After", retry_after->second);
   }
   return response;
 }
 
-std::vector<HttpResponse> ShardRouter::ForwardAll(const std::string& method,
-                                                  const std::string& target,
-                                                  double read_timeout_seconds) {
-  // Concurrent fan-out: the per-shard exchanges are independent, and doing
-  // them sequentially would serialise the connect timeouts of every
-  // not-yet-backing-off down shard (k dead shards = k * connect_timeout per
-  // stats call, on a router IO thread decompose forwards also need).
-  const int n = options_.map.num_shards();
+HttpResponse ShardRouter::ForwardToRange(
+    const service::ShardMap& map, int index, const std::string& digest_hex,
+    const std::string& method, const std::string& target,
+    const std::string& body, const std::string& fingerprint_hex,
+    double read_timeout_seconds, int* served_replica) {
+  // Round-robin over the range's replicas, failing over on transport-level
+  // trouble (down or backing off). A replica's own HTTP answer — including
+  // its 429/503 load shedding — is final: overload on one replica is not a
+  // license to double the fleet-wide load by retrying siblings.
+  const int replicas = map.num_replicas(index);
+  const int start =
+      static_cast<int>(round_robin_.fetch_add(1, std::memory_order_relaxed) %
+                       static_cast<uint64_t>(replicas));
+  HttpResponse last;
+  bool answered = false;
+  for (int attempt = 0; attempt < replicas; ++attempt) {
+    const int r = (start + attempt) % replicas;
+    bool transport_failed = false;
+    HttpResponse response =
+        ForwardToEndpoint(map.replica(index, r), digest_hex, method, target,
+                          body, fingerprint_hex, read_timeout_seconds,
+                          &transport_failed);
+    if (!transport_failed) {
+      if (served_replica != nullptr) *served_replica = r;
+      return response;
+    }
+    last = std::move(response);
+    answered = true;
+  }
+  if (answered) return last;  // every replica down/backing off: best error
+  HttpResponse response = ErrorResponse(
+      503, "every replica of shard " + std::to_string(index) +
+               " is backing off; retry later");
+  response.headers.emplace_back("Retry-After",
+                                std::to_string(options_.retry_after_seconds));
+  return response;
+}
+
+std::vector<HttpResponse> ShardRouter::ForwardAll(
+    const std::vector<AddressedEndpoint>& targets, const std::string& method,
+    const std::string& target, double read_timeout_seconds) {
+  // Concurrent fan-out: the per-endpoint exchanges are independent, and
+  // doing them sequentially would serialise the connect timeouts of every
+  // not-yet-backing-off down endpoint (k dead endpoints = k *
+  // connect_timeout per stats call, on a router IO thread decompose
+  // forwards also need).
+  const int n = static_cast<int>(targets.size());
   std::vector<HttpResponse> responses(static_cast<size_t>(n));
   constexpr int kMaxFanOutThreads = 16;
   const int num_threads = std::min(n, kMaxFanOutThreads);
@@ -203,8 +335,11 @@ std::vector<HttpResponse> ShardRouter::ForwardAll(const std::string& method,
   for (int t = 0; t < num_threads; ++t) {
     workers.emplace_back([&] {
       for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        responses[static_cast<size_t>(i)] =
-            Forward(i, method, target, "", "", read_timeout_seconds);
+        bool transport_failed = false;
+        responses[static_cast<size_t>(i)] = ForwardToEndpoint(
+            targets[static_cast<size_t>(i)].endpoint,
+            targets[static_cast<size_t>(i)].digest_hex, method, target, "", "",
+            read_timeout_seconds, &transport_failed);
       }
     });
   }
@@ -219,13 +354,20 @@ HttpResponse ShardRouter::Handle(const HttpRequest& request) {
              "(is a router listed in its own --route-to map?)");
   }
   if (request.path == "/healthz") {
-    auto stats = shard_stats();
+    auto snapshot = maps();
+    auto stats = StatsForTargets(AddressedEndpoints(*snapshot));
     int backing_off = 0;
-    for (const ShardStats& shard : stats) backing_off += shard.backing_off ? 1 : 0;
+    for (const ShardStats& endpoint : stats) {
+      backing_off += endpoint.backing_off ? 1 : 0;
+    }
     HttpResponse response;
-    response.body = "{\"ok\": true, \"role\": \"router\", \"shards\": " +
-                    std::to_string(options_.map.num_shards()) +
-                    ", \"backing_off\": " + std::to_string(backing_off) + "}\n";
+    response.body =
+        "{\"ok\": true, \"role\": \"router\", \"shards\": " +
+        std::to_string(snapshot->map.num_shards()) +
+        ", \"endpoints\": " + std::to_string(stats.size()) +
+        ", \"backing_off\": " + std::to_string(backing_off) +
+        ", \"transitioning\": " +
+        (snapshot->new_map.has_value() ? "true" : "false") + "}\n";
     return response;
   }
   if (request.path == "/v1/decompose") {
@@ -252,6 +394,12 @@ HttpResponse ShardRouter::Handle(const HttpRequest& request) {
     }
     return HandleSnapshot();
   }
+  if (request.path == "/v1/admin/transition") {
+    if (request.method != "POST") {
+      return ErrorResponse(405, "use POST for /v1/admin/transition");
+    }
+    return HandleTransition(request);
+  }
   return ErrorResponse(404, "unknown route (router): " + request.path);
 }
 
@@ -269,7 +417,7 @@ HttpResponse ShardRouter::HandleDecompose(const HttpRequest& request) {
                          "cannot parse hypergraph: " + parsed.status().message());
   }
   const service::Fingerprint fp = service::CanonicalFingerprint(*parsed);
-  const int shard = options_.map.IndexFor(fp);
+  auto snapshot = maps();
 
   const bool async = request.QueryOr("async", "0") == "1";
   double read_timeout = options_.read_timeout_seconds;
@@ -283,60 +431,136 @@ HttpResponse ShardRouter::HandleDecompose(const HttpRequest& request) {
     }
   }
 
+  // Current owner first: during a live reshard the donor still holds the
+  // warm entry, so routing by the old map preserves every cache hit until
+  // the fleet flips.
+  const int owner = snapshot->map.IndexFor(fp);
+  int served_replica = 0;
   HttpResponse response =
-      Forward(shard, request.method, request.target, request.body, fp.ToHex(),
-              read_timeout);
-  if (async && response.status == 202) {
-    // Prefix the job id with its shard ("j7" -> "s1.j7") so a later
-    // GET /v1/jobs/<id> can route statelessly.
-    const std::string marker = "\"job\": \"";
-    size_t pos = response.body.find(marker);
-    if (pos != std::string::npos) {
-      response.body.insert(pos + marker.size(),
-                           "s" + std::to_string(shard) + ".");
+      ForwardToRange(snapshot->map, owner, snapshot->digest_hex, request.method,
+                     request.target, request.body, fp.ToHex(), read_timeout,
+                     &served_replica);
+  int served_by = owner;
+  if (snapshot->new_map.has_value() &&
+      (response.status == 421 || response.status == 502 ||
+       response.status == 503 || response.status == 504)) {
+    // Double-route: the old owner already finalised onto the new map (421)
+    // or is gone mid-handover — retry the NEW owner under the new digest so
+    // the client never sees the topology change. Exception: when the new
+    // owner is served by the SAME processes, a 5xx is that process's own
+    // answer (its load shedding, its timeout) — re-sending the body there
+    // would double the load on an endpoint that just asked us to back off.
+    // A 421 still retries: it means "wrong digest", and the new digest is
+    // exactly the cure.
+    const int new_owner = snapshot->new_map->IndexFor(fp);
+    std::set<std::string> old_keys, new_keys;
+    for (int r = 0; r < snapshot->map.num_replicas(owner); ++r) {
+      old_keys.insert(HealthKey(snapshot->map.replica(owner, r)));
     }
+    for (int r = 0; r < snapshot->new_map->num_replicas(new_owner); ++r) {
+      new_keys.insert(HealthKey(snapshot->new_map->replica(new_owner, r)));
+    }
+    if (response.status == 421 || new_keys != old_keys) {
+      response = ForwardToRange(*snapshot->new_map, new_owner,
+                                snapshot->new_digest_hex, request.method,
+                                request.target, request.body, fp.ToHex(),
+                                read_timeout, &served_replica);
+      served_by = new_owner;
+    }
+  }
+  if (async && response.status == 202) {
+    PrefixJobId(&response, served_by, served_replica);
   }
   return response;
 }
 
 HttpResponse ShardRouter::HandleJob(const HttpRequest& request) {
-  // Job ids minted through the router are "s<shard>.<id on that shard>".
+  // Job ids minted through the router are "s<shard>r<replica>.<id on that
+  // process>" — backends mint their own local counters, so the replica slot
+  // is part of the identity ("j7" on two replicas = two different jobs).
+  // Bare "s<shard>.<id>" ids (pre-replication) poll every replica.
   std::string id = request.path.substr(sizeof("/v1/jobs/") - 1);
   if (id.size() < 3 || id[0] != 's') {
     return ErrorResponse(404, "unknown job id: " + id +
-                                  " (router job ids look like s0.j7)");
+                                  " (router job ids look like s0r0.j7)");
   }
   size_t dot = id.find('.');
   if (dot == std::string::npos || dot == 1) {
     return ErrorResponse(404, "unknown job id: " + id +
-                                  " (router job ids look like s0.j7)");
+                                  " (router job ids look like s0r0.j7)");
   }
   char* end = nullptr;
   long shard = std::strtol(id.c_str() + 1, &end, 10);
-  if (end != id.c_str() + dot || shard < 0 ||
-      shard >= options_.map.num_shards()) {
+  long replica = -1;  // -1 = unqualified: poll every replica
+  bool prefix_ok = end != id.c_str() + 1;
+  if (prefix_ok && end != id.c_str() + dot) {
+    if (*end == 'r') {
+      char* replica_end = nullptr;
+      replica = std::strtol(end + 1, &replica_end, 10);
+      prefix_ok = replica_end == id.c_str() + dot && replica >= 0;
+    } else {
+      prefix_ok = false;
+    }
+  }
+  auto snapshot = maps();
+  // The job lives on whichever replica admitted it, under whichever map
+  // minted the id: the current map, the incoming one mid-transition, or —
+  // for a job admitted just before a flip — the map the last transition
+  // retired. Poll every candidate until one recognises the id.
+  std::vector<std::pair<const service::ShardMap*, const std::string*>>
+      generations;
+  generations.emplace_back(&snapshot->map, &snapshot->digest_hex);
+  if (snapshot->new_map.has_value()) {
+    generations.emplace_back(&*snapshot->new_map, &snapshot->new_digest_hex);
+  }
+  if (snapshot->prev_map.has_value()) {
+    generations.emplace_back(&*snapshot->prev_map, &snapshot->prev_digest_hex);
+  }
+  bool in_some_map = false;
+  for (const auto& [map, digest] : generations) {
+    in_some_map = in_some_map || shard < map->num_shards();
+  }
+  if (!prefix_ok || shard < 0 || !in_some_map) {
     return ErrorResponse(404, "unknown job id: " + id +
                                   " (no such shard in the map)");
   }
   const std::string remote_id = id.substr(dot + 1);
-  HttpResponse response =
-      Forward(static_cast<int>(shard), "GET", "/v1/jobs/" + remote_id, "", "",
-              options_.read_timeout_seconds);
-  if (response.status == 200) {
-    // Re-prefix the id in the shard's answer so clients can keep polling
-    // the value they read back.
-    const std::string marker = "\"job\": \"";
-    size_t pos = response.body.find(marker);
-    if (pos != std::string::npos) {
-      response.body.insert(pos + marker.size(),
-                           "s" + std::to_string(shard) + ".");
+
+  std::vector<std::pair<service::ShardEndpoint, std::string>> candidates;
+  std::set<std::string> seen;
+  for (const auto& [map, digest] : generations) {
+    if (shard >= map->num_shards()) continue;
+    for (int r = 0; r < map->num_replicas(static_cast<int>(shard)); ++r) {
+      if (replica >= 0 && r != replica) continue;
+      const service::ShardEndpoint& endpoint =
+          map->replica(static_cast<int>(shard), r);
+      if (seen.insert(HealthKey(endpoint)).second) {
+        candidates.emplace_back(endpoint, *digest);
+      }
     }
   }
-  return response;
+
+  HttpResponse last = ErrorResponse(404, "unknown job id: " + id);
+  for (const auto& [endpoint, digest_hex] : candidates) {
+    bool transport_failed = false;
+    HttpResponse response = ForwardToEndpoint(
+        endpoint, digest_hex, "GET", "/v1/jobs/" + remote_id, "", "",
+        options_.read_timeout_seconds, &transport_failed);
+    if (!transport_failed && response.status != 404) {
+      if (response.status == 200) {
+        // Re-prefix the id in the shard's answer with the ORIGINAL prefix
+        // so clients can keep polling the value they read back.
+        PrefixJobIdRaw(&response, id.substr(0, dot + 1));
+      }
+      return response;
+    }
+    last = std::move(response);
+  }
+  return last;
 }
 
 HttpResponse ShardRouter::HandleStats() {
-  // Aggregated keys summed across reachable shards; chosen to cover what
+  // Aggregated keys summed across reachable endpoints; chosen to cover what
   // operators and the smoke test assert on.
   struct Field {
     const char* section;
@@ -349,52 +573,69 @@ HttpResponse ShardRouter::HandleStats() {
       {"cache", "hits"}, {"cache", "misses"}, {"cache", "entries"},
       {"subproblem_store", "entries"}, {"admission", "admitted"},
       {"admission", "shed"}, {"admission", "misrouted"},
+      {"migration", "imported_cache_entries"},
+      {"migration", "imported_store_entries"},
+      {"migration", "migrated_out_entries"},
       {"snapshot", "restored_cache_entries"},
       {"snapshot", "restored_store_entries"},
   };
 
+  auto snapshot = maps();
+  std::vector<AddressedEndpoint> targets = AddressedEndpoints(*snapshot);
   // Full read timeout, not the connect timeout: a backend whose IO threads
   // are pinned by long solves answers stats slowly, and timing it out here
-  // would RecordFailure a healthy shard into backoff — shedding live
+  // would RecordFailure a healthy endpoint into backoff — shedding live
   // decompose traffic because an operator looked at a dashboard.
   std::vector<HttpResponse> responses =
-      ForwardAll("GET", "/v1/stats", options_.read_timeout_seconds);
-  auto router_stats = shard_stats();
+      ForwardAll(targets, "GET", "/v1/stats", options_.read_timeout_seconds);
+  // Health rows for the SAME target list the fan-out used: re-enumerating
+  // endpoints here could race a transition and misattribute counters.
+  auto router_stats = StatsForTargets(targets);
   int reachable = 0;
   std::string shards_json;
-  for (int i = 0; i < options_.map.num_shards(); ++i) {
-    const service::ShardEndpoint& endpoint = options_.map.endpoint(i);
-    HttpResponse& shard_response = responses[static_cast<size_t>(i)];
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const AddressedEndpoint& target = targets[i];
+    HttpResponse& endpoint_response = responses[i];
     if (!shards_json.empty()) shards_json += ", ";
-    shards_json += "{\"index\": " + std::to_string(i);
-    shards_json += ", \"endpoint\": \"" + JsonEscape(endpoint.host) + ":" +
-                   std::to_string(endpoint.port) + "\"";
-    shards_json += ", \"forwarded\": " + std::to_string(router_stats[i].forwarded);
+    shards_json += "{\"index\": " + std::to_string(target.range);
+    shards_json += ", \"replica\": " + std::to_string(target.replica);
+    shards_json += ", \"endpoint\": \"" + JsonEscape(target.endpoint.host) +
+                   ":" + std::to_string(target.endpoint.port) + "\"";
+    if (target.new_map_only) shards_json += ", \"new_map_only\": true";
+    shards_json +=
+        ", \"forwarded\": " + std::to_string(router_stats[i].forwarded);
     shards_json += ", \"transport_errors\": " +
                    std::to_string(router_stats[i].transport_errors);
     shards_json +=
         ", \"backoff_shed\": " + std::to_string(router_stats[i].backoff_shed);
-    if (shard_response.status == 200) {
+    if (endpoint_response.status == 200) {
       ++reachable;
       for (Field& field : fields) {
         double value = 0;
-        if (FindJsonNumber(shard_response.body, field.section, field.key, &value)) {
+        if (FindJsonNumber(endpoint_response.body, field.section, field.key,
+                           &value)) {
           field.sum += value;
         }
       }
       shards_json += ", \"reachable\": true, \"stats\": " +
-                     Embed(shard_response.body);
+                     Embed(endpoint_response.body);
     } else {
       shards_json += ", \"reachable\": false, \"status\": " +
-                     std::to_string(shard_response.status);
+                     std::to_string(endpoint_response.status);
     }
     shards_json += "}";
   }
 
   std::string body = "{\"role\": \"router\"";
-  body += ", \"shard_count\": " + std::to_string(options_.map.num_shards());
+  body += ", \"shard_count\": " + std::to_string(snapshot->map.num_shards());
+  body += ", \"endpoint_count\": " + std::to_string(targets.size());
   body += ", \"reachable\": " + std::to_string(reachable);
-  body += ", \"map_digest\": \"" + options_.map.DigestHex() + "\"";
+  body += ", \"map_digest\": \"" + snapshot->digest_hex + "\"";
+  body += std::string(", \"transitioning\": ") +
+          (snapshot->new_map.has_value() ? "true" : "false");
+  if (snapshot->new_map.has_value()) {
+    body += ", \"new_map_digest\": \"" + snapshot->new_digest_hex + "\"";
+  }
   body += ", \"aggregate\": {";
   bool first = true;
   for (const Field& field : fields) {
@@ -411,24 +652,76 @@ HttpResponse ShardRouter::HandleStats() {
 }
 
 HttpResponse ShardRouter::HandleSnapshot() {
-  std::vector<HttpResponse> responses =
-      ForwardAll("POST", "/v1/admin/snapshot", options_.read_timeout_seconds);
+  auto snapshot = maps();
+  std::vector<AddressedEndpoint> targets = AddressedEndpoints(*snapshot);
+  std::vector<HttpResponse> responses = ForwardAll(
+      targets, "POST", "/v1/admin/snapshot", options_.read_timeout_seconds);
   bool all_saved = true;
   std::string shards_json;
-  for (int i = 0; i < options_.map.num_shards(); ++i) {
-    HttpResponse& shard_response = responses[static_cast<size_t>(i)];
+  for (size_t i = 0; i < targets.size(); ++i) {
+    HttpResponse& endpoint_response = responses[i];
     if (!shards_json.empty()) shards_json += ", ";
-    shards_json += "{\"index\": " + std::to_string(i);
-    shards_json += ", \"status\": " + std::to_string(shard_response.status);
-    shards_json += ", \"response\": " + Embed(shard_response.body) + "}";
-    if (shard_response.status != 200) all_saved = false;
+    shards_json += "{\"index\": " + std::to_string(targets[i].range);
+    shards_json += ", \"replica\": " + std::to_string(targets[i].replica);
+    shards_json += ", \"endpoint\": \"" +
+                   JsonEscape(targets[i].endpoint.host) + ":" +
+                   std::to_string(targets[i].endpoint.port) + "\"";
+    shards_json += ", \"status\": " + std::to_string(endpoint_response.status);
+    shards_json += ", \"response\": " + Embed(endpoint_response.body) + "}";
+    if (endpoint_response.status != 200) all_saved = false;
   }
   HttpResponse response;
-  // Partial success is a gateway-level failure: some shard's warm state is
+  // Partial success is a gateway-level failure: some process's warm state is
   // NOT on disk, and the operator must know before trusting a restart.
   response.status = all_saved ? 200 : 502;
   response.body = std::string("{\"saved\": ") + (all_saved ? "true" : "false") +
                   ", \"shards\": [" + shards_json + "]}\n";
+  return response;
+}
+
+HttpResponse ShardRouter::HandleTransition(const HttpRequest& request) {
+  if (request.QueryOr("complete", "0") == "1") {
+    auto status = CompleteTransition();
+    if (!status.ok()) return ErrorResponse(412, status.message());
+    auto snapshot = maps();
+    HttpResponse response;
+    response.body = "{\"transitioning\": false, \"map_digest\": \"" +
+                    snapshot->digest_hex + "\", \"completed\": true}\n";
+    return response;
+  }
+  if (request.QueryOr("abort", "0") == "1") {
+    auto status = AbortTransition();
+    if (!status.ok()) return ErrorResponse(412, status.message());
+    auto snapshot = maps();
+    HttpResponse response;
+    response.body = "{\"transitioning\": false, \"map_digest\": \"" +
+                    snapshot->digest_hex + "\", \"aborted\": true}\n";
+    return response;
+  }
+  if (request.body.empty()) {
+    return ErrorResponse(400, "empty body: expected the new shard map spec "
+                              "(host:port,host:port*2,...)");
+  }
+  std::string spec = request.body;
+  while (!spec.empty() && (spec.back() == '\n' || spec.back() == '\r')) {
+    spec.pop_back();
+  }
+  auto new_map = service::ShardMap::Parse(spec);
+  if (!new_map.ok()) {
+    return ErrorResponse(400, "cannot parse new shard map: " +
+                                  new_map.status().message());
+  }
+  auto status = BeginTransition(*new_map);
+  if (!status.ok()) {
+    return ErrorResponse(
+        status.code() == util::StatusCode::kFailedPrecondition ? 409 : 400,
+        status.message());
+  }
+  auto snapshot = maps();
+  HttpResponse response;
+  response.body = "{\"transitioning\": true, \"map_digest\": \"" +
+                  snapshot->digest_hex + "\", \"new_map_digest\": \"" +
+                  snapshot->new_digest_hex + "\"}\n";
   return response;
 }
 

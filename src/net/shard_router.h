@@ -9,10 +9,29 @@
 // — accumulate on one shard, so the fleet's warm state is a partition, not
 // N overlapping copies (ROADMAP: "shard the warm state across processes").
 //
-//   clients ──► ShardRouter (hdserver --route-to a:1,b:2)
+//   clients ──► ShardRouter (hdserver --route-to a:1,b:2*2,c:2)
 //                  │  fingerprint → ShardMap::IndexFor
-//                  ├────────► shard 0 (hdserver --shard-map a:1,b:2 --shard-index 0)
-//                  └────────► shard 1 (hdserver --shard-map a:1,b:2 --shard-index 1)
+//                  ├────────► range 0 (hdserver --shard-map … --shard-index 0)
+//                  └──round-robin──► range 1 replicas b:2 and c:2
+//                                    (both --shard-index 1)
+//
+// Replication (service/shard_map.h "host:port*R" syntax): a hot range can
+// be served by R replicas. The router round-robins decompose requests over
+// a range's replicas and FAILS OVER to the next replica on a transport
+// error or backoff window, so one dead replica costs a connect timeout
+// once, not availability; fan-out routes (stats/snapshot) and migration
+// imports address every replica, which is what keeps a surviving replica
+// warm enough to make shard death a non-event.
+//
+// Live resharding: the router can hold TWO maps at once (POST
+// /v1/admin/transition installs the incoming topology next to the current
+// one). While transitioning, decompose requests are double-routed: the
+// CURRENT owner is tried first (it still holds the warm entry — donors keep
+// their copies until the handover completes), and a 421 ("I already
+// finalised onto the new map") or transport-level failure retries the NEW
+// owner under the new digest. No correctly-operated request surfaces a 421
+// mid-migration. `?complete=1` flips the new map to current;
+// `?abort=1` drops it. tools/hdreshard.cc drives the whole sequence.
 //
 // Forwarding is SINGLE-HOP by construction: every forwarded request carries
 // x-htd-forwarded, and a router that receives that header answers 508 Loop
@@ -22,30 +41,38 @@
 // the computed fingerprint, so a backend holding a different topology
 // refuses with 421 (see DecompositionServerOptions::shard_map).
 //
-// Health: a shard whose transport fails (connect/send/recv) is marked down
-// and skipped for an exponentially growing backoff window (fail-fast 503 +
-// Retry-After to the client, per-shard, without touching the socket); one
+// Health: an endpoint whose transport fails (connect/send/recv) is marked
+// down and skipped for an exponentially growing backoff window; with no
+// healthy replica left the client gets a fail-fast 503 + Retry-After. One
 // successful exchange resets it. A shard's own 429/503 load-shedding
-// responses pass through verbatim — the router adds no retry magic, clients
-// already know how to back off (docs/SERVER.md).
+// responses pass through verbatim and are NOT retried on a sibling replica
+// — the router adds no retry magic to overload, clients already know how to
+// back off (docs/SERVER.md).
 //
 // Routes: /v1/decompose forwards to the owning shard (async job ids come
-// back prefixed "s<shard>." so /v1/jobs/<id> can route without state);
-// /v1/stats fans out and returns per-shard bodies plus an aggregated
-// summary; /v1/admin/snapshot fans out (each shard persists its own range);
-// /healthz answers locally with per-shard reachability.
+// back prefixed "s<shard>r<replica>." so /v1/jobs/<id> can route without
+// state to the exact minting process (replicas mint independent counters) —
+// polls try every replica of the range); /v1/stats fans out to every
+// endpoint and returns per-endpoint bodies plus an aggregated summary;
+// /v1/admin/snapshot fans out (each process persists its own range);
+// /v1/admin/transition begins/completes/aborts a live reshard;
+// /healthz answers locally with per-endpoint reachability.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "net/http.h"
 #include "service/shard_map.h"
+#include "util/status.h"
 
 namespace htd::net {
 
@@ -68,10 +95,20 @@ struct ShardRouterOptions {
 
 class ShardRouter {
  public:
+  /// Per-ENDPOINT health and traffic counters (one row per process; a
+  /// replicated range contributes one row per replica). Rows are ordered
+  /// (range, replica) over the current map, then any endpoints only present
+  /// in the incoming map while a transition is in flight (range = their
+  /// range under the NEW map, new_map_only = true).
   struct ShardStats {
-    uint64_t forwarded = 0;       ///< exchanges attempted against this shard
+    std::string host;
+    int port = 0;
+    int range = 0;                ///< fingerprint range this endpoint serves
+    int replica = 0;              ///< replica slot within the range
+    bool new_map_only = false;    ///< only addressable under the incoming map
+    uint64_t forwarded = 0;       ///< exchanges attempted against this endpoint
     uint64_t transport_errors = 0;///< connect/send/recv/parse failures
-    uint64_t backoff_shed = 0;    ///< 503s answered without touching the socket
+    uint64_t backoff_shed = 0;    ///< skips without touching the socket
     int consecutive_failures = 0;
     bool backing_off = false;     ///< true while inside the backoff window
   };
@@ -88,8 +125,23 @@ class ShardRouter {
   const ShardRouterOptions& options() const { return options_; }
   std::vector<ShardStats> shard_stats() const;
 
+  /// Installs `new_map` as the incoming topology and starts double-routing
+  /// (also reachable as POST /v1/admin/transition with the spec as body).
+  /// Idempotent for the same map; kFailedPrecondition when a DIFFERENT
+  /// transition is already in flight, kInvalidArgument when the new map
+  /// equals the current one.
+  util::Status BeginTransition(const service::ShardMap& new_map);
+  /// Flips the incoming map to current (kFailedPrecondition when no
+  /// transition is in flight). Also POST /v1/admin/transition?complete=1.
+  util::Status CompleteTransition();
+  /// Drops the incoming map without flipping (?abort=1).
+  util::Status AbortTransition();
+  bool transitioning() const;
+  /// The map currently routed by (the OLD map mid-transition).
+  service::ShardMap current_map() const;
+
  private:
-  struct ShardHealth {
+  struct EndpointHealth {
     int consecutive_failures = 0;
     std::chrono::steady_clock::time_point retry_at{};  // epoch = healthy
     uint64_t forwarded = 0;
@@ -97,36 +149,109 @@ class ShardRouter {
     uint64_t backoff_shed = 0;
   };
 
+  /// Immutable snapshot of the routing topology, swapped whole under
+  /// maps_mutex_ so request handlers never see a half-updated transition.
+  struct Maps {
+    explicit Maps(service::ShardMap m) : map(std::move(m)) {}
+
+    service::ShardMap map;
+    std::string digest_hex;
+    std::optional<service::ShardMap> new_map;
+    std::string new_digest_hex;
+    /// The map retired by the last completed transition. Job ids encode a
+    /// range index under the map that minted them, so polls keep resolving
+    /// against one generation of history — an async job admitted just
+    /// before the flip stays pollable on the endpoint that owns it.
+    std::optional<service::ShardMap> prev_map;
+    std::string prev_digest_hex;
+  };
+
+  std::shared_ptr<const Maps> maps() const;
+
   HttpResponse HandleDecompose(const HttpRequest& request);
   HttpResponse HandleJob(const HttpRequest& request);
   HttpResponse HandleStats();
   HttpResponse HandleSnapshot();
+  HttpResponse HandleTransition(const HttpRequest& request);
 
-  /// One blocking exchange against shard `index` (Connection: close), with
-  /// the single-hop / digest / fingerprint headers attached. Applies the
+  /// One blocking exchange against `endpoint` (Connection: close), with the
+  /// single-hop / digest / fingerprint headers attached. Applies the
   /// backoff gate before touching the socket and records the outcome.
-  /// `fingerprint_hex` is empty for non-decompose forwards.
-  HttpResponse Forward(int index, const std::string& method,
-                       const std::string& target, const std::string& body,
-                       const std::string& fingerprint_hex,
-                       double read_timeout_seconds);
+  /// `*transport_failed` distinguishes "endpoint is down / backing off"
+  /// (true — the caller may fail over to a sibling replica) from an HTTP
+  /// response, which passes through verbatim.
+  HttpResponse ForwardToEndpoint(const service::ShardEndpoint& endpoint,
+                                 const std::string& digest_hex,
+                                 const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body,
+                                 const std::string& fingerprint_hex,
+                                 double read_timeout_seconds,
+                                 bool* transport_failed);
 
-  /// Body-less Forward to EVERY shard concurrently (up to 16 fan-out
-  /// threads), index-aligned results. A sequential fan-out would serialise
-  /// the connect timeouts of down shards on a router IO thread.
-  std::vector<HttpResponse> ForwardAll(const std::string& method,
-                                       const std::string& target,
-                                       double read_timeout_seconds);
+  /// Replica-aware forward to range `index` of `map`: starts at the
+  /// round-robin slot, skips replicas in their backoff window, and fails
+  /// over to the next replica on transport errors. Returns the first HTTP
+  /// response, or a 503 when every replica is down or backing off. A
+  /// non-null `served_replica` receives the replica slot that answered
+  /// (unchanged when no replica did) — job-id prefixes need the exact
+  /// minting process, not just the range.
+  HttpResponse ForwardToRange(const service::ShardMap& map, int index,
+                              const std::string& digest_hex,
+                              const std::string& method,
+                              const std::string& target,
+                              const std::string& body,
+                              const std::string& fingerprint_hex,
+                              double read_timeout_seconds,
+                              int* served_replica = nullptr);
 
-  /// True when the shard is inside its backoff window (also bumps the
+  /// Every unique endpoint the router currently addresses (current map
+  /// first in (range, replica) order, then incoming-map-only extras).
+  struct AddressedEndpoint {
+    service::ShardEndpoint endpoint;
+    int range = 0;
+    int replica = 0;
+    bool new_map_only = false;
+    std::string digest_hex;  ///< digest of the map this endpoint is under
+  };
+  static std::vector<AddressedEndpoint> AddressedEndpoints(const Maps& maps);
+
+  /// Body-less forward to EVERY addressed endpoint concurrently (up to 16
+  /// fan-out threads), index-aligned with AddressedEndpoints(). A
+  /// sequential fan-out would serialise the connect timeouts of down
+  /// endpoints on a router IO thread.
+  std::vector<HttpResponse> ForwardAll(
+      const std::vector<AddressedEndpoint>& targets, const std::string& method,
+      const std::string& target, double read_timeout_seconds);
+
+  /// Health rows for exactly `targets`, index-aligned — callers that pair
+  /// health with per-endpoint responses pass the SAME target list to both,
+  /// so a concurrent transition cannot misalign the rows.
+  std::vector<ShardStats> StatsForTargets(
+      const std::vector<AddressedEndpoint>& targets) const;
+
+  static std::string HealthKey(const service::ShardEndpoint& endpoint) {
+    return endpoint.host + ":" + std::to_string(endpoint.port);
+  }
+
+  /// True when the endpoint is inside its backoff window (also bumps the
   /// backoff_shed counter).
-  bool InBackoff(int index);
-  void RecordSuccess(int index);
-  void RecordFailure(int index);
+  bool InBackoff(const std::string& key);
+  void RecordSuccess(const std::string& key);
+  void RecordFailure(const std::string& key);
 
   ShardRouterOptions options_;
+  mutable std::mutex maps_mutex_;
+  std::shared_ptr<const Maps> maps_;  // swapped by transitions
+
   mutable std::mutex health_mutex_;
-  std::vector<ShardHealth> health_;  // index-aligned with the map
+  /// Keyed "host:port" so health survives topology transitions — flipping
+  /// the map must not forget which processes were down.
+  std::map<std::string, EndpointHealth> health_;
+
+  /// Round-robin cursor for replica selection (shared across ranges; only
+  /// the modulo per range matters).
+  std::atomic<uint64_t> round_robin_{0};
 };
 
 }  // namespace htd::net

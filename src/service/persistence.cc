@@ -372,6 +372,12 @@ std::string EncodeSnapshot(ResultCache* cache, SubproblemStore* store,
   return EncodeSnapshotCounted(cache, store, config_digest, range, &written);
 }
 
+std::string EncodeSnapshot(ResultCache* cache, SubproblemStore* store,
+                           uint64_t config_digest, const FingerprintRange* range,
+                           SnapshotStats* written) {
+  return EncodeSnapshotCounted(cache, store, config_digest, range, written);
+}
+
 util::StatusOr<SnapshotStats> DecodeSnapshot(const std::string& bytes,
                                              ResultCache* cache,
                                              SubproblemStore* store,

@@ -59,6 +59,14 @@ std::string EncodeSnapshot(ResultCache* cache, SubproblemStore* store,
                            uint64_t config_digest,
                            const FingerprintRange* range = nullptr);
 
+/// As above, additionally reporting how many entries of each section were
+/// actually written (after range filtering) in `*written` — the live
+/// migration path (net/decomposition_server.h `/v1/admin/migrate`) uses the
+/// counts to tell "nothing to move" from "moved N entries".
+std::string EncodeSnapshot(ResultCache* cache, SubproblemStore* store,
+                           uint64_t config_digest, const FingerprintRange* range,
+                           SnapshotStats* written);
+
 /// Validates and decodes `bytes`, then restores entries into `cache` and
 /// `store` (either may be nullptr — its section is decoded and discarded).
 /// On any validation or decode failure nothing is restored and an

@@ -11,6 +11,7 @@ namespace htd::service {
 namespace {
 
 constexpr int kMaxShards = 4096;
+constexpr int kMaxReplicas = 8;
 
 std::string_view TrimSpaces(std::string_view text) {
   while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
@@ -24,17 +25,18 @@ std::string_view TrimSpaces(std::string_view text) {
 
 }  // namespace
 
-ShardMap::ShardMap(std::vector<ShardEndpoint> endpoints)
-    : endpoints_(std::move(endpoints)) {
-  HTD_CHECK_GE(endpoints_.size(), 1u);
-  const uint64_t n = endpoints_.size();
+ShardMap::ShardMap(std::vector<std::vector<ShardEndpoint>> replicas)
+    : replicas_(std::move(replicas)) {
+  HTD_CHECK_GE(replicas_.size(), 1u);
+  const uint64_t n = replicas_.size();
   // floor((2^64 - 1) / n) + 1: n slices of this width cover the whole space,
   // and (n-1) * step_ never overflows for n <= kMaxShards (<< 2^32).
   step_ = n == 1 ? 0 : (~0ULL / n) + 1;
 }
 
 util::StatusOr<ShardMap> ShardMap::Parse(const std::string& spec) {
-  std::vector<ShardEndpoint> endpoints;
+  std::vector<std::vector<ShardEndpoint>> replicas;
+  int pending_replicas = 0;  // plain items still owed to the open group
   std::string_view rest = spec;
   while (true) {
     size_t comma = rest.find(',');
@@ -42,6 +44,24 @@ util::StatusOr<ShardMap> ShardMap::Parse(const std::string& spec) {
     if (item.empty()) {
       return util::Status::InvalidArgument(
           "shard map: empty endpoint in \"" + spec + "\"");
+    }
+    // "host:port*R" opens a replica group of R endpoints; the R-1 plain
+    // items that follow join it instead of opening new ranges.
+    long replica_count = 1;
+    size_t star = item.rfind('*');
+    if (star != std::string_view::npos) {
+      if (pending_replicas > 0) {
+        return util::Status::InvalidArgument(
+            "shard map: \"" + std::string(item) +
+            "\" opens a replica group inside another replica group");
+      }
+      if (!util::ParseIntFlag(item.substr(star + 1), 1, kMaxReplicas,
+                              &replica_count)) {
+        return util::Status::InvalidArgument(
+            "shard map: bad replica count in \"" + std::string(item) +
+            "\" (expected *1 to *" + std::to_string(kMaxReplicas) + ")");
+      }
+      item = item.substr(0, star);
     }
     size_t colon = item.rfind(':');
     if (colon == std::string_view::npos || colon == 0) {
@@ -54,33 +74,60 @@ util::StatusOr<ShardMap> ShardMap::Parse(const std::string& spec) {
       return util::Status::InvalidArgument(
           "shard map: bad port in \"" + std::string(item) + "\"");
     }
-    endpoints.push_back(
-        ShardEndpoint{std::string(item.substr(0, colon)), static_cast<int>(port)});
+    ShardEndpoint endpoint{std::string(item.substr(0, colon)),
+                           static_cast<int>(port)};
+    for (const auto& range : replicas) {
+      for (const ShardEndpoint& existing : range) {
+        if (existing == endpoint) {
+          return util::Status::InvalidArgument(
+              "shard map: duplicate endpoint " + endpoint.host + ":" +
+              std::to_string(endpoint.port));
+        }
+      }
+    }
+    if (pending_replicas > 0) {
+      replicas.back().push_back(std::move(endpoint));
+      --pending_replicas;
+    } else {
+      replicas.push_back({std::move(endpoint)});
+      pending_replicas = static_cast<int>(replica_count) - 1;
+    }
     if (comma == std::string_view::npos) break;
     rest = rest.substr(comma + 1);
   }
-  if (static_cast<int>(endpoints.size()) > kMaxShards) {
+  if (pending_replicas > 0) {
+    return util::Status::InvalidArgument(
+        "shard map: replica group is " + std::to_string(pending_replicas) +
+        " endpoint(s) short in \"" + spec + "\"");
+  }
+  if (static_cast<int>(replicas.size()) > kMaxShards) {
     return util::Status::InvalidArgument(
         "shard map: more than " + std::to_string(kMaxShards) + " shards");
   }
-  return ShardMap(std::move(endpoints));
+  return ShardMap(std::move(replicas));
 }
 
 std::string ShardMap::Serialise() const {
   std::string out;
-  for (const ShardEndpoint& endpoint : endpoints_) {
-    if (!out.empty()) out += ',';
-    out += endpoint.host + ":" + std::to_string(endpoint.port);
+  for (const std::vector<ShardEndpoint>& range : replicas_) {
+    for (size_t r = 0; r < range.size(); ++r) {
+      if (!out.empty()) out += ',';
+      out += range[r].host + ":" + std::to_string(range[r].port);
+      if (r == 0 && range.size() > 1) {
+        out += "*" + std::to_string(range.size());
+      }
+    }
   }
   return out;
 }
 
 uint64_t ShardMap::Digest() const {
   // FNV-1a over the canonical serialisation, then mixed: equal maps — and
-  // only equal maps — digest equally.
+  // only equal maps — digest equally. The serialisation carries the replica
+  // grouping, so changing replication alone changes the digest too.
   uint64_t h = 1469598103934665603ULL;
   const std::string text =
-      std::to_string(endpoints_.size()) + ";" + Serialise();
+      std::to_string(replicas_.size()) + ";" + Serialise();
   for (unsigned char c : text) {
     h ^= c;
     h *= 1099511628211ULL;
@@ -95,10 +142,27 @@ std::string ShardMap::DigestHex() const {
   return std::string(buf);
 }
 
+int ShardMap::num_endpoints() const {
+  int total = 0;
+  for (const std::vector<ShardEndpoint>& range : replicas_) {
+    total += static_cast<int>(range.size());
+  }
+  return total;
+}
+
+int ShardMap::RangeOfEndpoint(const ShardEndpoint& endpoint) const {
+  for (size_t index = 0; index < replicas_.size(); ++index) {
+    for (const ShardEndpoint& candidate : replicas_[index]) {
+      if (candidate == endpoint) return static_cast<int>(index);
+    }
+  }
+  return -1;
+}
+
 int ShardMap::IndexFor(const Fingerprint& fp) const {
   if (step_ == 0) return 0;
   const uint64_t index = fp.hi / step_;
-  const uint64_t last = endpoints_.size() - 1;
+  const uint64_t last = replicas_.size() - 1;
   return static_cast<int>(index < last ? index : last);
 }
 

@@ -14,10 +14,17 @@
 //
 // A ShardMap is parsed from the operator's endpoint list
 // ("host:port,host:port,..."); shard i owns the i-th of N equal slices of
-// the fingerprint's high word. Every participant — the hdserver proxy mode
-// (net/shard_router.h), sharded hdserver backends, and hdclient doing
-// client-side hashing — must hold the SAME map: Digest() condenses the
-// full topology into 64 bits that are attached to forwarded requests
+// the fingerprint's high word. A range can additionally be REPLICATED for
+// hot-range availability: "host:port*R" declares that this endpoint and the
+// R-1 endpoints following it in the list serve the SAME range — e.g.
+// "a:1,b:1*2,c:1" is a two-range map where range 1 is served by both b:1
+// and c:1. Replicas of a range all run with the same --shard-index; the
+// router (net/shard_router.h) round-robins reads over them and pushes
+// migration imports to all of them, so losing one replica is a warm-state
+// non-event instead of a cold start. Every participant — the hdserver proxy
+// mode, sharded hdserver backends, and hdclient doing client-side hashing —
+// must hold the SAME map: Digest() condenses the full topology (replica
+// groups included) into 64 bits that are attached to forwarded requests
 // (x-htd-shard-digest) and checked by the backends, so a client or proxy
 // operating on a stale map is refused with 421 instead of silently
 // poisoning another shard's range.
@@ -48,22 +55,49 @@ struct ShardEndpoint {
 class ShardMap {
  public:
   /// Parses "host:port,host:port,..." (1 to 4096 endpoints; spaces around
-  /// commas tolerated). InvalidArgument on empty specs, malformed endpoints,
-  /// or out-of-range ports.
+  /// commas tolerated). A "host:port*R" item (2 <= R <= 8) groups that
+  /// endpoint and the R-1 plain items following it into one replicated
+  /// range. InvalidArgument on empty specs, malformed endpoints,
+  /// out-of-range ports, a replica count the list cannot satisfy, or a
+  /// duplicate endpoint (one process cannot serve two ranges).
   static util::StatusOr<ShardMap> Parse(const std::string& spec);
 
-  /// Canonical textual form ("host:port,host:port"); Parse(Serialise())
-  /// round-trips, and equal maps serialise equally.
+  /// Canonical textual form ("host:port,host:port*2,host:port");
+  /// Parse(Serialise()) round-trips, and equal maps serialise equally
+  /// (an explicit "*1" parses but is never emitted).
   std::string Serialise() const;
 
-  /// 64-bit digest of the full topology (shard count + every endpoint).
-  /// Two processes agree on routing iff their digests match.
+  /// 64-bit digest of the full topology (range count, every endpoint, and
+  /// the replica grouping). Two processes agree on routing iff their
+  /// digests match.
   uint64_t Digest() const;
   /// Digest() in 16 hex digits, the wire form of x-htd-shard-digest.
   std::string DigestHex() const;
 
-  int num_shards() const { return static_cast<int>(endpoints_.size()); }
-  const ShardEndpoint& endpoint(int index) const { return endpoints_[index]; }
+  /// Number of fingerprint RANGES (not processes; a replicated range counts
+  /// once). --shard-index addresses ranges.
+  int num_shards() const { return static_cast<int>(replicas_.size()); }
+  /// Replica count of range `index` (>= 1; 1 for an unreplicated range).
+  int num_replicas(int index) const {
+    return static_cast<int>(replicas_[index].size());
+  }
+  /// The PRIMARY (first-listed) replica of range `index` — the whole
+  /// endpoint set is replica(index, 0..num_replicas-1).
+  const ShardEndpoint& endpoint(int index) const {
+    return replicas_[index][0];
+  }
+  /// Replica `r` of range `index` (0 <= r < num_replicas(index)).
+  const ShardEndpoint& replica(int index, int r) const {
+    return replicas_[index][r];
+  }
+  /// Total process count across every range's replica set.
+  int num_endpoints() const;
+
+  /// Locates `endpoint` anywhere in the map (any replica slot). Returns the
+  /// range index it serves, or -1 when the endpoint is not in the map —
+  /// how tools/hdreshard.cc maps an old process to its --shard-index under
+  /// a new topology.
+  int RangeOfEndpoint(const ShardEndpoint& endpoint) const;
 
   /// The shard owning `fp`: floor(fp.hi / step), clamped to the last shard.
   /// Deterministic — equal maps route equal fingerprints identically.
@@ -75,13 +109,14 @@ class ShardMap {
   FingerprintRange RangeFor(int index) const;
 
  private:
-  explicit ShardMap(std::vector<ShardEndpoint> endpoints);
+  explicit ShardMap(std::vector<std::vector<ShardEndpoint>> replicas);
 
   /// Width of each shard's hi-slice (2^64 / num_shards, rounded up so
   /// num_shards * step covers the space; the last shard absorbs the
   /// remainder). 0 means the single-shard full range.
   uint64_t step_ = 0;
-  std::vector<ShardEndpoint> endpoints_;
+  /// replicas_[range] = that range's replica set, primary first.
+  std::vector<std::vector<ShardEndpoint>> replicas_;
 };
 
 }  // namespace htd::service

@@ -106,6 +106,66 @@ TEST(ShardMapTest, LookupIsDeterministicAndAgreesWithRanges) {
 }
 
 // ---------------------------------------------------------------------------
+// Replica groups ("host:port*R").
+
+TEST(ShardMapTest, ReplicaGroupsParseAndSerialise) {
+  ShardMap map = MustParse("a:1,b:2*2,c:3,d:4");
+  EXPECT_EQ(map.num_shards(), 3) << "a replicated range counts once";
+  EXPECT_EQ(map.num_endpoints(), 4);
+  EXPECT_EQ(map.num_replicas(0), 1);
+  EXPECT_EQ(map.num_replicas(1), 2);
+  EXPECT_EQ(map.num_replicas(2), 1);
+  EXPECT_EQ(map.endpoint(1).host, "b") << "endpoint() is the primary replica";
+  EXPECT_EQ(map.replica(1, 1).host, "c");
+  EXPECT_EQ(map.endpoint(2).host, "d");
+  EXPECT_EQ(map.Serialise(), "a:1,b:2*2,c:3,d:4");
+  ShardMap reparsed = MustParse(map.Serialise());
+  EXPECT_EQ(reparsed.Digest(), map.Digest());
+}
+
+TEST(ShardMapTest, ReplicationIsTopology) {
+  // Folding replication into the digest: the same processes with a
+  // different replica grouping route imports/writes differently, so the
+  // digests must disagree (and *1 is the canonical no-replication form).
+  EXPECT_NE(MustParse("a:1,b:2*2,c:3").Digest(),
+            MustParse("a:1,b:2,c:3").Digest());
+  EXPECT_EQ(MustParse("a:1*1,b:2").Digest(), MustParse("a:1,b:2").Digest());
+  EXPECT_EQ(MustParse("a:1*1,b:2").Serialise(), "a:1,b:2");
+}
+
+TEST(ShardMapTest, ReplicaRangesStayAligned) {
+  // Replication must not move range boundaries: N ranges slice the space
+  // identically whether or not any of them is replicated.
+  ShardMap plain = MustParse("a:1,b:2,c:3");
+  ShardMap replicated = MustParse("a:1,b:2*2,x:9,c:3");
+  ASSERT_EQ(replicated.num_shards(), 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(plain.RangeFor(i).first_hi, replicated.RangeFor(i).first_hi);
+    EXPECT_EQ(plain.RangeFor(i).last_hi, replicated.RangeFor(i).last_hi);
+  }
+}
+
+TEST(ShardMapTest, ReplicaGroupsRejectGarbage) {
+  EXPECT_FALSE(ShardMap::Parse("a:1*2").ok()) << "group one endpoint short";
+  EXPECT_FALSE(ShardMap::Parse("a:1*2,b:2*2,c:3").ok())
+      << "group opened inside a group";
+  EXPECT_FALSE(ShardMap::Parse("a:1*0,b:2").ok());
+  EXPECT_FALSE(ShardMap::Parse("a:1*9,b:1,b:2,b:3,b:4,b:5,b:6,b:7,b:8").ok())
+      << "replica count above the cap";
+  EXPECT_FALSE(ShardMap::Parse("a:1*x,b:2").ok());
+  EXPECT_FALSE(ShardMap::Parse("a:1,a:1").ok())
+      << "one process cannot serve two slots";
+}
+
+TEST(ShardMapTest, RangeOfEndpointFindsAnyReplica) {
+  ShardMap map = MustParse("a:1,b:2*2,c:3");
+  EXPECT_EQ(map.RangeOfEndpoint({"a", 1}), 0);
+  EXPECT_EQ(map.RangeOfEndpoint({"b", 2}), 1);
+  EXPECT_EQ(map.RangeOfEndpoint({"c", 3}), 1) << "second replica, same range";
+  EXPECT_EQ(map.RangeOfEndpoint({"d", 4}), -1);
+}
+
+// ---------------------------------------------------------------------------
 // Range filters through the warm state.
 
 CacheKey KeyAt(uint64_t hi, int k = 2) {

@@ -139,9 +139,9 @@ TEST(ShardRouterTest, AsyncJobIdsCarryTheirShard) {
   HttpResponse admitted = fleet.router->Handle(
       Request("POST", "/v1/decompose?k=2&async=1", fleet.on_shard1));
   ASSERT_EQ(admitted.status, 202) << admitted.body;
-  size_t pos = admitted.body.find("\"job\": \"s1.");
+  size_t pos = admitted.body.find("\"job\": \"s1r0.");
   ASSERT_NE(pos, std::string::npos)
-      << "router job ids must be shard-prefixed: " << admitted.body;
+      << "router job ids must carry shard AND replica: " << admitted.body;
   size_t start = pos + 8;  // skip `"job": "`
   std::string id =
       admitted.body.substr(start, admitted.body.find('"', start) - start);

@@ -24,17 +24,18 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 #include "hypergraph/parser.h"
-#include "net/http.h"
+#include "net/http_client.h"
 #include "service/canonical.h"
 #include "service/shard_map.h"
 #include "util/cli.h"
-#include "util/socket.h"
 
 namespace {
 
@@ -181,10 +182,13 @@ bool ParseArgs(int argc, char** argv, Args& args) {
   return args.command == "stats" || args.command == "snapshot";
 }
 
-/// One HTTP exchange (Connection: close). Returns false on transport errors.
+/// One HTTP exchange (Connection: close) over the shared client
+/// (net/http_client.h). Returns false on transport errors.
 bool Exchange(const Args& args, const std::string& host, int port,
               const std::string& method, const std::string& target,
-              const std::string& body, const std::string& extra_headers,
+              const std::string& body,
+              const std::vector<std::pair<std::string, std::string>>&
+                  extra_headers,
               int* status, std::string* response_body) {
   double io_timeout = args.connect_timeout;
   if (args.command == "decompose" && !args.async) {
@@ -194,38 +198,17 @@ bool Exchange(const Args& args, const std::string& host, int port,
                      ? 0.0
                      : std::max(io_timeout, args.timeout + 60.0);
   }
-  auto sock = htd::util::ConnectTcp(host, port, io_timeout);
-  if (!sock.ok()) {
-    std::fprintf(stderr, "hdclient: %s\n", sock.status().message().c_str());
+  htd::net::FetchOptions options;
+  options.connect_timeout_seconds = io_timeout;
+  options.read_timeout_seconds = io_timeout;
+  htd::net::FetchResult result = htd::net::HttpFetch(
+      host, port, method, target, body, extra_headers, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "hdclient: %s\n", result.error.c_str());
     return false;
   }
-  std::string request = method + " " + target + " HTTP/1.1\r\n";
-  request += "Host: " + host + "\r\n";
-  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-  request += extra_headers;
-  request += "Connection: close\r\n\r\n";
-  request += body;
-  if (!htd::util::SendAll(sock->fd(), request)) {
-    std::fprintf(stderr, "hdclient: send failed\n");
-    return false;
-  }
-  std::string blob;
-  char buffer[16 * 1024];
-  while (true) {
-    long n = htd::util::RecvSome(sock->fd(), buffer, sizeof(buffer));
-    if (n == 0) break;  // orderly close: response complete
-    if (n < 0) {
-      std::fprintf(stderr, "hdclient: %s\n",
-                   n == -2 ? "response timed out" : "recv failed");
-      return false;
-    }
-    blob.append(buffer, static_cast<size_t>(n));
-  }
-  std::map<std::string, std::string> headers;
-  if (!htd::net::ParseHttpResponseBlob(blob, status, &headers, response_body)) {
-    std::fprintf(stderr, "hdclient: malformed HTTP response\n");
-    return false;
-  }
+  *status = result.status;
+  *response_body = std::move(result.body);
   return true;
 }
 
@@ -240,28 +223,32 @@ int ExitCodeFor(int status) {
   return status == 429 || status == 503 ? 4 : 3;
 }
 
-/// stats/snapshot against a shard map: one exchange per shard, each body
-/// printed under its endpoint. Fails with the worst per-shard exit code.
+/// stats/snapshot against a shard map: one exchange per PROCESS (every
+/// replica of every range), each body printed under its endpoint. Fails
+/// with the worst per-endpoint exit code.
 int FanOut(const Args& args, const std::string& method,
            const std::string& target) {
   const htd::service::ShardMap& map = *args.shards;
-  const std::string digest_header =
-      "X-HTD-Shard-Digest: " + map.DigestHex() + "\r\n";
+  const std::vector<std::pair<std::string, std::string>> digest_header = {
+      {"X-HTD-Shard-Digest", map.DigestHex()}};
   int worst = 0;
   for (int i = 0; i < map.num_shards(); ++i) {
-    const htd::service::ShardEndpoint& endpoint = map.endpoint(i);
-    int status = 0;
-    std::string response;
-    if (!Exchange(args, endpoint.host, endpoint.port, method, target, "",
-                  digest_header, &status, &response)) {
-      worst = std::max(worst, 2);
-      continue;
+    for (int r = 0; r < map.num_replicas(i); ++r) {
+      const htd::service::ShardEndpoint& endpoint = map.replica(i, r);
+      int status = 0;
+      std::string response;
+      if (!Exchange(args, endpoint.host, endpoint.port, method, target, "",
+                    digest_header, &status, &response)) {
+        worst = std::max(worst, 2);
+        continue;
+      }
+      if (!args.quiet || status < 200 || status >= 300) {
+        std::printf("shard %d replica %d (%s:%d): HTTP %d\n%s", i, r,
+                    endpoint.host.c_str(), endpoint.port, status,
+                    response.c_str());
+      }
+      worst = std::max(worst, ExitCodeFor(status));
     }
-    if (!args.quiet || status < 200 || status >= 300) {
-      std::printf("shard %d (%s:%d): HTTP %d\n%s", i, endpoint.host.c_str(),
-                  endpoint.port, status, response.c_str());
-    }
-    worst = std::max(worst, ExitCodeFor(status));
   }
   return worst;
 }
@@ -309,7 +296,10 @@ int main(int argc, char** argv) {
 
   std::string host = args.host;
   int port = args.port;
-  std::string extra_headers;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  /// Sibling replicas of the chosen shard, tried in order on transport
+  /// failure (client-side analogue of the router's replica failover).
+  std::vector<std::pair<std::string, int>> replica_fallbacks;
   if (args.shards.has_value()) {
     if (args.command == "stats" || args.command == "snapshot") {
       return FanOut(args, method, target);
@@ -331,11 +321,23 @@ int main(int argc, char** argv) {
     const htd::service::Fingerprint fp =
         htd::service::CanonicalFingerprint(*parsed);
     const int shard = args.shards->IndexFor(fp);
-    const htd::service::ShardEndpoint& endpoint = args.shards->endpoint(shard);
+    // A replicated range (host:port*R in the map) spreads clients over its
+    // replicas by the fingerprint's low word — stateless, deterministic per
+    // instance — and the remaining replicas are kept as transport-failure
+    // fallbacks below, so one dead replica does not fail the request.
+    const int replicas = args.shards->num_replicas(shard);
+    const int first = static_cast<int>(fp.lo % static_cast<uint64_t>(replicas));
+    const htd::service::ShardEndpoint& endpoint =
+        args.shards->replica(shard, first);
     host = endpoint.host;
     port = endpoint.port;
-    extra_headers = "X-HTD-Shard-Digest: " + args.shards->DigestHex() +
-                    "\r\nX-HTD-Shard-Fingerprint: " + fp.ToHex() + "\r\n";
+    for (int attempt = 1; attempt < replicas; ++attempt) {
+      const htd::service::ShardEndpoint& fallback =
+          args.shards->replica(shard, (first + attempt) % replicas);
+      replica_fallbacks.emplace_back(fallback.host, fallback.port);
+    }
+    extra_headers = {{"X-HTD-Shard-Digest", args.shards->DigestHex()},
+                     {"X-HTD-Shard-Fingerprint", fp.ToHex()}};
     if (!args.quiet) {
       std::fprintf(stderr, "hdclient: %s -> shard %d (%s:%d)\n",
                    fp.ToHex().c_str(), shard, host.c_str(), port);
@@ -344,9 +346,13 @@ int main(int argc, char** argv) {
 
   int status = 0;
   std::string response;
-  if (!Exchange(args, host, port, method, target, body, extra_headers, &status,
-                &response)) {
-    return 2;
+  while (!Exchange(args, host, port, method, target, body, extra_headers,
+                   &status, &response)) {
+    if (replica_fallbacks.empty()) return 2;
+    std::tie(host, port) = replica_fallbacks.front();
+    replica_fallbacks.erase(replica_fallbacks.begin());
+    std::fprintf(stderr, "hdclient: failing over to replica %s:%d\n",
+                 host.c_str(), port);
   }
 
   if (status >= 200 && status < 300) {

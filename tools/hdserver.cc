@@ -18,7 +18,12 @@
 // Proxy mode forwards each /v1/decompose to the shard owning the instance's
 // canonical fingerprint (net/shard_router.h) and serves nothing locally;
 // backend mode restricts snapshots to this shard's fingerprint range and
-// refuses requests routed by a mismatched map digest with 421.
+// refuses requests routed by a mismatched map digest with 421. A map item
+// "host:port*2" declares a replicated range (that endpoint plus the next
+// one serve the same range; the router round-robins over them). Topologies
+// change at runtime: tools/hdreshard.cc drives a live N->M reshard through
+// POST /v1/admin/transition (router) and /v1/admin/migrate (backends)
+// without dropping warm state — see docs/OPERATIONS.md.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -66,14 +71,19 @@ void Usage(const char* argv0) {
       "                     (0 = off, the default; requires --snapshot)\n"
       "  --no-load          do not restore the snapshot at startup\n"
       "  --no-save-on-exit  do not save the snapshot on clean shutdown\n"
-      "sharding (docs/SERVER.md):\n"
+      "sharding (docs/SERVER.md, docs/OPERATIONS.md):\n"
       "  --shard-map H:P,H:P,...  fleet topology; this process serves the\n"
-      "                     fingerprint range of shard --shard-index\n"
-      "  --shard-index N    which shard of --shard-map this process is\n"
+      "                     fingerprint range of shard --shard-index.\n"
+      "                     \"H:P*2\" marks a replicated range (this endpoint\n"
+      "                     plus the next serve the same range)\n"
+      "  --shard-index N    which RANGE of --shard-map this process serves\n"
+      "                     (replicas of one range share the index)\n"
       "  --route-to H:P,H:P,...   proxy mode: forward /v1/decompose to the\n"
       "                     owning shard instead of serving locally\n"
       "  --route-backoff S  base backoff after a shard transport failure\n"
-      "                     (default 0.5, doubling up to 30)\n",
+      "                     (default 0.5, doubling up to 30)\n"
+      "live resharding: drive with hdreshard (POST /v1/admin/transition on\n"
+      "the router, /v1/admin/migrate on each backend)\n",
       argv0);
 }
 

@@ -12,7 +12,12 @@ Phases (see ISSUE/acceptance criteria and docs/SERVER.md):
      fingerprint-range routing (resubmits hit the same shard's cache),
      aggregated stats summing across shards, per-shard snapshots, and a
      warm restart of ONE shard that serves its instances as cache hits
-     while the other shard is untouched.
+     while the other shard is untouched;
+  5. live resharding: a 2→3 reshard (the third range replicated across two
+     processes) driven by hdreshard UNDER CONCURRENT TRAFFIC — zero 421s,
+     zero lost cache hits during and after the transition — then one
+     replica of the new range is killed and the router keeps serving the
+     range's warm entries from the survivor.
 
 Usage: tools/server_smoke.py [BUILD_DIR]   (default: ./build)
 Exits non-zero with a FAIL line on the first broken property.
@@ -24,12 +29,14 @@ import socket
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
 BUILD = Path(sys.argv[1] if len(sys.argv) > 1 else "build").resolve()
 HDSERVER = BUILD / "hdserver"
 HDCLIENT = BUILD / "hdclient"
+HDRESHARD = BUILD / "hdreshard"
 CLIENT_TIMEOUT = 60  # seconds per hdclient invocation; a hang is a failure
 
 
@@ -217,8 +224,105 @@ def shard_phase(workdir):
           f"{len(by_shard[0])} cache hits")
 
 
+def reshard_phase(workdir):
+    """Phase 5: live 2→3 reshard (replicated third range) under traffic."""
+    p0, p1, p2, p3, port_r = (free_port() for _ in range(5))
+    old_map = f"127.0.0.1:{p0},127.0.0.1:{p1}"
+    new_map = f"127.0.0.1:{p0},127.0.0.1:{p1},127.0.0.1:{p2}*2,127.0.0.1:{p3}"
+
+    servers = {
+        0: start_server(p0, "--shard-map", old_map, "--shard-index", "0",
+                        "--workers", "2"),
+        1: start_server(p1, "--shard-map", old_map, "--shard-index", "1",
+                        "--workers", "2"),
+    }
+    router = start_server(port_r, "--route-to", old_map)
+
+    # Warm corpus through the router; remember each instance's fingerprint
+    # so we know which land on the NEW third range.
+    corpus = []
+    for length in range(3, 20):
+        name = f"reshard_path{length}.hg"
+        text = ",\n".join(f"r{i}(m{i},m{i + 1})" for i in range(length)) + ".\n"
+        (workdir / name).write_text(text)
+        proc = client(port_r, "decompose", str(workdir / name), "--k", "2",
+                      "--timeout", "30")
+        body = json.loads(proc.stdout)
+        if body["cache_hit"]:
+            fail(f"{name}: first submission must not be a cache hit")
+        corpus.append((name, body["fingerprint"]))
+    moved_to_new_range = [name for name, fp in corpus if shard_of(fp, 3) == 2]
+    if not moved_to_new_range:
+        fail("no instance lands on the new third range in 17 tries")
+
+    # Concurrent traffic for the whole transition: every request must be a
+    # 200 cache hit — a 421 (exit 3) or a lost warm entry (exit 5) fails.
+    stop = threading.Event()
+    traffic_failures = []
+    traffic_count = [0]
+
+    def traffic():
+        while not stop.is_set():
+            for name, _ in corpus:
+                if stop.is_set():
+                    break
+                proc = client(port_r, "decompose", str(workdir / name),
+                              "--k", "2", "--expect-cache-hit", "--quiet",
+                              expect_exit=None)
+                traffic_count[0] += 1
+                if proc.returncode != 0:
+                    traffic_failures.append(
+                        (name, proc.returncode, proc.stderr.strip()))
+
+    thread = threading.Thread(target=traffic)
+    thread.start()
+
+    try:
+        # The joining replicas come up with the NEW map, then hdreshard
+        # drives announce → prepare → migrate → flip → finalise → verify.
+        servers[2] = start_server(p2, "--shard-map", new_map, "--shard-index",
+                                  "2", "--workers", "2")
+        servers[3] = start_server(p3, "--shard-map", new_map, "--shard-index",
+                                  "2", "--workers", "2")
+        reshard = subprocess.run(
+            [str(HDRESHARD), "--from", old_map, "--to", new_map,
+             "--router", f"127.0.0.1:{port_r}"],
+            capture_output=True, text=True, timeout=120)
+        if reshard.returncode != 0:
+            fail(f"hdreshard exited {reshard.returncode}:\n"
+                 f"{reshard.stdout}{reshard.stderr}")
+    finally:
+        stop.set()
+        thread.join()
+    if traffic_failures:
+        fail(f"traffic during reshard broke ({len(traffic_failures)} of "
+             f"{traffic_count[0]}): {traffic_failures[:5]}")
+    if traffic_count[0] == 0:
+        fail("no traffic ran during the reshard window")
+
+    # After the reshard: every pre-reshard entry still hits through the
+    # router (the acceptance bar is >= 95%; we require all of them).
+    for name, _ in corpus:
+        client(port_r, "decompose", str(workdir / name), "--k", "2",
+               "--expect-cache-hit", "--quiet")
+
+    # Kill ONE replica of the new range: the router fails over and keeps
+    # serving the range's warm entries from the survivor.
+    stop_server(servers.pop(2))
+    for name in moved_to_new_range:
+        client(port_r, "decompose", str(workdir / name), "--k", "2",
+               "--expect-cache-hit", "--quiet")
+
+    stop_server(router)
+    for proc in servers.values():
+        stop_server(proc)
+    print(f"phase 5 OK: live 2→3 reshard under {traffic_count[0]} concurrent "
+          f"requests with zero 421s/lost hits; {len(moved_to_new_range)} "
+          f"entries moved to the replicated range and survived a replica kill")
+
+
 def main():
-    for binary in (HDSERVER, HDCLIENT):
+    for binary in (HDSERVER, HDCLIENT, HDRESHARD):
         if not binary.exists():
             fail(f"{binary} not built")
     workdir = Path(tempfile.mkdtemp(prefix="hdserver_smoke_"))
@@ -286,6 +390,9 @@ def main():
 
     # --- Phase 4: fingerprint-range sharding behind the router. ------------
     shard_phase(workdir)
+
+    # --- Phase 5: live resharding + replication under traffic. -------------
+    reshard_phase(workdir)
 
     print("server_smoke: all phases passed")
 
