@@ -8,9 +8,16 @@
 #include "service/subproblem_store.h"
 #include "util/combinations.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace htd {
 namespace {
+
+// Per-recursion-level separator-search spans are recorded down to this
+// depth. The paper's bound makes depth logarithmic, so a handful of levels
+// shows the whole shape; deeper calls are legion and would only churn the
+// ring buffers.
+constexpr int kMaxTracedDepth = 6;
 
 // Models "the subproblems are independent of each other and are therefore
 // processed in parallel" (§D.1) in partition-simulation mode: the effective
@@ -176,6 +183,15 @@ SearchOutcome LogKEngine::Decompose(const ExtendedSubhypergraph& comp,
       extra = budget_->Claim(options_.num_threads - 1);
     }
   }
+  // The per-recursion-level span: one "sep_search" per Decompose call near
+  // the top of the tree, tagged with its depth — /v1/trace shows the
+  // paper's log-depth recursion directly.
+  util::TraceScope sep_span(
+      "sep_search",
+      depth <= kMaxTracedDepth
+          ? util::TraceParent{options_.trace_parent, options_.trace_root}
+          : util::TraceParent{},
+      static_cast<uint64_t>(depth));
   SearchOutcome outcome = DriveCandidates(
       n, k_, num_new, extra, simulate_workers, stats_,
       [&](const std::vector<int>& subset) {
@@ -184,7 +200,8 @@ SearchOutcome LogKEngine::Decompose(const ExtendedSubhypergraph& comp,
         for (int idx : subset) lambda_child.push_back(candidates[idx]);
         return TryChildCandidate(comp, conn, allowed, comp_vertices, lambda_child,
                                  depth);
-      });
+      },
+      util::TraceParent{sep_span.id(), sep_span.root()});
   if (budget_ != nullptr) budget_->Release(extra);
   if (cache_ != nullptr && outcome.status == SearchStatus::kNotFound) {
     cache_->Insert(comp, conn, allowed);

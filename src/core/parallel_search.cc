@@ -28,7 +28,8 @@ void ThreadBudget::Release(int count) {
 
 SearchOutcome DriveCandidates(int n, int k, int first_limit, int extra_threads,
                               int simulate_workers, StatsCounters& stats,
-                              const CandidateFn& try_candidate) {
+                              const CandidateFn& try_candidate,
+                              util::TraceParent trace) {
   const std::vector<util::SubsetChunk> chunks = util::MakeSubsetChunks(n, k, first_limit);
   if (chunks.empty()) return SearchOutcome::NotFound();
 
@@ -85,6 +86,9 @@ SearchOutcome DriveCandidates(int n, int k, int first_limit, int extra_threads,
   std::vector<long> work(num_workers, 0);
 
   auto worker = [&](int slot) {
+    // One span per worker: duration is the worker's whole share of this
+    // level's search, so a trace shows how evenly the chunks divided.
+    util::TraceScope span("sep_worker", trace, static_cast<uint64_t>(slot));
     const long steps_before = CurrentSearchSteps();
     while (done.load(std::memory_order_relaxed) == 0) {
       size_t chunk_index = next_chunk.fetch_add(1, std::memory_order_relaxed);

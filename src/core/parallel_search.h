@@ -17,6 +17,7 @@
 
 #include "core/search_types.h"
 #include "core/solver.h"
+#include "util/trace.h"
 
 namespace htd {
 
@@ -52,8 +53,13 @@ using CandidateFn = std::function<SearchOutcome(const std::vector<int>&)>;
 /// path. work_parallel then records the simulated makespan. This is how the
 /// Figure 1 harness demonstrates the paper's scaling argument on single-core
 /// hardware (DESIGN.md §4, substitution 3).
+///
+/// `trace` parents one "sep_worker" span per real worker thread (tagged
+/// with its slot) under the caller's per-level separator-search span; an
+/// all-zero TraceParent (the default) records nothing.
 SearchOutcome DriveCandidates(int n, int k, int first_limit, int extra_threads,
                               int simulate_workers, StatsCounters& stats,
-                              const CandidateFn& try_candidate);
+                              const CandidateFn& try_candidate,
+                              util::TraceParent trace = {});
 
 }  // namespace htd

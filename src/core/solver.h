@@ -64,6 +64,12 @@ struct SolveOptions {
   /// LogKDecomp, DetKDecomp, and the hybrid read and write it;
   /// LogKDecompBasic only reads (see the store header's soundness notes).
   service::SubproblemStore* subproblem_store = nullptr;
+
+  /// Trace parentage for per-recursion-level separator-search spans
+  /// (util/trace.h). Zero = this solve is not part of a traced request.
+  /// Excluded from SolverConfigDigest — tracing never affects answers.
+  uint64_t trace_parent = 0;
+  uint64_t trace_root = 0;
 };
 
 /// Aggregate counters reported by a solve call.

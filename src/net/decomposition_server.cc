@@ -10,7 +10,9 @@
 #include "hypergraph/parser.h"
 #include "net/http_client.h"
 #include "net/json.h"
+#include "net/trace_json.h"
 #include "util/cli.h"
+#include "util/timer.h"
 
 namespace htd::net {
 
@@ -28,6 +30,37 @@ const char* OutcomeName(Outcome outcome) {
 
 HttpResponse ErrorResponse(int status, const std::string& message) {
   return JsonErrorResponse(status, message);
+}
+
+/// Route label for the per-route latency histogram. A small closed set, so
+/// an attacker probing random paths cannot mint unbounded label values.
+const char* RouteLabel(const std::string& path) {
+  if (path == "/v1/decompose") return "decompose";
+  if (path.rfind("/v1/jobs/", 0) == 0) return "jobs";
+  if (path == "/v1/stats") return "stats";
+  if (path == "/v1/metrics") return "metrics";
+  if (path == "/v1/trace") return "trace";
+  if (path.rfind("/v1/admin/", 0) == 0) return "admin";
+  if (path == "/healthz") return "healthz";
+  return "other";
+}
+
+/// Server-Timing header value (RFC draft syntax: name;dur=millis) for the
+/// full stage breakdown of one synchronous decompose.
+std::string StageTimingHeader(double parse_seconds,
+                              const service::StageBreakdown& stages,
+                              double serialise_seconds) {
+  auto dur = [](const char* name, double seconds) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s;dur=%.3f", name, seconds * 1e3);
+    return std::string(buf);
+  };
+  return dur("parse", parse_seconds) + ", " +
+         dur("fingerprint", stages.fingerprint_seconds) + ", " +
+         dur("cache", stages.cache_seconds) + ", " +
+         dur("schedule", stages.schedule_seconds) + ", " +
+         dur("solve", stages.solve_seconds) + ", " +
+         dur("serialise", serialise_seconds);
 }
 
 /// Strict non-negative integer parse; -1 on garbage.
@@ -198,7 +231,36 @@ util::StatusOr<std::unique_ptr<DecompositionServer>> DecompositionServer::Create
       [raw = server.get()](const HttpRequest& request) {
         return raw->Handle(request);
       });
+  server->BindMetrics();
   return server;
+}
+
+void DecompositionServer::BindMetrics() {
+  util::MetricsRegistry& metrics = service_->metrics();
+  metrics.SetHelp("htd_admission_requests_total",
+                  "Admission outcomes (admitted, shed, bad_request, "
+                  "misrouted).");
+  admitted_ =
+      &metrics.GetCounter("htd_admission_requests_total", "result=\"admitted\"");
+  shed_ = &metrics.GetCounter("htd_admission_requests_total", "result=\"shed\"");
+  bad_requests_ = &metrics.GetCounter("htd_admission_requests_total",
+                                      "result=\"bad_request\"");
+  misrouted_ = &metrics.GetCounter("htd_admission_requests_total",
+                                   "result=\"misrouted\"");
+  metrics.SetHelp("htd_migration_entries_total",
+                  "Warm-state entries moved by live resharding.");
+  imported_cache_entries_ = &metrics.GetCounter("htd_migration_entries_total",
+                                                "direction=\"imported_cache\"");
+  imported_store_entries_ = &metrics.GetCounter("htd_migration_entries_total",
+                                                "direction=\"imported_store\"");
+  migrated_out_entries_ = &metrics.GetCounter("htd_migration_entries_total",
+                                              "direction=\"migrated_out\"");
+  metrics.SetHelp("htd_connections_shed_total",
+                  "Connections refused at the transport bound (503).");
+  metrics.RegisterCallback(
+      "htd_connections_shed_total", "", "counter",
+      [this] { return static_cast<double>(http_->connections_shed()); });
+  metrics.SetHelp("htd_request_seconds", "HTTP request latency by route.");
 }
 
 DecompositionServer::~DecompositionServer() { Stop(); }
@@ -229,21 +291,18 @@ void DecompositionServer::Stop() {
 
 DecompositionServer::AdmissionStats DecompositionServer::admission_stats() const {
   AdmissionStats stats;
-  stats.admitted = admitted_.load(std::memory_order_relaxed);
-  stats.shed = shed_.load(std::memory_order_relaxed);
-  stats.bad_requests = bad_requests_.load(std::memory_order_relaxed);
-  stats.misrouted = misrouted_.load(std::memory_order_relaxed);
+  stats.admitted = admitted_->Value();
+  stats.shed = shed_->Value();
+  stats.bad_requests = bad_requests_->Value();
+  stats.misrouted = misrouted_->Value();
   return stats;
 }
 
 DecompositionServer::MigrationStats DecompositionServer::migration_stats() const {
   MigrationStats stats;
-  stats.imported_cache_entries =
-      imported_cache_entries_.load(std::memory_order_relaxed);
-  stats.imported_store_entries =
-      imported_store_entries_.load(std::memory_order_relaxed);
-  stats.migrated_out_entries =
-      migrated_out_entries_.load(std::memory_order_relaxed);
+  stats.imported_cache_entries = imported_cache_entries_->Value();
+  stats.imported_store_entries = imported_store_entries_->Value();
+  stats.migrated_out_entries = migrated_out_entries_->Value();
   return stats;
 }
 
@@ -290,6 +349,16 @@ util::StatusOr<service::SnapshotStats> DecompositionServer::SaveSnapshotNow() {
 }
 
 HttpResponse DecompositionServer::Handle(const HttpRequest& request) {
+  util::WallTimer timer;
+  HttpResponse response = Dispatch(request);
+  service_->metrics()
+      .GetHistogram("htd_request_seconds",
+                    std::string("route=\"") + RouteLabel(request.path) + "\"")
+      .Observe(timer.ElapsedSeconds());
+  return response;
+}
+
+HttpResponse DecompositionServer::Dispatch(const HttpRequest& request) {
   if (request.path == "/healthz") {
     HttpResponse response;
     response.body = "{\"ok\": true}\n";
@@ -299,7 +368,27 @@ HttpResponse DecompositionServer::Handle(const HttpRequest& request) {
     if (request.method != "POST") {
       return ErrorResponse(405, "use POST for /v1/decompose");
     }
-    return HandleDecompose(request);
+    // Adopt the request id when a proxy (the shard router) already assigned
+    // one — the fleet's spans then stitch onto one root — else mint our own.
+    uint64_t request_id = 0;
+    auto rid = request.headers.find("x-htd-request-id");
+    if (rid == request.headers.end() ||
+        !util::ParseTraceId(rid->second, &request_id)) {
+      request_id = util::TraceRegistry::Instance().NextId();
+    }
+    std::string server_timing;
+    HttpResponse response;
+    {
+      util::TraceScope root_span("request", util::TraceRootId{request_id},
+                                 static_cast<uint64_t>(request.body.size()));
+      response = HandleDecompose(request, request_id, &server_timing);
+    }
+    response.headers.emplace_back("X-HTD-Request-Id",
+                                  util::TraceIdHex(request_id));
+    if (!server_timing.empty()) {
+      response.headers.emplace_back("Server-Timing", server_timing);
+    }
+    return response;
   }
   if (request.path.rfind("/v1/jobs/", 0) == 0) {
     if (request.method != "GET") {
@@ -312,6 +401,18 @@ HttpResponse DecompositionServer::Handle(const HttpRequest& request) {
       return ErrorResponse(405, "use GET for /v1/stats");
     }
     return HandleStats();
+  }
+  if (request.path == "/v1/metrics") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "use GET for /v1/metrics");
+    }
+    return HandleMetrics();
+  }
+  if (request.path == "/v1/trace") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "use GET for /v1/trace");
+    }
+    return HandleTrace(request);
   }
   if (request.path == "/v1/admin/snapshot") {
     if (request.method != "POST") {
@@ -340,10 +441,12 @@ HttpResponse DecompositionServer::Handle(const HttpRequest& request) {
   return ErrorResponse(404, "unknown route: " + request.path);
 }
 
-HttpResponse DecompositionServer::HandleDecompose(const HttpRequest& request) {
+HttpResponse DecompositionServer::HandleDecompose(const HttpRequest& request,
+                                                  uint64_t request_id,
+                                                  std::string* server_timing) {
   int k = ParseInt(request.QueryOr("k", ""));
   if (k < 1 || k > options_.max_k) {
-    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    bad_requests_->Add();
     return ErrorResponse(
         400, "query parameter k must be an integer in [1, " +
                  std::to_string(options_.max_k) + "]");
@@ -351,7 +454,7 @@ HttpResponse DecompositionServer::HandleDecompose(const HttpRequest& request) {
   double timeout = ParseSeconds(request.QueryOr("timeout", ""),
                                 service_->options().default_timeout_seconds);
   if (timeout < 0) {
-    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    bad_requests_->Add();
     return ErrorResponse(400, "query parameter timeout must be seconds >= 0");
   }
   const bool async = request.QueryOr("async", "0") == "1";
@@ -369,7 +472,7 @@ HttpResponse DecompositionServer::HandleDecompose(const HttpRequest& request) {
     auto digest = request.headers.find("x-htd-shard-digest");
     if (digest != request.headers.end()) {
       if (!DigestAccepted(*shard, digest->second)) {
-        misrouted_.fetch_add(1, std::memory_order_relaxed);
+        misrouted_->Add();
         return ErrorResponse(
             421, "shard map digest mismatch: this shard is " +
                      std::to_string(shard->index) + "/" +
@@ -386,11 +489,11 @@ HttpResponse DecompositionServer::HandleDecompose(const HttpRequest& request) {
     if (fp_header != request.headers.end()) {
       service::Fingerprint fp;
       if (!service::Fingerprint::FromHex(fp_header->second, &fp)) {
-        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        bad_requests_->Add();
         return ErrorResponse(400, "x-htd-shard-fingerprint must be 32 hex digits");
       }
       if (!RangeAccepted(*shard, fp)) {
-        misrouted_.fetch_add(1, std::memory_order_relaxed);
+        misrouted_->Add();
         return ErrorResponse(
             421, "misrouted: fingerprint " + fp_header->second +
                      " is outside shard " + std::to_string(shard->index) +
@@ -401,7 +504,7 @@ HttpResponse DecompositionServer::HandleDecompose(const HttpRequest& request) {
     }
   }
   if (request.body.empty()) {
-    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    bad_requests_->Add();
     return ErrorResponse(400, "empty body: expected a hypergraph in "
                               "HyperBench or PACE format");
   }
@@ -417,7 +520,7 @@ HttpResponse DecompositionServer::HandleDecompose(const HttpRequest& request) {
   // (docs/SERVER.md).
   if (service_->outstanding_jobs() >=
       static_cast<uint64_t>(options_.max_queue_depth)) {
-    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_->Add();
     HttpResponse response = ErrorResponse(
         429, "queue full: " + std::to_string(options_.max_queue_depth) +
                  " jobs outstanding; retry later");
@@ -426,9 +529,19 @@ HttpResponse DecompositionServer::HandleDecompose(const HttpRequest& request) {
     return response;
   }
 
-  auto parsed = ParseAuto(request.body);
+  // The parse stage is timed unconditionally (histogram) and recorded as a
+  // span when the request is traced. The WallTimer is the ground truth —
+  // TraceScope::Seconds() is 0 when tracing is off.
+  util::WallTimer parse_timer;
+  auto parsed = [&] {
+    util::TraceScope span("parse", util::TraceParent{request_id, request_id},
+                          static_cast<uint64_t>(request.body.size()));
+    return ParseAuto(request.body);
+  }();
+  const double parse_seconds = parse_timer.ElapsedSeconds();
+  service_->ObserveParseSeconds(parse_seconds);
   if (!parsed.ok()) {
-    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    bad_requests_->Add();
     return ErrorResponse(400, "cannot parse hypergraph: " +
                                   parsed.status().message());
   }
@@ -445,7 +558,7 @@ HttpResponse DecompositionServer::HandleDecompose(const HttpRequest& request) {
     // every routed request.)
     const service::Fingerprint fp = service::CanonicalFingerprint(*parsed);
     if (!RangeAccepted(*shard, fp)) {
-      misrouted_.fetch_add(1, std::memory_order_relaxed);
+      misrouted_->Add();
       return ErrorResponse(
           421, "misrouted: instance fingerprint " + fp.ToHex() +
                    " belongs to shard " +
@@ -456,13 +569,25 @@ HttpResponse DecompositionServer::HandleDecompose(const HttpRequest& request) {
   }
 
   auto graph = std::make_shared<const Hypergraph>(std::move(*parsed));
-  admitted_.fetch_add(1, std::memory_order_relaxed);
-  std::future<service::JobResult> future = service_->Submit(*graph, k, timeout);
+  admitted_->Add();
+  std::future<service::JobResult> future = service_->Submit(
+      *graph, k, timeout, util::TraceParent{request_id, request_id});
 
   if (!async) {
     service::JobResult job = future.get();
     HttpResponse response;
-    response.body = RenderResult(job, *graph, include_decomposition);
+    util::WallTimer serialise_timer;
+    {
+      util::TraceScope span("serialise",
+                            util::TraceParent{request_id, request_id});
+      response.body = RenderResult(job, *graph, include_decomposition);
+    }
+    const double serialise_seconds = serialise_timer.ElapsedSeconds();
+    service_->ObserveSerialiseSeconds(serialise_seconds);
+    if (server_timing != nullptr) {
+      *server_timing =
+          StageTimingHeader(parse_seconds, job.stages, serialise_seconds);
+    }
     return response;
   }
 
@@ -525,43 +650,56 @@ HttpResponse DecompositionServer::HandleJob(const std::string& id) {
 }
 
 HttpResponse DecompositionServer::HandleStats() {
-  auto scheduler = service_->scheduler_stats();
-  auto cache = service_->cache_stats();
-  auto store = service_->subproblem_stats();
-  AdmissionStats admission = admission_stats();
-  MigrationStats migration = migration_stats();
+  // One registry snapshot: every counter is sampled exactly once, in an
+  // order where derived counts precede the totals bounding them. The old
+  // field-by-field sampling could catch a migration or fan-out mid-update
+  // and report, e.g., more cache hits than submissions in one poll.
+  std::map<std::string, double> sampled;
+  for (const util::MetricSample& sample : service_->metrics().Snapshot()) {
+    sampled[sample.labels.empty() ? sample.name
+                                  : sample.name + "{" + sample.labels + "}"] =
+        sample.value;
+  }
+  auto count = [&](const std::string& key) {
+    auto it = sampled.find(key);
+    return std::to_string(
+        static_cast<uint64_t>(it == sampled.end() ? 0.0 : it->second));
+  };
   auto shard = shard_state();
 
   std::string body = "{";
   body += "\"scheduler\": {";
-  body += "\"submitted\": " + std::to_string(scheduler.submitted);
-  body += ", \"solves\": " + std::to_string(scheduler.solves);
-  body += ", \"dedup_joins\": " + std::to_string(scheduler.dedup_joins);
-  body += ", \"cache_hits\": " + std::to_string(scheduler.cache_hits);
-  body += ", \"completed\": " + std::to_string(scheduler.completed);
-  body += ", \"queue_depth\": " + std::to_string(service_->queue_depth());
-  body += ", \"outstanding\": " + std::to_string(service_->outstanding_jobs());
+  body += "\"submitted\": " + count("htd_scheduler_submitted_total");
+  body += ", \"solves\": " + count("htd_scheduler_solves_total");
+  body += ", \"dedup_joins\": " + count("htd_scheduler_dedup_joins_total");
+  body += ", \"cache_hits\": " + count("htd_scheduler_cache_hits_total");
+  body += ", \"completed\": " + count("htd_scheduler_completed_total");
+  body += ", \"queue_depth\": " + count("htd_queue_depth");
+  body += ", \"outstanding\": " + count("htd_outstanding_jobs");
   body += "}, \"cache\": {";
-  body += "\"hits\": " + std::to_string(cache.hits);
-  body += ", \"misses\": " + std::to_string(cache.misses);
-  body += ", \"insertions\": " + std::to_string(cache.insertions);
-  body += ", \"evictions\": " + std::to_string(cache.evictions);
-  body += ", \"entries\": " + std::to_string(cache.entries);
-  body += ", \"capacity\": " + std::to_string(cache.capacity);
+  body += "\"hits\": " + count("htd_cache_hits_total");
+  body += ", \"misses\": " + count("htd_cache_misses_total");
+  body += ", \"insertions\": " + count("htd_cache_insertions_total");
+  body += ", \"evictions\": " + count("htd_cache_evictions_total");
+  body += ", \"entries\": " + count("htd_cache_entries");
+  body += ", \"capacity\": " + count("htd_cache_capacity");
   body += "}, \"subproblem_store\": {";
   body += "\"enabled\": " +
           std::string(service_->options().enable_subproblem_store ? "true" : "false");
-  body += ", \"probes\": " + std::to_string(store.probes);
-  body += ", \"negative_hits\": " + std::to_string(store.negative_hits);
-  body += ", \"positive_hits\": " + std::to_string(store.positive_hits);
-  body += ", \"entries\": " + std::to_string(store.entries);
-  body += ", \"bytes\": " + std::to_string(store.bytes);
+  body += ", \"probes\": " + count("htd_store_probes_total");
+  body += ", \"negative_hits\": " + count("htd_store_negative_hits_total");
+  body += ", \"positive_hits\": " + count("htd_store_positive_hits_total");
+  body += ", \"entries\": " + count("htd_store_entries");
+  body += ", \"bytes\": " + count("htd_store_bytes");
   body += "}, \"admission\": {";
-  body += "\"admitted\": " + std::to_string(admission.admitted);
-  body += ", \"shed\": " + std::to_string(admission.shed);
-  body += ", \"connections_shed\": " + std::to_string(http_->connections_shed());
-  body += ", \"bad_requests\": " + std::to_string(admission.bad_requests);
-  body += ", \"misrouted\": " + std::to_string(admission.misrouted);
+  body += "\"admitted\": " +
+          count("htd_admission_requests_total{result=\"admitted\"}");
+  body += ", \"shed\": " + count("htd_admission_requests_total{result=\"shed\"}");
+  body += ", \"connections_shed\": " + count("htd_connections_shed_total");
+  body += ", \"bad_requests\": " +
+          count("htd_admission_requests_total{result=\"bad_request\"}");
+  body += ", \"misrouted\": " +
+          count("htd_admission_requests_total{result=\"misrouted\"}");
   body += ", \"max_queue_depth\": " + std::to_string(options_.max_queue_depth);
   body += ", \"max_connections\": " + std::to_string(options_.http.max_connections);
   body += "}, \"shard\": {";
@@ -585,11 +723,11 @@ HttpResponse DecompositionServer::HandleStats() {
   }
   body += "}, \"migration\": {";
   body += "\"imported_cache_entries\": " +
-          std::to_string(migration.imported_cache_entries);
+          count("htd_migration_entries_total{direction=\"imported_cache\"}");
   body += ", \"imported_store_entries\": " +
-          std::to_string(migration.imported_store_entries);
+          count("htd_migration_entries_total{direction=\"imported_store\"}");
   body += ", \"migrated_out_entries\": " +
-          std::to_string(migration.migrated_out_entries);
+          count("htd_migration_entries_total{direction=\"migrated_out\"}");
   body += "}, \"snapshot\": {";
   body += "\"path\": \"" + JsonEscape(options_.snapshot_path) + "\"";
   body += ", \"restored_cache_entries\": " + std::to_string(restored_.cache_entries);
@@ -600,6 +738,23 @@ HttpResponse DecompositionServer::HandleStats() {
 
   HttpResponse response;
   response.body = std::move(body);
+  return response;
+}
+
+HttpResponse DecompositionServer::HandleMetrics() {
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = service_->metrics().RenderPrometheus();
+  return response;
+}
+
+HttpResponse DecompositionServer::HandleTrace(const HttpRequest& request) {
+  int n = ParseInt(request.QueryOr("n", "16"));
+  if (n < 1 || n > 256) {
+    return ErrorResponse(400, "query parameter n must be an integer in [1, 256]");
+  }
+  HttpResponse response;
+  response.body = RenderRecentTracesJson(static_cast<size_t>(n));
   return response;
 }
 
@@ -651,7 +806,7 @@ HttpResponse DecompositionServer::HandleImport(const HttpRequest& request) {
     auto digest = request.headers.find("x-htd-shard-digest");
     if (digest != request.headers.end() &&
         !DigestAccepted(*shard, digest->second)) {
-      misrouted_.fetch_add(1, std::memory_order_relaxed);
+      misrouted_->Add();
       return ErrorResponse(
           421, "import routed by digest " + digest->second +
                    " but this shard accepts " + shard->digest_hex +
@@ -673,14 +828,12 @@ HttpResponse DecompositionServer::HandleImport(const HttpRequest& request) {
                                           service_->result_cache(),
                                           service_->subproblem_store(), range);
   if (!imported.ok()) {
-    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    bad_requests_->Add();
     return ErrorResponse(400, "cannot import snapshot blob: " +
                                   imported.status().message());
   }
-  imported_cache_entries_.fetch_add(imported->cache_entries,
-                                    std::memory_order_relaxed);
-  imported_store_entries_.fetch_add(imported->store_entries,
-                                    std::memory_order_relaxed);
+  imported_cache_entries_->Add(imported->cache_entries);
+  imported_store_entries_->Add(imported->store_entries);
   HttpResponse response;
   response.body = "{\"imported\": true, \"cache_entries\": " +
                   std::to_string(imported->cache_entries) +
@@ -857,7 +1010,7 @@ HttpResponse DecompositionServer::HandleMigrate(const HttpRequest& request) {
     }
     if (pushed_any) moved += entries;
   }
-  migrated_out_entries_.fetch_add(moved, std::memory_order_relaxed);
+  migrated_out_entries_->Add(moved);
 
   HttpResponse response;
   // Partial pushes are a gateway-level failure: some new owner did NOT

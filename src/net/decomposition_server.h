@@ -29,7 +29,18 @@
 //                           transitioning state WITHOUT streaming — the
 //                           orchestrator prepares every backend first so
 //                           each accepts its peers' new-digest pushes.
+//   GET  /v1/metrics        Prometheus text exposition: admission/migration
+//                           counters, component gauges, and per-stage /
+//                           per-route latency histograms (util/metrics.h).
+//   GET  /v1/trace?n=K      the most recent K completed root request spans
+//                           as JSON, children attached (util/trace.h).
 //   GET  /healthz           liveness probe.
+//
+// Observability: every POST /v1/decompose opens a root span whose id is
+// echoed as X-HTD-Request-Id (an id arriving in that header — the shard
+// router propagates its own — is adopted, so a fleet trace stitches
+// together), and synchronous responses carry a Server-Timing header with
+// the parse/fingerprint/cache/schedule/solve/serialise stage breakdown.
 //
 // Admission control: requests are shed with 429 + Retry-After once the
 // number of admitted-but-unresolved jobs reaches max_queue_depth — a
@@ -71,7 +82,9 @@
 #include "service/persistence.h"
 #include "service/service.h"
 #include "service/shard_map.h"
+#include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace htd::net {
 
@@ -198,9 +211,23 @@ class DecompositionServer {
 
   explicit DecompositionServer(DecompositionServerOptions options);
 
-  HttpResponse HandleDecompose(const HttpRequest& request);
+  /// Binds the admission/migration counters and route histograms onto the
+  /// service's MetricsRegistry (called once from Create, after service_).
+  void BindMetrics();
+
+  /// Route dispatch body; Handle() wraps it with the per-route latency
+  /// histogram observation.
+  HttpResponse Dispatch(const HttpRequest& request);
+
+  /// `request_id` is the root span id (echoed by the caller); on the
+  /// synchronous path `server_timing` receives the stage breakdown in
+  /// Server-Timing header syntax.
+  HttpResponse HandleDecompose(const HttpRequest& request, uint64_t request_id,
+                               std::string* server_timing);
   HttpResponse HandleJob(const std::string& id);
   HttpResponse HandleStats();
+  HttpResponse HandleMetrics();
+  HttpResponse HandleTrace(const HttpRequest& request);
   HttpResponse HandleSnapshot();
   HttpResponse HandleExport(const HttpRequest& request);
   HttpResponse HandleImport(const HttpRequest& request);
@@ -229,13 +256,16 @@ class DecompositionServer {
   /// Serialises /v1/admin/migrate flows (begin, re-drive, finalise).
   std::mutex migrate_mutex_;
 
-  std::atomic<uint64_t> admitted_{0};
-  std::atomic<uint64_t> shed_{0};
-  std::atomic<uint64_t> bad_requests_{0};
-  std::atomic<uint64_t> misrouted_{0};
-  std::atomic<uint64_t> imported_cache_entries_{0};
-  std::atomic<uint64_t> imported_store_entries_{0};
-  std::atomic<uint64_t> migrated_out_entries_{0};
+  /// Admission/migration counters, owned by the service's MetricsRegistry
+  /// (so /v1/metrics, /v1/stats, and the struct accessors all read the
+  /// same cells). Bound in BindMetrics(); never null after Create().
+  util::Counter* admitted_ = nullptr;
+  util::Counter* shed_ = nullptr;
+  util::Counter* bad_requests_ = nullptr;
+  util::Counter* misrouted_ = nullptr;
+  util::Counter* imported_cache_entries_ = nullptr;
+  util::Counter* imported_store_entries_ = nullptr;
+  util::Counter* migrated_out_entries_ = nullptr;
   std::atomic<uint64_t> next_job_id_{1};
   /// Set at the head of Stop(): new decompose requests are refused with 503
   /// so no fresh flight can slip in behind the cancellation sweep.

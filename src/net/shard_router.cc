@@ -7,8 +7,10 @@
 #include "hypergraph/parser.h"
 #include "net/http_client.h"
 #include "net/json.h"
+#include "net/trace_json.h"
 #include "service/canonical.h"
 #include "util/cli.h"
+#include "util/timer.h"
 
 namespace htd::net {
 
@@ -16,6 +18,19 @@ namespace {
 
 HttpResponse ErrorResponse(int status, const std::string& message) {
   return JsonErrorResponse(status, message);
+}
+
+/// Route label for the router's per-route latency histogram (closed set,
+/// same rationale as the backend's).
+const char* RouteLabel(const std::string& path) {
+  if (path == "/v1/decompose") return "decompose";
+  if (path.rfind("/v1/jobs/", 0) == 0) return "jobs";
+  if (path == "/v1/stats") return "stats";
+  if (path == "/v1/metrics") return "metrics";
+  if (path == "/v1/trace") return "trace";
+  if (path.rfind("/v1/admin/", 0) == 0) return "admin";
+  if (path == "/healthz") return "healthz";
+  return "other";
 }
 
 /// Trailing-'\n'-free copy of a forwarded JSON body, for embedding.
@@ -53,6 +68,9 @@ ShardRouter::ShardRouter(ShardRouterOptions options)
   auto maps = std::make_shared<Maps>(options_.map);
   maps->digest_hex = maps->map.DigestHex();
   maps_ = std::move(maps);
+  metrics_.SetHelp("htd_router_request_seconds",
+                   "Router HTTP request latency by route (includes the "
+                   "forwarded exchange).");
 }
 
 std::shared_ptr<const ShardRouter::Maps> ShardRouter::maps() const {
@@ -211,7 +229,8 @@ HttpResponse ShardRouter::ForwardToEndpoint(
     const service::ShardEndpoint& endpoint, const std::string& digest_hex,
     const std::string& method, const std::string& target,
     const std::string& body, const std::string& fingerprint_hex,
-    double read_timeout_seconds, bool* transport_failed) {
+    const std::string& request_id_hex, double read_timeout_seconds,
+    bool* transport_failed) {
   const std::string key = HealthKey(endpoint);
   *transport_failed = true;
   if (InBackoff(key)) {
@@ -233,6 +252,11 @@ HttpResponse ShardRouter::ForwardToEndpoint(
   headers.emplace_back("X-HTD-Shard-Digest", digest_hex);
   if (!fingerprint_hex.empty()) {
     headers.emplace_back("X-HTD-Shard-Fingerprint", fingerprint_hex);
+  }
+  if (!request_id_hex.empty()) {
+    // The backend adopts this as its root span id, stitching its trace onto
+    // the router's "route" span under one request id.
+    headers.emplace_back("X-HTD-Request-Id", request_id_hex);
   }
   FetchOptions fetch;
   fetch.connect_timeout_seconds = options_.connect_timeout_seconds;
@@ -276,6 +300,16 @@ HttpResponse ShardRouter::ForwardToEndpoint(
   if (retry_after != result.headers.end()) {
     response.headers.emplace_back("Retry-After", retry_after->second);
   }
+  // Observability headers pass through: the client sees the backend's stage
+  // breakdown and the request id its trace is filed under.
+  auto server_timing = result.headers.find("server-timing");
+  if (server_timing != result.headers.end()) {
+    response.headers.emplace_back("Server-Timing", server_timing->second);
+  }
+  auto echoed_id = result.headers.find("x-htd-request-id");
+  if (echoed_id != result.headers.end()) {
+    response.headers.emplace_back("X-HTD-Request-Id", echoed_id->second);
+  }
   return response;
 }
 
@@ -283,7 +317,8 @@ HttpResponse ShardRouter::ForwardToRange(
     const service::ShardMap& map, int index, const std::string& digest_hex,
     const std::string& method, const std::string& target,
     const std::string& body, const std::string& fingerprint_hex,
-    double read_timeout_seconds, int* served_replica) {
+    const std::string& request_id_hex, double read_timeout_seconds,
+    util::TraceParent trace, int* served_replica) {
   // Round-robin over the range's replicas, failing over on transport-level
   // trouble (down or backing off). A replica's own HTTP answer — including
   // its 429/503 load shedding — is final: overload on one replica is not a
@@ -297,10 +332,15 @@ HttpResponse ShardRouter::ForwardToRange(
   for (int attempt = 0; attempt < replicas; ++attempt) {
     const int r = (start + attempt) % replicas;
     bool transport_failed = false;
+    // One span per attempt, tagged with the owning (range, replica) — a
+    // trace of a failover shows every endpoint tried, not just the winner.
+    util::TraceScope span(
+        "forward", trace,
+        (static_cast<uint64_t>(index) << 8) | static_cast<uint64_t>(r));
     HttpResponse response =
         ForwardToEndpoint(map.replica(index, r), digest_hex, method, target,
-                          body, fingerprint_hex, read_timeout_seconds,
-                          &transport_failed);
+                          body, fingerprint_hex, request_id_hex,
+                          read_timeout_seconds, &transport_failed);
     if (!transport_failed) {
       if (served_replica != nullptr) *served_replica = r;
       return response;
@@ -339,7 +379,7 @@ std::vector<HttpResponse> ShardRouter::ForwardAll(
         responses[static_cast<size_t>(i)] = ForwardToEndpoint(
             targets[static_cast<size_t>(i)].endpoint,
             targets[static_cast<size_t>(i)].digest_hex, method, target, "", "",
-            read_timeout_seconds, &transport_failed);
+            "", read_timeout_seconds, &transport_failed);
       }
     });
   }
@@ -348,6 +388,16 @@ std::vector<HttpResponse> ShardRouter::ForwardAll(
 }
 
 HttpResponse ShardRouter::Handle(const HttpRequest& request) {
+  util::WallTimer timer;
+  HttpResponse response = Dispatch(request);
+  metrics_
+      .GetHistogram("htd_router_request_seconds",
+                    std::string("route=\"") + RouteLabel(request.path) + "\"")
+      .Observe(timer.ElapsedSeconds());
+  return response;
+}
+
+HttpResponse ShardRouter::Dispatch(const HttpRequest& request) {
   if (request.headers.count("x-htd-forwarded") != 0) {
     return ErrorResponse(
         508, "routing loop: this router received an already-forwarded request "
@@ -387,6 +437,18 @@ HttpResponse ShardRouter::Handle(const HttpRequest& request) {
       return ErrorResponse(405, "use GET for /v1/stats");
     }
     return HandleStats();
+  }
+  if (request.path == "/v1/metrics") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "use GET for /v1/metrics");
+    }
+    return HandleMetrics();
+  }
+  if (request.path == "/v1/trace") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "use GET for /v1/trace");
+    }
+    return HandleTrace(request);
   }
   if (request.path == "/v1/admin/snapshot") {
     if (request.method != "POST") {
@@ -431,15 +493,24 @@ HttpResponse ShardRouter::HandleDecompose(const HttpRequest& request) {
     }
   }
 
+  // One request id for the whole fleet trip: the router's root span, every
+  // forward attempt, and the backend's own trace all file under it, and the
+  // client reads it back from X-HTD-Request-Id.
+  const uint64_t request_id = util::TraceRegistry::Instance().NextId();
+  const std::string request_id_hex = util::TraceIdHex(request_id);
+  util::TraceScope root_span("route", util::TraceRootId{request_id});
+  const util::TraceParent forward_trace{request_id, request_id};
+
   // Current owner first: during a live reshard the donor still holds the
   // warm entry, so routing by the old map preserves every cache hit until
   // the fleet flips.
   const int owner = snapshot->map.IndexFor(fp);
+  root_span.set_tag(static_cast<uint64_t>(owner));
   int served_replica = 0;
   HttpResponse response =
       ForwardToRange(snapshot->map, owner, snapshot->digest_hex, request.method,
-                     request.target, request.body, fp.ToHex(), read_timeout,
-                     &served_replica);
+                     request.target, request.body, fp.ToHex(), request_id_hex,
+                     read_timeout, forward_trace, &served_replica);
   int served_by = owner;
   if (snapshot->new_map.has_value() &&
       (response.status == 421 || response.status == 502 ||
@@ -464,12 +535,23 @@ HttpResponse ShardRouter::HandleDecompose(const HttpRequest& request) {
       response = ForwardToRange(*snapshot->new_map, new_owner,
                                 snapshot->new_digest_hex, request.method,
                                 request.target, request.body, fp.ToHex(),
-                                read_timeout, &served_replica);
+                                request_id_hex, read_timeout, forward_trace,
+                                &served_replica);
       served_by = new_owner;
     }
   }
   if (async && response.status == 202) {
     PrefixJobId(&response, served_by, served_replica);
+  }
+  // A router-generated error (every replica down) never touched a backend,
+  // so no echoed id passed through — attach ours so the client can still
+  // find the router-side trace of the failed routing attempt.
+  bool has_id = false;
+  for (const auto& header : response.headers) {
+    if (header.first == "X-HTD-Request-Id") has_id = true;
+  }
+  if (!has_id) {
+    response.headers.emplace_back("X-HTD-Request-Id", request_id_hex);
   }
   return response;
 }
@@ -544,7 +626,7 @@ HttpResponse ShardRouter::HandleJob(const HttpRequest& request) {
   for (const auto& [endpoint, digest_hex] : candidates) {
     bool transport_failed = false;
     HttpResponse response = ForwardToEndpoint(
-        endpoint, digest_hex, "GET", "/v1/jobs/" + remote_id, "", "",
+        endpoint, digest_hex, "GET", "/v1/jobs/" + remote_id, "", "", "",
         options_.read_timeout_seconds, &transport_failed);
     if (!transport_failed && response.status != 404) {
       if (response.status == 200) {
@@ -648,6 +730,116 @@ HttpResponse ShardRouter::HandleStats() {
 
   HttpResponse response;
   response.body = std::move(body);
+  return response;
+}
+
+HttpResponse ShardRouter::HandleMetrics() {
+  auto snapshot = maps();
+  std::vector<AddressedEndpoint> targets = AddressedEndpoints(*snapshot);
+  std::vector<HttpResponse> responses =
+      ForwardAll(targets, "GET", "/v1/metrics", options_.read_timeout_seconds);
+
+  // Aggregate the backend scrapes into one Prometheus page: identical
+  // series (same name and label set) are SUMMED — counters add, histogram
+  // bucket counts add, gauges add (entries/bytes gauges are fleet totals) —
+  // while each family's first-seen HELP/TYPE lines are kept once. Family
+  // grouping is preserved because the text format requires one contiguous
+  // block per metric family.
+  struct Family {
+    std::vector<std::string> meta;          ///< "# HELP"/"# TYPE" lines
+    std::vector<std::string> series_order;  ///< series keys, first seen first
+    std::map<std::string, double> values;
+  };
+  std::vector<std::string> family_order;
+  std::map<std::string, Family> families;
+  auto family_of = [](const std::string& series) {
+    size_t cut = series.find_first_of("{ ");
+    return cut == std::string::npos ? series : series.substr(0, cut);
+  };
+  int scraped = 0;
+  for (const HttpResponse& endpoint_response : responses) {
+    if (endpoint_response.status != 200) continue;
+    ++scraped;
+    size_t pos = 0;
+    const std::string& text = endpoint_response.body;
+    while (pos < text.size()) {
+      size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) eol = text.size();
+      const std::string line = text.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line.empty()) continue;
+      if (line[0] == '#') {
+        // "# HELP <name> ..." / "# TYPE <name> ...": third token = family.
+        size_t name_start = line.find(' ', 2);
+        if (name_start == std::string::npos) continue;
+        ++name_start;
+        size_t name_end = line.find(' ', name_start);
+        const std::string family =
+            line.substr(name_start, name_end == std::string::npos
+                                        ? std::string::npos
+                                        : name_end - name_start);
+        if (families.find(family) == families.end()) {
+          family_order.push_back(family);
+        }
+        Family& entry = families[family];
+        bool seen = false;
+        for (const std::string& meta : entry.meta) seen = seen || meta == line;
+        if (!seen) entry.meta.push_back(line);
+        continue;
+      }
+      size_t value_cut = line.rfind(' ');
+      if (value_cut == std::string::npos) continue;
+      const std::string key = line.substr(0, value_cut);
+      char* end = nullptr;
+      const std::string value_text = line.substr(value_cut + 1);
+      double value = std::strtod(value_text.c_str(), &end);
+      if (end != value_text.c_str() + value_text.size()) continue;
+      const std::string family = family_of(key);
+      if (families.find(family) == families.end()) {
+        family_order.push_back(family);
+      }
+      Family& entry = families[family];
+      if (entry.values.find(key) == entry.values.end()) {
+        entry.series_order.push_back(key);
+      }
+      entry.values[key] += value;
+    }
+  }
+
+  std::string body;
+  body += "# HELP htd_fleet_endpoints_scraped Backends that answered this "
+          "aggregated scrape.\n";
+  body += "# TYPE htd_fleet_endpoints_scraped gauge\n";
+  body += "htd_fleet_endpoints_scraped " + std::to_string(scraped) + "\n";
+  body += "# HELP htd_fleet_endpoints Backends addressed by the router.\n";
+  body += "# TYPE htd_fleet_endpoints gauge\n";
+  body += "htd_fleet_endpoints " + std::to_string(targets.size()) + "\n";
+  for (const std::string& family : family_order) {
+    const Family& entry = families[family];
+    for (const std::string& meta : entry.meta) body += meta + "\n";
+    for (const std::string& key : entry.series_order) {
+      body += key + " " + util::FormatMetricValue(entry.values.at(key)) + "\n";
+    }
+  }
+  // Router-local series last; htd_router_* names never collide with the
+  // summed backend families.
+  body += metrics_.RenderPrometheus();
+
+  HttpResponse response;
+  // Prometheus text exposition format 0.0.4.
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.status = scraped > 0 || targets.empty() ? 200 : 502;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse ShardRouter::HandleTrace(const HttpRequest& request) {
+  long n;
+  if (!util::ParseIntFlag(request.QueryOr("n", "16"), 1, 256, &n)) {
+    return ErrorResponse(400, "query parameter n must be an integer in [1, 256]");
+  }
+  HttpResponse response;
+  response.body = RenderRecentTracesJson(static_cast<size_t>(n));
   return response;
 }
 

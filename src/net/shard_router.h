@@ -54,9 +54,19 @@
 // state to the exact minting process (replicas mint independent counters) —
 // polls try every replica of the range); /v1/stats fans out to every
 // endpoint and returns per-endpoint bodies plus an aggregated summary;
+// /v1/metrics fans out and returns one Prometheus text page with identical
+// backend series summed plus the router's own htd_router_* series appended;
+// /v1/trace?n=K answers locally with the router's recent root spans;
 // /v1/admin/snapshot fans out (each process persists its own range);
 // /v1/admin/transition begins/completes/aborts a live reshard;
 // /healthz answers locally with per-endpoint reachability.
+//
+// Observability: every forwarded /v1/decompose carries an
+// X-HTD-Request-Id the backend adopts as its root span id, so the router's
+// "route" span and the backend's "request" trace stitch on one id; the
+// backend's X-HTD-Request-Id and Server-Timing response headers pass
+// through to the client. Each forward attempt is recorded as a "forward"
+// span tagged (range << 8 | replica).
 #pragma once
 
 #include <atomic>
@@ -72,7 +82,9 @@
 
 #include "net/http.h"
 #include "service/shard_map.h"
+#include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace htd::net {
 
@@ -125,6 +137,10 @@ class ShardRouter {
   const ShardRouterOptions& options() const { return options_; }
   std::vector<ShardStats> shard_stats() const;
 
+  /// The router's own registry (per-route latency histograms, rendered at
+  /// the tail of the aggregated /v1/metrics page as htd_router_* series).
+  util::MetricsRegistry& metrics() { return metrics_; }
+
   /// Installs `new_map` as the incoming topology and starts double-routing
   /// (also reachable as POST /v1/admin/transition with the spec as body).
   /// Idempotent for the same map; kFailedPrecondition when a DIFFERENT
@@ -168,9 +184,15 @@ class ShardRouter {
 
   std::shared_ptr<const Maps> maps() const;
 
+  /// Route dispatch body; Handle() wraps it with the per-route latency
+  /// histogram observation.
+  HttpResponse Dispatch(const HttpRequest& request);
+
   HttpResponse HandleDecompose(const HttpRequest& request);
   HttpResponse HandleJob(const HttpRequest& request);
   HttpResponse HandleStats();
+  HttpResponse HandleMetrics();
+  HttpResponse HandleTrace(const HttpRequest& request);
   HttpResponse HandleSnapshot();
   HttpResponse HandleTransition(const HttpRequest& request);
 
@@ -180,12 +202,16 @@ class ShardRouter {
   /// `*transport_failed` distinguishes "endpoint is down / backing off"
   /// (true — the caller may fail over to a sibling replica) from an HTTP
   /// response, which passes through verbatim.
+  /// A non-empty `request_id_hex` is attached as X-HTD-Request-Id (the
+  /// backend adopts it as its root span id); the backend's Server-Timing
+  /// and X-HTD-Request-Id response headers pass through.
   HttpResponse ForwardToEndpoint(const service::ShardEndpoint& endpoint,
                                  const std::string& digest_hex,
                                  const std::string& method,
                                  const std::string& target,
                                  const std::string& body,
                                  const std::string& fingerprint_hex,
+                                 const std::string& request_id_hex,
                                  double read_timeout_seconds,
                                  bool* transport_failed);
 
@@ -196,13 +222,17 @@ class ShardRouter {
   /// non-null `served_replica` receives the replica slot that answered
   /// (unchanged when no replica did) — job-id prefixes need the exact
   /// minting process, not just the range.
+  /// `trace` parents one "forward" span per attempt, tagged
+  /// (range << 8 | replica); an all-zero TraceParent records nothing.
   HttpResponse ForwardToRange(const service::ShardMap& map, int index,
                               const std::string& digest_hex,
                               const std::string& method,
                               const std::string& target,
                               const std::string& body,
                               const std::string& fingerprint_hex,
+                              const std::string& request_id_hex,
                               double read_timeout_seconds,
+                              util::TraceParent trace = {},
                               int* served_replica = nullptr);
 
   /// Every unique endpoint the router currently addresses (current map
@@ -241,6 +271,9 @@ class ShardRouter {
   void RecordFailure(const std::string& key);
 
   ShardRouterOptions options_;
+  /// Router-local metrics; family names are htd_router_* so the aggregated
+  /// /v1/metrics page never collides with summed backend series.
+  util::MetricsRegistry metrics_;
   mutable std::mutex maps_mutex_;
   std::shared_ptr<const Maps> maps_;  // swapped by transitions
 

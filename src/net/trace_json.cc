@@ -1,0 +1,59 @@
+#include "net/trace_json.h"
+
+#include <cstdio>
+
+#include "net/json.h"
+#include "util/trace.h"
+
+namespace htd::net {
+
+namespace {
+
+/// Nanoseconds rendered as fractional milliseconds.
+std::string MsJson(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return std::string(buf);
+}
+
+std::string SpanJson(const util::TraceSpan& span) {
+  std::string json = "{\"id\": \"" + util::TraceIdHex(span.id) + "\"";
+  json += ", \"parent\": \"" + util::TraceIdHex(span.parent) + "\"";
+  json += ", \"name\": \"" + JsonEscape(span.Name()) + "\"";
+  json += ", \"start_ms\": " + MsJson(span.start_ns);
+  json += ", \"duration_ms\": " + MsJson(span.duration_ns);
+  json += ", \"tag\": " + std::to_string(span.tag);
+  json += "}";
+  return json;
+}
+
+}  // namespace
+
+std::string RenderRecentTracesJson(size_t n) {
+  util::TraceRegistry& registry = util::TraceRegistry::Instance();
+  auto roots = registry.RecentRoots(n);
+  std::string body = std::string("{\"enabled\": ") +
+                     (registry.enabled() ? "true" : "false") + ", \"traces\": [";
+  bool first_root = true;
+  for (const util::TraceRegistry::RootTrace& trace : roots) {
+    if (!first_root) body += ", ";
+    first_root = false;
+    body += "{\"id\": \"" + util::TraceIdHex(trace.root.id) + "\"";
+    body += ", \"name\": \"" + JsonEscape(trace.root.Name()) + "\"";
+    body += ", \"start_ms\": " + MsJson(trace.root.start_ns);
+    body += ", \"duration_ms\": " + MsJson(trace.root.duration_ns);
+    body += ", \"tag\": " + std::to_string(trace.root.tag);
+    body += ", \"spans\": [";
+    bool first_span = true;
+    for (const util::TraceSpan& span : trace.spans) {
+      if (!first_span) body += ", ";
+      first_span = false;
+      body += SpanJson(span);
+    }
+    body += "]}";
+  }
+  body += "]}\n";
+  return body;
+}
+
+}  // namespace htd::net

@@ -1,0 +1,24 @@
+// JSON rendering of the process's recent traces (GET /v1/trace), shared by
+// the backend server and the shard router so both emit the same shape:
+//
+//   {"enabled": true, "traces": [
+//     {"id": "<16 hex>", "name": "request", "start_ms": ..,
+//      "duration_ms": .., "tag": .., "spans": [
+//        {"id": .., "parent": .., "name": "solve", "start_ms": ..,
+//         "duration_ms": .., "tag": ..}, ...]}, ...]}
+//
+// Traces are the most recent completed ROOT spans (newest first), children
+// attached sorted by start time. Ids are 16 lowercase hex digits — the same
+// encoding as the X-HTD-Request-Id header, so an operator can grep a
+// response header straight into this output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace htd::net {
+
+/// Body of GET /v1/trace?n=K (trailing newline included).
+std::string RenderRecentTracesJson(size_t n);
+
+}  // namespace htd::net

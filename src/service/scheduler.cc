@@ -19,7 +19,8 @@ int PickAutoThreads(int pool_threads, int queue_depth) {
 
 BatchScheduler::BatchScheduler(util::ThreadPool& pool, SolverFactoryFn factory,
                                const SolveOptions& solve_options,
-                               ResultCache* cache, uint64_t config_digest)
+                               ResultCache* cache, uint64_t config_digest,
+                               util::MetricsRegistry* metrics)
     : pool_(pool),
       factory_(std::move(factory)),
       solve_options_(solve_options),
@@ -29,6 +30,16 @@ BatchScheduler::BatchScheduler(util::ThreadPool& pool, SolverFactoryFn factory,
   // The flight owns its CancelToken; a caller-level token would outlive our
   // control. Per-job deadlines come in through JobSpec::timeout_seconds.
   solve_options_.cancel = nullptr;
+  if (metrics != nullptr) {
+    stage_fingerprint_ =
+        &metrics->GetHistogram("htd_stage_seconds", "stage=\"fingerprint\"");
+    stage_cache_ =
+        &metrics->GetHistogram("htd_stage_seconds", "stage=\"cache\"");
+    stage_schedule_ =
+        &metrics->GetHistogram("htd_stage_seconds", "stage=\"schedule\"");
+    stage_solve_ =
+        &metrics->GetHistogram("htd_stage_seconds", "stage=\"solve\"");
+  }
 }
 
 BatchScheduler::~BatchScheduler() {
@@ -62,7 +73,18 @@ std::future<JobResult> BatchScheduler::Admit(
   submitted_.fetch_add(1, std::memory_order_relaxed);
 
   // Fingerprint on the submitter's thread: keeps the admission lock cheap.
-  Fingerprint fp = CanonicalFingerprint(*spec.graph);
+  // Stage timing uses WallTimer, not the trace scope, so the histograms
+  // stay populated when tracing is disabled or the job is untraced.
+  util::WallTimer fp_timer;
+  Fingerprint fp;
+  {
+    util::TraceScope span("fingerprint", spec.trace);
+    fp = CanonicalFingerprint(*spec.graph);
+  }
+  const double fingerprint_seconds = fp_timer.ElapsedSeconds();
+  if (stage_fingerprint_ != nullptr) {
+    stage_fingerprint_->Observe(fingerprint_seconds);
+  }
   CacheKey key{fp, spec.k, config_digest_};
 
   std::promise<JobResult> promise;
@@ -71,14 +93,25 @@ std::future<JobResult> BatchScheduler::Admit(
   // Cache probe outside the scheduler lock: the cache has its own shard
   // striping, and a hit copies a whole SolveResult — serialising that behind
   // mutex_ would make every admission pay for it.
+  double cache_seconds = 0.0;
   if (cache_ != nullptr) {
-    if (std::optional<SolveResult> hit = cache_->Lookup(key)) {
+    util::WallTimer cache_timer;
+    std::optional<SolveResult> hit;
+    {
+      util::TraceScope span("cache", spec.trace);
+      hit = cache_->Lookup(key);
+    }
+    cache_seconds = cache_timer.ElapsedSeconds();
+    if (stage_cache_ != nullptr) stage_cache_->Observe(cache_seconds);
+    if (hit) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       completed_.fetch_add(1, std::memory_order_relaxed);
       JobResult job_result;
       job_result.result = std::move(*hit);
       job_result.fingerprint = fp;
       job_result.cache_hit = true;
+      job_result.stages.fingerprint_seconds = fingerprint_seconds;
+      job_result.stages.cache_seconds = cache_seconds;
       promise.set_value(std::move(job_result));
       return future;
     }
@@ -90,6 +123,7 @@ std::future<JobResult> BatchScheduler::Admit(
   auto flight = std::make_shared<Flight>();
   flight->graph = std::make_shared<const Hypergraph>(*spec.graph);
   flight->key = key;
+  flight->trace = spec.trace;
   if (spec.timeout_seconds > 0.0) {
     // Armed before the task reaches the pool: the worker's read of the
     // deadline is ordered after this write by the pool's queue mutex.
@@ -105,10 +139,13 @@ std::future<JobResult> BatchScheduler::Admit(
     auto it = inflight_.find(key);
     if (it != inflight_.end()) {
       dedup_joins_.fetch_add(1, std::memory_order_relaxed);
-      it->second->waiters.push_back(Waiter{std::move(promise), true});
+      it->second->waiters.push_back(Waiter{std::move(promise), true,
+                                           fingerprint_seconds,
+                                           cache_seconds});
       return future;
     }
-    flight->waiters.push_back(Waiter{std::move(promise), false});
+    flight->waiters.push_back(
+        Waiter{std::move(promise), false, fingerprint_seconds, cache_seconds});
     inflight_.emplace(key, flight);
     ++pending_flights_;
   }
@@ -118,6 +155,17 @@ std::future<JobResult> BatchScheduler::Admit(
 }
 
 void BatchScheduler::RunFlight(const std::shared_ptr<Flight>& flight) {
+  // Queue wait: admission (flight->timer start) to here. Recorded as a
+  // retroactive span because no scope was open across the pool hand-off.
+  const double schedule_seconds = flight->timer.ElapsedSeconds();
+  if (stage_schedule_ != nullptr) stage_schedule_->Observe(schedule_seconds);
+  if (flight->trace.root != 0) {
+    util::TraceRegistry& trace_registry = util::TraceRegistry::Instance();
+    uint64_t now_ns = trace_registry.NowNs();
+    uint64_t wait_ns = static_cast<uint64_t>(schedule_seconds * 1e9);
+    util::RecordSpan("schedule", flight->trace.parent, flight->trace.root,
+                     now_ns >= wait_ns ? now_ns - wait_ns : 0, wait_ns);
+  }
   SolveOptions options = solve_options_;
   options.cancel = &flight->token;
   if (options.num_threads == 0) {
@@ -132,16 +180,25 @@ void BatchScheduler::RunFlight(const std::shared_ptr<Flight>& flight) {
     options.num_threads = PickAutoThreads(pool_.num_threads(), depth);
   }
   SolveResult result;
+  util::WallTimer solve_timer;
   // A throwing solve must not leak the flight: waiters would see
   // broken_promise and Drain() would block forever on the stale inflight_
   // entry. Escaped exceptions become kError results instead.
   try {
+    util::TraceScope span("solve", flight->trace,
+                          static_cast<uint64_t>(options.num_threads));
+    if (span.armed()) {
+      options.trace_parent = span.id();
+      options.trace_root = span.root();
+    }
     std::unique_ptr<HdSolver> solver = factory_(options);
     result = solver->Solve(*flight->graph, flight->key.k);
   } catch (...) {
     result = SolveResult{};
     result.outcome = Outcome::kError;
   }
+  const double solve_seconds = solve_timer.ElapsedSeconds();
+  if (stage_solve_ != nullptr) stage_solve_->Observe(solve_seconds);
 
   // Only definitive answers are worth memoizing; kCancelled/kError depend on
   // the deadline (or fault) that produced them, not on the instance.
@@ -165,6 +222,10 @@ void BatchScheduler::RunFlight(const std::shared_ptr<Flight>& flight) {
     job_result.deduplicated = waiter.deduplicated;
     job_result.seconds = seconds;
     job_result.threads_used = options.num_threads;
+    job_result.stages.fingerprint_seconds = waiter.fingerprint_seconds;
+    job_result.stages.cache_seconds = waiter.cache_seconds;
+    job_result.stages.schedule_seconds = schedule_seconds;
+    job_result.stages.solve_seconds = solve_seconds;
     completed_.fetch_add(1, std::memory_order_relaxed);
     waiter.promise.set_value(std::move(job_result));
   }

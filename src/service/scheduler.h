@@ -29,8 +29,10 @@
 #include "service/canonical.h"
 #include "service/result_cache.h"
 #include "util/cancel.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace htd::service {
 
@@ -43,6 +45,19 @@ struct JobSpec {
   /// new flight; joining an in-flight duplicate inherits the leader's
   /// deadline instead.
   double timeout_seconds = 0.0;
+  /// Trace parentage for spans the scheduler records on this job's behalf
+  /// (fingerprint, cache probe, schedule wait, solve). Zero = untraced.
+  util::TraceParent trace;
+};
+
+/// Per-stage wall time of one job's trip through the scheduler. Cache hits
+/// report zero schedule/solve time (no flight ran); dedup joiners report
+/// their own fingerprint/cache time but the leader's schedule/solve.
+struct StageBreakdown {
+  double fingerprint_seconds = 0.0;
+  double cache_seconds = 0.0;     ///< cache probe
+  double schedule_seconds = 0.0;  ///< admission → flight start (queue wait)
+  double solve_seconds = 0.0;
 };
 
 /// What a job's future resolves to.
@@ -59,6 +74,8 @@ struct JobResult {
   /// configured SolveOptions::num_threads, or the occupancy-derived pick when
   /// that was 0 (auto). Cache hits report 0 (no flight ran).
   int threads_used = 0;
+  /// Stage timing for this job (see StageBreakdown).
+  StageBreakdown stages;
 };
 
 /// Intra-solve thread count for auto mode (SolveOptions::num_threads == 0):
@@ -80,9 +97,12 @@ class BatchScheduler {
 
   /// `cache` may be nullptr (no memoization). `config_digest` must describe
   /// `factory`'s answer-affecting configuration (SolverConfigDigest).
+  /// `metrics` may be nullptr (no stage histograms); when set it must
+  /// outlive the scheduler.
   BatchScheduler(util::ThreadPool& pool, SolverFactoryFn factory,
                  const SolveOptions& solve_options, ResultCache* cache,
-                 uint64_t config_digest);
+                 uint64_t config_digest,
+                 util::MetricsRegistry* metrics = nullptr);
   ~BatchScheduler();
 
   BatchScheduler(const BatchScheduler&) = delete;
@@ -120,6 +140,10 @@ class BatchScheduler {
   struct Waiter {
     std::promise<JobResult> promise;
     bool deduplicated = false;
+    /// This waiter's own admission-time stage costs (joiners keep theirs
+    /// even though they share the leader's schedule/solve time).
+    double fingerprint_seconds = 0.0;
+    double cache_seconds = 0.0;
   };
   struct Flight {
     std::shared_ptr<const Hypergraph> graph;
@@ -127,6 +151,9 @@ class BatchScheduler {
     util::CancelToken token;
     util::WallTimer timer;
     std::vector<Waiter> waiters;  // guarded by scheduler mutex
+    /// Leader's trace parentage, published before the pool task is
+    /// submitted (same ordering argument as the CancelToken above).
+    util::TraceParent trace;
   };
 
   /// Fingerprints and admits one job: immediate answer (cache hit), join of
@@ -141,6 +168,11 @@ class BatchScheduler {
   SolveOptions solve_options_;
   ResultCache* cache_;
   uint64_t config_digest_;
+  /// Stage latency histograms, null when no registry was attached.
+  util::Histogram* stage_fingerprint_ = nullptr;
+  util::Histogram* stage_cache_ = nullptr;
+  util::Histogram* stage_schedule_ = nullptr;
+  util::Histogram* stage_solve_ = nullptr;
 
   mutable std::mutex mutex_;
   std::condition_variable drained_;

@@ -24,7 +24,102 @@ DecompositionService::DecompositionService(ServiceOptions options)
   }
   scheduler_ = std::make_unique<BatchScheduler>(
       pool_, std::move(*factory), options_.solve, cache_.get(),
-      SolverConfigDigest(options_.solver_name, options_.solve));
+      SolverConfigDigest(options_.solver_name, options_.solve), &metrics_);
+  stage_parse_ = &metrics_.GetHistogram("htd_stage_seconds", "stage=\"parse\"");
+  stage_serialise_ =
+      &metrics_.GetHistogram("htd_stage_seconds", "stage=\"serialise\"");
+  RegisterComponentMetrics();
+}
+
+void DecompositionService::RegisterComponentMetrics() {
+  metrics_.SetHelp("htd_stage_seconds",
+                   "Per-stage request latency (parse, fingerprint, cache, "
+                   "schedule, solve, serialise).");
+  // Registration order is the snapshot read order: derived counters come
+  // before the totals they are bounded by (scheduler increments the total
+  // first, so sampling the part first keeps part <= whole in any snapshot).
+  metrics_.SetHelp("htd_scheduler_submitted_total", "Jobs accepted.");
+  metrics_.RegisterCallback(
+      "htd_scheduler_cache_hits_total", "", "counter",
+      [this] { return static_cast<double>(scheduler_->GetStats().cache_hits); });
+  metrics_.RegisterCallback(
+      "htd_scheduler_dedup_joins_total", "", "counter",
+      [this] { return static_cast<double>(scheduler_->GetStats().dedup_joins); });
+  metrics_.RegisterCallback(
+      "htd_scheduler_solves_total", "", "counter",
+      [this] { return static_cast<double>(scheduler_->GetStats().solves); });
+  metrics_.RegisterCallback(
+      "htd_scheduler_completed_total", "", "counter",
+      [this] { return static_cast<double>(scheduler_->GetStats().completed); });
+  metrics_.RegisterCallback(
+      "htd_scheduler_submitted_total", "", "counter",
+      [this] { return static_cast<double>(scheduler_->GetStats().submitted); });
+  metrics_.RegisterCallback(
+      "htd_queue_depth", "", "gauge",
+      [this] { return static_cast<double>(scheduler_->queue_depth()); });
+  metrics_.RegisterCallback(
+      "htd_outstanding_jobs", "", "gauge",
+      [this] { return static_cast<double>(scheduler_->outstanding_jobs()); });
+  if (cache_ != nullptr) {
+    metrics_.RegisterCallback(
+        "htd_cache_hits_total", "", "counter",
+        [this] { return static_cast<double>(cache_->GetStats().hits); });
+    metrics_.RegisterCallback(
+        "htd_cache_misses_total", "", "counter",
+        [this] { return static_cast<double>(cache_->GetStats().misses); });
+    metrics_.RegisterCallback(
+        "htd_cache_evictions_total", "", "counter",
+        [this] { return static_cast<double>(cache_->GetStats().evictions); });
+    metrics_.RegisterCallback(
+        "htd_cache_insertions_total", "", "counter",
+        [this] { return static_cast<double>(cache_->GetStats().insertions); });
+    metrics_.RegisterCallback(
+        "htd_cache_entries", "", "gauge",
+        [this] { return static_cast<double>(cache_->GetStats().entries); });
+    metrics_.RegisterCallback(
+        "htd_cache_capacity", "", "gauge",
+        [this] { return static_cast<double>(cache_->GetStats().capacity); });
+  }
+  if (subproblem_store_ != nullptr) {
+    metrics_.RegisterCallback("htd_store_negative_hits_total", "", "counter",
+                              [this] {
+                                return static_cast<double>(
+                                    subproblem_store_->GetStats().negative_hits);
+                              });
+    metrics_.RegisterCallback("htd_store_positive_hits_total", "", "counter",
+                              [this] {
+                                return static_cast<double>(
+                                    subproblem_store_->GetStats().positive_hits);
+                              });
+    metrics_.RegisterCallback(
+        "htd_store_misses_total", "", "counter",
+        [this] {
+          return static_cast<double>(subproblem_store_->GetStats().misses);
+        });
+    metrics_.RegisterCallback(
+        "htd_store_probes_total", "", "counter",
+        [this] {
+          return static_cast<double>(subproblem_store_->GetStats().probes);
+        });
+    metrics_.RegisterCallback(
+        "htd_store_entries", "", "gauge",
+        [this] {
+          return static_cast<double>(subproblem_store_->GetStats().entries);
+        });
+    metrics_.RegisterCallback(
+        "htd_store_bytes", "", "gauge",
+        [this] {
+          return static_cast<double>(subproblem_store_->GetStats().bytes);
+        });
+  }
+}
+
+void DecompositionService::ObserveParseSeconds(double seconds) {
+  stage_parse_->Observe(seconds);
+}
+
+void DecompositionService::ObserveSerialiseSeconds(double seconds) {
+  stage_serialise_->Observe(seconds);
 }
 
 DecompositionService::~DecompositionService() = default;
@@ -66,10 +161,17 @@ std::future<JobResult> DecompositionService::Submit(const Hypergraph& graph, int
 
 std::future<JobResult> DecompositionService::Submit(const Hypergraph& graph, int k,
                                                     double timeout_seconds) {
+  return Submit(graph, k, timeout_seconds, util::TraceParent{});
+}
+
+std::future<JobResult> DecompositionService::Submit(const Hypergraph& graph, int k,
+                                                    double timeout_seconds,
+                                                    util::TraceParent trace) {
   JobSpec spec;
   spec.graph = &graph;
   spec.k = k;
   spec.timeout_seconds = timeout_seconds;
+  spec.trace = trace;
   return scheduler_->Submit(spec);
 }
 

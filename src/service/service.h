@@ -25,8 +25,10 @@
 #include "service/result_cache.h"
 #include "service/scheduler.h"
 #include "service/subproblem_store.h"
+#include "util/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace htd::service {
 
@@ -83,6 +85,12 @@ class DecompositionService {
   /// Submits one job with an explicit deadline (0 = none).
   std::future<JobResult> Submit(const Hypergraph& graph, int k,
                                 double timeout_seconds);
+  /// Submits one traced job: scheduler and solver spans (fingerprint,
+  /// cache probe, schedule wait, solve, per-level separator search) are
+  /// parented under `trace`. A zero TraceParent records nothing.
+  std::future<JobResult> Submit(const Hypergraph& graph, int k,
+                                double timeout_seconds,
+                                util::TraceParent trace);
 
   /// Submits many jobs with a single scheduler hand-off; futures are
   /// index-aligned with `jobs`.
@@ -112,12 +120,30 @@ class DecompositionService {
   ResultCache* result_cache() { return cache_.get(); }
   SubproblemStore* subproblem_store() { return subproblem_store_.get(); }
 
+  /// The service's metric registry: stage latency histograms (observed by
+  /// the scheduler), component counters registered as callbacks — derived
+  /// counters before their totals, so one Snapshot() never reports a part
+  /// exceeding its whole (the /v1/stats consistency contract). The HTTP
+  /// front-end adds its own parse/serialise histograms and admission
+  /// counters here and renders the whole thing at /v1/metrics.
+  util::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Observes the net-layer stage costs (parse and serialise) into the
+  /// stage histogram family the scheduler populates for the other stages.
+  void ObserveParseSeconds(double seconds);
+  void ObserveSerialiseSeconds(double seconds);
+
  private:
+  void RegisterComponentMetrics();
+
   ServiceOptions options_;
+  util::MetricsRegistry metrics_;  // declared before the scheduler using it
   util::ThreadPool pool_;
   std::unique_ptr<ResultCache> cache_;       // null when caching is disabled
   std::unique_ptr<SubproblemStore> subproblem_store_;  // null when disabled
   std::unique_ptr<BatchScheduler> scheduler_;
+  util::Histogram* stage_parse_ = nullptr;
+  util::Histogram* stage_serialise_ = nullptr;
 };
 
 }  // namespace htd::service

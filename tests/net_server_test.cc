@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -30,14 +31,17 @@ struct WireResponse {
 };
 
 /// Minimal HTTP client: one Connection: close exchange against localhost.
+/// `extra_headers` are raw header lines including their trailing CRLF.
 WireResponse Exchange(int port, const std::string& method,
-                      const std::string& target, const std::string& body = "") {
+                      const std::string& target, const std::string& body = "",
+                      const std::string& extra_headers = "") {
   WireResponse out;
   auto sock = util::ConnectTcp("127.0.0.1", port, /*timeout_seconds=*/120.0);
   EXPECT_TRUE(sock.ok()) << sock.status().message();
   if (!sock.ok()) return out;
   std::string request = method + " " + target + " HTTP/1.1\r\n";
   request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += extra_headers;
   request += "Connection: close\r\n\r\n" + body;
   EXPECT_TRUE(util::SendAll(sock->fd(), request));
   std::string blob;
@@ -308,6 +312,131 @@ TEST(NetServerTest, CorruptSnapshotStartsCold) {
                      PathInstance()).status, 200);
   (*server)->Stop();
   std::filesystem::remove(path);
+}
+
+bool IsHex16(const std::string& text) {
+  if (text.size() != 16) return false;
+  for (char c : text) {
+    if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+TEST(NetServerTest, SyncDecomposeCarriesObservabilityHeaders) {
+  auto server = DecompositionServer::Create(BaseOptions());
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Start().ok());
+  int port = (*server)->port();
+
+  WireResponse r =
+      Exchange(port, "POST", "/v1/decompose?k=2", PathInstance());
+  ASSERT_EQ(r.status, 200);
+  ASSERT_TRUE(r.headers.count("x-htd-request-id")) << r.body;
+  EXPECT_TRUE(IsHex16(r.headers.at("x-htd-request-id")))
+      << r.headers.at("x-htd-request-id");
+  ASSERT_TRUE(r.headers.count("server-timing"));
+  const std::string& timing = r.headers.at("server-timing");
+  for (const char* stage :
+       {"parse", "fingerprint", "cache", "schedule", "solve", "serialise"}) {
+    EXPECT_NE(timing.find(std::string(stage) + ";dur="), std::string::npos)
+        << "missing stage " << stage << " in: " << timing;
+  }
+  (*server)->Stop();
+}
+
+TEST(NetServerTest, AdoptedRequestIdIsEchoedAndTraceable) {
+  auto server = DecompositionServer::Create(BaseOptions());
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Start().ok());
+  int port = (*server)->port();
+
+  const std::string id = "00deadbeef00f00d";
+  WireResponse r = Exchange(port, "POST", "/v1/decompose?k=2", PathInstance(),
+                            "X-HTD-Request-Id: " + id + "\r\n");
+  ASSERT_EQ(r.status, 200);
+  ASSERT_TRUE(r.headers.count("x-htd-request-id"));
+  EXPECT_EQ(r.headers.at("x-htd-request-id"), id)
+      << "a valid propagated request id must be adopted, not re-minted";
+
+  WireResponse trace = Exchange(port, "GET", "/v1/trace?n=32");
+  ASSERT_EQ(trace.status, 200);
+  EXPECT_NE(trace.body.find("\"id\": \"" + id + "\""), std::string::npos)
+      << "adopted id must be retrievable as a root span: " << trace.body;
+  EXPECT_NE(trace.body.find("\"name\": \"request\""), std::string::npos);
+  EXPECT_NE(trace.body.find("\"name\": \"solve\""), std::string::npos)
+      << "stage spans must be attached to the root: " << trace.body;
+  (*server)->Stop();
+}
+
+TEST(NetServerTest, MalformedRequestIdIsReplacedNotAdopted) {
+  auto server = DecompositionServer::Create(BaseOptions());
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Start().ok());
+  int port = (*server)->port();
+
+  WireResponse r = Exchange(port, "POST", "/v1/decompose?k=2", PathInstance(),
+                            "X-HTD-Request-Id: not-a-trace-id\r\n");
+  ASSERT_EQ(r.status, 200);
+  ASSERT_TRUE(r.headers.count("x-htd-request-id"));
+  EXPECT_NE(r.headers.at("x-htd-request-id"), "not-a-trace-id");
+  EXPECT_TRUE(IsHex16(r.headers.at("x-htd-request-id")));
+  (*server)->Stop();
+}
+
+TEST(NetServerTest, MetricsEndpointRendersPrometheusText) {
+  auto server = DecompositionServer::Create(BaseOptions());
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Start().ok());
+  int port = (*server)->port();
+
+  ASSERT_EQ(
+      Exchange(port, "POST", "/v1/decompose?k=2", PathInstance()).status, 200);
+
+  WireResponse metrics = Exchange(port, "GET", "/v1/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  ASSERT_TRUE(metrics.headers.count("content-type"));
+  EXPECT_NE(metrics.headers.at("content-type").find("version=0.0.4"),
+            std::string::npos);
+  // Stage histograms are populated after one sync decompose.
+  for (const char* stage :
+       {"parse", "fingerprint", "cache", "schedule", "solve", "serialise"}) {
+    std::string count_line =
+        "htd_stage_seconds_count{stage=\"" + std::string(stage) + "\"}";
+    size_t pos = metrics.body.find(count_line);
+    ASSERT_NE(pos, std::string::npos) << "missing " << count_line;
+    EXPECT_EQ(metrics.body.find(count_line + " 0\n"), std::string::npos)
+        << "stage " << stage << " must have observations";
+  }
+  EXPECT_NE(metrics.body.find("# TYPE htd_stage_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("htd_request_seconds_bucket{route=\"decompose\""),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("htd_admission_requests_total{result=\"admitted\"} 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("htd_scheduler_submitted_total"),
+            std::string::npos);
+  EXPECT_EQ(Exchange(port, "POST", "/v1/metrics").status, 405);
+  (*server)->Stop();
+}
+
+TEST(NetServerTest, StatsReadFromOneSnapshotStayConsistent) {
+  auto server = DecompositionServer::Create(BaseOptions());
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Start().ok());
+  int port = (*server)->port();
+
+  ASSERT_EQ(
+      Exchange(port, "POST", "/v1/decompose?k=2", PathInstance()).status, 200);
+  WireResponse stats = Exchange(port, "GET", "/v1/stats");
+  ASSERT_EQ(stats.status, 200);
+  // The pre-observability key set survives the snapshot rewrite.
+  for (const char* key :
+       {"\"admitted\"", "\"shed\"", "\"bad_requests\"", "\"submitted\"",
+        "\"completed\"", "\"cache_hits\"", "\"queue_depth\""}) {
+    EXPECT_NE(stats.body.find(key), std::string::npos)
+        << "missing stats key " << key << " in: " << stats.body;
+  }
+  (*server)->Stop();
 }
 
 TEST(NetServerTest, SnapshotRouteWithoutPathIs412) {

@@ -4,7 +4,13 @@
 //   $ hdclient decompose instance.hg --k 3 --async      # prints a job id
 //   $ hdclient job j42
 //   $ hdclient stats
+//   $ hdclient metrics                    # /v1/metrics, histograms condensed
+//   $ hdclient trace --last 5             # /v1/trace?n=5
 //   $ hdclient snapshot
+//
+// --verbose prints the response's observability headers (X-HTD-Request-Id,
+// Server-Timing stage breakdown) to stderr on decompose, and the raw
+// Prometheus page (HELP/TYPE lines, every histogram bucket) on metrics.
 //
 // Sharded fleets (docs/SERVER.md "Sharding the warm state"): with
 // --shards host:port,host:port the client hashes the instance's canonical
@@ -24,6 +30,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -56,6 +63,8 @@ struct Args {
   bool decomposition = false;
   bool expect_cache_hit = false;
   bool quiet = false;
+  bool verbose = false;
+  long trace_n = 16;  // trace: how many recent root spans to fetch
   /// Client-side sharding: fingerprint the instance locally and pick the
   /// owning endpoint from this map (overrides --host/--port for decompose).
   std::optional<htd::service::ShardMap> shards;
@@ -70,12 +79,19 @@ void Usage(const char* argv0) {
       "            [--expect-cache-hit]      FILE '-' reads stdin\n"
       "  job ID                              poll an async job\n"
       "  stats                               GET /v1/stats\n"
+      "  metrics                             GET /v1/metrics (condensed;\n"
+      "                                      --verbose prints the raw page)\n"
+      "  trace [--last N]                    GET /v1/trace?n=N (default 16)\n"
       "  snapshot                            POST /v1/admin/snapshot\n"
       "options:\n"
       "  --shards H:P,...      shared shard map: decompose routes to the\n"
       "                        shard owning the instance's fingerprint;\n"
-      "                        stats/snapshot fan out to every shard\n"
+      "                        stats/metrics/trace/snapshot fan out to\n"
+      "                        every shard\n"
       "  --quiet               suppress the response body on success\n"
+      "  --verbose             print X-HTD-Request-Id and the Server-Timing\n"
+      "                        stage breakdown (decompose), or the full\n"
+      "                        Prometheus page (metrics)\n"
       "  --connect-timeout S   transport timeout (default 120; sync decompose\n"
       "                        reads wait at least the job timeout + 60)\n",
       argv0);
@@ -158,6 +174,13 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.expect_cache_hit = true;
     } else if (flag == "--quiet") {
       args.quiet = true;
+    } else if (flag == "--verbose") {
+      args.verbose = true;
+    } else if (flag == "--last") {
+      const char* v = next("--last");
+      if (v == nullptr || !FlagInt("--last", v, 1, 256, &args.trace_n)) {
+        return false;
+      }
     } else if (flag.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -179,7 +202,8 @@ bool ParseArgs(int argc, char** argv, Args& args) {
   }
   if (args.command == "decompose") return !args.file.empty() && args.k >= 1;
   if (args.command == "job") return !args.job_id.empty();
-  return args.command == "stats" || args.command == "snapshot";
+  return args.command == "stats" || args.command == "snapshot" ||
+         args.command == "metrics" || args.command == "trace";
 }
 
 /// One HTTP exchange (Connection: close) over the shared client
@@ -189,7 +213,8 @@ bool Exchange(const Args& args, const std::string& host, int port,
               const std::string& body,
               const std::vector<std::pair<std::string, std::string>>&
                   extra_headers,
-              int* status, std::string* response_body) {
+              int* status, std::string* response_body,
+              std::map<std::string, std::string>* response_headers = nullptr) {
   double io_timeout = args.connect_timeout;
   if (args.command == "decompose" && !args.async) {
     // A synchronous solve may legitimately run for the job's full deadline;
@@ -209,7 +234,30 @@ bool Exchange(const Args& args, const std::string& host, int port,
   }
   *status = result.status;
   *response_body = std::move(result.body);
+  if (response_headers != nullptr) {
+    *response_headers = std::move(result.headers);  // keys lower-cased
+  }
   return true;
+}
+
+/// Condensed /v1/metrics rendering: drops HELP/TYPE comments and per-bucket
+/// histogram lines, keeping the _count/_sum rollups and every counter and
+/// gauge — the 30-second "is the fleet healthy" read. --verbose prints the
+/// raw page instead.
+std::string PrettyMetrics(const std::string& text) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    if (line.find("_bucket{") != std::string::npos) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
 }
 
 std::string FormatSeconds(double seconds) {
@@ -241,6 +289,9 @@ int FanOut(const Args& args, const std::string& method,
                     digest_header, &status, &response)) {
         worst = std::max(worst, 2);
         continue;
+      }
+      if (args.command == "metrics" && !args.verbose && status == 200) {
+        response = PrettyMetrics(response);
       }
       if (!args.quiet || status < 200 || status >= 300) {
         std::printf("shard %d replica %d (%s:%d): HTTP %d\n%s", i, r,
@@ -289,6 +340,10 @@ int main(int argc, char** argv) {
     target = "/v1/jobs/" + args.job_id;
   } else if (args.command == "stats") {
     target = "/v1/stats";
+  } else if (args.command == "metrics") {
+    target = "/v1/metrics";
+  } else if (args.command == "trace") {
+    target = "/v1/trace?n=" + std::to_string(args.trace_n);
   } else {  // snapshot
     method = "POST";
     target = "/v1/admin/snapshot";
@@ -301,7 +356,8 @@ int main(int argc, char** argv) {
   /// failure (client-side analogue of the router's replica failover).
   std::vector<std::pair<std::string, int>> replica_fallbacks;
   if (args.shards.has_value()) {
-    if (args.command == "stats" || args.command == "snapshot") {
+    if (args.command == "stats" || args.command == "snapshot" ||
+        args.command == "metrics" || args.command == "trace") {
       return FanOut(args, method, target);
     }
     if (args.command == "job") {
@@ -346,16 +402,32 @@ int main(int argc, char** argv) {
 
   int status = 0;
   std::string response;
+  std::map<std::string, std::string> response_headers;
   while (!Exchange(args, host, port, method, target, body, extra_headers,
-                   &status, &response)) {
+                   &status, &response, &response_headers)) {
     if (replica_fallbacks.empty()) return 2;
     std::tie(host, port) = replica_fallbacks.front();
     replica_fallbacks.erase(replica_fallbacks.begin());
     std::fprintf(stderr, "hdclient: failing over to replica %s:%d\n",
                  host.c_str(), port);
   }
+  if (args.verbose && args.command == "decompose") {
+    auto request_id = response_headers.find("x-htd-request-id");
+    if (request_id != response_headers.end()) {
+      std::fprintf(stderr, "hdclient: request id %s\n",
+                   request_id->second.c_str());
+    }
+    auto server_timing = response_headers.find("server-timing");
+    if (server_timing != response_headers.end()) {
+      std::fprintf(stderr, "hdclient: server timing %s\n",
+                   server_timing->second.c_str());
+    }
+  }
 
   if (status >= 200 && status < 300) {
+    if (args.command == "metrics" && !args.verbose) {
+      response = PrettyMetrics(response);
+    }
     if (!args.quiet) std::fputs(response.c_str(), stdout);
     if (args.expect_cache_hit &&
         response.find("\"cache_hit\": true") == std::string::npos) {

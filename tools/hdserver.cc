@@ -3,8 +3,9 @@
 //   $ hdserver --port 8080 --solver logk --workers 8 --threads 0 \
 //              --queue-depth 64 --snapshot /var/lib/htd/warm.snap --store
 //
-// Serves POST /v1/decompose, GET /v1/jobs/<id>, GET /v1/stats, and
-// POST /v1/admin/snapshot over HTTP/1.1. With --snapshot the server restores
+// Serves POST /v1/decompose, GET /v1/jobs/<id>, GET /v1/stats,
+// GET /v1/metrics (Prometheus text), GET /v1/trace (recent request traces),
+// and POST /v1/admin/snapshot over HTTP/1.1. With --snapshot the server restores
 // the result cache and subproblem store at startup (warm start) and saves
 // them on clean shutdown (SIGINT/SIGTERM) unless --no-save-on-exit;
 // --snapshot-interval additionally saves periodically in the background.
@@ -16,7 +17,8 @@
 //              --shard-index 0 --snapshot shard0.snap          # backend
 //
 // Proxy mode forwards each /v1/decompose to the shard owning the instance's
-// canonical fingerprint (net/shard_router.h) and serves nothing locally;
+// canonical fingerprint (net/shard_router.h), aggregates GET /v1/metrics
+// across the fleet, and serves nothing else locally;
 // backend mode restricts snapshots to this shard's fingerprint range and
 // refuses requests routed by a mismatched map digest with 421. A map item
 // "host:port*2" declares a replicated range (that endpoint plus the next

@@ -12,7 +12,11 @@ Phases (see ISSUE/acceptance criteria and docs/SERVER.md):
      fingerprint-range routing (resubmits hit the same shard's cache),
      aggregated stats summing across shards, per-shard snapshots, and a
      warm restart of ONE shard that serves its instances as cache hits
-     while the other shard is untouched;
+     while the other shard is untouched; then observability: /v1/metrics
+     on the router and both shards parses as Prometheus text with
+     populated stage histograms, and a proxied sync decompose carries an
+     X-HTD-Request-Id whose root span is retrievable from the owning
+     shard's /v1/trace plus a Server-Timing stage breakdown;
   5. live resharding: a 2→3 reshard (the third range replicated across two
      processes) driven by hdreshard UNDER CONCURRENT TRAFFIC — zero 421s,
      zero lost cache hits during and after the transition — then one
@@ -24,6 +28,7 @@ Exits non-zero with a FAIL line on the first broken property.
 """
 
 import json
+import re
 import signal
 import socket
 import subprocess
@@ -31,6 +36,7 @@ import sys
 import tempfile
 import threading
 import time
+import urllib.request
 from pathlib import Path
 
 BUILD = Path(sys.argv[1] if len(sys.argv) > 1 else "build").resolve()
@@ -128,6 +134,104 @@ def shard_of(fingerprint_hex, num_shards):
     return min(num_shards - 1, hi // step)
 
 
+STAGES = ("parse", "fingerprint", "cache", "schedule", "solve", "serialise")
+
+
+def scrape(port, path):
+    """GET an endpoint directly; returns (status, headers, body)."""
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}",
+                                timeout=10) as resp:
+        return resp.status, dict(resp.headers), resp.read().decode()
+
+
+def parse_prometheus(text, source):
+    """Every sample line must be `name[{labels}] value`; returns the map."""
+    series = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        try:
+            series[key] = float(value)
+        except ValueError:
+            fail(f"{source}: unparseable metrics line: {line!r}")
+        if not key:
+            fail(f"{source}: metrics line without a name: {line!r}")
+    if not series:
+        fail(f"{source}: /v1/metrics rendered no samples")
+    return series
+
+
+def observability_checks(workdir, port_r, port_a, port_b, shard0_instance):
+    """Metrics scrapes + end-to-end request-id propagation (phase 4b)."""
+    # Cache hits skip the schedule/solve stages by design, and shard 0 has
+    # served nothing BUT cache hits since its warm restart — land one fresh
+    # solve on each shard so every stage histogram below is populated.
+    fresh = {0: 0, 1: 0}
+    for length in range(40, 80):
+        name = f"obs_path{length}.hg"
+        (workdir / name).write_text(
+            ",\n".join(f"o{i}(w{i},w{i + 1})" for i in range(length)) + ".\n")
+        body = json.loads(client(port_r, "decompose", str(workdir / name),
+                                 "--k", "2", "--timeout", "30").stdout)
+        fresh[shard_of(body["fingerprint"], 2)] += 1
+        if fresh[0] and fresh[1]:
+            break
+    else:
+        fail("could not land a fresh solve on both shards in 40 tries")
+
+    # Every endpoint renders parseable Prometheus text with the stage
+    # histograms populated by the traffic the phase already ran.
+    for source, port in (("shard 0", port_a), ("shard 1", port_b),
+                         ("router", port_r)):
+        status, headers, text = scrape(port, "/v1/metrics")
+        if status != 200:
+            fail(f"{source}: /v1/metrics answered {status}")
+        if "version=0.0.4" not in headers.get("Content-Type", ""):
+            fail(f"{source}: wrong metrics content type: "
+                 f"{headers.get('Content-Type')}")
+        series = parse_prometheus(text, source)
+        for stage in STAGES:
+            key = f'htd_stage_seconds_count{{stage="{stage}"}}'
+            if series.get(key, 0) <= 0:
+                fail(f"{source}: stage histogram {key} is empty")
+    # The router's page is the fleet aggregate plus its own series.
+    status, _, text = scrape(port_r, "/v1/metrics")
+    series = parse_prometheus(text, "router")
+    if series.get("htd_fleet_endpoints_scraped", 0) != 2:
+        fail(f"router scraped {series.get('htd_fleet_endpoints_scraped')} "
+             f"of 2 endpoints")
+    if not any(k.startswith("htd_router_request_seconds") for k in series):
+        fail("router page is missing its own htd_router_request_seconds")
+
+    # A proxied sync decompose returns the request id the router minted;
+    # the same id must be a root span on the owning shard (shard 0), and
+    # Server-Timing must carry the full stage breakdown.
+    proc = client(port_r, "decompose", str(workdir / shard0_instance),
+                  "--k", "2", "--expect-cache-hit", "--verbose")
+    id_match = re.search(r"hdclient: request id ([0-9a-f]{16})", proc.stderr)
+    if not id_match:
+        fail(f"no request id in verbose output: {proc.stderr}")
+    request_id = id_match.group(1)
+    timing = re.search(r"hdclient: server timing (.*)", proc.stderr)
+    if not timing:
+        fail(f"no Server-Timing in verbose output: {proc.stderr}")
+    for stage in STAGES:
+        if f"{stage};dur=" not in timing.group(1):
+            fail(f"Server-Timing is missing stage {stage}: {timing.group(1)}")
+    status, _, trace_body = scrape(port_a, "/v1/trace?n=64")
+    if status != 200:
+        fail(f"shard 0 /v1/trace answered {status}")
+    traces = json.loads(trace_body)
+    root_ids = [t["id"] for t in traces["traces"]]
+    if request_id not in root_ids:
+        fail(f"request id {request_id} not among shard 0 root spans "
+             f"{root_ids[:8]}")
+    print(f"phase 4b OK: metrics parse on router + 2 shards with populated "
+          f"stage histograms; request id {request_id} propagated "
+          f"router -> shard 0 trace with full Server-Timing")
+
+
 def shard_phase(workdir):
     """Phase 4: two shards behind a proxy-mode router."""
     port_a, port_b, port_r = free_port(), free_port(), free_port()
@@ -214,6 +318,11 @@ def shard_phase(workdir):
     after_b = json.loads(client(port_b, "stats").stdout)
     if after_b["admission"]["admitted"] != before_b["admission"]["admitted"]:
         fail("shard 1 saw traffic during shard 0's warm restart")
+
+    # Observability rides on the warm fleet: stage histograms are already
+    # populated (including on the restarted shard) and the cache-hit path
+    # still stitches request ids end to end.
+    observability_checks(workdir, port_r, port_a, port_b, by_shard[0][0])
 
     stop_server(router)
     for proc in shards.values():
