@@ -9,6 +9,7 @@
 #include "decomp/decomp_writer.h"
 #include "hypergraph/parser.h"
 #include "net/http_client.h"
+#include "service/anti_entropy.h"
 #include "net/json.h"
 #include "net/trace_json.h"
 #include "util/cli.h"
@@ -189,6 +190,35 @@ util::StatusOr<std::unique_ptr<DecompositionServer>> DecompositionServer::Create
         std::to_string(options.shard_map->num_shards()) + ") for shard map " +
         options.shard_map->Serialise());
   }
+  if (options.anti_entropy_interval_seconds < 0 ||
+      !(options.anti_entropy_interval_seconds < 1e9)) {
+    return util::Status::InvalidArgument(
+        "anti_entropy_interval_seconds must be >= 0 (0 disables the sweep)");
+  }
+  if (options.anti_entropy_interval_seconds > 0 &&
+      !options.shard_map.has_value()) {
+    return util::Status::InvalidArgument(
+        "anti-entropy needs a shard map: --anti-entropy-interval without "
+        "--shard-map/--shard-index has no replica siblings to reconcile");
+  }
+  if (options.anti_entropy_slices < 1 || options.anti_entropy_slices > 4096) {
+    return util::Status::InvalidArgument(
+        "anti_entropy_slices must be in [1, 4096]");
+  }
+  std::optional<service::ShardEndpoint> ae_self;
+  if (!options.anti_entropy_self.empty()) {
+    const std::string& self_text = options.anti_entropy_self;
+    size_t colon = self_text.rfind(':');
+    long self_port;
+    if (colon == std::string::npos || colon == 0 ||
+        !util::ParseIntFlag(self_text.substr(colon + 1), 1, 65535,
+                            &self_port)) {
+      return util::Status::InvalidArgument(
+          "anti_entropy_self must be host:port, got \"" + self_text + "\"");
+    }
+    ae_self = service::ShardEndpoint{self_text.substr(0, colon),
+                                     static_cast<int>(self_port)};
+  }
   // One Retry-After story for both shedding layers (queue bound here,
   // connection bound in the transport).
   options.http.retry_after_seconds = options.retry_after_seconds;
@@ -198,6 +228,7 @@ util::StatusOr<std::unique_ptr<DecompositionServer>> DecompositionServer::Create
   auto server = std::unique_ptr<DecompositionServer>(
       new DecompositionServer(std::move(options)));
   server->service_ = std::move(*service);
+  server->ae_self_ = std::move(ae_self);
   if (server->options_.shard_map.has_value()) {
     auto state = std::make_shared<ShardState>(*server->options_.shard_map);
     state->index = server->options_.shard_index;
@@ -255,6 +286,23 @@ void DecompositionServer::BindMetrics() {
                                                 "direction=\"imported_store\"");
   migrated_out_entries_ = &metrics.GetCounter("htd_migration_entries_total",
                                               "direction=\"migrated_out\"");
+  metrics.SetHelp("htd_antientropy_rounds_total",
+                  "Anti-entropy sweep rounds by result (ok, error, skipped).");
+  ae_rounds_ok_ =
+      &metrics.GetCounter("htd_antientropy_rounds_total", "result=\"ok\"");
+  ae_rounds_error_ =
+      &metrics.GetCounter("htd_antientropy_rounds_total", "result=\"error\"");
+  ae_rounds_skipped_ =
+      &metrics.GetCounter("htd_antientropy_rounds_total", "result=\"skipped\"");
+  metrics.SetHelp("htd_antientropy_entries_total",
+                  "Warm-state entries merged from replica siblings.");
+  ae_entries_cache_ =
+      &metrics.GetCounter("htd_antientropy_entries_total", "section=\"cache\"");
+  ae_entries_store_ =
+      &metrics.GetCounter("htd_antientropy_entries_total", "section=\"store\"");
+  metrics.SetHelp("htd_antientropy_bytes_total",
+                  "Slice blob bytes pulled from replica siblings.");
+  ae_bytes_ = &metrics.GetCounter("htd_antientropy_bytes_total", "");
   metrics.SetHelp("htd_connections_shed_total",
                   "Connections refused at the transport bound (503).");
   metrics.RegisterCallback(
@@ -265,7 +313,14 @@ void DecompositionServer::BindMetrics() {
 
 DecompositionServer::~DecompositionServer() { Stop(); }
 
-util::Status DecompositionServer::Start() { return http_->Start(); }
+util::Status DecompositionServer::Start() {
+  util::Status started = http_->Start();
+  if (!started.ok()) return started;
+  if (options_.anti_entropy_interval_seconds > 0) {
+    anti_entropy_thread_ = std::thread([this] { AntiEntropyLoop(); });
+  }
+  return started;
+}
 
 void DecompositionServer::Stop() {
   if (http_ == nullptr || !http_->running()) return;
@@ -275,6 +330,9 @@ void DecompositionServer::Stop() {
   // deadline that flight would park its handler thread — and HttpServer::
   // Stop()'s WaitIdle — forever.
   stopping_.store(true, std::memory_order_release);
+  // The sweep loop polls stopping_ between pulls; join it before tearing the
+  // transport down so no pull races the listener drain.
+  if (anti_entropy_thread_.joinable()) anti_entropy_thread_.join();
   std::atomic<bool> http_stopped{false};
   std::thread canceller([&] {
     while (!http_stopped.load(std::memory_order_acquire)) {
@@ -303,6 +361,18 @@ DecompositionServer::MigrationStats DecompositionServer::migration_stats() const
   stats.imported_cache_entries = imported_cache_entries_->Value();
   stats.imported_store_entries = imported_store_entries_->Value();
   stats.migrated_out_entries = migrated_out_entries_->Value();
+  return stats;
+}
+
+DecompositionServer::AntiEntropyStats
+DecompositionServer::anti_entropy_stats() const {
+  AntiEntropyStats stats;
+  stats.rounds_ok = ae_rounds_ok_->Value();
+  stats.rounds_error = ae_rounds_error_->Value();
+  stats.rounds_skipped = ae_rounds_skipped_->Value();
+  stats.merged_cache_entries = ae_entries_cache_->Value();
+  stats.merged_store_entries = ae_entries_store_->Value();
+  stats.bytes_pulled = ae_bytes_->Value();
   return stats;
 }
 
@@ -437,6 +507,18 @@ HttpResponse DecompositionServer::Dispatch(const HttpRequest& request) {
       return ErrorResponse(405, "use POST for /v1/admin/migrate");
     }
     return HandleMigrate(request);
+  }
+  if (request.path == "/v1/admin/digest") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "use GET for /v1/admin/digest");
+    }
+    return HandleDigest(request);
+  }
+  if (request.path == "/v1/admin/antientropy") {
+    if (request.method != "POST") {
+      return ErrorResponse(405, "use POST for /v1/admin/antientropy");
+    }
+    return HandleAntiEntropy();
   }
   return ErrorResponse(404, "unknown route: " + request.path);
 }
@@ -721,6 +803,22 @@ HttpResponse DecompositionServer::HandleStats() {
   } else {
     body += "\"enabled\": false";
   }
+  body += "}, \"anti_entropy\": {";
+  body += std::string("\"enabled\": ") +
+          (options_.anti_entropy_interval_seconds > 0 ? "true" : "false");
+  body += ", \"interval_seconds\": " +
+          std::to_string(options_.anti_entropy_interval_seconds);
+  body += ", \"rounds_ok\": " +
+          count("htd_antientropy_rounds_total{result=\"ok\"}");
+  body += ", \"rounds_error\": " +
+          count("htd_antientropy_rounds_total{result=\"error\"}");
+  body += ", \"rounds_skipped\": " +
+          count("htd_antientropy_rounds_total{result=\"skipped\"}");
+  body += ", \"merged_cache_entries\": " +
+          count("htd_antientropy_entries_total{section=\"cache\"}");
+  body += ", \"merged_store_entries\": " +
+          count("htd_antientropy_entries_total{section=\"store\"}");
+  body += ", \"bytes_pulled\": " + count("htd_antientropy_bytes_total");
   body += "}, \"migration\": {";
   body += "\"imported_cache_entries\": " +
           count("htd_migration_entries_total{direction=\"imported_cache\"}");
@@ -1023,6 +1121,229 @@ HttpResponse DecompositionServer::HandleMigrate(const HttpRequest& request) {
                   ", \"entries_out\": " + std::to_string(moved) +
                   ", \"targets\": [" + targets_json + "]}\n";
   return response;
+}
+
+HttpResponse DecompositionServer::HandleDigest(const HttpRequest& request) {
+  auto shard = shard_state();
+  if (shard != nullptr) {
+    auto digest = request.headers.find("x-htd-shard-digest");
+    if (digest != request.headers.end() &&
+        !DigestAccepted(*shard, digest->second)) {
+      misrouted_->Add();
+      return ErrorResponse(
+          421, "digest request routed by shard-map digest " + digest->second +
+                   " but this shard accepts " + shard->digest_hex +
+                   (shard->transitioning() ? " or " + shard->new_digest_hex
+                                           : ""));
+    }
+  }
+  // Default to the slice of the key space this server owns (everything when
+  // unsharded); an explicit ?range= narrows or widens it — e.g. a sweep
+  // asking a transitioning sibling about the OLD range only.
+  service::FingerprintRange range;
+  if (shard != nullptr) range = shard->range;
+  const std::string range_text = request.QueryOr("range", "");
+  if (!range_text.empty() && !ParseHexRange(range_text, &range)) {
+    return ErrorResponse(400, "query parameter range must be HEX-HEX "
+                              "(fingerprint hi bounds, inclusive)");
+  }
+  long slices;
+  if (!util::ParseIntFlag(
+          request.QueryOr("slices", std::to_string(options_.anti_entropy_slices)),
+          1, 4096, &slices)) {
+    return ErrorResponse(400,
+                         "query parameter slices must be an integer in [1, 4096]");
+  }
+  HttpResponse response;
+  response.content_type = "text/plain; charset=utf-8";
+  response.body = service::RenderDigestSummary(service::ComputeDigestSummary(
+      service_->result_cache(), service_->subproblem_store(),
+      CurrentConfigDigest(), range, static_cast<int>(slices)));
+  return response;
+}
+
+HttpResponse DecompositionServer::HandleAntiEntropy() {
+  auto swept = RunAntiEntropySweep();
+  if (!swept.ok()) {
+    int status = swept.status().code() == util::StatusCode::kFailedPrecondition
+                     ? 412
+                     : 500;
+    return ErrorResponse(status, swept.status().message());
+  }
+  HttpResponse response;
+  // Partial failures mirror the migrate contract: some sibling did not
+  // complete its exchange, so the operator (or the next round) must re-drive.
+  response.status = swept->errors == 0 ? 200 : 502;
+  response.body = "{\"swept\": true, \"siblings\": " +
+                  std::to_string(swept->siblings) +
+                  ", \"slices_pulled\": " + std::to_string(swept->slices_pulled) +
+                  ", \"cache_entries\": " + std::to_string(swept->cache_entries) +
+                  ", \"store_entries\": " + std::to_string(swept->store_entries) +
+                  ", \"bytes\": " + std::to_string(swept->bytes) +
+                  ", \"errors\": " + std::to_string(swept->errors) + "}\n";
+  return response;
+}
+
+void DecompositionServer::AntiEntropyLoop() {
+  const auto interval = std::chrono::duration<double>(
+      options_.anti_entropy_interval_seconds);
+  auto next = std::chrono::steady_clock::now() + interval;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (std::chrono::steady_clock::now() < next) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    // Outcomes land in the htd_antientropy_* counters; a failed round is not
+    // fatal to the loop (the next interval retries from the new digests).
+    auto swept = RunAntiEntropySweep();
+    (void)swept;
+    next = std::chrono::steady_clock::now() + interval;
+  }
+}
+
+service::ShardEndpoint DecompositionServer::SelfEndpoint(
+    const ShardState& state) const {
+  if (ae_self_.has_value()) return *ae_self_;
+  // Fall back to matching the listen port against the replica group —
+  // unambiguous whenever replica ports are distinct per host (loopback test
+  // fleets always are). No match returns an empty endpoint: Siblings() then
+  // yields the whole group, and the self-pull is a digest-equal no-op.
+  for (int r = 0; r < state.map.num_replicas(state.index); ++r) {
+    const service::ShardEndpoint& candidate = state.map.replica(state.index, r);
+    if (candidate.port == port()) return candidate;
+  }
+  return service::ShardEndpoint{};
+}
+
+util::StatusOr<DecompositionServer::SweepResult>
+DecompositionServer::RunAntiEntropySweep() {
+  // One round at a time: the background loop and a forced
+  // /v1/admin/antientropy must not interleave their pulls.
+  std::lock_guard<std::mutex> sweep_lock(ae_mutex_);
+  auto state = shard_state();
+  if (state == nullptr) {
+    return util::Status::FailedPrecondition(
+        "not a sharded server: anti-entropy needs --shard-map/--shard-index");
+  }
+  if (state->transitioning()) {
+    // Mid-migration the range boundaries are moving; reconciling against
+    // them would tug entries back and forth. Skip; the loop retries after
+    // the finalise.
+    ae_rounds_skipped_->Add();
+    return util::Status::FailedPrecondition(
+        "migration in flight; anti-entropy resumes after finalise");
+  }
+  const std::vector<service::ShardEndpoint> siblings =
+      state->map.Siblings(state->index, SelfEndpoint(*state));
+  SweepResult result;
+  result.siblings = static_cast<int>(siblings.size());
+  if (siblings.empty()) {
+    ae_rounds_skipped_->Add();
+    return result;  // unreplicated range: nothing to reconcile
+  }
+
+  util::TraceScope sweep_span("ae_sweep",
+                              static_cast<uint64_t>(siblings.size()));
+  const uint64_t config_digest = CurrentConfigDigest();
+  service::DigestSummary local = service::ComputeDigestSummary(
+      service_->result_cache(), service_->subproblem_store(), config_digest,
+      state->range, options_.anti_entropy_slices);
+  const std::string digest_target =
+      "/v1/admin/digest?range=" + HexRange(state->range) +
+      "&slices=" + std::to_string(options_.anti_entropy_slices);
+  FetchOptions fetch;
+  fetch.read_timeout_seconds = options_.anti_entropy_pull_timeout_seconds;
+
+  for (size_t s = 0; s < siblings.size(); ++s) {
+    if (stopping_.load(std::memory_order_acquire)) break;
+    const service::ShardEndpoint& sibling = siblings[s];
+    util::TraceScope pull_span("ae_pull", static_cast<uint64_t>(sibling.port));
+    uint64_t merged_cache = 0;
+    uint64_t merged_store = 0;
+    FetchResult digest_response = HttpFetch(
+        sibling.host, sibling.port, "GET", digest_target, "",
+        {{"X-HTD-Shard-Digest", state->digest_hex}}, fetch);
+    if (!digest_response.ok() || digest_response.status != 200) {
+      ++result.errors;
+      continue;
+    }
+    auto remote = service::ParseDigestSummary(digest_response.body);
+    if (!remote.ok()) {
+      // Corrupt digest: abort this sibling's exchange before any pull — a
+      // garbled summary must trigger zero imports.
+      ++result.errors;
+      continue;
+    }
+    if (remote->config_digest != local.config_digest) {
+      // Incomparable warm state (different solver config); not an error,
+      // but nothing can be merged either.
+      continue;
+    }
+    if (remote->slices.size() != local.slices.size()) {
+      ++result.errors;
+      continue;
+    }
+    bool aligned = true;
+    for (size_t i = 0; i < local.slices.size(); ++i) {
+      if (!(remote->slices[i].range == local.slices[i].range)) {
+        aligned = false;
+        break;
+      }
+    }
+    if (!aligned) {
+      ++result.errors;
+      continue;
+    }
+    bool sibling_ok = true;
+    for (size_t i = 0; i < local.slices.size(); ++i) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (remote->slices[i].digest == local.slices[i].digest) continue;
+      ++result.slices_pulled;
+      FetchResult blob = HttpFetch(
+          sibling.host, sibling.port, "GET",
+          "/v1/admin/export?range=" + HexRange(local.slices[i].range), "",
+          {{"X-HTD-Shard-Digest", state->digest_hex}}, fetch);
+      if (!blob.ok() || blob.status != 200) {
+        ++result.errors;
+        sibling_ok = false;
+        break;
+      }
+      // DecodeSnapshot stages the whole blob before touching the live
+      // state, so a truncated or bit-flipped transfer merges nothing.
+      auto merged = service::DecodeSnapshot(
+          blob.body, service_->result_cache(), service_->subproblem_store(),
+          &local.slices[i].range);
+      if (!merged.ok()) {
+        ++result.errors;
+        sibling_ok = false;
+        break;
+      }
+      result.bytes += blob.body.size();
+      merged_cache += merged->cache_entries;
+      merged_store += merged->store_entries;
+    }
+    result.cache_entries += merged_cache;
+    result.store_entries += merged_store;
+    // What we merged from this sibling changes OUR digests; recompute before
+    // comparing against the next sibling or its unchanged slices would look
+    // spuriously different.
+    if (sibling_ok && merged_cache + merged_store > 0 &&
+        s + 1 < siblings.size()) {
+      local = service::ComputeDigestSummary(
+          service_->result_cache(), service_->subproblem_store(), config_digest,
+          state->range, options_.anti_entropy_slices);
+    }
+  }
+
+  ae_entries_cache_->Add(result.cache_entries);
+  ae_entries_store_->Add(result.store_entries);
+  ae_bytes_->Add(result.bytes);
+  if (result.errors == 0) {
+    ae_rounds_ok_->Add();
+  } else {
+    ae_rounds_error_->Add();
+  }
+  return result;
 }
 
 std::string DecompositionServer::RenderResult(const service::JobResult& job,

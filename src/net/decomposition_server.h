@@ -29,6 +29,14 @@
 //                           transitioning state WITHOUT streaming — the
 //                           orchestrator prepares every backend first so
 //                           each accepts its peers' new-digest pushes.
+//   GET  /v1/admin/digest?range=HEX-HEX&slices=N
+//                           order-independent content digest of the warm
+//                           state per fingerprint sub-slice
+//                           (service/anti_entropy.h wire format) — what a
+//                           replica sibling compares against before pulling.
+//   POST /v1/admin/antientropy
+//                           force one synchronous anti-entropy sweep (the
+//                           same round the background loop runs).
 //   GET  /v1/metrics        Prometheus text exposition: admission/migration
 //                           counters, component gauges, and per-stage /
 //                           per-route latency histograms (util/metrics.h).
@@ -76,6 +84,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "net/http.h"
 #include "net/server.h"
@@ -125,6 +134,25 @@ struct DecompositionServerOptions {
   /// Transport timeout for one migration push (POST /v1/admin/import to a
   /// new owner). Blobs can be large; default is generous.
   double migrate_push_timeout_seconds = 300.0;
+
+  /// Anti-entropy between replica siblings (docs/OPERATIONS.md): every
+  /// interval, compare warm-state digests with the other replicas of this
+  /// range and pull the differing slices. 0 (the default) disables the
+  /// background loop; POST /v1/admin/antientropy still forces a round.
+  /// Requires shard_map.
+  double anti_entropy_interval_seconds = 0.0;
+  /// Sub-slices per digest comparison: more slices = finer-grained pulls
+  /// (less redundant transfer) at a longer digest response. [1, 4096].
+  int anti_entropy_slices = 16;
+  /// This process's own endpoint as listed in the shard map ("host:port"),
+  /// so the sweep excludes itself from its sibling set. Empty = infer by
+  /// matching the listen port against the replica group (works whenever
+  /// replica ports are distinct per host, e.g. loopback test fleets); an
+  /// unidentifiable self degrades to pulling from every replica, where the
+  /// self-pull is a digest-equal no-op.
+  std::string anti_entropy_self;
+  /// Transport timeout for one digest or slice pull.
+  double anti_entropy_pull_timeout_seconds = 60.0;
 };
 
 class DecompositionServer {
@@ -141,6 +169,27 @@ class DecompositionServer {
     uint64_t imported_cache_entries = 0;  ///< merged in via /v1/admin/import
     uint64_t imported_store_entries = 0;
     uint64_t migrated_out_entries = 0;    ///< pushed to new owners by migrate
+  };
+
+  /// Cumulative anti-entropy counters (same cells as the
+  /// htd_antientropy_*_total metrics).
+  struct AntiEntropyStats {
+    uint64_t rounds_ok = 0;       ///< rounds completed without a pull error
+    uint64_t rounds_error = 0;    ///< rounds with >= 1 failed/aborted sibling
+    uint64_t rounds_skipped = 0;  ///< no siblings, or migration in flight
+    uint64_t merged_cache_entries = 0;
+    uint64_t merged_store_entries = 0;
+    uint64_t bytes_pulled = 0;
+  };
+
+  /// Outcome of one sweep round (RunAntiEntropySweep).
+  struct SweepResult {
+    int siblings = 0;       ///< siblings this round compared against
+    int slices_pulled = 0;  ///< digest slices that differed and were fetched
+    uint64_t cache_entries = 0;  ///< merged in this round
+    uint64_t store_entries = 0;
+    uint64_t bytes = 0;  ///< slice blob bytes transferred
+    int errors = 0;      ///< siblings whose exchange failed or was aborted
   };
 
   /// The sharding identity the server currently enforces. Starts from
@@ -194,6 +243,19 @@ class DecompositionServer {
   /// path is configured). Also reachable as POST /v1/admin/snapshot.
   util::StatusOr<service::SnapshotStats> SaveSnapshotNow();
 
+  AntiEntropyStats anti_entropy_stats() const;
+
+  /// Runs one synchronous anti-entropy round: digest every sibling of this
+  /// range, pull the differing slices, merge under dominance. What the
+  /// background loop runs every interval; also reachable as
+  /// POST /v1/admin/antientropy, and callable directly from tests.
+  /// FailedPrecondition when unsharded or a migration is in flight. A
+  /// sibling that fails mid-exchange (transport error, corrupt digest or
+  /// blob) aborts THAT sibling's exchange cleanly — counted in
+  /// SweepResult::errors, the store left consistent — and the round
+  /// continues with the next sibling.
+  util::StatusOr<SweepResult> RunAntiEntropySweep();
+
   /// Route dispatch; public so tests can drive the server without sockets.
   HttpResponse Handle(const HttpRequest& request);
 
@@ -232,6 +294,18 @@ class DecompositionServer {
   HttpResponse HandleExport(const HttpRequest& request);
   HttpResponse HandleImport(const HttpRequest& request);
   HttpResponse HandleMigrate(const HttpRequest& request);
+  HttpResponse HandleDigest(const HttpRequest& request);
+  HttpResponse HandleAntiEntropy();
+
+  /// The background sweep loop (anti_entropy_interval_seconds > 0): one
+  /// RunAntiEntropySweep per interval until Stop().
+  void AntiEntropyLoop();
+
+  /// This process's endpoint within `state`'s map: the configured
+  /// anti_entropy_self, else the replica of our range matching the listen
+  /// port, else an empty endpoint (matches nobody — the sweep then pulls
+  /// from the whole replica group).
+  service::ShardEndpoint SelfEndpoint(const ShardState& state) const;
 
   /// Renders one resolved JobResult as the response JSON body.
   std::string RenderResult(const service::JobResult& job, const Hypergraph& graph,
@@ -266,6 +340,12 @@ class DecompositionServer {
   util::Counter* imported_cache_entries_ = nullptr;
   util::Counter* imported_store_entries_ = nullptr;
   util::Counter* migrated_out_entries_ = nullptr;
+  util::Counter* ae_rounds_ok_ = nullptr;
+  util::Counter* ae_rounds_error_ = nullptr;
+  util::Counter* ae_rounds_skipped_ = nullptr;
+  util::Counter* ae_entries_cache_ = nullptr;
+  util::Counter* ae_entries_store_ = nullptr;
+  util::Counter* ae_bytes_ = nullptr;
   std::atomic<uint64_t> next_job_id_{1};
   /// Set at the head of Stop(): new decompose requests are refused with 503
   /// so no fresh flight can slip in behind the cancellation sweep.
@@ -277,6 +357,15 @@ class DecompositionServer {
   std::mutex jobs_mutex_;
   std::map<std::string, AsyncJob> jobs_;       // guarded by jobs_mutex_
   std::list<std::string> job_order_;           // insertion order, for eviction
+
+  /// anti_entropy_self parsed at Create(); nullopt when empty/inferred.
+  std::optional<service::ShardEndpoint> ae_self_;
+  /// Serialises sweep rounds (the background loop vs a forced
+  /// /v1/admin/antientropy) so two rounds never interleave their pulls.
+  std::mutex ae_mutex_;
+  /// Started by Start() when the interval is > 0; joined at the head of
+  /// Stop() (the loop polls stopping_ and checks it between pulls).
+  std::thread anti_entropy_thread_;
 };
 
 }  // namespace htd::net

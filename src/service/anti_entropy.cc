@@ -1,0 +1,264 @@
+#include "service/anti_entropy.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string_view>
+
+#include "util/hash.h"
+
+namespace htd::service {
+
+namespace {
+
+constexpr std::string_view kMagic = "HTDDIGEST1";
+constexpr int kMaxSlices = 65536;
+
+// Distinct seeds so a cache entry and a store entry with the same
+// fingerprint can never cancel each other out of the XOR fold.
+constexpr uint64_t kCacheSeed = 0x68746463616368ULL;  // "htdcach"
+constexpr uint64_t kStoreSeed = 0x68746473746f72ULL;  // "htdstor"
+
+uint64_t HashTraces(const std::vector<std::vector<int>>& traces) {
+  // Trace lists are canonical (sorted, duplicate-free), so a plain sequence
+  // hash is already order-stable.
+  uint64_t h = util::Mix64(traces.size());
+  for (const std::vector<int>& trace : traces) {
+    h = util::HashCombine(h, trace.size());
+    for (int v : trace) h = util::HashCombine(h, static_cast<uint64_t>(v));
+  }
+  return h;
+}
+
+uint64_t CacheEntryHash(const CacheKey& key) {
+  uint64_t h = util::HashCombine(kCacheSeed, key.fingerprint.hi);
+  h = util::HashCombine(h, key.fingerprint.lo);
+  h = util::HashCombine(h, static_cast<uint64_t>(key.k));
+  return util::HashCombine(h, key.config_digest);
+}
+
+uint64_t StoreEntryHash(const SubproblemStore::ExportedEntry& entry) {
+  uint64_t h = util::HashCombine(kStoreSeed, entry.fingerprint.hi);
+  h = util::HashCombine(h, entry.fingerprint.lo);
+  h = util::HashCombine(h, static_cast<uint64_t>(entry.k));
+  // Variant antichains are unordered sets: XOR-fold each polarity so two
+  // replicas that inserted the same variants in different orders agree.
+  uint64_t negatives = 0;
+  for (const auto& traces : entry.negatives) {
+    negatives ^= util::Mix64(HashTraces(traces));
+  }
+  uint64_t positives = 0;
+  for (const SubproblemStore::ExportedPositive& positive : entry.positives) {
+    positives ^= util::Mix64(HashTraces(positive.traces));
+  }
+  h = util::HashCombine(h, negatives);
+  return util::HashCombine(h, positives);
+}
+
+bool ParseHex16(std::string_view text, uint64_t* out) {
+  if (text.size() != 16) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 20) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (~0ULL - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+/// Splits on single spaces; rejects leading/trailing/doubled separators.
+bool SplitTokens(std::string_view line, std::vector<std::string_view>* out) {
+  out->clear();
+  while (!line.empty()) {
+    const size_t space = line.find(' ');
+    std::string_view token = line.substr(0, space);
+    if (token.empty()) return false;
+    out->push_back(token);
+    if (space == std::string_view::npos) return true;
+    line = line.substr(space + 1);
+  }
+  return false;  // empty line or trailing space
+}
+
+std::string Hex16(uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::vector<FingerprintRange> SplitRange(const FingerprintRange& range,
+                                         int slices) {
+  slices = std::max(1, slices);
+  // floor(span / slices) + 1 hi values per slice covers the range; the last
+  // slice absorbs the remainder and trailing empty slices are dropped.
+  const uint64_t step = (range.last_hi - range.first_hi) /
+                            static_cast<uint64_t>(slices) +
+                        1;
+  std::vector<FingerprintRange> out;
+  uint64_t lo = range.first_hi;
+  for (int i = 0; i < slices; ++i) {
+    FingerprintRange slice;
+    slice.first_hi = lo;
+    if (i == slices - 1 || range.last_hi - lo < step) {
+      slice.last_hi = range.last_hi;
+      out.push_back(slice);
+      break;
+    }
+    slice.last_hi = lo + step - 1;
+    out.push_back(slice);
+    lo = slice.last_hi + 1;
+  }
+  return out;
+}
+
+DigestSummary ComputeDigestSummary(ResultCache* cache, SubproblemStore* store,
+                                   uint64_t config_digest,
+                                   const FingerprintRange& range, int slices) {
+  DigestSummary summary;
+  summary.config_digest = config_digest;
+  const std::vector<FingerprintRange> ranges = SplitRange(range, slices);
+  summary.slices.resize(ranges.size());
+  for (size_t i = 0; i < ranges.size(); ++i) summary.slices[i].range = ranges[i];
+
+  const uint64_t step = ranges[0].last_hi - ranges[0].first_hi + 1;
+  auto slice_of = [&](const Fingerprint& fp) -> DigestSlice& {
+    // Mirrors the SplitRange boundaries: fixed-width slices, tail clamped.
+    size_t index = step == 0 ? 0 : (fp.hi - range.first_hi) / step;
+    if (index >= summary.slices.size()) index = summary.slices.size() - 1;
+    return summary.slices[index];
+  };
+
+  if (cache != nullptr) {
+    cache->ForEach(
+        [&](const CacheKey& key, const SolveResult&) {
+          DigestSlice& slice = slice_of(key.fingerprint);
+          slice.digest ^= CacheEntryHash(key);
+          ++slice.cache_entries;
+        },
+        &range);
+  }
+  if (store != nullptr) {
+    // Digest the compacted view: a replica that already dropped a
+    // cross-k-dominated variant at save time must digest equal to one that
+    // still holds it (they answer the same queries).
+    std::vector<SubproblemStore::ExportedEntry> exported = store->Export(&range);
+    SubproblemStore::CompactExported(&exported);
+    for (const SubproblemStore::ExportedEntry& entry : exported) {
+      DigestSlice& slice = slice_of(entry.fingerprint);
+      slice.digest ^= StoreEntryHash(entry);
+      ++slice.store_entries;
+    }
+  }
+  return summary;
+}
+
+std::string RenderDigestSummary(const DigestSummary& summary) {
+  std::string out(kMagic);
+  out += ' ';
+  out += Hex16(summary.config_digest);
+  out += ' ';
+  out += std::to_string(summary.slices.size());
+  out += '\n';
+  for (const DigestSlice& slice : summary.slices) {
+    out += Hex16(slice.range.first_hi);
+    out += '-';
+    out += Hex16(slice.range.last_hi);
+    out += ' ';
+    out += Hex16(slice.digest);
+    out += ' ';
+    out += std::to_string(slice.cache_entries);
+    out += ' ';
+    out += std::to_string(slice.store_entries);
+    out += '\n';
+  }
+  return out;
+}
+
+util::StatusOr<DigestSummary> ParseDigestSummary(const std::string& text) {
+  auto bad = [](const std::string& what) {
+    return util::Status::InvalidArgument("digest response: " + what);
+  };
+
+  // Split into lines; exactly one '\n' after every line, nothing after the
+  // last one.
+  std::vector<std::string_view> lines;
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    const size_t newline = rest.find('\n');
+    if (newline == std::string_view::npos) return bad("unterminated line");
+    lines.push_back(rest.substr(0, newline));
+    rest = rest.substr(newline + 1);
+  }
+  if (lines.empty()) return bad("empty");
+
+  std::vector<std::string_view> tokens;
+  if (!SplitTokens(lines[0], &tokens) || tokens.size() != 3 ||
+      tokens[0] != kMagic) {
+    return bad("bad header line");
+  }
+  DigestSummary summary;
+  uint64_t num_slices;
+  if (!ParseHex16(tokens[1], &summary.config_digest)) {
+    return bad("bad config digest");
+  }
+  if (!ParseU64(tokens[2], &num_slices) || num_slices < 1 ||
+      num_slices > static_cast<uint64_t>(kMaxSlices)) {
+    return bad("bad slice count");
+  }
+  if (lines.size() - 1 != num_slices) {
+    return bad("slice count " + std::to_string(num_slices) + " but " +
+               std::to_string(lines.size() - 1) + " slice lines");
+  }
+
+  summary.slices.reserve(num_slices);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (!SplitTokens(lines[i], &tokens) || tokens.size() != 4) {
+      return bad("bad slice line " + std::to_string(i));
+    }
+    DigestSlice slice;
+    const std::string_view span = tokens[0];
+    if (span.size() != 33 || span[16] != '-' ||
+        !ParseHex16(span.substr(0, 16), &slice.range.first_hi) ||
+        !ParseHex16(span.substr(17), &slice.range.last_hi) ||
+        slice.range.first_hi > slice.range.last_hi) {
+      return bad("bad slice range in line " + std::to_string(i));
+    }
+    if (!summary.slices.empty()) {
+      const FingerprintRange& prev = summary.slices.back().range;
+      if (prev.last_hi == ~0ULL || slice.range.first_hi != prev.last_hi + 1) {
+        return bad("slices not contiguous at line " + std::to_string(i));
+      }
+    }
+    if (!ParseHex16(tokens[1], &slice.digest) ||
+        !ParseU64(tokens[2], &slice.cache_entries) ||
+        !ParseU64(tokens[3], &slice.store_entries)) {
+      return bad("bad slice fields in line " + std::to_string(i));
+    }
+    summary.slices.push_back(slice);
+  }
+  return summary;
+}
+
+}  // namespace htd::service

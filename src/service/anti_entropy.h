@@ -1,0 +1,99 @@
+// Anti-entropy digests: cheap, order-independent summaries of the warm
+// state, so replica siblings can find out WHERE they differ before moving
+// any bytes.
+//
+// An entry solved organically lands only on the replica that solved it
+// (net/shard_router.h round-robins reads), so siblings of a replicated
+// range drift apart — and a killed-and-revived replica serves cold until
+// someone reconciles it. The sweep in net/decomposition_server.h closes
+// that gap: each replica periodically asks its siblings for a digest of
+// their range, compares slice by slice, and pulls only the differing
+// slices through the existing /v1/admin/export|import snapshot codec
+// (service/persistence.h), merging under the store's dominance rules.
+//
+// What the digest hashes — and deliberately does not:
+//   * result-cache entries hash their KEY only ⟨fingerprint, k,
+//     config_digest⟩. Two replicas that solved the same instance
+//     independently hold different SolveStats (timings, work counters);
+//     hashing the value would make digests never converge.
+//   * store entries hash ⟨fingerprint, k⟩ plus the *trace sets* of their
+//     variants, never fragment bytes: two fragments with equal used-trace
+//     sets dominate exactly the same queries, so they are knowledge-equal
+//     even when the decompositions differ.
+//   * both are folded per slice with XOR, so the digest is independent of
+//     iteration (LRU) order.
+//   * the store side is digested over the COMPACTED view
+//     (SubproblemStore::CompactExported): a replica that has dropped a
+//     cross-k-dominated variant at save time digests equal to one that
+//     still holds it, so equivalent knowledge never re-syncs.
+//
+// The wire form (GET /v1/admin/digest) is a strict line-oriented text
+// format — see RenderDigestSummary — parsed with the same
+// reject-anything-odd discipline as the snapshot codec: a truncated or
+// bit-flipped response fails ParseDigestSummary and aborts the sweep round
+// cleanly instead of triggering bogus pulls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/canonical.h"
+#include "service/result_cache.h"
+#include "service/subproblem_store.h"
+#include "util/status.h"
+
+namespace htd::service {
+
+/// One contiguous hi-word sub-slice of a range, with the XOR-fold of its
+/// entry hashes and the entry counts (counts are informational; equality is
+/// decided on `digest`).
+struct DigestSlice {
+  FingerprintRange range;
+  uint64_t digest = 0;
+  uint64_t cache_entries = 0;
+  uint64_t store_entries = 0;
+
+  bool operator==(const DigestSlice& other) const {
+    return range == other.range && digest == other.digest &&
+           cache_entries == other.cache_entries &&
+           store_entries == other.store_entries;
+  }
+};
+
+struct DigestSummary {
+  /// The responder's solver-config digest. Siblings with different configs
+  /// hold incomparable cache entries; the sweep skips them.
+  uint64_t config_digest = 0;
+  std::vector<DigestSlice> slices;
+};
+
+/// Splits `range` into `slices` contiguous sub-ranges (the last absorbs the
+/// remainder; with fewer hi values than slices, trailing slices are dropped,
+/// so every returned range is non-empty). slices >= 1.
+std::vector<FingerprintRange> SplitRange(const FingerprintRange& range,
+                                         int slices);
+
+/// Digests the current contents of `cache` and `store` (either may be
+/// nullptr) restricted to `range`, split into `slices` sub-slices. Two
+/// replicas with knowledge-equivalent warm state over `range` produce equal
+/// summaries regardless of insertion order, solve timings, fragment choice,
+/// or save-time compaction.
+DigestSummary ComputeDigestSummary(ResultCache* cache, SubproblemStore* store,
+                                   uint64_t config_digest,
+                                   const FingerprintRange& range, int slices);
+
+/// Strict text wire form:
+///
+///   HTDDIGEST1 <config_digest:16hex> <num_slices>
+///   <first_hi:16hex>-<last_hi:16hex> <digest:16hex> <cache_n> <store_n>
+///   ...one line per slice, ascending and contiguous...
+std::string RenderDigestSummary(const DigestSummary& summary);
+
+/// Inverse of RenderDigestSummary. Anything malformed — wrong magic, bad
+/// hex width or case, a slice count that does not match the line count,
+/// overlapping or non-contiguous or descending slices, trailing bytes —
+/// is InvalidArgument; a valid summary is returned exactly as rendered.
+util::StatusOr<DigestSummary> ParseDigestSummary(const std::string& text);
+
+}  // namespace htd::service

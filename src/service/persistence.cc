@@ -341,6 +341,11 @@ std::string EncodeSnapshotCounted(ResultCache* cache, SubproblemStore* store,
 
   std::vector<SubproblemStore::ExportedEntry> store_entries;
   if (store != nullptr) store_entries = store->Export(range);
+  // Save-time compaction: don't persist variants a different-k variant of
+  // the same fingerprint already dominates (the in-memory store defers this
+  // to here; cross-k Lookup makes the compacted snapshot answer exactly the
+  // same queries).
+  written->compacted = SubproblemStore::CompactExported(&store_entries);
   payload.PutU64(store_entries.size());
   for (const SubproblemStore::ExportedEntry& entry : store_entries) {
     WriteStoreEntry(payload, entry);

@@ -48,6 +48,11 @@ struct SnapshotStats {
   /// taken before resharding loads cleanly, keeping only the entries this
   /// shard still owns (service/shard_map.h).
   size_t dropped_out_of_range = 0;
+  /// Store variants dropped by save-time compaction
+  /// (SubproblemStore::CompactExported): a variant dominated by a
+  /// different-k variant of the same fingerprint is not written. Set on
+  /// encode/save; 0 on restore.
+  size_t compacted = 0;
 };
 
 /// Serialises the current contents of `cache` and `store` (either may be

@@ -159,6 +159,18 @@ int ShardMap::RangeOfEndpoint(const ShardEndpoint& endpoint) const {
   return -1;
 }
 
+std::vector<ShardEndpoint> ShardMap::Siblings(int index,
+                                              const ShardEndpoint& self) const {
+  HTD_CHECK_GE(index, 0);
+  HTD_CHECK_LT(index, num_shards());
+  std::vector<ShardEndpoint> siblings;
+  for (const ShardEndpoint& candidate : replicas_[index]) {
+    if (candidate == self) continue;
+    siblings.push_back(candidate);
+  }
+  return siblings;
+}
+
 int ShardMap::IndexFor(const Fingerprint& fp) const {
   if (step_ == 0) return 0;
   const uint64_t index = fp.hi / step_;

@@ -99,6 +99,14 @@ class ShardMap {
   /// a new topology.
   int RangeOfEndpoint(const ShardEndpoint& endpoint) const;
 
+  /// The replica siblings of range `index`: every replica except `self`, in
+  /// map order — who the anti-entropy sweep (net/decomposition_server.h)
+  /// reconciles with. Empty for an unreplicated range. A `self` that is not
+  /// in the group returns the whole replica set: a process that cannot
+  /// identify itself pulls from everyone, and a pull from itself is a
+  /// digest-equal no-op.
+  std::vector<ShardEndpoint> Siblings(int index, const ShardEndpoint& self) const;
+
   /// The shard owning `fp`: floor(fp.hi / step), clamped to the last shard.
   /// Deterministic — equal maps route equal fingerprints identically.
   int IndexFor(const Fingerprint& fp) const;

@@ -140,42 +140,74 @@ void SubproblemStore::EvictOver(Shard& shard) {
 SubproblemStore::Hit SubproblemStore::Lookup(const Key& key, const Hypergraph& graph,
                                              Fragment* fragment) {
   probes_.fetch_add(1, std::memory_order_relaxed);
-  MapKey map_key{key.fingerprint, key.k};
-  Shard& shard = ShardFor(map_key);
 
-  // Take a reference to the matching positive variant; decode after
-  // unlocking (variants are immutable once published, shared_ptr keeps the
-  // one we hold alive across eviction).
+  // Take a reference to a matching positive variant; decode after unlocking
+  // (variants are immutable once published, shared_ptr keeps the one we
+  // hold alive across eviction).
   std::shared_ptr<const PositiveVariant> positive;
-  {
+  bool found_negative = false;
+  bool cross_k = false;
+
+  // Probes the ⟨key.fingerprint, kk⟩ entry. A recorded failure with a ⊇
+  // allowed set dominates (the query's search space is a subset of the
+  // exhausted one); a recorded fragment whose used traces are ⊆ the query's
+  // allowed traces dominates (every λ-trace it needs is available). Returns
+  // true on a hit of either polarity.
+  auto probe = [&](int kk, bool negatives, bool positives, bool touch) {
+    MapKey map_key{key.fingerprint, kk};
+    Shard& shard = ShardFor(map_key);
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.index.find(map_key);
-    if (it == shard.index.end()) {
-      misses_.fetch_add(1, std::memory_order_relaxed);
-      return Hit::kMiss;
-    }
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    if (it == shard.index.end()) return false;
+    if (touch) shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     Entry& entry = *it->second;
-    for (const NegativeVariant& variant : entry.negatives) {
-      // A recorded failure with a ⊇ allowed set dominates: the query's
-      // search space is a subset of the exhausted one.
-      if (TraceSubset(key.allowed_traces, variant.traces)) {
-        negative_hits_.fetch_add(1, std::memory_order_relaxed);
-        return Hit::kNegative;
-      }
-    }
-    for (const auto& variant : entry.positives) {
-      // A recorded fragment whose used traces are a ⊆ of the query's
-      // allowed traces dominates: every λ-trace it needs is available.
-      if (TraceSubset(variant->traces, key.allowed_traces)) {
-        if (fragment == nullptr) {
-          positive_hits_.fetch_add(1, std::memory_order_relaxed);
-          return Hit::kPositive;
+    if (negatives) {
+      for (const NegativeVariant& variant : entry.negatives) {
+        if (TraceSubset(key.allowed_traces, variant.traces)) {
+          found_negative = true;
+          return true;
         }
-        positive = variant;
-        break;
       }
     }
+    if (positives) {
+      for (const auto& variant : entry.positives) {
+        if (TraceSubset(variant->traces, key.allowed_traces)) {
+          positive = variant;
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  if (!probe(key.k, /*negatives=*/true, /*positives=*/true, /*touch=*/true)) {
+    // Width-dominance fallback over the other k values ever inserted for
+    // any key: failures at k' > k (harder width, ⊇ search space already
+    // exhausted), fragments at k' < k (their width bound only tightens).
+    // Ascending bit order tries the smallest recorded width first for
+    // fragments; cross-k probes don't touch LRU positions.
+    const uint64_t mask = k_seen_mask_.load(std::memory_order_acquire);
+    for (int bit = 0; bit < 64 && !found_negative && positive == nullptr;
+         ++bit) {
+      if ((mask & (uint64_t{1} << bit)) == 0) continue;
+      const int kk = bit + 1;
+      if (kk == key.k) continue;
+      if (probe(kk, /*negatives=*/kk > key.k, /*positives=*/kk < key.k,
+                /*touch=*/false)) {
+        cross_k = true;
+      }
+    }
+  }
+
+  if (found_negative) {
+    negative_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (cross_k) cross_k_negative_hits_.fetch_add(1, std::memory_order_relaxed);
+    return Hit::kNegative;
+  }
+  if (positive != nullptr && fragment == nullptr) {
+    positive_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (cross_k) cross_k_positive_hits_.fetch_add(1, std::memory_order_relaxed);
+    return Hit::kPositive;
   }
   if (positive == nullptr) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -225,6 +257,7 @@ SubproblemStore::Hit SubproblemStore::Lookup(const Key& key, const Hypergraph& g
     return Hit::kMiss;
   }
   positive_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (cross_k) cross_k_positive_hits_.fetch_add(1, std::memory_order_relaxed);
   *fragment = std::move(*decoded);
   return Hit::kPositive;
 }
@@ -254,6 +287,10 @@ void SubproblemStore::InsertNegativeVariant(
   }
   ReaccountBytes(shard, entry);
   negative_inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (map_key.k >= 1 && map_key.k <= 64) {
+    k_seen_mask_.fetch_or(uint64_t{1} << (map_key.k - 1),
+                          std::memory_order_release);
+  }
   EvictOver(shard);
 }
 
@@ -328,6 +365,10 @@ void SubproblemStore::InsertPositiveVariant(
   }
   ReaccountBytes(shard, entry);
   positive_inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (map_key.k >= 1 && map_key.k <= 64) {
+    k_seen_mask_.fetch_or(uint64_t{1} << (map_key.k - 1),
+                          std::memory_order_release);
+  }
   EvictOver(shard);
 }
 
@@ -371,7 +412,57 @@ bool SubproblemStore::Import(const ExportedEntry& entry,
   return true;
 }
 
+size_t SubproblemStore::CompactExported(std::vector<ExportedEntry>* entries) {
+  // Group entries by fingerprint without reordering them (snapshots keep
+  // their LRU layout). Only fingerprints recorded at several widths can
+  // have cross-k-dominated variants — same-k antichains are maintained at
+  // insert time.
+  std::unordered_map<Fingerprint, std::vector<size_t>, FingerprintHash> groups;
+  for (size_t i = 0; i < entries->size(); ++i) {
+    groups[(*entries)[i].fingerprint].push_back(i);
+  }
+  size_t dropped = 0;
+  for (const auto& [fingerprint, members] : groups) {
+    if (members.size() < 2) continue;
+    for (size_t a : members) {
+      ExportedEntry& entry = (*entries)[a];
+      // A failure at k is dominated by a ⊇ failure at k' > k: the larger
+      // search space at the harder width was already exhausted. Dominance
+      // is transitive, so consulting variants this pass will itself drop is
+      // sound — their dominator survives and dominates too.
+      dropped += std::erase_if(
+          entry.negatives, [&](const std::vector<std::vector<int>>& traces) {
+            for (size_t b : members) {
+              if ((*entries)[b].k <= entry.k) continue;
+              for (const auto& other : (*entries)[b].negatives) {
+                if (TraceSubset(traces, other)) return true;
+              }
+            }
+            return false;
+          });
+      // A fragment at k is dominated by a ⊆-trace fragment at k' < k: the
+      // tighter width bound serves every query this one serves.
+      dropped += std::erase_if(entry.positives, [&](const ExportedPositive& pos) {
+        for (size_t b : members) {
+          if ((*entries)[b].k >= entry.k) continue;
+          for (const ExportedPositive& other : (*entries)[b].positives) {
+            if (TraceSubset(other.traces, pos.traces)) return true;
+          }
+        }
+        return false;
+      });
+    }
+  }
+  std::erase_if(*entries, [](const ExportedEntry& entry) {
+    return entry.negatives.empty() && entry.positives.empty();
+  });
+  return dropped;
+}
+
 void SubproblemStore::Clear() {
+  // Advisory reset: a racing insert may leave the mask under-approximated,
+  // which only costs cross-k hits, never correctness.
+  k_seen_mask_.store(0, std::memory_order_release);
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     entries_.fetch_sub(shard->lru.size(), std::memory_order_relaxed);
@@ -387,6 +478,10 @@ SubproblemStore::Stats SubproblemStore::GetStats() const {
   stats.probes = probes_.load(std::memory_order_relaxed);
   stats.negative_hits = negative_hits_.load(std::memory_order_relaxed);
   stats.positive_hits = positive_hits_.load(std::memory_order_relaxed);
+  stats.cross_k_negative_hits =
+      cross_k_negative_hits_.load(std::memory_order_relaxed);
+  stats.cross_k_positive_hits =
+      cross_k_positive_hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.negative_inserts = negative_inserts_.load(std::memory_order_relaxed);
   stats.positive_inserts = positive_inserts_.load(std::memory_order_relaxed);

@@ -27,6 +27,16 @@
 // Entries per key keep both families as antichains: ⊆-maximal failure
 // trace sets, ⊆-minimal fragment trace sets.
 //
+// Width dominance. The same subsumption works across k: a failure recorded
+// at width k proves failure for every k' <= k over a ⊆ allowed set (the
+// search space only shrinks), and a fragment of width <= k serves every
+// query with k' >= k over a ⊇ allowed set. Lookup therefore falls back to
+// the other recorded k values of the same fingerprint (guided by a bitmask
+// of widths ever inserted), and CompactExported drops variants that a
+// different-k variant of the same fingerprint dominates — the save-time
+// compaction of service/persistence.h and the convergence normal form of
+// the anti-entropy digests (service/anti_entropy.h).
+//
 // Concurrency & eviction: the key space is striped over independently
 // locked shards (the service/result_cache.h pattern); canonicalisation,
 // encoding, and decoding all run outside the locks. Each shard evicts whole
@@ -77,6 +87,10 @@ class SubproblemStore {
     uint64_t probes = 0;
     uint64_t negative_hits = 0;
     uint64_t positive_hits = 0;
+    /// Hits served by an entry recorded at a different k (subsets of the
+    /// negative_hits / positive_hits totals).
+    uint64_t cross_k_negative_hits = 0;
+    uint64_t cross_k_positive_hits = 0;
     uint64_t misses = 0;
     uint64_t negative_inserts = 0;
     uint64_t positive_inserts = 0;
@@ -122,7 +136,10 @@ class SubproblemStore {
   /// recorded fragment decoded into the caller's ids — λ over the caller's
   /// allowed edges, χ over the caller's vertex universe, special leaves over
   /// the caller's special-edge ids. Pass fragment == nullptr for
-  /// decision-only callers (skips the decode).
+  /// decision-only callers (skips the decode). When the exact ⟨fingerprint,
+  /// k⟩ entry misses, other recorded widths of the same fingerprint are
+  /// probed under width dominance: failures recorded at k' > k, fragments
+  /// recorded at k' < k (see the header comment).
   Hit Lookup(const Key& key, const Hypergraph& graph, Fragment* fragment);
 
   /// Records that the key's subproblem has no fragment with λ-labels from
@@ -169,6 +186,16 @@ class SubproblemStore {
   /// an entry outside it is dropped and false is returned — loading a
   /// pre-resharding snapshot keeps only the entries this shard now owns.
   bool Import(const ExportedEntry& entry, const FingerprintRange* range = nullptr);
+
+  /// Drops every variant that a variant of the same fingerprint at a
+  /// different k dominates (failures: a ⊇ trace set at higher k; fragments:
+  /// a ⊆ trace set at lower k), then removes entries left empty. Same-k
+  /// antichains are already maintained at insert, so this is exactly the
+  /// cross-k compaction the in-memory store defers: the snapshot writer
+  /// (service/persistence.h) and the anti-entropy digests
+  /// (service/anti_entropy.h) apply it to Export() output. Order-preserving
+  /// (snapshot LRU order survives). Returns the number of dropped variants.
+  static size_t CompactExported(std::vector<ExportedEntry>* entries);
 
  private:
   struct MapKey {
@@ -232,9 +259,16 @@ class SubproblemStore {
   size_t per_shard_budget_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
+  /// Bit k-1 set iff a variant was ever inserted at width k (k in [1, 64];
+  /// rarer widths fall back to exact-k lookups only). Purely advisory: it
+  /// bounds which cross-k entries Lookup probes, never what is stored.
+  std::atomic<uint64_t> k_seen_mask_{0};
+
   std::atomic<uint64_t> probes_{0};
   std::atomic<uint64_t> negative_hits_{0};
   std::atomic<uint64_t> positive_hits_{0};
+  std::atomic<uint64_t> cross_k_negative_hits_{0};
+  std::atomic<uint64_t> cross_k_positive_hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> negative_inserts_{0};
   std::atomic<uint64_t> positive_inserts_{0};

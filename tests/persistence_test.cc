@@ -247,6 +247,111 @@ TEST(PersistenceTest, WarmStoreReproducesSolverHits) {
       << "restored store must serve the same hits the original would";
 }
 
+TEST(PersistenceTest, SaveTimeCompactionDropsDominatedVariantsOnly) {
+  // A store holding cross-k-dominated variants must write a strictly
+  // smaller snapshot, and the reloaded store must answer the SAME decision
+  // probes at every k — the dropped variants were pure redundancy.
+  SubproblemStore store;
+  Fingerprint fn{4100, 7};
+  SubproblemStore::ExportedEntry wide_failure;
+  wide_failure.fingerprint = fn;
+  wide_failure.k = 3;
+  wide_failure.negatives = {{{0}, {1}}};
+  ASSERT_TRUE(store.Import(wide_failure));
+  SubproblemStore::ExportedEntry implied_failure;  // {{0}} at k=2: dominated
+  implied_failure.fingerprint = fn;
+  implied_failure.k = 2;
+  implied_failure.negatives = {{{0}}};
+  ASSERT_TRUE(store.Import(implied_failure));
+
+  Fingerprint fp{4200, 7};
+  SubproblemStore::ExportedEntry narrow_fragment;
+  narrow_fragment.fingerprint = fp;
+  narrow_fragment.k = 2;
+  SubproblemStore::ExportedPositive positive;
+  positive.traces = {{0}};
+  PortableFragmentNode node;
+  node.lambda = {0};
+  node.chi = {0, 1};
+  positive.fragment.nodes.push_back(node);
+  positive.fragment.root = 0;
+  narrow_fragment.positives.push_back(positive);
+  ASSERT_TRUE(store.Import(narrow_fragment));
+  SubproblemStore::ExportedEntry implied_fragment;  // k=3 ⊇-traces: dominated
+  implied_fragment.fingerprint = fp;
+  implied_fragment.k = 3;
+  positive.traces = {{0}, {1}};
+  implied_fragment.positives.push_back(positive);
+  ASSERT_TRUE(store.Import(implied_fragment));
+  ASSERT_EQ(store.num_entries(), 4u);
+
+  SnapshotStats written;
+  std::string bytes = EncodeSnapshot(nullptr, &store, 0, nullptr, &written);
+  EXPECT_EQ(written.compacted, 2u) << "one dominated variant per polarity";
+  EXPECT_EQ(written.store_entries, 2u);
+
+  SubproblemStore reloaded;
+  ASSERT_TRUE(DecodeSnapshot(bytes, nullptr, &reloaded).ok());
+  EXPECT_EQ(reloaded.num_entries(), 2u)
+      << "the reloaded store must be strictly smaller than the source";
+
+  // Warm hit behaviour is identical: both original probe points still
+  // answer, the dominated ones now through the cross-k fallback.
+  Hypergraph graph = MakeCycle(4);
+  SubproblemStore::Key probe;
+  probe.fingerprint = fn;
+  probe.k = 3;
+  probe.allowed_traces = {{0}, {1}};
+  EXPECT_EQ(reloaded.Lookup(probe, graph, nullptr),
+            SubproblemStore::Hit::kNegative);
+  probe.k = 2;
+  probe.allowed_traces = {{0}};
+  EXPECT_EQ(reloaded.Lookup(probe, graph, nullptr),
+            SubproblemStore::Hit::kNegative);
+
+  probe.fingerprint = fp;
+  probe.k = 2;
+  probe.allowed_traces = {{0}};
+  EXPECT_EQ(reloaded.Lookup(probe, graph, nullptr),
+            SubproblemStore::Hit::kPositive);
+  probe.k = 3;
+  probe.allowed_traces = {{0}, {1}};
+  EXPECT_EQ(reloaded.Lookup(probe, graph, nullptr),
+            SubproblemStore::Hit::kPositive);
+}
+
+TEST(PersistenceTest, CompactedSnapshotKeepsSolverHitsWarm) {
+  // End-to-end flavour of the above: snapshot a solver-populated store and
+  // make sure compaction never costs a warm hit on replay.
+  Hypergraph graph = MakeCycle(6);
+  SubproblemStore original;
+  SolveOptions options;
+  options.subproblem_store = &original;
+  LogKDecomp producer(options);
+  ASSERT_EQ(producer.Solve(graph, 2).outcome, Outcome::kYes);
+
+  SnapshotStats written;
+  std::string bytes = EncodeSnapshot(nullptr, &original, 0, nullptr, &written);
+  SubproblemStore restored;
+  ASSERT_TRUE(DecodeSnapshot(bytes, nullptr, &restored).ok());
+  EXPECT_LE(restored.num_entries(), original.num_entries());
+
+  SolveOptions warm_options;
+  warm_options.subproblem_store = &restored;
+  LogKDecomp consumer(warm_options);
+  SolveResult warm = consumer.Solve(graph, 2);
+  ASSERT_EQ(warm.outcome, Outcome::kYes);
+
+  SolveOptions uncompacted_options;
+  uncompacted_options.subproblem_store = &original;
+  LogKDecomp reference(uncompacted_options);
+  SolveResult ref = reference.Solve(graph, 2);
+  ASSERT_EQ(ref.outcome, Outcome::kYes);
+  EXPECT_GE(warm.stats.store_positive_hits + warm.stats.store_negative_hits,
+            ref.stats.store_positive_hits + ref.stats.store_negative_hits)
+      << "compaction must not lose hits the uncompacted store serves";
+}
+
 TEST(PersistenceTest, RejectsTruncationAtEveryLength) {
   util::Rng rng(7);
   ResultCache cache(16, 2);

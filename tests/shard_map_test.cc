@@ -157,6 +157,27 @@ TEST(ShardMapTest, ReplicaGroupsRejectGarbage) {
       << "one process cannot serve two slots";
 }
 
+TEST(ShardMapTest, SiblingsExcludeSelfOnly) {
+  ShardMap map = MustParse("a:1*2,b:1,c:1");
+  auto hosts = [](const std::vector<ShardEndpoint>& endpoints) {
+    std::vector<std::string> out;
+    for (const auto& endpoint : endpoints) out.push_back(endpoint.host);
+    return out;
+  };
+  EXPECT_EQ(hosts(map.Siblings(0, ShardEndpoint{"a", 1})),
+            std::vector<std::string>{"b"});
+  EXPECT_EQ(hosts(map.Siblings(0, ShardEndpoint{"b", 1})),
+            std::vector<std::string>{"a"});
+  EXPECT_TRUE(map.Siblings(1, ShardEndpoint{"c", 1}).empty())
+      << "an unreplicated range has no one to reconcile with";
+  // A caller not in the group (a router, a drained replica) sees everyone.
+  EXPECT_EQ(hosts(map.Siblings(0, ShardEndpoint{"z", 9})),
+            (std::vector<std::string>{"a", "b"}));
+  // Port differences matter: a:2 is not the a:1 replica.
+  EXPECT_EQ(hosts(map.Siblings(0, ShardEndpoint{"a", 2})),
+            (std::vector<std::string>{"a", "b"}));
+}
+
 TEST(ShardMapTest, RangeOfEndpointFindsAnyReplica) {
   ShardMap map = MustParse("a:1,b:2*2,c:3");
   EXPECT_EQ(map.RangeOfEndpoint({"a", 1}), 0);

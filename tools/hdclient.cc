@@ -83,6 +83,8 @@ void Usage(const char* argv0) {
       "                                      --verbose prints the raw page)\n"
       "  trace [--last N]                    GET /v1/trace?n=N (default 16)\n"
       "  snapshot                            POST /v1/admin/snapshot\n"
+      "  sync                                POST /v1/admin/antientropy\n"
+      "                                      (force one anti-entropy round)\n"
       "options:\n"
       "  --shards H:P,...      shared shard map: decompose routes to the\n"
       "                        shard owning the instance's fingerprint;\n"
@@ -203,7 +205,8 @@ bool ParseArgs(int argc, char** argv, Args& args) {
   if (args.command == "decompose") return !args.file.empty() && args.k >= 1;
   if (args.command == "job") return !args.job_id.empty();
   return args.command == "stats" || args.command == "snapshot" ||
-         args.command == "metrics" || args.command == "trace";
+         args.command == "metrics" || args.command == "trace" ||
+         args.command == "sync";
 }
 
 /// One HTTP exchange (Connection: close) over the shared client
@@ -344,6 +347,9 @@ int main(int argc, char** argv) {
     target = "/v1/metrics";
   } else if (args.command == "trace") {
     target = "/v1/trace?n=" + std::to_string(args.trace_n);
+  } else if (args.command == "sync") {
+    method = "POST";
+    target = "/v1/admin/antientropy";
   } else {  // snapshot
     method = "POST";
     target = "/v1/admin/snapshot";
@@ -357,7 +363,8 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, int>> replica_fallbacks;
   if (args.shards.has_value()) {
     if (args.command == "stats" || args.command == "snapshot" ||
-        args.command == "metrics" || args.command == "trace") {
+        args.command == "metrics" || args.command == "trace" ||
+        args.command == "sync") {
       return FanOut(args, method, target);
     }
     if (args.command == "job") {

@@ -84,6 +84,15 @@ void Usage(const char* argv0) {
       "                     owning shard instead of serving locally\n"
       "  --route-backoff S  base backoff after a shard transport failure\n"
       "                     (default 0.5, doubling up to 30)\n"
+      "  --anti-entropy-interval S  reconcile warm state with the replica\n"
+      "                     siblings of this range every S seconds (0 = off,\n"
+      "                     the default; requires --shard-map). POST\n"
+      "                     /v1/admin/antientropy forces a round either way\n"
+      "  --anti-entropy-slices N  digest sub-slices per comparison\n"
+      "                     (default 16, max 4096)\n"
+      "  --self H:P         this process's own endpoint as written in\n"
+      "                     --shard-map, so the sweep skips itself (default:\n"
+      "                     inferred from the listen port)\n"
       "live resharding: drive with hdreshard (POST /v1/admin/transition on\n"
       "the router, /v1/admin/migrate on each backend)\n",
       argv0);
@@ -240,6 +249,16 @@ int main(int argc, char** argv) {
       options.shard_index = static_cast<int>(
           RequireInt(argv[0], "--shard-index", next("--shard-index"), 0, 4095));
       have_shard_index = true;
+    } else if (flag == "--anti-entropy-interval") {
+      options.anti_entropy_interval_seconds =
+          RequireSeconds(argv[0], "--anti-entropy-interval",
+                         next("--anti-entropy-interval"));
+    } else if (flag == "--anti-entropy-slices") {
+      options.anti_entropy_slices = static_cast<int>(
+          RequireInt(argv[0], "--anti-entropy-slices",
+                     next("--anti-entropy-slices"), 1, 4096));
+    } else if (flag == "--self") {
+      options.anti_entropy_self = next("--self");
     } else if (flag == "--route-to") {
       route_to_spec = next("--route-to");
     } else if (flag == "--route-backoff") {
@@ -298,6 +317,11 @@ int main(int argc, char** argv) {
                 options.shard_index, options.shard_map->num_shards(),
                 options.shard_map->Serialise().c_str(),
                 options.shard_map->DigestHex().c_str());
+  }
+  if (options.anti_entropy_interval_seconds > 0) {
+    std::printf("hdserver: anti-entropy sweep every %.3gs (%d digest slices)\n",
+                options.anti_entropy_interval_seconds,
+                options.anti_entropy_slices);
   }
   if (restored.cache_entries > 0 || restored.store_entries > 0 ||
       restored.dropped_out_of_range > 0) {

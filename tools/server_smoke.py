@@ -21,7 +21,13 @@ Phases (see ISSUE/acceptance criteria and docs/SERVER.md):
      processes) driven by hdreshard UNDER CONCURRENT TRAFFIC — zero 421s,
      zero lost cache hits during and after the transition — then one
      replica of the new range is killed and the router keeps serving the
-     range's warm entries from the survivor.
+     range's warm entries from the survivor;
+  6. anti-entropy: a replicated range behind the router, one replica killed
+     under traffic and revived COLD with --anti-entropy-interval — with
+     zero operator action its background sweep pulls the sibling's warm
+     state until htd_cache_entries matches, after which the full corpus
+     replays against the revived replica as cache hits (htd_cache_hits_total
+     advances by the corpus size, htd_cache_misses_total not at all).
 
 Usage: tools/server_smoke.py [BUILD_DIR]   (default: ./build)
 Exits non-zero with a FAIL line on the first broken property.
@@ -430,6 +436,126 @@ def reshard_phase(workdir):
           f"entries moved to the replicated range and survived a replica kill")
 
 
+def anti_entropy_phase(workdir):
+    """Phase 6: a cold-revived replica converges by itself."""
+    pa, pb, port_r = free_port(), free_port(), free_port()
+    shard_map = f"127.0.0.1:{pa}*2,127.0.0.1:{pb}"
+
+    def start_replica(port):
+        return start_server(port, "--shard-map", shard_map, "--shard-index",
+                            "0", "--self", f"127.0.0.1:{port}",
+                            "--anti-entropy-interval", "0.25", "--workers", "2")
+
+    replicas = {pa: start_replica(pa), pb: start_replica(pb)}
+    router = start_server(port_r, "--route-to", shard_map)
+
+    # Warm the range through the router, then let one background sweep
+    # round replicate the entries to whichever replica did not solve them.
+    corpus = []
+    for length in range(3, 15):
+        name = f"ae_path{length}.hg"
+        text = ",\n".join(f"a{i}(q{i},q{i + 1})" for i in range(length)) + ".\n"
+        (workdir / name).write_text(text)
+        proc = client(port_r, "decompose", str(workdir / name), "--k", "2",
+                      "--timeout", "30")
+        if json.loads(proc.stdout)["cache_hit"]:
+            fail(f"{name}: first submission must not be a cache hit")
+        corpus.append(name)
+
+    def cache_series(port):
+        status, _, text = scrape(port, "/v1/metrics")
+        if status != 200:
+            fail(f"replica :{port}: /v1/metrics answered {status}")
+        series = parse_prometheus(text, f"replica :{port}")
+        return {key: series.get(key, 0.0)
+                for key in ("htd_cache_entries", "htd_cache_hits_total",
+                            "htd_cache_misses_total")}
+
+    def await_entries(port, want, deadline_seconds, why):
+        deadline = time.time() + deadline_seconds
+        while time.time() < deadline:
+            if cache_series(port)["htd_cache_entries"] >= want:
+                return
+            time.sleep(0.2)
+        fail(f"replica :{port} never reached {want} cache entries ({why}): "
+             f"{cache_series(port)}")
+
+    await_entries(pa, len(corpus), 15, "initial sweep")
+    await_entries(pb, len(corpus), 15, "initial sweep")
+
+    # Kill replica B under sustained traffic; the router fails over to A.
+    # A request that lands on B mid-drain gets its 503 proxied through
+    # (hdclient exit 4) — that is the documented retry-with-backoff
+    # contract, not a lost entry, so it is tolerated. Anything else (a 421,
+    # a cache miss, a 5xx from the survivor) fails the phase.
+    stop = threading.Event()
+    traffic_failures = []
+    sheds = [0]
+
+    def traffic():
+        while not stop.is_set():
+            for name in corpus:
+                if stop.is_set():
+                    break
+                proc = client(port_r, "decompose", str(workdir / name),
+                              "--k", "2", "--expect-cache-hit", "--quiet",
+                              expect_exit=None)
+                if proc.returncode == 4:
+                    sheds[0] += 1
+                elif proc.returncode != 0:
+                    traffic_failures.append((name, proc.returncode))
+
+    thread = threading.Thread(target=traffic)
+    thread.start()
+    try:
+        stop_server(replicas.pop(pb))
+        time.sleep(1.0)  # traffic keeps flowing against the survivor
+    finally:
+        stop.set()
+        thread.join()
+    if traffic_failures:
+        fail(f"traffic broke during the kill window: {traffic_failures[:5]}")
+
+    # Revive B COLD: no snapshot, empty cache, and no routed traffic that
+    # could warm it organically. Nobody posts a sync either — the
+    # background sweep alone must refill it.
+    replicas[pb] = start_replica(pb)
+    await_entries(pb, len(corpus), 30, "cold revival, anti-entropy only")
+
+    # The revived replica's hit rate converges to the sibling's: replaying
+    # the full corpus directly against B is all hits and zero new misses.
+    before = cache_series(pb)
+    for name in corpus:
+        client(pb, "decompose", str(workdir / name), "--k", "2",
+               "--expect-cache-hit", "--quiet")
+    after = cache_series(pb)
+    hits = after["htd_cache_hits_total"] - before["htd_cache_hits_total"]
+    misses = after["htd_cache_misses_total"] - before["htd_cache_misses_total"]
+    if hits < len(corpus) or misses > 0:
+        fail(f"revived replica is not warm: +{hits} hits, +{misses} misses "
+             f"over {len(corpus)} replays")
+    sibling = cache_series(pa)
+    if after["htd_cache_entries"] != sibling["htd_cache_entries"]:
+        fail(f"replica caches did not converge: {after['htd_cache_entries']} "
+             f"vs sibling {sibling['htd_cache_entries']}")
+
+    # The sweep surfaced in observability: counted rounds and pulled bytes.
+    status, _, text = scrape(pb, "/v1/metrics")
+    series = parse_prometheus(text, "revived replica")
+    if series.get('htd_antientropy_rounds_total{result="ok"}', 0) <= 0:
+        fail("revived replica reports no successful anti-entropy rounds")
+    if series.get("htd_antientropy_bytes_total", 0) <= 0:
+        fail("revived replica reports zero anti-entropy bytes pulled")
+
+    stop_server(router)
+    for proc in replicas.values():
+        stop_server(proc)
+    print(f"phase 6 OK: cold-revived replica pulled {len(corpus)} entries by "
+          f"anti-entropy alone and replayed the corpus warm "
+          f"({int(hits)} hits, {int(misses)} misses; {sheds[0]} retryable "
+          f"sheds during the drain window)")
+
+
 def main():
     for binary in (HDSERVER, HDCLIENT, HDRESHARD):
         if not binary.exists():
@@ -502,6 +628,9 @@ def main():
 
     # --- Phase 5: live resharding + replication under traffic. -------------
     reshard_phase(workdir)
+
+    # --- Phase 6: anti-entropy revival of a killed replica. ----------------
+    anti_entropy_phase(workdir)
 
     print("server_smoke: all phases passed")
 
