@@ -274,9 +274,34 @@ util::StatusOr<EvalResult> EvaluateWithDecomposition(const Query& query,
 }
 
 
-util::StatusOr<unsigned long long> CountSolutions(const Query& query,
-                                                  const Database& db,
-                                                  const Decomposition& decomp) {
+namespace {
+
+// Saturating 128-bit weight for the counting DP. Zero annihilates exactly
+// (0 · anything = 0, never "saturated zero"), so unsatisfiable branches stay
+// exact no matter how large their siblings grew.
+struct SatWeight {
+  unsigned __int128 v = 0;
+  bool sat = false;
+};
+
+constexpr unsigned __int128 kSatCap = ~static_cast<unsigned __int128>(0);
+
+SatWeight SatMul(const SatWeight& a, const SatWeight& b) {
+  if (a.v == 0 || b.v == 0) return {0, false};
+  if (a.sat || b.sat || a.v > kSatCap / b.v) return {kSatCap, true};
+  return {a.v * b.v, false};
+}
+
+SatWeight SatAdd(const SatWeight& a, const SatWeight& b) {
+  if (a.sat || b.sat || kSatCap - a.v < b.v) return {kSatCap, true};
+  return {a.v + b.v, false};
+}
+
+}  // namespace
+
+util::StatusOr<SolutionCount> CountSolutions(const Query& query,
+                                             const Database& db,
+                                             const Decomposition& decomp) {
   Hypergraph graph = QueryHypergraph(query);
   auto built = BuildNodeRelations(query, db, decomp, graph);
   if (!built.ok()) return built.status();
@@ -288,9 +313,9 @@ util::StatusOr<unsigned long long> CountSolutions(const Query& query,
   // c-tuples consistent with t. Connectedness makes tuple trees correspond
   // one-to-one to satisfying assignments of all query variables, so the
   // answer count is the weight sum at the root.
-  std::vector<std::vector<unsigned long long>> weight(decomp.num_nodes());
+  std::vector<std::vector<SatWeight>> weight(decomp.num_nodes());
   std::function<void(int)> up = [&](int u) {
-    weight[u].assign(node_rel[u].tuples.size(), 1ull);
+    weight[u].assign(node_rel[u].tuples.size(), SatWeight{1, false});
     for (int c : decomp.node(u).children) {
       up(c);
       const VarRel& child = node_rel[c];
@@ -298,21 +323,28 @@ util::StatusOr<unsigned long long> CountSolutions(const Query& query,
       std::vector<int> shared = SharedVars(child.vars, mine.vars);
       std::vector<int> child_pos = Positions(child.vars, shared);
       std::vector<int> my_pos = Positions(mine.vars, shared);
-      std::unordered_map<Tuple, unsigned long long, TupleHash> sums;
+      std::unordered_map<Tuple, SatWeight, TupleHash> sums;
       for (size_t i = 0; i < child.tuples.size(); ++i) {
-        sums[ExtractKey(child.tuples[i], child_pos)] += weight[c][i];
+        SatWeight& slot = sums[ExtractKey(child.tuples[i], child_pos)];
+        slot = SatAdd(slot, weight[c][i]);
       }
       for (size_t i = 0; i < mine.tuples.size(); ++i) {
         auto it = sums.find(ExtractKey(mine.tuples[i], my_pos));
-        weight[u][i] *= it == sums.end() ? 0ull : it->second;
+        weight[u][i] = it == sums.end() ? SatWeight{0, false}
+                                        : SatMul(weight[u][i], it->second);
       }
     }
   };
   up(decomp.root());
 
-  unsigned long long total = 0;
-  for (unsigned long long w : weight[decomp.root()]) total += w;
-  return total;
+  SatWeight total;
+  for (const SatWeight& w : weight[decomp.root()]) total = SatAdd(total, w);
+
+  constexpr unsigned long long kMax = ~0ull;
+  if (total.sat || total.v > static_cast<unsigned __int128>(kMax)) {
+    return SolutionCount{kMax, true};
+  }
+  return SolutionCount{static_cast<unsigned long long>(total.v), false};
 }
 
 util::StatusOr<unsigned long long> CountSolutionsBruteForce(const Query& query,

@@ -38,13 +38,23 @@ util::StatusOr<EvalResult> EvaluateWithDecomposition(const Query& query,
 /// Baseline: backtracking join over the atoms (exponential; for testing).
 util::StatusOr<EvalResult> EvaluateBruteForce(const Query& query, const Database& db);
 
+/// Answer count with explicit overflow signalling. When `saturated` is set,
+/// the true count exceeds ULLONG_MAX and `value` is pinned at ULLONG_MAX;
+/// otherwise `value` is exact.
+struct SolutionCount {
+  unsigned long long value = 0;
+  bool saturated = false;
+};
+
 /// Counts the satisfying assignments of the (full) CQ under set semantics by
 /// dynamic programming over the decomposition — the tractable counting
 /// application the paper's introduction cites (Pichler & Skritek 2013).
-/// Overflow caveat: the count is returned as unsigned long long.
-util::StatusOr<unsigned long long> CountSolutions(const Query& query,
-                                                  const Database& db,
-                                                  const Decomposition& decomp);
+/// The DP accumulates in unsigned __int128 with saturating arithmetic, so a
+/// count that no longer fits is reported via SolutionCount::saturated
+/// instead of silently wrapping.
+util::StatusOr<SolutionCount> CountSolutions(const Query& query,
+                                             const Database& db,
+                                             const Decomposition& decomp);
 
 /// Exponential counting oracle for tests.
 util::StatusOr<unsigned long long> CountSolutionsBruteForce(const Query& query,

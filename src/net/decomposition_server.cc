@@ -3,12 +3,17 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <thread>
 #include <utility>
+#include <vector>
+
+#include <algorithm>
 
 #include "decomp/decomp_writer.h"
 #include "hypergraph/parser.h"
 #include "net/http_client.h"
+#include "qa/wire.h"
 #include "service/anti_entropy.h"
 #include "net/json.h"
 #include "net/trace_json.h"
@@ -37,6 +42,7 @@ HttpResponse ErrorResponse(int status, const std::string& message) {
 /// an attacker probing random paths cannot mint unbounded label values.
 const char* RouteLabel(const std::string& path) {
   if (path == "/v1/decompose") return "decompose";
+  if (path == "/v1/query") return "query";
   if (path.rfind("/v1/jobs/", 0) == 0) return "jobs";
   if (path == "/v1/stats") return "stats";
   if (path == "/v1/metrics") return "metrics";
@@ -61,6 +67,23 @@ std::string StageTimingHeader(double parse_seconds,
          dur("cache", stages.cache_seconds) + ", " +
          dur("schedule", stages.schedule_seconds) + ", " +
          dur("solve", stages.solve_seconds) + ", " +
+         dur("serialise", serialise_seconds);
+}
+
+/// Server-Timing for one synchronous /v1/query: the query engine's stage
+/// split plus the transport-side parse/serialise bookends.
+std::string QueryTimingHeader(double parse_seconds,
+                              const qa::QueryAnswer& answer,
+                              double serialise_seconds) {
+  auto dur = [](const char* name, double seconds) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s;dur=%.3f", name, seconds * 1e3);
+    return std::string(buf);
+  };
+  return dur("parse", parse_seconds) + ", " +
+         dur("decompose", answer.decompose_seconds) + ", " +
+         dur("pick", answer.pick_seconds) + ", " +
+         dur("execute", answer.execute_seconds) + ", " +
          dur("serialise", serialise_seconds);
 }
 
@@ -228,6 +251,8 @@ util::StatusOr<std::unique_ptr<DecompositionServer>> DecompositionServer::Create
   auto server = std::unique_ptr<DecompositionServer>(
       new DecompositionServer(std::move(options)));
   server->service_ = std::move(*service);
+  server->query_engine_ = std::make_unique<qa::QueryEngine>(
+      server->service_.get(), server->options_.query);
   server->ae_self_ = std::move(ae_self);
   if (server->options_.shard_map.has_value()) {
     auto state = std::make_shared<ShardState>(*server->options_.shard_map);
@@ -460,11 +485,37 @@ HttpResponse DecompositionServer::Dispatch(const HttpRequest& request) {
     }
     return response;
   }
+  if (request.path == "/v1/query") {
+    if (request.method != "POST") {
+      return ErrorResponse(405, "use POST for /v1/query");
+    }
+    uint64_t request_id = 0;
+    auto rid = request.headers.find("x-htd-request-id");
+    if (rid == request.headers.end() ||
+        !util::ParseTraceId(rid->second, &request_id)) {
+      request_id = util::TraceRegistry::Instance().NextId();
+    }
+    std::string server_timing;
+    HttpResponse response;
+    {
+      util::TraceScope root_span("request", util::TraceRootId{request_id},
+                                 static_cast<uint64_t>(request.body.size()));
+      response = HandleQuery(request, request_id, &server_timing);
+    }
+    response.headers.emplace_back("X-HTD-Request-Id",
+                                  util::TraceIdHex(request_id));
+    if (!server_timing.empty()) {
+      response.headers.emplace_back("Server-Timing", server_timing);
+    }
+    return response;
+  }
   if (request.path.rfind("/v1/jobs/", 0) == 0) {
     if (request.method != "GET") {
       return ErrorResponse(405, "use GET for /v1/jobs/<id>");
     }
-    return HandleJob(request.path.substr(sizeof("/v1/jobs/") - 1));
+    const std::string id = request.path.substr(sizeof("/v1/jobs/") - 1);
+    if (!id.empty() && id[0] == 'q') return HandleQueryJob(id);
+    return HandleJob(id);
   }
   if (request.path == "/v1/stats") {
     if (request.method != "GET") {
@@ -726,6 +777,213 @@ HttpResponse DecompositionServer::HandleJob(const std::string& id) {
   response.body = "{\"job\": \"" + id + "\", \"state\": \"done\", \"result\": " +
                   RenderResult(job, *record.graph, record.include_decomposition);
   // RenderResult ends with '\n'; splice the wrapper's closing brace in.
+  response.body.back() = '}';
+  response.body += "\n";
+  return response;
+}
+
+HttpResponse DecompositionServer::HandleQuery(const HttpRequest& request,
+                                              uint64_t request_id,
+                                              std::string* server_timing) {
+  double timeout = ParseSeconds(request.QueryOr("timeout", ""),
+                                service_->options().default_timeout_seconds);
+  if (timeout < 0) {
+    bad_requests_->Add();
+    return ErrorResponse(400, "query parameter timeout must be seconds >= 0");
+  }
+  const bool async = request.QueryOr("async", "0") == "1";
+  const std::string count_param = request.QueryOr("count", "");
+  if (!count_param.empty() && count_param != "0" && count_param != "1") {
+    bad_requests_->Add();
+    return ErrorResponse(400, "query parameter count must be 0 or 1");
+  }
+  std::optional<bool> count_override;
+  if (!count_param.empty()) count_override = count_param == "1";
+
+  // Shard admission mirrors /v1/decompose: ownership is decided by the
+  // fingerprint of the QUERY'S HYPERGRAPH, so the decomposition state a
+  // query warms lands on the shard that will be asked for it again.
+  auto shard = shard_state();
+  bool sender_hashed = false;
+  if (shard != nullptr) {
+    auto digest = request.headers.find("x-htd-shard-digest");
+    if (digest != request.headers.end()) {
+      if (!DigestAccepted(*shard, digest->second)) {
+        misrouted_->Add();
+        return ErrorResponse(
+            421, "shard map digest mismatch: this shard is " +
+                     std::to_string(shard->index) + "/" +
+                     std::to_string(shard->map.num_shards()) + " of " +
+                     shard->map.Serialise() + " (digest " + shard->digest_hex +
+                     (shard->transitioning()
+                          ? ", transitioning to " + shard->new_digest_hex
+                          : "") +
+                     "); request was routed by digest " + digest->second);
+      }
+      sender_hashed = true;
+    }
+    auto fp_header = request.headers.find("x-htd-shard-fingerprint");
+    if (fp_header != request.headers.end()) {
+      service::Fingerprint fp;
+      if (!service::Fingerprint::FromHex(fp_header->second, &fp)) {
+        bad_requests_->Add();
+        return ErrorResponse(400,
+                             "x-htd-shard-fingerprint must be 32 hex digits");
+      }
+      if (!RangeAccepted(*shard, fp)) {
+        misrouted_->Add();
+        return ErrorResponse(
+            421, "misrouted: fingerprint " + fp_header->second +
+                     " is outside shard " + std::to_string(shard->index) +
+                     "'s range");
+      }
+    } else {
+      sender_hashed = false;  // a digest without a fingerprint proves nothing
+    }
+  }
+  if (request.body.empty()) {
+    bad_requests_->Add();
+    return ErrorResponse(400, "empty body: expected an HTDQUERY1 query "
+                              "request (docs/QUERIES.md)");
+  }
+
+  // Same shed-before-parse ordering as /v1/decompose: refuse in O(1).
+  if (stopping_.load(std::memory_order_acquire)) {
+    return ErrorResponse(503, "server is shutting down");
+  }
+  if (service_->outstanding_jobs() >=
+      static_cast<uint64_t>(options_.max_queue_depth)) {
+    shed_->Add();
+    HttpResponse response = ErrorResponse(
+        429, "queue full: " + std::to_string(options_.max_queue_depth) +
+                 " jobs outstanding; retry later");
+    response.headers.emplace_back("Retry-After",
+                                  std::to_string(options_.retry_after_seconds));
+    return response;
+  }
+
+  util::WallTimer parse_timer;
+  auto parsed = [&] {
+    util::TraceScope span("parse", util::TraceParent{request_id, request_id},
+                          static_cast<uint64_t>(request.body.size()));
+    return qa::ParseQueryRequest(request.body);
+  }();
+  const double parse_seconds = parse_timer.ElapsedSeconds();
+  service_->ObserveParseSeconds(parse_seconds);
+  if (!parsed.ok()) {
+    bad_requests_->Add();
+    return ErrorResponse(400, "cannot parse query request: " +
+                                  parsed.status().message());
+  }
+  if (shard != nullptr && !sender_hashed) {
+    // Unhashed sender: enforce the range on our own canonicalisation of the
+    // query hypergraph (same reasoning as HandleDecompose).
+    const service::Fingerprint fp =
+        service::CanonicalFingerprint(cq::QueryHypergraph(parsed->query));
+    if (!RangeAccepted(*shard, fp)) {
+      misrouted_->Add();
+      return ErrorResponse(
+          421, "misrouted: query fingerprint " + fp.ToHex() +
+                   " belongs to shard " + std::to_string(shard->map.IndexFor(fp)) +
+                   ", this is shard " + std::to_string(shard->index) +
+                   " (route via the shard map)");
+    }
+  }
+  admitted_->Add();
+
+  if (!async) {
+    auto answer = query_engine_->Answer(parsed->query, parsed->db, timeout,
+                                        util::TraceParent{request_id, request_id},
+                                        count_override);
+    if (!answer.ok()) {
+      if (answer.status().code() == util::StatusCode::kInvalidArgument) {
+        bad_requests_->Add();
+        return ErrorResponse(400, answer.status().message());
+      }
+      return ErrorResponse(500, answer.status().message());
+    }
+    HttpResponse response;
+    util::WallTimer serialise_timer;
+    {
+      util::TraceScope span("serialise",
+                            util::TraceParent{request_id, request_id});
+      response.body = RenderQueryAnswer(*answer);
+    }
+    const double serialise_seconds = serialise_timer.ElapsedSeconds();
+    service_->ObserveSerialiseSeconds(serialise_seconds);
+    if (server_timing != nullptr) {
+      *server_timing =
+          QueryTimingHeader(parse_seconds, *answer, serialise_seconds);
+    }
+    return response;
+  }
+
+  // Async: "q<N>". The answer runs on its own std::async thread — NOT on the
+  // service pool, which Answer's probe futures are served by (see the
+  // AsyncQueryJob comment in the header).
+  const std::string id = "q" + std::to_string(next_job_id_.fetch_add(
+                                   1, std::memory_order_relaxed));
+  auto shared_request = std::make_shared<qa::QueryRequest>(std::move(*parsed));
+  std::shared_future<util::StatusOr<qa::QueryAnswer>> future =
+      std::async(std::launch::async,
+                 [this, shared_request, timeout, request_id, count_override] {
+                   return query_engine_->Answer(
+                       shared_request->query, shared_request->db, timeout,
+                       util::TraceParent{request_id, request_id},
+                       count_override);
+                 })
+          .share();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    query_jobs_.emplace(id, AsyncQueryJob{future});
+    query_job_order_.push_back(id);
+    // Same resolved-only eviction policy as decompose jobs.
+    for (auto it = query_job_order_.begin();
+         query_jobs_.size() > options_.max_retained_jobs &&
+         it != query_job_order_.end();) {
+      auto found = query_jobs_.find(*it);
+      if (found != query_jobs_.end() &&
+          found->second.future.wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready) {
+        query_jobs_.erase(found);
+        it = query_job_order_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  HttpResponse response;
+  response.status = 202;
+  response.body = "{\"job\": \"" + id + "\", \"state\": \"admitted\"}\n";
+  return response;
+}
+
+HttpResponse DecompositionServer::HandleQueryJob(const std::string& id) {
+  AsyncQueryJob record;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    auto it = query_jobs_.find(id);
+    if (it == query_jobs_.end()) {
+      return ErrorResponse(404, "unknown job id: " + id);
+    }
+    record = it->second;
+  }
+  if (record.future.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    HttpResponse response;
+    response.body = "{\"job\": \"" + id + "\", \"state\": \"running\"}\n";
+    return response;
+  }
+  const util::StatusOr<qa::QueryAnswer>& answer = record.future.get();
+  HttpResponse response;
+  if (!answer.ok()) {
+    response.body = "{\"job\": \"" + id + "\", \"state\": \"done\", "
+                    "\"error\": \"" +
+                    JsonEscape(answer.status().message()) + "\"}\n";
+    return response;
+  }
+  response.body = "{\"job\": \"" + id + "\", \"state\": \"done\", \"result\": " +
+                  RenderQueryAnswer(*answer);
   response.body.back() = '}';
   response.body += "\n";
   return response;
@@ -1364,6 +1622,51 @@ std::string DecompositionServer::RenderResult(const service::JobResult& job,
     body += ", \"decomposition\": " +
             WriteDecompositionJson(graph, *job.result.decomposition);
   }
+  body += "}\n";
+  return body;
+}
+
+std::string DecompositionServer::RenderQueryAnswer(
+    const qa::QueryAnswer& answer) {
+  std::string body = "{";
+  body += "\"outcome\": \"" +
+          std::string(qa::QueryOutcomeName(answer.outcome)) + "\"";
+  if (answer.outcome == qa::QueryOutcome::kSatisfiable) {
+    // Witness keys are rendered sorted so the body is deterministic.
+    std::vector<std::pair<std::string, int64_t>> vars(answer.witness.begin(),
+                                                      answer.witness.end());
+    std::sort(vars.begin(), vars.end());
+    body += ", \"witness\": {";
+    bool first = true;
+    for (const auto& [var, value] : vars) {
+      if (!first) body += ", ";
+      first = false;
+      body += "\"" + JsonEscape(var) + "\": " + std::to_string(value);
+    }
+    body += "}";
+  }
+  if (answer.counted) {
+    body += ", \"count\": " + std::to_string(answer.count.value);
+    body += std::string(", \"count_saturated\": ") +
+            (answer.count.saturated ? "true" : "false");
+  }
+  if (answer.portfolio_size > 0) {
+    body += ", \"width\": " + std::to_string(answer.width);
+    body += ", \"fractional_width\": " +
+            std::to_string(answer.fractional_width);
+    body += ", \"estimated_cost\": " + std::to_string(answer.estimated_cost);
+    body += ", \"portfolio\": {\"picked\": " +
+            std::to_string(answer.picked_index) +
+            ", \"size\": " + std::to_string(answer.portfolio_size) + "}";
+  }
+  body += ", \"fingerprint\": \"" + answer.fingerprint.ToHex() + "\"";
+  body += std::string(", \"cache_hit\": ") +
+          (answer.decompose_cache_hit ? "true" : "false");
+  body += ", \"probes\": " + std::to_string(answer.probes);
+  body += ", \"decompose_seconds\": " +
+          std::to_string(answer.decompose_seconds);
+  body += ", \"pick_seconds\": " + std::to_string(answer.pick_seconds);
+  body += ", \"execute_seconds\": " + std::to_string(answer.execute_seconds);
   body += "}\n";
   return body;
 }

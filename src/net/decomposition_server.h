@@ -8,8 +8,19 @@
 //                           query: k (required), timeout, async,
 //                           decomposition. Sync by default; async=1 returns
 //                           202 + a job id for GET /v1/jobs/<id>.
+//   POST /v1/query          body: conjunctive query + database (HTDQUERY1
+//                           text, qa/wire.h); query: timeout, async, count.
+//                           Decomposes the query's hypergraph through the
+//                           service (same cache/shard warm path as
+//                           /v1/decompose), picks a tree from the
+//                           decomposition portfolio, runs Yannakakis, and
+//                           returns witness/count/decomposition metadata
+//                           (docs/QUERIES.md). Same admission (429/503),
+//                           deadline, and 421 sharding semantics as
+//                           /v1/decompose; async job ids are "q<N>".
 //   GET  /v1/jobs/<id>      state of an async job; includes the result once
-//                           resolved.
+//                           resolved. Serves decompose ("j<N>") and query
+//                           ("q<N>") jobs.
 //   GET  /v1/stats          scheduler/cache/store/admission counters.
 //   POST /v1/admin/snapshot persist warm state to the configured snapshot
 //                           path (service/persistence.h).
@@ -88,6 +99,7 @@
 
 #include "net/http.h"
 #include "net/server.h"
+#include "qa/query_engine.h"
 #include "service/persistence.h"
 #include "service/service.h"
 #include "service/shard_map.h"
@@ -119,6 +131,12 @@ struct DecompositionServerOptions {
 
   /// Largest k accepted from the wire (guards against runaway requests).
   int max_k = 64;
+
+  /// Query-answering engine knobs (qa/query_engine.h): width sweep bound,
+  /// portfolio diversity probes, counting. The engine decomposes through
+  /// this server's DecompositionService, so its probes hit the same result
+  /// cache and shard warm path as /v1/decompose.
+  qa::QueryEngineOptions query;
 
   /// Fingerprint-range sharding (docs/SERVER.md): when set, this server is
   /// shard `shard_index` of the map. Snapshots then cover only this shard's
@@ -232,6 +250,7 @@ class DecompositionServer {
 
   int port() const { return http_->port(); }
   service::DecompositionService& decomposition_service() { return *service_; }
+  qa::QueryEngine& query_engine() { return *query_engine_; }
   AdmissionStats admission_stats() const;
   MigrationStats migration_stats() const;
   /// Entries restored at startup (zeros when cold).
@@ -271,6 +290,14 @@ class DecompositionServer {
     bool include_decomposition = false;
   };
 
+  /// Async query job ("q<N>"). Runs on a std::async thread, NOT on the
+  /// service's worker pool: QueryEngine::Answer blocks on futures served by
+  /// that pool, so running it there would deadlock a full pool against
+  /// itself.
+  struct AsyncQueryJob {
+    std::shared_future<util::StatusOr<qa::QueryAnswer>> future;
+  };
+
   explicit DecompositionServer(DecompositionServerOptions options);
 
   /// Binds the admission/migration counters and route histograms onto the
@@ -286,7 +313,10 @@ class DecompositionServer {
   /// Server-Timing header syntax.
   HttpResponse HandleDecompose(const HttpRequest& request, uint64_t request_id,
                                std::string* server_timing);
+  HttpResponse HandleQuery(const HttpRequest& request, uint64_t request_id,
+                           std::string* server_timing);
   HttpResponse HandleJob(const std::string& id);
+  HttpResponse HandleQueryJob(const std::string& id);
   HttpResponse HandleStats();
   HttpResponse HandleMetrics();
   HttpResponse HandleTrace(const HttpRequest& request);
@@ -311,6 +341,9 @@ class DecompositionServer {
   std::string RenderResult(const service::JobResult& job, const Hypergraph& graph,
                            bool include_decomposition) const;
 
+  /// Renders one QueryAnswer as the response JSON body (docs/QUERIES.md).
+  static std::string RenderQueryAnswer(const qa::QueryAnswer& answer);
+
   /// The solver-config digest snapshots are stamped with (recomputed the
   /// way the service armed it, so the header matches the keys inside).
   uint64_t CurrentConfigDigest() const;
@@ -320,6 +353,9 @@ class DecompositionServer {
 
   DecompositionServerOptions options_;
   std::unique_ptr<service::DecompositionService> service_;
+  /// Built after service_ in Create(); its metrics land on the service's
+  /// registry. Never null after Create().
+  std::unique_ptr<qa::QueryEngine> query_engine_;
   std::unique_ptr<HttpServer> http_;
   service::SnapshotStats restored_;
 
@@ -357,6 +393,8 @@ class DecompositionServer {
   std::mutex jobs_mutex_;
   std::map<std::string, AsyncJob> jobs_;       // guarded by jobs_mutex_
   std::list<std::string> job_order_;           // insertion order, for eviction
+  std::map<std::string, AsyncQueryJob> query_jobs_;  // guarded by jobs_mutex_
+  std::list<std::string> query_job_order_;
 
   /// anti_entropy_self parsed at Create(); nullopt when empty/inferred.
   std::optional<service::ShardEndpoint> ae_self_;

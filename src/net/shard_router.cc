@@ -8,6 +8,7 @@
 #include "net/http_client.h"
 #include "net/json.h"
 #include "net/trace_json.h"
+#include "qa/wire.h"
 #include "service/canonical.h"
 #include "util/cli.h"
 #include "util/timer.h"
@@ -24,6 +25,7 @@ HttpResponse ErrorResponse(int status, const std::string& message) {
 /// same rationale as the backend's).
 const char* RouteLabel(const std::string& path) {
   if (path == "/v1/decompose") return "decompose";
+  if (path == "/v1/query") return "query";
   if (path.rfind("/v1/jobs/", 0) == 0) return "jobs";
   if (path == "/v1/stats") return "stats";
   if (path == "/v1/metrics") return "metrics";
@@ -426,6 +428,12 @@ HttpResponse ShardRouter::Dispatch(const HttpRequest& request) {
     }
     return HandleDecompose(request);
   }
+  if (request.path == "/v1/query") {
+    if (request.method != "POST") {
+      return ErrorResponse(405, "use POST for /v1/query");
+    }
+    return HandleQuery(request);
+  }
   if (request.path.rfind("/v1/jobs/", 0) == 0) {
     if (request.method != "GET") {
       return ErrorResponse(405, "use GET for /v1/jobs/<id>");
@@ -478,7 +486,28 @@ HttpResponse ShardRouter::HandleDecompose(const HttpRequest& request) {
     return ErrorResponse(400,
                          "cannot parse hypergraph: " + parsed.status().message());
   }
-  const service::Fingerprint fp = service::CanonicalFingerprint(*parsed);
+  return RouteByFingerprint(request, service::CanonicalFingerprint(*parsed));
+}
+
+HttpResponse ShardRouter::HandleQuery(const HttpRequest& request) {
+  if (request.body.empty()) {
+    return ErrorResponse(400, "empty body: expected an HTDQUERY1 query "
+                              "request (docs/QUERIES.md)");
+  }
+  // The routing key is the fingerprint of the query's hypergraph — the same
+  // key the backend decomposes under, so repeated queries (and their k-sweep
+  // probes) warm exactly the shard this router will ask again.
+  auto parsed = qa::ParseQueryRequest(request.body);
+  if (!parsed.ok()) {
+    return ErrorResponse(
+        400, "cannot parse query request: " + parsed.status().message());
+  }
+  return RouteByFingerprint(
+      request, service::CanonicalFingerprint(cq::QueryHypergraph(parsed->query)));
+}
+
+HttpResponse ShardRouter::RouteByFingerprint(const HttpRequest& request,
+                                             const service::Fingerprint& fp) {
   auto snapshot = maps();
 
   const bool async = request.QueryOr("async", "0") == "1";

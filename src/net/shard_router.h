@@ -52,7 +52,9 @@
 // Routes: /v1/decompose forwards to the owning shard (async job ids come
 // back prefixed "s<shard>r<replica>." so /v1/jobs/<id> can route without
 // state to the exact minting process (replicas mint independent counters) —
-// polls try every replica of the range); /v1/stats fans out to every
+// polls try every replica of the range); /v1/query routes identically but
+// keys on the fingerprint of the QUERY'S HYPERGRAPH (qa/wire.h body), so
+// repeated queries warm the shard that owns them; /v1/stats fans out to every
 // endpoint and returns per-endpoint bodies plus an aggregated summary;
 // /v1/metrics fans out and returns one Prometheus text page with identical
 // backend series summed plus the router's own htd_router_* series appended;
@@ -189,12 +191,20 @@ class ShardRouter {
   HttpResponse Dispatch(const HttpRequest& request);
 
   HttpResponse HandleDecompose(const HttpRequest& request);
+  HttpResponse HandleQuery(const HttpRequest& request);
   HttpResponse HandleJob(const HttpRequest& request);
   HttpResponse HandleStats();
   HttpResponse HandleMetrics();
   HttpResponse HandleTrace(const HttpRequest& request);
   HttpResponse HandleSnapshot();
   HttpResponse HandleTransition(const HttpRequest& request);
+
+  /// Shared forwarding tail of HandleDecompose and HandleQuery: route
+  /// `request` to the range owning `fp` under the current map, double-route
+  /// mid-transition, prefix async job ids, and guarantee an
+  /// X-HTD-Request-Id on the way out.
+  HttpResponse RouteByFingerprint(const HttpRequest& request,
+                                  const service::Fingerprint& fp);
 
   /// One blocking exchange against `endpoint` (Connection: close), with the
   /// single-hop / digest / fingerprint headers attached. Applies the

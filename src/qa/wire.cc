@@ -1,0 +1,316 @@
+#include "qa/wire.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace htd::qa {
+namespace {
+
+constexpr std::string_view kMagic = "HTDQUERY1";
+
+// The distinct relation symbols of `query` in first-appearance order, each
+// with its arity. Fails when one symbol is used at two arities — the wire
+// form stores one REL block per symbol, so a mixed-arity query has no
+// canonical document (and no well-formed database either).
+util::StatusOr<std::vector<std::pair<std::string, int>>> DistinctRelations(
+    const cq::Query& query) {
+  if (query.atoms.empty()) {
+    return util::Status::InvalidArgument("query has no atoms");
+  }
+  std::vector<std::pair<std::string, int>> order;
+  std::unordered_map<std::string, int> arity;
+  for (const cq::Atom& atom : query.atoms) {
+    int a = static_cast<int>(atom.variables.size());
+    auto [it, inserted] = arity.emplace(atom.relation, a);
+    if (inserted) {
+      order.emplace_back(atom.relation, a);
+    } else if (it->second != a) {
+      return util::Status::InvalidArgument(
+          "relation '" + atom.relation + "' used at arities " +
+          std::to_string(it->second) + " and " + std::to_string(a));
+    }
+  }
+  return order;
+}
+
+std::string RenderTuple(const cq::Tuple& tuple) {
+  std::string line;
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) line += ' ';
+    line += std::to_string(tuple[i]);
+  }
+  return line;
+}
+
+// Canonical base-10 int64: optional '-', no leading zeros, no "-0", in range.
+bool ParseCanonicalInt64(std::string_view text, int64_t* out) {
+  bool negative = false;
+  if (!text.empty() && text[0] == '-') {
+    negative = true;
+    text.remove_prefix(1);
+  }
+  if (text.empty() || text.size() > 19) return false;
+  if (text[0] == '0' && (text.size() > 1 || negative)) return false;
+  uint64_t magnitude = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    magnitude = magnitude * 10 + static_cast<uint64_t>(c - '0');
+  }
+  constexpr uint64_t kMax = static_cast<uint64_t>(
+      std::numeric_limits<int64_t>::max());
+  if (negative) {
+    if (magnitude > kMax + 1) return false;
+    *out = magnitude == kMax + 1
+               ? std::numeric_limits<int64_t>::min()
+               : -static_cast<int64_t>(magnitude);
+  } else {
+    if (magnitude > kMax) return false;
+    *out = static_cast<int64_t>(magnitude);
+  }
+  return true;
+}
+
+// Canonical non-negative count bounded far below any legitimate document.
+bool ParseCanonicalCount(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 9) return false;
+  if (text[0] == '0' && text.size() > 1) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+// Splits `text` into '\n'-terminated lines. Every line — including the last
+// one — must end with '\n'; a missing final newline is a parse error.
+bool SplitLines(const std::string& text, std::vector<std::string_view>* lines) {
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) return false;
+    lines->push_back(std::string_view(text).substr(start, end - start));
+    start = end + 1;
+  }
+  return true;
+}
+
+// Splits a line on single spaces; empty fields (leading / trailing /
+// doubled separators) are rejected by returning an empty vector.
+std::vector<std::string_view> SplitFields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  while (true) {
+    size_t end = line.find(' ', start);
+    std::string_view field = end == std::string_view::npos
+                                 ? line.substr(start)
+                                 : line.substr(start, end - start);
+    if (field.empty()) return {};
+    fields.push_back(field);
+    if (end == std::string_view::npos) return fields;
+    start = end + 1;
+  }
+}
+
+util::Status Malformed(size_t line_number, const std::string& what) {
+  return util::Status::InvalidArgument("HTDQUERY1 line " +
+                                       std::to_string(line_number + 1) + ": " +
+                                       what);
+}
+
+}  // namespace
+
+std::string RenderQueryText(const cq::Query& query) {
+  std::string text;
+  for (size_t i = 0; i < query.atoms.size(); ++i) {
+    if (i > 0) text += ", ";
+    text += query.atoms[i].relation;
+    text += '(';
+    for (size_t j = 0; j < query.atoms[i].variables.size(); ++j) {
+      if (j > 0) text += ',';
+      text += query.atoms[i].variables[j];
+    }
+    text += ')';
+  }
+  text += '.';
+  return text;
+}
+
+util::StatusOr<std::string> RenderQueryRequest(const cq::Query& query,
+                                               const cq::Database& db) {
+  auto relations = DistinctRelations(query);
+  if (!relations.ok()) return relations.status();
+
+  std::string out;
+  out += kMagic;
+  out += ' ';
+  out += std::to_string(relations->size());
+  out += '\n';
+  out += "QUERY ";
+  out += RenderQueryText(query);
+  out += '\n';
+  for (const auto& [name, arity] : *relations) {
+    const cq::Relation* relation = db.Find(name);
+    if (relation == nullptr) {
+      return util::Status::InvalidArgument("relation '" + name +
+                                           "' not in database");
+    }
+    if (relation->arity != arity) {
+      return util::Status::InvalidArgument(
+          "relation '" + name + "' stored at arity " +
+          std::to_string(relation->arity) + " but queried at arity " +
+          std::to_string(arity));
+    }
+    std::vector<cq::Tuple> tuples = relation->tuples;
+    for (const cq::Tuple& t : tuples) {
+      if (static_cast<int>(t.size()) != arity) {
+        return util::Status::InvalidArgument("relation '" + name +
+                                             "' holds a tuple of wrong arity");
+      }
+    }
+    std::sort(tuples.begin(), tuples.end());
+    tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+    out += "REL ";
+    out += name;
+    out += ' ';
+    out += std::to_string(arity);
+    out += ' ';
+    out += std::to_string(tuples.size());
+    out += '\n';
+    for (const cq::Tuple& t : tuples) {
+      out += RenderTuple(t);
+      out += '\n';
+    }
+  }
+  out += "END\n";
+  return out;
+}
+
+util::StatusOr<QueryRequest> ParseQueryRequest(const std::string& text) {
+  std::vector<std::string_view> lines;
+  if (!SplitLines(text, &lines)) {
+    return util::Status::InvalidArgument(
+        "HTDQUERY1: document does not end in a newline");
+  }
+  if (lines.size() < 3) {
+    return util::Status::InvalidArgument("HTDQUERY1: truncated document");
+  }
+
+  size_t at = 0;
+  // Header: "HTDQUERY1 <num_relations>".
+  {
+    std::vector<std::string_view> fields = SplitFields(lines[at]);
+    if (fields.size() != 2 || fields[0] != kMagic) {
+      return Malformed(at, "expected 'HTDQUERY1 <num_relations>'");
+    }
+    uint64_t declared = 0;
+    if (!ParseCanonicalCount(fields[1], &declared) || declared == 0) {
+      return Malformed(at, "bad relation count");
+    }
+    // Cross-checked against the query's symbols below.
+    if (declared > lines.size()) {
+      return Malformed(at, "relation count exceeds document");
+    }
+  }
+  uint64_t declared_relations = 0;
+  ParseCanonicalCount(SplitFields(lines[0])[1], &declared_relations);
+  ++at;
+
+  // "QUERY <canonical text>".
+  QueryRequest request;
+  {
+    std::string_view line = lines[at];
+    if (line.substr(0, 6) != "QUERY ") {
+      return Malformed(at, "expected 'QUERY <conjunctive query>'");
+    }
+    std::string query_text(line.substr(6));
+    auto parsed = cq::ParseQuery(query_text);
+    if (!parsed.ok()) {
+      return Malformed(at, "unparseable query: " + parsed.status().message());
+    }
+    if (RenderQueryText(*parsed) != query_text) {
+      return Malformed(at, "query text is not in canonical form");
+    }
+    request.query = std::move(*parsed);
+  }
+  ++at;
+
+  auto relations = DistinctRelations(request.query);
+  if (!relations.ok()) return relations.status();
+  if (relations->size() != declared_relations) {
+    return Malformed(0, "relation count does not match the query (" +
+                            std::to_string(relations->size()) + " expected)");
+  }
+
+  // One REL block per distinct symbol, in first-appearance order.
+  for (const auto& [name, arity] : *relations) {
+    if (at >= lines.size()) {
+      return util::Status::InvalidArgument(
+          "HTDQUERY1: truncated before relation '" + name + "'");
+    }
+    std::vector<std::string_view> fields = SplitFields(lines[at]);
+    if (fields.size() != 4 || fields[0] != "REL") {
+      return Malformed(at, "expected 'REL <name> <arity> <num_tuples>'");
+    }
+    if (fields[1] != name) {
+      return Malformed(at, "relation '" + std::string(fields[1]) +
+                               "' out of order (expected '" + name + "')");
+    }
+    uint64_t declared_arity = 0, declared_tuples = 0;
+    if (!ParseCanonicalCount(fields[2], &declared_arity) ||
+        declared_arity != static_cast<uint64_t>(arity)) {
+      return Malformed(at, "arity does not match the query");
+    }
+    if (!ParseCanonicalCount(fields[3], &declared_tuples)) {
+      return Malformed(at, "bad tuple count");
+    }
+    ++at;
+
+    cq::Relation relation;
+    relation.name = name;
+    relation.arity = arity;
+    relation.tuples.reserve(
+        std::min<uint64_t>(declared_tuples, lines.size() - at));
+    for (uint64_t t = 0; t < declared_tuples; ++t, ++at) {
+      if (at >= lines.size()) {
+        return util::Status::InvalidArgument(
+            "HTDQUERY1: truncated inside relation '" + name + "'");
+      }
+      std::vector<std::string_view> values = SplitFields(lines[at]);
+      if (values.size() != static_cast<size_t>(arity)) {
+        return Malformed(at, "tuple of wrong arity in relation '" + name + "'");
+      }
+      cq::Tuple tuple(arity);
+      for (int i = 0; i < arity; ++i) {
+        if (!ParseCanonicalInt64(values[i], &tuple[i])) {
+          return Malformed(at, "non-canonical integer '" +
+                                   std::string(values[i]) + "'");
+        }
+      }
+      if (!relation.tuples.empty() && !(relation.tuples.back() < tuple)) {
+        return Malformed(at, "tuples of relation '" + name +
+                                 "' not strictly ascending");
+      }
+      relation.tuples.push_back(std::move(tuple));
+    }
+    request.db.AddRelation(std::move(relation));
+  }
+
+  if (at >= lines.size() || lines[at] != "END") {
+    return at < lines.size() ? Malformed(at, "expected 'END'")
+                             : util::Status::InvalidArgument(
+                                   "HTDQUERY1: truncated before END");
+  }
+  ++at;
+  if (at != lines.size()) {
+    return Malformed(at, "trailing bytes after END");
+  }
+  return request;
+}
+
+}  // namespace htd::qa

@@ -1,0 +1,61 @@
+// HTDQUERY1: the strict text wire format for query-answering requests.
+//
+// A request carries a conjunctive query plus the database it is evaluated
+// on. Like HTDDIGEST1 (service/anti_entropy.h), the format is line-oriented,
+// canonical, and STRICT: there is exactly one byte sequence for any given
+// (query, database), and the parser rejects everything else — wrong counts,
+// non-canonical integers, unsorted or duplicate tuples, unexpected
+// whitespace, missing trailing newline, trailing bytes. A parsed request
+// re-renders byte-identically, which is what the fuzz tests pin.
+//
+//   HTDQUERY1 <num_relations>
+//   QUERY <atoms joined ", ", variables joined ",", trailing '.'>
+//   REL <name> <arity> <num_tuples>
+//   <num_tuples lines: arity base-10 int64s joined by single spaces,
+//    strictly lexicographically ascending (sorted set semantics)>
+//   ... one REL block per distinct relation symbol, in the order the
+//       symbols first appear in the query ...
+//   END
+//
+// Example:
+//   HTDQUERY1 2
+//   QUERY R(X,Y), S(Y,Z).
+//   REL R 2 2
+//   1 2
+//   3 2
+//   REL S 2 1
+//   2 7
+//   END
+#pragma once
+
+#include <string>
+
+#include "cq/database.h"
+#include "cq/query.h"
+#include "util/status.h"
+
+namespace htd::qa {
+
+/// A decoded query-answering request.
+struct QueryRequest {
+  cq::Query query;
+  cq::Database db;
+};
+
+/// Canonical text of a query: atoms joined by ", ", argument lists joined by
+/// ",", one trailing '.'. ParseQuery(RenderQueryText(q)) reproduces q.
+std::string RenderQueryText(const cq::Query& query);
+
+/// Renders the canonical HTDQUERY1 document for (query, db). Tuples are
+/// sorted and deduplicated (set semantics), so logically equal inputs render
+/// identically. Fails with InvalidArgument when the query has no atoms, a
+/// relation symbol is used at two different arities, a relation is missing
+/// from the database, or a stored arity disagrees with the query.
+util::StatusOr<std::string> RenderQueryRequest(const cq::Query& query,
+                                               const cq::Database& db);
+
+/// Strict inverse of RenderQueryRequest. Accepts exactly the canonical form:
+/// any accepted `text` satisfies RenderQueryRequest(parsed) == text.
+util::StatusOr<QueryRequest> ParseQueryRequest(const std::string& text);
+
+}  // namespace htd::qa

@@ -27,7 +27,8 @@ TEST(CountingTest, SimpleChainCount) {
   // Join: (1,2,7),(1,2,8),(3,2,7),(3,2,8),(4,5,9) -> 5 answers.
   auto count = CountSolutions(*query, db, Decompose(*query));
   ASSERT_TRUE(count.ok()) << count.status().message();
-  EXPECT_EQ(*count, 5ull);
+  EXPECT_EQ(count->value, 5ull);
+  EXPECT_FALSE(count->saturated);
 }
 
 TEST(CountingTest, UnsatisfiableCountsZero) {
@@ -38,7 +39,8 @@ TEST(CountingTest, UnsatisfiableCountsZero) {
   db.AddRelation({"S", 2, {{3, 4}}});
   auto count = CountSolutions(*query, db, Decompose(*query));
   ASSERT_TRUE(count.ok());
-  EXPECT_EQ(*count, 0ull);
+  EXPECT_EQ(count->value, 0ull);
+  EXPECT_FALSE(count->saturated);
 }
 
 TEST(CountingTest, TriangleCount) {
@@ -51,7 +53,7 @@ TEST(CountingTest, TriangleCount) {
   db.AddRelation({"T", 2, {{3, 1}, {6, 4}}});
   auto count = CountSolutions(*query, db, Decompose(*query));
   ASSERT_TRUE(count.ok());
-  EXPECT_EQ(*count, 2ull);
+  EXPECT_EQ(count->value, 2ull);
 }
 
 TEST(CountingTest, DuplicateTuplesAreSetSemantics) {
@@ -61,7 +63,7 @@ TEST(CountingTest, DuplicateTuplesAreSetSemantics) {
   db.AddRelation({"R", 2, {{1, 2}, {1, 2}, {1, 2}, {3, 4}}});
   auto count = CountSolutions(*query, db, Decompose(*query));
   ASSERT_TRUE(count.ok());
-  EXPECT_EQ(*count, 2ull);  // duplicates collapse
+  EXPECT_EQ(count->value, 2ull);  // duplicates collapse
 }
 
 TEST(CountingTest, RepeatedVariableAtom) {
@@ -71,7 +73,7 @@ TEST(CountingTest, RepeatedVariableAtom) {
   db.AddRelation({"R", 3, {{1, 1, 2}, {1, 2, 3}, {4, 4, 4}, {4, 4, 5}}});
   auto count = CountSolutions(*query, db, Decompose(*query));
   ASSERT_TRUE(count.ok());
-  EXPECT_EQ(*count, 3ull);  // (1,2), (4,4), (4,5)
+  EXPECT_EQ(count->value, 3ull);  // (1,2), (4,4), (4,5)
 }
 
 TEST(CountingTest, MissingRelationReported) {
@@ -90,7 +92,54 @@ TEST(CountingTest, CartesianProductCount) {
   db.AddRelation({"S", 2, {{7, 8}, {9, 10}}});
   auto count = CountSolutions(*query, db, Decompose(*query));
   ASSERT_TRUE(count.ok());
-  EXPECT_EQ(*count, 6ull);
+  EXPECT_EQ(count->value, 6ull);
+}
+
+// Boundary regression for the saturating 128-bit accumulator: four
+// independent unary atoms multiply to n^4. n = 65535 -> n^4 = (n^2)^2 just
+// fits in 64 bits and must be exact; n = 65536 -> 2^64 overflows and must
+// come back saturated at ULLONG_MAX instead of silently wrapping to 0.
+Decomposition FourUnaryDecomposition() {
+  Decomposition decomp;
+  int root = decomp.AddNode({0}, util::DynamicBitset::FromIndices(4, {0}), -1);
+  for (int i = 1; i < 4; ++i) {
+    decomp.AddNode({i}, util::DynamicBitset::FromIndices(4, {i}), root);
+  }
+  return decomp;
+}
+
+Database FourUnaryDatabase(int64_t n) {
+  Database db;
+  for (int i = 0; i < 4; ++i) {
+    Relation relation{"R" + std::to_string(i), 1, {}};
+    relation.tuples.reserve(static_cast<size_t>(n));
+    for (int64_t v = 0; v < n; ++v) relation.tuples.push_back({v});
+    db.AddRelation(std::move(relation));
+  }
+  return db;
+}
+
+TEST(CountingTest, LargestExactCountJustUnderOverflow) {
+  auto query = ParseQuery("R0(A), R1(B), R2(C), R3(D).");
+  ASSERT_TRUE(query.ok());
+  auto count =
+      CountSolutions(*query, FourUnaryDatabase(65535), FourUnaryDecomposition());
+  ASSERT_TRUE(count.ok()) << count.status().message();
+  const unsigned long long n2 = 65535ull * 65535ull;
+  EXPECT_EQ(count->value, n2 * n2);  // 65535^4 < 2^64: exact
+  EXPECT_FALSE(count->saturated);
+}
+
+TEST(CountingTest, OverflowSaturatesInsteadOfWrapping) {
+  auto query = ParseQuery("R0(A), R1(B), R2(C), R3(D).");
+  ASSERT_TRUE(query.ok());
+  auto count =
+      CountSolutions(*query, FourUnaryDatabase(65536), FourUnaryDecomposition());
+  ASSERT_TRUE(count.ok()) << count.status().message();
+  // 65536^4 == 2^64: one past what uint64 holds. A wrapping accumulator
+  // would report 0 here — the exact bug the saturated flag exists to catch.
+  EXPECT_EQ(count->value, ~0ull);
+  EXPECT_TRUE(count->saturated);
 }
 
 // Property: the HD-guided count equals the brute-force count on random
@@ -119,11 +168,12 @@ TEST_P(CountingPropertyTest, AgreesWithBruteForce) {
   auto slow = CountSolutionsBruteForce(*query, db);
   ASSERT_TRUE(fast.ok()) << fast.status().message();
   ASSERT_TRUE(slow.ok());
-  EXPECT_EQ(*fast, *slow) << "seed " << GetParam();
+  EXPECT_EQ(fast->value, *slow) << "seed " << GetParam();
+  EXPECT_FALSE(fast->saturated);
 
   auto boolean = EvaluateWithDecomposition(*query, db, decomp);
   ASSERT_TRUE(boolean.ok());
-  EXPECT_EQ(boolean->satisfiable, *fast > 0) << "seed " << GetParam();
+  EXPECT_EQ(boolean->satisfiable, fast->value > 0) << "seed " << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CountingPropertyTest, ::testing::Range(0, 25));

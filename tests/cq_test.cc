@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "baselines/opt_solver.h"
 #include "core/log_k_decomp.h"
 #include "cq/database.h"
 #include "cq/query.h"
+#include "qa/portfolio.h"
+#include "service/canonical.h"
 #include "util/rng.h"
 
 namespace htd::cq {
@@ -180,6 +184,97 @@ TEST_P(YannakakisPropertyTest, AgreesWithBruteForce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, YannakakisPropertyTest, ::testing::Range(0, 25));
+
+// Portfolio cross-check: every decomposition the portfolio retains for a
+// query — the first-found one AND the higher-k diversity probes — must
+// agree with the brute-force oracles on satisfiability, witness validity,
+// and the exact count. A portfolio that stored a tree unsound for execution
+// would otherwise surface as a wrong answer only when PickBest happens to
+// choose it.
+class PortfolioPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PortfolioPropertyTest, EveryRetainedCandidateAgreesWithBruteForce) {
+  util::Rng rng(GetParam() + 5000);
+  auto query = ParseQuery([&] {
+    std::string text;
+    int atoms = rng.UniformInt(3, 6);
+    for (int i = 0; i < atoms; ++i) {
+      if (i > 0) text += ", ";
+      text += "R" + std::to_string(i) + "(V" + std::to_string(i) + ",V" +
+              std::to_string(i + 1) + ")";
+    }
+    text += ", C(V0,V" + std::to_string(rng.UniformInt(1, 3)) + ").";
+    return text;
+  }());
+  ASSERT_TRUE(query.ok());
+  Database db = RandomDatabase(rng, *query, /*domain_size=*/4,
+                               /*tuples_per_relation=*/6,
+                               /*satisfiable_bias=*/0.6);
+  Hypergraph graph = QueryHypergraph(*query);
+  const service::Fingerprint fp = service::CanonicalFingerprint(graph);
+
+  // Populate like the query engine does: first kYes, then diversity probes.
+  LogKDecomp solver;
+  qa::DecompositionPortfolio portfolio;
+  OptimalRun run = FindOptimalWidth(solver, graph, 10);
+  ASSERT_EQ(run.outcome, Outcome::kYes);
+  portfolio.Insert(fp, graph, *run.decomposition);
+  for (int k = run.width + 1; k <= std::min(run.width + 2, graph.num_edges());
+       ++k) {
+    SolveResult probe = solver.Solve(graph, k);
+    ASSERT_EQ(probe.outcome, Outcome::kYes);
+    portfolio.Insert(fp, graph, *probe.decomposition);
+  }
+
+  auto oracle_sat = EvaluateBruteForce(*query, db);
+  auto oracle_count = CountSolutionsBruteForce(*query, db);
+  ASSERT_TRUE(oracle_sat.ok());
+  ASSERT_TRUE(oracle_count.ok());
+
+  std::vector<Decomposition> candidates = portfolio.Candidates(fp, graph);
+  ASSERT_GE(candidates.size(), 1u);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    auto fast = EvaluateWithDecomposition(*query, db, candidates[c]);
+    ASSERT_TRUE(fast.ok()) << fast.status().message();
+    EXPECT_EQ(fast->satisfiable, oracle_sat->satisfiable)
+        << "candidate " << c << ", seed " << GetParam();
+    if (fast->satisfiable) {
+      for (const Atom& atom : query->atoms) {
+        const Relation* rel = db.Find(atom.relation);
+        ASSERT_NE(rel, nullptr);
+        Tuple expected;
+        for (const auto& variable : atom.variables) {
+          expected.push_back(fast->witness.at(variable));
+        }
+        EXPECT_NE(std::find(rel->tuples.begin(), rel->tuples.end(), expected),
+                  rel->tuples.end())
+            << "candidate " << c << " witness violates " << atom.relation
+            << " (seed " << GetParam() << ")";
+      }
+    }
+    auto count = CountSolutions(*query, db, candidates[c]);
+    ASSERT_TRUE(count.ok()) << count.status().message();
+    EXPECT_FALSE(count->saturated);
+    EXPECT_EQ(count->value, *oracle_count)
+        << "candidate " << c << ", seed " << GetParam();
+  }
+
+  // PickBest must return one of the retained candidates, and on a database
+  // with one huge relation the baseline should never cost LESS than the
+  // portfolio's choice (PickBest minimises the estimate).
+  std::vector<uint64_t> cardinalities;
+  for (const Atom& atom : query->atoms) {
+    cardinalities.push_back(db.Find(atom.relation)->tuples.size());
+  }
+  auto best = portfolio.PickBest(fp, graph, cardinalities);
+  auto first = portfolio.PickFirst(fp, graph, cardinalities);
+  ASSERT_TRUE(best.has_value());
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(best->num_candidates, static_cast<int>(candidates.size()));
+  EXPECT_LE(best->estimated_cost, first->estimated_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PortfolioPropertyTest, ::testing::Range(0, 20));
 
 }  // namespace
 }  // namespace htd::cq

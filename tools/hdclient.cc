@@ -2,7 +2,8 @@
 //
 //   $ hdclient decompose instance.hg --k 3 --timeout 5 --decomposition
 //   $ hdclient decompose instance.hg --k 3 --async      # prints a job id
-//   $ hdclient job j42
+//   $ hdclient query request.qr --timeout 5             # HTDQUERY1 body
+//   $ hdclient job j42                                  # or q42 (query job)
 //   $ hdclient stats
 //   $ hdclient metrics                    # /v1/metrics, histograms condensed
 //   $ hdclient trace --last 5             # /v1/trace?n=5
@@ -38,8 +39,10 @@
 #include <utility>
 #include <vector>
 
+#include "cq/query.h"
 #include "hypergraph/parser.h"
 #include "net/http_client.h"
+#include "qa/wire.h"
 #include "service/canonical.h"
 #include "service/shard_map.h"
 #include "util/cli.h"
@@ -59,6 +62,7 @@ struct Args {
   std::string job_id;  // job
   int k = 0;
   double timeout = -1.0;  // <0 = server default
+  int count = -1;         // query: <0 = server default, 0/1 = override
   bool async = false;
   bool decomposition = false;
   bool expect_cache_hit = false;
@@ -77,7 +81,10 @@ void Usage(const char* argv0) {
       "commands:\n"
       "  decompose FILE --k N [--timeout S] [--async] [--decomposition]\n"
       "            [--expect-cache-hit]      FILE '-' reads stdin\n"
-      "  job ID                              poll an async job\n"
+      "  query FILE [--timeout S] [--async] [--count 0|1]\n"
+      "            [--expect-cache-hit]      FILE: HTDQUERY1 query+database\n"
+      "                                      (docs/QUERIES.md); '-' = stdin\n"
+      "  job ID                              poll an async job (j* or q*)\n"
       "  stats                               GET /v1/stats\n"
       "  metrics                             GET /v1/metrics (condensed;\n"
       "                                      --verbose prints the raw page)\n"
@@ -162,6 +169,11 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       if (v == nullptr || !FlagSeconds("--timeout", v, &args.timeout)) {
         return false;
       }
+    } else if (flag == "--count") {
+      const char* v = next("--count");
+      long count;
+      if (v == nullptr || !FlagInt("--count", v, 0, 1, &count)) return false;
+      args.count = static_cast<int>(count);
     } else if (flag == "--connect-timeout") {
       const char* v = next("--connect-timeout");
       if (v == nullptr ||
@@ -190,11 +202,12 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.command = flag;
       ++positional;
     } else if (positional == 1 &&
-               (args.command == "decompose" || args.command == "job")) {
-      if (args.command == "decompose") {
-        args.file = flag;
-      } else {
+               (args.command == "decompose" || args.command == "query" ||
+                args.command == "job")) {
+      if (args.command == "job") {
         args.job_id = flag;
+      } else {
+        args.file = flag;
       }
       ++positional;
     } else {
@@ -203,6 +216,7 @@ bool ParseArgs(int argc, char** argv, Args& args) {
     }
   }
   if (args.command == "decompose") return !args.file.empty() && args.k >= 1;
+  if (args.command == "query") return !args.file.empty();
   if (args.command == "job") return !args.job_id.empty();
   return args.command == "stats" || args.command == "snapshot" ||
          args.command == "metrics" || args.command == "trace" ||
@@ -219,7 +233,7 @@ bool Exchange(const Args& args, const std::string& host, int port,
               int* status, std::string* response_body,
               std::map<std::string, std::string>* response_headers = nullptr) {
   double io_timeout = args.connect_timeout;
-  if (args.command == "decompose" && !args.async) {
+  if ((args.command == "decompose" || args.command == "query") && !args.async) {
     // A synchronous solve may legitimately run for the job's full deadline;
     // the transport must outlast it. --timeout 0 = no deadline: wait forever.
     io_timeout = args.timeout == 0.0
@@ -317,7 +331,7 @@ int main(int argc, char** argv) {
   }
 
   std::string method = "GET", target, body;
-  if (args.command == "decompose") {
+  if (args.command == "decompose" || args.command == "query") {
     std::string text;
     if (args.file == "-") {
       std::ostringstream buffer;
@@ -334,10 +348,27 @@ int main(int argc, char** argv) {
       text = buffer.str();
     }
     method = "POST";
-    target = "/v1/decompose?k=" + std::to_string(args.k);
-    if (args.timeout >= 0) target += "&timeout=" + FormatSeconds(args.timeout);
-    if (args.async) target += "&async=1";
-    if (args.decomposition) target += "&decomposition=1";
+    if (args.command == "decompose") {
+      target = "/v1/decompose?k=" + std::to_string(args.k);
+      if (args.timeout >= 0) target += "&timeout=" + FormatSeconds(args.timeout);
+      if (args.async) target += "&async=1";
+      if (args.decomposition) target += "&decomposition=1";
+    } else {
+      target = "/v1/query";
+      std::string sep = "?";
+      if (args.timeout >= 0) {
+        target += sep + "timeout=" + FormatSeconds(args.timeout);
+        sep = "&";
+      }
+      if (args.async) {
+        target += sep + "async=1";
+        sep = "&";
+      }
+      if (args.count >= 0) {
+        target += sep + "count=" + std::to_string(args.count);
+        sep = "&";
+      }
+    }
     body = std::move(text);
   } else if (args.command == "job") {
     target = "/v1/jobs/" + args.job_id;
@@ -374,15 +405,28 @@ int main(int argc, char** argv) {
       return 2;
     }
     // Client-side hashing: the canonical fingerprint decides the shard, so
-    // every renaming of this instance lands on the same warm state.
-    auto parsed = htd::ParseAuto(body);
-    if (!parsed.ok()) {
-      std::fprintf(stderr, "hdclient: cannot parse %s: %s\n", args.file.c_str(),
-                   parsed.status().message().c_str());
-      return 2;
+    // every renaming of this instance lands on the same warm state. A query
+    // hashes the fingerprint of its hypergraph — the same key the backend
+    // decomposes under.
+    htd::service::Fingerprint fp;
+    if (args.command == "query") {
+      auto parsed = htd::qa::ParseQueryRequest(body);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "hdclient: cannot parse %s: %s\n",
+                     args.file.c_str(), parsed.status().message().c_str());
+        return 2;
+      }
+      fp = htd::service::CanonicalFingerprint(
+          htd::cq::QueryHypergraph(parsed->query));
+    } else {
+      auto parsed = htd::ParseAuto(body);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "hdclient: cannot parse %s: %s\n",
+                     args.file.c_str(), parsed.status().message().c_str());
+        return 2;
+      }
+      fp = htd::service::CanonicalFingerprint(*parsed);
     }
-    const htd::service::Fingerprint fp =
-        htd::service::CanonicalFingerprint(*parsed);
     const int shard = args.shards->IndexFor(fp);
     // A replicated range (host:port*R in the map) spreads clients over its
     // replicas by the fingerprint's low word — stateless, deterministic per
@@ -418,7 +462,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "hdclient: failing over to replica %s:%d\n",
                  host.c_str(), port);
   }
-  if (args.verbose && args.command == "decompose") {
+  if (args.verbose &&
+      (args.command == "decompose" || args.command == "query")) {
     auto request_id = response_headers.find("x-htd-request-id");
     if (request_id != response_headers.end()) {
       std::fprintf(stderr, "hdclient: request id %s\n",

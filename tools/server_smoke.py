@@ -27,7 +27,13 @@ Phases (see ISSUE/acceptance criteria and docs/SERVER.md):
      zero operator action its background sweep pulls the sibling's warm
      state until htd_cache_entries matches, after which the full corpus
      replays against the revived replica as cache hits (htd_cache_hits_total
-     advances by the corpus size, htd_cache_misses_total not at all).
+     advances by the corpus size, htd_cache_misses_total not at all);
+  7. query answering: an HTDQUERY1 corpus against a 2-shard fleet behind
+     the router — cold answers carry verified witnesses and exact counts,
+     the warm replay reports cache_hit (every decomposition probe served
+     from the result cache, htd_cache_hits_total advancing fleet-wide),
+     htd_query_seconds stage histograms populate, and an async query job
+     round-trips through the router's job-id prefixing.
 
 Usage: tools/server_smoke.py [BUILD_DIR]   (default: ./build)
 Exits non-zero with a FAIL line on the first broken property.
@@ -556,6 +562,113 @@ def anti_entropy_phase(workdir):
           f"sheds during the drain window)")
 
 
+def write_query_request(path, length):
+    """Canonical HTDQUERY1 chain query R0(V0,V1), ..., each relation holding
+    {(1,1), (2,3)} — exactly one satisfying assignment (all variables 1)."""
+    atoms = ", ".join(f"R{i}(V{i},V{i + 1})" for i in range(length))
+    lines = [f"HTDQUERY1 {length}", f"QUERY {atoms}."]
+    for i in range(length):
+        lines += [f"REL R{i} 2 2", "1 1", "2 3"]
+    lines.append("END")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def query_phase(workdir):
+    """Phase 7: decompose-and-execute query answering across a shard fleet."""
+    port_a, port_b, port_r = free_port(), free_port(), free_port()
+    shard_map = f"127.0.0.1:{port_a},127.0.0.1:{port_b}"
+    shards = {
+        0: start_server(port_a, "--shard-map", shard_map, "--shard-index", "0",
+                        "--workers", "2"),
+        1: start_server(port_b, "--shard-map", shard_map, "--shard-index", "1",
+                        "--workers", "2"),
+    }
+    router = start_server(port_r, "--route-to", shard_map)
+
+    # Cold pass: grow the corpus until both shards own at least one query
+    # (a chain query's hypergraph is a path, so fingerprints spread
+    # uniformly). Every cold answer must carry a correct witness and count.
+    by_shard = {0: [], 1: []}
+    corpus = []
+    for length in range(3, 33):
+        name = f"query_chain{length}.qr"
+        write_query_request(workdir / name, length)
+        proc = client(port_r, "query", str(workdir / name),
+                      "--timeout", "30")
+        body = json.loads(proc.stdout)
+        if body["outcome"] != "satisfiable":
+            fail(f"{name}: expected satisfiable, got {body['outcome']}")
+        if body["cache_hit"]:
+            fail(f"{name}: cold query must not be a decompose cache hit")
+        if body["count"] != 1 or body.get("count_saturated"):
+            fail(f"{name}: expected exactly 1 answer, got {body['count']}")
+        witness = body["witness"]
+        if len(witness) != length + 1 or any(v != 1 for v in witness.values()):
+            fail(f"{name}: wrong witness {witness} (expected all 1s)")
+        owner = shard_of(body["fingerprint"], 2)
+        corpus.append(name)
+        if len(by_shard[owner]) < 2:
+            by_shard[owner].append(name)
+        if len(by_shard[0]) >= 2 and len(by_shard[1]) >= 2:
+            break
+    else:
+        fail("could not land queries on both shards in 30 tries")
+
+    # Warm pass: every decomposition probe (the k-sweep and the diversity
+    # probes) answers from the owning shard's result cache — the response
+    # says so, and the fleet-wide cache-hit counter advances accordingly.
+    status, _, text = scrape(port_r, "/v1/metrics")
+    before = parse_prometheus(text, "router").get("htd_cache_hits_total", 0)
+    for name in corpus:
+        client(port_r, "query", str(workdir / name), "--expect-cache-hit",
+               "--quiet")
+    status, _, text = scrape(port_r, "/v1/metrics")
+    series = parse_prometheus(text, "router")
+    delta = series.get("htd_cache_hits_total", 0) - before
+    if delta < len(corpus):
+        fail(f"warm query pass advanced htd_cache_hits_total by {delta}, "
+             f"expected >= {len(corpus)}")
+
+    # Query observability on the aggregated page: per-stage histograms and
+    # the outcome counter populated by the traffic above.
+    for stage in ("decompose", "pick", "execute"):
+        key = f'htd_query_seconds_count{{stage="{stage}"}}'
+        if series.get(key, 0) <= 0:
+            fail(f"query stage histogram {key} is empty")
+    if series.get('htd_queries_total{outcome="satisfiable"}', 0) < len(corpus):
+        fail("htd_queries_total{outcome=satisfiable} below corpus size")
+    if series.get('htd_query_portfolio_picks_total{pick="first"}', 0) + \
+            series.get('htd_query_portfolio_picks_total{pick="alternative"}',
+                       0) < len(corpus):
+        fail("portfolio pick counters below corpus size")
+
+    # Async query through the router: the job id comes back prefixed
+    # s<shard>r<replica>.q<N> and polls to the same verified answer.
+    proc = client(port_r, "query", str(workdir / corpus[0]), "--async")
+    job_id = json.loads(proc.stdout)["job"]
+    if not re.fullmatch(r"s\dr\d+\.q\d+", job_id):
+        fail(f"async query job id {job_id!r} is not router-prefixed")
+    deadline = time.time() + 30
+    while True:
+        body = json.loads(client(port_r, "job", job_id).stdout)
+        if body["state"] == "done":
+            break
+        if time.time() > deadline:
+            fail(f"async query job {job_id} never finished")
+        time.sleep(0.2)
+    result = body["result"]
+    if result["outcome"] != "satisfiable" or result["count"] != 1:
+        fail(f"async query result wrong: {result}")
+
+    stop_server(router)
+    for proc in shards.values():
+        stop_server(proc)
+    print(f"phase 7 OK: {len(corpus)} queries answered with verified "
+          f"witnesses ({len(by_shard[0])}/{len(by_shard[1])} shard split), "
+          f"warm replay all cache hits (+{int(delta)} fleet-wide), async "
+          f"query job {job_id} round-tripped")
+
+
 def main():
     for binary in (HDSERVER, HDCLIENT, HDRESHARD):
         if not binary.exists():
@@ -631,6 +744,9 @@ def main():
 
     # --- Phase 6: anti-entropy revival of a killed replica. ----------------
     anti_entropy_phase(workdir)
+
+    # --- Phase 7: query answering across the shard fleet. ------------------
+    query_phase(workdir)
 
     print("server_smoke: all phases passed")
 
