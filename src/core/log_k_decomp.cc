@@ -173,13 +173,16 @@ SearchOutcome LogKEngine::Decompose(const ExtendedSubhypergraph& comp,
   });
   const int n = static_cast<int>(candidates.size());
 
-  // ChildLoop, possibly parallel over (size, first-element) chunks.
+  // ChildLoop, possibly parallel over (size, first-element) chunks. Real
+  // parallelism needs a task group to spawn into (Solve opens one when the
+  // scheduler didn't lend a flight group); the budget bounds how many slot
+  // tasks this solve offers across all its concurrent search levels.
   int extra = 0;
   int simulate_workers = 1;
   if (options_.num_threads > 1 && comp.size() >= options_.parallel_min_size) {
     if (options_.simulate_partition) {
       simulate_workers = options_.num_threads;
-    } else if (budget_ != nullptr) {
+    } else if (budget_ != nullptr && options_.task_group != nullptr) {
       extra = budget_->Claim(options_.num_threads - 1);
     }
   }
@@ -193,7 +196,7 @@ SearchOutcome LogKEngine::Decompose(const ExtendedSubhypergraph& comp,
           : util::TraceParent{},
       static_cast<uint64_t>(depth));
   SearchOutcome outcome = DriveCandidates(
-      n, k_, num_new, extra, simulate_workers, stats_,
+      n, k_, num_new, extra, options_.task_group, simulate_workers, stats_,
       [&](const std::vector<int>& subset) {
         std::vector<int> lambda_child;
         lambda_child.reserve(subset.size());
@@ -407,8 +410,9 @@ SearchOutcome LogKEngine::TryChildCandidate(const ExtendedSubhypergraph& comp,
   // The pair search over λ(p) shares the separator search's partitioning
   // (the paper's parallelisation covers the whole (p, c) pair space); here
   // it is driven sequentially and contributes to the partition simulation.
-  return DriveCandidates(parent_n, k_, parent_new, /*extra_threads=*/0,
-                         simulate ? options_.num_threads : 1, stats_, try_parent);
+  return DriveCandidates(parent_n, k_, parent_new, /*extra_workers=*/0,
+                         /*group=*/nullptr, simulate ? options_.num_threads : 1,
+                         stats_, try_parent);
 }
 
 SolveResult LogKDecomp::Solve(const Hypergraph& graph, int k) {
@@ -422,16 +426,33 @@ SolveResult LogKDecomp::Solve(const Hypergraph& graph, int k) {
   }
   StatsCounters counters;
   SpecialEdgeRegistry registry(graph.num_vertices());
-  ThreadBudget budget(options_.num_threads - 1);
+  // Resolve the width hint against the executor and make sure a parallel
+  // solve has a task group to spawn into: the scheduler lends a flight
+  // group; standalone callers (tests, benches, CLI) get a root group on
+  // the global executor. num_threads == 0 means "as wide as the fleet".
+  SolveOptions options = options_;
+  if (options.num_threads <= 0) {
+    options.num_threads = options.task_group != nullptr
+                              ? options.task_group->executor().num_workers()
+                              : util::Executor::Global().num_workers();
+  }
+  std::unique_ptr<util::TaskGroup> own_group;
+  if (options.num_threads > 1 && !options.simulate_partition &&
+      options.task_group == nullptr) {
+    own_group = std::make_unique<util::TaskGroup>(util::Executor::Global(),
+                                                  options.cancel);
+    options.task_group = own_group.get();
+  }
+  ThreadBudget budget(options.num_threads - 1);
   std::unique_ptr<DetKEngine> fallback;
-  if (options_.hybrid_metric != HybridMetric::kNone) {
-    fallback = std::make_unique<DetKEngine>(graph, registry, k, options_, counters);
+  if (options.hybrid_metric != HybridMetric::kNone) {
+    fallback = std::make_unique<DetKEngine>(graph, registry, k, options, counters);
   }
   std::unique_ptr<NegativeCache> cache;
-  if (options_.enable_cache) {
-    cache = std::make_unique<NegativeCache>(options_.cache_shards);
+  if (options.enable_cache) {
+    cache = std::make_unique<NegativeCache>(options.cache_shards);
   }
-  LogKEngine engine(graph, registry, k, options_, counters, fallback.get(), &budget,
+  LogKEngine engine(graph, registry, k, options, counters, fallback.get(), &budget,
                     cache.get());
 
   ExtendedSubhypergraph full = ExtendedSubhypergraph::FullGraph(graph);
@@ -442,12 +463,12 @@ SolveResult LogKDecomp::Solve(const Hypergraph& graph, int k) {
 
   result.stats = counters.Snapshot();
   result.stats.seconds = timer.ElapsedSeconds();
-  if (options_.simulate_partition) {
+  if (options.simulate_partition) {
     // Whole-solve partition metric: raw work vs modelled critical path, with
     // Brent's bound work/T as the floor (see search_steps.h).
     long total = CurrentSearchSteps() - steps_before;
     long effective = CurrentEffectiveSteps() - effective_before;
-    long floor = (total + options_.num_threads - 1) / std::max(1, options_.num_threads);
+    long floor = (total + options.num_threads - 1) / std::max(1, options.num_threads);
     result.stats.work_total = total;
     result.stats.work_parallel = std::max(effective, floor);
     CollapseEffectiveSteps(effective_before + result.stats.work_parallel);

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <mutex>
-#include <thread>
 
 #include "core/search_steps.h"
 #include "util/combinations.h"
+#include "util/executor.h"
 
 namespace htd {
 
@@ -26,14 +26,15 @@ void ThreadBudget::Release(int count) {
   if (count > 0) available_.fetch_add(count, std::memory_order_relaxed);
 }
 
-SearchOutcome DriveCandidates(int n, int k, int first_limit, int extra_threads,
-                              int simulate_workers, StatsCounters& stats,
+SearchOutcome DriveCandidates(int n, int k, int first_limit, int extra_workers,
+                              util::TaskGroup* group, int simulate_workers,
+                              StatsCounters& stats,
                               const CandidateFn& try_candidate,
                               util::TraceParent trace) {
   const std::vector<util::SubsetChunk> chunks = util::MakeSubsetChunks(n, k, first_limit);
   if (chunks.empty()) return SearchOutcome::NotFound();
 
-  if (extra_threads <= 0) {
+  if (extra_workers <= 0 || group == nullptr) {
     // Sequential: chunks in deterministic (size, first) order. The step
     // delta covers each candidate's full nested cost (see search_steps.h).
     // With simulate_workers > 1, per-chunk *effective* costs (nested
@@ -76,9 +77,9 @@ SearchOutcome DriveCandidates(int n, int k, int first_limit, int extra_threads,
     return SearchOutcome::NotFound();
   }
 
-  // Parallel: workers claim chunks from an atomic cursor; the first
+  // Parallel: slot tasks claim chunks from an atomic cursor; the first
   // kFound/kStopped outcome wins and stops everyone at the next candidate.
-  const int num_workers = extra_threads + 1;
+  const int num_workers = extra_workers + 1;
   std::atomic<size_t> next_chunk{0};
   std::atomic<int> done{0};  // 0 = running, 1 = found/stopped
   std::mutex result_mutex;
@@ -121,11 +122,19 @@ SearchOutcome DriveCandidates(int n, int k, int first_limit, int extra_threads,
     work[slot] = CurrentSearchSteps() - steps_before;
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(extra_threads);
-  for (int t = 1; t < num_workers; ++t) threads.emplace_back(worker, t);
-  worker(0);
-  for (auto& thread : threads) thread.join();
+  // The extra slots go into a nested group so this call waits only on its
+  // own tasks, never on sibling searches elsewhere in the flight. Slot 0
+  // runs inline (the calling thread is a full participant); whatever the
+  // fleet has idle steals the rest, and a stolen-late slot just finds the
+  // chunk cursor drained.
+  {
+    util::TaskGroup local(*group);
+    for (int t = 1; t < num_workers; ++t) {
+      local.Spawn([&worker, t] { worker(t); });
+    }
+    local.Run([&worker] { worker(0); });
+    local.Wait();
+  }
 
   long total = 0;
   long max_work = 0;

@@ -18,14 +18,30 @@ namespace htd::service {
 class SubproblemStore;
 }  // namespace htd::service
 
+namespace htd::util {
+class TaskGroup;
+}  // namespace htd::util
+
 namespace htd {
 
 /// Hybridisation metrics of §D.2. kNone disables the hybrid switch.
 enum class HybridMetric { kNone, kEdgeCount, kWeightedCount };
 
 struct SolveOptions {
-  /// Worker threads for the parallel separator search (1 = sequential).
+  /// Width hint for the parallel separator search (1 = sequential, 0 = as
+  /// wide as the executor allows). With the work-stealing executor this is
+  /// no longer a thread count: it caps how many candidate-chunk tasks a
+  /// solve offers concurrently, and free workers pick them up as the fleet
+  /// drains — a solve admitted under load widens mid-flight by construction.
   int num_threads = 1;
+
+  /// Task group the solve spawns its parallel-search chunks into (not
+  /// owned). The scheduler lends one per flight, tied to the flight's
+  /// cancel token and lane. When nullptr and num_threads != 1, LogKDecomp
+  /// (and the hybrid through it) opens its own root group on the global
+  /// executor. DetKDecomp is sequential and ignores it. Excluded from
+  /// SolverConfigDigest — execution placement never affects answers.
+  util::TaskGroup* task_group = nullptr;
 
   /// Optional cooperative cancellation (timeouts); may be nullptr.
   util::CancelToken* cancel = nullptr;

@@ -368,8 +368,24 @@ void DecompositionServer::Stop() {
   http_->Stop();
   http_stopped.store(true, std::memory_order_release);
   canceller.join();
+  // Async query jobs run on the executor, not under HttpServer's WaitIdle;
+  // their closing fetch_sub is the last touch of `this`, so the destructor
+  // must not return while any are in flight. Keep cancelling so a job parked
+  // on a probe future unblocks.
+  while (outstanding_query_jobs_.load(std::memory_order_acquire) > 0) {
+    service_->CancelAll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
   service_->CancelAll();
   service_->Drain();
+}
+
+uint64_t DecompositionServer::TotalOutstandingJobs() const {
+  // Scheduler flights (decompose jobs, sync and async) plus async query
+  // jobs; the 429 bound sheds against the sum so a query flood cannot pile
+  // unbounded background work behind a healthy-looking scheduler queue.
+  return service_->outstanding_jobs() +
+         outstanding_query_jobs_.load(std::memory_order_acquire);
 }
 
 DecompositionServer::AdmissionStats DecompositionServer::admission_stats() const {
@@ -651,7 +667,7 @@ HttpResponse DecompositionServer::HandleDecompose(const HttpRequest& request,
   // sampled lock-free and approximate (see the header comment); overshoot
   // on the order of the IO thread count is within the bound's semantics
   // (docs/SERVER.md).
-  if (service_->outstanding_jobs() >=
+  if (TotalOutstandingJobs() >=
       static_cast<uint64_t>(options_.max_queue_depth)) {
     shed_->Add();
     HttpResponse response = ErrorResponse(
@@ -703,8 +719,11 @@ HttpResponse DecompositionServer::HandleDecompose(const HttpRequest& request,
 
   auto graph = std::make_shared<const Hypergraph>(std::move(*parsed));
   admitted_->Add();
+  // Sync requests ride the executor's interactive lane (a client is parked
+  // on the answer); polled async jobs take the lower-priority async lane.
   std::future<service::JobResult> future = service_->Submit(
-      *graph, k, timeout, util::TraceParent{request_id, request_id});
+      *graph, k, timeout, util::TraceParent{request_id, request_id},
+      async ? util::Executor::Lane::kAsync : util::Executor::Lane::kSync);
 
   if (!async) {
     service::JobResult job = future.get();
@@ -851,7 +870,7 @@ HttpResponse DecompositionServer::HandleQuery(const HttpRequest& request,
   if (stopping_.load(std::memory_order_acquire)) {
     return ErrorResponse(503, "server is shutting down");
   }
-  if (service_->outstanding_jobs() >=
+  if (TotalOutstandingJobs() >=
       static_cast<uint64_t>(options_.max_queue_depth)) {
     shed_->Add();
     HttpResponse response = ErrorResponse(
@@ -918,21 +937,31 @@ HttpResponse DecompositionServer::HandleQuery(const HttpRequest& request,
     return response;
   }
 
-  // Async: "q<N>". The answer runs on its own std::async thread — NOT on the
-  // service pool, which Answer's probe futures are served by (see the
-  // AsyncQueryJob comment in the header).
+  // Async: "q<N>". The answer runs as a background-lane task on the
+  // fleet-wide executor (see the AsyncQueryJob comment in the header); the
+  // outstanding counter makes it visible to the 429 bound and lets Stop()
+  // wait the task out. The decrement is the task's last touch of `this`.
   const std::string id = "q" + std::to_string(next_job_id_.fetch_add(
                                    1, std::memory_order_relaxed));
   auto shared_request = std::make_shared<qa::QueryRequest>(std::move(*parsed));
+  auto promise =
+      std::make_shared<std::promise<util::StatusOr<qa::QueryAnswer>>>();
   std::shared_future<util::StatusOr<qa::QueryAnswer>> future =
-      std::async(std::launch::async,
-                 [this, shared_request, timeout, request_id, count_override] {
-                   return query_engine_->Answer(
-                       shared_request->query, shared_request->db, timeout,
-                       util::TraceParent{request_id, request_id},
-                       count_override);
-                 })
-          .share();
+      promise->get_future().share();
+  outstanding_query_jobs_.fetch_add(1, std::memory_order_acq_rel);
+  service_->executor().Submit(
+      [this, shared_request, timeout, request_id, count_override, promise] {
+        try {
+          promise->set_value(query_engine_->Answer(
+              shared_request->query, shared_request->db, timeout,
+              util::TraceParent{request_id, request_id}, count_override));
+        } catch (...) {
+          promise->set_value(
+              util::Status::Internal("query job failed with an exception"));
+        }
+        outstanding_query_jobs_.fetch_sub(1, std::memory_order_acq_rel);
+      },
+      util::Executor::Lane::kBackground);
   {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
     query_jobs_.emplace(id, AsyncQueryJob{future});

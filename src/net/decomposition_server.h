@@ -290,10 +290,14 @@ class DecompositionServer {
     bool include_decomposition = false;
   };
 
-  /// Async query job ("q<N>"). Runs on a std::async thread, NOT on the
-  /// service's worker pool: QueryEngine::Answer blocks on futures served by
-  /// that pool, so running it there would deadlock a full pool against
-  /// itself.
+  /// Async query job ("q<N>"). Runs as a background-lane task on the
+  /// fleet-wide executor: QueryEngine::Answer blocks on probe flights served
+  /// by the same executor, which is safe because a worker running Answer
+  /// helps execute sync/async-lane work while it waits
+  /// (Executor::HelpWhileWaiting) — and the background lane itself is
+  /// excluded from helping, so query jobs can't recursively stack. Counted
+  /// in the admission bound via outstanding_query_jobs_ (unlike the old
+  /// detached std::async threads, which the 429 check could not see).
   struct AsyncQueryJob {
     std::shared_future<util::StatusOr<qa::QueryAnswer>> future;
   };
@@ -336,6 +340,11 @@ class DecompositionServer {
   /// port, else an empty endpoint (matches nobody — the sweep then pulls
   /// from the whole replica group).
   service::ShardEndpoint SelfEndpoint(const ShardState& state) const;
+
+  /// Jobs the admission bound counts: scheduler-outstanding plus async
+  /// query jobs still running (their probe flights resolve before the job
+  /// does, so the scheduler alone under-counts query load).
+  uint64_t TotalOutstandingJobs() const;
 
   /// Renders one resolved JobResult as the response JSON body.
   std::string RenderResult(const service::JobResult& job, const Hypergraph& graph,
@@ -389,6 +398,12 @@ class DecompositionServer {
   /// Serialises snapshot writers (concurrent saves would interleave on the
   /// shared temp file and install a corrupt snapshot).
   std::mutex snapshot_mutex_;
+
+  /// Async query jobs admitted but not yet resolved. Incremented before the
+  /// background task is submitted; decremented as the task's last touch of
+  /// this object, so Stop() seeing zero means no query task will dereference
+  /// the server again.
+  std::atomic<uint64_t> outstanding_query_jobs_{0};
 
   std::mutex jobs_mutex_;
   std::map<std::string, AsyncJob> jobs_;       // guarded by jobs_mutex_

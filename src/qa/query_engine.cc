@@ -1,6 +1,8 @@
 #include "qa/query_engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <future>
 #include <vector>
 
 #include "util/timer.h"
@@ -9,6 +11,22 @@ namespace htd::qa {
 namespace {
 
 constexpr double kNoDeadline = 0.0;
+
+// Blocks on a probe future. Async query jobs run Answer() *on* an executor
+// worker (background lane), and its probes are flights on that same
+// executor — a plain get() would park the worker and, at width 1, deadlock
+// the fleet against itself. A worker thread therefore helps run sync/async
+// lane work while it waits; any other thread just waits.
+service::JobResult AwaitProbe(util::Executor& executor,
+                              std::future<service::JobResult>& future) {
+  if (executor.OnWorkerThread()) {
+    executor.HelpWhileWaiting([&future] {
+      return future.wait_for(std::chrono::seconds(0)) ==
+             std::future_status::ready;
+    });
+  }
+  return future.get();
+}
 
 }  // namespace
 
@@ -101,8 +119,9 @@ util::StatusOr<QueryAnswer> QueryEngine::Answer(const cq::Query& query,
         deadline_hit = true;
         break;
       }
-      service::JobResult result =
-          service_->Submit(graph, k, remaining(), probe_trace).get();
+      std::future<service::JobResult> probe =
+          service_->Submit(graph, k, remaining(), probe_trace);
+      service::JobResult result = AwaitProbe(service_->executor(), probe);
       ++answer.probes;
       if (!result.cache_hit) all_cache_hits = false;
       if (result.result.outcome == Outcome::kCancelled) {
@@ -128,8 +147,9 @@ util::StatusOr<QueryAnswer> QueryEngine::Answer(const cq::Query& query,
       int upper = std::min(first_yes + options_.extra_k, graph.num_edges());
       for (int k = first_yes + 1; k <= upper; ++k) {
         if (out_of_time()) break;
-        service::JobResult result =
-            service_->Submit(graph, k, remaining(), probe_trace).get();
+        std::future<service::JobResult> probe =
+            service_->Submit(graph, k, remaining(), probe_trace);
+        service::JobResult result = AwaitProbe(service_->executor(), probe);
         ++answer.probes;
         if (!result.cache_hit) all_cache_hits = false;
         if (result.result.outcome != Outcome::kYes) break;

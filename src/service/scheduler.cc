@@ -8,20 +8,11 @@
 
 namespace htd::service {
 
-int PickAutoThreads(int pool_threads, int queue_depth) {
-  if (pool_threads < 1) pool_threads = 1;
-  if (queue_depth < 1) queue_depth = 1;
-  // Even split of the pool over outstanding flights, floored at one: a lone
-  // job gets the whole pool, `pool_threads` or more queued jobs get one
-  // thread each (inter-job parallelism already saturates the workers).
-  return std::max(1, pool_threads / queue_depth);
-}
-
-BatchScheduler::BatchScheduler(util::ThreadPool& pool, SolverFactoryFn factory,
+BatchScheduler::BatchScheduler(util::Executor& executor, SolverFactoryFn factory,
                                const SolveOptions& solve_options,
                                ResultCache* cache, uint64_t config_digest,
                                util::MetricsRegistry* metrics)
-    : pool_(pool),
+    : executor_(executor),
       factory_(std::move(factory)),
       solve_options_(solve_options),
       cache_(cache),
@@ -48,9 +39,11 @@ BatchScheduler::~BatchScheduler() {
 }
 
 std::future<JobResult> BatchScheduler::Submit(const JobSpec& spec) {
-  std::vector<std::function<void()>> new_tasks;
+  std::vector<NewTask> new_tasks;
   std::future<JobResult> future = Admit(spec, new_tasks);
-  if (!new_tasks.empty()) pool_.Submit(std::move(new_tasks.front()));
+  for (NewTask& task : new_tasks) {
+    executor_.Submit(std::move(task.fn), task.lane);
+  }
   return future;
 }
 
@@ -58,16 +51,18 @@ std::vector<std::future<JobResult>> BatchScheduler::SubmitBatch(
     const std::vector<JobSpec>& specs) {
   std::vector<std::future<JobResult>> futures;
   futures.reserve(specs.size());
-  std::vector<std::function<void()>> new_tasks;
+  std::vector<NewTask> new_tasks;
   for (const JobSpec& spec : specs) {
     futures.push_back(Admit(spec, new_tasks));
   }
-  pool_.SubmitBatch(std::move(new_tasks));
+  for (NewTask& task : new_tasks) {
+    executor_.Submit(std::move(task.fn), task.lane);
+  }
   return futures;
 }
 
 std::future<JobResult> BatchScheduler::Admit(
-    const JobSpec& spec, std::vector<std::function<void()>>& new_tasks) {
+    const JobSpec& spec, std::vector<NewTask>& new_tasks) {
   HTD_CHECK(spec.graph != nullptr);
   HTD_CHECK_GE(spec.k, 1);
   submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -124,9 +119,10 @@ std::future<JobResult> BatchScheduler::Admit(
   flight->graph = std::make_shared<const Hypergraph>(*spec.graph);
   flight->key = key;
   flight->trace = spec.trace;
+  flight->lane = spec.lane;
   if (spec.timeout_seconds > 0.0) {
-    // Armed before the task reaches the pool: the worker's read of the
-    // deadline is ordered after this write by the pool's queue mutex.
+    // Armed before the task reaches the executor: the worker's read of the
+    // deadline is ordered after this write by the executor's queue mutex.
     flight->token.SetTimeout(std::chrono::duration<double>(spec.timeout_seconds));
   }
 
@@ -150,7 +146,7 @@ std::future<JobResult> BatchScheduler::Admit(
     ++pending_flights_;
   }
   solves_.fetch_add(1, std::memory_order_relaxed);
-  new_tasks.push_back([this, flight] { RunFlight(flight); });
+  new_tasks.push_back(NewTask{[this, flight] { RunFlight(flight); }, flight->lane});
   return future;
 }
 
@@ -168,17 +164,13 @@ void BatchScheduler::RunFlight(const std::shared_ptr<Flight>& flight) {
   }
   SolveOptions options = solve_options_;
   options.cancel = &flight->token;
-  if (options.num_threads == 0) {
-    // Auto mode: batch-aware thread feedback (ROADMAP). The queue depth is
-    // sampled at flight start — few outstanding flights ⇒ wide intra-solve
-    // parallelism, a deep queue ⇒ one thread each.
-    int depth;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      depth = pending_flights_;
-    }
-    options.num_threads = PickAutoThreads(pool_.num_threads(), depth);
-  }
+  // The flight lends the solver a task group tied to its token and lane.
+  // Auto width (num_threads == 0) offers chunks for the whole fleet — how
+  // many actually run concurrently is decided by which workers are free at
+  // each search level, so width adapts mid-solve with no sampling here.
+  util::TaskGroup group(executor_, &flight->token, flight->lane);
+  options.task_group = &group;
+  if (options.num_threads == 0) options.num_threads = executor_.num_workers();
   SolveResult result;
   util::WallTimer solve_timer;
   // A throwing solve must not leak the flight: waiters would see
@@ -196,6 +188,16 @@ void BatchScheduler::RunFlight(const std::shared_ptr<Flight>& flight) {
   } catch (...) {
     result = SolveResult{};
     result.outcome = Outcome::kError;
+  }
+  // The solver drains its nested groups before returning; this only mops up
+  // if it error-exited with stragglers still queued.
+  try {
+    group.Wait();
+  } catch (...) {
+    if (result.outcome == Outcome::kYes || result.outcome == Outcome::kNo) {
+      result = SolveResult{};
+      result.outcome = Outcome::kError;
+    }
   }
   const double solve_seconds = solve_timer.ElapsedSeconds();
   if (stage_solve_ != nullptr) stage_solve_->Observe(solve_seconds);
@@ -221,7 +223,7 @@ void BatchScheduler::RunFlight(const std::shared_ptr<Flight>& flight) {
     job_result.fingerprint = flight->key.fingerprint;
     job_result.deduplicated = waiter.deduplicated;
     job_result.seconds = seconds;
-    job_result.threads_used = options.num_threads;
+    job_result.threads_used = std::max(1, group.peak_width());
     job_result.stages.fingerprint_seconds = waiter.fingerprint_seconds;
     job_result.stages.cache_seconds = waiter.cache_seconds;
     job_result.stages.schedule_seconds = schedule_seconds;

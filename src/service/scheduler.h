@@ -1,18 +1,28 @@
 // Async batch scheduler: futures, single-flight dedup, per-job deadlines.
 //
 // The scheduler accepts decomposition jobs (hypergraph, width k, optional
-// timeout), runs them on a util::ThreadPool, and returns std::futures.
+// timeout), runs each as a task on the fleet-wide work-stealing executor
+// (util/executor.h) on the lane the caller names, and returns std::futures.
 // Identical requests — same canonical fingerprint, same k, same solver
 // config — that arrive while a solve is in flight are coalesced onto that
 // flight ("single-flight"): one solver run fans its result out to every
 // waiter. Completed results are inserted into the ResultCache (when one is
 // attached) so later submissions hit without solving at all.
 //
+// There is no admission-time thread sizing any more (the old
+// PickAutoThreads): each flight lends the solver a util::TaskGroup tied to
+// its CancelToken, the solver offers candidate-chunk tasks into it, and
+// however many executor workers are free right then run them. A lone solve
+// on an idle fleet widens to every core; under a deep queue the same solve
+// naturally narrows to its own flight thread — mid-solve, no re-sampling.
+//
 // Deadlines: the flight's CancelToken is armed with the first submitter's
-// deadline BEFORE the task is handed to the pool, so the solver thread only
-// ever reads a fully published token (TSan-clean by construction). Waiters
-// that join an in-flight solve share the leader's deadline; their
-// `deduplicated` flag says so. CancelAll() cooperatively stops every flight.
+// deadline BEFORE the task is handed to the executor, so the solver task
+// only ever reads a fully published token (TSan-clean by construction).
+// A deadline firing cancels the whole task group — every spawned chunk of
+// that flight drains at its next candidate check. Waiters that join an
+// in-flight solve share the leader's deadline; their `deduplicated` flag
+// says so. CancelAll() cooperatively stops every flight.
 #pragma once
 
 #include <atomic>
@@ -29,8 +39,8 @@
 #include "service/canonical.h"
 #include "service/result_cache.h"
 #include "util/cancel.h"
+#include "util/executor.h"
 #include "util/metrics.h"
-#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -48,6 +58,10 @@ struct JobSpec {
   /// Trace parentage for spans the scheduler records on this job's behalf
   /// (fingerprint, cache probe, schedule wait, solve). Zero = untraced.
   util::TraceParent trace;
+  /// Executor lane this job's flight runs on: sync requests block a client,
+  /// async decompose jobs are polled, background is best-effort. Dedup
+  /// joiners inherit the leader's lane.
+  util::Executor::Lane lane = util::Executor::Lane::kSync;
 };
 
 /// Per-stage wall time of one job's trip through the scheduler. Cache hits
@@ -70,20 +84,15 @@ struct JobResult {
   /// Cache hits report 0.0 (no flight ran); dedup joiners share the leader's
   /// clock rather than measuring from their own admission.
   double seconds = 0.0;
-  /// Intra-solve threads the flight actually ran with — equal to the
-  /// configured SolveOptions::num_threads, or the occupancy-derived pick when
-  /// that was 0 (auto). Cache hits report 0 (no flight ran).
+  /// Peak number of executor workers concurrently inside this flight's task
+  /// group — the width the solve *actually reached*, not a pick made at
+  /// admission. A lone solve on an idle fleet reports the full worker count;
+  /// the same solve under a deep queue reports 1. Cache hits report 0 (no
+  /// flight ran).
   int threads_used = 0;
   /// Stage timing for this job (see StageBreakdown).
   StageBreakdown stages;
 };
-
-/// Intra-solve thread count for auto mode (SolveOptions::num_threads == 0):
-/// splits the worker pool evenly over the flights currently outstanding, so
-/// a lone job fans its separator search across the whole pool while a deep
-/// queue runs one thread per job and lets inter-job parallelism saturate it.
-/// `queue_depth` counts this flight itself (>= 1 when called from one).
-int PickAutoThreads(int pool_threads, int queue_depth);
 
 class BatchScheduler {
  public:
@@ -99,7 +108,7 @@ class BatchScheduler {
   /// `factory`'s answer-affecting configuration (SolverConfigDigest).
   /// `metrics` may be nullptr (no stage histograms); when set it must
   /// outlive the scheduler.
-  BatchScheduler(util::ThreadPool& pool, SolverFactoryFn factory,
+  BatchScheduler(util::Executor& executor, SolverFactoryFn factory,
                  const SolveOptions& solve_options, ResultCache* cache,
                  uint64_t config_digest,
                  util::MetricsRegistry* metrics = nullptr);
@@ -113,7 +122,7 @@ class BatchScheduler {
   /// dedup fan-out, or fresh solve).
   std::future<JobResult> Submit(const JobSpec& spec);
 
-  /// Admits many jobs with one pool hand-off (ThreadPool::SubmitBatch);
+  /// Admits many jobs, fanning every fresh flight out as an executor task;
   /// futures are index-aligned with `specs`.
   std::vector<std::future<JobResult>> SubmitBatch(const std::vector<JobSpec>& specs);
 
@@ -127,8 +136,8 @@ class BatchScheduler {
 
   /// Flights admitted but not yet fanned out — the scheduler's live queue
   /// depth. Cache hits and dedup joins never appear here; this is the number
-  /// of solver runs outstanding. Feeds the auto thread pick (PickAutoThreads)
-  /// and the admission-control surface (net/decomposition_server.h).
+  /// of solver runs outstanding. Feeds the admission-control surface
+  /// (net/decomposition_server.h).
   int queue_depth() const;
 
   /// Jobs admitted whose futures have not resolved yet (includes every
@@ -151,19 +160,26 @@ class BatchScheduler {
     util::CancelToken token;
     util::WallTimer timer;
     std::vector<Waiter> waiters;  // guarded by scheduler mutex
-    /// Leader's trace parentage, published before the pool task is
+    /// Leader's trace parentage, published before the flight task is
     /// submitted (same ordering argument as the CancelToken above).
     util::TraceParent trace;
+    /// Lane the leader asked for; the flight task and every chunk its
+    /// solve spawns ride on it.
+    util::Executor::Lane lane = util::Executor::Lane::kSync;
+  };
+  struct NewTask {
+    std::function<void()> fn;
+    util::Executor::Lane lane;
   };
 
   /// Fingerprints and admits one job: immediate answer (cache hit), join of
-  /// an in-flight solve, or a fresh flight whose pool task is appended to
-  /// `new_tasks` for the caller to hand to the pool.
+  /// an in-flight solve, or a fresh flight whose executor task is appended
+  /// to `new_tasks` for the caller to hand to the executor.
   std::future<JobResult> Admit(const JobSpec& spec,
-                               std::vector<std::function<void()>>& new_tasks);
+                               std::vector<NewTask>& new_tasks);
   void RunFlight(const std::shared_ptr<Flight>& flight);
 
-  util::ThreadPool& pool_;
+  util::Executor& executor_;
   SolverFactoryFn factory_;
   SolveOptions solve_options_;
   ResultCache* cache_;

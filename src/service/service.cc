@@ -9,7 +9,8 @@ namespace htd::service {
 
 DecompositionService::DecompositionService(ServiceOptions options)
     : options_(std::move(options)),
-      pool_(std::max(1, options_.num_workers)) {
+      executor_(options_.executor != nullptr ? options_.executor
+                                             : &util::Executor::Global()) {
   auto factory = MakeSolverFactory(options_.solver_name);
   HTD_CHECK(factory.ok()) << factory.status().message();
   if (options_.enable_result_cache) {
@@ -23,7 +24,7 @@ DecompositionService::DecompositionService(ServiceOptions options)
     options_.solve.subproblem_store = subproblem_store_.get();
   }
   scheduler_ = std::make_unique<BatchScheduler>(
-      pool_, std::move(*factory), options_.solve, cache_.get(),
+      *executor_, std::move(*factory), options_.solve, cache_.get(),
       SolverConfigDigest(options_.solver_name, options_.solve), &metrics_);
   stage_parse_ = &metrics_.GetHistogram("htd_stage_seconds", "stage=\"parse\"");
   stage_serialise_ =
@@ -60,6 +61,21 @@ void DecompositionService::RegisterComponentMetrics() {
   metrics_.RegisterCallback(
       "htd_outstanding_jobs", "", "gauge",
       [this] { return static_cast<double>(scheduler_->outstanding_jobs()); });
+  // Executor fleet health: tasks waiting, workers executing, and how often
+  // idle workers had to steal (a high steal rate with low queue depth means
+  // the fleet is load-balancing fine; with high depth it means starvation).
+  metrics_.RegisterCallback(
+      "htd_executor_queue_depth", "", "gauge",
+      [this] { return static_cast<double>(executor_->queue_depth()); });
+  metrics_.RegisterCallback(
+      "htd_executor_workers_busy", "", "gauge",
+      [this] { return static_cast<double>(executor_->workers_busy()); });
+  metrics_.RegisterCallback(
+      "htd_executor_workers", "", "gauge",
+      [this] { return static_cast<double>(executor_->num_workers()); });
+  metrics_.RegisterCallback(
+      "htd_executor_steals_total", "", "counter",
+      [this] { return static_cast<double>(executor_->steals_total()); });
   if (cache_ != nullptr) {
     metrics_.RegisterCallback(
         "htd_cache_hits_total", "", "counter",
@@ -166,12 +182,14 @@ std::future<JobResult> DecompositionService::Submit(const Hypergraph& graph, int
 
 std::future<JobResult> DecompositionService::Submit(const Hypergraph& graph, int k,
                                                     double timeout_seconds,
-                                                    util::TraceParent trace) {
+                                                    util::TraceParent trace,
+                                                    util::Executor::Lane lane) {
   JobSpec spec;
   spec.graph = &graph;
   spec.k = k;
   spec.timeout_seconds = timeout_seconds;
   spec.trace = trace;
+  spec.lane = lane;
   return scheduler_->Submit(spec);
 }
 

@@ -8,7 +8,9 @@
 //     ➞ single-flight batch scheduler    (service/scheduler.h)
 //     ➞ solver from the name registry    (core/solver_factory.h)
 //
-// The service owns the worker pool, the cache, and the scheduler; callers
+// The service owns the cache and the scheduler and runs every solve on the
+// fleet-wide work-stealing executor (util/executor.h — the process-global
+// one unless ServiceOptions::executor injects a private instance); callers
 // only hold futures. One service instance is meant to be long-lived and
 // shared across many clients — every knob that changes the answers a solve
 // can produce is part of the cache key, so mixing workloads is safe.
@@ -25,9 +27,9 @@
 #include "service/result_cache.h"
 #include "service/scheduler.h"
 #include "service/subproblem_store.h"
+#include "util/executor.h"
 #include "util/metrics.h"
 #include "util/status.h"
-#include "util/thread_pool.h"
 #include "util/trace.h"
 
 namespace htd::service {
@@ -35,18 +37,25 @@ namespace htd::service {
 /// ServiceOptions extends SolveOptions with the service-level knobs.
 struct ServiceOptions {
   /// Base solver configuration; `cancel` is ignored (deadlines are per-job),
-  /// `num_threads` configures intra-solve parallelism. num_threads == 0
-  /// enables batch-aware auto mode: each flight picks its thread count from
-  /// the scheduler's queue depth at start (service/scheduler.h:
-  /// PickAutoThreads) — few queued jobs run wide, a deep queue runs one
-  /// thread per job.
+  /// `num_threads` hints the intra-solve width. num_threads == 0 means "as
+  /// wide as the executor": the solve offers chunk tasks for the whole
+  /// fleet and whatever is free runs them, so a lone flight widens to every
+  /// core and a deep queue naturally runs ~one worker per flight — with no
+  /// admission-time pick (the old PickAutoThreads is gone).
   SolveOptions solve;
 
   /// Solver registry name (core/solver_factory.h): "logk", "logk-basic",
   /// "detk", "hybrid", "balsep-ghd".
   std::string solver_name = "logk";
 
-  /// Worker threads the scheduler fans jobs out over (inter-job parallelism).
+  /// Executor every flight and chunk task runs on (not owned; must outlive
+  /// the service). nullptr = the process-wide util::Executor::Global().
+  /// Tests and benches inject a private instance for deterministic widths.
+  util::Executor* executor = nullptr;
+
+  /// Compatibility knob from the thread-pool era: tools use it to size the
+  /// global executor at startup (util::Executor::InitGlobal). The service
+  /// itself no longer forks workers; when `executor` is set this is unused.
   int num_workers = 4;
 
   /// Whole-instance result memoization.
@@ -87,10 +96,13 @@ class DecompositionService {
                                 double timeout_seconds);
   /// Submits one traced job: scheduler and solver spans (fingerprint,
   /// cache probe, schedule wait, solve, per-level separator search) are
-  /// parented under `trace`. A zero TraceParent records nothing.
-  std::future<JobResult> Submit(const Hypergraph& graph, int k,
-                                double timeout_seconds,
-                                util::TraceParent trace);
+  /// parented under `trace`. A zero TraceParent records nothing. `lane`
+  /// places the flight on the executor (sync for blocking clients, async
+  /// for polled decompose jobs, background for best-effort work).
+  std::future<JobResult> Submit(
+      const Hypergraph& graph, int k, double timeout_seconds,
+      util::TraceParent trace,
+      util::Executor::Lane lane = util::Executor::Lane::kSync);
 
   /// Submits many jobs with a single scheduler hand-off; futures are
   /// index-aligned with `jobs`.
@@ -120,6 +132,9 @@ class DecompositionService {
   ResultCache* result_cache() { return cache_.get(); }
   SubproblemStore* subproblem_store() { return subproblem_store_.get(); }
 
+  /// The executor this service's flights run on (global unless injected).
+  util::Executor& executor() { return *executor_; }
+
   /// The service's metric registry: stage latency histograms (observed by
   /// the scheduler), component counters registered as callbacks — derived
   /// counters before their totals, so one Snapshot() never reports a part
@@ -138,7 +153,7 @@ class DecompositionService {
 
   ServiceOptions options_;
   util::MetricsRegistry metrics_;  // declared before the scheduler using it
-  util::ThreadPool pool_;
+  util::Executor* executor_;       // not owned; global unless injected
   std::unique_ptr<ResultCache> cache_;       // null when caching is disabled
   std::unique_ptr<SubproblemStore> subproblem_store_;  // null when disabled
   std::unique_ptr<BatchScheduler> scheduler_;

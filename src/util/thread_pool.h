@@ -1,9 +1,11 @@
 // Fixed-size thread pool.
 //
-// Used by the parallel separator search (src/core/parallel_search.*), the
-// service-layer batch scheduler (src/service/scheduler.*) and the benchmark
-// runner. Tasks are plain std::function<void()>; coordination (early exit,
-// result hand-off) is owned by the caller.
+// Used by the HTTP server's IO loop (src/net/server.*), where blocking a
+// dedicated thread per live connection is the point. All compute — the
+// parallel separator search and the service-layer batch scheduler — runs on
+// the fleet-wide work-stealing executor instead (util/executor.h). Tasks
+// are plain std::function<void()>; coordination (early exit, result
+// hand-off) is owned by the caller.
 //
 // Exception safety: a task that throws does not take down the worker thread.
 // The first escaped exception is recorded and can be re-examined (or

@@ -16,7 +16,9 @@
 
 #include "hypergraph/generators.h"
 #include "hypergraph/writer.h"
+#include "cq/query.h"
 #include "net/http.h"
+#include "qa/wire.h"
 #include "util/socket.h"
 
 namespace htd::net {
@@ -247,6 +249,65 @@ TEST(NetServerTest, SyncFloodShedsAtTheConnectionBound) {
         << "pinned connection must still get its response: " << blob;
     EXPECT_EQ(response.status, 200);
   }
+}
+
+TEST(NetServerTest, AsyncQueryJobsCountAgainstTheAdmissionBound) {
+  // Regression: async /v1/query jobs used to run on detached std::async
+  // threads invisible to outstanding_jobs(), so a query flood sailed past
+  // the 429 bound without limit. They now run on the executor's background
+  // lane and are counted, so the same bound covers both job kinds.
+  DecompositionServerOptions options = BaseOptions();
+  options.service.num_workers = 1;
+  options.max_queue_depth = 2;
+  options.retry_after_seconds = 3;
+  auto server = DecompositionServer::Create(options);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Start().ok());
+  int port = (*server)->port();
+
+  // A conjunctive query whose hypergraph is a big clique: the k-sweep's
+  // probes run far longer than the test, so every admitted query job stays
+  // outstanding while the flood arrives.
+  std::string atoms;
+  for (int i = 0; i < 24; ++i) {
+    for (int j = i + 1; j < 24; ++j) {
+      if (!atoms.empty()) atoms += ", ";
+      atoms += "R(X" + std::to_string(i) + ",X" + std::to_string(j) + ")";
+    }
+  }
+  auto query = cq::ParseQuery(atoms + ".");
+  ASSERT_TRUE(query.ok()) << query.status().message();
+  cq::Database db;
+  db.AddRelation({"R", 2, {{1, 2}, {2, 3}}});
+  auto body = qa::RenderQueryRequest(*query, db);
+  ASSERT_TRUE(body.ok()) << body.status().message();
+
+  int accepted = 0, shed = 0;
+  for (int i = 0; i < 8; ++i) {
+    WireResponse r =
+        Exchange(port, "POST", "/v1/query?async=1&timeout=30", *body);
+    if (r.status == 202) {
+      ++accepted;
+    } else {
+      ASSERT_EQ(r.status, 429) << r.body;
+      EXPECT_EQ(r.headers.at("retry-after"), "3");
+      ++shed;
+    }
+  }
+  // A query job's own probe flight may briefly double-count against the
+  // bound, so the exact split can vary by one — but the bound must engage.
+  EXPECT_GE(accepted, 1);
+  EXPECT_LE(accepted, 2) << "the bound must stop admitting query jobs";
+  EXPECT_GE(shed, 6);
+
+  WireResponse stats = Exchange(port, "GET", "/v1/stats");
+  EXPECT_NE(stats.body.find("\"shed\": " + std::to_string(shed)),
+            std::string::npos)
+      << stats.body;
+
+  // Stop() must cancel the pinned probes AND wait out the query tasks —
+  // returning while one still runs would be a use-after-free.
+  (*server)->Stop();
 }
 
 TEST(NetServerTest, SnapshotWarmRestartServesCacheHits) {

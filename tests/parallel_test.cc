@@ -12,6 +12,7 @@
 #include "core/search_steps.h"
 #include "decomp/validation.h"
 #include "hypergraph/generators.h"
+#include "util/executor.h"
 #include "util/rng.h"
 
 namespace htd {
@@ -35,7 +36,8 @@ TEST(DriveCandidatesTest, SequentialExploresEverything) {
   StatsCounters stats;
   std::set<std::vector<int>> seen;
   SearchOutcome outcome = DriveCandidates(
-      5, 2, 5, /*extra_threads=*/0, /*simulate_workers=*/1, stats, [&](const std::vector<int>& subset) {
+      5, 2, 5, /*extra_workers=*/0, /*group=*/nullptr, /*simulate_workers=*/1,
+      stats, [&](const std::vector<int>& subset) {
         AddSearchStep();
         seen.insert(subset);
         return SearchOutcome::NotFound();
@@ -50,8 +52,11 @@ TEST(DriveCandidatesTest, ParallelExploresEverything) {
   StatsCounters stats;
   std::mutex mutex;
   std::set<std::vector<int>> seen;
+  util::Executor executor(4);
+  util::TaskGroup group(executor);
   SearchOutcome outcome = DriveCandidates(
-      6, 3, 6, /*extra_threads=*/3, /*simulate_workers=*/1, stats, [&](const std::vector<int>& subset) {
+      6, 3, 6, /*extra_workers=*/3, &group, /*simulate_workers=*/1, stats,
+      [&](const std::vector<int>& subset) {
         AddSearchStep();
         std::lock_guard<std::mutex> lock(mutex);
         seen.insert(subset);
@@ -68,7 +73,8 @@ TEST(DriveCandidatesTest, PartitionSimulationBalancesUniformWork) {
   // the simulated makespan must be close to total/4.
   StatsCounters stats;
   SearchOutcome outcome = DriveCandidates(
-      10, 2, 10, /*extra_threads=*/0, /*simulate_workers=*/4, stats,
+      10, 2, 10, /*extra_workers=*/0, /*group=*/nullptr, /*simulate_workers=*/4,
+      stats,
       [&](const std::vector<int>&) {
         AddSearchStep();
         return SearchOutcome::NotFound();
@@ -84,7 +90,7 @@ TEST(DriveCandidatesTest, PartitionSimulationBalancesUniformWork) {
 TEST(DriveCandidatesTest, FirstLimitRestrictsFirstElement) {
   StatsCounters stats;
   std::set<std::vector<int>> seen;
-  DriveCandidates(5, 2, 2, 0, 1, stats, [&](const std::vector<int>& subset) {
+  DriveCandidates(5, 2, 2, 0, nullptr, 1, stats, [&](const std::vector<int>& subset) {
     seen.insert(subset);
     return SearchOutcome::NotFound();
   });
@@ -102,7 +108,7 @@ TEST(DriveCandidatesTest, FoundStopsSearch) {
   marker.SetRoot(node);
   std::atomic<int> calls{0};
   SearchOutcome outcome = DriveCandidates(
-      8, 2, 8, 0, 1, stats, [&](const std::vector<int>& subset) {
+      8, 2, 8, 0, nullptr, 1, stats, [&](const std::vector<int>& subset) {
         calls.fetch_add(1);
         if (subset == std::vector<int>{1}) {
           Fragment copy = marker;
@@ -120,8 +126,10 @@ TEST(DriveCandidatesTest, ParallelFindsResult) {
   Fragment marker;
   int node = marker.AddNode({0}, util::DynamicBitset(2));
   marker.SetRoot(node);
+  util::Executor executor(4);
+  util::TaskGroup group(executor);
   SearchOutcome outcome = DriveCandidates(
-      10, 2, 10, 3, 1, stats, [&](const std::vector<int>& subset) {
+      10, 2, 10, 3, &group, 1, stats, [&](const std::vector<int>& subset) {
         if (subset.size() == 2 && subset[0] == 4 && subset[1] == 7) {
           Fragment copy = marker;
           return SearchOutcome::Found(std::move(copy));
@@ -134,7 +142,7 @@ TEST(DriveCandidatesTest, ParallelFindsResult) {
 TEST(DriveCandidatesTest, StoppedPropagates) {
   StatsCounters stats;
   SearchOutcome outcome =
-      DriveCandidates(5, 2, 5, 0, 1, stats, [&](const std::vector<int>&) {
+      DriveCandidates(5, 2, 5, 0, nullptr, 1, stats, [&](const std::vector<int>&) {
         return SearchOutcome::Stopped();
       });
   EXPECT_EQ(outcome.status, SearchStatus::kStopped);
@@ -142,7 +150,7 @@ TEST(DriveCandidatesTest, StoppedPropagates) {
 
 TEST(DriveCandidatesTest, EmptySpace) {
   StatsCounters stats;
-  SearchOutcome outcome = DriveCandidates(0, 2, 0, 0, 1, stats,
+  SearchOutcome outcome = DriveCandidates(0, 2, 0, 0, nullptr, 1, stats,
                                           [&](const std::vector<int>&) {
                                             ADD_FAILURE() << "must not be called";
                                             return SearchOutcome::NotFound();

@@ -8,12 +8,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "hypergraph/generators.h"
 #include "service/result_cache.h"
-#include "util/thread_pool.h"
+#include "util/executor.h"
 
 namespace htd::service {
 namespace {
@@ -68,9 +70,9 @@ JobSpec SpecFor(const Hypergraph& graph, int k, double timeout = 0.0) {
 }
 
 TEST(SchedulerTest, SolvesAndFulfillsFuture) {
-  util::ThreadPool pool(2);
+  util::Executor executor(2);
   FakeSolver::Control control;
-  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{},
+  BatchScheduler scheduler(executor, FakeFactory(&control), SolveOptions{},
                            /*cache=*/nullptr, /*config_digest=*/1);
   Hypergraph graph = MakeCycle(6);
   JobResult job = scheduler.Submit(SpecFor(graph, 2)).get();
@@ -82,10 +84,10 @@ TEST(SchedulerTest, SolvesAndFulfillsFuture) {
 }
 
 TEST(SchedulerTest, SingleFlightDeduplicatesConcurrentIdenticalJobs) {
-  util::ThreadPool pool(4);
+  util::Executor executor(4);
   FakeSolver::Control control;
   control.release.store(false);  // hold the flight open while duplicates pile up
-  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{},
+  BatchScheduler scheduler(executor, FakeFactory(&control), SolveOptions{},
                            nullptr, 1);
   Hypergraph graph = MakeCycle(8);
 
@@ -116,9 +118,9 @@ TEST(SchedulerTest, SingleFlightDeduplicatesConcurrentIdenticalJobs) {
 }
 
 TEST(SchedulerTest, DistinctJobsAreNotDeduplicated) {
-  util::ThreadPool pool(4);
+  util::Executor executor(4);
   FakeSolver::Control control;
-  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{},
+  BatchScheduler scheduler(executor, FakeFactory(&control), SolveOptions{},
                            nullptr, 1);
   Hypergraph cycle = MakeCycle(8);
   Hypergraph path = MakePath(8);
@@ -132,10 +134,10 @@ TEST(SchedulerTest, DistinctJobsAreNotDeduplicated) {
 }
 
 TEST(SchedulerTest, DeadlineCancelsRunningJob) {
-  util::ThreadPool pool(2);
+  util::Executor executor(2);
   FakeSolver::Control control;
   control.release.store(false);  // solver only exits via its cancel token
-  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{},
+  BatchScheduler scheduler(executor, FakeFactory(&control), SolveOptions{},
                            nullptr, 1);
   Hypergraph graph = MakeCycle(8);
   JobResult job =
@@ -144,10 +146,10 @@ TEST(SchedulerTest, DeadlineCancelsRunningJob) {
 }
 
 TEST(SchedulerTest, CancelAllStopsInFlightWork) {
-  util::ThreadPool pool(2);
+  util::Executor executor(2);
   FakeSolver::Control control;
   control.release.store(false);
-  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{},
+  BatchScheduler scheduler(executor, FakeFactory(&control), SolveOptions{},
                            nullptr, 1);
   Hypergraph graph = MakeCycle(8);
   auto future = scheduler.Submit(SpecFor(graph, 2));
@@ -157,11 +159,11 @@ TEST(SchedulerTest, CancelAllStopsInFlightWork) {
 }
 
 TEST(SchedulerTest, CancelledResultsAreNotCached) {
-  util::ThreadPool pool(2);
+  util::Executor executor(2);
   ResultCache cache(16, 2);
   FakeSolver::Control control;
   control.release.store(false);
-  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{}, &cache, 1);
+  BatchScheduler scheduler(executor, FakeFactory(&control), SolveOptions{}, &cache, 1);
   Hypergraph graph = MakeCycle(8);
   scheduler.Submit(SpecFor(graph, 2, 0.05)).get();
   EXPECT_EQ(cache.num_entries(), 0u);
@@ -175,10 +177,10 @@ TEST(SchedulerTest, CancelledResultsAreNotCached) {
 }
 
 TEST(SchedulerTest, CompletedResultsHitTheCache) {
-  util::ThreadPool pool(2);
+  util::Executor executor(2);
   ResultCache cache(16, 2);
   FakeSolver::Control control;
-  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{}, &cache, 1);
+  BatchScheduler scheduler(executor, FakeFactory(&control), SolveOptions{}, &cache, 1);
   Hypergraph graph = MakeCycle(8);
 
   JobResult first = scheduler.Submit(SpecFor(graph, 2)).get();
@@ -191,9 +193,9 @@ TEST(SchedulerTest, CompletedResultsHitTheCache) {
 }
 
 TEST(SchedulerTest, SubmitBatchAlignsFuturesWithSpecs) {
-  util::ThreadPool pool(4);
+  util::Executor executor(4);
   FakeSolver::Control control;
-  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{},
+  BatchScheduler scheduler(executor, FakeFactory(&control), SolveOptions{},
                            nullptr, 1);
   Hypergraph cycle = MakeCycle(8);
   Hypergraph path = MakePath(5);
@@ -213,9 +215,9 @@ TEST(SchedulerTest, SubmitBatchAlignsFuturesWithSpecs) {
 }
 
 TEST(SchedulerTest, DrainWaitsForAllFlights) {
-  util::ThreadPool pool(2);
+  util::Executor executor(2);
   FakeSolver::Control control;
-  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{},
+  BatchScheduler scheduler(executor, FakeFactory(&control), SolveOptions{},
                            nullptr, 1);
   Hypergraph graph = MakeCycle(8);
   std::vector<std::future<JobResult>> futures;
@@ -230,10 +232,10 @@ TEST(SchedulerTest, DrainWaitsForAllFlights) {
 
 TEST(SchedulerTest, HammeredWithConcurrentSubmitters) {
   // Stress the admission path from many threads; also the TSan target.
-  util::ThreadPool pool(4);
+  util::Executor executor(4);
   ResultCache cache(128, 8);
   FakeSolver::Control control;
-  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{},
+  BatchScheduler scheduler(executor, FakeFactory(&control), SolveOptions{},
                            &cache, 1);
   std::vector<Hypergraph> graphs;
   for (int n = 4; n < 10; ++n) graphs.push_back(MakeCycle(n));
@@ -261,18 +263,11 @@ TEST(SchedulerTest, HammeredWithConcurrentSubmitters) {
 }
 
 // ---------------------------------------------------------------------------
-// Batch-aware thread feedback (SolveOptions::num_threads == 0).
-
-TEST(AutoThreadsTest, PickAutoThreadsSplitsThePool) {
-  EXPECT_EQ(PickAutoThreads(8, 1), 8);   // lone job: whole pool
-  EXPECT_EQ(PickAutoThreads(8, 2), 4);
-  EXPECT_EQ(PickAutoThreads(8, 3), 2);
-  EXPECT_EQ(PickAutoThreads(8, 8), 1);   // pool-deep queue: one thread each
-  EXPECT_EQ(PickAutoThreads(8, 100), 1); // deeper queues never go below one
-  EXPECT_EQ(PickAutoThreads(4, 3), 1);
-  EXPECT_EQ(PickAutoThreads(1, 1), 1);
-  EXPECT_EQ(PickAutoThreads(0, 0), 1);   // degenerate inputs clamp
-}
+// Adaptive width (SolveOptions::num_threads == 0) on the work-stealing
+// executor. There is no admission-time pick any more: the scheduler resolves
+// the 0 hint to the executor width, the solve offers that many chunk tasks,
+// and threads_used reports the peak number of workers that were genuinely
+// inside the flight's task group at once.
 
 /// Records the num_threads each constructed solver was handed.
 SolverFactoryFn RecordingFactory(FakeSolver::Control* control,
@@ -286,79 +281,118 @@ SolverFactoryFn RecordingFactory(FakeSolver::Control* control,
   };
 }
 
-TEST(AutoThreadsTest, LoneJobGetsTheWholePool) {
-  util::ThreadPool pool(4);
-  FakeSolver::Control control;
-  std::mutex mutex;
-  std::vector<int> seen;
+/// Spawns num_threads - 1 chunk tasks into the flight's task group and runs
+/// one inline, all meeting at a barrier: Solve() completes only once that
+/// many workers were concurrently running its chunks — the executor-era
+/// observable for "the job really got N threads".
+class BarrierSolver : public HdSolver {
+ public:
+  explicit BarrierSolver(const SolveOptions& options) : options_(options) {}
+
+  SolveResult Solve(const Hypergraph&, int) override {
+    const int width = options_.num_threads;
+    auto arrived = std::make_shared<std::atomic<int>>(0);
+    auto chunk = [arrived, width] {
+      arrived->fetch_add(1);
+      while (arrived->load() < width) std::this_thread::sleep_for(1ms);
+    };
+    util::TaskGroup group(*options_.task_group);
+    for (int i = 1; i < width; ++i) group.Spawn(chunk);
+    group.Run(chunk);
+    group.Wait();
+    SolveResult result;
+    result.outcome = Outcome::kYes;
+    return result;
+  }
+
+  std::string name() const override { return "barrier"; }
+
+ private:
+  SolveOptions options_;
+};
+
+SolverFactoryFn BarrierFactory() {
+  return [](const SolveOptions& options) -> std::unique_ptr<HdSolver> {
+    return std::make_unique<BarrierSolver>(options);
+  };
+}
+
+TEST(AdaptiveWidthTest, LoneJobWidensToTheWholeFleet) {
+  util::Executor executor(4);
   SolveOptions options;
-  options.num_threads = 0;  // auto
-  BatchScheduler scheduler(pool, RecordingFactory(&control, &mutex, &seen),
-                           options, /*cache=*/nullptr, /*config_digest=*/1);
+  options.num_threads = 0;  // adaptive
+  BatchScheduler scheduler(executor, BarrierFactory(), options,
+                           /*cache=*/nullptr, /*config_digest=*/1);
   Hypergraph graph = MakeCycle(6);
   JobResult job = scheduler.Submit(SpecFor(graph, 2)).get();
-  ASSERT_EQ(seen.size(), 1u);
-  EXPECT_EQ(seen[0], 4) << "an empty queue should hand one job every worker";
-  EXPECT_EQ(job.threads_used, 4);
+  EXPECT_EQ(job.result.outcome, Outcome::kYes);
+  EXPECT_EQ(job.threads_used, 4)
+      << "a lone flight on an idle fleet must widen to every worker";
 }
 
-TEST(AutoThreadsTest, DeepQueueRunsOneThreadPerJob) {
-  util::ThreadPool pool(4);
+TEST(AdaptiveWidthTest, LoneBigSolveWidensAfterTheQueueDrains) {
+  // The regression the refactor exists for: a big solve admitted while the
+  // queue is deep starts narrow, then widens mid-flight as the small jobs
+  // drain — with a static admission-time split it would stay at width 1
+  // forever. Two schedulers share one executor so the small flights and the
+  // big one compete for the same workers.
+  util::Executor executor(4);
   FakeSolver::Control control;
-  control.release = false;  // park flights so the queue stays deep
-  std::mutex mutex;
-  std::vector<int> seen;
-  SolveOptions options;
-  options.num_threads = 0;  // auto
-  BatchScheduler scheduler(pool, RecordingFactory(&control, &mutex, &seen),
-                           options, /*cache=*/nullptr, /*config_digest=*/1);
+  control.release.store(false);  // park the small flights on their workers
+  BatchScheduler small_scheduler(executor, FakeFactory(&control),
+                                 SolveOptions{}, /*cache=*/nullptr,
+                                 /*config_digest=*/1);
+  SolveOptions adaptive;
+  adaptive.num_threads = 0;
+  BatchScheduler big_scheduler(executor, BarrierFactory(), adaptive,
+                               /*cache=*/nullptr, /*config_digest=*/2);
 
-  // As many flights as pool workers, admitted in one batch and parked: every
-  // flight starts while all four are outstanding, so each samples a queue
-  // depth of 4 on a 4-thread pool ⇒ one intra-solve thread each.
   std::vector<Hypergraph> graphs;
-  for (int n = 4; n < 8; ++n) graphs.push_back(MakeCycle(n));
-  std::vector<JobSpec> specs;
-  for (const Hypergraph& graph : graphs) specs.push_back(SpecFor(graph, 2));
-  auto futures = scheduler.SubmitBatch(specs);
-
-  while (true) {
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      if (seen.size() >= graphs.size()) break;
-    }
-    std::this_thread::sleep_for(1ms);
+  for (int n = 4; n < 7; ++n) graphs.push_back(MakeCycle(n));
+  std::vector<std::future<JobResult>> small_futures;
+  for (const Hypergraph& graph : graphs) {
+    small_futures.push_back(small_scheduler.Submit(SpecFor(graph, 2)));
   }
-  control.release = true;
-  for (auto& future : futures) {
-    EXPECT_EQ(future.get().threads_used, 1);
+  // Three workers pinned; the big flight starts on the fourth but its chunk
+  // tasks can only queue — nothing is free to steal them.
+  while (control.solve_calls.load() < 3) std::this_thread::sleep_for(1ms);
+  Hypergraph big = MakeCycle(12);
+  auto big_future = big_scheduler.Submit(SpecFor(big, 2));
+  std::this_thread::sleep_for(20ms);  // let the big flight reach its barrier
+  control.release.store(true);  // drain the queue; freed workers steal chunks
+  for (auto& future : small_futures) {
+    EXPECT_EQ(future.get().threads_used, 1)
+        << "a parked flight under a deep queue must not have widened";
   }
-  std::lock_guard<std::mutex> lock(mutex);
-  ASSERT_EQ(seen.size(), graphs.size());
-  for (int threads : seen) EXPECT_EQ(threads, 1);
+  JobResult big_job = big_future.get();
+  EXPECT_EQ(big_job.result.outcome, Outcome::kYes);
+  EXPECT_EQ(big_job.threads_used, 4)
+      << "the drained fleet must converge on the lone straggler";
 }
 
-TEST(AutoThreadsTest, ConfiguredThreadCountIsUntouched) {
-  util::ThreadPool pool(4);
+TEST(AdaptiveWidthTest, ConfiguredThreadCountIsUntouched) {
+  util::Executor executor(4);
   FakeSolver::Control control;
   std::mutex mutex;
   std::vector<int> seen;
   SolveOptions options;
-  options.num_threads = 3;  // explicit: auto mode must not engage
-  BatchScheduler scheduler(pool, RecordingFactory(&control, &mutex, &seen),
+  options.num_threads = 3;  // explicit: the 0-resolution must not engage
+  BatchScheduler scheduler(executor, RecordingFactory(&control, &mutex, &seen),
                            options, /*cache=*/nullptr, /*config_digest=*/1);
   Hypergraph graph = MakeCycle(6);
   JobResult job = scheduler.Submit(SpecFor(graph, 2)).get();
   ASSERT_EQ(seen.size(), 1u);
   EXPECT_EQ(seen[0], 3);
-  EXPECT_EQ(job.threads_used, 3);
+  // threads_used reports the measured peak width, not the hint: a solver
+  // that never spawns into its group ran exactly one worker.
+  EXPECT_EQ(job.threads_used, 1);
 }
 
-TEST(AutoThreadsTest, QueueDepthTracksFlights) {
-  util::ThreadPool pool(2);
+TEST(AdaptiveWidthTest, QueueDepthTracksFlights) {
+  util::Executor executor(2);
   FakeSolver::Control control;
   control.release = false;
-  BatchScheduler scheduler(pool, FakeFactory(&control), SolveOptions{},
+  BatchScheduler scheduler(executor, FakeFactory(&control), SolveOptions{},
                            /*cache=*/nullptr, /*config_digest=*/1);
   EXPECT_EQ(scheduler.queue_depth(), 0);
   EXPECT_EQ(scheduler.outstanding_jobs(), 0u);

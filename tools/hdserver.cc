@@ -39,6 +39,7 @@
 #include "net/server.h"
 #include "net/shard_router.h"
 #include "util/cli.h"
+#include "util/executor.h"
 
 namespace {
 
@@ -53,7 +54,8 @@ void Usage(const char* argv0) {
       "  --host ADDR        listen address (default 127.0.0.1)\n"
       "  --port N           listen port, 0 = ephemeral (default 8080)\n"
       "  --io-threads N     connection-serving threads (default 8)\n"
-      "  --workers N        scheduler worker threads (default 4)\n"
+      "  --workers N        fleet executor width: workers shared by every\n"
+      "                     solve and async query job (default 4)\n"
       "  --threads N        intra-solve threads per job; 0 = batch-aware auto\n"
       "                     (default 0)\n"
       "  --solver NAME      logk | logk-basic | detk | hybrid | balsep-ghd\n"
@@ -296,6 +298,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Size the fleet-wide executor before anything touches Global(): every
+  // flight, chunk task, and async query job in this process runs on it.
+  htd::util::Executor::InitGlobal(options.service.num_workers);
   auto server = htd::net::DecompositionServer::Create(options);
   if (!server.ok()) {
     std::fprintf(stderr, "hdserver: %s\n", server.status().message().c_str());

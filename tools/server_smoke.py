@@ -707,9 +707,21 @@ def main():
     restored = stats["snapshot"]["restored_cache_entries"]
     if restored < len(corpus):
         fail(f"expected >= {len(corpus)} restored cache entries, got {restored}")
+    # Idle fleet: every cache hit has resolved, so no executor worker should
+    # still be running a task.
+    status, _, text = scrape(port, "/v1/metrics")
+    if status != 200:
+        fail(f"idle scrape: /v1/metrics answered {status}")
+    series = parse_prometheus(text, "idle server")
+    idle_busy = series.get("htd_executor_workers_busy", -1)
+    if idle_busy != 0:
+        fail(f"idle server reports {idle_busy} busy executor workers, want 0")
+    if series.get("htd_executor_workers", 0) != 2:
+        fail(f"idle server reports {series.get('htd_executor_workers')} "
+             f"executor workers, want 2 (--workers 2)")
     stop_server(server)
     print(f"phase 2 OK: warm restart served {len(corpus)} cache hits "
-          f"({restored} entries restored)")
+          f"({restored} entries restored), executor idle after drain")
 
     # --- Phase 3: flood past the admission bound. --------------------------
     port = free_port()
@@ -733,8 +745,23 @@ def main():
     stats = json.loads(client(port, "stats").stdout)
     if stats["admission"]["shed"] != shed:
         fail(f"stats disagree: {stats['admission']['shed']} != {shed}")
+    # Saturated fleet: the pinned clique24 solves are still running, so the
+    # whole executor (1 worker) must be busy — no idle capacity while work
+    # is queued.
+    status, _, text = scrape(port, "/v1/metrics")
+    if status != 200:
+        fail(f"flood scrape: /v1/metrics answered {status}")
+    series = parse_prometheus(text, "flooded server")
+    busy = series.get("htd_executor_workers_busy", -1)
+    fleet = series.get("htd_executor_workers", 0)
+    if fleet != 1:
+        fail(f"flooded server reports {fleet} executor workers, want 1")
+    if busy != fleet:
+        fail(f"flood: {busy}/{fleet} executor workers busy; the fleet must "
+             f"saturate while solves are pinned")
     stop_server(server)  # must cancel pinned solves promptly, not hang
-    print(f"phase 3 OK: {accepted} admitted, {shed} shed with 429")
+    print(f"phase 3 OK: {accepted} admitted, {shed} shed with 429, "
+          f"{busy}/{fleet} workers busy during the flood")
 
     # --- Phase 4: fingerprint-range sharding behind the router. ------------
     shard_phase(workdir)
