@@ -1,0 +1,272 @@
+// Bench: C10K-style connection scale for the epoll server core (net/server).
+//
+// One hdserver-shaped HttpServer process must sustain >= 10,000 concurrent
+// idle keep-alive connections with a HANDFUL of threads (io_threads=4,
+// loop_threads=2), serve sampled requests over those held connections, and
+// shed precisely at the configured --max-connections bound — NOT at any
+// thread count. The thread-per-connection core this replaced admitted at
+// min(max_connections, thread budget); the property under test here is that
+// admission is io_threads-independent.
+//
+// Process layout: this container caps RLIMIT_NOFILE at 20,000 and a single
+// process cannot hold both ends of 10k sockets, so the client side runs in
+// a forked CHILD (fork happens before the server spawns any threads). The
+// port travels parent->child over a pipe; phase sync is a byte each way.
+//
+// Exit code 1 if fewer than kConnections are held simultaneously, if any
+// connection is shed below the bound, or if no shed occurs beyond it.
+// HTD_BENCH_CONNECTIONS overrides the default 10,000.
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+#include "net/server.h"
+#include "util/socket.h"
+
+namespace htd::bench {
+namespace {
+
+constexpr int kDefaultConnections = 10000;
+constexpr int kShedProbes = 64;      ///< extra connections past the bound
+constexpr int kBoundHeadroom = 16;   ///< max_connections = N + this
+
+int Connections() {
+  const char* env = std::getenv("HTD_BENCH_CONNECTIONS");
+  if (env == nullptr) return kDefaultConnections;
+  int value = std::atoi(env);
+  return value > 0 ? value : kDefaultConnections;
+}
+
+void RaiseFdLimit() {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) == 0) {
+    limit.rlim_cur = limit.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &limit);
+  }
+}
+
+bool ReadByte(int fd) {
+  char byte;
+  return ::read(fd, &byte, 1) == 1;
+}
+
+void WriteByte(int fd) {
+  char byte = '!';
+  [[maybe_unused]] ssize_t n = ::write(fd, &byte, 1);
+}
+
+/// One keep-alive request over an already-held connection; true on HTTP 200.
+bool SampleRequest(int fd) {
+  if (!htd::util::SendAll(fd, "GET /ping HTTP/1.1\r\nHost: bench\r\n\r\n")) {
+    return false;
+  }
+  htd::util::SetRecvTimeout(fd, 30.0);
+  htd::net::HttpResponseParser parser;
+  char buffer[4096];
+  while (true) {
+    long n = htd::util::RecvSome(fd, buffer, sizeof(buffer));
+    if (n <= 0) return false;
+    auto state = parser.Consume(std::string_view(buffer, static_cast<size_t>(n)));
+    if (state == htd::net::HttpResponseParser::State::kDone) {
+      return parser.status() == 200;
+    }
+    if (state == htd::net::HttpResponseParser::State::kError) return false;
+  }
+}
+
+int RunClient(int port_pipe, int notify_pipe, int go_pipe) {
+  // Port arrives as a text line.
+  char text[16] = {0};
+  size_t off = 0;
+  while (off < sizeof(text) - 1) {
+    char c;
+    if (::read(port_pipe, &c, 1) != 1) return 1;
+    if (c == '\n') break;
+    text[off++] = c;
+  }
+  int port = std::atoi(text);
+  if (port <= 0) return 1;
+  const int target = Connections();
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<htd::util::Socket> held;
+  held.reserve(static_cast<size_t>(target));
+  for (int i = 0; i < target; ++i) {
+    auto sock = htd::util::ConnectTcp("127.0.0.1", port, 30.0);
+    if (!sock.ok()) {
+      std::fprintf(stderr, "client: connect %d failed: %s\n", i,
+                   sock.status().message().c_str());
+      return 1;
+    }
+    held.push_back(std::move(*sock));
+    if ((i + 1) % 2000 == 0) {
+      std::fprintf(stderr, "client: %d connections held\n", i + 1);
+    }
+  }
+  double connect_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::fprintf(stderr, "client: %d keep-alive connections in %.2fs\n", target,
+               connect_seconds);
+
+  // Serving while saturated: a sample of held connections must still answer.
+  int sampled = 0, served = 0;
+  for (int i = 0; i < target; i += target / 20) {
+    ++sampled;
+    if (SampleRequest(held[static_cast<size_t>(i)].fd())) ++served;
+  }
+  std::fprintf(stderr, "client: %d/%d sampled requests served over held "
+               "connections\n", served, sampled);
+
+  WriteByte(notify_pipe);  // parent: sample your gauges now
+  if (!ReadByte(go_pipe)) return 1;
+
+  // Past the bound: the acceptor must answer 503 (transport shed). All
+  // probes are HELD simultaneously — closing one frees its slot — so the
+  // first kBoundHeadroom may be admitted and the rest must shed.
+  std::vector<htd::util::Socket> probes;
+  probes.reserve(kShedProbes);
+  for (int i = 0; i < kShedProbes; ++i) {
+    auto sock = htd::util::ConnectTcp("127.0.0.1", port, 30.0);
+    if (sock.ok()) probes.push_back(std::move(*sock));
+  }
+  int shed = 0, admitted = 0;
+  for (auto& probe : probes) {
+    // Shed connections get their 503 + close immediately; admitted ones sit
+    // idle and the read times out.
+    htd::util::SetRecvTimeout(probe.fd(), 1.0);
+    htd::net::HttpResponseParser parser;
+    char buffer[2048];
+    bool got_shed = false;
+    while (true) {
+      long n = htd::util::RecvSome(probe.fd(), buffer, sizeof(buffer));
+      if (n <= 0) break;  // timeout: admitted and idle, no 503 coming
+      if (parser.Consume(std::string_view(buffer, static_cast<size_t>(n))) ==
+          htd::net::HttpResponseParser::State::kDone) {
+        got_shed = parser.status() == 503;
+        break;
+      }
+    }
+    if (got_shed) {
+      ++shed;
+    } else {
+      ++admitted;
+    }
+  }
+  probes.clear();
+  std::fprintf(stderr, "client: beyond the bound: %d shed (503), %d admitted "
+               "(headroom %d)\n", shed, admitted, kBoundHeadroom);
+
+  bool ok = served == sampled && shed > 0 &&
+            admitted <= kBoundHeadroom + 4;  // races at the edge tolerated
+  held.clear();
+  return ok ? 0 : 1;
+}
+
+int Main() {
+  RaiseFdLimit();
+  const int target = Connections();
+
+  int port_pipe[2], notify_pipe[2], go_pipe[2];
+  if (::pipe(port_pipe) != 0 || ::pipe(notify_pipe) != 0 ||
+      ::pipe(go_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  // Fork BEFORE the server spawns threads: a post-fork child of a threaded
+  // process may not safely run much beyond exec/_exit.
+  pid_t child = ::fork();
+  if (child < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (child == 0) {
+    ::close(port_pipe[1]);
+    ::close(notify_pipe[0]);
+    ::close(go_pipe[1]);
+    int rc = RunClient(port_pipe[0], notify_pipe[1], go_pipe[0]);
+    ::_exit(rc);
+  }
+  ::close(port_pipe[0]);
+  ::close(notify_pipe[1]);
+  ::close(go_pipe[0]);
+
+  htd::net::HttpServer::Options options;
+  options.io_threads = 4;       // deliberately tiny versus the conn count
+  options.loop_threads = 2;
+  options.backlog = 1024;
+  options.max_connections = target + kBoundHeadroom;
+  options.idle_timeout_seconds = 300.0;  // nothing reaped mid-bench
+  htd::net::HttpServer server(options, [](const htd::net::HttpRequest&) {
+    htd::net::HttpResponse response;
+    response.body = "{\"ok\": true}\n";
+    return response;
+  });
+  if (auto status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", status.message().c_str());
+    return 1;
+  }
+  std::string port_line = std::to_string(server.port()) + "\n";
+  if (::write(port_pipe[1], port_line.data(), port_line.size()) < 0) return 1;
+
+  // Child says it holds everything: sample the gauges at saturation.
+  bool saturated = ReadByte(notify_pipe[0]);
+  auto counts = server.connection_counts();
+  uint64_t shed_below_bound = server.connections_shed();
+  std::printf("connection_scale: target=%d io_threads=%d loop_threads=%d\n",
+              target, options.io_threads, options.loop_threads);
+  std::printf("  at saturation: idle=%llu reading=%llu dispatched=%llu "
+              "writing=%llu total=%llu\n",
+              static_cast<unsigned long long>(counts.idle),
+              static_cast<unsigned long long>(counts.reading),
+              static_cast<unsigned long long>(counts.dispatched),
+              static_cast<unsigned long long>(counts.writing),
+              static_cast<unsigned long long>(counts.total()));
+  std::printf("  accepted=%llu shed_below_bound=%llu reaped=%llu\n",
+              static_cast<unsigned long long>(server.connections_accepted()),
+              static_cast<unsigned long long>(shed_below_bound),
+              static_cast<unsigned long long>(server.connections_reaped()));
+  WriteByte(go_pipe[1]);  // child: proceed to the shed probes
+
+  int wait_status = 0;
+  ::waitpid(child, &wait_status, 0);
+  uint64_t shed_total = server.connections_shed();
+  std::printf("  shed_beyond_bound=%llu\n",
+              static_cast<unsigned long long>(shed_total - shed_below_bound));
+  server.Stop();
+
+  bool child_ok = WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 0;
+  bool held_all = saturated && counts.total() >= static_cast<uint64_t>(target);
+  bool no_early_shed = shed_below_bound == 0;
+  bool shed_at_bound = shed_total > shed_below_bound;
+  if (!child_ok) std::fprintf(stderr, "FAIL: client phase failed\n");
+  if (!held_all) {
+    std::fprintf(stderr, "FAIL: held %llu < target %d at saturation\n",
+                 static_cast<unsigned long long>(counts.total()), target);
+  }
+  if (!no_early_shed) {
+    std::fprintf(stderr, "FAIL: shed %llu connections BELOW the bound — "
+                 "admission is coupled to something other than "
+                 "max_connections\n",
+                 static_cast<unsigned long long>(shed_below_bound));
+  }
+  if (!shed_at_bound) {
+    std::fprintf(stderr, "FAIL: no shed beyond max_connections\n");
+  }
+  bool ok = child_ok && held_all && no_early_shed && shed_at_bound;
+  std::printf("connection_scale: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace htd::bench
+
+int main() { return htd::bench::Main(); }

@@ -333,6 +333,34 @@ void DecompositionServer::BindMetrics() {
   metrics.RegisterCallback(
       "htd_connections_shed_total", "", "counter",
       [this] { return static_cast<double>(http_->connections_shed()); });
+  metrics.SetHelp("htd_connections_reaped_total",
+                  "Connections reaped by a timeout (idle, header/slow-loris, "
+                  "or stalled write).");
+  metrics.RegisterCallback(
+      "htd_connections_reaped_total", "", "counter",
+      [this] { return static_cast<double>(http_->connections_reaped()); });
+  metrics.SetHelp("htd_accept_failures_total",
+                  "accept() failures after a readable poll (fd exhaustion); "
+                  "each costs one acceptor backoff.");
+  metrics.RegisterCallback(
+      "htd_accept_failures_total", "", "counter",
+      [this] { return static_cast<double>(http_->accept_failures()); });
+  metrics.SetHelp("htd_connections",
+                  "Live connections by state on the epoll loop ring.");
+  metrics.RegisterCallback("htd_connections", "state=\"idle\"", "gauge", [this] {
+    return static_cast<double>(http_->connection_counts().idle);
+  });
+  metrics.RegisterCallback(
+      "htd_connections", "state=\"reading\"", "gauge",
+      [this] { return static_cast<double>(http_->connection_counts().reading); });
+  metrics.RegisterCallback("htd_connections", "state=\"dispatched\"", "gauge",
+                           [this] {
+                             return static_cast<double>(
+                                 http_->connection_counts().dispatched);
+                           });
+  metrics.RegisterCallback(
+      "htd_connections", "state=\"writing\"", "gauge",
+      [this] { return static_cast<double>(http_->connection_counts().writing); });
   metrics.SetHelp("htd_request_seconds", "HTTP request latency by route.");
 }
 

@@ -243,17 +243,29 @@ HttpRequestParser::State HttpRequestParser::Consume(std::string_view bytes) {
   buffer_.append(bytes.data(), bytes.size());
 
   if (!head_done_) {
-    size_t head_end = buffer_.find("\r\n\r\n");
+    // Resume the terminator scan where the previous chunk left off (backing
+    // up 3 bytes so a terminator straddling the chunk boundary is seen) —
+    // byte-at-a-time delivery stays O(total bytes).
+    size_t from = head_scan_ > 3 ? head_scan_ - 3 : 0;
+    size_t head_end = buffer_.find("\r\n\r\n", from);
     size_t head_len = 4;
     if (head_end == std::string::npos) {
-      head_end = buffer_.find("\n\n");
+      head_end = buffer_.find("\n\n", from);
       head_len = 2;
     }
     if (head_end == std::string::npos) {
+      head_scan_ = buffer_.size();
       if (buffer_.size() > limits_.max_head_bytes) {
         return Fail(413, "request head exceeds limit");
       }
       return State::kNeedMore;
+    }
+    if (head_end > limits_.max_head_bytes) {
+      // Enforced on FOUND terminators too, not only unterminated buffers —
+      // otherwise the verdict would depend on how the bytes were chunked
+      // (a one-shot read of an oversized head would sneak past the limit
+      // that byte-at-a-time delivery trips).
+      return Fail(413, "request head exceeds limit");
     }
     if (!ParseHead(std::string_view(buffer_).substr(0, head_end))) {
       return state_;
@@ -272,35 +284,39 @@ HttpRequestParser::State HttpRequestParser::Consume(std::string_view bytes) {
 void HttpRequestParser::Reset() {
   request_ = HttpRequest();
   head_done_ = false;
+  head_scan_ = 0;
   body_expected_ = 0;
   error_.clear();
   error_status_ = 400;
   state_ = State::kNeedMore;
 }
 
-bool ParseHttpResponseBlob(std::string_view blob, int* status,
-                           std::map<std::string, std::string>* headers,
-                           std::string* body) {
-  size_t head_end = blob.find("\r\n\r\n");
-  size_t head_len = 4;
-  if (head_end == std::string_view::npos) {
-    head_end = blob.find("\n\n");
-    head_len = 2;
-  }
-  if (head_end == std::string_view::npos) return false;
-  std::string_view head = blob.substr(0, head_end);
+HttpResponseParser::State HttpResponseParser::Fail(std::string message) {
+  error_ = std::move(message);
+  state_ = State::kError;
+  return state_;
+}
 
+bool HttpResponseParser::ParseHead(std::string_view head) {
   size_t line_end = head.find('\n');
   std::string_view status_line =
       Trim(head.substr(0, line_end == std::string_view::npos ? head.size()
                                                              : line_end));
-  if (status_line.substr(0, 5) != "HTTP/") return false;
+  if (status_line.substr(0, 5) != "HTTP/") {
+    Fail("malformed status line");
+    return false;
+  }
   size_t sp = status_line.find(' ');
-  if (sp == std::string_view::npos || sp + 4 > status_line.size()) return false;
-  *status = std::atoi(std::string(status_line.substr(sp + 1, 3)).c_str());
-  if (*status < 100 || *status > 599) return false;
+  if (sp == std::string_view::npos || sp + 4 > status_line.size()) {
+    Fail("malformed status line");
+    return false;
+  }
+  status_ = std::atoi(std::string(status_line.substr(sp + 1, 3)).c_str());
+  if (status_ < 100 || status_ > 599) {
+    Fail("implausible status code");
+    return false;
+  }
 
-  headers->clear();
   while (line_end != std::string_view::npos) {
     size_t start = line_end + 1;
     line_end = head.find('\n', start);
@@ -310,20 +326,81 @@ bool ParseHttpResponseBlob(std::string_view blob, int* status,
     line = Trim(line);
     if (line.empty()) continue;
     size_t colon = line.find(':');
-    if (colon == std::string_view::npos) return false;
-    (*headers)[ToLower(Trim(line.substr(0, colon)))] =
+    if (colon == std::string_view::npos) {
+      Fail("malformed header line");
+      return false;
+    }
+    headers_[ToLower(Trim(line.substr(0, colon)))] =
         std::string(Trim(line.substr(colon + 1)));
   }
 
-  *body = std::string(blob.substr(head_end + head_len));
-  auto it = headers->find("content-length");
-  if (it != headers->end()) {
+  auto it = headers_.find("content-length");
+  if (it != headers_.end()) {
     char* end = nullptr;
-    unsigned long long expected = std::strtoull(it->second.c_str(), &end, 10);
-    if (end == it->second.c_str() || *end != '\0') return false;
-    if (body->size() < expected) return false;
-    body->resize(static_cast<size_t>(expected));
+    unsigned long long parsed = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+      Fail("malformed Content-Length");
+      return false;
+    }
+    have_length_ = true;
+    body_expected_ = static_cast<size_t>(parsed);
   }
+  return true;
+}
+
+HttpResponseParser::State HttpResponseParser::Consume(std::string_view bytes) {
+  if (state_ != State::kNeedMore) return state_;
+  buffer_.append(bytes.data(), bytes.size());
+
+  if (!head_done_) {
+    size_t from = head_scan_ > 3 ? head_scan_ - 3 : 0;
+    size_t head_end = buffer_.find("\r\n\r\n", from);
+    size_t head_len = 4;
+    if (head_end == std::string::npos) {
+      head_end = buffer_.find("\n\n", from);
+      head_len = 2;
+    }
+    if (head_end == std::string::npos) {
+      head_scan_ = buffer_.size();
+      return State::kNeedMore;
+    }
+    if (!ParseHead(std::string_view(buffer_).substr(0, head_end))) {
+      return state_;
+    }
+    buffer_.erase(0, head_end + head_len);
+    head_done_ = true;
+  }
+
+  // A Content-Length body completes the moment the promised bytes are in
+  // (bytes beyond it are ignored — one exchange per parser); a length-less
+  // body is framed by connection close and completes in Finish().
+  if (!have_length_) return State::kNeedMore;
+  if (buffer_.size() < body_expected_) return State::kNeedMore;
+  body_ = buffer_.substr(0, body_expected_);
+  buffer_.clear();
+  state_ = State::kDone;
+  return state_;
+}
+
+HttpResponseParser::State HttpResponseParser::Finish() {
+  if (state_ != State::kNeedMore) return state_;
+  if (!head_done_) return Fail("connection closed mid-head");
+  if (have_length_) return Fail("connection closed short of Content-Length");
+  body_ = std::move(buffer_);
+  buffer_.clear();
+  state_ = State::kDone;
+  return state_;
+}
+
+bool ParseHttpResponseBlob(std::string_view blob, int* status,
+                           std::map<std::string, std::string>* headers,
+                           std::string* body) {
+  HttpResponseParser parser;
+  parser.Consume(blob);
+  if (parser.Finish() != HttpResponseParser::State::kDone) return false;
+  *status = parser.status();
+  *headers = parser.headers();
+  *body = parser.body();
   return true;
 }
 

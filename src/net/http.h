@@ -2,11 +2,13 @@
 //
 // Implements exactly the slice the wire protocol (docs/SERVER.md) needs and
 // nothing more: request parsing with Content-Length bodies, response
-// serialisation, and client-side response parsing for tools/hdclient.cc.
-// No chunked transfer encoding (rejected with 501 by the server), no TLS,
-// no multipart. The parser is incremental and socket-agnostic — it consumes
-// byte chunks from any source, which keeps it unit-testable without a
-// network (tests/http_test.cc).
+// serialisation, and client-side response parsing (net/http_client,
+// tools/hdclient.cc). No chunked transfer encoding (rejected with 501 by
+// the server), no TLS, no multipart. Both parsers are incremental and
+// socket-agnostic — they consume byte chunks from any source, which is what
+// the epoll readiness loop in net/server.cc drives them with and what keeps
+// them unit-testable without a network (tests/http_test.cc,
+// tests/http_incremental_test.cc).
 #pragma once
 
 #include <cstddef>
@@ -81,7 +83,17 @@ class HttpRequestParser {
   /// when the previous read pulled in the start of the next request).
   State Continue() { return Consume({}); }
 
+  /// Bytes buffered but not yet turned into a parsed request. Non-zero
+  /// after Reset() when the previous read pulled in pipelined bytes; the
+  /// readiness loop uses it to tell an idle connection (nothing received)
+  /// from one mid-request (header timeout applies).
+  size_t buffered_bytes() const { return buffer_.size(); }
+
   const HttpRequest& request() const { return request_; }
+  /// Moves the parsed request out (valid in state kDone) — the readiness
+  /// loop hands it to the handler pool without copying a large body. The
+  /// parser's own request is left moved-from; call Reset() before reuse.
+  HttpRequest TakeRequest() { return std::move(request_); }
   /// Human-readable parse failure; meaningful in state kError.
   const std::string& error() const { return error_; }
   /// Suggested response status for a parse failure (400 or 413 or 501).
@@ -98,10 +110,52 @@ class HttpRequestParser {
   Limits limits_;
   std::string buffer_;
   bool head_done_ = false;
+  /// Position the head-terminator scan resumes from, so byte-at-a-time
+  /// delivery costs O(total) rather than re-scanning the whole buffer per
+  /// chunk (the epoll loop feeds the parser arbitrarily fragmented reads).
+  size_t head_scan_ = 0;
   size_t body_expected_ = 0;
   HttpRequest request_;
   std::string error_;
   int error_status_ = 400;
+  State state_ = State::kNeedMore;
+};
+
+/// Incremental HTTP/1.x RESPONSE parser, the client-side mirror of
+/// HttpRequestParser: feed Consume() whatever the socket yields. A response
+/// carrying Content-Length completes as soon as that many body bytes arrive
+/// — the caller need not wait for the server to close the connection.
+/// Responses without Content-Length are framed by connection close: call
+/// Finish() at orderly EOF to terminate the body.
+class HttpResponseParser {
+ public:
+  enum class State { kNeedMore, kDone, kError };
+
+  State Consume(std::string_view bytes);
+  /// Orderly EOF from the transport. Completes a close-framed body;
+  /// an EOF mid-head or short of a promised Content-Length is an error
+  /// (truncated response).
+  State Finish();
+
+  int status() const { return status_; }
+  /// Header keys lower-cased.
+  const std::map<std::string, std::string>& headers() const { return headers_; }
+  const std::string& body() const { return body_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  State Fail(std::string message);
+  bool ParseHead(std::string_view head);
+
+  std::string buffer_;
+  size_t head_scan_ = 0;
+  bool head_done_ = false;
+  bool have_length_ = false;
+  size_t body_expected_ = 0;
+  int status_ = 0;
+  std::map<std::string, std::string> headers_;
+  std::string body_;
+  std::string error_;
   State state_ = State::kNeedMore;
 };
 

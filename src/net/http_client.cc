@@ -41,26 +41,37 @@ FetchResult HttpFetch(const std::string& host, int port,
     return result;
   }
 
-  std::string blob;
+  // Incremental parse: a Content-Length-framed response completes the
+  // moment its last body byte arrives — no waiting for the server to close
+  // the connection (the old read-until-EOF loop coupled every fan-out's
+  // latency to the peer's teardown). Length-less responses still frame by
+  // close via Finish().
+  HttpResponseParser parser;
   char buffer[16 * 1024];
-  while (true) {
+  auto state = HttpResponseParser::State::kNeedMore;
+  while (state == HttpResponseParser::State::kNeedMore) {
     long n = util::RecvSome(sock->fd(), buffer, sizeof(buffer));
-    if (n == 0) break;  // orderly close: response complete
+    if (n == 0) {
+      state = parser.Finish();
+      break;
+    }
     if (n < 0) {
       result.transport = n == -2 ? FetchResult::Transport::kRecvTimeout
                                  : FetchResult::Transport::kRecvFailed;
       result.error = n == -2 ? "response timed out" : "recv failed";
       return result;
     }
-    blob.append(buffer, static_cast<size_t>(n));
+    state = parser.Consume(std::string_view(buffer, static_cast<size_t>(n)));
   }
 
-  if (!ParseHttpResponseBlob(blob, &result.status, &result.headers,
-                             &result.body)) {
+  if (state != HttpResponseParser::State::kDone) {
     result.transport = FetchResult::Transport::kParseFailed;
-    result.error = "malformed HTTP response";
+    result.error = "malformed HTTP response: " + parser.error();
     return result;
   }
+  result.status = parser.status();
+  result.headers = parser.headers();
+  result.body = parser.body();
   result.transport = FetchResult::Transport::kOk;
   return result;
 }

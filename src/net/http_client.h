@@ -45,8 +45,10 @@ struct FetchResult {
 };
 
 /// Sends `method target` with `body` and `extra_headers` to host:port and
-/// reads the full response until the peer closes. Host, Content-Length, and
-/// `Connection: close` are added automatically.
+/// reads the response incrementally (HttpResponseParser): a Content-Length
+/// response completes without waiting for the peer to close; a length-less
+/// one is framed by close. Host, Content-Length, and `Connection: close`
+/// are added automatically.
 FetchResult HttpFetch(const std::string& host, int port,
                       const std::string& method, const std::string& target,
                       const std::string& body,

@@ -1,23 +1,45 @@
-// Threaded blocking HTTP/1.1 server.
+// Event-driven HTTP/1.1 server: epoll readiness loop, non-blocking sockets.
 //
-// One acceptor thread polls the listening socket; each accepted connection
-// is served on the IO thread pool (util::ThreadPool) with keep-alive and a
-// per-read idle timeout. The server is transport only — it knows nothing
-// about decompositions; the application routes live in
-// net/decomposition_server.{h,cc} behind the Handler callback.
+// Connection I/O never blocks a thread. One acceptor thread polls the
+// listening socket, sheds past max_connections (503 + Retry-After), and
+// hands accepted fds round-robin to a small worker ring of event loops —
+// each loop owns an epoll set, a timer wheel, and the per-connection state
+// machines (incremental request parse on readable, buffered partial writes
+// on writable). Slow clients therefore cost memory, not threads: tens of
+// thousands of idle keep-alive connections hold fds and parser buffers
+// while loop_threads stays at a handful.
 //
-// Shutdown: Stop() closes the listener, shuts down every live connection
-// socket (unblocking threads parked in recv), and joins the acceptor. It is
-// idempotent and called from the destructor.
+// Handlers still BLOCK — a synchronous decompose runs for seconds — so a
+// parsed request is dispatched to the io_threads pool (util::ThreadPool)
+// exactly as in the thread-per-connection design; only the connection's
+// bytes moved into the loop. While a request is dispatched its connection
+// is quiescent in epoll; the handler's completion posts the serialised
+// response back to the owning loop through an eventfd-woken queue.
+//
+// Write interest (EPOLLOUT, level-triggered) is armed only while a response
+// is partially flushed and disarmed the moment the buffer drains, so idle
+// keep-alive connections never spin the loop.
+//
+// Timeouts run on a per-loop timer wheel instead of SO_RCVTIMEO (nothing
+// blocks in recv any more):
+//   - idle_timeout_seconds    keep-alive connection with no request bytes
+//   - header_timeout_seconds  mid-request (slow-loris drip): reaped with 408
+//   - write_timeout_seconds   response partially flushed to a stalled
+//                             reader: abandoned, slot freed
+//
+// Shutdown: Stop() stops the acceptor, closes idle connections, lets
+// dispatched handlers finish and FLUSHES their in-flight responses (bounded
+// by the write timeout), then joins the loops. Idempotent; called from the
+// destructor.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_set>
+#include <vector>
 
 #include "net/http.h"
 #include "util/socket.h"
@@ -26,6 +48,10 @@
 
 namespace htd::net {
 
+namespace internal {
+class EventLoop;
+}  // namespace internal
+
 class HttpServer {
  public:
   struct Options {
@@ -33,25 +59,43 @@ class HttpServer {
     /// 0 = kernel-assigned ephemeral port (tests); read it back via port().
     int port = 0;
     int backlog = 64;
-    /// Connection-serving threads. Requests block these for their full
-    /// duration (including synchronous solves), so size ≥ the expected
-    /// concurrent client count.
+    /// Handler-executing threads (the IO pool). A synchronous request
+    /// blocks one for its full duration (including solves), so size ≥ the
+    /// expected concurrent REQUEST count. Idle connections no longer pin
+    /// these — connection count is bounded by max_connections alone.
     int io_threads = 8;
+    /// Event-loop worker ring: threads running epoll sets. Connection I/O
+    /// is cheap; a few loops drive tens of thousands of sockets.
+    int loop_threads = 2;
     /// Live-connection bound: connections accepted beyond it are answered
-    /// 503 + Retry-After and closed on the acceptor thread, WITHOUT queueing
-    /// an IO task. This is the transport-level half of load shedding — it is
-    /// what keeps a flood of *synchronous* requests from parking unboundedly
-    /// in the IO pool's queue (the application-level queue bound only sees
-    /// jobs once a handler thread runs).
+    /// 503 + Retry-After and closed on the acceptor thread. This is the
+    /// transport-level half of load shedding — independent of io_threads
+    /// since the epoll core stopped pinning a thread per connection.
     int max_connections = 64;
     /// Retry-After value on connection-level 503s.
     int retry_after_seconds = 1;
-    /// Keep-alive connections idle longer than this are closed.
+    /// Keep-alive connections idle (no request bytes) longer than this are
+    /// closed.
     double idle_timeout_seconds = 30.0;
+    /// A connection mid-request-head or mid-body making no progress past
+    /// this is reaped with 408 (slow-loris guard). 0 = use idle timeout.
+    double header_timeout_seconds = 10.0;
+    /// A partially-flushed response stalled longer than this (peer not
+    /// reading) is abandoned and the connection closed.
+    double write_timeout_seconds = 30.0;
     HttpRequestParser::Limits limits;
   };
 
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Live-connection states, sampled for the htd_connections{state=} gauges.
+  struct ConnectionCounts {
+    uint64_t idle = 0;        ///< keep-alive, between requests
+    uint64_t reading = 0;     ///< request bytes partially received
+    uint64_t dispatched = 0;  ///< handler running on the IO pool
+    uint64_t writing = 0;     ///< response partially flushed
+    uint64_t total() const { return idle + reading + dispatched + writing; }
+  };
 
   HttpServer(Options options, Handler handler);
   ~HttpServer();
@@ -59,9 +103,9 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Binds, listens, and starts the acceptor thread.
+  /// Binds, listens, starts the loop ring and the acceptor thread.
   util::Status Start();
-  /// Stops accepting, tears down live connections, joins the acceptor.
+  /// Stops accepting, drains in-flight responses, joins loops + acceptor.
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -75,10 +119,24 @@ class HttpServer {
   uint64_t connections_shed() const {
     return connections_shed_.load(std::memory_order_relaxed);
   }
+  /// Connections reaped by a timeout (idle, header/slow-loris, or write).
+  uint64_t connections_reaped() const {
+    return connections_reaped_.load(std::memory_order_relaxed);
+  }
+  /// accept() failures after a readable poll (EMFILE under fd exhaustion is
+  /// the classic); each costs one acceptor backoff instead of a spin.
+  uint64_t accept_failures() const {
+    return accept_failures_.load(std::memory_order_relaxed);
+  }
+  /// Current per-state connection counts across the loop ring.
+  ConnectionCounts connection_counts() const;
 
  private:
+  friend class internal::EventLoop;
+
   void AcceptLoop();
-  void ServeConnection(int fd);
+  /// Called by a loop when a connection closes (frees an admission slot).
+  void OnConnectionClosed();
 
   Options options_;
   Handler handler_;
@@ -87,11 +145,14 @@ class HttpServer {
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> connections_shed_{0};
+  std::atomic<uint64_t> connections_reaped_{0};
+  std::atomic<uint64_t> accept_failures_{0};
+  /// Live connections: incremented by the acceptor before hand-off,
+  /// decremented by the owning loop on close. The shed check reads it.
+  std::atomic<int64_t> live_connections_{0};
   std::thread acceptor_;
+  std::vector<std::unique_ptr<internal::EventLoop>> loops_;
   std::unique_ptr<util::ThreadPool> io_pool_;
-
-  std::mutex live_mutex_;
-  std::unordered_set<int> live_fds_;  // guarded by live_mutex_
 };
 
 }  // namespace htd::net

@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstring>
 #include <ctime>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -96,6 +97,23 @@ Socket AcceptWithTimeout(int listen_fd, int timeout_ms) {
   return Socket(fd);
 }
 
+AcceptOutcome AcceptPolled(int listen_fd, int timeout_ms) {
+  AcceptOutcome outcome;
+  pollfd pfd{listen_fd, POLLIN, 0};
+  int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0 || (pfd.revents & POLLIN) == 0) return outcome;
+  int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    outcome.soft_failure = true;
+    outcome.error = errno;
+    return outcome;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  outcome.socket = Socket(fd);
+  return outcome;
+}
+
 StatusOr<Socket> ConnectTcp(const std::string& host, int port,
                             double timeout_seconds) {
   sockaddr_in addr{};
@@ -156,6 +174,22 @@ bool SendAll(int fd, std::string_view data) {
 long RecvSome(int fd, char* buffer, size_t capacity) {
   while (true) {
     ssize_t n = ::recv(fd, buffer, capacity, 0);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -2;
+    return -1;
+  }
+}
+
+bool SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+long SendNonBlocking(int fd, std::string_view data) {
+  while (true) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (n >= 0) return static_cast<long>(n);
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return -2;

@@ -1,12 +1,9 @@
-// Thin blocking TCP helpers over POSIX sockets.
-//
-// The network front-end (src/net/) deliberately uses plain blocking sockets
-// plus a util::ThreadPool rather than an event loop or an external HTTP
-// library: the request bodies are whole hypergraphs and the responses whole
-// decompositions, so per-connection threads are the simple, dependency-free
-// fit. Everything here reports through util::Status / return codes — no
-// exceptions, no global state (SIGPIPE is avoided per-send with
-// MSG_NOSIGNAL).
+// Thin TCP helpers over POSIX sockets: blocking primitives for the clients
+// (net/http_client, tools/hdclient) and non-blocking primitives for the
+// epoll readiness loop in net/server. Dependency-free by design — no
+// external HTTP or event-loop library. Everything reports through
+// util::Status / return codes: no exceptions, no global state (SIGPIPE is
+// avoided per-send with MSG_NOSIGNAL).
 #pragma once
 
 #include <cstddef>
@@ -51,6 +48,19 @@ int LocalPort(int fd);
 /// transient accept failure.
 Socket AcceptWithTimeout(int listen_fd, int timeout_ms);
 
+/// One poll-then-accept step for an accept loop that owns its own failure
+/// policy (the epoll server's acceptor backs off on fd exhaustion instead
+/// of spinning — the EMFILE guard lives in the LOOP, not here).
+struct AcceptOutcome {
+  Socket socket;       ///< valid iff a connection was accepted
+  /// accept() itself failed after the listener polled readable — EMFILE /
+  /// ENFILE / ENOBUFS and friends. The pending connection stays queued, so
+  /// a bare retry would spin at 100% CPU; the caller must back off.
+  bool soft_failure = false;
+  int error = 0;       ///< errno of the soft failure
+};
+AcceptOutcome AcceptPolled(int listen_fd, int timeout_ms);
+
 /// Connects to host:port; kUnavailable-flavoured Internal status on failure.
 StatusOr<Socket> ConnectTcp(const std::string& host, int port,
                             double timeout_seconds);
@@ -66,7 +76,17 @@ bool SendAll(int fd, std::string_view data);
 
 /// One blocking read of up to `capacity` bytes into `buffer`. Returns the
 /// byte count, 0 on orderly peer close, -1 on error, -2 on recv timeout.
+/// On a non-blocking fd, -2 means "no bytes available right now" (EAGAIN),
+/// which is exactly the readiness-loop contract.
 long RecvSome(int fd, char* buffer, size_t capacity);
+
+/// Puts the fd into non-blocking mode (O_NONBLOCK); false on fcntl failure.
+bool SetNonBlocking(int fd);
+
+/// One non-blocking send attempt. Returns the bytes written (possibly 0),
+/// -1 on a hard error, -2 when the socket's send buffer is full (EAGAIN) —
+/// the caller should arm write interest and retry on writability.
+long SendNonBlocking(int fd, std::string_view data);
 
 /// Half-closes the READ side only, unblocking any thread parked in recv on
 /// this fd (it sees an orderly EOF) while leaving the write side usable —

@@ -1,0 +1,320 @@
+// Fragmentation fuzz for the incremental parsers in net/http.h: the epoll
+// readiness loop feeds them whatever byte chunks the kernel happens to
+// return, so NO split of the wire bytes may change the outcome. Every corpus
+// blob is parsed one-shot, byte-at-a-time, at every two-fragment boundary,
+// and under seeded random multi-splits, asserting byte-identical results.
+// A final section drives a live HttpServer with fragmented writes and
+// asserts the response is identical to an unfragmented exchange.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <random>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "net/http.h"
+#include "net/server.h"
+#include "util/socket.h"
+
+namespace htd::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Deterministic drivers: feed a chunking of the same bytes, flatten the
+// result (including every pipelined request and the terminal error, if any)
+// into a canonical string so a mismatch prints both outcomes side by side.
+
+std::string DriveRequests(const std::vector<std::string>& chunks,
+                          HttpRequestParser::Limits limits) {
+  HttpRequestParser parser(limits);
+  std::string out;
+  auto state = HttpRequestParser::State::kNeedMore;
+  for (const std::string& chunk : chunks) {
+    if (state == HttpRequestParser::State::kError) break;
+    state = parser.Consume(chunk);
+    while (state == HttpRequestParser::State::kDone) {
+      const HttpRequest& request = parser.request();
+      out += "request{" + request.method + " " + request.target + " " +
+             request.version + " path=" + request.path;
+      for (const auto& [key, value] : request.query) {
+        out += " q." + key + "=" + value;
+      }
+      for (const auto& [key, value] : request.headers) {
+        out += " h." + key + "=" + value;
+      }
+      out += " close=" + std::string(request.WantsClose() ? "1" : "0");
+      out += " body=[" + request.body + "]}\n";
+      parser.Reset();
+      state = parser.Continue();
+    }
+  }
+  if (state == HttpRequestParser::State::kError) {
+    out += "error{" + std::to_string(parser.error_status()) + " " +
+           parser.error() + "}\n";
+  } else {
+    out += "needmore{buffered=" + std::to_string(parser.buffered_bytes()) +
+           "}\n";
+  }
+  return out;
+}
+
+std::string DriveResponse(const std::vector<std::string>& chunks) {
+  HttpResponseParser parser;
+  auto state = HttpResponseParser::State::kNeedMore;
+  for (const std::string& chunk : chunks) {
+    if (state != HttpResponseParser::State::kNeedMore) break;
+    state = parser.Consume(chunk);
+  }
+  if (state == HttpResponseParser::State::kNeedMore) state = parser.Finish();
+  if (state == HttpResponseParser::State::kError) {
+    return "error{" + parser.error() + "}\n";
+  }
+  std::string out = "response{" + std::to_string(parser.status());
+  for (const auto& [key, value] : parser.headers()) {
+    out += " h." + key + "=" + value;
+  }
+  out += " body=[" + parser.body() + "]}\n";
+  return out;
+}
+
+std::vector<std::string> SplitAt(std::string_view blob,
+                                 const std::vector<size_t>& cuts) {
+  std::vector<std::string> chunks;
+  size_t start = 0;
+  for (size_t cut : cuts) {
+    chunks.emplace_back(blob.substr(start, cut - start));
+    start = cut;
+  }
+  chunks.emplace_back(blob.substr(start));
+  return chunks;
+}
+
+std::vector<std::string> ByteAtATime(std::string_view blob) {
+  std::vector<std::string> chunks;
+  for (char c : blob) chunks.emplace_back(1, c);
+  return chunks;
+}
+
+/// Seeded random multi-splits: deterministic per (blob, round).
+std::vector<size_t> RandomCuts(size_t length, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<size_t> count_dist(1, 8);
+  std::uniform_int_distribution<size_t> pos_dist(1, length > 1 ? length - 1 : 1);
+  size_t count = count_dist(rng);
+  std::vector<size_t> cuts;
+  for (size_t i = 0; i < count; ++i) cuts.push_back(pos_dist(rng));
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  return cuts;
+}
+
+constexpr int kRandomRounds = 48;
+
+void ExpectFragmentationInvariant(std::string_view blob,
+                                  HttpRequestParser::Limits limits) {
+  std::string reference = DriveRequests({std::string(blob)}, limits);
+  EXPECT_EQ(DriveRequests(ByteAtATime(blob), limits), reference)
+      << "byte-at-a-time diverged for: " << blob;
+  for (size_t cut = 1; cut < blob.size(); ++cut) {
+    ASSERT_EQ(DriveRequests(SplitAt(blob, {cut}), limits), reference)
+        << "two-fragment split at " << cut << " diverged for: " << blob;
+  }
+  for (int round = 0; round < kRandomRounds; ++round) {
+    auto cuts = RandomCuts(blob.size(),
+                           0x9e3779b9u * static_cast<uint32_t>(round + 1) +
+                               static_cast<uint32_t>(blob.size()));
+    ASSERT_EQ(DriveRequests(SplitAt(blob, cuts), limits), reference)
+        << "random split round " << round << " diverged for: " << blob;
+  }
+}
+
+void ExpectResponseFragmentationInvariant(std::string_view blob) {
+  std::string reference = DriveResponse({std::string(blob)});
+  EXPECT_EQ(DriveResponse(ByteAtATime(blob)), reference)
+      << "byte-at-a-time diverged for: " << blob;
+  for (size_t cut = 1; cut < blob.size(); ++cut) {
+    ASSERT_EQ(DriveResponse(SplitAt(blob, {cut})), reference)
+        << "two-fragment split at " << cut << " diverged for: " << blob;
+  }
+  for (int round = 0; round < kRandomRounds; ++round) {
+    auto cuts = RandomCuts(blob.size(),
+                           0x85ebca6bu * static_cast<uint32_t>(round + 1) +
+                               static_cast<uint32_t>(blob.size()));
+    ASSERT_EQ(DriveResponse(SplitAt(blob, cuts)), reference)
+        << "random split round " << round << " diverged for: " << blob;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request corpus: the tests/http_test.cc blobs (valid, malformed, limits,
+// pipelined, bare-LF) replayed under every fragmentation.
+
+const char* const kRequestCorpus[] = {
+    "GET /v1/stats HTTP/1.1\r\nHost: x\r\n\r\n",
+    "POST /v1/decompose?k=3&timeout=1.5 HTTP/1.1\r\n"
+    "Content-Length: 11\r\n\r\n"
+    "e1(a,b,c).\n",
+    "POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd",
+    // Pipelined pair in one stream.
+    "GET /first HTTP/1.1\r\n\r\nGET /second HTTP/1.1\r\n\r\n",
+    // Pipelined POST pair: the second body must frame correctly no matter
+    // where the first one's bytes were cut.
+    "POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyz"
+    "POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nok",
+    // Bare-LF separators.
+    "GET /lf HTTP/1.0\nHost: y\n\n",
+    // Connection semantics corpus.
+    "GET / HTTP/1.1\r\nConnection: close\r\n\r\n",
+    "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+    "GET / HTTP/1.1\r\nConnection: Keep-Alive, Close\r\n\r\n",
+    // Percent-decoding in the target.
+    "GET /v1/stats?name=a%20b+c HTTP/1.1\r\n\r\n",
+    // Malformed request line.
+    "GARBAGE\r\n\r\n",
+    // Non-HTTP version.
+    "GET / SPDY/3\r\n\r\n",
+    // Chunked transfer rejected with 501.
+    "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+    // Malformed Content-Length.
+    "POST / HTTP/1.1\r\nContent-Length: 12x\r\n\r\n",
+    // Header without a colon.
+    "GET / HTTP/1.1\r\nBadHeader\r\n\r\n",
+};
+
+TEST(HttpIncrementalTest, RequestCorpusIsFragmentationInvariant) {
+  for (const char* blob : kRequestCorpus) {
+    ExpectFragmentationInvariant(blob, HttpRequestParser::Limits{});
+  }
+}
+
+TEST(HttpIncrementalTest, RequestLimitsAreFragmentationInvariant) {
+  HttpRequestParser::Limits tight;
+  tight.max_head_bytes = 64;
+  tight.max_body_bytes = 8;
+  // Head exactly at / just past the bound, and a body past its bound: the
+  // 413 must fire identically whether the bytes arrive in one read or many.
+  std::string long_head = "GET /" + std::string(80, 'a') + " HTTP/1.1\r\n\r\n";
+  ExpectFragmentationInvariant(long_head, tight);
+  ExpectFragmentationInvariant(
+      "POST / HTTP/1.1\r\nContent-Length: 32\r\n\r\n" + std::string(32, 'b'),
+      tight);
+  // An unterminated head that never reaches the bound stays kNeedMore.
+  ExpectFragmentationInvariant("GET /" + std::string(16, 'c'), tight);
+}
+
+// ---------------------------------------------------------------------------
+// Response corpus: serialised server responses plus close-framed and
+// truncated variants for the client-side parser.
+
+TEST(HttpIncrementalTest, ResponseCorpusIsFragmentationInvariant) {
+  std::vector<std::string> corpus;
+  HttpResponse ok;
+  ok.status = 200;
+  ok.body = "{\"result\": \"fine\"}\n";
+  corpus.push_back(SerializeResponse(ok, "close"));
+  HttpResponse shed;
+  shed.status = 503;
+  shed.headers.emplace_back("Retry-After", "1");
+  shed.body = "{\"error\": \"shed\"}\n";
+  corpus.push_back(SerializeResponse(shed, "close"));
+  // Close-framed (no Content-Length): the body is everything before EOF.
+  corpus.push_back("HTTP/1.1 200 OK\r\nX-Kind: close-framed\r\n\r\npartial body");
+  // Truncated mid-head and short-of-Content-Length: errors either way.
+  corpus.push_back("HTTP/1.1 200 OK\r\nContent-Le");
+  corpus.push_back("HTTP/1.1 200 OK\r\nContent-Length: 50\r\n\r\nshort");
+  // Garbage status line.
+  corpus.push_back("ICY 200 OK\r\n\r\n");
+  corpus.push_back("HTTP/1.1 9000 NOPE\r\n\r\n");
+  // Extra bytes past Content-Length are ignored (keep-alive stream tail).
+  corpus.push_back("HTTP/1.1 204 No Content\r\nContent-Length: 0\r\n\r\ntail");
+  for (const std::string& blob : corpus) {
+    ExpectResponseFragmentationInvariant(blob);
+  }
+}
+
+TEST(HttpIncrementalTest, BlobParserAgreesWithIncrementalParser) {
+  // ParseHttpResponseBlob is now a wrapper over HttpResponseParser; pin the
+  // equivalence on a framed and a close-framed response.
+  HttpResponse response;
+  response.status = 200;
+  response.body = "hello";
+  std::string wire = SerializeResponse(response, "close");
+  int status = 0;
+  std::map<std::string, std::string> headers;
+  std::string body;
+  ASSERT_TRUE(ParseHttpResponseBlob(wire, &status, &headers, &body));
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "hello");
+  ASSERT_TRUE(ParseHttpResponseBlob("HTTP/1.0 404 Nope\r\n\r\ngone", &status,
+                                    &headers, &body));
+  EXPECT_EQ(status, 404);
+  EXPECT_EQ(body, "gone");
+  EXPECT_FALSE(ParseHttpResponseBlob("not http", &status, &headers, &body));
+}
+
+// ---------------------------------------------------------------------------
+// Live-server section: the same request delivered under different
+// fragmentation patterns (including byte-at-a-time with real syscall
+// boundaries) must produce byte-identical responses from the epoll loop.
+
+std::string ExchangeFragmented(int port, std::string_view wire,
+                               const std::vector<size_t>& cuts) {
+  auto sock = util::ConnectTcp("127.0.0.1", port, 5.0);
+  if (!sock.ok()) return "connect-failed";
+  util::SetRecvTimeout(sock->fd(), 10.0);
+  for (const std::string& chunk : SplitAt(wire, cuts)) {
+    if (!util::SendAll(sock->fd(), chunk)) return "send-failed";
+    // A real flush boundary: give the loop a chance to consume the partial
+    // bytes before the next fragment lands.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::string blob;
+  char buffer[4096];
+  while (true) {
+    long n = util::RecvSome(sock->fd(), buffer, sizeof(buffer));
+    if (n <= 0) break;
+    blob.append(buffer, static_cast<size_t>(n));
+  }
+  return blob;
+}
+
+TEST(HttpIncrementalTest, ServerResponseUnchangedByFragmentation) {
+  HttpServer::Options options;
+  options.io_threads = 2;
+  options.loop_threads = 2;
+  HttpServer server(options, [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = "{\"echo\": \"" + request.path + "\", \"bytes\": " +
+                    std::to_string(request.body.size()) + "}\n";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string wire =
+      "POST /v1/echo HTTP/1.1\r\n"
+      "Host: fragtest\r\n"
+      "Content-Length: 10\r\n"
+      "Connection: close\r\n\r\n"
+      "0123456789";
+  std::string reference = ExchangeFragmented(server.port(), wire, {});
+  ASSERT_NE(reference, "connect-failed");
+  ASSERT_NE(reference.find("200"), std::string::npos) << reference;
+  // Every prefix boundary once...
+  for (size_t cut : {size_t{1}, size_t{17}, wire.find("\r\n\r\n") + 2,
+                     wire.size() - 5, wire.size() - 1}) {
+    EXPECT_EQ(ExchangeFragmented(server.port(), wire, {cut}), reference)
+        << "split at " << cut;
+  }
+  // ...then seeded random multi-splits with real syscall boundaries.
+  for (int round = 0; round < 8; ++round) {
+    auto cuts = RandomCuts(wire.size(), 0xc2b2ae35u + round);
+    EXPECT_EQ(ExchangeFragmented(server.port(), wire, cuts), reference)
+        << "random live split round " << round;
+  }
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace htd::net

@@ -5,14 +5,22 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cctype>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "hypergraph/generators.h"
 #include "hypergraph/writer.h"
@@ -506,6 +514,277 @@ TEST(NetServerTest, SnapshotRouteWithoutPathIs412) {
   ASSERT_TRUE((*server)->Start().ok());
   EXPECT_EQ(Exchange((*server)->port(), "POST", "/v1/admin/snapshot").status, 412);
   (*server)->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Epoll-core transport behaviour: slow-loris reaping, write-timeout slot
+// recovery, io_threads-independent admission, and accept-failure backoff.
+// These drive a bare HttpServer — the contract under test is the readiness
+// loop itself, not the decomposition routes.
+
+/// Polls `condition` until it holds or `deadline` elapses.
+bool WaitFor(const std::function<bool()>& condition,
+             std::chrono::milliseconds deadline) {
+  auto give_up = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < give_up) {
+    if (condition()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return condition();
+}
+
+HttpResponse OkHandler(const HttpRequest&) {
+  HttpResponse response;
+  response.body = "{\"ok\": true}\n";
+  return response;
+}
+
+TEST(NetServerTest, SlowLorisIsReapedWhileFastClientsAreServed) {
+  HttpServer::Options options;
+  options.io_threads = 2;
+  options.loop_threads = 1;
+  options.header_timeout_seconds = 0.5;
+  options.idle_timeout_seconds = 30.0;  // the loris must hit the HEADER clock
+  HttpServer server(options, OkHandler);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The loris: drips a valid request one byte at a time, far slower than
+  // the header timeout allows.
+  auto loris = util::ConnectTcp("127.0.0.1", server.port(), 5.0);
+  ASSERT_TRUE(loris.ok());
+  util::SetRecvTimeout(loris->fd(), 10.0);
+  std::atomic<bool> drip_done{false};
+  std::thread dripper([&] {
+    const std::string request = "GET /healthz HTTP/1.1\r\nHost: drip\r\n\r\n";
+    for (char c : request) {
+      if (!util::SendAll(loris->fd(), std::string_view(&c, 1))) break;
+      std::this_thread::sleep_for(50ms);
+    }
+    drip_done.store(true);
+  });
+
+  // Fast clients during the drip: unchanged latency, all 200.
+  for (int i = 0; i < 5; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(Exchange(server.port(), "GET", "/anything").status, 200);
+    EXPECT_LT(std::chrono::steady_clock::now() - start, 5s);
+  }
+
+  // The loris is reaped by the header timeout: best-effort 408 then close.
+  std::string blob;
+  char buffer[1024];
+  while (true) {
+    long n = util::RecvSome(loris->fd(), buffer, sizeof(buffer));
+    if (n <= 0) break;
+    blob.append(buffer, static_cast<size_t>(n));
+  }
+  EXPECT_NE(blob.find(" 408 "), std::string::npos) << blob;
+  EXPECT_GE(server.connections_reaped(), 1u);
+  dripper.join();
+  EXPECT_TRUE(drip_done.load());
+  server.Stop();
+}
+
+TEST(NetServerTest, StalledReaderIsAbandonedAtWriteTimeoutWithoutLeakingSlot) {
+  HttpServer::Options options;
+  options.io_threads = 2;
+  options.loop_threads = 1;
+  options.max_connections = 1;  // ONE slot — a leak would starve the retry
+  options.write_timeout_seconds = 0.5;
+  HttpServer server(options, [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/octet-stream";
+    response.body.assign(32 * 1024 * 1024, 'x');  // far past any socket buffer
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  // A reader that requests the huge response and then never reads: the
+  // kernel buffers fill, the flush stalls, and the write timeout must
+  // abandon the connection rather than hold its slot forever. SO_RCVBUF is
+  // pinned tiny BEFORE connect so autotuned loopback windows can never
+  // swallow the whole response and let the flush complete.
+  int stalled_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(stalled_fd, 0);
+  int tiny = 16 * 1024;
+  ::setsockopt(stalled_fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  sockaddr_in server_addr{};
+  server_addr.sin_family = AF_INET;
+  server_addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  server_addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(stalled_fd, reinterpret_cast<sockaddr*>(&server_addr),
+                      sizeof(server_addr)),
+            0);
+  util::Socket stalled(stalled_fd);
+  ASSERT_TRUE(util::SendAll(stalled.fd(),
+                            "GET /blob HTTP/1.1\r\nConnection: close\r\n\r\n"));
+  ASSERT_TRUE(WaitFor([&] { return server.connections_reaped() >= 1; }, 15s))
+      << "write timeout never fired";
+
+  // The slot must be free again: a well-behaved client succeeds.
+  ASSERT_TRUE(WaitFor(
+      [&] { return server.connection_counts().total() == 0; }, 10s));
+  auto probe = util::ConnectTcp("127.0.0.1", server.port(), 5.0);
+  ASSERT_TRUE(probe.ok());
+  util::SetRecvTimeout(probe->fd(), 30.0);
+  ASSERT_TRUE(util::SendAll(probe->fd(),
+                            "GET /blob HTTP/1.1\r\nConnection: close\r\n\r\n"));
+  std::string head;
+  char buffer[4096];
+  long n = util::RecvSome(probe->fd(), buffer, sizeof(buffer));
+  ASSERT_GT(n, 0);
+  head.assign(buffer, static_cast<size_t>(n));
+  EXPECT_NE(head.find(" 200 "), std::string::npos) << head;
+  server.Stop();
+}
+
+TEST(NetServerTest, IdleKeepAliveConnectionsArentBoundedByThreadCounts) {
+  HttpServer::Options options;
+  options.io_threads = 2;    // the whole point: 2 threads, hundreds of conns
+  options.loop_threads = 2;
+  options.backlog = 256;
+  options.max_connections = 600;
+  options.idle_timeout_seconds = 60.0;
+  HttpServer server(options, OkHandler);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kIdle = 300;
+  std::vector<util::Socket> held;
+  held.reserve(kIdle);
+  for (int i = 0; i < kIdle; ++i) {
+    auto sock = util::ConnectTcp("127.0.0.1", server.port(), 10.0);
+    ASSERT_TRUE(sock.ok()) << "connect " << i << ": " << sock.status().message();
+    held.push_back(std::move(*sock));
+  }
+  ASSERT_TRUE(WaitFor(
+      [&] { return server.connection_counts().idle >= kIdle; }, 20s))
+      << "only " << server.connection_counts().idle << " idle";
+  // The thread-per-connection core shed at io_threads; the loop must not.
+  EXPECT_EQ(server.connections_shed(), 0u);
+  EXPECT_GE(server.connections_accepted(), static_cast<uint64_t>(kIdle));
+
+  // The held connections are live, not zombies: a sample of them still
+  // serves requests, as does a brand-new one.
+  for (int i : {0, kIdle / 2, kIdle - 1}) {
+    ASSERT_TRUE(util::SendAll(held[static_cast<size_t>(i)].fd(),
+                              "GET /ping HTTP/1.1\r\nConnection: close\r\n\r\n"));
+    util::SetRecvTimeout(held[static_cast<size_t>(i)].fd(), 10.0);
+    std::string blob;
+    char buffer[4096];
+    while (true) {
+      long n = util::RecvSome(held[static_cast<size_t>(i)].fd(), buffer,
+                              sizeof(buffer));
+      if (n <= 0) break;
+      blob.append(buffer, static_cast<size_t>(n));
+    }
+    EXPECT_NE(blob.find(" 200 "), std::string::npos) << blob;
+  }
+  EXPECT_EQ(Exchange(server.port(), "GET", "/fresh").status, 200);
+  EXPECT_EQ(server.connections_shed(), 0u);
+  held.clear();
+  server.Stop();
+}
+
+TEST(NetServerTest, AcceptBackoffRecoversFromFdExhaustion) {
+  HttpServer::Options options;
+  options.io_threads = 2;
+  options.loop_threads = 1;
+  HttpServer server(options, OkHandler);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The client's fd is allocated BEFORE exhaustion; connect() itself needs
+  // no new descriptor in this process.
+  int client = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(client, 0);
+
+  // Exhaust the fd budget: lower the soft limit to just above current use,
+  // then fill what remains. accept() in the server (same process) now fails
+  // with EMFILE while the connection waits in the listen queue.
+  rlimit saved{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+  rlimit tight = saved;
+  tight.rlim_cur = 256;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+  std::vector<int> fillers;
+  while (true) {
+    int fd = ::dup(client);
+    if (fd < 0) break;
+    fillers.push_back(fd);
+  }
+  ASSERT_FALSE(fillers.empty());
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(client, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_TRUE(util::SendAll(client,
+                            "GET /after HTTP/1.1\r\nConnection: close\r\n\r\n"));
+
+  // The acceptor must be failing AND backing off (not spinning): failures
+  // accrue at roughly one per 10 ms backoff, not tens of thousands.
+  ASSERT_TRUE(WaitFor([&] { return server.accept_failures() >= 2; }, 10s));
+  uint64_t failures_during_exhaustion = server.accept_failures();
+  EXPECT_LT(failures_during_exhaustion, 2000u) << "acceptor is spinning";
+
+  // Recovery: free the budget and the queued connection gets served.
+  for (int fd : fillers) ::close(fd);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &saved), 0);
+  util::SetRecvTimeout(client, 20.0);
+  std::string blob;
+  char buffer[4096];
+  while (true) {
+    long n = util::RecvSome(client, buffer, sizeof(buffer));
+    if (n <= 0) break;
+    blob.append(buffer, static_cast<size_t>(n));
+  }
+  EXPECT_NE(blob.find(" 200 "), std::string::npos)
+      << "queued connection not served after recovery: " << blob;
+  ::close(client);
+  server.Stop();
+}
+
+TEST(NetServerTest, StopDrainsInFlightResponsesAndRefusesNewWork) {
+  // Re-pin the PR 3 drain contract on the epoll core directly: a response
+  // in flight at Stop() is flushed; the port stops answering afterwards.
+  HttpServer::Options options;
+  options.io_threads = 2;
+  options.loop_threads = 1;
+  std::atomic<bool> release{false};
+  HttpServer server(options, [&](const HttpRequest&) {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+    HttpResponse response;
+    response.body = "{\"drained\": true}\n";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  int port = server.port();
+
+  auto pinned = util::ConnectTcp("127.0.0.1", port, 5.0);
+  ASSERT_TRUE(pinned.ok());
+  ASSERT_TRUE(util::SendAll(pinned->fd(),
+                            "GET /slow HTTP/1.1\r\nConnection: close\r\n\r\n"));
+  ASSERT_TRUE(WaitFor(
+      [&] { return server.connection_counts().dispatched >= 1; }, 10s));
+
+  std::thread stopper([&] { server.Stop(); });
+  std::this_thread::sleep_for(50ms);
+  release.store(true);
+  stopper.join();
+  EXPECT_FALSE(server.running());
+
+  // The dispatched response was flushed during the drain.
+  util::SetRecvTimeout(pinned->fd(), 10.0);
+  std::string blob;
+  char buffer[4096];
+  while (true) {
+    long n = util::RecvSome(pinned->fd(), buffer, sizeof(buffer));
+    if (n <= 0) break;
+    blob.append(buffer, static_cast<size_t>(n));
+  }
+  EXPECT_NE(blob.find("\"drained\": true"), std::string::npos) << blob;
+  EXPECT_EQ(server.connection_counts().total(), 0u);
 }
 
 }  // namespace

@@ -53,7 +53,11 @@ void Usage(const char* argv0) {
       "usage: %s [options]\n"
       "  --host ADDR        listen address (default 127.0.0.1)\n"
       "  --port N           listen port, 0 = ephemeral (default 8080)\n"
-      "  --io-threads N     connection-serving threads (default 8)\n"
+      "  --io-threads N     handler-executing threads: a synchronous solve\n"
+      "                     blocks one for its duration (default 8)\n"
+      "  --loop-threads N   epoll event-loop ring driving connection I/O;\n"
+      "                     a few loops carry tens of thousands of sockets\n"
+      "                     (default 2)\n"
       "  --workers N        fleet executor width: workers shared by every\n"
       "                     solve and async query job (default 4)\n"
       "  --threads N        intra-solve threads per job; 0 = batch-aware auto\n"
@@ -63,6 +67,13 @@ void Usage(const char* argv0) {
       "                     outstanding jobs (default 64)\n"
       "  --max-connections N  live-connection bound: further connections are\n"
       "                     answered 503 and closed (default 64)\n"
+      "  --idle-timeout S   close keep-alive connections idle past S seconds\n"
+      "                     (default 30)\n"
+      "  --header-timeout S reap a connection still mid-request after S\n"
+      "                     seconds with 408 (slow-loris guard; default 10,\n"
+      "                     0 = use --idle-timeout)\n"
+      "  --write-timeout S  abandon a response part-flushed to a stalled\n"
+      "                     reader after S seconds (default 30)\n"
       "  --default-timeout S  deadline for requests without ?timeout=\n"
       "                     (default 30, 0 = none)\n"
       "  --cache-capacity N result-cache entries (default 4096)\n"
@@ -201,6 +212,18 @@ int main(int argc, char** argv) {
     } else if (flag == "--io-threads") {
       options.http.io_threads = static_cast<int>(
           RequireInt(argv[0], "--io-threads", next("--io-threads"), 1, 1024));
+    } else if (flag == "--loop-threads") {
+      options.http.loop_threads = static_cast<int>(RequireInt(
+          argv[0], "--loop-threads", next("--loop-threads"), 1, 256));
+    } else if (flag == "--idle-timeout") {
+      options.http.idle_timeout_seconds =
+          RequireSeconds(argv[0], "--idle-timeout", next("--idle-timeout"));
+    } else if (flag == "--header-timeout") {
+      options.http.header_timeout_seconds =
+          RequireSeconds(argv[0], "--header-timeout", next("--header-timeout"));
+    } else if (flag == "--write-timeout") {
+      options.http.write_timeout_seconds =
+          RequireSeconds(argv[0], "--write-timeout", next("--write-timeout"));
     } else if (flag == "--workers") {
       options.service.num_workers = static_cast<int>(
           RequireInt(argv[0], "--workers", next("--workers"), 1, 1024));

@@ -669,6 +669,104 @@ def query_phase(workdir):
           f"query job {job_id} round-tripped")
 
 
+def read_http_response(sock):
+    """Reads one HTTP response off a keep-alive socket (Content-Length framed)."""
+    sock.settimeout(30)
+    blob = b""
+    while b"\r\n\r\n" not in blob:
+        chunk = sock.recv(4096)
+        if not chunk:
+            return blob
+        blob += chunk
+    head, _, body = blob.partition(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1].strip())
+    while len(body) < length:
+        chunk = sock.recv(4096)
+        if not chunk:
+            break
+        body += chunk
+    return head + b"\r\n\r\n" + body
+
+
+def keepalive_scale_phase(workdir, snapshot):
+    """Phase 8: ~2000 idle keep-alives held through a warm restart, zero sheds.
+
+    The epoll core must admit connections up to --max-connections no matter
+    how few io/loop threads it runs; the thread-per-connection core this
+    replaced would have shed at the thread count.
+    """
+    target = 2000
+    try:
+        import resource
+        soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        want = target * 2 + 512
+        if soft < want:
+            new_soft = want if hard == resource.RLIM_INFINITY \
+                else min(want, hard)
+            resource.setrlimit(resource.RLIMIT_NOFILE, (new_soft, hard))
+    except (ImportError, ValueError, OSError) as error:
+        fail(f"phase 8: cannot raise RLIMIT_NOFILE for {target} sockets: "
+             f"{error}")
+
+    def hold_and_check(port, label):
+        conns = []
+        try:
+            for _ in range(target):
+                conns.append(socket.create_connection(("127.0.0.1", port),
+                                                      timeout=10))
+            deadline = time.time() + 30
+            idle = -1
+            while time.time() < deadline:
+                _, _, text = scrape(port, "/v1/metrics")
+                series = parse_prometheus(text, f"phase 8 {label}")
+                idle = series.get('htd_connections{state="idle"}', 0)
+                if idle >= target:
+                    break
+                time.sleep(0.2)
+            if idle < target:
+                fail(f"phase 8 {label}: only {idle} idle connections held "
+                     f"(want >= {target})")
+            shed = series.get("htd_connections_shed_total", -1)
+            if shed != 0:
+                fail(f"phase 8 {label}: {shed} connections shed while under "
+                     f"the bound — admission is NOT io_threads-independent")
+            # The held sockets are served, not parked: a sample answers.
+            for probe in (conns[0], conns[target // 2], conns[-1]):
+                probe.sendall(b"GET /healthz HTTP/1.1\r\nHost: smoke\r\n\r\n")
+                blob = read_http_response(probe)
+                if b" 200 " not in blob.split(b"\r\n", 1)[0]:
+                    fail(f"phase 8 {label}: held connection answered "
+                         f"{blob[:80]!r}")
+            # And new work is still admitted alongside the held mass.
+            client(port, "stats", "--quiet")
+        finally:
+            for conn in conns:
+                conn.close()
+
+    args = ("--snapshot", str(snapshot), "--workers", "2",
+            "--io-threads", "2", "--loop-threads", "2",
+            "--max-connections", str(target + 64),
+            "--idle-timeout", "300")
+    port = free_port()
+    server = start_server(port, *args)
+    hold_and_check(port, "cold")
+    stop_server(server)  # 2000 idle conns must not stall the drain
+
+    # Warm restart: the same mass held again against the restored process.
+    port = free_port()
+    server = start_server(port, *args)
+    hold_and_check(port, "warm")
+    stats = json.loads(client(port, "stats").stdout)
+    if stats["snapshot"]["restored_cache_entries"] < 1:
+        fail("phase 8: warm restart restored no cache entries")
+    stop_server(server)
+    print(f"phase 8 OK: {target} idle keep-alives held through a warm "
+          f"restart on 2 io-threads, zero sheds")
+
+
 def main():
     for binary in (HDSERVER, HDCLIENT, HDRESHARD):
         if not binary.exists():
@@ -774,6 +872,9 @@ def main():
 
     # --- Phase 7: query answering across the shard fleet. ------------------
     query_phase(workdir)
+
+    # --- Phase 8: idle keep-alive scale through a warm restart. ------------
+    keepalive_scale_phase(workdir, snapshot)
 
     print("server_smoke: all phases passed")
 
